@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one table/figure of the paper: it
+computes the series, renders it as an aligned text table, asserts the
+qualitative *shape* the paper claims (who wins, what grows, where the
+crossover is), and feeds one representative workload to pytest-benchmark
+for timing.
+
+Rendered tables are buffered by :func:`emit` and flushed by the
+``pytest_terminal_summary`` hook in ``benchmarks/conftest.py`` -- pytest
+captures ordinary stdout even for passing tests, but terminal-summary
+output always reaches the console (and any tee'd log).  Each run's
+tables are also written to ``benchmarks/results/latest.txt``.
+"""
+
+from __future__ import annotations
+
+_EMITTED: list[str] = []
+
+
+def emit(text: str) -> None:
+    """Buffer a rendered table for the end-of-run summary."""
+    _EMITTED.append(text)
+
+
+def drain() -> list[str]:
+    """Hand the buffered tables to the summary hook (clears the buffer)."""
+    out = list(_EMITTED)
+    _EMITTED.clear()
+    return out
+
+
+def fit_power_law(xs, ys) -> float:
+    """Least-squares slope of log(y) on log(x): the growth exponent."""
+    import math
+
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    cov = sum((a - mean_x) * (b - mean_y) for a, b in zip(lx, ly))
+    var = sum((a - mean_x) ** 2 for a in lx)
+    return cov / var

@@ -1,0 +1,84 @@
+"""Section 8: CA's optimality ratio is independent of cR/cS; TA's is not.
+
+Paper claims reproduced here:
+
+* as cR/cS grows, TA's measured ratio (cost / certificate cost) grows
+  roughly linearly -- the cR/cS term in m + m(m-1) cR/cS is real;
+* CA's measured ratio stays bounded across the same sweep (Theorem 8.9
+  promises <= 4m + k on distinct-grade databases with SMV t; we use
+  average, which is SMV, on permutation databases, which are distinct);
+* TA does fewer sorted accesses than CA, CA does fewer random accesses
+  than TA (the Section 8.4 comparison).
+"""
+
+from _util import emit
+
+from repro.aggregation import AVERAGE
+from repro.analysis import (
+    ca_upper_bound_smv,
+    format_table,
+    minimal_certificate,
+)
+from repro.core import CombinedAlgorithm, ThresholdAlgorithm
+from repro.datagen import permutations
+from repro.middleware import CostModel
+
+RATIOS = [1.0, 4.0, 16.0, 64.0, 256.0]
+N, M, K = 2000, 3, 5
+
+
+def run_series():
+    db = permutations(N, M, seed=17)
+    assert db.satisfies_distinctness()
+    rows = []
+    for ratio in RATIOS:
+        cm = CostModel(1.0, ratio)
+        cert = minimal_certificate(db, AVERAGE, K, cm)
+        ta = ThresholdAlgorithm().run_on(db, AVERAGE, K, cm)
+        ca = CombinedAlgorithm().run_on(db, AVERAGE, K, cm)
+        rows.append(
+            {
+                "ratio": ratio,
+                "cert": cert.cost,
+                "ta_ratio": ta.middleware_cost / cert.cost,
+                "ca_ratio": ca.middleware_cost / cert.cost,
+                "ta_sorted": ta.sorted_accesses,
+                "ca_sorted": ca.sorted_accesses,
+                "ta_random": ta.random_accesses,
+                "ca_random": ca.random_accesses,
+            }
+        )
+    return rows
+
+
+def bench_ca_vs_ta_cost_ratio(benchmark):
+    rows = benchmark.pedantic(run_series, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["cR/cS", "certificate", "TA ratio", "CA ratio", "TA sorted",
+             "CA sorted", "TA random", "CA random"],
+            [
+                [r["ratio"], r["cert"], r["ta_ratio"], r["ca_ratio"],
+                 r["ta_sorted"], r["ca_sorted"], r["ta_random"],
+                 r["ca_random"]]
+                for r in rows
+            ],
+            title=f"TA vs CA measured optimality ratios as cR/cS grows "
+            f"(permutations N={N}, m={M}, k={K}, t=average)",
+        )
+    )
+    ta_ratios = [r["ta_ratio"] for r in rows]
+    ca_ratios = [r["ca_ratio"] for r in rows]
+    # TA's ratio grows with cR/cS...
+    assert ta_ratios[-1] > 3 * ta_ratios[0]
+    # ...while CA's stays within the paper's constant bound
+    bound = ca_upper_bound_smv(M, K)
+    assert all(r <= bound for r in ca_ratios), (ca_ratios, bound)
+    # and CA dominates TA once random accesses are expensive
+    for r in rows:
+        if r["ratio"] >= 16:
+            assert r["ca_ratio"] < r["ta_ratio"]
+        # Section 8.4: TA never does more sorted accesses than CA;
+        # CA never does more random accesses than TA
+        assert r["ta_sorted"] <= r["ca_sorted"]
+        assert r["ca_random"] <= r["ta_random"]

@@ -1,0 +1,90 @@
+"""Section 3: FA's middleware cost scales as Theta(N^{(m-1)/m} k^{1/m})
+on probabilistically independent lists.
+
+We sweep N for m = 2, 3 on independent-permutation databases (the exact
+model of Fagin's analysis), fit the growth exponent of FA's cost in N,
+and check it matches (m-1)/m; a k-sweep checks the k^{1/m} factor's
+direction.  TA's cost on the same inputs is also reported -- it tracks
+FA from below (Section 4).
+"""
+
+from _util import emit, fit_power_law
+
+from repro.aggregation import MIN
+from repro.analysis import format_table
+from repro.core import FaginAlgorithm, ThresholdAlgorithm
+from repro.datagen import permutations
+
+N_VALUES = [500, 1000, 2000, 4000, 8000]
+SEEDS = [1, 2, 3]
+
+
+def average_cost(algo, n, m, k):
+    total = 0.0
+    for seed in SEEDS:
+        db = permutations(n, m, seed=seed)
+        total += algo.run_on(db, MIN, k).middleware_cost
+    return total / len(SEEDS)
+
+
+def n_sweep(m: int, k: int = 10):
+    rows = []
+    for n in N_VALUES:
+        fa = average_cost(FaginAlgorithm(), n, m, k)
+        ta = average_cost(ThresholdAlgorithm(), n, m, k)
+        rows.append([n, fa, ta, n ** ((m - 1) / m)])
+    return rows
+
+
+def bench_fa_scaling_m2(benchmark):
+    rows = benchmark.pedantic(n_sweep, args=(2,), rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["N", "FA cost", "TA cost", "N^(1/2) reference"],
+            rows,
+            title="FA cost scaling, m=2, k=10 (expected exponent 1/2)",
+        )
+    )
+    exponent = fit_power_law([r[0] for r in rows], [r[1] for r in rows])
+    emit(f"fitted FA exponent (m=2): {exponent:.3f}  [theory: 0.500]")
+    assert 0.35 <= exponent <= 0.65
+    for row in rows:
+        assert row[2] <= row[1] * 2 + 10  # TA tracks FA from below
+
+
+def bench_fa_scaling_m3(benchmark):
+    rows = benchmark.pedantic(n_sweep, args=(3,), rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["N", "FA cost", "TA cost", "N^(2/3) reference"],
+            rows,
+            title="FA cost scaling, m=3, k=10 (expected exponent 2/3)",
+        )
+    )
+    exponent = fit_power_law([r[0] for r in rows], [r[1] for r in rows])
+    emit(f"fitted FA exponent (m=3): {exponent:.3f}  [theory: 0.667]")
+    assert 0.52 <= exponent <= 0.82
+
+
+def bench_fa_k_dependence(benchmark):
+    """Cost grows sublinearly in k, consistent with k^{1/m}."""
+
+    def run():
+        rows = []
+        n, m = 4000, 2
+        for k in (1, 4, 16, 64):
+            fa = average_cost(FaginAlgorithm(), n, m, k)
+            rows.append([k, fa, k ** (1 / m)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["k", "FA cost", "k^(1/2) reference"],
+            rows,
+            title="FA cost vs k at N=4000, m=2 (expected ~ k^(1/2))",
+        )
+    )
+    exponent = fit_power_law([r[0] for r in rows], [r[1] for r in rows])
+    emit(f"fitted FA exponent in k: {exponent:.3f}  [theory: 0.500]")
+    assert 0.3 <= exponent <= 0.7

@@ -1,0 +1,74 @@
+"""Figure 1 / Example 6.3: a lucky wild guess beats every no-wild-guess
+algorithm by an unbounded factor.
+
+Paper claims reproduced here:
+
+* the winner sits in the middle of both lists, so TA (and any algorithm
+  without wild guesses, by the adversary argument) needs at least n+1
+  rounds of sorted access;
+* an algorithm allowed to guess pays exactly 2 random accesses;
+* hence no algorithm is instance optimal once wild guesses are allowed
+  (Theorem 6.4): the measured ratio grows linearly in n.
+"""
+
+from _util import emit
+
+from repro.aggregation import MIN
+from repro.analysis import format_table, minimal_certificate
+from repro.core import ThresholdAlgorithm
+from repro.datagen import example_6_3
+from repro.middleware import CostModel
+
+SIZES = [10, 50, 250, 1250]
+COSTS = CostModel(1.0, 1.0)
+
+
+def run_series():
+    rows = []
+    for n in SIZES:
+        inst = example_6_3(n)
+        ta = ThresholdAlgorithm().run_on(inst.database, MIN, 1, COSTS)
+        tame = minimal_certificate(inst.database, MIN, 1, COSTS)
+        wild = minimal_certificate(
+            inst.database, MIN, 1, COSTS, wild_guesses=True
+        )
+        rows.append(
+            {
+                "n": n,
+                "ta_depth": ta.depth,
+                "ta_cost": ta.middleware_cost,
+                "tame_cert": tame.cost,
+                "wild_cert": wild.cost,
+                "ratio_vs_wild": ta.middleware_cost / wild.cost,
+            }
+        )
+    return rows
+
+
+def bench_figure_1(benchmark):
+    rows = benchmark.pedantic(run_series, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["n", "TA depth", "TA cost", "no-wild cert", "wild cert",
+             "TA / wild"],
+            [
+                [r["n"], r["ta_depth"], r["ta_cost"], r["tame_cert"],
+                 r["wild_cert"], r["ratio_vs_wild"]]
+                for r in rows
+            ],
+            title="Figure 1 (Example 6.3): wild guesses are unboundedly "
+            "better on the tie-heavy database",
+        )
+    )
+    for r in rows:
+        # TA must descend to the middle: depth exactly n+1
+        assert r["ta_depth"] == r["n"] + 1
+        # the lucky guess costs exactly two random accesses, at every n
+        assert r["wild_cert"] == 2.0
+        # no-wild-guess proofs also need the middle of a list
+        assert r["tame_cert"] >= r["n"] + 1
+    # the separation is unbounded: ratio grows (here linearly) with n
+    ratios = [r["ratio_vs_wild"] for r in rows]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 100 * ratios[0] * SIZES[0] / SIZES[-1]
+    assert ratios[-1] >= SIZES[-1]  # at least n

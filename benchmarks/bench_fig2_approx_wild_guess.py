@@ -1,0 +1,93 @@
+"""Figure 2 / Example 6.8 / Theorem 6.9: approximation does not rescue
+instance optimality against wild guesses, even with distinct grades.
+
+Paper claims reproduced here:
+
+* the database satisfies the distinctness property, yet TA-theta still
+  needs >= n+1 rounds to find the unique valid theta-approximation;
+* two random accesses (a wild guess at the winner) suffice;
+* the separation grows linearly in n for every theta > 1.
+"""
+
+import pytest
+from _util import emit
+
+from repro.aggregation import MIN
+from repro.analysis import format_table, is_theta_approximation
+from repro.core import ApproximateThresholdAlgorithm
+from repro.datagen import example_6_8
+from repro.middleware import CostModel
+
+SIZES = [10, 50, 250]
+THETAS = [1.2, 2.0]
+COSTS = CostModel(1.0, 1.0)
+
+
+def run_series():
+    rows = []
+    for theta in THETAS:
+        for n in SIZES:
+            inst = example_6_8(n, theta=theta)
+            algo = ApproximateThresholdAlgorithm(theta=theta)
+            res = algo.run_on(inst.database, MIN, 1, COSTS)
+            assert is_theta_approximation(
+                inst.database, MIN, 1, res.objects, theta
+            )
+            rows.append(
+                {
+                    "theta": theta,
+                    "n": n,
+                    "distinct": inst.database.satisfies_distinctness(),
+                    "depth": res.depth,
+                    "cost": res.middleware_cost,
+                    "wild_cost": inst.competitor_cost(COSTS),
+                    "ratio": res.middleware_cost
+                    / inst.competitor_cost(COSTS),
+                }
+            )
+    return rows
+
+
+def bench_figure_2(benchmark):
+    rows = benchmark.pedantic(run_series, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["theta", "n", "distinct grades", "TA-theta depth",
+             "TA-theta cost", "wild-guess cost", "ratio"],
+            [
+                [r["theta"], r["n"], r["distinct"], r["depth"], r["cost"],
+                 r["wild_cost"], r["ratio"]]
+                for r in rows
+            ],
+            title="Figure 2 (Example 6.8): TA-theta vs the 2-access wild "
+            "guess on the distinct-grades database",
+        )
+    )
+    for r in rows:
+        assert r["distinct"]
+        assert r["depth"] >= r["n"] + 1  # must reach the middle
+        assert r["wild_cost"] == 2.0
+    for theta in THETAS:
+        ratios = [r["ratio"] for r in rows if r["theta"] == theta]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > 20 * ratios[0] * SIZES[0] / SIZES[-1]
+
+
+def bench_figure_2_unique_answer(benchmark):
+    """Any theta-approximation must return exactly the winner."""
+
+    def check():
+        inst = example_6_8(40, theta=1.5)
+        valid = [
+            obj
+            for obj in inst.database.objects
+            if is_theta_approximation(inst.database, MIN, 1, [obj], 1.5)
+        ]
+        return inst, valid
+
+    inst, valid = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert valid == [inst.top_object]
+    emit(
+        "Figure 2 check: the unique valid 1.5-approximation is object "
+        f"{inst.top_object} (grade 1/theta = {1/1.5:.4f})"
+    )

@@ -1,0 +1,74 @@
+"""Figure 3 / Example 7.3: TAZ is not instance optimal under the
+distinctness property (the analogue of Theorem 6.5 fails for TAZ).
+
+Paper claims reproduced here:
+
+* with Z = {L1}, TAZ's threshold is anchored at the minimum L1 grade
+  (0.7) which exceeds the true top grade (0.6), so TAZ scans *every*
+  list entry before halting (footnote 14's halting case);
+* a 3-access proof (1 sorted + 2 random) exists on the same database;
+* the same database with unrestricted sorted access is easy for TA,
+  isolating the restriction -- not the data -- as the cause.
+"""
+
+from _util import emit
+
+from repro.analysis import format_table
+from repro.core import HaltReason, RestrictedSortedAccessTA, ThresholdAlgorithm
+from repro.datagen import example_7_3
+from repro.middleware import AccessSession, CostModel
+
+SIZES = [20, 100, 500]
+COSTS = CostModel(1.0, 1.0)
+
+
+def run_series():
+    rows = []
+    for n in SIZES:
+        inst = example_7_3(n)
+        session = AccessSession.sorted_only_on(
+            inst.database, inst.restricted_sorted_lists, COSTS
+        )
+        taz = RestrictedSortedAccessTA().run(session, inst.aggregation, 1)
+        ta = ThresholdAlgorithm().run_on(
+            inst.database, inst.aggregation, 1, COSTS
+        )
+        rows.append(
+            {
+                "n": n,
+                "taz_depth": taz.depth,
+                "taz_cost": taz.middleware_cost,
+                "taz_halt": taz.halt_reason,
+                "ta_cost": ta.middleware_cost,
+                "proof_cost": inst.competitor_cost(COSTS),
+                "ratio": taz.middleware_cost / inst.competitor_cost(COSTS),
+            }
+        )
+    return rows
+
+
+def bench_figure_3(benchmark):
+    rows = benchmark.pedantic(run_series, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["n", "TAZ depth", "TAZ cost", "TAZ halt", "full-TA cost",
+             "3-access proof", "TAZ / proof"],
+            [
+                [r["n"], r["taz_depth"], r["taz_cost"], r["taz_halt"],
+                 r["ta_cost"], r["proof_cost"], r["ratio"]]
+                for r in rows
+            ],
+            title="Figure 3 (Example 7.3): TAZ forced to exhaustion while "
+            "a 3-access proof exists",
+        )
+    )
+    for r in rows:
+        # full scan of L1 (and hence all objects resolved)
+        assert r["taz_depth"] == r["n"]
+        assert r["taz_halt"] == HaltReason.EXHAUSTED
+        assert r["proof_cost"] == 3.0
+        # unrestricted TA does not degrade like this
+        assert r["ta_cost"] < r["taz_cost"]
+    ratios = [r["ratio"] for r in rows]
+    assert ratios == sorted(ratios)  # unbounded in n
+    assert ratios[-1] > 100

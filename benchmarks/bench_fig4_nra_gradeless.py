@@ -1,0 +1,93 @@
+"""Figure 4 / Example 8.3: identifying the top object can be arbitrarily
+cheaper than grading it -- the reason NRA's contract drops exact grades.
+
+Paper claims reproduced here:
+
+* NRA halts at depth 2 (4 sorted accesses) knowing R is the top object,
+  while its exact grade would require scanning essentially all of L2
+  (Stream-Combine, which must report grades, pays exactly that);
+* the costs C1, C2 of finding the top-1 and top-2 are not monotone in k:
+  the with_second variant has C2 < C1.
+"""
+
+from _util import emit
+
+from repro.analysis import format_table
+from repro.core import NoRandomAccessAlgorithm, StreamCombine
+from repro.datagen import example_8_3
+
+SIZES = [20, 100, 500]
+
+
+def run_series():
+    rows = []
+    for n in SIZES:
+        inst = example_8_3(n)
+        nra = NoRandomAccessAlgorithm().run_on(
+            inst.database, inst.aggregation, 1
+        )
+        graded = StreamCombine().run_on(inst.database, inst.aggregation, 1)
+        rows.append(
+            {
+                "n": n,
+                "nra_depth": nra.depth,
+                "nra_cost": nra.middleware_cost,
+                "exact_grade": nra.items[0].grade,
+                "graded_depth": graded.depth,
+                "graded_cost": graded.middleware_cost,
+            }
+        )
+    return rows
+
+
+def bench_figure_4(benchmark):
+    rows = benchmark.pedantic(run_series, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["n", "NRA depth", "NRA cost", "NRA grade known?",
+             "grade-required depth", "grade-required cost"],
+            [
+                [r["n"], r["nra_depth"], r["nra_cost"],
+                 "no" if r["exact_grade"] is None else "yes",
+                 r["graded_depth"], r["graded_cost"]]
+                for r in rows
+            ],
+            title="Figure 4 (Example 8.3): top object identified at depth "
+            "2; its grade costs a full scan of L2",
+        )
+    )
+    for r in rows:
+        assert r["nra_depth"] == 2
+        assert r["nra_cost"] == 4.0
+        assert r["exact_grade"] is None  # grade never determined
+        assert r["graded_depth"] >= r["n"] - 2  # essentially a full scan
+    # separation unbounded in n
+    assert rows[-1]["graded_cost"] > 100 * rows[-1]["nra_cost"]
+
+
+def bench_figure_4_c2_less_than_c1(benchmark):
+    """The paper's remark after Example 8.3: with R' added, C2 < C1."""
+
+    def run():
+        inst = example_8_3(200, with_second=True)
+        c1 = NoRandomAccessAlgorithm().run_on(
+            inst.database, inst.aggregation, 1
+        )
+        c2 = NoRandomAccessAlgorithm().run_on(
+            inst.database, inst.aggregation, 2
+        )
+        return c1, c2
+
+    c1, c2 = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["k", "cost", "depth", "objects"],
+            [
+                [1, c1.middleware_cost, c1.depth, c1.objects],
+                [2, c2.middleware_cost, c2.depth, c2.objects],
+            ],
+            title="Figure 4 variant: cost of top-2 is *less* than top-1 "
+            "(C2 < C1)",
+        )
+    )
+    assert c2.middleware_cost < c1.middleware_cost

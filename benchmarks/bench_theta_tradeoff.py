@@ -1,0 +1,99 @@
+"""Section 6.2: the approximation dial.
+
+Paper claims reproduced here:
+
+* TA-theta's cost is non-increasing in theta (a bigger allowed error
+  never costs more), with the verified theta-guarantee holding at every
+  point of the curve;
+* the interactive early-stopping guarantee theta(d) = tau/beta is
+  non-increasing in depth once the buffer is full, so a user watching
+  the dial sees monotone progress.
+"""
+
+from _util import emit
+
+from repro.aggregation import AVERAGE
+from repro.analysis import format_table, is_theta_approximation
+from repro.core import ApproximateThresholdAlgorithm, ThresholdAlgorithm
+from repro.datagen import uniform, zipf_skewed
+
+THETAS = [1.01, 1.05, 1.1, 1.25, 1.5, 2.0]
+K = 10
+
+
+def theta_curve(db):
+    exact = ThresholdAlgorithm().run_on(db, AVERAGE, K)
+    rows = [[1.0, exact.middleware_cost, exact.depth, True]]
+    for theta in THETAS:
+        res = ApproximateThresholdAlgorithm(theta=theta).run_on(
+            db, AVERAGE, K
+        )
+        ok = is_theta_approximation(db, AVERAGE, K, res.objects, theta)
+        rows.append([theta, res.middleware_cost, res.depth, ok])
+    return rows
+
+
+def bench_theta_cost_curve_uniform(benchmark):
+    db = uniform(10_000, 3, seed=31)
+    rows = benchmark.pedantic(theta_curve, args=(db,), rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["theta", "cost", "depth", "guarantee verified"],
+            rows,
+            title="TA-theta cost curve, uniform N=10000 m=3 k=10",
+        )
+    )
+    costs = [r[1] for r in rows]
+    assert costs == sorted(costs, reverse=True)  # non-increasing in theta
+    assert all(r[3] for r in rows)
+    assert costs[-1] < costs[0]  # the dial actually buys something
+
+
+def bench_theta_cost_curve_zipf(benchmark):
+    db = zipf_skewed(10_000, 3, alpha=2.0, seed=31)
+    rows = benchmark.pedantic(theta_curve, args=(db,), rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["theta", "cost", "depth", "guarantee verified"],
+            rows,
+            title="TA-theta cost curve, zipf N=10000 m=3 k=10",
+        )
+    )
+    costs = [r[1] for r in rows]
+    assert costs == sorted(costs, reverse=True)
+    assert all(r[3] for r in rows)
+
+
+def bench_early_stop_guarantee_monotone(benchmark):
+    """The live guarantee the user watches shrinks monotonically (up to
+    rounding in beta's growth)."""
+
+    def run():
+        db = uniform(5_000, 2, seed=33)
+        samples = []
+
+        def observer(view):
+            samples.append((view.depth, view.guarantee))
+            return False
+
+        algo = ApproximateThresholdAlgorithm(theta=1.0001)
+        algo.run_interactive(algo.make_session(db), AVERAGE, K, observer)
+        return samples
+
+    samples = benchmark.pedantic(run, rounds=1, iterations=1)
+    shown = samples[:: max(1, len(samples) // 10)]
+    emit(
+        format_table(
+            ["depth", "live guarantee theta(d)"],
+            shown,
+            title="interactive early stopping: guarantee vs depth",
+        )
+    )
+    guarantees = [g for _, g in samples]
+    # non-increasing up to tiny float wiggle
+    for earlier, later in zip(guarantees, guarantees[1:]):
+        assert later <= earlier + 1e-9
+    # the last view precedes the halting round, so it sits just above
+    # the exact-answer guarantee of 1
+    assert guarantees[-1] <= 1.05
+    assert guarantees[0] > guarantees[-1]

@@ -1,0 +1,29 @@
+"""Benchmark-harness configuration.
+
+The benchmark modules buffer their regenerated paper tables via
+``_util.emit``; this hook prints them after the run (terminal-summary
+output is never captured by pytest) and archives them under
+``benchmarks/results/latest.txt`` so EXPERIMENTS.md can reference a
+stable artefact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    from _util import drain
+
+    tables = drain()
+    if not tables:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_sep("=", "regenerated paper tables")
+    for text in tables:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / "latest.txt").write_text("\n\n".join(tables) + "\n")

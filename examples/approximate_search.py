@@ -1,0 +1,85 @@
+"""Approximate top-k and interactive early stopping (Section 6.2).
+
+Two modes:
+
+1. **Fixed theta**: TA-theta halts as soon as the current answers are
+   within a factor theta of optimal -- trading answer quality for cost
+   along a curve this example prints.
+2. **Interactive**: the user watches the live guarantee theta = tau/beta
+   shrink round by round and stops when satisfied; whatever is on screen
+   is certified to be a theta-approximation.
+
+Run:  python examples/approximate_search.py
+"""
+
+from repro import AVERAGE, datagen
+from repro.analysis import format_table, is_theta_approximation
+from repro.core import ApproximateThresholdAlgorithm, ThresholdAlgorithm
+
+
+def theta_sweep(db, k: int) -> None:
+    exact = ThresholdAlgorithm().run_on(db, AVERAGE, k)
+    rows = [["1 (exact TA)", exact.middleware_cost, exact.depth, "yes"]]
+    for theta in (1.01, 1.05, 1.1, 1.25, 1.5, 2.0):
+        res = ApproximateThresholdAlgorithm(theta=theta).run_on(
+            db, AVERAGE, k
+        )
+        ok = is_theta_approximation(db, AVERAGE, k, res.objects, theta)
+        rows.append(
+            [f"{theta:g}", res.middleware_cost, res.depth, "yes" if ok else "NO"]
+        )
+    print(
+        format_table(
+            ["theta", "middleware cost", "depth", "guarantee verified"],
+            rows,
+            title=f"cost vs approximation quality (N={db.num_objects}, "
+            f"m={db.num_lists}, k={k})\n",
+        )
+    )
+
+
+def interactive_session(db, k: int) -> None:
+    print("\ninteractive run: stop when the guarantee reaches 1.15")
+    shown = []
+
+    def observer(view) -> bool:
+        if len(shown) < 12 or view.guarantee <= 1.15:
+            shown.append(
+                [
+                    view.round,
+                    view.depth,
+                    f"{view.tau:.4f}",
+                    f"{view.beta:.4f}",
+                    f"{view.guarantee:.4f}",
+                ]
+            )
+        return view.guarantee <= 1.15
+
+    algo = ApproximateThresholdAlgorithm(theta=1.000001)
+    result = algo.run_interactive(
+        algo.make_session(db), AVERAGE, k, stop_when=observer
+    )
+    print(
+        format_table(
+            ["round", "depth", "threshold tau", "k-th grade beta", "theta"],
+            shown[:8] + shown[-1:],
+        )
+    )
+    print(
+        f"\nstopped at depth {result.depth} with certified guarantee "
+        f"{result.extras['guarantee']:.4f}; answers: "
+        f"{[item.obj for item in result.items]}"
+    )
+    assert is_theta_approximation(
+        db, AVERAGE, k, result.objects, result.extras["guarantee"] + 1e-9
+    )
+
+
+def main() -> None:
+    db = datagen.zipf_skewed(n=20_000, m=3, alpha=2.0, seed=17)
+    theta_sweep(db, k=10)
+    interactive_session(db, k=10)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Broadcast scheduling: the Aksoy-Franklin application (Section 1).
+
+An on-demand broadcast server repeatedly picks the next page to send.
+Each page has two attributes: how long the earliest outstanding request
+has waited, and how many users are waiting.  Aksoy and Franklin's RxW
+policy broadcasts the page maximising t(x1, x2) = x1 * x2 -- i.e. a
+top-1 middleware query with the product aggregation, re-evaluated every
+tick.
+
+The example simulates the request queue and runs a scheduling loop: at
+every tick, TA answers the top-1 query over the two sorted lists, the
+winning page is broadcast (its requests clear), and new requests arrive.
+TA's cost per tick stays near the top of the lists -- far below the
+naive rescan the original system used.
+
+Run:  python examples/broadcast_scheduler.py
+"""
+
+import random
+
+from repro import PRODUCT, ThresholdAlgorithm
+from repro.analysis import format_table
+from repro.middleware import Database
+
+
+class RequestQueue:
+    """Outstanding requests per page."""
+
+    def __init__(self, n_pages: int, rng: random.Random):
+        self.rng = rng
+        self.n_pages = n_pages
+        self.first_request_tick: dict[int, int] = {}
+        self.waiting_users: dict[int, int] = {}
+
+    def arrivals(self, now: int, count: int) -> None:
+        for _ in range(count):
+            # Zipf-ish popularity: low page ids are hot
+            page = min(
+                int(self.rng.paretovariate(1.2)) % self.n_pages,
+                self.n_pages - 1,
+            )
+            self.waiting_users[page] = self.waiting_users.get(page, 0) + 1
+            self.first_request_tick.setdefault(page, now)
+
+    def broadcast(self, page: int) -> None:
+        self.waiting_users.pop(page, None)
+        self.first_request_tick.pop(page, None)
+
+    def snapshot(self, now: int) -> Database | None:
+        """The two sorted lists: normalised wait time (R) and user count
+        (W).  Returns None when no requests are pending."""
+        if not self.waiting_users:
+            return None
+        max_wait = max(now - t for t in self.first_request_tick.values()) or 1
+        max_users = max(self.waiting_users.values())
+        rows = {}
+        for page, users in self.waiting_users.items():
+            wait = now - self.first_request_tick[page]
+            rows[page] = (wait / max_wait, users / max_users)
+        return Database.from_rows(rows)
+
+
+def main() -> None:
+    rng = random.Random(3)
+    queue = RequestQueue(n_pages=5000, rng=rng)
+    scheduler = ThresholdAlgorithm()
+
+    ticks = 200
+    total_cost = 0.0
+    total_entries = 0
+    broadcast_log = []
+    for now in range(ticks):
+        queue.arrivals(now, count=rng.randint(20, 60))
+        db = queue.snapshot(now)
+        if db is None:
+            continue
+        result = scheduler.run_on(db, PRODUCT, k=1)
+        winner = result.items[0]
+        total_cost += result.middleware_cost
+        total_entries += db.num_objects
+        broadcast_log.append(
+            (now, winner.obj, winner.grade, db.num_objects, result.depth)
+        )
+        queue.broadcast(winner.obj)
+
+    print("RxW broadcast scheduler -- last 10 decisions:")
+    rows = [
+        [tick, f"page-{page}", f"{score:.4f}", pending, depth]
+        for tick, page, score, pending, depth in broadcast_log[-10:]
+    ]
+    print(
+        format_table(
+            ["tick", "broadcast", "RxW score", "pending pages", "TA depth"],
+            rows,
+        )
+    )
+    avg_depth = sum(r[4] for r in broadcast_log) / len(broadcast_log)
+    avg_pending = sum(r[3] for r in broadcast_log) / len(broadcast_log)
+    print(
+        f"\nover {len(broadcast_log)} ticks TA examined on average the top "
+        f"{avg_depth:.1f} of {avg_pending:.0f} pending pages per decision "
+        f"(naive rescan: all of them, every tick)."
+    )
+    print(f"total middleware cost: {total_cost:g} for {total_entries} entries")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""repro -- a reproduction of *Optimal Aggregation Algorithms for
+Middleware* (Fagin, Lotem, Naor; PODS 2001).
+
+The library implements the paper's model and every algorithm it
+analyses:
+
+* the middleware substrate (``m`` sorted lists, sorted/random access,
+  middleware cost ``s*cS + r*cR``) -- :mod:`repro.middleware`;
+* monotone aggregation functions with the paper's property taxonomy --
+  :mod:`repro.aggregation`;
+* TA, TA-theta, TAZ, NRA, CA, FA and the related-work baselines --
+  :mod:`repro.core`;
+* synthetic and adversarial workloads -- :mod:`repro.datagen`;
+* the instance-optimality measurement harness -- :mod:`repro.analysis`.
+
+Quick start::
+
+    from repro import ThresholdAlgorithm, AVERAGE, datagen
+
+    db = datagen.uniform(n=10_000, m=3, seed=7)
+    result = ThresholdAlgorithm().run_on(db, AVERAGE, k=10)
+    print(result.summary())
+"""
+
+from . import aggregation, analysis, core, datagen, middleware
+from .aggregation import (
+    AVERAGE,
+    MAX,
+    MEDIAN,
+    MIN,
+    PRODUCT,
+    SUM,
+    AggregationFunction,
+    make_aggregation,
+)
+from .core import (
+    ApproximateThresholdAlgorithm,
+    CombinedAlgorithm,
+    FaginAlgorithm,
+    IntermittentAlgorithm,
+    MaxAlgorithm,
+    NaiveAlgorithm,
+    NoRandomAccessAlgorithm,
+    QuickCombine,
+    RestrictedSortedAccessTA,
+    StreamCombine,
+    ThresholdAlgorithm,
+    TopKResult,
+)
+from .middleware import (
+    AccessSession,
+    CostModel,
+    Database,
+    GradedSource,
+    ListCapabilities,
+    assemble_database,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "aggregation",
+    "analysis",
+    "core",
+    "datagen",
+    "middleware",
+    "AVERAGE",
+    "MAX",
+    "MEDIAN",
+    "MIN",
+    "PRODUCT",
+    "SUM",
+    "AggregationFunction",
+    "make_aggregation",
+    "ApproximateThresholdAlgorithm",
+    "CombinedAlgorithm",
+    "FaginAlgorithm",
+    "IntermittentAlgorithm",
+    "MaxAlgorithm",
+    "NaiveAlgorithm",
+    "NoRandomAccessAlgorithm",
+    "QuickCombine",
+    "RestrictedSortedAccessTA",
+    "StreamCombine",
+    "ThresholdAlgorithm",
+    "TopKResult",
+    "AccessSession",
+    "CostModel",
+    "Database",
+    "GradedSource",
+    "ListCapabilities",
+    "assemble_database",
+    "__version__",
+]

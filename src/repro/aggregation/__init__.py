@@ -1,0 +1,87 @@
+"""Aggregation functions (combining rules) for middleware top-k queries.
+
+Public surface:
+
+* :class:`~repro.aggregation.base.AggregationFunction` -- the base class,
+  including the ``W``/``B`` bound substitutions used by NRA and CA;
+* :func:`~repro.aggregation.base.make_aggregation` -- wrap a plain callable;
+* the standard functions (``MIN``, ``MAX``, ``AVERAGE``, ...), fuzzy
+  t-norms, and the paper's special-purpose functions;
+* empirical property checkers in :mod:`repro.aggregation.properties`.
+"""
+
+from .base import (
+    AggregationError,
+    AggregationFunction,
+    ArityError,
+    FunctionAdapter,
+    make_aggregation,
+)
+from .composite import (
+    Example73Aggregation,
+    MinOfFirstTwo,
+    MinOfSumFirstTwo,
+    Transformed,
+)
+from .standard import (
+    AVERAGE,
+    MAX,
+    MEDIAN,
+    MIN,
+    PRODUCT,
+    SUM,
+    Average,
+    Constant,
+    GeometricMean,
+    HarmonicMean,
+    KthLargest,
+    Max,
+    Median,
+    Min,
+    Product,
+    Sum,
+    WeightedSum,
+)
+from .tnorms import (
+    BoundedSum,
+    DrasticProduct,
+    EinsteinProduct,
+    HamacherProduct,
+    LukasiewiczTNorm,
+    ProbabilisticSum,
+)
+
+__all__ = [
+    "AggregationError",
+    "AggregationFunction",
+    "ArityError",
+    "FunctionAdapter",
+    "make_aggregation",
+    "Example73Aggregation",
+    "MinOfFirstTwo",
+    "MinOfSumFirstTwo",
+    "Transformed",
+    "Average",
+    "Constant",
+    "GeometricMean",
+    "HarmonicMean",
+    "KthLargest",
+    "Max",
+    "Median",
+    "Min",
+    "Product",
+    "Sum",
+    "WeightedSum",
+    "AVERAGE",
+    "MAX",
+    "MEDIAN",
+    "MIN",
+    "PRODUCT",
+    "SUM",
+    "BoundedSum",
+    "DrasticProduct",
+    "EinsteinProduct",
+    "HamacherProduct",
+    "LukasiewiczTNorm",
+    "ProbabilisticSum",
+]

@@ -1,0 +1,224 @@
+"""Core aggregation-function framework.
+
+The paper models a middleware query as a choice of *aggregation function*
+``t``: if ``x1, ..., xm`` (each in ``[0, 1]``) are the grades of an object
+under the ``m`` attributes, then ``t(x1, ..., xm)`` is the object's overall
+grade.  Algorithms in :mod:`repro.core` are parameterised by such a function
+and rely on a small set of structural properties that the paper's theorems
+are conditioned on:
+
+monotone
+    ``t(x) <= t(x')`` whenever ``xi <= xi'`` for every ``i``.  Required by
+    every algorithm in the paper (TA's correctness, Theorem 4.1, already
+    needs it).
+
+strict
+    ``t(x1, ..., xm) = 1`` holds *precisely* when ``xi = 1`` for every ``i``.
+    Intuitively the function represents a notion of conjunction.  Needed for
+    the tight optimality-ratio results (Corollary 6.2, Theorem 9.1).
+
+strictly monotone
+    ``t(x) < t(x')`` whenever ``xi < xi'`` for *every* ``i``.  Needed for
+    Theorem 6.5 (instance optimality of TA even against wild guesses, under
+    the distinctness property).
+
+strictly monotone in each argument (SMV)
+    strictly increasing whenever a single argument strictly increases and
+    the rest are held fixed.  Needed for Theorem 8.9 (instance optimality of
+    CA with ratio independent of ``cR/cS``).
+
+Subclasses declare these properties as class attributes; they are treated as
+assertions about the mathematical function and are validated empirically by
+:mod:`repro.aggregation.properties` in the test-suite.
+
+Besides evaluation, the framework provides the two bound substitutions that
+the NRA and CA algorithms (Section 8 of the paper) are built on:
+
+* ``worst_case`` -- the lower bound ``W_S(R)``: substitute ``0`` for every
+  unknown field (Proposition 8.1: ``t(R) >= W_S(R)``);
+* ``best_case`` -- the upper bound ``B_S(R)``: substitute the current bottom
+  value of the corresponding list for every unknown field (Proposition 8.2:
+  ``t(R) <= B_S(R)``);
+* ``threshold`` -- the TA threshold ``tau = t(bottom_1, ..., bottom_m)``,
+  which coincides with ``best_case`` of a completely unseen object.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Mapping, Sequence
+
+__all__ = [
+    "AggregationError",
+    "ArityError",
+    "AggregationFunction",
+    "FunctionAdapter",
+    "make_aggregation",
+]
+
+
+class AggregationError(ValueError):
+    """Base class for errors raised by aggregation functions."""
+
+
+class ArityError(AggregationError):
+    """A grade vector of the wrong length was supplied."""
+
+    def __init__(self, name: str, expected: int, got: int):
+        super().__init__(
+            f"aggregation function {name!r} expects {expected} arguments, got {got}"
+        )
+        self.expected = expected
+        self.got = got
+
+
+class AggregationFunction(ABC):
+    """A monotone aggregation function ``t(x1, ..., xm)``.
+
+    Instances are callable: ``t([0.2, 0.9])`` evaluates the function on a
+    grade vector.  Hot loops may call :meth:`aggregate` directly with a
+    tuple to skip the arity check and conversion.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name used in reports and reprs.
+    arity:
+        Required number of arguments, or ``None`` if the function is
+        variadic (defined for every ``m >= 1``).
+    monotone, strict, strictly_monotone, strictly_monotone_each_argument:
+        Declared structural properties (see module docstring).  SMV implies
+        strictly monotone; the constructor of concrete classes is expected
+        to keep the flags consistent.
+    """
+
+    name: str = "t"
+    arity: int | None = None
+    monotone: bool = True
+    strict: bool = False
+    strictly_monotone: bool = False
+    strictly_monotone_each_argument: bool = False
+
+    def __call__(self, grades: Sequence[float]) -> float:
+        values = tuple(grades)
+        self.check_arity(len(values))
+        return self.aggregate(values)
+
+    @abstractmethod
+    def aggregate(self, grades: tuple[float, ...]) -> float:
+        """Evaluate the function on an already-validated grade tuple."""
+
+    # ------------------------------------------------------------------
+    # arity handling
+    # ------------------------------------------------------------------
+    def check_arity(self, m: int) -> None:
+        """Raise :class:`ArityError` if the function is undefined for ``m``."""
+        if m < 1:
+            raise ArityError(self.name, self.arity or 1, m)
+        if self.arity is not None and m != self.arity:
+            raise ArityError(self.name, self.arity, m)
+
+    # ------------------------------------------------------------------
+    # bound substitutions used by NRA / CA (Section 8 of the paper)
+    # ------------------------------------------------------------------
+    def worst_case(self, known: Mapping[int, float], m: int) -> float:
+        """Lower bound ``W_S(R)``: unknown fields replaced by ``0``.
+
+        ``known`` maps field index (0-based) to the discovered grade; ``m``
+        is the total number of lists.
+        """
+        return self.aggregate(tuple(known.get(i, 0.0) for i in range(m)))
+
+    def best_case(
+        self, known: Mapping[int, float], bottoms: Sequence[float]
+    ) -> float:
+        """Upper bound ``B_S(R)``: unknown fields replaced by bottom values.
+
+        ``bottoms[i]`` is the last (smallest) grade seen under sorted access
+        in list ``i`` (``1.0`` if the list has not been accessed).
+        """
+        return self.aggregate(
+            tuple(known.get(i, bottoms[i]) for i in range(len(bottoms)))
+        )
+
+    def threshold(self, bottoms: Sequence[float]) -> float:
+        """The TA threshold ``tau = t(bottom_1, ..., bottom_m)``."""
+        return self.aggregate(tuple(bottoms))
+
+    # ------------------------------------------------------------------
+    # heuristic support (Quick-Combine, Section 10)
+    # ------------------------------------------------------------------
+    def heuristic_weight(self, index: int, m: int) -> float:
+        """Relative influence of argument ``index`` for list-scheduling
+        heuristics.
+
+        Quick-Combine ranks lists by an estimate of
+        ``dt/dx_i * (grade decline)``.  For functions without a meaningful
+        partial derivative (e.g. ``min``) a uniform weight of ``1.0`` is
+        used; weighted functions override this.
+        """
+        return 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class FunctionAdapter(AggregationFunction):
+    """Wrap a plain callable as an :class:`AggregationFunction`.
+
+    This is the extension point for user-defined combining rules::
+
+        t = make_aggregation(lambda g: 0.7 * g[0] + 0.3 * g[1],
+                             name="skewed-sum", arity=2,
+                             strictly_monotone_each_argument=True)
+
+    The declared property flags are trusted by the algorithms; validate
+    them with :func:`repro.aggregation.properties.verify_declared_properties`
+    if in doubt.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[tuple[float, ...]], float],
+        name: str = "custom",
+        arity: int | None = None,
+        monotone: bool = True,
+        strict: bool = False,
+        strictly_monotone: bool = False,
+        strictly_monotone_each_argument: bool = False,
+    ):
+        self._fn = fn
+        self.name = name
+        self.arity = arity
+        self.monotone = monotone
+        self.strict = strict
+        # SMV implies strictly monotone: raising every coordinate can be
+        # decomposed into m single-coordinate raises.
+        self.strictly_monotone = (
+            strictly_monotone or strictly_monotone_each_argument
+        )
+        self.strictly_monotone_each_argument = strictly_monotone_each_argument
+
+    def aggregate(self, grades: tuple[float, ...]) -> float:
+        return self._fn(grades)
+
+
+def make_aggregation(
+    fn: Callable[[tuple[float, ...]], float],
+    name: str = "custom",
+    arity: int | None = None,
+    monotone: bool = True,
+    strict: bool = False,
+    strictly_monotone: bool = False,
+    strictly_monotone_each_argument: bool = False,
+) -> AggregationFunction:
+    """Convenience constructor for :class:`FunctionAdapter`."""
+    return FunctionAdapter(
+        fn,
+        name=name,
+        arity=arity,
+        monotone=monotone,
+        strict=strict,
+        strictly_monotone=strictly_monotone,
+        strictly_monotone_each_argument=strictly_monotone_each_argument,
+    )

@@ -1,0 +1,131 @@
+"""Aggregation functions built specifically for the paper's theorems and
+counterexamples, plus generic combinators.
+
+* :class:`MinOfSumFirstTwo` is the "unusual" function of Theorem 9.2,
+  ``t(x1, ..., xm) = min(x1 + x2, x3, ..., xm)``, chosen there because it is
+  strictly monotone yet no deterministic algorithm can beat an optimality
+  ratio of ``(m-2)/2 * cR/cS`` on distinct-grade databases.
+* :class:`Example73Aggregation` is the three-argument function of
+  Example 7.3, ``t(x, y, z) = min(x, y)`` if ``z = 1`` else
+  ``min(x, y, z) / 2`` -- strictly monotone *and* strict, used to show that
+  TAZ is not instance optimal under the distinctness property.
+* :class:`MinOfFirstTwo` is footnote 18's ``t(x1, ..., xm) = min(x1, x2)``
+  with ``m >= 3``, for which TA is not *tightly* instance optimal.
+* :class:`Transformed` composes an aggregation function with a monotone
+  outer transform, a generic way to build new monotone rules.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from .base import AggregationError, AggregationFunction
+
+__all__ = [
+    "MinOfSumFirstTwo",
+    "Example73Aggregation",
+    "MinOfFirstTwo",
+    "Transformed",
+]
+
+
+class MinOfSumFirstTwo(AggregationFunction):
+    """``t(x1, ..., xm) = min(x1 + x2, x3, ..., xm)`` (Theorem 9.2).
+
+    Strictly monotone (every coordinate raise strictly raises both the sum
+    and the other terms) but neither strict (``t = 1`` at e.g.
+    ``(0.5, 0.5, 1, ..., 1)``) nor SMV (the min freezes non-active
+    coordinates).  Requires ``m >= 3``.
+    """
+
+    name = "min(x1+x2, x3..xm)"
+    strictly_monotone = True
+
+    def check_arity(self, m: int) -> None:
+        super().check_arity(m)
+        if m < 3:
+            raise AggregationError(f"{self.name} requires m >= 3, got {m}")
+
+    def aggregate(self, grades: tuple[float, ...]) -> float:
+        return min(grades[0] + grades[1], *grades[2:])
+
+
+class Example73Aggregation(AggregationFunction):
+    """The 3-ary function of Example 7.3.
+
+    ``t(x, y, z) = min(x, y)`` when ``z = 1`` and ``min(x, y, z) / 2``
+    otherwise.  The paper verifies it is both strictly monotone and strict;
+    the discontinuity at ``z = 1`` is what makes the TA threshold "too
+    conservative" for TAZ when list 3 cannot be sorted-accessed.
+    """
+
+    name = "example-7.3"
+    arity = 3
+    strict = True
+    strictly_monotone = True
+
+    def aggregate(self, grades: tuple[float, ...]) -> float:
+        x, y, z = grades
+        if z == 1.0:
+            return min(x, y)
+        return min(x, y, z) / 2.0
+
+
+class MinOfFirstTwo(AggregationFunction):
+    """``t(x1, ..., xm) = min(x1, x2)`` ignoring the remaining arguments
+    (footnote 18).
+
+    Monotone and strictly monotone, not strict for ``m >= 3`` (the ignored
+    coordinates may be anything).  TA is instance optimal for it but not
+    *tightly* so when ``m >= 3``.
+    """
+
+    name = "min(x1,x2)"
+
+    def __init__(self, m: int = 3):
+        if m < 2:
+            raise AggregationError(f"MinOfFirstTwo requires m >= 2, got {m}")
+        self.arity = m
+        self.strict = m == 2
+        self.strictly_monotone = True
+
+    def aggregate(self, grades: tuple[float, ...]) -> float:
+        return min(grades[0], grades[1])
+
+
+class Transformed(AggregationFunction):
+    """``f(t(x))`` for a monotone non-decreasing outer transform ``f``.
+
+    Monotonicity of the composition follows from monotonicity of both
+    parts.  Strictness-style flags must be supplied by the caller because
+    they depend on ``f`` (e.g. a constant ``f`` destroys everything, while
+    a strictly increasing ``f`` with ``f(1) = 1`` preserves all flags).
+    """
+
+    def __init__(
+        self,
+        inner: AggregationFunction,
+        transform: Callable[[float], float],
+        name: str | None = None,
+        strict: bool = False,
+        strictly_monotone: bool = False,
+        strictly_monotone_each_argument: bool = False,
+    ):
+        self._inner = inner
+        self._transform = transform
+        self.arity = inner.arity
+        self.name = name or f"f({inner.name})"
+        self.strict = strict
+        self.strictly_monotone = (
+            strictly_monotone or strictly_monotone_each_argument
+        )
+        self.strictly_monotone_each_argument = strictly_monotone_each_argument
+
+    def check_arity(self, m: int) -> None:
+        self._inner.check_arity(m)
+
+    def aggregate(self, grades: tuple[float, ...]) -> float:
+        return self._transform(self._inner.aggregate(grades))
+
+    def heuristic_weight(self, index: int, m: int) -> float:
+        return self._inner.heuristic_weight(index, m)

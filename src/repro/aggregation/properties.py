@@ -1,0 +1,174 @@
+"""Empirical validation of declared aggregation-function properties.
+
+The algorithms trust the property flags declared on an
+:class:`~repro.aggregation.base.AggregationFunction` (e.g. CA's instance
+optimality needs strict monotonicity in each argument).  These helpers
+randomly probe a function so the test-suite -- and users wrapping their own
+callables with :func:`~repro.aggregation.base.make_aggregation` -- can catch
+mis-declared flags.
+
+All checks are sound in one direction only: a returned counterexample
+disproves the property; absence of one after ``trials`` probes is evidence,
+not proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import AggregationFunction
+
+__all__ = [
+    "Counterexample",
+    "find_monotonicity_violation",
+    "find_strictness_violation",
+    "find_strict_monotonicity_violation",
+    "find_smv_violation",
+    "verify_declared_properties",
+]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A pair of grade vectors witnessing a property violation."""
+
+    property_name: str
+    lower: tuple[float, ...]
+    upper: tuple[float, ...]
+    value_lower: float
+    value_upper: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.property_name} violated: t{self.lower} = {self.value_lower} "
+            f"vs t{self.upper} = {self.value_upper}"
+        )
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _dominated_pair(
+    rng: np.random.Generator, m: int, strict: bool
+) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """Draw ``x <= y`` coordinatewise (strictly if ``strict``)."""
+    lo = rng.random(m)
+    if strict:
+        hi = lo + rng.random(m) * (1.0 - lo) * 0.999 + 1e-9
+        hi = np.minimum(hi, 1.0)
+        # ensure strictness even after clipping
+        lo = np.minimum(lo, hi - 1e-12)
+        lo = np.maximum(lo, 0.0)
+    else:
+        hi = lo + rng.random(m) * (1.0 - lo)
+    return tuple(lo.tolist()), tuple(hi.tolist())
+
+
+def find_monotonicity_violation(
+    t: AggregationFunction, m: int, trials: int = 400, seed=0
+) -> Counterexample | None:
+    """Search for ``x <= y`` with ``t(x) > t(y)``."""
+    rng = _rng(seed)
+    for _ in range(trials):
+        lo, hi = _dominated_pair(rng, m, strict=False)
+        v_lo, v_hi = t(lo), t(hi)
+        if v_lo > v_hi + _EPS:
+            return Counterexample("monotone", lo, hi, v_lo, v_hi)
+    return None
+
+
+def find_strictness_violation(
+    t: AggregationFunction, m: int, trials: int = 400, seed=0
+) -> Counterexample | None:
+    """Search for a violation of ``t(x) = 1  <=>  x = (1, ..., 1)``."""
+    ones = (1.0,) * m
+    v = t(ones)
+    if abs(v - 1.0) > _EPS:
+        return Counterexample("strict (t(1..1)=1)", ones, ones, v, v)
+    rng = _rng(seed)
+    for _ in range(trials):
+        x = rng.random(m)
+        # force at least one coordinate strictly below 1
+        x[rng.integers(m)] = min(x[rng.integers(m)], 1.0 - 1e-6)
+        # sprinkle exact ones elsewhere to probe the boundary
+        if rng.random() < 0.5:
+            ones_at = rng.random(m) < 0.5
+            x = np.where(ones_at, 1.0, x)
+            if bool(ones_at.all()):
+                x[rng.integers(m)] = 0.5
+        vec = tuple(x.tolist())
+        value = t(vec)
+        if abs(value - 1.0) <= _EPS:
+            return Counterexample("strict (t=1 off all-ones)", vec, ones, value, 1.0)
+    return None
+
+
+def find_strict_monotonicity_violation(
+    t: AggregationFunction, m: int, trials: int = 400, seed=0
+) -> Counterexample | None:
+    """Search for ``x < y`` in every coordinate with ``t(x) >= t(y)``."""
+    rng = _rng(seed)
+    for _ in range(trials):
+        lo, hi = _dominated_pair(rng, m, strict=True)
+        v_lo, v_hi = t(lo), t(hi)
+        if v_lo >= v_hi - _EPS:
+            return Counterexample("strictly monotone", lo, hi, v_lo, v_hi)
+    return None
+
+
+def find_smv_violation(
+    t: AggregationFunction, m: int, trials: int = 400, seed=0
+) -> Counterexample | None:
+    """Search for a single-coordinate strict raise that fails to strictly
+    raise the output (violating strict monotonicity in each argument)."""
+    rng = _rng(seed)
+    for _ in range(trials):
+        x = rng.random(m)
+        i = int(rng.integers(m))
+        y = x.copy()
+        y[i] = x[i] + rng.random() * (1.0 - x[i]) * 0.999 + 1e-9
+        if y[i] > 1.0 or y[i] <= x[i]:
+            continue
+        lo, hi = tuple(x.tolist()), tuple(y.tolist())
+        v_lo, v_hi = t(lo), t(hi)
+        if v_lo >= v_hi - _EPS:
+            return Counterexample(
+                "strictly monotone in each argument", lo, hi, v_lo, v_hi
+            )
+    return None
+
+
+def verify_declared_properties(
+    t: AggregationFunction, m: int, trials: int = 400, seed=0
+) -> dict[str, Counterexample]:
+    """Probe every *declared-true* flag of ``t``; return found violations.
+
+    Only positive claims are tested (a flag declared ``False`` is a
+    non-claim: the function may still happen to satisfy the property).
+    An empty dict means all declared flags survived the probe.
+    """
+    violations: dict[str, Counterexample] = {}
+    if t.monotone:
+        ce = find_monotonicity_violation(t, m, trials, seed)
+        if ce:
+            violations["monotone"] = ce
+    if t.strict:
+        ce = find_strictness_violation(t, m, trials, seed)
+        if ce:
+            violations["strict"] = ce
+    if t.strictly_monotone:
+        ce = find_strict_monotonicity_violation(t, m, trials, seed)
+        if ce:
+            violations["strictly_monotone"] = ce
+    if t.strictly_monotone_each_argument:
+        ce = find_smv_violation(t, m, trials, seed)
+        if ce:
+            violations["strictly_monotone_each_argument"] = ce
+    return violations

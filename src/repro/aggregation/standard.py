@@ -1,0 +1,270 @@
+"""Standard aggregation functions from the paper and the surrounding
+literature.
+
+The paper's running examples are ``min`` (standard fuzzy conjunction),
+``max`` (fuzzy disjunction), ``average``/``sum`` (information retrieval) and
+the two-argument ``product`` (the broadcast-scheduling application of Aksoy
+and Franklin).  ``median`` appears in Section 8 as an example where the
+lower bound ``W`` becomes informative before all fields are known.
+
+Property flags follow the paper's definitions exactly; see
+:mod:`repro.aggregation.base`.  Notable subtleties:
+
+* ``sum`` is *not* strict (``t(1,...,1) = m != 1``), while ``average`` is.
+* ``product`` is strict and strictly monotone but *not* strictly monotone in
+  each argument on ``[0, 1]`` (a zero coordinate freezes the output).
+* ``max`` is the paper's canonical example of a monotone, non-strict
+  function for which FA is far from optimal but TA still is instance
+  optimal (with ratio ``m``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from .base import AggregationError, AggregationFunction
+
+__all__ = [
+    "Min",
+    "Max",
+    "Sum",
+    "Average",
+    "WeightedSum",
+    "Product",
+    "GeometricMean",
+    "HarmonicMean",
+    "Median",
+    "KthLargest",
+    "Constant",
+    "MIN",
+    "MAX",
+    "SUM",
+    "AVERAGE",
+    "PRODUCT",
+    "MEDIAN",
+]
+
+
+class Min(AggregationFunction):
+    """``t = min(x1, ..., xm)`` -- the standard fuzzy conjunction.
+
+    Strict and strictly monotone, but not strictly monotone in each
+    argument (raising a non-minimal coordinate changes nothing).
+    """
+
+    name = "min"
+    strict = True
+    strictly_monotone = True
+
+    def aggregate(self, grades: tuple[float, ...]) -> float:
+        return min(grades)
+
+
+class Max(AggregationFunction):
+    """``t = max(x1, ..., xm)`` -- the standard fuzzy disjunction.
+
+    Monotone and strictly monotone but *not* strict: ``max = 1`` as soon as
+    a single coordinate is 1.  Section 3 notes that for ``max`` there is a
+    trivial algorithm using at most ``m*k`` sorted accesses
+    (:class:`repro.core.max_algorithm.MaxAlgorithm`), so FA's
+    high-probability optimality fails; TA remains instance optimal with
+    ratio ``m`` (footnote 9).
+    """
+
+    name = "max"
+    strict = False
+    strictly_monotone = True
+
+    def aggregate(self, grades: tuple[float, ...]) -> float:
+        return max(grades)
+
+
+class Sum(AggregationFunction):
+    """``t = x1 + ... + xm`` -- the information-retrieval total score.
+
+    Strictly monotone in each argument.  Not strict because the overall
+    grade leaves ``[0, 1]`` (the paper explicitly allows this for sum).
+    """
+
+    name = "sum"
+    strictly_monotone = True
+    strictly_monotone_each_argument = True
+
+    def aggregate(self, grades: tuple[float, ...]) -> float:
+        return math.fsum(grades)
+
+
+class Average(AggregationFunction):
+    """``t = (x1 + ... + xm) / m``.
+
+    Strict, strictly monotone, and strictly monotone in each argument --
+    the best-behaved function in the paper's taxonomy.
+    """
+
+    name = "average"
+    strict = True
+    strictly_monotone = True
+    strictly_monotone_each_argument = True
+
+    def aggregate(self, grades: tuple[float, ...]) -> float:
+        return math.fsum(grades) / len(grades)
+
+
+class WeightedSum(AggregationFunction):
+    """``t = sum(w_i * x_i)`` with fixed positive weights.
+
+    ``normalize=True`` scales the weights to sum to 1, which makes the
+    function strict (a convex combination equals 1 only at the all-ones
+    vector when every weight is positive).
+    """
+
+    def __init__(self, weights: Sequence[float], normalize: bool = False):
+        weights = tuple(float(w) for w in weights)
+        if not weights:
+            raise AggregationError("WeightedSum requires at least one weight")
+        if any(w <= 0 for w in weights):
+            raise AggregationError(
+                "WeightedSum weights must be strictly positive to preserve "
+                f"strict monotonicity; got {weights}"
+            )
+        if normalize:
+            total = math.fsum(weights)
+            weights = tuple(w / total for w in weights)
+        self._weights = weights
+        self.arity = len(weights)
+        self.name = f"weighted-sum{list(round(w, 4) for w in weights)}"
+        self.strictly_monotone = True
+        self.strictly_monotone_each_argument = True
+        self.strict = abs(math.fsum(weights) - 1.0) < 1e-12
+
+    @property
+    def weights(self) -> tuple[float, ...]:
+        return self._weights
+
+    def aggregate(self, grades: tuple[float, ...]) -> float:
+        return math.fsum(w * g for w, g in zip(self._weights, grades))
+
+    def heuristic_weight(self, index: int, m: int) -> float:
+        return self._weights[index]
+
+
+class Product(AggregationFunction):
+    """``t = x1 * ... * xm`` -- the algebraic t-norm.
+
+    Used by Aksoy and Franklin's broadcast scheduler with ``m = 2``.
+    Strict and strictly monotone; not SMV on ``[0, 1]`` because a zero
+    coordinate absorbs the product.
+    """
+
+    name = "product"
+    strict = True
+    strictly_monotone = True
+
+    def aggregate(self, grades: tuple[float, ...]) -> float:
+        result = 1.0
+        for g in grades:
+            result *= g
+        return result
+
+
+class GeometricMean(AggregationFunction):
+    """``t = (x1 * ... * xm) ** (1/m)``.
+
+    Same property profile as :class:`Product` (monotone transform of it).
+    """
+
+    name = "geometric-mean"
+    strict = True
+    strictly_monotone = True
+
+    def aggregate(self, grades: tuple[float, ...]) -> float:
+        product = 1.0
+        for g in grades:
+            product *= g
+        return product ** (1.0 / len(grades))
+
+
+class HarmonicMean(AggregationFunction):
+    """``t = m / (1/x1 + ... + 1/xm)``, defined as 0 if any ``xi = 0``."""
+
+    name = "harmonic-mean"
+    strict = True
+    strictly_monotone = True
+
+    def aggregate(self, grades: tuple[float, ...]) -> float:
+        if any(g == 0.0 for g in grades):
+            return 0.0
+        return len(grades) / math.fsum(1.0 / g for g in grades)
+
+
+class Median(AggregationFunction):
+    """The median grade (average of the two middle grades for even ``m``).
+
+    Section 8 uses the 3-ary median as the example where ``W(R)`` becomes
+    informative once two fields are known.  Monotone and strictly monotone,
+    not strict (``median(1, 1, 0) = 1``).
+    """
+
+    name = "median"
+    strictly_monotone = True
+
+    def aggregate(self, grades: tuple[float, ...]) -> float:
+        ordered = sorted(grades)
+        mid, odd = divmod(len(ordered), 2)
+        if odd:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+class KthLargest(AggregationFunction):
+    """The ``j``-th largest grade (``j = 1`` is max, ``j = m`` is min).
+
+    A quantile-style monotone rule; strictly monotone for every ``j``.
+    """
+
+    def __init__(self, j: int):
+        if j < 1:
+            raise AggregationError(f"KthLargest needs j >= 1, got {j}")
+        self._j = j
+        self.name = f"{j}-th-largest"
+        self.strictly_monotone = True
+
+    @property
+    def j(self) -> int:
+        return self._j
+
+    def check_arity(self, m: int) -> None:
+        super().check_arity(m)
+        if m < self._j:
+            raise AggregationError(
+                f"{self.name} is undefined for m={m} < j={self._j}"
+            )
+
+    def aggregate(self, grades: tuple[float, ...]) -> float:
+        return sorted(grades, reverse=True)[self._j - 1]
+
+
+class Constant(AggregationFunction):
+    """``t = c`` regardless of the grades.
+
+    Degenerate but monotone; Section 3 uses it to show FA is not optimal
+    for every monotone function (any ``k`` objects are a correct answer,
+    with O(1) cost).
+    """
+
+    def __init__(self, value: float = 1.0):
+        self._value = float(value)
+        self.name = f"constant({self._value})"
+
+    def aggregate(self, grades: tuple[float, ...]) -> float:
+        return self._value
+
+
+#: Shared stateless instances for the common cases.
+MIN = Min()
+MAX = Max()
+SUM = Sum()
+AVERAGE = Average()
+PRODUCT = Product()
+MEDIAN = Median()

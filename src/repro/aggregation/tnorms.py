@@ -1,0 +1,143 @@
+"""Fuzzy t-norms and t-conorms as aggregation functions.
+
+The paper cites the fuzzy-logic literature (Zimmermann) for the space of
+combining rules: conjunctions are modelled by *t-norms* and disjunctions by
+*t-conorms*.  Binary norms are extended to ``m`` arguments by associative
+folding, which preserves monotonicity.
+
+These give the test-suite and benchmarks a family of monotone functions
+with varied property profiles -- in particular monotone-but-not-strictly-
+monotone functions (Lukasiewicz, drastic), which the paper points out exist
+"in the literature for representing conjunction and disjunction"
+(Section 6) and which exercise the boundary of Theorem 6.5's hypotheses.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import AggregationFunction
+
+__all__ = [
+    "LukasiewiczTNorm",
+    "HamacherProduct",
+    "EinsteinProduct",
+    "DrasticProduct",
+    "ProbabilisticSum",
+    "BoundedSum",
+]
+
+
+class LukasiewiczTNorm(AggregationFunction):
+    """``t = max(0, x1 + ... + xm - (m - 1))``.
+
+    Strict (equals 1 only at the all-ones vector) but *not* strictly
+    monotone: any two grade vectors in the zero plateau compare equal.
+    This is the canonical "conjunction that is monotone but not strictly
+    monotone" from the fuzzy literature.
+    """
+
+    name = "lukasiewicz"
+    strict = True
+    strictly_monotone = False
+
+    def aggregate(self, grades: tuple[float, ...]) -> float:
+        return max(0.0, math.fsum(grades) - (len(grades) - 1))
+
+
+def _fold(binary, grades: tuple[float, ...]) -> float:
+    result = grades[0]
+    for g in grades[1:]:
+        result = binary(result, g)
+    return result
+
+
+class HamacherProduct(AggregationFunction):
+    """Hamacher t-norm ``H(x, y) = xy / (x + y - xy)`` (0 at the origin),
+    folded over ``m`` arguments.
+
+    Strict; strictly monotone on ``[0, 1]`` (raising every coordinate off
+    the zero set strictly raises the output); not SMV because zero
+    coordinates absorb.
+    """
+
+    name = "hamacher"
+    strict = True
+    strictly_monotone = True
+
+    @staticmethod
+    def _binary(x: float, y: float) -> float:
+        if x == 0.0 and y == 0.0:
+            return 0.0
+        return (x * y) / (x + y - x * y)
+
+    def aggregate(self, grades: tuple[float, ...]) -> float:
+        return _fold(self._binary, grades)
+
+
+class EinsteinProduct(AggregationFunction):
+    """Einstein t-norm ``E(x, y) = xy / (2 - (x + y - xy))``, folded."""
+
+    name = "einstein"
+    strict = True
+    strictly_monotone = True
+
+    @staticmethod
+    def _binary(x: float, y: float) -> float:
+        return (x * y) / (2.0 - (x + y - x * y))
+
+    def aggregate(self, grades: tuple[float, ...]) -> float:
+        return _fold(self._binary, grades)
+
+
+class DrasticProduct(AggregationFunction):
+    """Drastic t-norm: ``min(x)`` if all other coordinates are 1, else 0.
+
+    Folded form: the m-ary drastic product equals ``min(grades)`` when at
+    most one grade differs from 1, and 0 otherwise.  The least t-norm;
+    monotone and strict, far from strictly monotone.
+    """
+
+    name = "drastic"
+    strict = True
+    strictly_monotone = False
+
+    def aggregate(self, grades: tuple[float, ...]) -> float:
+        below_one = [g for g in grades if g < 1.0]
+        if not below_one:
+            return 1.0
+        if len(below_one) == 1:
+            return below_one[0]
+        return 0.0
+
+
+class ProbabilisticSum(AggregationFunction):
+    """t-conorm ``S(x) = 1 - prod(1 - xi)`` (noisy-or).
+
+    Monotone, strictly monotone, not strict (saturates at 1 as soon as one
+    coordinate is 1).
+    """
+
+    name = "probabilistic-sum"
+    strict = False
+    strictly_monotone = True
+
+    def aggregate(self, grades: tuple[float, ...]) -> float:
+        result = 1.0
+        for g in grades:
+            result *= 1.0 - g
+        return 1.0 - result
+
+
+class BoundedSum(AggregationFunction):
+    """t-conorm ``S(x) = min(1, x1 + ... + xm)``.
+
+    Monotone, not strictly monotone (plateau at 1), not strict.
+    """
+
+    name = "bounded-sum"
+    strict = False
+    strictly_monotone = False
+
+    def aggregate(self, grades: tuple[float, ...]) -> float:
+        return min(1.0, math.fsum(grades))

@@ -1,0 +1,90 @@
+"""Instance-optimality analysis: verification, certificate search,
+Table 1 bound formulas, experiment running and reporting."""
+
+from .charts import bar_chart, render_trajectory, sparkline
+from .experiments import (
+    OptimalityMeasurement,
+    check_instance_optimality,
+    optimality_sweep,
+    worst_ratios,
+)
+from .optimality import (
+    Certificate,
+    measured_optimality_ratio,
+    minimal_certificate,
+)
+from .progress import (
+    TrajectoryPoint,
+    bound_trajectory,
+    threshold_trajectory,
+)
+from .report import format_kv, format_table
+from .runner import RunRecord, compare_costs, run_algorithms
+from .statistics import SweepPoint, fit_power_law, seed_average, summarize
+from .tables import (
+    BoundsCell,
+    ca_upper_bound_min,
+    ca_upper_bound_smv,
+    format_table_1,
+    nra_lower_bound_strict,
+    nra_upper_bound,
+    probabilistic_lower_bound,
+    ta_distinctness_upper_bound,
+    ta_lower_bound_strict,
+    ta_upper_bound,
+    table_1,
+    taz_upper_bound,
+    theorem_9_2_lower_bound,
+)
+from .verify import (
+    VerificationError,
+    assert_correct_topk,
+    assert_result_correct,
+    is_correct_topk,
+    is_theta_approximation,
+    true_topk_grades,
+)
+
+__all__ = [
+    "bar_chart",
+    "render_trajectory",
+    "sparkline",
+    "OptimalityMeasurement",
+    "check_instance_optimality",
+    "optimality_sweep",
+    "worst_ratios",
+    "Certificate",
+    "measured_optimality_ratio",
+    "minimal_certificate",
+    "TrajectoryPoint",
+    "bound_trajectory",
+    "threshold_trajectory",
+    "format_kv",
+    "format_table",
+    "RunRecord",
+    "compare_costs",
+    "run_algorithms",
+    "SweepPoint",
+    "fit_power_law",
+    "seed_average",
+    "summarize",
+    "BoundsCell",
+    "ca_upper_bound_min",
+    "ca_upper_bound_smv",
+    "format_table_1",
+    "nra_lower_bound_strict",
+    "nra_upper_bound",
+    "probabilistic_lower_bound",
+    "ta_distinctness_upper_bound",
+    "ta_lower_bound_strict",
+    "ta_upper_bound",
+    "table_1",
+    "taz_upper_bound",
+    "theorem_9_2_lower_bound",
+    "VerificationError",
+    "assert_correct_topk",
+    "assert_result_correct",
+    "is_correct_topk",
+    "is_theta_approximation",
+    "true_topk_grades",
+]

@@ -1,0 +1,97 @@
+"""Terminal charts: sparklines and trajectory plots in plain text.
+
+The library is terminal-first (no plotting dependency); these helpers
+turn sweep series and halting trajectories into compact unicode charts
+for examples, benchmarks and debugging sessions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from .progress import TrajectoryPoint
+
+__all__ = ["sparkline", "bar_chart", "render_trajectory"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _finite(values: Sequence[float]) -> list[float]:
+    return [v for v in values if math.isfinite(v)]
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line unicode sparkline; non-finite values render as spaces."""
+    finite = _finite(values)
+    if not finite:
+        return " " * len(values)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    chars = []
+    for v in values:
+        if not math.isfinite(v):
+            chars.append(" ")
+        elif span == 0:
+            chars.append(_BLOCKS[0])
+        else:
+            index = int((v - lo) / span * (len(_BLOCKS) - 1))
+            chars.append(_BLOCKS[index])
+    return "".join(chars)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart with value annotations."""
+    if len(labels) != len(values):
+        raise ValueError(
+            f"length mismatch: {len(labels)} labels vs {len(values)} values"
+        )
+    finite = _finite(values) or [0.0]
+    peak = max(max(finite), 1e-12)
+    label_width = max((len(str(l)) for l in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        if math.isfinite(value):
+            filled = int(round(width * max(value, 0.0) / peak))
+            bar = "█" * filled
+            lines.append(f"{str(label):>{label_width}}  {bar} {value:g}")
+        else:
+            lines.append(f"{str(label):>{label_width}}  {value}")
+    return "\n".join(lines)
+
+
+def render_trajectory(
+    points: Sequence[TrajectoryPoint],
+    width: int = 60,
+    title: str | None = None,
+) -> str:
+    """Two sparklines (upper bound falling, lower bound rising) plus the
+    crossover summary -- the halting rule at a glance."""
+    if not points:
+        raise ValueError("no trajectory points to render")
+    stride = max(1, len(points) // width)
+    sampled = list(points[::stride])
+    if sampled[-1] is not points[-1]:
+        sampled.append(points[-1])
+    uppers = [p.upper for p in sampled]
+    lowers = [p.lower for p in sampled]
+    lines = [title] if title else []
+    lines.append(f"upper (falls): {sparkline(uppers)}")
+    lines.append(f"lower (rises): {sparkline(lowers)}")
+    last = points[-1]
+    if last.halted:
+        lines.append(
+            f"crossover at depth {last.depth}: halted with "
+            f"upper={last.upper:.6g} <= lower={last.lower:.6g}"
+        )
+    else:
+        lines.append(
+            f"not yet halted at depth {last.depth}: guarantee "
+            f"{last.guarantee:.4g}"
+        )
+    return "\n".join(lines)

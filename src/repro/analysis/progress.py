@@ -1,0 +1,133 @@
+"""Convergence trajectories: how the halting quantities evolve with
+depth.
+
+Two recorders, one per algorithm family:
+
+* :func:`threshold_trajectory` -- TA's view: the threshold
+  ``tau = t(bottoms)`` falling towards the k-th best seen grade ``beta``
+  rising; TA halts where the curves cross (Section 4), and the gap
+  ``tau/beta`` is exactly the early-stopping guarantee of Section 6.2.
+* :func:`bound_trajectory` -- NRA's view: ``M_k`` (the k-th largest
+  lower bound) rising towards the best upper bound of any non-top-k
+  object falling; NRA halts at the crossover (Section 8.1).
+
+Both run their own lockstep sorted access over a fresh session (the
+recorders *are* instrumented re-implementations of the algorithms' state
+machines, kept separate so the production algorithms stay lean), and
+both return plain rows ready for
+:func:`repro.analysis.report.format_table` or plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..aggregation.base import AggregationFunction
+from ..core.bounds import CandidateStore
+from ..middleware.access import AccessSession
+from ..middleware.database import Database
+
+__all__ = ["TrajectoryPoint", "threshold_trajectory", "bound_trajectory"]
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """One depth sample of a halting pair ``(upper, lower)``.
+
+    The algorithm in question halts at the first depth where
+    ``upper <= lower``; ``guarantee`` is the certified approximation
+    factor if stopped here (Section 6.2's ``theta``).
+    """
+
+    depth: int
+    upper: float  # tau (TA) or best outside B (NRA)
+    lower: float  # beta (TA) or M_k (NRA)
+
+    @property
+    def halted(self) -> bool:
+        return self.upper <= self.lower
+
+    @property
+    def guarantee(self) -> float:
+        if self.lower <= 0:
+            return float("inf")
+        return max(1.0, self.upper / self.lower)
+
+
+def threshold_trajectory(
+    db: Database,
+    aggregation: AggregationFunction,
+    k: int,
+    max_depth: int | None = None,
+) -> list[TrajectoryPoint]:
+    """Record TA's ``(tau, beta)`` per round until its halting rule
+    fires (or ``max_depth``)."""
+    aggregation.check_arity(db.num_lists)
+    session = AccessSession(db)
+    m = db.num_lists
+    bottoms = [1.0] * m
+    best: dict = {}
+    points: list[TrajectoryPoint] = []
+    limit = db.num_objects if max_depth is None else min(max_depth, db.num_objects)
+    for depth in range(1, limit + 1):
+        for i in range(m):
+            entry = session.sorted_access(i)
+            if entry is None:
+                continue
+            obj, grade = entry
+            bottoms[i] = grade
+            if obj not in best:
+                grades = tuple(
+                    grade if j == i else session.random_access(j, obj)
+                    for j in range(m)
+                )
+                best[obj] = aggregation.aggregate(grades)
+        tau = aggregation.aggregate(tuple(bottoms))
+        if len(best) >= k:
+            beta = sorted(best.values(), reverse=True)[k - 1]
+        else:
+            beta = float("-inf")
+        point = TrajectoryPoint(depth=depth, upper=tau, lower=beta)
+        points.append(point)
+        if point.halted:
+            break
+    return points
+
+
+def bound_trajectory(
+    db: Database,
+    aggregation: AggregationFunction,
+    k: int,
+    max_depth: int | None = None,
+) -> list[TrajectoryPoint]:
+    """Record NRA's ``(best outside B, M_k)`` per round until halting
+    (or ``max_depth``)."""
+    aggregation.check_arity(db.num_lists)
+    session = AccessSession.no_random(db)
+    m = db.num_lists
+    store = CandidateStore(aggregation, m, k, naive=True)
+    points: list[TrajectoryPoint] = []
+    limit = db.num_objects if max_depth is None else min(max_depth, db.num_objects)
+    for depth in range(1, limit + 1):
+        for i in range(m):
+            entry = session.sorted_access(i)
+            if entry is None:
+                continue
+            obj, grade = entry
+            store.update_bottom(i, grade)
+            store.record(obj, i, grade)
+        topk, m_k = store.current_topk()
+        topk_set = set(topk)
+        outside = [
+            store.b_value(obj)
+            for obj in store.fields
+            if obj not in topk_set
+        ]
+        if store.seen_count < session.num_objects:
+            outside.append(store.threshold)
+        best_outside = max(outside) if outside else float("-inf")
+        point = TrajectoryPoint(depth=depth, upper=best_outside, lower=m_k)
+        points.append(point)
+        if store.seen_count >= k and point.halted:
+            break
+    return points

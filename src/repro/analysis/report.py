@@ -1,0 +1,56 @@
+"""Plain-text table rendering for benchmarks and examples.
+
+Keeps benchmark output self-describing without any plotting dependency:
+every figure/table of the paper is regenerated as an aligned text table
+plus assertions on its shape.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_kv"]
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000 or (0 < abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+) -> str:
+    """Align ``rows`` under ``headers``; numeric cells right-aligned."""
+    rendered = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def format_kv(pairs: dict, title: str | None = None) -> str:
+    """Render a flat key/value mapping."""
+    width = max((len(str(k)) for k in pairs), default=0)
+    lines = [title] if title else []
+    lines.extend(f"{str(k):<{width}}  {_cell(v)}" for k, v in pairs.items())
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Experiment runner: run algorithms over databases, collect uniform
+records, verify correctness on the fly.
+
+The runner creates a *fresh session per run* (algorithms are stateless
+across runs; sessions are not), asks each algorithm to build the session
+it needs (NRA forbids random access on its own sessions, etc.), and
+returns flat :class:`RunRecord` rows ready for
+:func:`repro.analysis.report.format_table`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from ..aggregation.base import AggregationFunction
+from ..core.base import TopKAlgorithm
+from ..core.result import TopKResult
+from ..middleware.cost import UNIT_COSTS, CostModel
+from ..middleware.database import Database
+from .verify import assert_result_correct
+
+__all__ = ["RunRecord", "run_algorithms", "compare_costs"]
+
+
+@dataclass
+class RunRecord:
+    """One algorithm run, flattened for tabulation."""
+
+    algorithm: str
+    label: str
+    n: int
+    m: int
+    k: int
+    sorted_accesses: int
+    random_accesses: int
+    middleware_cost: float
+    depth: int
+    rounds: int
+    halt_reason: str
+    max_buffer_size: int
+    result: TopKResult = field(repr=False, default=None)
+
+    @classmethod
+    def from_result(
+        cls, result: TopKResult, label: str, n: int, m: int
+    ) -> "RunRecord":
+        return cls(
+            algorithm=result.algorithm,
+            label=label,
+            n=n,
+            m=m,
+            k=result.k,
+            sorted_accesses=result.sorted_accesses,
+            random_accesses=result.random_accesses,
+            middleware_cost=result.middleware_cost,
+            depth=result.depth,
+            rounds=result.rounds,
+            halt_reason=result.halt_reason,
+            max_buffer_size=result.max_buffer_size,
+            result=result,
+        )
+
+    def row(self) -> list:
+        return [
+            self.algorithm,
+            self.label,
+            self.n,
+            self.m,
+            self.k,
+            self.sorted_accesses,
+            self.random_accesses,
+            self.middleware_cost,
+            self.depth,
+            self.max_buffer_size,
+            self.halt_reason,
+        ]
+
+    HEADERS = [
+        "algorithm",
+        "database",
+        "N",
+        "m",
+        "k",
+        "sorted",
+        "random",
+        "cost",
+        "depth",
+        "buffer",
+        "halt",
+    ]
+
+
+def run_algorithms(
+    algorithms: Sequence[TopKAlgorithm],
+    database: Database,
+    aggregation: AggregationFunction,
+    k: int,
+    cost_model: CostModel = UNIT_COSTS,
+    label: str = "db",
+    verify: bool = True,
+    session_kwargs: dict | None = None,
+) -> list[RunRecord]:
+    """Run each algorithm on a fresh session over ``database``."""
+    records = []
+    for algorithm in algorithms:
+        result = algorithm.run_on(
+            database, aggregation, k, cost_model, **(session_kwargs or {})
+        )
+        if verify:
+            assert_result_correct(database, aggregation, result)
+        records.append(
+            RunRecord.from_result(
+                result, label, database.num_objects, database.num_lists
+            )
+        )
+    return records
+
+
+def compare_costs(records: Iterable[RunRecord]) -> dict[str, float]:
+    """``{algorithm: middleware cost}`` for quick assertions."""
+    return {rec.algorithm: rec.middleware_cost for rec in records}

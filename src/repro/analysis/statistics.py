@@ -1,0 +1,75 @@
+"""Statistics helpers for experiment sweeps.
+
+Cost measurements in this library are deterministic given a seed, so
+benchmarks average over seeds and fit growth exponents; these helpers
+keep that logic out of the benchmark files and under test.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+__all__ = ["SweepPoint", "fit_power_law", "seed_average", "summarize"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One x-position of a sweep with per-seed measurements."""
+
+    x: float
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        mu = self.mean
+        if len(self.values) < 2:
+            return 0.0
+        var = sum((v - mu) ** 2 for v in self.values) / (len(self.values) - 1)
+        return math.sqrt(var)
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``log y`` on ``log x``: the growth
+    exponent of ``y ~ x^a``."""
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} xs vs {len(ys)} ys")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit an exponent")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fit needs strictly positive data")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    cov = sum((a - mean_x) * (b - mean_y) for a, b in zip(lx, ly))
+    var = sum((a - mean_x) ** 2 for a in lx)
+    if var == 0:
+        raise ValueError("all x values identical; exponent undefined")
+    return cov / var
+
+
+def seed_average(
+    measure: Callable[[int], float], seeds: Sequence[int]
+) -> float:
+    """Average a deterministic-per-seed measurement over ``seeds``."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return sum(measure(seed) for seed in seeds) / len(seeds)
+
+
+def summarize(
+    xs: Sequence[float],
+    measure: Callable[[float, int], float],
+    seeds: Sequence[int],
+) -> list[SweepPoint]:
+    """Run ``measure(x, seed)`` over the sweep grid and package points."""
+    return [
+        SweepPoint(x, tuple(measure(x, seed) for seed in seeds)) for x in xs
+    ]

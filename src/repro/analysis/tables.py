@@ -1,0 +1,185 @@
+"""Table 1 of the paper: the grid of upper and lower bounds on
+optimality ratios, as executable formulas.
+
+Rows are restrictions on the algorithm class ``A`` (wild guesses allowed /
+forbidden / no random access), columns are restrictions on the databases
+``D`` and the aggregation function ``t``.  The benchmark
+``benchmarks/bench_table1_bounds.py`` prints this grid next to measured
+ratios from the corresponding adversarial families.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..middleware.cost import CostModel
+
+__all__ = [
+    "BoundsCell",
+    "ta_upper_bound",
+    "ta_distinctness_upper_bound",
+    "taz_upper_bound",
+    "nra_upper_bound",
+    "ca_upper_bound_smv",
+    "ca_upper_bound_min",
+    "ta_lower_bound_strict",
+    "nra_lower_bound_strict",
+    "theorem_9_2_lower_bound",
+    "probabilistic_lower_bound",
+    "table_1",
+    "format_table_1",
+]
+
+
+def ta_upper_bound(m: int, cost_model: CostModel) -> float:
+    """TA's ratio, no wild guesses, any monotone ``t`` (proof of
+    Thm 6.1): ``m + m(m-1) cR/cS``."""
+    return m + m * (m - 1) * cost_model.ratio
+
+
+def ta_distinctness_upper_bound(m: int, cost_model: CostModel) -> float:
+    """TA's ratio under strict monotonicity + distinctness (proof of
+    Thm 6.5): ``c m^2`` with ``c = max(cR/cS, cS/cR)``."""
+    c = max(cost_model.ratio, 1.0 / cost_model.ratio)
+    return c * m * m
+
+
+def taz_upper_bound(m_prime: int, m: int, cost_model: CostModel) -> float:
+    """TAZ's ratio with ``|Z| = m'`` (proof of Thm 7.1):
+    ``m' + m'(m-1) cR/cS``."""
+    return m_prime + m_prime * (m - 1) * cost_model.ratio
+
+
+def nra_upper_bound(m: int) -> float:
+    """NRA's ratio among no-random-access algorithms (Thm 8.5): ``m``."""
+    return float(m)
+
+
+def ca_upper_bound_smv(m: int, k: int) -> float:
+    """CA's ratio for ``t`` strictly monotone in each argument +
+    distinctness (proof of Thm 8.9): ``4m + k``."""
+    return 4.0 * m + k
+
+
+def ca_upper_bound_min(m: int) -> float:
+    """CA's ratio for ``t = min`` + distinctness (proof of Thm 8.10):
+    ``5m``."""
+    return 5.0 * m
+
+
+def ta_lower_bound_strict(m: int, cost_model: CostModel) -> float:
+    """No deterministic no-wild-guess algorithm beats
+    ``m + m(m-1) cR/cS`` for strict ``t`` (Thm 9.1) -- TA is tight."""
+    return m + m * (m - 1) * cost_model.ratio
+
+
+def nra_lower_bound_strict(m: int) -> float:
+    """No deterministic no-random-access algorithm beats ``m`` for
+    strict ``t`` (Thm 9.5) -- NRA is tight."""
+    return float(m)
+
+
+def theorem_9_2_lower_bound(m: int, cost_model: CostModel) -> float:
+    """For ``t = min(x1+x2, x3, ..., xm)`` under distinctness, every
+    deterministic algorithm has ratio at least ``(m-2)/2 * cR/cS``
+    (Thm 9.2) -- so no CA-style ``cR/cS``-independence for all strictly
+    monotone ``t``."""
+    return (m - 2) / 2.0 * cost_model.ratio
+
+
+def probabilistic_lower_bound(m: int) -> float:
+    """``m/2`` lower bound for deterministic *and* mistake-free
+    probabilistic algorithms (Thms 9.3, 9.4)."""
+    return m / 2.0
+
+
+@dataclass(frozen=True)
+class BoundsCell:
+    """One cell of Table 1."""
+
+    algorithm_class: str
+    database_class: str
+    upper: float | None
+    upper_source: str
+    lower: float | None
+    lower_source: str
+
+    def consistent(self) -> bool:
+        """Upper >= lower wherever both are stated."""
+        if self.upper is None or self.lower is None:
+            return True
+        return self.upper >= self.lower - 1e-9
+
+
+def table_1(m: int, k: int, cost_model: CostModel) -> list[BoundsCell]:
+    """The six populated cells of the paper's Table 1 for given
+    parameters."""
+    return [
+        BoundsCell(
+            "every correct A (wild guesses ok)",
+            "every D, every monotone t",
+            None,
+            "no instance-optimal algorithm possible (Thm 6.4)",
+            math.inf,
+            "Thm 6.4",
+        ),
+        BoundsCell(
+            "every correct A (wild guesses ok)",
+            "distinctness, strictly monotone t",
+            ta_distinctness_upper_bound(m, cost_model),
+            "TA (Thm 6.5)",
+            theorem_9_2_lower_bound(m, cost_model),
+            "Thm 9.2 (for t = min(x1+x2, x3..xm))",
+        ),
+        BoundsCell(
+            "every correct A (wild guesses ok)",
+            "distinctness, t SMV or min",
+            min(ca_upper_bound_smv(m, k), ca_upper_bound_min(m)),
+            "CA (Thms 8.9, 8.10)",
+            probabilistic_lower_bound(m),
+            "Thm 9.4 (min)",
+        ),
+        BoundsCell(
+            "no wild guesses",
+            "every D, every monotone t",
+            ta_upper_bound(m, cost_model),
+            "TA (Thm 6.1)",
+            ta_lower_bound_strict(m, cost_model),
+            "Thm 9.1 (strict t) -- tight",
+        ),
+        BoundsCell(
+            "no random access",
+            "every D, every monotone t",
+            nra_upper_bound(m),
+            "NRA (Thm 8.5)",
+            nra_lower_bound_strict(m),
+            "Thm 9.5 (strict t) -- tight",
+        ),
+        BoundsCell(
+            "restricted sorted access (|Z| = m')",
+            "every D, every monotone t",
+            taz_upper_bound(m, m, cost_model),
+            "TAZ with m'=m (Thm 7.1)",
+            ta_lower_bound_strict(m, cost_model),
+            "Cor 7.2 (strict t) -- tight",
+        ),
+    ]
+
+
+def format_table_1(m: int, k: int, cost_model: CostModel) -> str:
+    """Human-readable rendering of :func:`table_1`."""
+    lines = [
+        f"Table 1 bounds for m={m}, k={k}, cR/cS={cost_model.ratio:g}",
+        f"{'algorithm class':<40} {'database class':<38} "
+        f"{'upper':>10} {'lower':>10}",
+    ]
+    for cell in table_1(m, k, cost_model):
+        upper = "none" if cell.upper is None else f"{cell.upper:.3g}"
+        lower = "-" if cell.lower is None else f"{cell.lower:.3g}"
+        lines.append(
+            f"{cell.algorithm_class:<40} {cell.database_class:<38} "
+            f"{upper:>10} {lower:>10}"
+        )
+        lines.append(f"    upper: {cell.upper_source}; lower: {cell.lower_source}")
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Correctness verification of top-k outputs.
+
+The paper's semantics break grade ties arbitrarily, so two correct runs
+may return different *objects*.  An output ``Y`` is a correct top-``k``
+iff ``|Y| = k`` and ``min_{y in Y} t(y) >= max_{z not in Y} t(z)`` --
+equivalently, the multiset of output grades equals the multiset of the
+``k`` largest grades.  A ``theta``-approximation (Section 6.2) relaxes
+this to ``theta * min_Y t >= max_{not Y} t``.
+
+Verification reads ground truth straight from the database (no access
+accounting), so it must never be called by an algorithm -- only by tests,
+benchmarks and examples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Hashable
+
+from ..aggregation.base import AggregationFunction
+from ..middleware.database import Database
+from ..core.result import TopKResult
+
+__all__ = [
+    "VerificationError",
+    "is_correct_topk",
+    "is_theta_approximation",
+    "assert_correct_topk",
+    "assert_result_correct",
+    "true_topk_grades",
+]
+
+_TOL = 1e-9
+
+
+class VerificationError(AssertionError):
+    """An algorithm produced an incorrect top-k."""
+
+
+def true_topk_grades(db: Database, t: AggregationFunction, k: int) -> list[float]:
+    """The ``k`` largest overall grades, descending."""
+    overall = sorted(db.overall_grades(t).values(), reverse=True)
+    return overall[:k]
+
+
+def _output_analysis(
+    db: Database,
+    t: AggregationFunction,
+    objects: Sequence[Hashable],
+) -> tuple[float, float]:
+    """(min grade inside the output, max grade outside it)."""
+    chosen = set(objects)
+    if len(chosen) != len(objects):
+        raise VerificationError(f"output contains duplicates: {objects!r}")
+    inside = min(t.aggregate(db.grade_vector(obj)) for obj in objects)
+    outside = float("-inf")
+    for obj in db.objects:
+        if obj in chosen:
+            continue
+        grade = t.aggregate(db.grade_vector(obj))
+        if grade > outside:
+            outside = grade
+    return inside, outside
+
+
+def is_correct_topk(
+    db: Database,
+    t: AggregationFunction,
+    k: int,
+    objects: Sequence[Hashable],
+) -> bool:
+    """True iff ``objects`` is a valid top-``k`` under arbitrary
+    tie-breaking."""
+    if len(objects) != k:
+        return False
+    inside, outside = _output_analysis(db, t, objects)
+    return inside >= outside - _TOL
+
+
+def is_theta_approximation(
+    db: Database,
+    t: AggregationFunction,
+    k: int,
+    objects: Sequence[Hashable],
+    theta: float,
+) -> bool:
+    """True iff ``theta * t(y) >= t(z)`` for all returned ``y`` and
+    non-returned ``z`` (Section 6.2's definition)."""
+    if len(objects) != k:
+        return False
+    inside, outside = _output_analysis(db, t, objects)
+    return theta * inside >= outside - _TOL
+
+
+def assert_correct_topk(
+    db: Database,
+    t: AggregationFunction,
+    k: int,
+    objects: Sequence[Hashable],
+    context: str = "",
+) -> None:
+    """Raise :class:`VerificationError` with diagnostics if the output is
+    not a correct top-``k``."""
+    if len(objects) != k:
+        raise VerificationError(
+            f"{context}: expected {k} objects, got {len(objects)}: {objects!r}"
+        )
+    inside, outside = _output_analysis(db, t, objects)
+    if inside < outside - _TOL:
+        expected = true_topk_grades(db, t, k)
+        raise VerificationError(
+            f"{context}: output min grade {inside} < excluded max grade "
+            f"{outside}; output {list(objects)!r}, true top-{k} grades "
+            f"{expected}"
+        )
+
+
+def assert_result_correct(
+    db: Database,
+    t: AggregationFunction,
+    result: TopKResult,
+) -> None:
+    """Verify a :class:`~repro.core.result.TopKResult`: the object set,
+    and any exact grades / bound pairs it reported."""
+    assert_correct_topk(db, t, result.k, result.objects, context=result.algorithm)
+    for item in result.items:
+        truth = t.aggregate(db.grade_vector(item.obj))
+        if item.grade is not None and abs(item.grade - truth) > _TOL:
+            raise VerificationError(
+                f"{result.algorithm}: reported grade {item.grade} for "
+                f"{item.obj!r} but t = {truth}"
+            )
+        if not (
+            item.lower_bound - _TOL <= truth <= item.upper_bound + _TOL
+        ):
+            raise VerificationError(
+                f"{result.algorithm}: bounds [{item.lower_bound}, "
+                f"{item.upper_bound}] do not contain t({item.obj!r}) = {truth}"
+            )

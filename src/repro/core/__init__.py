@@ -1,0 +1,61 @@
+"""The aggregation algorithms: the paper's contributions and baselines.
+
+===================  ======================================  =============
+Algorithm            Paper section                           Class
+===================  ======================================  =============
+TA                   4 (threshold algorithm)                 :class:`ThresholdAlgorithm`
+TA-theta             6.2 (approximation / early stopping)    :class:`ApproximateThresholdAlgorithm`
+TAZ                  7 (restricted sorted access)            :class:`RestrictedSortedAccessTA`
+NRA                  8.1 (no random access)                  :class:`NoRandomAccessAlgorithm`
+CA                   8.2 (combined algorithm)                :class:`CombinedAlgorithm`
+FA                   3 (Fagin's algorithm)                   :class:`FaginAlgorithm`
+Naive                1                                       :class:`NaiveAlgorithm`
+max special case     3, 6 (mk sorted accesses)               :class:`MaxAlgorithm`
+Intermittent         8.4 (CA strawman)                       :class:`IntermittentAlgorithm`
+Quick-Combine        10 (related work)                       :class:`QuickCombine`
+Stream-Combine       10 (related work)                       :class:`StreamCombine`
+===================  ======================================  =============
+"""
+
+from .anytime import AnytimeView, anytime_topk
+from .base import QueryError, TopKAlgorithm, TopKBuffer
+from .bounds import CandidateStore
+from .ca import CombinedAlgorithm
+from .fa import FaginAlgorithm
+from .intermittent import IntermittentAlgorithm
+from .max_algorithm import MaxAlgorithm
+from .naive import NaiveAlgorithm
+from .nra import NoRandomAccessAlgorithm
+from .quick_combine import QuickCombine
+from .result import HaltReason, RankedItem, TopKResult
+from .sorted_order import SortedOrderResult, sorted_topk_without_grades
+from .stream_combine import StreamCombine
+from .ta import EarlyStopView, ThresholdAlgorithm
+from .ta_approx import ApproximateThresholdAlgorithm
+from .ta_z import RestrictedSortedAccessTA
+
+__all__ = [
+    "AnytimeView",
+    "anytime_topk",
+    "QueryError",
+    "TopKAlgorithm",
+    "TopKBuffer",
+    "CandidateStore",
+    "CombinedAlgorithm",
+    "FaginAlgorithm",
+    "IntermittentAlgorithm",
+    "MaxAlgorithm",
+    "NaiveAlgorithm",
+    "NoRandomAccessAlgorithm",
+    "QuickCombine",
+    "HaltReason",
+    "RankedItem",
+    "TopKResult",
+    "SortedOrderResult",
+    "sorted_topk_without_grades",
+    "StreamCombine",
+    "EarlyStopView",
+    "ThresholdAlgorithm",
+    "ApproximateThresholdAlgorithm",
+    "RestrictedSortedAccessTA",
+]

@@ -1,0 +1,118 @@
+"""Anytime top-k: stream NRA's evolving answer instead of waiting for
+the halt.
+
+Section 4 frames every algorithm in the paper as an implementation of
+the knowledge-based program "gather information until you *know* the top
+k".  Before that point the algorithm still has a best current guess --
+``T_k`` with certified bounds ``W <= t <= B`` per member -- and many
+middleware deployments (interactive search, progressive UIs) want
+exactly that stream.
+
+:func:`anytime_topk` is a generator over rounds of lockstep sorted
+access: each yielded :class:`AnytimeView` carries the current top-k with
+bounds, the threshold, and ``is_final``; the generator ends after the
+first final view (NRA's halting rule, Section 8.1).  The caller may stop
+consuming at any time and use the last view's ``certified_theta`` as an
+approximation guarantee (cf. Section 6.2): every excluded object's grade
+is at most ``max_outside_b``, so the view is a
+``max_outside_b / m_k``-approximation whenever ``m_k > 0``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..aggregation.base import AggregationFunction
+from ..middleware.access import AccessSession
+from .base import QueryError
+from .bounds import CandidateStore
+
+__all__ = ["AnytimeView", "anytime_topk"]
+
+
+@dataclass(frozen=True)
+class AnytimeView:
+    """One round's snapshot of the evolving answer."""
+
+    round: int
+    depth: int
+    items: tuple[tuple[Hashable, float, float], ...]  # (obj, W, B)
+    m_k: float
+    threshold: float
+    max_outside_b: float
+    is_final: bool
+    sorted_accesses: int
+
+    @property
+    def objects(self) -> list[Hashable]:
+        return [obj for obj, _, _ in self.items]
+
+    @property
+    def certified_theta(self) -> float:
+        """The view is a ``certified_theta``-approximation to the true
+        top-k (``1.0`` exactly when final)."""
+        if self.is_final:
+            return 1.0
+        if self.m_k <= 0:
+            return float("inf")
+        return max(1.0, self.max_outside_b / self.m_k)
+
+
+def anytime_topk(
+    session: AccessSession,
+    aggregation: AggregationFunction,
+    k: int,
+) -> Iterator[AnytimeView]:
+    """Yield an :class:`AnytimeView` after every lockstep round until
+    NRA's halting rule fires (the last view has ``is_final=True``)."""
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    if k > session.num_objects:
+        raise QueryError(
+            f"k={k} exceeds the database size N={session.num_objects}"
+        )
+    aggregation.check_arity(session.num_lists)
+    m = session.num_lists
+    store = CandidateStore(aggregation, m, k, naive=True)
+    rounds = 0
+    while True:
+        rounds += 1
+        progressed = False
+        for i in range(m):
+            entry = session.sorted_access(i)
+            if entry is None:
+                continue
+            progressed = True
+            obj, grade = entry
+            store.update_bottom(i, grade)
+            store.record(obj, i, grade)
+
+        topk, m_k = store.current_topk()
+        topk_set = set(topk)
+        outside = [
+            store.b_value(obj)
+            for obj in store.fields
+            if obj not in topk_set
+        ]
+        if store.seen_count < session.num_objects:
+            outside.append(store.threshold)
+        max_outside = max(outside) if outside else float("-inf")
+        is_final = (
+            store.seen_count >= k and max_outside <= m_k
+        ) or not progressed
+        yield AnytimeView(
+            round=rounds,
+            depth=session.depth,
+            items=tuple(
+                (obj, store.w[obj], store.b_value(obj)) for obj in topk
+            ),
+            m_k=m_k,
+            threshold=store.threshold,
+            max_outside_b=max_outside,
+            is_final=is_final,
+            sorted_accesses=session.sorted_accesses,
+        )
+        if is_final:
+            return

@@ -1,0 +1,179 @@
+"""Shared algorithm machinery: the base class, run validation, and the
+bounded top-k buffer of Theorem 4.2.
+
+Every algorithm consumes an :class:`~repro.middleware.access.AccessSession`
+(never a raw database), so its reported costs are exactly the accesses it
+performed.  ``run`` validates the query (arity, ``k <= N``, capability
+requirements), delegates to the subclass ``_run``, and never inspects
+ground truth.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from typing import Hashable
+
+from ..aggregation.base import AggregationFunction
+from ..middleware.access import AccessSession
+from ..middleware.cost import UNIT_COSTS, CostModel
+from ..middleware.database import Database
+from .result import TopKResult
+
+__all__ = ["TopKAlgorithm", "TopKBuffer", "QueryError"]
+
+
+class QueryError(ValueError):
+    """The query is invalid for this database/session/algorithm."""
+
+
+class TopKBuffer:
+    """The constant-size buffer of TA (Theorem 4.2): the best ``k``
+    *distinct* objects seen so far, by overall grade.
+
+    ``offer`` is idempotent per object (re-seeing an object under sorted
+    access in another list recomputes the same grade and must not occupy a
+    second slot).  Ties at the boundary are broken arbitrarily
+    (first-come), exactly as the paper allows.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        self._k = k
+        self._heap: list[tuple[float, int, Hashable]] = []
+        self._grades: dict[Hashable, float] = {}
+        self._counter = 0
+
+    def offer(self, obj: Hashable, grade: float) -> bool:
+        """Consider ``obj`` for the buffer; return True if it is (still)
+        among the best ``k``."""
+        if obj in self._grades:
+            return True
+        self._counter += 1
+        if len(self._heap) < self._k:
+            heapq.heappush(self._heap, (grade, self._counter, obj))
+            self._grades[obj] = grade
+            return True
+        if grade > self._heap[0][0]:
+            _, __, evicted = heapq.heapreplace(
+                self._heap, (grade, self._counter, obj)
+            )
+            del self._grades[evicted]
+            self._grades[obj] = grade
+            return True
+        return False
+
+    @property
+    def full(self) -> bool:
+        return len(self._heap) >= self._k
+
+    @property
+    def min_grade(self) -> float:
+        """Grade of the worst buffered object (``-inf`` when empty)."""
+        return self._heap[0][0] if self._heap else float("-inf")
+
+    def __contains__(self, obj: Hashable) -> bool:
+        return obj in self._grades
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def items_desc(self) -> list[tuple[Hashable, float]]:
+        """Buffered ``(object, grade)`` pairs, best first."""
+        return sorted(
+            self._grades.items(), key=lambda item: -item[1]
+        )
+
+
+class TopKAlgorithm(ABC):
+    """Base class for middleware top-k algorithms.
+
+    Subclasses set the class attributes describing their access needs
+    (checked against the session's capabilities before running) and
+    implement ``_run``.
+    """
+
+    name: str = "abstract"
+    #: must every list allow sorted access?  (TAZ and the certificate
+    #: searcher tolerate restricted sorted access; TA, FA, NRA, CA do not.)
+    requires_sorted_all_lists: bool = True
+    #: does the algorithm ever random-access?
+    uses_random_access: bool = True
+
+    def run(
+        self,
+        session: AccessSession,
+        aggregation: AggregationFunction,
+        k: int,
+    ) -> TopKResult:
+        """Find the top-``k`` through ``session``; returns a
+        :class:`~repro.core.result.TopKResult`."""
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        if k > session.num_objects:
+            raise QueryError(
+                f"k={k} exceeds the database size N={session.num_objects}; "
+                "the paper's model assumes N >= k"
+            )
+        aggregation.check_arity(session.num_lists)
+        self._check_capabilities(session)
+        return self._run(session, aggregation, k)
+
+    def run_on(
+        self,
+        database: Database,
+        aggregation: AggregationFunction,
+        k: int,
+        cost_model: CostModel = UNIT_COSTS,
+        **session_kwargs,
+    ) -> TopKResult:
+        """Convenience: build a fresh session over ``database`` and run."""
+        session = self.make_session(database, cost_model, **session_kwargs)
+        return self.run(session, aggregation, k)
+
+    def make_session(
+        self,
+        database: Database,
+        cost_model: CostModel = UNIT_COSTS,
+        **session_kwargs,
+    ) -> AccessSession:
+        """Build the session this algorithm expects (subclasses override
+        to restrict capabilities, e.g. NRA forbids random access)."""
+        return AccessSession(database, cost_model, **session_kwargs)
+
+    def _check_capabilities(self, session: AccessSession) -> None:
+        if self.requires_sorted_all_lists:
+            missing = [
+                i
+                for i in range(session.num_lists)
+                if not session.capabilities(i).sorted_allowed
+            ]
+            if missing:
+                raise QueryError(
+                    f"{self.name} needs sorted access on every list; "
+                    f"lists {missing} forbid it (use TAZ for that scenario)"
+                )
+        if self.uses_random_access:
+            missing = [
+                i
+                for i in range(session.num_lists)
+                if not session.capabilities(i).random_allowed
+            ]
+            if missing:
+                raise QueryError(
+                    f"{self.name} needs random access on every list; "
+                    f"lists {missing} forbid it (use NRA for that scenario)"
+                )
+
+    @abstractmethod
+    def _run(
+        self,
+        session: AccessSession,
+        aggregation: AggregationFunction,
+        k: int,
+    ) -> TopKResult:
+        ...
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

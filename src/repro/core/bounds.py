@@ -1,0 +1,278 @@
+"""Candidate bookkeeping for the bound-based algorithms (NRA, CA,
+Stream-Combine, the intermittent strawman).
+
+Section 8 algorithms maintain, for every seen object ``R`` with known
+fields ``S(R)``:
+
+* ``W(R)`` -- the lower bound: unknown fields replaced by 0
+  (Proposition 8.1), and
+* ``B(R)`` -- the upper bound: unknown fields replaced by the current
+  bottom values (Proposition 8.2).
+
+Halting needs, per round: the current top-``k`` by ``W`` (ties broken by
+``B``, per the paper's step 1), the value ``M_k`` (the k-th largest
+``W``), and whether any *viable* object -- ``B(R) > M_k`` -- exists
+outside the top-``k``.  Remark 8.7 observes a naive implementation
+re-evaluates ``B`` for every candidate every round (``Omega(d^2 m)``
+updates).  This store instead keeps two lazily-invalidated max-heaps:
+
+``W``-heap
+    keyed by the exact current ``W`` (pushed on every field discovery;
+    stale versions dropped on pop).
+``B``-heap
+    keyed by a *cached* ``B``, computed when the entry was pushed.  Since
+    bottoms only decrease, a cached ``B`` upper-bounds the fresh value,
+    so the heap top bounds the best possible ``B``; popped entries are
+    re-validated lazily.  Crucially, ``M_k`` is non-decreasing (``W``
+    values only grow and the candidate set only widens) while every
+    object's ``B`` is non-increasing, so a candidate whose fresh
+    ``B <= M_k`` can be *discarded permanently* -- it can never become
+    viable again.  This prune is what keeps per-round work near
+    ``O((k + new fields) log N)`` instead of ``O(candidates)``.
+
+``naive`` mode disables the heaps and rescans everything per check, both
+as a correctness oracle for the tests and for the Remark 8.7 ablation
+benchmark.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable
+
+from ..aggregation.base import AggregationFunction
+
+__all__ = ["CandidateStore"]
+
+
+class CandidateStore:
+    """Lower/upper-bound bookkeeping over the seen objects."""
+
+    def __init__(
+        self,
+        aggregation: AggregationFunction,
+        m: int,
+        k: int,
+        naive: bool = False,
+    ):
+        self.t = aggregation
+        self.m = m
+        self.k = k
+        self.naive = naive
+        self.bottoms = [1.0] * m
+        self.fields: dict[Hashable, dict[int, float]] = {}
+        self.w: dict[Hashable, float] = {}
+        self._version: dict[Hashable, int] = {}
+        self._w_heap: list[tuple[float, int, Hashable, int]] = []
+        self._b_heap: list[tuple[float, int, Hashable, int]] = []
+        self._seq = 0
+        self._never_viable: set[Hashable] = set()
+        #: number of B evaluations performed (for the bookkeeping ablation)
+        self.b_evaluations = 0
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def update_bottom(self, list_index: int, grade: float) -> None:
+        self.bottoms[list_index] = grade
+
+    def record(self, obj: Hashable, list_index: int, grade: float) -> bool:
+        """Record a discovered field; returns True if it was new."""
+        known = self.fields.setdefault(obj, {})
+        if list_index in known:
+            return False
+        known[list_index] = grade
+        self.w[obj] = self.t.worst_case(known, self.m)
+        version = self._version.get(obj, 0) + 1
+        self._version[obj] = version
+        if not self.naive:
+            self._seq += 1
+            heapq.heappush(
+                self._w_heap, (-self.w[obj], self._seq, obj, version)
+            )
+            self._seq += 1
+            heapq.heappush(
+                self._b_heap, (-self.b_value(obj), self._seq, obj, version)
+            )
+        return True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def seen_count(self) -> int:
+        return len(self.fields)
+
+    @property
+    def threshold(self) -> float:
+        """``t(bottoms)`` -- the (virtual) ``B`` of any unseen object."""
+        return self.t.threshold(self.bottoms)
+
+    def b_value(self, obj: Hashable) -> float:
+        """Fresh upper bound ``B(obj)`` under the current bottoms."""
+        self.b_evaluations += 1
+        return self.t.best_case(self.fields[obj], self.bottoms)
+
+    def fully_known(self, obj: Hashable) -> bool:
+        return len(self.fields[obj]) == self.m
+
+    def exact_grade(self, obj: Hashable) -> float | None:
+        """``t(obj)`` if every field is known, else ``None``."""
+        if self.fully_known(obj):
+            return self.w[obj]
+        return None
+
+    # ------------------------------------------------------------------
+    # the per-round halting queries
+    # ------------------------------------------------------------------
+    def current_topk(self) -> tuple[list[Hashable], float]:
+        """The current top-``k`` list ``T_k`` (by ``W``, ties by fresh
+        ``B``) and ``M_k``, the k-th largest ``W``.
+
+        When fewer than ``k`` objects have been seen, returns all of them
+        with ``M_k = -inf``.
+        """
+        if self.naive:
+            return self._current_topk_naive()
+        k = self.k
+        popped: list[tuple[float, int, Hashable, int]] = []
+        valid: list[tuple[float, int, Hashable, int]] = []
+        chosen_objs: set[Hashable] = set()
+        while self._w_heap:
+            entry = heapq.heappop(self._w_heap)
+            neg_w, _, obj, version = entry
+            if version != self._version.get(obj) or obj in chosen_objs:
+                continue  # stale; drop forever
+            chosen_objs.add(obj)
+            valid.append(entry)
+            popped.append(entry)
+            if len(valid) == k:
+                cutoff = -neg_w
+                # pull in boundary ties (equal W) for B-based tie-breaking
+                while self._w_heap and -self._w_heap[0][0] >= cutoff:
+                    tie = heapq.heappop(self._w_heap)
+                    if (
+                        tie[3] != self._version.get(tie[2])
+                        or tie[2] in chosen_objs
+                    ):
+                        continue
+                    chosen_objs.add(tie[2])
+                    valid.append(tie)
+                    popped.append(tie)
+                break
+        for entry in popped:
+            heapq.heappush(self._w_heap, entry)
+        if len(valid) <= k:
+            objs = [e[2] for e in valid]
+            m_k = -valid[-1][0] if len(valid) == k else float("-inf")
+            return objs, m_k
+        cutoff = -valid[k - 1][0]
+        sure = [e[2] for e in valid if -e[0] > cutoff]
+        boundary = [e[2] for e in valid if -e[0] == cutoff]
+        boundary.sort(key=lambda o: -self.b_value(o))
+        return sure + boundary[: k - len(sure)], cutoff
+
+    def _current_topk_naive(self) -> tuple[list[Hashable], float]:
+        ranked = sorted(
+            self.w, key=lambda o: (-self.w[o], -self.b_value(o))
+        )
+        chosen = ranked[: self.k]
+        if len(chosen) < self.k:
+            return chosen, float("-inf")
+        return chosen, self.w[chosen[-1]]
+
+    def find_viable_outside(
+        self, topk: list[Hashable], m_k: float
+    ) -> tuple[Hashable, float] | None:
+        """Some seen object outside ``topk`` with fresh ``B > M_k``, or
+        ``None`` (then halting condition (b) holds for seen objects).
+
+        Permanently discards candidates whose fresh ``B <= M_k`` (see the
+        module docstring for why that is sound).
+        """
+        if self.naive:
+            topk_set = set(topk)
+            for obj in self.fields:
+                if obj in topk_set:
+                    continue
+                b = self.b_value(obj)
+                if b > m_k:
+                    return obj, b
+            return None
+        topk_set = set(topk)
+        pushback: list[tuple[float, int, Hashable, int]] = []
+        found: tuple[Hashable, float] | None = None
+        while self._b_heap:
+            neg_b, _, obj, version = self._b_heap[0]
+            if version != self._version.get(obj) or obj in self._never_viable:
+                heapq.heappop(self._b_heap)
+                continue
+            if -neg_b <= m_k:
+                # cached B upper-bounds fresh B for every remaining entry
+                break
+            entry = heapq.heappop(self._b_heap)
+            fresh = self.b_value(obj)
+            if fresh <= m_k:
+                self._never_viable.add(obj)
+                continue
+            self._seq += 1
+            refreshed = (-fresh, self._seq, obj, version)
+            if obj in topk_set:
+                pushback.append(refreshed)
+                continue
+            found = (obj, fresh)
+            pushback.append(refreshed)
+            break
+        for entry in pushback:
+            heapq.heappush(self._b_heap, entry)
+        return found
+
+    def best_random_access_target(self, m_k: float) -> Hashable | None:
+        """CA's step 2: the viable seen object with missing fields whose
+        fresh ``B`` is largest; ``None`` triggers the escape clause.
+
+        Viability here is over *all* seen objects (the paper does not
+        exclude the current top-``k``: its members usually have missing
+        fields and the largest ``B`` values).
+        """
+        if self.naive:
+            best_obj, best_b = None, m_k
+            for obj in self.fields:
+                if self.fully_known(obj):
+                    continue
+                b = self.b_value(obj)
+                if b > best_b:
+                    best_obj, best_b = obj, b
+            return best_obj
+        pushback: list[tuple[float, int, Hashable, int]] = []
+        best: tuple[float, Hashable] | None = None
+        while self._b_heap:
+            neg_b, _, obj, version = self._b_heap[0]
+            if version != self._version.get(obj) or obj in self._never_viable:
+                heapq.heappop(self._b_heap)
+                continue
+            cached = -neg_b
+            if cached <= m_k or (best is not None and cached <= best[0]):
+                break
+            heapq.heappop(self._b_heap)
+            fresh = self.b_value(obj)
+            if fresh <= m_k:
+                self._never_viable.add(obj)
+                continue
+            self._seq += 1
+            refreshed = (-fresh, self._seq, obj, version)
+            if self.fully_known(obj):
+                pushback.append(refreshed)
+                continue
+            if best is None or fresh > best[0]:
+                if best is not None:
+                    self._seq += 1
+                    pushback.append((-best[0], self._seq, best[1], self._version[best[1]]))
+                best = (fresh, obj)
+                self._seq += 1
+                pushback.append(refreshed)
+            else:
+                pushback.append(refreshed)
+        for entry in pushback:
+            heapq.heappush(self._b_heap, entry)
+        return best[1] if best is not None else None

@@ -1,0 +1,151 @@
+"""CA -- the Combined Algorithm (Section 8.2).
+
+CA is "NRA plus carefully chosen random accesses": it runs NRA's lockstep
+sorted access and bound bookkeeping, but every ``h = floor(cR/cS)`` rounds
+it spends one random-access *phase* -- resolving **all** missing fields of
+the single viable object with the largest upper bound ``B`` (ties
+arbitrary).  If every viable object is already fully known, the phase is
+skipped (the escape clause of footnote 15).  Halting is NRA's rule.
+
+The ``B``-greedy choice is the algorithm's whole point: Section 8.4 shows
+the *intermittent* algorithm (same accesses as TA, merely delayed) can be
+``3(h-2)`` times worse on the Figure 5 database, and Theorem 8.9/8.10 show
+CA's optimality ratio (``4m + k``; ``5m`` for ``min``) is independent of
+``cR/cS`` when the aggregation function is strictly monotone in each
+argument (or ``min``) and the database has distinct grades.  By design:
+
+* ``h`` very large  ->  CA degenerates to NRA (no random access fires);
+* ``h = 1``         ->  CA resembles TA but resolves only the single most
+  promising object per round instead of every object seen.
+
+Like NRA, CA returns the top-``k`` objects with bound information; exact
+grades are reported when CA happened to resolve the object.
+"""
+
+from __future__ import annotations
+
+from ..aggregation.base import AggregationFunction
+from ..middleware.access import AccessSession
+from .base import QueryError, TopKAlgorithm
+from .bounds import CandidateStore
+from .result import HaltReason, RankedItem, TopKResult
+
+__all__ = ["CombinedAlgorithm"]
+
+
+class CombinedAlgorithm(TopKAlgorithm):
+    """CA: NRA's bookkeeping + one B-greedy random-access phase every
+    ``h`` rounds."""
+
+    name = "CA"
+
+    def __init__(
+        self,
+        h: int | None = None,
+        naive_bookkeeping: bool = False,
+        halt_check_interval: int = 1,
+    ):
+        """``h`` overrides the period; by default it is taken from the
+        session's cost model as ``floor(cR/cS)`` (requires ``cR >= cS``,
+        as Section 8.2 assumes)."""
+        if h is not None and h < 1:
+            raise ValueError(f"h must be >= 1, got {h}")
+        if halt_check_interval < 1:
+            raise ValueError(
+                f"halt_check_interval must be >= 1, got {halt_check_interval}"
+            )
+        self.h = h
+        self.naive_bookkeeping = naive_bookkeeping
+        self.halt_check_interval = halt_check_interval
+
+    def _period(self, session: AccessSession) -> int:
+        if self.h is not None:
+            return self.h
+        if session.cost_model.ratio < 1.0:
+            raise QueryError(
+                "CA assumes cR >= cS (h = floor(cR/cS) >= 1); got "
+                f"cR/cS = {session.cost_model.ratio:g}.  Use TA when random "
+                "accesses are cheap."
+            )
+        return session.cost_model.h
+
+    def _run(
+        self, session: AccessSession, aggregation: AggregationFunction, k: int
+    ) -> TopKResult:
+        m = session.num_lists
+        h = self._period(session)
+        store = CandidateStore(aggregation, m, k, naive=self.naive_bookkeeping)
+        rounds = 0
+        random_phases = 0
+        escape_clauses = 0
+        halt_reason = None
+        topk: list = []
+
+        while halt_reason is None:
+            rounds += 1
+            progressed = False
+            for i in range(m):
+                entry = session.sorted_access(i)
+                if entry is None:
+                    continue
+                progressed = True
+                obj, grade = entry
+                store.update_bottom(i, grade)
+                store.record(obj, i, grade)
+
+            if progressed and rounds % h == 0:
+                # random-access phase: fully resolve the most promising
+                # viable object that still has missing fields
+                _, m_k = store.current_topk()
+                target = store.best_random_access_target(m_k)
+                if target is None:
+                    escape_clauses += 1
+                else:
+                    random_phases += 1
+                    missing = [
+                        i for i in range(m) if i not in store.fields[target]
+                    ]
+                    for i in missing:
+                        grade = session.random_access(i, target)
+                        store.record(target, i, grade)
+
+            check_now = (
+                rounds % self.halt_check_interval == 0 or not progressed
+            )
+            if check_now and store.seen_count >= k:
+                topk, m_k = store.current_topk()
+                unseen_remain = store.seen_count < session.num_objects
+                if not (unseen_remain and store.threshold > m_k):
+                    if store.find_viable_outside(topk, m_k) is None:
+                        halt_reason = HaltReason.NO_VIABLE
+            if halt_reason is None and not progressed:
+                topk, _ = store.current_topk()
+                halt_reason = HaltReason.EXHAUSTED
+
+        items = []
+        for obj in topk:
+            items.append(
+                RankedItem(
+                    obj,
+                    store.exact_grade(obj),
+                    store.w[obj],
+                    store.b_value(obj),
+                )
+            )
+        items.sort(key=lambda it: (-it.lower_bound, -it.upper_bound))
+        return TopKResult(
+            algorithm=self.name,
+            k=k,
+            items=items,
+            stats=session.stats(),
+            rounds=rounds,
+            depth=session.depth,
+            halt_reason=halt_reason,
+            max_buffer_size=store.seen_count,
+            extras={
+                "h": h,
+                "random_phases": random_phases,
+                "escape_clauses": escape_clauses,
+                "b_evaluations": store.b_evaluations,
+            },
+        )

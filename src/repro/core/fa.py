@@ -1,0 +1,89 @@
+"""FA -- Fagin's Algorithm (Section 3).
+
+Phase 1: sorted access in parallel to all ``m`` lists until at least ``k``
+objects have been seen in *every* list ("matches").  Phase 2: random
+access to fill in every missing field of every object seen in phase 1.
+Return the ``k`` best by overall grade.
+
+FA is correct for every monotone aggregation function, and on
+probabilistically independent lists its middleware cost is
+``O(N^{(m-1)/m} k^{1/m})`` with high probability -- the scaling that
+``benchmarks/bench_fa_scaling.py`` reproduces.  Its two structural
+weaknesses, which TA removes, are measured by the result's fields:
+
+* the phase-1 buffer must remember *every* object seen so far
+  (``max_buffer_size`` grows with ``N``; contrast Theorem 4.2), and
+* the access pattern is oblivious to the aggregation function, so for
+  e.g. ``max`` or constant functions FA does arbitrarily more work than
+  necessary.
+"""
+
+from __future__ import annotations
+
+from ..aggregation.base import AggregationFunction
+from ..middleware.access import AccessSession
+from .base import TopKAlgorithm, TopKBuffer
+from .result import HaltReason, RankedItem, TopKResult
+
+__all__ = ["FaginAlgorithm"]
+
+
+class FaginAlgorithm(TopKAlgorithm):
+    """The two-phase match-then-resolve algorithm."""
+
+    name = "FA"
+
+    def _run(
+        self, session: AccessSession, aggregation: AggregationFunction, k: int
+    ) -> TopKResult:
+        m = session.num_lists
+        fields: dict = {}
+        matches = 0
+        rounds = 0
+        halt_reason = HaltReason.THRESHOLD
+
+        # Phase 1: lockstep sorted access until k full matches.
+        while matches < k:
+            rounds += 1
+            progressed = False
+            for i in range(m):
+                entry = session.sorted_access(i)
+                if entry is None:
+                    continue
+                progressed = True
+                obj, grade = entry
+                known = fields.setdefault(obj, {})
+                if i not in known:
+                    known[i] = grade
+                    if len(known) == m:
+                        matches += 1
+            if not progressed:
+                halt_reason = HaltReason.EXHAUSTED
+                break
+
+        # Phase 2: resolve every seen object by random access.
+        buffer = TopKBuffer(k)
+        for obj, known in fields.items():
+            grades = []
+            for i in range(m):
+                if i in known:
+                    grades.append(known[i])
+                else:
+                    grades.append(session.random_access(i, obj))
+            buffer.offer(obj, aggregation.aggregate(tuple(grades)))
+
+        items = [
+            RankedItem(obj, grade, grade, grade)
+            for obj, grade in buffer.items_desc()
+        ]
+        return TopKResult(
+            algorithm=self.name,
+            k=k,
+            items=items,
+            stats=session.stats(),
+            rounds=rounds,
+            depth=session.depth,
+            halt_reason=halt_reason,
+            max_buffer_size=len(fields),
+            extras={"matches": matches},
+        )

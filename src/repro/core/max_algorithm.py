@@ -1,0 +1,76 @@
+"""The ``mk``-sorted-access special case for ``t = max`` (Section 3).
+
+The paper notes that for the (non-strict) aggregation function ``max``
+there is a simple algorithm finding the top ``k`` with at most ``m * k``
+sorted accesses and *no* random accesses -- a counterexample to FA's
+optimality for all monotone functions.
+
+Why it works: if an object ``R`` is among the true top ``k`` for ``max``,
+then in the list where ``R`` attains its maximal field, fewer than ``k``
+objects can sit above it (each of them has overall grade at least
+``t(R)``).  Hence every top-``k`` object appears in the top-``k`` prefix
+of some list at its own maximal field.  Taking the best ``k`` objects (by
+best-seen field) from the union of the ``k``-prefixes is therefore
+grade-correct, and the best-seen field of each returned object equals its
+true overall grade.
+
+The algorithm refuses to run for any other aggregation function -- it is
+sound only for ``max``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..aggregation.base import AggregationFunction
+from ..aggregation.standard import Max
+from ..middleware.access import AccessSession
+from .base import QueryError, TopKAlgorithm, TopKBuffer
+from .result import HaltReason, RankedItem, TopKResult
+
+__all__ = ["MaxAlgorithm"]
+
+
+class MaxAlgorithm(TopKAlgorithm):
+    """Top-k for ``max`` in at most ``m*k`` sorted accesses."""
+
+    name = "MaxAlgorithm"
+    uses_random_access = False
+
+    def _run(
+        self, session: AccessSession, aggregation: AggregationFunction, k: int
+    ) -> TopKResult:
+        if not isinstance(aggregation, Max):
+            raise QueryError(
+                "MaxAlgorithm is only correct for t = max; got "
+                f"{aggregation.name!r}"
+            )
+        m = session.num_lists
+        best_seen: dict[Hashable, float] = {}
+        rounds = 0
+        for _ in range(k):
+            rounds += 1
+            for i in range(m):
+                entry = session.sorted_access(i)
+                if entry is None:
+                    continue
+                obj, grade = entry
+                if grade > best_seen.get(obj, -1.0):
+                    best_seen[obj] = grade
+        buffer = TopKBuffer(k)
+        for obj, grade in best_seen.items():
+            buffer.offer(obj, grade)
+        items = [
+            RankedItem(obj, grade, grade, grade)
+            for obj, grade in buffer.items_desc()
+        ]
+        return TopKResult(
+            algorithm=self.name,
+            k=k,
+            items=items,
+            stats=session.stats(),
+            rounds=rounds,
+            depth=session.depth,
+            halt_reason=HaltReason.THRESHOLD,
+            max_buffer_size=len(best_seen),
+        )

@@ -1,0 +1,66 @@
+"""The naive algorithm: read everything, aggregate, sort.
+
+Section 1's baseline: under sorted access it looks at every entry in each
+of the ``m`` sorted lists, computes the overall grade of every object, and
+returns the top ``k``.  Its middleware cost is ``m * N * cS`` -- linear in
+the database size -- but it needs no random access at all, which makes it
+the (degenerate) optimum when ``cS = 0`` is approached (Section 6's
+"random access cost only" remark).
+
+It doubles as the ground-truth oracle for the test-suite.
+"""
+
+from __future__ import annotations
+
+from ..aggregation.base import AggregationFunction
+from ..middleware.access import AccessSession
+from .base import TopKAlgorithm, TopKBuffer
+from .result import HaltReason, RankedItem, TopKResult
+
+__all__ = ["NaiveAlgorithm"]
+
+
+class NaiveAlgorithm(TopKAlgorithm):
+    """Exhaustive scan via sorted access; zero random accesses."""
+
+    name = "Naive"
+    uses_random_access = False
+
+    def _run(
+        self, session: AccessSession, aggregation: AggregationFunction, k: int
+    ) -> TopKResult:
+        m = session.num_lists
+        fields: dict = {}
+        rounds = 0
+        while True:
+            rounds += 1
+            progressed = False
+            for i in range(m):
+                entry = session.sorted_access(i)
+                if entry is None:
+                    continue
+                progressed = True
+                obj, grade = entry
+                fields.setdefault(obj, {})[i] = grade
+            if not progressed:
+                break
+        buffer = TopKBuffer(k)
+        overall: dict = {}
+        for obj, known in fields.items():
+            grades = tuple(known[i] for i in range(m))
+            overall[obj] = aggregation.aggregate(grades)
+            buffer.offer(obj, overall[obj])
+        items = [
+            RankedItem(obj, grade, grade, grade)
+            for obj, grade in buffer.items_desc()
+        ]
+        return TopKResult(
+            algorithm=self.name,
+            k=k,
+            items=items,
+            stats=session.stats(),
+            rounds=rounds,
+            depth=session.depth,
+            halt_reason=HaltReason.EXHAUSTED,
+            max_buffer_size=len(fields),
+        )

@@ -1,0 +1,139 @@
+"""NRA -- the No Random Access algorithm (Section 8.1).
+
+When random access is impossible (web search engines, Section 2), the
+output requirement is weakened to the top-``k`` *objects* without grades
+-- Example 8.3 shows identifying a winner can be arbitrarily cheaper than
+grading it.  NRA does lockstep sorted access, maintains the bound pair
+``W(R) <= t(R) <= B(R)`` for every seen object, keeps the current top-``k``
+``T_k`` by ``W`` (ties by ``B``), and halts when at least ``k`` distinct
+objects have been seen and no *viable* object (``B(R) > M_k``) remains
+outside ``T_k`` -- counting the virtual unseen object, whose ``B`` is the
+threshold ``t(bottoms)``.
+
+Correctness is Theorem 8.4; instance optimality over all no-random-access
+algorithms, with (tight, for strict ``t``) ratio ``m``, is Theorem 8.5 /
+Corollary 8.6 / Theorem 9.5.
+
+``naive_bookkeeping=True`` switches the candidate store to the
+``Omega(d^2 m)`` rescan-everything mode of Remark 8.7 (same answers; used
+as an oracle in tests and measured in the bookkeeping ablation).
+``halt_check_interval`` trades halting-check work for (slightly) late
+stops -- checking every ``c`` rounds can overshoot the paper's halting
+depth by at most ``c - 1`` rounds.
+"""
+
+from __future__ import annotations
+
+from ..aggregation.base import AggregationFunction
+from ..middleware.access import AccessSession, ListCapabilities
+from ..middleware.cost import UNIT_COSTS, CostModel
+from ..middleware.database import Database
+from .base import TopKAlgorithm
+from .bounds import CandidateStore
+from .result import HaltReason, RankedItem, TopKResult
+
+__all__ = ["NoRandomAccessAlgorithm"]
+
+
+class NoRandomAccessAlgorithm(TopKAlgorithm):
+    """NRA: top-``k`` objects using sorted access only."""
+
+    name = "NRA"
+    uses_random_access = False
+
+    def __init__(
+        self,
+        naive_bookkeeping: bool = False,
+        halt_check_interval: int = 1,
+        theta: float = 1.0,
+    ):
+        """``theta > 1`` enables the approximation variant (an extension
+        in the spirit of Section 6.2 applied to Section 8.1): halt once
+        no object outside ``T_k`` has ``B(R) > theta * M_k``.  Then for
+        every returned ``y`` and excluded ``z``,
+        ``t(z) <= B(z) <= theta * M_k <= theta * W(y) <= theta * t(y)``,
+        i.e. the output is a theta-approximation -- still with zero
+        random accesses."""
+        if halt_check_interval < 1:
+            raise ValueError(
+                f"halt_check_interval must be >= 1, got {halt_check_interval}"
+            )
+        if theta < 1.0:
+            raise ValueError(f"theta must be >= 1, got {theta}")
+        self.naive_bookkeeping = naive_bookkeeping
+        self.halt_check_interval = halt_check_interval
+        self.theta = theta
+        if naive_bookkeeping:
+            self.name = "NRA(naive)"
+        if theta > 1.0:
+            self.name = f"NRA(theta={theta:g})"
+
+    def make_session(
+        self,
+        database: Database,
+        cost_model: CostModel = UNIT_COSTS,
+        **session_kwargs,
+    ) -> AccessSession:
+        session_kwargs.setdefault(
+            "capabilities", ListCapabilities(random_allowed=False)
+        )
+        return AccessSession(database, cost_model, **session_kwargs)
+
+    def _run(
+        self, session: AccessSession, aggregation: AggregationFunction, k: int
+    ) -> TopKResult:
+        m = session.num_lists
+        store = CandidateStore(aggregation, m, k, naive=self.naive_bookkeeping)
+        rounds = 0
+        halt_reason = None
+        topk: list = []
+
+        while halt_reason is None:
+            rounds += 1
+            progressed = False
+            for i in range(m):
+                entry = session.sorted_access(i)
+                if entry is None:
+                    continue
+                progressed = True
+                obj, grade = entry
+                store.update_bottom(i, grade)
+                store.record(obj, i, grade)
+            check_now = (
+                rounds % self.halt_check_interval == 0 or not progressed
+            )
+            if check_now and store.seen_count >= k:
+                topk, m_k = store.current_topk()
+                cutoff = m_k if self.theta == 1.0 else self.theta * m_k
+                unseen_remain = store.seen_count < session.num_objects
+                if not (unseen_remain and store.threshold > cutoff):
+                    if store.find_viable_outside(topk, cutoff) is None:
+                        halt_reason = HaltReason.NO_VIABLE
+            if halt_reason is None and not progressed:
+                # exhausted everything: every bound is exact, so the
+                # current top-k is final
+                topk, _ = store.current_topk()
+                halt_reason = HaltReason.EXHAUSTED
+
+        items = []
+        for obj in topk:
+            items.append(
+                RankedItem(
+                    obj,
+                    store.exact_grade(obj),
+                    store.w[obj],
+                    store.b_value(obj),
+                )
+            )
+        items.sort(key=lambda it: (-it.lower_bound, -it.upper_bound))
+        return TopKResult(
+            algorithm=self.name,
+            k=k,
+            items=items,
+            stats=session.stats(),
+            rounds=rounds,
+            depth=session.depth,
+            halt_reason=halt_reason,
+            max_buffer_size=store.seen_count,
+            extras={"b_evaluations": store.b_evaluations},
+        )

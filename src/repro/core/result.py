@@ -1,0 +1,126 @@
+"""Result types returned by the top-k algorithms.
+
+Two details of the paper's model shape these types:
+
+* NRA and CA return the top-``k`` *objects* without exact grades
+  (Section 8.1 weakens the output requirement because computing a grade
+  may be arbitrarily more expensive than identifying the object, cf.
+  Example 8.3).  Each :class:`RankedItem` therefore carries a lower/upper
+  bound pair ``[W, B]`` and an exact ``grade`` only when ``W == B`` or the
+  algorithm resolved the object fully.
+* Instance-optimality accounting needs the halt depth, the access counts,
+  and -- for Theorem 4.2's bounded-buffer claim -- the maximum bookkeeping
+  footprint the algorithm ever held.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..middleware.access import AccessStats
+
+__all__ = ["RankedItem", "TopKResult", "HaltReason"]
+
+
+class HaltReason:
+    """Why an algorithm stopped (string constants)."""
+
+    THRESHOLD = "threshold"          # the paper's stopping rule fired
+    NO_VIABLE = "no-viable"          # NRA/CA: no viable object outside top-k
+    EXHAUSTED = "exhausted"          # a list (or all lists) ran out
+    ALL_RESOLVED = "all-resolved"    # every object fully known
+    INTERACTIVE = "interactive"      # user stopped an early-stopping run
+
+
+@dataclass(frozen=True)
+class RankedItem:
+    """One output object.
+
+    ``grade`` is the exact overall grade when the algorithm knows it,
+    otherwise ``None``; ``lower_bound``/``upper_bound`` always satisfy
+    ``lower_bound <= t(obj) <= upper_bound``.
+    """
+
+    obj: Hashable
+    grade: float | None
+    lower_bound: float
+    upper_bound: float
+
+    @property
+    def is_exact(self) -> bool:
+        return self.grade is not None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.grade is not None:
+            return f"({self.obj!r}, {self.grade:.6g})"
+        return f"({self.obj!r}, [{self.lower_bound:.6g}, {self.upper_bound:.6g}])"
+
+
+@dataclass
+class TopKResult:
+    """The full outcome of one algorithm run.
+
+    Attributes
+    ----------
+    items:
+        The top-``k`` objects, best first (ties in unspecified order).
+    stats:
+        Access counts and middleware cost, as accounted by the session.
+    rounds:
+        Number of parallel sorted-access rounds executed.
+    depth:
+        ``max_i d_i`` -- the deepest sorted-access position reached.
+    halt_reason:
+        One of the :class:`HaltReason` constants.
+    max_buffer_size:
+        Peak number of objects the algorithm tracked simultaneously.
+        Constant (``k`` plus bookkeeping) for TA, up to ``N`` for FA/NRA --
+        the operational content of Theorem 4.2.
+    extras:
+        Algorithm-specific extras (e.g. TA-theta's achieved guarantee,
+        CA's random-phase count).
+    """
+
+    algorithm: str
+    k: int
+    items: list[RankedItem]
+    stats: AccessStats
+    rounds: int
+    depth: int
+    halt_reason: str
+    max_buffer_size: int
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def objects(self) -> list[Hashable]:
+        """Output object ids, best first."""
+        return [item.obj for item in self.items]
+
+    @property
+    def grades(self) -> list[float | None]:
+        return [item.grade for item in self.items]
+
+    @property
+    def middleware_cost(self) -> float:
+        return self.stats.middleware_cost
+
+    @property
+    def sorted_accesses(self) -> int:
+        return self.stats.sorted_accesses
+
+    @property
+    def random_accesses(self) -> int:
+        return self.stats.random_accesses
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        shown = ", ".join(str(item) for item in self.items[:5])
+        if len(self.items) > 5:
+            shown += ", ..."
+        return (
+            f"{self.algorithm} top-{self.k}: [{shown}] "
+            f"s={self.sorted_accesses} r={self.random_accesses} "
+            f"cost={self.middleware_cost:g} depth={self.depth} "
+            f"halt={self.halt_reason}"
+        )

@@ -1,0 +1,103 @@
+"""Stream-Combine (Guentzer, Balke, Kiessling) -- the upper-bounds-only
+no-random-access baseline (Section 10 of the paper).
+
+Stream-Combine, like NRA, uses sorted access only, but differs in two
+ways the paper calls out to explain why it is *not* instance optimal:
+
+1. it considers only **upper bounds** on overall grades (no ``W``
+   bookkeeping), and
+2. it must report exact grades, so it "cannot say that an object is in
+   the top k unless that object has been seen in every sorted list".
+
+It therefore halts only when ``k`` *fully seen* objects have (exact)
+grades at least as large as every other object's upper bound ``B``
+(including the virtual unseen object at the threshold).  On Example 8.3's
+database NRA halts at depth 2 while Stream-Combine must scan essentially
+all of ``L2`` to see the winner's last field -- an unbounded separation
+measured in ``benchmarks/bench_related_heuristics.py``.
+
+This is the *basic* (lockstep) version; the original paper adds a
+list-scheduling heuristic orthogonal to the comparison made here.
+"""
+
+from __future__ import annotations
+
+from ..aggregation.base import AggregationFunction
+from ..middleware.access import AccessSession, ListCapabilities
+from ..middleware.cost import UNIT_COSTS, CostModel
+from ..middleware.database import Database
+from .base import TopKAlgorithm, TopKBuffer
+from .bounds import CandidateStore
+from .result import HaltReason, RankedItem, TopKResult
+
+__all__ = ["StreamCombine"]
+
+
+class StreamCombine(TopKAlgorithm):
+    """Upper-bounds-only, grades-required, no-random-access top-k."""
+
+    name = "StreamCombine"
+    uses_random_access = False
+
+    def make_session(
+        self,
+        database: Database,
+        cost_model: CostModel = UNIT_COSTS,
+        **session_kwargs,
+    ) -> AccessSession:
+        session_kwargs.setdefault(
+            "capabilities", ListCapabilities(random_allowed=False)
+        )
+        return AccessSession(database, cost_model, **session_kwargs)
+
+    def _run(
+        self, session: AccessSession, aggregation: AggregationFunction, k: int
+    ) -> TopKResult:
+        m = session.num_lists
+        store = CandidateStore(aggregation, m, k)
+        full = TopKBuffer(k)  # fully-seen objects by exact grade
+        rounds = 0
+        halt_reason = None
+
+        while halt_reason is None:
+            rounds += 1
+            progressed = False
+            for i in range(m):
+                entry = session.sorted_access(i)
+                if entry is None:
+                    continue
+                progressed = True
+                obj, grade = entry
+                store.update_bottom(i, grade)
+                if store.record(obj, i, grade) and store.fully_known(obj):
+                    full.offer(obj, store.w[obj])
+
+            if full.full:
+                m_k = full.min_grade
+                topk_objs = [obj for obj, _ in full.items_desc()]
+                unseen_remain = store.seen_count < session.num_objects
+                threshold_ok = (
+                    not unseen_remain or store.threshold <= m_k
+                )
+                if threshold_ok and (
+                    store.find_viable_outside(topk_objs, m_k) is None
+                ):
+                    halt_reason = HaltReason.NO_VIABLE
+            if halt_reason is None and not progressed:
+                halt_reason = HaltReason.EXHAUSTED
+
+        items = [
+            RankedItem(obj, grade, grade, grade)
+            for obj, grade in full.items_desc()
+        ]
+        return TopKResult(
+            algorithm=self.name,
+            k=k,
+            items=items,
+            stats=session.stats(),
+            rounds=rounds,
+            depth=session.depth,
+            halt_reason=halt_reason,
+            max_buffer_size=store.seen_count,
+            extras={"fully_seen": len(items)},
+        )

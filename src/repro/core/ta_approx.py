@@ -1,0 +1,71 @@
+"""TA-theta -- the approximation variant of TA, and interactive early
+stopping (Section 6.2).
+
+For ``theta > 1``, a *theta-approximation* to the top-``k`` is a set of
+``k`` objects such that ``theta * t(y) >= t(z)`` for every returned ``y``
+and non-returned ``z``.  TA-theta changes TA's stopping rule to "halt as
+soon as ``k`` objects have grade ``>= tau / theta``"; Theorem 6.6 shows
+this is correct, and Theorem 6.7 that it is instance optimal among
+no-wild-guess approximation algorithms.  (Theorem 6.9 shows the
+distinctness-property analogue *fails*: Example 6.8 /
+``benchmarks/bench_fig2_approx_wild_guess.py``.)
+
+:meth:`ApproximateThresholdAlgorithm.run_interactive` implements the
+user-facing protocol at the end of Section 6.2: after every round the user
+sees the current top-``k`` and the live guarantee ``theta = tau / beta``
+(``beta`` = the k-th buffered grade), and may stop whenever the guarantee
+is good enough.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..aggregation.base import AggregationFunction
+from ..middleware.access import AccessSession
+from .base import QueryError, TopKBuffer
+from .result import TopKResult
+from .ta import EarlyStopView, ThresholdAlgorithm
+
+__all__ = ["ApproximateThresholdAlgorithm"]
+
+
+class ApproximateThresholdAlgorithm(ThresholdAlgorithm):
+    """TA with the relaxed stopping rule ``min-grade >= tau / theta``."""
+
+    def __init__(self, theta: float, remember_seen: bool = False):
+        if theta <= 1.0:
+            raise QueryError(
+                f"theta must be > 1 (theta = 1 is exact TA), got {theta}"
+            )
+        super().__init__(remember_seen=remember_seen)
+        self.theta = theta
+        self.name = f"TA(theta={theta:g})"
+
+    def _halt_on_threshold(self, buffer: TopKBuffer, tau: float) -> bool:
+        return buffer.full and buffer.min_grade >= tau / self.theta
+
+    def run_interactive(
+        self,
+        session: AccessSession,
+        aggregation: AggregationFunction,
+        k: int,
+        stop_when: Callable[[EarlyStopView], bool],
+    ) -> TopKResult:
+        """Run TA but let ``stop_when`` end the run early.
+
+        ``stop_when`` receives an :class:`~repro.core.ta.EarlyStopView`
+        after every round once ``k`` objects are buffered; returning True
+        stops the run, and the result's ``extras['guarantee']`` certifies
+        the returned list as a ``guarantee``-approximation.  The built-in
+        ``theta`` still applies (whichever halt fires first wins).
+        """
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        if k > session.num_objects:
+            raise QueryError(
+                f"k={k} exceeds the database size N={session.num_objects}"
+            )
+        aggregation.check_arity(session.num_lists)
+        self._check_capabilities(session)
+        return self._execute(session, aggregation, k, observer=stop_when)

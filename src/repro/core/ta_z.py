@@ -1,0 +1,62 @@
+"""TAZ -- TA under restricted sorted access (Section 7).
+
+In the Bruno-Gravano-Marian restaurant scenario, only some lists (the set
+``Z``) can be sorted-accessed; the rest (prices, distances) answer random
+probes only.  TAZ sorted-accesses the ``Z`` lists in parallel, resolves
+every seen object by random access everywhere, and uses the threshold
+``tau = t(x_1, ..., x_m)`` with ``x_i = 1`` for ``i`` outside ``Z``.
+
+Theorem 7.1: TAZ is instance optimal among no-wild-guess algorithms
+restricted to sorted access on ``Z``, with (tight) ratio
+``m' + m'(m-1) cR/cS`` where ``m' = |Z|``.  But Example 7.3 (our
+``benchmarks/bench_fig3_taz.py``) shows the distinctness-property analogue
+of Theorem 6.5 fails: the fixed ``x_i = 1`` makes the threshold
+arbitrarily conservative, and TAZ may scan every list to the end
+(footnote 14's halting case, reported as ``halt_reason='exhausted'``).
+
+Implementation note: TAZ is TA with the sorted-access list set taken from
+the session's capabilities, so it can be run directly on a session built
+by :meth:`~repro.middleware.access.AccessSession.sorted_only_on`.  With
+``|Z| = 1`` it coincides with the TA-Adapt algorithm of Bruno et al.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..middleware.access import AccessSession
+from .base import QueryError
+from .ta import ThresholdAlgorithm
+
+__all__ = ["RestrictedSortedAccessTA"]
+
+
+class RestrictedSortedAccessTA(ThresholdAlgorithm):
+    """TA over the sorted-accessible subset ``Z`` of lists.
+
+    ``z`` may be given explicitly (and is validated against the session's
+    capabilities) or left ``None`` to use every list the session permits.
+    """
+
+    name = "TAZ"
+    requires_sorted_all_lists = False
+
+    def __init__(self, z: Sequence[int] | None = None, remember_seen: bool = False):
+        super().__init__(remember_seen=remember_seen)
+        self.z = tuple(sorted(set(z))) if z is not None else None
+        self.name = "TAZ" if z is None else f"TAZ(Z={list(self.z)})"
+
+    def _lists_for_sorted_access(self, session: AccessSession) -> Sequence[int]:
+        allowed = session.sorted_lists
+        if self.z is None:
+            if not allowed:
+                raise QueryError("TAZ needs at least one sorted-accessible list")
+            return allowed
+        allowed_set = set(allowed)
+        bad = [i for i in self.z if i not in allowed_set]
+        if bad:
+            raise QueryError(
+                f"TAZ was configured with Z={list(self.z)} but the session "
+                f"forbids sorted access on {bad}"
+            )
+        return self.z

@@ -1,0 +1,44 @@
+"""Workload generators: synthetic distributions and the paper's
+adversarial constructions."""
+
+from .adversarial import (
+    AdversarialInstance,
+    example_6_3,
+    example_6_8,
+    example_7_3,
+    example_8_3,
+    figure_5,
+    theorem_9_1_family,
+    theorem_9_2_family,
+    theorem_9_5_family,
+)
+from .realistic import ratings_like, search_scores_like, sensor_like
+from .synthetic import (
+    anticorrelated,
+    correlated,
+    permutations,
+    plateau,
+    uniform,
+    zipf_skewed,
+)
+
+__all__ = [
+    "AdversarialInstance",
+    "example_6_3",
+    "example_6_8",
+    "example_7_3",
+    "example_8_3",
+    "figure_5",
+    "theorem_9_1_family",
+    "theorem_9_2_family",
+    "theorem_9_5_family",
+    "ratings_like",
+    "search_scores_like",
+    "sensor_like",
+    "anticorrelated",
+    "correlated",
+    "permutations",
+    "plateau",
+    "uniform",
+    "zipf_skewed",
+]

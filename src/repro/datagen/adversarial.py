@@ -1,0 +1,483 @@
+"""The paper's adversarial database constructions, built exactly as
+specified.
+
+Each figure/example in the paper is a concrete family of databases used
+either to separate algorithm classes (a lucky wild guess beats every
+no-wild-guess algorithm, Example 6.3) or to witness lower bounds on
+optimality ratios (Theorems 9.1, 9.2, 9.5).  The constructors here return
+an :class:`AdversarialInstance` bundling the database with the intended
+aggregation function, ``k``, the unique winner, and the paper's stated
+*competitor cost* (the accesses of the clever algorithm the construction
+is designed for), which the benchmarks compare against measured algorithm
+costs.
+
+Tie placement inside lists follows the paper (e.g. Figure 1's winner sits
+exactly in the middle of both lists), using
+:meth:`~repro.middleware.database.Database.from_columns` which preserves
+explicit orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..aggregation import (
+    MIN,
+    SUM,
+    AggregationFunction,
+    Example73Aggregation,
+    MinOfSumFirstTwo,
+)
+from ..middleware.database import Database
+
+__all__ = [
+    "AdversarialInstance",
+    "example_6_3",
+    "example_6_8",
+    "example_7_3",
+    "example_8_3",
+    "figure_5",
+    "theorem_9_1_family",
+    "theorem_9_2_family",
+    "theorem_9_5_family",
+]
+
+
+@dataclass(frozen=True)
+class AdversarialInstance:
+    """A database plus the query it was built to stress.
+
+    ``competitor_sorted`` / ``competitor_random`` record the access counts
+    of the paper's intended clever competitor (e.g. "2 random accesses and
+    no sorted accesses" for Figure 1); benchmarks divide measured
+    algorithm costs by this competitor's cost to reproduce the paper's
+    unbounded-ratio claims.
+    """
+
+    database: Database
+    aggregation: AggregationFunction
+    k: int
+    top_object: Hashable
+    description: str
+    competitor_sorted: int
+    competitor_random: int
+    params: dict = field(default_factory=dict)
+    restricted_sorted_lists: tuple[int, ...] | None = None
+
+    def competitor_cost(self, cost_model) -> float:
+        """Middleware cost of the paper's stated competitor."""
+        return cost_model.cost(self.competitor_sorted, self.competitor_random)
+
+
+def example_6_3(n: int) -> AdversarialInstance:
+    """Figure 1 / Example 6.3: the lucky-wild-guess database.
+
+    ``2n + 1`` objects named ``1 .. 2n+1``; in ``L1`` the top ``n+1``
+    objects (``1 .. n+1``) have grade 1 and the rest 0; ``L2`` is in the
+    reverse object order with the top ``n+1`` (``2n+1 .. n+1``) at grade 1.
+    With ``t = min`` and ``k = 1``, object ``n+1`` is the unique winner
+    (grade 1; everything else grades 0) yet sits in the middle of both
+    lists, so any algorithm without wild guesses needs at least ``n+1``
+    sorted accesses, while guessing ``n+1`` costs two random accesses.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    total = 2 * n + 1
+    l1 = [(obj, 1.0 if obj <= n + 1 else 0.0) for obj in range(1, total + 1)]
+    l2 = [
+        (obj, 1.0 if obj >= n + 1 else 0.0)
+        for obj in range(total, 0, -1)
+    ]
+    db = Database.from_columns([l1, l2])
+    return AdversarialInstance(
+        database=db,
+        aggregation=MIN,
+        k=1,
+        top_object=n + 1,
+        description="Example 6.3 (Figure 1): wild guess finds the winner in 2 "
+        "random accesses; no-wild-guess algorithms need >= n+1 sorted accesses",
+        competitor_sorted=0,
+        competitor_random=2,
+        params={"n": n},
+    )
+
+
+def example_6_8(n: int, theta: float) -> AdversarialInstance:
+    """Figure 2 / Example 6.8: Example 6.3 hardened with distinct grades.
+
+    Same reverse-order structure, but all grades distinct: object ``n+1``
+    has grade ``1/theta`` in both lists and every other object has overall
+    grade at most ``1/(2 theta^2)``, so even a theta-approximation must
+    return ``n+1``.  Shows the distinctness property does not rescue
+    TA-theta (Theorem 6.9).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if theta <= 1.0:
+        raise ValueError(f"theta must be > 1, got {theta}")
+    total = 2 * n + 1
+    high = 1.0 / theta
+    low = 1.0 / (2.0 * theta * theta)
+
+    def grade_at(position: int) -> float:
+        """Strictly decreasing grades by 1-based list position."""
+        if position <= n:
+            # fillers above the winner, in (1/theta, 1)
+            return high + (1.0 - high) * (n + 1 - position) / (n + 1)
+        if position == n + 1:
+            return high
+        if position == n + 2:
+            return low
+        # tail below low, strictly decreasing, positive
+        return low * (total + 1 - position) / n
+
+    l1 = [(obj, grade_at(obj)) for obj in range(1, total + 1)]
+    l2 = [
+        (total + 1 - pos, grade_at(pos)) for pos in range(1, total + 1)
+    ]
+    db = Database.from_columns([l1, l2])
+    assert db.satisfies_distinctness()
+    return AdversarialInstance(
+        database=db,
+        aggregation=MIN,
+        k=1,
+        top_object=n + 1,
+        description="Example 6.8 (Figure 2): theta-approximation variant of the "
+        "wild-guess database, with distinct grades",
+        competitor_sorted=0,
+        competitor_random=2,
+        params={"n": n, "theta": theta},
+    )
+
+
+def example_7_3(n: int) -> AdversarialInstance:
+    """Figure 3 / Example 7.3: TAZ must scan everything.
+
+    Three lists, only ``L1`` sorted-accessible (``Z = {0}``),
+    ``t(x, y, z) = min(x, y)`` if ``z = 1`` else ``min(x, y, z) / 2``.
+    Object ``R`` has grades ``(1, 0.6, 1)`` so ``t(R) = 0.6``; every other
+    object has ``z < 1`` hence overall grade at most 0.475.  The minimum
+    grade in ``L1`` is 0.7, so TAZ's threshold never drops below 0.7 and
+    TAZ reads every list to the end -- yet 1 sorted + 2 random accesses
+    prove the answer.
+    """
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    others = [f"o{j}" for j in range(1, n)]
+    l1 = [("R", 1.0)] + [
+        (obj, 0.7 + 0.3 * (n - 1 - j) / n) for j, obj in enumerate(others, start=1)
+    ]
+    # L2: R on top with 0.6; all others strictly below 0.55
+    l2 = [("R", 0.6)] + [
+        (obj, 0.55 * (n - j) / n) for j, obj in enumerate(others, start=1)
+    ]
+    l3 = [("R", 1.0)] + [
+        (obj, 0.95 * (n - j) / n) for j, obj in enumerate(others, start=1)
+    ]
+    db = Database.from_columns([l1, l2, l3])
+    assert db.satisfies_distinctness()
+    return AdversarialInstance(
+        database=db,
+        aggregation=Example73Aggregation(),
+        k=1,
+        top_object="R",
+        description="Example 7.3 (Figure 3): with sorted access restricted to "
+        "L1, TAZ's threshold is stuck at >= 0.7 while the top grade is 0.6",
+        competitor_sorted=1,
+        competitor_random=2,
+        params={"n": n},
+        restricted_sorted_lists=(0,),
+    )
+
+
+def example_8_3(n: int, with_second: bool = False) -> AdversarialInstance:
+    """Figure 4 / Example 8.3: NRA can identify the winner without its grade.
+
+    Two lists, ``t = average``.  ``R`` has grade 1 in ``L1`` and 0 at the
+    bottom of ``L2``; every other grade in both lists is ``1/3``.  After
+    depth 2, ``W(R) = 1/2`` exceeds every other object's ``B = 1/3``, so
+    NRA halts -- but *computing* ``t(R)`` would require scanning all of
+    ``L2``.  With ``with_second=True``, a second object ``R2`` (grade 1 in
+    ``L1``, ``1/4`` in ``L2``) realises the paper's ``C2 < C1`` remark.
+    """
+    if n < 3:
+        raise ValueError(f"n must be >= 3, got {n}")
+    specials = ["R", "R2"] if with_second else ["R"]
+    fillers = [f"o{j}" for j in range(1, n + 1 - len(specials))]
+    l1 = [(s, 1.0) for s in specials] + [(obj, 1.0 / 3.0) for obj in fillers]
+    l2 = [(obj, 1.0 / 3.0) for obj in fillers]
+    if with_second:
+        l2.append(("R2", 0.25))
+    l2.append(("R", 0.0))
+    from ..aggregation import AVERAGE
+
+    db = Database.from_columns([l1, l2])
+    return AdversarialInstance(
+        database=db,
+        aggregation=AVERAGE,
+        k=1,
+        top_object="R",
+        description="Example 8.3 (Figure 4): the top object's grade is only "
+        "known after scanning all of L2, but its identity is known at depth 2",
+        competitor_sorted=3,
+        competitor_random=0,
+        params={"n": n, "with_second": with_second},
+    )
+
+
+def figure_5(h: int) -> AdversarialInstance:
+    """The Section 8.4 database separating CA from the intermittent
+    algorithm (Figure 5).
+
+    Three lists, ``t = x1 + x2 + x3``, ``h = floor(cR/cS)``.  The winner
+    ``R`` sits at position ``h - 1`` of ``L1`` and ``L2`` (grade 1/2 each)
+    and at position ``h^2`` of ``L3`` (grade 1/2), for an overall grade of
+    3/2; every other object stays at or below 11/8.  CA random-accesses
+    ``R`` (the unique object with a standout upper bound) as soon as its
+    first phase fires, while the intermittent algorithm first burns two
+    random accesses on each of the ``3(h-2)`` distinct top objects.
+    """
+    if h < 3:
+        raise ValueError(f"h must be >= 3, got {h}")
+    n_others = h * h - 1
+    others = [f"o{j}" for j in range(n_others)]
+    a_objs = others[: h - 2]  # top of L1
+    b_objs = others[h - 2 : 2 * (h - 2)]  # top of L2
+    d_objs = others[2 * (h - 2) : 3 * (h - 2)]  # top of L3
+    total = n_others + 1
+
+    def tail_grades(count: int) -> list[float]:
+        """Strictly decreasing grades starting at 1/8."""
+        return [0.125 * (count - idx) / count for idx in range(count)]
+
+    def build_list(top: list[str], top_grades: list[float], winner_pos: int):
+        column = list(zip(top, top_grades))
+        column.append(("R", 0.5))
+        rest = [obj for obj in others if obj not in set(top)]
+        column.extend(zip(rest, tail_grades(len(rest))))
+        assert len(column) == total
+        return column
+
+    top_grades_12 = [0.5 + i / (8.0 * h) for i in range(h - 2, 0, -1)]
+    l1 = build_list(a_objs, top_grades_12, h - 1)
+    l2 = build_list(b_objs, top_grades_12, h - 1)
+
+    # L3: positions 1..h^2-1 hold every non-R object, D-objects first
+    l3_order = d_objs + [obj for obj in others if obj not in set(d_objs)]
+    l3_grades = [0.5 + i / (8.0 * h * h) for i in range(n_others, 0, -1)]
+    l3 = list(zip(l3_order, l3_grades)) + [("R", 0.5)]
+
+    db = Database.from_columns([l1, l2, l3])
+    return AdversarialInstance(
+        database=db,
+        aggregation=SUM,
+        k=1,
+        top_object="R",
+        description="Figure 5 (Section 8.4): CA resolves R with one random "
+        "access; the intermittent algorithm and TA pay ~6(h-2) random accesses "
+        "on the decoy tops first",
+        competitor_sorted=3 * h,
+        competitor_random=1,
+        params={"h": h},
+    )
+
+
+def theorem_9_1_family(d: int, m: int, k: int = 1) -> AdversarialInstance:
+    """The Theorem 9.1 lower-bound family (tightness of TA's ratio).
+
+    ``t = min`` (strict).  One object ``T`` has grade 1 everywhere and
+    sits at position ``d + k - 1`` of list 0; every other object has grade
+    1 in all lists except one, where it has grade 0.  TA pays
+    ``~ d*m*cS + d*m*(m-1)*cR`` while ``d`` sorted accesses on list 0 plus
+    ``m - 1`` random accesses suffice, so the measured ratio approaches
+    ``m + m(m-1) cR/cS`` as ``d`` grows.
+
+    For ``k > 1``, ``k - 1`` easy all-ones objects are prepended to every
+    list, as in the paper's proof.
+    """
+    if m < 2:
+        raise ValueError(f"m must be >= 2, got {m}")
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    per_class = 2 * d + 2
+    others = [f"o{x}" for x in range(m * per_class)]
+    easy = [f"easy{j}" for j in range(k - 1)]
+
+    def zero_list(obj: str) -> int:
+        return int(obj[1:]) % m
+
+    columns = []
+    for i in range(m):
+        ones = [obj for obj in others if zero_list(obj) != i]
+        zeros = [obj for obj in others if zero_list(obj) == i]
+        if i == 0:
+            order = ones[: d - 1] + ["T"] + ones[d - 1 :]
+        else:
+            pos = min(2 * d, len(ones))
+            order = ones[:pos] + ["T"] + ones[pos:]
+        order = easy + order
+        column = [(obj, 1.0) for obj in order] + [(obj, 0.0) for obj in zeros]
+        columns.append(column)
+
+    db = Database.from_columns(columns)
+    return AdversarialInstance(
+        database=db,
+        aggregation=MIN,
+        k=k,
+        top_object="T",
+        description="Theorem 9.1 family: TA's optimality ratio approaches "
+        "m + m(m-1) cR/cS against the d-sorted + (m-1)-random competitor",
+        competitor_sorted=d + k - 1,
+        competitor_random=(m - 1) * k,
+        params={"d": d, "m": m, "k": k},
+    )
+
+
+def theorem_9_2_family(d: int, m: int, n: int | None = None) -> AdversarialInstance:
+    """The Theorem 9.2 lower-bound family for ``t = min(x1+x2, x3, ..., xm)``.
+
+    Distinct grades everywhere.  ``d`` *candidates* pair up in lists 0 and
+    1 so that each has ``x1 + x2 = 1/2``; the winner ``T`` is the unique
+    candidate whose grades in lists ``2 .. m-1`` all lie in ``[1/2, 3/4)``;
+    every other candidate dips below ``1/2`` in exactly one of those
+    lists.  A competitor reads the top ``d`` of lists 0 and 1 and
+    random-accesses ``T``'s remaining ``m - 2`` grades; every deterministic
+    algorithm must pay ``~ (d-1)(m-2)`` random accesses (or ``N/4`` sorted
+    accesses) to distinguish the candidates.
+    """
+    if m < 3:
+        raise ValueError(f"m must be >= 3, got {m}")
+    if d < 2:
+        raise ValueError(f"d must be >= 2, got {d}")
+    if n is None:
+        n = max(8 * d, 64)
+    if n % 4:
+        n += 4 - n % 4
+    if n < 4 * (d + 2):
+        raise ValueError(f"n={n} too small for d={d} (need n >= 4(d+2))")
+
+    candidates = [f"c{i}" for i in range(1, d + 1)]
+    winner = candidates[-1]
+    fillers = [f"f{j}" for j in range(1, n - d + 1)]
+
+    # lists 0 and 1: candidate i gets i/(2d+2) and (d+1-i)/(2d+2)
+    denom = 2.0 * d + 2.0
+    small = 1.0 / denom
+
+    def filler_grades(reverse: bool) -> list[float]:
+        count = len(fillers)
+        gs = [small * (count - idx) / (count + 1) for idx in range(count)]
+        return gs if not reverse else gs  # same grades, order differs by caller
+
+    l0 = [(candidates[i - 1], i / denom) for i in range(d, 0, -1)]
+    l0 += list(zip(fillers, filler_grades(False)))
+    l1 = [(candidates[i - 1], (d + 1 - i) / denom) for i in range(1, d + 1)]
+    l1 += list(zip(reversed(fillers), filler_grades(True)))
+
+    # lists 2..m-1: grades are a permutation of i/n; candidates sit in the
+    # high band [n/2, 3n/4) except each non-winner dips low in one list.
+    columns = [l0, l1]
+    for ell in range(2, m):
+        high_band = list(range(3 * n // 4 - 1, n // 2 - 1, -1))
+        low_band = list(range(n // 2 - 1, 0, -1))
+        assignment: dict[str, int] = {}
+        hi_iter = iter(high_band)
+        lo_iter = iter(low_band)
+        for j, cand in enumerate(candidates):
+            excluded = 2 + (j % (m - 2)) if cand != winner else None
+            if excluded == ell:
+                assignment[cand] = next(lo_iter)
+            else:
+                assignment[cand] = next(hi_iter)
+        used = set(assignment.values())
+        free = [i for i in range(n, 0, -1) if i not in used]
+        for filler, idx in zip(fillers, free):
+            assignment[filler] = idx
+        column = sorted(
+            ((obj, idx / n) for obj, idx in assignment.items()),
+            key=lambda e: -e[1],
+        )
+        columns.append(column)
+
+    db = Database.from_columns(columns)
+    assert db.satisfies_distinctness()
+    return AdversarialInstance(
+        database=db,
+        aggregation=MinOfSumFirstTwo(),
+        k=1,
+        top_object=winner,
+        description="Theorem 9.2 family: distinct grades, strictly monotone t, "
+        "yet every algorithm needs ~(d-1)(m-2) random accesses; the competitor "
+        "pays 2d sorted + (m-2) random",
+        competitor_sorted=2 * d,
+        competitor_random=m - 2,
+        params={"d": d, "m": m, "n": n},
+    )
+
+
+def theorem_9_5_family(d: int, m: int) -> AdversarialInstance:
+    """The Theorem 9.5 lower-bound family (tightness of NRA's ratio ``m``).
+
+    ``t = min``.  ``2m`` special objects; list ``i``'s top ``2m - 2``
+    entries are the specials *except* the pair ``(T_i, T'_i)`` whose
+    "challenge list" is ``i``.  The unique all-ones object ``T`` hides at
+    position ``d`` of its challenge list (list 0 here).  Lockstep NRA must
+    descend to depth ``d`` in *every* list (``d*m`` sorted accesses) while
+    a clever no-random-access competitor pays ``d + (m-1)(2m-2)`` sorted
+    accesses, giving ratio ``-> m``.
+    """
+    if m < 2:
+        raise ValueError(f"m must be >= 2, got {m}")
+    if d < 2 * m:
+        raise ValueError(f"d must be >= 2m = {2 * m}, got {d}")
+
+    specials = [f"T{i}" for i in range(m)] + [f"U{i}" for i in range(m)]
+    winner = "T0"
+
+    def challenge(obj: str) -> int:
+        return int(obj[1:])
+
+    filler_count_per_list = [
+        d - (2 * m - 1) if i == 0 else d - (2 * m - 2) for i in range(m)
+    ]
+    total_fillers = sum(filler_count_per_list)
+    fillers = [f"f{j}" for j in range(total_fillers)]
+    # each filler has grade 1 in exactly one list
+    filler_home: dict[str, int] = {}
+    cursor = 0
+    for i, count in enumerate(filler_count_per_list):
+        for filler in fillers[cursor : cursor + count]:
+            filler_home[filler] = i
+        cursor += count
+
+    columns = []
+    for i in range(m):
+        top_specials = [s for s in specials if challenge(s) != i]
+        ones = list(top_specials)
+        ones += [f for f in fillers if filler_home[f] == i]
+        if i == 0:
+            ones.append(winner)  # position d exactly
+        assert len(ones) == d, (len(ones), d)
+        zeros = [
+            obj
+            for obj in specials + fillers
+            if obj not in set(ones)
+        ]
+        column = [(obj, 1.0) for obj in ones] + [(obj, 0.0) for obj in zeros]
+        columns.append(column)
+
+    db = Database.from_columns(columns)
+    return AdversarialInstance(
+        database=db,
+        aggregation=MIN,
+        k=1,
+        top_object=winner,
+        description="Theorem 9.5 family: lockstep NRA pays d*m sorted accesses "
+        "while d + (m-1)(2m-2) suffice without random access",
+        competitor_sorted=d + (m - 1) * (2 * m - 2),
+        competitor_random=0,
+        params={"d": d, "m": m},
+    )

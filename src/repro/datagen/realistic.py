@@ -1,0 +1,113 @@
+"""Realistic workload shapes from the paper's motivating applications.
+
+The paper motivates middleware top-k with multimedia repositories,
+information retrieval and recommendation-style data.  These generators
+mimic the grade distributions such systems actually produce, filling the
+space between the clean synthetic distributions and the adversarial
+families:
+
+* :func:`ratings_like` -- recommendation scores: per-object quality with
+  per-list (rater) noise, giving strong but imperfect cross-list
+  correlation and a bimodal shape (most items mediocre, a head of hits);
+* :func:`search_scores_like` -- IR relevance: sparse grades where most
+  objects score (near) zero for most terms and a small overlap set
+  scores on all of them -- exercising NRA's ``W = 0`` regime for
+  ``min``-style queries and the sum aggregation of Section 1;
+* :func:`sensor_like` -- bounded drifting signals: adjacent objects have
+  similar grades (plateau-ish runs without exact ties).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..middleware.database import Database
+
+__all__ = ["ratings_like", "search_scores_like", "sensor_like"]
+
+
+def _check(n: int, m: int) -> None:
+    if n < 1:
+        raise ValueError(f"need at least one object, got n={n}")
+    if m < 1:
+        raise ValueError(f"need at least one list, got m={m}")
+
+
+def ratings_like(
+    n: int,
+    m: int,
+    hit_fraction: float = 0.1,
+    noise: float = 0.15,
+    seed: int = 0,
+) -> Database:
+    """Recommendation-style grades: latent quality + per-list noise.
+
+    A ``hit_fraction`` of objects draw quality from the upper beta mode;
+    the rest from the lower mode.  Each list observes quality through
+    independent noise, so lists agree on the head but shuffle the tail.
+    """
+    _check(n, m)
+    if not (0.0 <= hit_fraction <= 1.0):
+        raise ValueError(f"hit_fraction must be in [0, 1], got {hit_fraction}")
+    if noise < 0:
+        raise ValueError(f"noise must be >= 0, got {noise}")
+    rng = np.random.default_rng(seed)
+    hits = rng.random(n) < hit_fraction
+    quality = np.where(
+        hits, rng.beta(8, 2, size=n), rng.beta(2.5, 4, size=n)
+    )
+    grades = quality[:, None] + rng.normal(0.0, noise, size=(n, m))
+    return Database.from_array(np.clip(grades, 0.0, 1.0))
+
+
+def search_scores_like(
+    n: int,
+    m: int,
+    match_fraction: float = 0.25,
+    overlap_fraction: float = 0.05,
+    seed: int = 0,
+) -> Database:
+    """IR-style sparse relevance scores.
+
+    Each object matches each term (list) independently with probability
+    ``match_fraction`` (score drawn from a skewed beta; zero otherwise),
+    except for an ``overlap_fraction`` of documents relevant to *every*
+    term -- the documents a conjunctive query is really after.
+    """
+    _check(n, m)
+    for name, value in (
+        ("match_fraction", match_fraction),
+        ("overlap_fraction", overlap_fraction),
+    ):
+        if not (0.0 <= value <= 1.0):
+            raise ValueError(f"{name} must be in [0, 1], got {value}")
+    rng = np.random.default_rng(seed)
+    scores = rng.beta(2, 5, size=(n, m))
+    matches = rng.random((n, m)) < match_fraction
+    overlap = rng.random(n) < overlap_fraction
+    matches[overlap, :] = True
+    # strong signal for the overlap set
+    scores[overlap] = np.clip(scores[overlap] + 0.4, 0.0, 1.0)
+    grades = np.where(matches, scores, 0.0)
+    return Database.from_array(grades)
+
+
+def sensor_like(
+    n: int,
+    m: int,
+    drift: float = 0.02,
+    seed: int = 0,
+) -> Database:
+    """Bounded random walks: object ``i``'s grade in each list drifts
+    from object ``i-1``'s -- long quasi-plateaus without exact ties."""
+    _check(n, m)
+    if drift <= 0:
+        raise ValueError(f"drift must be positive, got {drift}")
+    rng = np.random.default_rng(seed)
+    steps = rng.normal(0.0, drift, size=(n, m))
+    start = rng.random(m)
+    walk = start[None, :] + np.cumsum(steps, axis=0)
+    # reflect into [0, 1]
+    walk = np.abs(walk) % 2.0
+    walk = np.where(walk > 1.0, 2.0 - walk, walk)
+    return Database.from_array(walk)

@@ -1,0 +1,51 @@
+"""Middleware substrate: databases, access modes, costs, and sources.
+
+The substrate realises the paper's model (Sections 1-2): a database is
+``m`` sorted lists over ``N`` objects; algorithms may only *sorted-access*
+(pop the next entry of a list, cost ``cS``) or *random-access* (fetch a
+named object's grade, cost ``cR``) through an accounted
+:class:`~repro.middleware.access.AccessSession`.
+"""
+
+from .access import AccessSession, AccessStats, ListCapabilities
+from .cost import UNIT_COSTS, CostModel
+from .database import Database
+from .errors import (
+    AccessError,
+    CapabilityError,
+    DatabaseError,
+    MiddlewareError,
+    UnknownListError,
+    UnknownObjectError,
+    WildGuessError,
+)
+from .serialization import load_json, load_npz, save_json, save_npz
+from .sources import GradedSource, ScoredCollection, assemble_database
+from .trace import RANDOM, SORTED, AccessEvent, AccessTrace
+
+__all__ = [
+    "AccessSession",
+    "AccessStats",
+    "ListCapabilities",
+    "CostModel",
+    "UNIT_COSTS",
+    "Database",
+    "MiddlewareError",
+    "DatabaseError",
+    "AccessError",
+    "CapabilityError",
+    "WildGuessError",
+    "UnknownObjectError",
+    "UnknownListError",
+    "GradedSource",
+    "ScoredCollection",
+    "assemble_database",
+    "save_json",
+    "load_json",
+    "save_npz",
+    "load_npz",
+    "AccessEvent",
+    "AccessTrace",
+    "SORTED",
+    "RANDOM",
+]

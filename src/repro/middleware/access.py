@@ -1,0 +1,298 @@
+"""The access session: the only gateway through which algorithms touch a
+database.
+
+A session wraps a :class:`~repro.middleware.database.Database` and
+
+* implements the two access modes of Section 2 (sorted access pops the
+  next entry of a list; random access fetches a named object's grade),
+* charges every access against a :class:`~repro.middleware.cost.CostModel`,
+* enforces per-list capabilities (a list may forbid sorted and/or random
+  access, modelling search engines without random access or the
+  restricted-sorted-access scenario of Section 7), and
+* optionally certifies the *no-wild-guess* property of Theorem 6.1 by
+  raising :class:`~repro.middleware.errors.WildGuessError` when an object
+  is random-accessed before ever being seen under sorted access.
+
+Algorithms receive a session, never a database, so the access counts and
+middleware cost reported by a run are trustworthy by construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from .cost import CostModel, UNIT_COSTS
+from .database import Database
+from .errors import CapabilityError, UnknownListError, WildGuessError
+from .trace import RANDOM, SORTED, AccessEvent, AccessTrace
+
+__all__ = ["ListCapabilities", "AccessStats", "AccessSession"]
+
+
+@dataclass(frozen=True)
+class ListCapabilities:
+    """Which access modes a list supports.
+
+    The paper's scenarios map to:
+
+    * default middleware (QBIC-like): both modes allowed;
+    * web search engine: ``random_allowed=False`` (Section 2);
+    * NYT-Review / MapQuest in the restaurant example:
+      ``sorted_allowed=False`` (Section 7).
+    """
+
+    sorted_allowed: bool = True
+    random_allowed: bool = True
+
+
+@dataclass
+class AccessStats:
+    """Snapshot of a session's accounting."""
+
+    sorted_accesses: int = 0
+    random_accesses: int = 0
+    sorted_by_list: dict[int, int] = field(default_factory=dict)
+    random_by_list: dict[int, int] = field(default_factory=dict)
+    middleware_cost: float = 0.0
+    depth: int = 0
+    distinct_objects_seen: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"s={self.sorted_accesses} r={self.random_accesses} "
+            f"cost={self.middleware_cost:g} depth={self.depth}"
+        )
+
+
+class AccessSession:
+    """Accounted, capability-checked access to one database.
+
+    Parameters
+    ----------
+    database:
+        The database to expose.
+    cost_model:
+        Access costs; defaults to ``cS = cR = 1``.
+    capabilities:
+        Either a single :class:`ListCapabilities` applied to every list or
+        a sequence of per-list capabilities.
+    forbid_wild_guesses:
+        When true, random access to an object not previously returned by
+        *any* sorted access raises :class:`WildGuessError`.
+    record_trace:
+        When true, every access is appended to :attr:`trace`.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        cost_model: CostModel = UNIT_COSTS,
+        capabilities: ListCapabilities | Sequence[ListCapabilities] | None = None,
+        forbid_wild_guesses: bool = False,
+        record_trace: bool = False,
+    ):
+        self._db = database
+        self._cost_model = cost_model
+        m = database.num_lists
+        if capabilities is None:
+            self._capabilities = [ListCapabilities()] * m
+        elif isinstance(capabilities, ListCapabilities):
+            self._capabilities = [capabilities] * m
+        else:
+            caps = list(capabilities)
+            if len(caps) != m:
+                raise ValueError(
+                    f"got {len(caps)} capability entries for m={m} lists"
+                )
+            self._capabilities = caps
+        self._forbid_wild_guesses = forbid_wild_guesses
+        self._positions = [0] * m
+        self._sorted_by_list = [0] * m
+        self._random_by_list = [0] * m
+        self._seen_sorted: set[Hashable] = set()
+        self.trace: AccessTrace | None = AccessTrace() if record_trace else None
+
+    # ------------------------------------------------------------------
+    # convenience constructors for the paper's scenarios
+    # ------------------------------------------------------------------
+    @classmethod
+    def no_random(
+        cls, database: Database, cost_model: CostModel = UNIT_COSTS, **kwargs
+    ) -> "AccessSession":
+        """A session where random access is impossible (NRA's setting)."""
+        return cls(
+            database,
+            cost_model,
+            capabilities=ListCapabilities(random_allowed=False),
+            **kwargs,
+        )
+
+    @classmethod
+    def sorted_only_on(
+        cls,
+        database: Database,
+        z: Iterable[int],
+        cost_model: CostModel = UNIT_COSTS,
+        **kwargs,
+    ) -> "AccessSession":
+        """A session where only lists in ``z`` allow sorted access
+        (Section 7's setting; every list still allows random access)."""
+        z = set(z)
+        caps = [
+            ListCapabilities(sorted_allowed=(i in z), random_allowed=True)
+            for i in range(database.num_lists)
+        ]
+        if not any(c.sorted_allowed for c in caps):
+            raise ValueError("Z must contain at least one list (|Z| >= 1)")
+        return cls(database, cost_model, capabilities=caps, **kwargs)
+
+    # ------------------------------------------------------------------
+    # shape and capability introspection (free of charge)
+    # ------------------------------------------------------------------
+    @property
+    def num_lists(self) -> int:
+        return self._db.num_lists
+
+    @property
+    def num_objects(self) -> int:
+        """``N``.  The paper's model takes the database size as known to
+        the algorithm (it appears in the cost bounds); NRA uses it to
+        decide whether unseen objects remain."""
+        return self._db.num_objects
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self._cost_model
+
+    def capabilities(self, list_index: int) -> ListCapabilities:
+        self._check_list(list_index)
+        return self._capabilities[list_index]
+
+    @property
+    def sorted_lists(self) -> list[int]:
+        """Indices of lists that allow sorted access (the set ``Z``)."""
+        return [
+            i for i, c in enumerate(self._capabilities) if c.sorted_allowed
+        ]
+
+    # ------------------------------------------------------------------
+    # the two access modes
+    # ------------------------------------------------------------------
+    def sorted_access(self, list_index: int):
+        """Pop the next entry of list ``list_index``.
+
+        Returns ``(object, grade)`` or ``None`` once the list is exhausted
+        (exhaustion is free; only returned entries are charged).
+        """
+        self._check_list(list_index)
+        if not self._capabilities[list_index].sorted_allowed:
+            raise CapabilityError("sorted", list_index)
+        position = self._positions[list_index]
+        entry = self._db.sorted_entry(list_index, position)
+        if entry is None:
+            return None
+        self._positions[list_index] = position + 1
+        self._sorted_by_list[list_index] += 1
+        obj, grade = entry
+        self._seen_sorted.add(obj)
+        if self.trace is not None:
+            self.trace.record(
+                AccessEvent(
+                    SORTED, list_index, obj, grade, position, self.middleware_cost
+                )
+            )
+        return entry
+
+    def random_access(self, list_index: int, obj: Hashable) -> float:
+        """Fetch the grade of ``obj`` in list ``list_index``.
+
+        Every call is charged, including repeats for the same pair -- the
+        bounded-buffer TA of Section 4 relies on exactly that behaviour.
+        """
+        self._check_list(list_index)
+        if not self._capabilities[list_index].random_allowed:
+            raise CapabilityError("random", list_index)
+        if self._forbid_wild_guesses and obj not in self._seen_sorted:
+            raise WildGuessError(obj, list_index)
+        grade = self._db.grade(obj, list_index)  # raises UnknownObjectError
+        self._random_by_list[list_index] += 1
+        if self.trace is not None:
+            self.trace.record(
+                AccessEvent(
+                    RANDOM, list_index, obj, grade, -1, self.middleware_cost
+                )
+            )
+        return grade
+
+    # ------------------------------------------------------------------
+    # cursor state
+    # ------------------------------------------------------------------
+    def position(self, list_index: int) -> int:
+        """Number of entries consumed from list ``list_index``."""
+        self._check_list(list_index)
+        return self._positions[list_index]
+
+    @property
+    def depth(self) -> int:
+        """``d = max_i d_i``, the paper's notion of the depth reached."""
+        return max(self._positions)
+
+    def exhausted(self, list_index: int) -> bool:
+        self._check_list(list_index)
+        return self._positions[list_index] >= self._db.num_objects
+
+    @property
+    def all_sorted_exhausted(self) -> bool:
+        """True when every sorted-capable list has been fully consumed."""
+        lists = self.sorted_lists
+        return bool(lists) and all(self.exhausted(i) for i in lists)
+
+    @property
+    def objects_seen_sorted(self) -> int:
+        """Number of distinct objects seen under sorted access so far."""
+        return len(self._seen_sorted)
+
+    def seen_under_sorted(self, obj: Hashable) -> bool:
+        return obj in self._seen_sorted
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def sorted_accesses(self) -> int:
+        return sum(self._sorted_by_list)
+
+    @property
+    def random_accesses(self) -> int:
+        return sum(self._random_by_list)
+
+    @property
+    def middleware_cost(self) -> float:
+        return self._cost_model.cost(self.sorted_accesses, self.random_accesses)
+
+    def stats(self) -> AccessStats:
+        return AccessStats(
+            sorted_accesses=self.sorted_accesses,
+            random_accesses=self.random_accesses,
+            sorted_by_list={
+                i: n for i, n in enumerate(self._sorted_by_list) if n
+            },
+            random_by_list={
+                i: n for i, n in enumerate(self._random_by_list) if n
+            },
+            middleware_cost=self.middleware_cost,
+            depth=self.depth,
+            distinct_objects_seen=len(self._seen_sorted),
+        )
+
+    def _check_list(self, list_index: int) -> None:
+        if not (0 <= list_index < self._db.num_lists):
+            raise UnknownListError(list_index, self._db.num_lists)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<AccessSession {self._db!r} s={self.sorted_accesses} "
+            f"r={self.random_accesses} cost={self.middleware_cost:g}>"
+        )

@@ -1,0 +1,83 @@
+"""Middleware cost model.
+
+The paper charges ``cS`` per sorted access and ``cR`` per random access;
+an execution with ``s`` sorted and ``r`` random accesses has *middleware
+cost* ``s*cS + r*cR``.  Both constants are strictly positive (footnote 10
+notes the results would survive ``cR = 0``, which we allow behind an
+explicit flag for the "sorted-cost-only" analyses of Section 6).
+
+The derived quantity ``h = floor(cR / cS)`` drives CA's random-access
+schedule (Section 8.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["CostModel", "UNIT_COSTS"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Positive access costs ``(cS, cR)`` and the derived middleware cost.
+
+    Parameters
+    ----------
+    sorted_cost:
+        ``cS``, the cost of one sorted access.
+    random_cost:
+        ``cR``, the cost of one random access.
+    allow_zero_random:
+        Permit ``cR = 0`` for the sorted-cost-only analyses; default off.
+    """
+
+    sorted_cost: float = 1.0
+    random_cost: float = 1.0
+    allow_zero_random: bool = False
+
+    def __post_init__(self):
+        if self.sorted_cost <= 0:
+            raise ValueError(f"cS must be positive, got {self.sorted_cost}")
+        if self.random_cost < 0 or (
+            self.random_cost == 0 and not self.allow_zero_random
+        ):
+            raise ValueError(
+                f"cR must be positive (got {self.random_cost}); pass "
+                "allow_zero_random=True for the sorted-cost-only analyses"
+            )
+
+    @property
+    def cs(self) -> float:
+        """Alias for ``sorted_cost`` matching the paper's ``cS``."""
+        return self.sorted_cost
+
+    @property
+    def cr(self) -> float:
+        """Alias for ``random_cost`` matching the paper's ``cR``."""
+        return self.random_cost
+
+    @property
+    def ratio(self) -> float:
+        """``cR / cS``, the quantity the optimality ratios depend on."""
+        return self.random_cost / self.sorted_cost
+
+    @property
+    def h(self) -> int:
+        """``h = floor(cR / cS)``, CA's random-access period (>= 1 only
+        when ``cR >= cS``, which CA assumes)."""
+        return max(1, math.floor(self.ratio))
+
+    def cost(self, sorted_accesses: int, random_accesses: int) -> float:
+        """Middleware cost ``s*cS + r*cR``."""
+        return (
+            sorted_accesses * self.sorted_cost
+            + random_accesses * self.random_cost
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CostModel(cS={self.sorted_cost}, cR={self.random_cost})"
+
+
+#: The unit cost model ``cS = cR = 1`` used as the default everywhere.
+UNIT_COSTS = CostModel(1.0, 1.0)

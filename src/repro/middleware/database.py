@@ -1,0 +1,315 @@
+"""The middleware's view of a database: ``m`` sorted lists over ``N``
+objects.
+
+Following Section 1 of the paper, a database is a finite set of objects,
+each with ``m`` grades in ``[0, 1]``; list ``i`` contains one entry
+``(R, x_i)`` per object, sorted by grade in descending order.  This module
+stores that view directly:
+
+* a grade table (object -> tuple of ``m`` grades) giving O(1) random
+  access, and
+* ``m`` explicit orderings giving O(1) sorted access by position.
+
+Tie order inside a list is semantically *arbitrary* (the paper breaks ties
+arbitrarily) but operationally significant: several counterexamples in the
+paper place a specific object below its grade-mates.  Construction via
+:meth:`Database.from_columns` therefore preserves the caller's exact order,
+while :meth:`Database.from_rows` produces a deterministic order (grade
+descending, insertion order among ties).
+
+The database itself performs no accounting; all algorithmic access is
+mediated (and charged) by :class:`repro.middleware.access.AccessSession`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Hashable
+
+import numpy as np
+
+from .errors import DatabaseError, UnknownListError, UnknownObjectError
+
+__all__ = ["Database"]
+
+ObjectId = Hashable
+
+
+class Database:
+    """Immutable ``m``-list graded database.
+
+    Use one of the classmethod constructors:
+
+    * :meth:`from_rows` -- ``{object_id: (x1, ..., xm)}``;
+    * :meth:`from_columns` -- explicit per-list orderings (for adversarial
+      constructions where tie order matters);
+    * :meth:`from_array` -- an ``(N, m)`` numpy array of grades.
+    """
+
+    def __init__(
+        self,
+        grades: dict[ObjectId, tuple[float, ...]],
+        orderings: list[list[ObjectId]],
+        validate: bool = True,
+    ):
+        self._grades = grades
+        self._orderings = orderings
+        self._m = len(orderings)
+        if validate:
+            self._validate()
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Mapping[ObjectId, Sequence[float]],
+        validate: bool = True,
+    ) -> "Database":
+        """Build from ``{object_id: grade_vector}``.
+
+        Each list is ordered by grade descending; ties keep the mapping's
+        insertion order (stable sort), making construction deterministic.
+        """
+        if not rows:
+            raise DatabaseError("database must contain at least one object")
+        arities = {len(v) for v in rows.values()}
+        if len(arities) != 1:
+            raise DatabaseError(
+                f"all objects must have the same number of grades; got {arities}"
+            )
+        m = arities.pop()
+        if m < 1:
+            raise DatabaseError("objects must have at least one grade")
+        grades = {obj: tuple(float(g) for g in vec) for obj, vec in rows.items()}
+        objects = list(grades)
+        orderings = [
+            sorted(objects, key=lambda obj: -grades[obj][i]) for i in range(m)
+        ]
+        return cls(grades, orderings, validate=validate)
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Sequence[Sequence[tuple[ObjectId, float]]],
+        validate: bool = True,
+    ) -> "Database":
+        """Build from explicit per-list ``[(object_id, grade), ...]`` in the
+        exact sorted order to expose, preserving tie placement.
+
+        Raises :class:`DatabaseError` if any column is not non-increasing
+        in grade or the columns disagree on the object set.
+        """
+        if not columns:
+            raise DatabaseError("database must contain at least one list")
+        grades: dict[ObjectId, list[float | None]] = {}
+        m = len(columns)
+        orderings: list[list[ObjectId]] = []
+        for i, column in enumerate(columns):
+            ordering = []
+            previous = None
+            for obj, grade in column:
+                grade = float(grade)
+                if previous is not None and grade > previous + 1e-15:
+                    raise DatabaseError(
+                        f"list {i} is not sorted descending at object {obj!r}"
+                    )
+                previous = grade
+                vec = grades.setdefault(obj, [None] * m)
+                if vec[i] is not None:
+                    raise DatabaseError(
+                        f"object {obj!r} appears twice in list {i}"
+                    )
+                vec[i] = grade
+                ordering.append(obj)
+            orderings.append(ordering)
+        missing = {
+            obj: [i for i, g in enumerate(vec) if g is None]
+            for obj, vec in grades.items()
+            if any(g is None for g in vec)
+        }
+        if missing:
+            raise DatabaseError(
+                f"objects missing from some lists: {dict(list(missing.items())[:5])}"
+            )
+        final = {obj: tuple(vec) for obj, vec in grades.items()}
+        return cls(final, orderings, validate=validate)
+
+    @classmethod
+    def from_array(
+        cls,
+        array: np.ndarray,
+        object_ids: Sequence[ObjectId] | None = None,
+        validate: bool = True,
+    ) -> "Database":
+        """Build from an ``(N, m)`` array of grades.
+
+        ``object_ids`` defaults to ``0 .. N-1``.  Ordering inside each list
+        is grade descending with ties broken by object index (via a stable
+        argsort), which is deterministic.
+        """
+        array = np.asarray(array, dtype=float)
+        if array.ndim != 2:
+            raise DatabaseError(
+                f"expected a 2-D (N, m) array, got shape {array.shape}"
+            )
+        n, m = array.shape
+        if n < 1 or m < 1:
+            raise DatabaseError(f"array must be non-empty, got shape {array.shape}")
+        if object_ids is None:
+            object_ids = range(n)
+        ids = list(object_ids)
+        if len(ids) != n:
+            raise DatabaseError(
+                f"got {len(ids)} object ids for {n} rows"
+            )
+        grades = {obj: tuple(array[row].tolist()) for row, obj in enumerate(ids)}
+        orderings = []
+        for i in range(m):
+            order = np.argsort(-array[:, i], kind="stable")
+            orderings.append([ids[row] for row in order.tolist()])
+        return cls(grades, orderings, validate=validate)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if not self._grades:
+            raise DatabaseError("database must contain at least one object")
+        if self._m < 1:
+            raise DatabaseError("database must contain at least one list")
+        n = len(self._grades)
+        for obj, vec in self._grades.items():
+            if len(vec) != self._m:
+                raise DatabaseError(
+                    f"object {obj!r} has {len(vec)} grades, expected {self._m}"
+                )
+            for i, g in enumerate(vec):
+                if not (0.0 <= g <= 1.0) or g != g:  # NaN check via g != g
+                    raise DatabaseError(
+                        f"grade of object {obj!r} in list {i} is {g}, "
+                        "outside [0, 1]"
+                    )
+        for i, ordering in enumerate(self._orderings):
+            if len(ordering) != n:
+                raise DatabaseError(
+                    f"list {i} has {len(ordering)} entries for {n} objects"
+                )
+            if len(set(ordering)) != n:
+                raise DatabaseError(f"list {i} contains duplicate objects")
+            previous = None
+            for obj in ordering:
+                g = self._grades[obj][i]
+                if previous is not None and g > previous + 1e-15:
+                    raise DatabaseError(f"list {i} is not sorted descending")
+                previous = g
+
+    # ------------------------------------------------------------------
+    # basic shape
+    # ------------------------------------------------------------------
+    @property
+    def num_objects(self) -> int:
+        """``N``, the number of objects."""
+        return len(self._grades)
+
+    @property
+    def num_lists(self) -> int:
+        """``m``, the number of sorted lists (= arity of the query)."""
+        return self._m
+
+    @property
+    def objects(self) -> Iterable[ObjectId]:
+        """All object ids (iteration order unspecified)."""
+        return self._grades.keys()
+
+    def __contains__(self, obj: ObjectId) -> bool:
+        return obj in self._grades
+
+    def __len__(self) -> int:
+        return len(self._grades)
+
+    # ------------------------------------------------------------------
+    # raw (un-accounted) access; algorithms must go through AccessSession
+    # ------------------------------------------------------------------
+    def sorted_entry(self, list_index: int, position: int):
+        """Entry ``(object, grade)`` at 0-based ``position`` of list
+        ``list_index``, or ``None`` past the end."""
+        self._check_list(list_index)
+        ordering = self._orderings[list_index]
+        if position < 0:
+            raise IndexError(f"negative position {position}")
+        if position >= len(ordering):
+            return None
+        obj = ordering[position]
+        return obj, self._grades[obj][list_index]
+
+    def grade(self, obj: ObjectId, list_index: int) -> float:
+        """Grade of ``obj`` in list ``list_index`` (a random-access probe)."""
+        self._check_list(list_index)
+        vec = self._grades.get(obj)
+        if vec is None:
+            raise UnknownObjectError(obj)
+        return vec[list_index]
+
+    def grade_vector(self, obj: ObjectId) -> tuple[float, ...]:
+        """All ``m`` grades of ``obj``."""
+        vec = self._grades.get(obj)
+        if vec is None:
+            raise UnknownObjectError(obj)
+        return vec
+
+    def _check_list(self, list_index: int) -> None:
+        if not (0 <= list_index < self._m):
+            raise UnknownListError(list_index, self._m)
+
+    # ------------------------------------------------------------------
+    # ground truth and structural predicates (used by verification,
+    # generators and the certificate searcher; never by the algorithms)
+    # ------------------------------------------------------------------
+    def overall_grades(self, t) -> dict[ObjectId, float]:
+        """``{object: t(grades)}`` for every object -- the naive ground
+        truth."""
+        t.check_arity(self._m)
+        return {obj: t.aggregate(vec) for obj, vec in self._grades.items()}
+
+    def top_k(self, t, k: int) -> list[tuple[ObjectId, float]]:
+        """The true top-``k`` as ``[(object, overall grade)]``, grade
+        descending, ties broken deterministically by list-0 position."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        overall = self.overall_grades(t)
+        position = {obj: pos for pos, obj in enumerate(self._orderings[0])}
+        ranked = sorted(
+            overall.items(), key=lambda item: (-item[1], position[item[0]])
+        )
+        return ranked[:k]
+
+    def kth_grade(self, t, k: int) -> float:
+        """The overall grade of the ``k``-th best object."""
+        ranked = self.top_k(t, min(k, self.num_objects))
+        return ranked[-1][1]
+
+    def satisfies_distinctness(self) -> bool:
+        """True iff no two objects share a grade in any list (the
+        *distinctness property* of Section 6)."""
+        for i in range(self._m):
+            seen = set()
+            for obj in self._orderings[i]:
+                g = self._grades[obj][i]
+                if g in seen:
+                    return False
+                seen.add(g)
+        return True
+
+    def to_array(self, object_ids: Sequence[ObjectId] | None = None):
+        """Dense ``(N, m)`` grade matrix (row order = ``object_ids`` or
+        arbitrary-but-fixed)."""
+        ids = list(object_ids) if object_ids is not None else list(self._grades)
+        out = np.empty((len(ids), self._m), dtype=float)
+        for row, obj in enumerate(ids):
+            out[row] = self.grade_vector(obj)
+        return ids, out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Database N={self.num_objects} m={self.num_lists}>"

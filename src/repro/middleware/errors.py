@@ -1,0 +1,81 @@
+"""Exception hierarchy for the middleware substrate.
+
+Access-mode violations are first-class errors because the paper's results
+are theorems *about* access restrictions: NRA must never random-access,
+TAZ must never sorted-access outside ``Z``, and "no wild guesses" (random
+access to an object never seen under sorted access) defines the algorithm
+class of Theorem 6.1.  The :class:`~repro.middleware.access.AccessSession`
+enforces these at runtime so a buggy algorithm fails loudly instead of
+silently leaving its complexity class.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MiddlewareError",
+    "DatabaseError",
+    "AccessError",
+    "CapabilityError",
+    "WildGuessError",
+    "UnknownObjectError",
+    "UnknownListError",
+]
+
+
+class MiddlewareError(Exception):
+    """Base class for all errors raised by :mod:`repro.middleware`."""
+
+
+class DatabaseError(MiddlewareError):
+    """The database is malformed (wrong shapes, grades out of range,
+    inconsistent object sets between lists, ...)."""
+
+
+class AccessError(MiddlewareError):
+    """Base class for illegal access attempts."""
+
+
+class CapabilityError(AccessError):
+    """An access mode was used on a list that does not support it."""
+
+    def __init__(self, mode: str, list_index: int):
+        super().__init__(
+            f"{mode} access is not permitted on list {list_index}"
+        )
+        self.mode = mode
+        self.list_index = list_index
+
+
+class WildGuessError(AccessError):
+    """Random access to an object never seen under sorted access.
+
+    The class of algorithms in Theorem 6.1 excludes exactly these
+    accesses; sessions created with ``forbid_wild_guesses=True`` raise
+    this error to certify membership in that class.
+    """
+
+    def __init__(self, obj, list_index: int):
+        super().__init__(
+            f"wild guess: random access to object {obj!r} in list "
+            f"{list_index} before it was seen under sorted access"
+        )
+        self.obj = obj
+        self.list_index = list_index
+
+
+class UnknownObjectError(AccessError):
+    """Random access to an object id that does not exist in the database."""
+
+    def __init__(self, obj):
+        super().__init__(f"object {obj!r} does not exist in the database")
+        self.obj = obj
+
+
+class UnknownListError(AccessError):
+    """A list index outside ``0 .. m-1`` was used."""
+
+    def __init__(self, list_index: int, m: int):
+        super().__init__(
+            f"list index {list_index} out of range for database with m={m}"
+        )
+        self.list_index = list_index

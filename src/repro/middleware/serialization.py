@@ -1,0 +1,80 @@
+"""Persistence for databases: JSON (portable, explicit tie order) and
+NumPy ``.npz`` (compact, for large synthetic workloads).
+
+The JSON form stores the per-list orderings explicitly, so adversarial
+constructions round-trip with their tie placement intact -- the property
+several of the paper's counterexamples depend on.  The ``.npz`` form
+stores the grade matrix plus object ids and rebuilds orderings with the
+deterministic stable sort of :meth:`Database.from_array` (tie order is
+*not* preserved; refuse it for tie-sensitive data by checking
+:meth:`Database.satisfies_distinctness` yourself if it matters).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .database import Database
+from .errors import DatabaseError
+
+__all__ = ["save_json", "load_json", "save_npz", "load_npz"]
+
+_FORMAT = "repro-database-v1"
+
+
+def save_json(db: Database, path: str | Path) -> None:
+    """Write ``db`` to ``path`` as JSON, preserving exact tie order."""
+    columns = []
+    for i in range(db.num_lists):
+        column = []
+        for position in range(db.num_objects):
+            obj, grade = db.sorted_entry(i, position)
+            column.append([obj, grade])
+        columns.append(column)
+    payload = {"format": _FORMAT, "m": db.num_lists, "columns": columns}
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_json(path: str | Path) -> Database:
+    """Read a database written by :func:`save_json`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != _FORMAT:
+        raise DatabaseError(
+            f"{path}: not a {_FORMAT} file "
+            f"(format={payload.get('format')!r})"
+        )
+    columns = [
+        [(obj, float(grade)) for obj, grade in column]
+        for column in payload["columns"]
+    ]
+    return Database.from_columns(columns)
+
+
+def save_npz(db: Database, path: str | Path) -> None:
+    """Write ``db``'s grade matrix to a compressed ``.npz``.
+
+    Object ids are stored as strings; integer ids are restored on load.
+    """
+    ids, grades = db.to_array(object_ids=sorted(db.objects, key=str))
+    np.savez_compressed(
+        Path(path),
+        grades=grades,
+        object_ids=np.array([str(obj) for obj in ids]),
+        int_ids=np.array([isinstance(obj, int) for obj in ids]),
+    )
+
+
+def load_npz(path: str | Path) -> Database:
+    """Read a database written by :func:`save_npz`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        grades = data["grades"]
+        raw_ids = data["object_ids"]
+        int_ids = data["int_ids"]
+    ids = [
+        int(obj) if is_int else str(obj)
+        for obj, is_int in zip(raw_ids.tolist(), int_ids.tolist())
+    ]
+    return Database.from_array(grades, object_ids=ids)

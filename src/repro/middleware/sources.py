@@ -1,0 +1,146 @@
+"""Source adapters: simulated remote subsystems feeding the middleware.
+
+Section 2 of the paper motivates the access model with concrete
+subsystems -- QBIC answering ``Color='red'`` by streaming a graded set,
+web search engines that allow no random access, and the Zagat / NYT /
+MapQuest triple of the restaurant example (Section 7), where only one
+source supports sorted access.
+
+A :class:`GradedSource` produces a graded set for one attribute and
+declares which access modes it supports.  :func:`assemble_database` checks
+the sources agree on the object universe and compiles them into a
+:class:`~repro.middleware.database.Database` plus the matching per-list
+:class:`~repro.middleware.access.ListCapabilities`, ready to hand to an
+:class:`~repro.middleware.access.AccessSession`.
+
+These adapters exist for realism in the examples and tests; the algorithms
+themselves only ever see sessions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from typing import Hashable
+
+from .access import ListCapabilities
+from .database import Database
+from .errors import DatabaseError
+
+__all__ = ["GradedSource", "ScoredCollection", "assemble_database"]
+
+
+class GradedSource:
+    """A single attribute's graded set with declared capabilities.
+
+    Parameters
+    ----------
+    name:
+        Subsystem name (e.g. ``"qbic:color=red"``), used in messages.
+    entries:
+        ``[(object_id, grade), ...]``; will be ordered grade-descending
+        with stable tie order as given.
+    supports_sorted / supports_random:
+        Capability flags as exposed by the subsystem's interface.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        entries: Iterable[tuple[Hashable, float]],
+        supports_sorted: bool = True,
+        supports_random: bool = True,
+    ):
+        self.name = name
+        items = list(entries)
+        if not items:
+            raise DatabaseError(f"source {name!r} produced no entries")
+        # stable sort: ties keep caller order, mirroring Database.from_rows
+        self._entries = sorted(items, key=lambda e: -float(e[1]))
+        self._grades = {}
+        for obj, grade in items:
+            if obj in self._grades:
+                raise DatabaseError(
+                    f"source {name!r} graded object {obj!r} twice"
+                )
+            self._grades[obj] = float(grade)
+        self.supports_sorted = supports_sorted
+        self.supports_random = supports_random
+
+    @property
+    def objects(self) -> set[Hashable]:
+        return set(self._grades)
+
+    @property
+    def entries(self) -> list[tuple[Hashable, float]]:
+        """The graded set, best grade first."""
+        return list(self._entries)
+
+    def capabilities(self) -> ListCapabilities:
+        return ListCapabilities(
+            sorted_allowed=self.supports_sorted,
+            random_allowed=self.supports_random,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        modes = "".join(
+            flag for flag, on in (("S", self.supports_sorted), ("R", self.supports_random)) if on
+        )
+        return f"<GradedSource {self.name!r} n={len(self._grades)} modes={modes or '-'}>"
+
+
+class ScoredCollection:
+    """Convenience builder: score a collection of objects with callables.
+
+    ``ScoredCollection(items).attribute("redness", fn)`` produces a
+    :class:`GradedSource` per attribute, simulating subsystems that compute
+    grades from raw features (the paper's "it might be expensive to compute
+    the field values, but we take them as given").
+    """
+
+    def __init__(self, items: Mapping[Hashable, object]):
+        if not items:
+            raise DatabaseError("collection must not be empty")
+        self._items = dict(items)
+
+    def attribute(
+        self,
+        name: str,
+        score: Callable[[object], float],
+        supports_sorted: bool = True,
+        supports_random: bool = True,
+    ) -> GradedSource:
+        entries = [(obj, float(score(item))) for obj, item in self._items.items()]
+        return GradedSource(
+            name,
+            entries,
+            supports_sorted=supports_sorted,
+            supports_random=supports_random,
+        )
+
+
+def assemble_database(
+    sources: Sequence[GradedSource],
+) -> tuple[Database, list[ListCapabilities]]:
+    """Compile sources into a database and matching capability vector.
+
+    Raises :class:`DatabaseError` if the sources disagree on the object
+    universe or none of them supports sorted access (then no middleware
+    algorithm could even enumerate objects without wild guesses).
+    """
+    if not sources:
+        raise DatabaseError("need at least one source")
+    universe = sources[0].objects
+    for src in sources[1:]:
+        if src.objects != universe:
+            only_first = list(universe - src.objects)[:3]
+            only_other = list(src.objects - universe)[:3]
+            raise DatabaseError(
+                f"sources {sources[0].name!r} and {src.name!r} disagree on "
+                f"the object universe (e.g. {only_first} vs {only_other})"
+            )
+    if not any(src.supports_sorted for src in sources):
+        raise DatabaseError(
+            "at least one source must support sorted access (|Z| >= 1)"
+        )
+    database = Database.from_columns([src.entries for src in sources])
+    return database, [src.capabilities() for src in sources]

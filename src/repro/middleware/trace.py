@@ -1,0 +1,108 @@
+"""Access traces: an optional, detailed record of every access a session
+performed.
+
+Traces are the raw material for access-pattern analysis: verifying that an
+algorithm's sorted accesses are (near-)lockstep, counting duplicate random
+accesses (the price TA pays for bounded buffers), and rendering the
+step-by-step tables that the examples print.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable
+
+__all__ = ["AccessEvent", "AccessTrace", "SORTED", "RANDOM"]
+
+SORTED = "S"
+RANDOM = "R"
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One access performed by a session.
+
+    ``position`` is the 0-based depth of a sorted access (``-1`` for random
+    accesses); ``cumulative_cost`` is the middleware cost *after* the event.
+    """
+
+    kind: str  # SORTED or RANDOM
+    list_index: int
+    obj: Hashable
+    grade: float
+    position: int
+    cumulative_cost: float
+
+
+class AccessTrace:
+    """An append-only sequence of :class:`AccessEvent` with summaries."""
+
+    def __init__(self):
+        self._events: list[AccessEvent] = []
+
+    def record(self, event: AccessEvent) -> None:
+        self._events.append(event)
+
+    @property
+    def events(self) -> list[AccessEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    # ------------------------------------------------------------------
+    # summaries
+    # ------------------------------------------------------------------
+    def counts(self) -> Counter:
+        """``Counter({SORTED: s, RANDOM: r})``."""
+        return Counter(e.kind for e in self._events)
+
+    def duplicate_random_accesses(self) -> int:
+        """Random accesses that re-fetched an already-fetched (obj, list)
+        pair -- the bounded-buffer overhead of faithful TA (Section 4)."""
+        seen: set[tuple[Hashable, int]] = set()
+        duplicates = 0
+        for e in self._events:
+            if e.kind != RANDOM:
+                continue
+            key = (e.obj, e.list_index)
+            if key in seen:
+                duplicates += 1
+            else:
+                seen.add(key)
+        return duplicates
+
+    def max_lockstep_skew(self) -> int:
+        """Maximum difference, over the whole run, between the deepest and
+        shallowest sorted-access positions across lists.
+
+        0 or 1 for a strictly lockstep schedule; larger values indicate a
+        heuristic (Quick-Combine-style) schedule.  Footnote 6 of the paper
+        guarantees instance optimality survives bounded skew.
+        """
+        depth: dict[int, int] = {}
+        skew = 0
+        for e in self._events:
+            if e.kind != SORTED:
+                continue
+            depth[e.list_index] = e.position + 1
+            if depth:
+                skew = max(skew, max(depth.values()) - min(depth.values()))
+        return skew
+
+    def format_table(self, limit: int | None = 40) -> str:
+        """Human-readable table of the first ``limit`` events."""
+        rows = ["step  kind  list  object                grade     cost"]
+        events = self._events if limit is None else self._events[:limit]
+        for step, e in enumerate(events):
+            rows.append(
+                f"{step:>4}  {e.kind:>4}  {e.list_index:>4}  "
+                f"{str(e.obj)[:20]:<20}  {e.grade:8.4f}  {e.cumulative_cost:8.2f}"
+            )
+        if limit is not None and len(self._events) > limit:
+            rows.append(f"... ({len(self._events) - limit} more events)")
+        return "\n".join(rows)

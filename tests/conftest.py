@@ -1,0 +1,37 @@
+"""Shared fixtures for the test-suite (helper factories live in
+tests/helpers.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.middleware import Database
+
+
+@pytest.fixture
+def tiny_db() -> Database:
+    """Six objects, three lists, hand-checkable grades."""
+    return Database.from_rows(
+        {
+            "a": (0.9, 0.8, 0.7),
+            "b": (0.8, 0.9, 0.6),
+            "c": (0.7, 0.2, 0.9),
+            "d": (0.3, 0.6, 0.5),
+            "e": (0.2, 0.5, 0.4),
+            "f": (0.1, 0.1, 0.1),
+        }
+    )
+
+
+@pytest.fixture
+def two_list_db() -> Database:
+    """Five objects, two lists, with a grade tie in list 0."""
+    return Database.from_rows(
+        {
+            1: (1.0, 0.2),
+            2: (0.8, 0.8),
+            3: (0.8, 0.5),
+            4: (0.5, 1.0),
+            5: (0.1, 0.9),
+        }
+    )

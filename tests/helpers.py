@@ -1,0 +1,81 @@
+"""Shared helper factories for the test-suite."""
+
+from __future__ import annotations
+
+from repro.aggregation import (
+    AVERAGE,
+    MAX,
+    MEDIAN,
+    MIN,
+    PRODUCT,
+    SUM,
+    GeometricMean,
+    HarmonicMean,
+    KthLargest,
+    LukasiewiczTNorm,
+    MinOfSumFirstTwo,
+    ProbabilisticSum,
+    WeightedSum,
+)
+from repro.core import (
+    CombinedAlgorithm,
+    FaginAlgorithm,
+    IntermittentAlgorithm,
+    NaiveAlgorithm,
+    NoRandomAccessAlgorithm,
+    QuickCombine,
+    StreamCombine,
+    ThresholdAlgorithm,
+)
+
+
+def all_exact_algorithms():
+    """Algorithms that return exact top-k answers with grades."""
+    return [
+        NaiveAlgorithm(),
+        FaginAlgorithm(),
+        ThresholdAlgorithm(),
+        ThresholdAlgorithm(remember_seen=True),
+        QuickCombine(),
+        QuickCombine(fairness=3),
+    ]
+
+
+def all_objects_only_algorithms():
+    """Algorithms whose contract is top-k objects (grades optional)."""
+    return [
+        NoRandomAccessAlgorithm(),
+        NoRandomAccessAlgorithm(naive_bookkeeping=True),
+        CombinedAlgorithm(h=1),
+        CombinedAlgorithm(h=3),
+        IntermittentAlgorithm(h=2),
+        StreamCombine(),
+    ]
+
+
+def standard_aggregations():
+    """A representative spread of monotone aggregation functions."""
+    return [MIN, MAX, SUM, AVERAGE, PRODUCT, MEDIAN]
+
+
+def extended_aggregations(m: int):
+    """Aggregations valid for a given arity m, including exotic ones."""
+    fns = [
+        MIN,
+        MAX,
+        SUM,
+        AVERAGE,
+        PRODUCT,
+        MEDIAN,
+        GeometricMean(),
+        HarmonicMean(),
+        LukasiewiczTNorm(),
+        ProbabilisticSum(),
+        KthLargest(1),
+        WeightedSum([1.0 + 0.5 * i for i in range(m)], normalize=True),
+    ]
+    if m >= 2:
+        fns.append(KthLargest(2))
+    if m >= 3:
+        fns.append(MinOfSumFirstTwo())
+    return fns

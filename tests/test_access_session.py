@@ -1,0 +1,161 @@
+"""Unit tests for the AccessSession: accounting, capabilities, wild-guess
+enforcement -- the substrate every theorem's algorithm class is defined
+against."""
+
+import pytest
+
+from repro.middleware import (
+    AccessSession,
+    CapabilityError,
+    CostModel,
+    ListCapabilities,
+    UnknownObjectError,
+    WildGuessError,
+)
+
+
+class TestSortedAccess:
+    def test_walks_list_in_order(self, tiny_db):
+        s = AccessSession(tiny_db)
+        assert s.sorted_access(0) == ("a", 0.9)
+        assert s.sorted_access(0) == ("b", 0.8)
+        assert s.position(0) == 2
+
+    def test_exhaustion_returns_none_and_is_free(self, tiny_db):
+        s = AccessSession(tiny_db)
+        for _ in range(6):
+            assert s.sorted_access(1) is not None
+        before = s.middleware_cost
+        assert s.sorted_access(1) is None
+        assert s.middleware_cost == before
+        assert s.exhausted(1)
+
+    def test_depth_is_max_position(self, tiny_db):
+        s = AccessSession(tiny_db)
+        s.sorted_access(0)
+        s.sorted_access(0)
+        s.sorted_access(2)
+        assert s.depth == 2
+
+    def test_all_sorted_exhausted(self, tiny_db):
+        s = AccessSession(tiny_db)
+        assert not s.all_sorted_exhausted
+        for i in range(3):
+            for _ in range(6):
+                s.sorted_access(i)
+        assert s.all_sorted_exhausted
+
+
+class TestRandomAccess:
+    def test_fetches_grade(self, tiny_db):
+        s = AccessSession(tiny_db)
+        assert s.random_access(2, "c") == 0.9
+
+    def test_every_call_charged_even_repeats(self, tiny_db):
+        # bounded-buffer TA relies on re-paying for repeats (Section 4)
+        s = AccessSession(tiny_db)
+        s.random_access(0, "a")
+        s.random_access(0, "a")
+        assert s.random_accesses == 2
+
+    def test_unknown_object(self, tiny_db):
+        s = AccessSession(tiny_db)
+        with pytest.raises(UnknownObjectError):
+            s.random_access(0, "ghost")
+
+
+class TestCostAccounting:
+    def test_middleware_cost_formula(self, tiny_db):
+        cm = CostModel(2.0, 7.0)
+        s = AccessSession(tiny_db, cm)
+        s.sorted_access(0)
+        s.sorted_access(1)
+        s.random_access(2, "a")
+        assert s.sorted_accesses == 2
+        assert s.random_accesses == 1
+        assert s.middleware_cost == pytest.approx(2 * 2.0 + 1 * 7.0)
+
+    def test_stats_snapshot(self, tiny_db):
+        s = AccessSession(tiny_db)
+        s.sorted_access(0)
+        s.random_access(1, "a")
+        stats = s.stats()
+        assert stats.sorted_accesses == 1
+        assert stats.random_accesses == 1
+        assert stats.sorted_by_list == {0: 1}
+        assert stats.random_by_list == {1: 1}
+        assert stats.depth == 1
+        assert stats.distinct_objects_seen == 1
+
+    def test_objects_seen_sorted_distinct(self, tiny_db):
+        s = AccessSession(tiny_db)
+        s.sorted_access(0)  # a
+        s.sorted_access(1)  # b (top of list 1)
+        s.sorted_access(0)  # b again via list 0
+        assert s.objects_seen_sorted == 2
+
+
+class TestCapabilities:
+    def test_global_restriction(self, tiny_db):
+        s = AccessSession(
+            tiny_db, capabilities=ListCapabilities(random_allowed=False)
+        )
+        with pytest.raises(CapabilityError):
+            s.random_access(0, "a")
+        assert s.sorted_access(0) is not None
+
+    def test_per_list_restriction(self, tiny_db):
+        caps = [
+            ListCapabilities(),
+            ListCapabilities(sorted_allowed=False),
+            ListCapabilities(),
+        ]
+        s = AccessSession(tiny_db, capabilities=caps)
+        with pytest.raises(CapabilityError):
+            s.sorted_access(1)
+        assert s.random_access(1, "a") == 0.8
+        assert s.sorted_lists == [0, 2]
+
+    def test_capability_vector_length_checked(self, tiny_db):
+        with pytest.raises(ValueError):
+            AccessSession(tiny_db, capabilities=[ListCapabilities()])
+
+    def test_no_random_constructor(self, tiny_db):
+        s = AccessSession.no_random(tiny_db)
+        with pytest.raises(CapabilityError):
+            s.random_access(0, "a")
+
+    def test_sorted_only_on_constructor(self, tiny_db):
+        s = AccessSession.sorted_only_on(tiny_db, [0])
+        assert s.sorted_lists == [0]
+        with pytest.raises(CapabilityError):
+            s.sorted_access(2)
+        # random access allowed everywhere in Section 7's scenario
+        s.sorted_access(0)
+        assert s.random_access(2, "a") == 0.7
+
+    def test_sorted_only_on_requires_nonempty_z(self, tiny_db):
+        with pytest.raises(ValueError):
+            AccessSession.sorted_only_on(tiny_db, [])
+
+
+class TestWildGuessEnforcement:
+    def test_wild_guess_raises(self, tiny_db):
+        s = AccessSession(tiny_db, forbid_wild_guesses=True)
+        with pytest.raises(WildGuessError):
+            s.random_access(0, "a")
+
+    def test_seen_object_allowed(self, tiny_db):
+        s = AccessSession(tiny_db, forbid_wild_guesses=True)
+        obj, _ = s.sorted_access(0)
+        assert s.random_access(1, obj) == 0.8
+
+    def test_seen_in_any_list_unlocks_all_lists(self, tiny_db):
+        s = AccessSession(tiny_db, forbid_wild_guesses=True)
+        obj, _ = s.sorted_access(2)  # "c" tops list 2
+        assert obj == "c"
+        assert s.random_access(0, obj) == 0.7
+
+    def test_disabled_by_default(self, tiny_db):
+        s = AccessSession(tiny_db)
+        assert s.random_access(0, "f") == 0.1

@@ -1,0 +1,129 @@
+"""Unit tests for the aggregation-function framework (base.py)."""
+
+import math
+
+import pytest
+
+from repro.aggregation import (
+    AVERAGE,
+    MIN,
+    SUM,
+    AggregationError,
+    ArityError,
+    FunctionAdapter,
+    make_aggregation,
+)
+
+
+class TestCallConvention:
+    def test_call_with_list(self):
+        assert MIN([0.3, 0.7]) == 0.3
+
+    def test_call_with_tuple(self):
+        assert MIN((0.3, 0.7)) == 0.3
+
+    def test_call_with_generator(self):
+        assert SUM(x / 10 for x in [1, 2, 3]) == pytest.approx(0.6)
+
+    def test_single_argument(self):
+        assert AVERAGE([0.4]) == pytest.approx(0.4)
+
+    def test_empty_vector_rejected(self):
+        with pytest.raises(ArityError):
+            MIN([])
+
+    def test_aggregate_bypasses_check(self):
+        # the fast path accepts raw tuples
+        assert MIN.aggregate((0.1, 0.2)) == 0.1
+
+
+class TestArity:
+    def test_variadic_accepts_any_m(self):
+        for m in (1, 2, 5, 9):
+            MIN.check_arity(m)
+
+    def test_fixed_arity_enforced(self):
+        t = make_aggregation(lambda g: g[0], name="first", arity=2)
+        with pytest.raises(ArityError) as err:
+            t([0.1, 0.2, 0.3])
+        assert err.value.expected == 2
+        assert err.value.got == 3
+
+    def test_fixed_arity_accepts_exact(self):
+        t = make_aggregation(lambda g: g[0], name="first", arity=2)
+        assert t([0.4, 0.9]) == 0.4
+
+    def test_arity_error_is_aggregation_error(self):
+        assert issubclass(ArityError, AggregationError)
+
+
+class TestBoundSubstitutions:
+    def test_worst_case_substitutes_zero(self):
+        # W for average with one of three fields known
+        assert AVERAGE.worst_case({1: 0.9}, 3) == pytest.approx(0.3)
+
+    def test_worst_case_all_known_equals_value(self):
+        known = {0: 0.2, 1: 0.4}
+        assert AVERAGE.worst_case(known, 2) == pytest.approx(0.3)
+
+    def test_best_case_substitutes_bottoms(self):
+        bottoms = [0.5, 0.6, 0.7]
+        assert AVERAGE.best_case({0: 0.1}, bottoms) == pytest.approx(
+            (0.1 + 0.6 + 0.7) / 3
+        )
+
+    def test_best_case_no_fields_is_threshold(self):
+        bottoms = [0.5, 0.6, 0.7]
+        assert AVERAGE.best_case({}, bottoms) == AVERAGE.threshold(bottoms)
+
+    def test_threshold_of_ones_is_t_of_ones(self):
+        assert MIN.threshold([1.0, 1.0]) == 1.0
+
+    def test_w_below_b_for_min(self):
+        known = {0: 0.4}
+        bottoms = [0.9, 0.8]
+        w = MIN.worst_case(known, 2)
+        b = MIN.best_case(known, bottoms)
+        assert w == 0.0
+        assert b == 0.4
+        assert w <= b
+
+    def test_min_w_uninformative_until_all_known(self):
+        # the paper's remark: W is 0 for min until every field is known
+        assert MIN.worst_case({0: 0.9, 2: 0.8}, 3) == 0.0
+        assert MIN.worst_case({0: 0.9, 1: 0.7, 2: 0.8}, 3) == 0.7
+
+    def test_median_w_informative_with_two_of_three(self):
+        # the paper's remark: median's W is the smaller known grade once
+        # two of three fields are known
+        from repro.aggregation import MEDIAN
+
+        assert MEDIAN.worst_case({0: 0.6, 1: 0.8}, 3) == pytest.approx(0.6)
+
+
+class TestFunctionAdapter:
+    def test_wraps_callable(self):
+        t = make_aggregation(
+            lambda g: math.prod(g), name="my-product", strict=True
+        )
+        assert t([0.5, 0.5]) == pytest.approx(0.25)
+        assert t.name == "my-product"
+        assert t.strict
+
+    def test_smv_implies_strictly_monotone(self):
+        t = make_aggregation(
+            lambda g: sum(g),
+            strictly_monotone_each_argument=True,
+        )
+        assert t.strictly_monotone
+        assert t.strictly_monotone_each_argument
+
+    def test_default_flags(self):
+        t = FunctionAdapter(lambda g: g[0])
+        assert t.monotone
+        assert not t.strict
+        assert not t.strictly_monotone
+
+    def test_heuristic_weight_default(self):
+        t = make_aggregation(lambda g: g[0])
+        assert t.heuristic_weight(0, 3) == 1.0

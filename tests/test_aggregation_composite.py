@@ -1,0 +1,119 @@
+"""Unit tests for the paper-specific and combinator aggregations."""
+
+import pytest
+
+from repro.aggregation import (
+    AVERAGE,
+    AggregationError,
+    Example73Aggregation,
+    MinOfFirstTwo,
+    MinOfSumFirstTwo,
+    Transformed,
+)
+
+
+class TestMinOfSumFirstTwo:
+    """t(x1, ..., xm) = min(x1+x2, x3, ..., xm) -- Theorem 9.2's function."""
+
+    def test_value(self):
+        t = MinOfSumFirstTwo()
+        assert t((0.2, 0.3, 0.9)) == pytest.approx(0.5)
+        assert t((0.5, 0.6, 0.4)) == pytest.approx(0.4)
+
+    def test_requires_three_arguments(self):
+        with pytest.raises(AggregationError):
+            MinOfSumFirstTwo()((0.1, 0.2))
+
+    def test_not_strict(self):
+        # t = 1 away from the all-ones vector
+        t = MinOfSumFirstTwo()
+        assert t((0.5, 0.5, 1.0)) == 1.0
+        assert not t.strict
+
+    def test_strictly_monotone_declared_and_holds(self):
+        t = MinOfSumFirstTwo()
+        assert t.strictly_monotone
+        assert t((0.2, 0.3, 0.5)) < t((0.25, 0.35, 0.55))
+
+    def test_candidate_structure_of_theorem(self):
+        # the pairing used in the lower-bound family: x1 + x2 = 1/2
+        t = MinOfSumFirstTwo()
+        d = 5
+        for i in range(1, d + 1):
+            x1 = i / (2 * d + 2)
+            x2 = (d + 1 - i) / (2 * d + 2)
+            assert t((x1, x2, 0.6, 0.7)) == pytest.approx(0.5)
+
+
+class TestExample73:
+    def test_branch_z_equals_one(self):
+        t = Example73Aggregation()
+        assert t((1.0, 0.6, 1.0)) == pytest.approx(0.6)
+
+    def test_branch_z_below_one(self):
+        t = Example73Aggregation()
+        assert t((1.0, 0.6, 0.95)) == pytest.approx(0.3)
+
+    def test_paper_bound_on_non_r_objects(self):
+        # z != 1 implies overall grade at most 0.5
+        t = Example73Aggregation()
+        assert t((1.0, 1.0, 0.999999)) <= 0.5
+
+    def test_arity_fixed_at_three(self):
+        with pytest.raises(AggregationError):
+            Example73Aggregation()((0.5, 0.5))
+
+    def test_declared_strict_and_strictly_monotone(self):
+        t = Example73Aggregation()
+        assert t.strict
+        assert t.strictly_monotone
+        assert t((1.0, 1.0, 1.0)) == 1.0
+
+    def test_discontinuity_at_z_one(self):
+        # the jump that breaks TAZ's threshold reasoning
+        t = Example73Aggregation()
+        assert t((0.9, 0.9, 1.0)) == pytest.approx(0.9)
+        assert t((0.9, 0.9, 1.0 - 1e-9)) < 0.5
+
+
+class TestMinOfFirstTwo:
+    def test_ignores_trailing_arguments(self):
+        t = MinOfFirstTwo(m=4)
+        assert t((0.3, 0.5, 0.0, 1.0)) == 0.3
+
+    def test_strict_only_for_m_two(self):
+        assert MinOfFirstTwo(m=2).strict
+        assert not MinOfFirstTwo(m=3).strict
+
+    def test_rejects_m_below_two(self):
+        with pytest.raises(AggregationError):
+            MinOfFirstTwo(m=1)
+
+
+class TestTransformed:
+    def test_applies_outer_function(self):
+        t = Transformed(AVERAGE, lambda v: v * v, name="avg^2")
+        assert t((0.5, 0.5)) == pytest.approx(0.25)
+        assert t.name == "avg^2"
+
+    def test_inherits_arity_check(self):
+        from repro.aggregation import WeightedSum
+
+        inner = WeightedSum([1.0, 1.0])
+        t = Transformed(inner, lambda v: v / 2)
+        with pytest.raises(AggregationError):
+            t((0.1, 0.2, 0.3))
+
+    def test_flags_supplied_by_caller(self):
+        t = Transformed(
+            AVERAGE, lambda v: v, strictly_monotone_each_argument=True
+        )
+        assert t.strictly_monotone
+        assert t.strictly_monotone_each_argument
+
+    def test_heuristic_weight_delegates(self):
+        from repro.aggregation import WeightedSum
+
+        inner = WeightedSum([5.0, 1.0])
+        t = Transformed(inner, lambda v: v)
+        assert t.heuristic_weight(0, 2) == 5.0

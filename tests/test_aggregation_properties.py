@@ -1,0 +1,130 @@
+"""Tests for the empirical property checkers, and a sweep asserting that
+every declared flag in the library survives empirical probing."""
+
+import pytest
+
+from repro.aggregation import (
+    AVERAGE,
+    MAX,
+    MEDIAN,
+    MIN,
+    PRODUCT,
+    SUM,
+    BoundedSum,
+    Constant,
+    DrasticProduct,
+    EinsteinProduct,
+    Example73Aggregation,
+    GeometricMean,
+    HamacherProduct,
+    HarmonicMean,
+    KthLargest,
+    LukasiewiczTNorm,
+    MinOfFirstTwo,
+    MinOfSumFirstTwo,
+    ProbabilisticSum,
+    WeightedSum,
+    make_aggregation,
+)
+from repro.aggregation.properties import (
+    find_monotonicity_violation,
+    find_smv_violation,
+    find_strict_monotonicity_violation,
+    find_strictness_violation,
+    verify_declared_properties,
+)
+
+ALL_FUNCTIONS = [
+    (MIN, 3),
+    (MAX, 3),
+    (SUM, 3),
+    (AVERAGE, 3),
+    (PRODUCT, 3),
+    (MEDIAN, 3),
+    (GeometricMean(), 3),
+    (HarmonicMean(), 3),
+    (LukasiewiczTNorm(), 3),
+    (HamacherProduct(), 3),
+    (EinsteinProduct(), 3),
+    (DrasticProduct(), 3),
+    (ProbabilisticSum(), 3),
+    (BoundedSum(), 3),
+    (MinOfSumFirstTwo(), 4),
+    (Example73Aggregation(), 3),
+    (MinOfFirstTwo(3), 3),
+    (WeightedSum([1.0, 2.0, 3.0], normalize=True), 3),
+    (KthLargest(2), 3),
+    (Constant(0.5), 3),
+]
+
+
+@pytest.mark.parametrize(
+    "t,m", ALL_FUNCTIONS, ids=lambda v: getattr(v, "name", str(v))
+)
+def test_declared_flags_survive_probing(t, m):
+    """The flags the algorithms trust must hold empirically."""
+    violations = verify_declared_properties(t, m, trials=500, seed=42)
+    assert not violations, "; ".join(str(v) for v in violations.values())
+
+
+class TestCheckersCatchBadDeclarations:
+    """The checkers must find counterexamples for wrong functions."""
+
+    def test_non_monotone_caught(self):
+        bad = make_aggregation(lambda g: -g[0], name="negation")
+        ce = find_monotonicity_violation(bad, 2, trials=200, seed=1)
+        assert ce is not None
+        assert ce.value_lower > ce.value_upper
+
+    def test_non_strict_caught_via_max(self):
+        ce = find_strictness_violation(MAX, 3, trials=500, seed=1)
+        assert ce is not None
+
+    def test_sum_not_strict_caught(self):
+        # t(1,1,1) = 3 != 1 is itself the violation
+        ce = find_strictness_violation(SUM, 3, trials=10, seed=1)
+        assert ce is not None
+
+    def test_plateau_breaks_strict_monotonicity(self):
+        ce = find_strict_monotonicity_violation(
+            LukasiewiczTNorm(), 2, trials=500, seed=1
+        )
+        assert ce is not None
+
+    def test_min_not_smv(self):
+        ce = find_smv_violation(MIN, 2, trials=500, seed=1)
+        assert ce is not None
+
+    def test_product_not_smv_at_zero(self):
+        # needs a zero coordinate; the random probe may not hit it, so
+        # check the analytic counterexample directly
+        assert PRODUCT((0.0, 0.5)) == PRODUCT((0.0, 0.9))
+
+    def test_constant_fails_strict_monotonicity(self):
+        ce = find_strict_monotonicity_violation(
+            Constant(0.3), 2, trials=50, seed=1
+        )
+        assert ce is not None
+
+    def test_verify_reports_wrong_flag(self):
+        liar = make_aggregation(
+            lambda g: max(g), name="liar-max", strict=True
+        )
+        violations = verify_declared_properties(liar, 3, trials=500, seed=7)
+        assert "strict" in violations
+
+
+class TestCheckerBehaviour:
+    def test_counterexample_str(self):
+        bad = make_aggregation(lambda g: -g[0], name="neg")
+        ce = find_monotonicity_violation(bad, 2, trials=100, seed=0)
+        assert "monotone" in str(ce)
+
+    def test_rng_reuse(self):
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        assert find_monotonicity_violation(MIN, 2, trials=50, seed=rng) is None
+
+    def test_average_passes_everything(self):
+        assert verify_declared_properties(AVERAGE, 4, trials=800, seed=3) == {}

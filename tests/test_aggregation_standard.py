@@ -1,0 +1,153 @@
+"""Unit tests for the standard aggregation functions."""
+
+import pytest
+
+from repro.aggregation import (
+    AVERAGE,
+    MAX,
+    MEDIAN,
+    MIN,
+    PRODUCT,
+    SUM,
+    AggregationError,
+    Constant,
+    GeometricMean,
+    HarmonicMean,
+    KthLargest,
+    WeightedSum,
+)
+
+VEC = (0.2, 0.8, 0.5)
+
+
+class TestValues:
+    def test_min(self):
+        assert MIN(VEC) == 0.2
+
+    def test_max(self):
+        assert MAX(VEC) == 0.8
+
+    def test_sum(self):
+        assert SUM(VEC) == pytest.approx(1.5)
+
+    def test_average(self):
+        assert AVERAGE(VEC) == pytest.approx(0.5)
+
+    def test_product(self):
+        assert PRODUCT(VEC) == pytest.approx(0.08)
+
+    def test_median_odd(self):
+        assert MEDIAN(VEC) == 0.5
+
+    def test_median_even(self):
+        assert MEDIAN((0.2, 0.4, 0.6, 1.0)) == pytest.approx(0.5)
+
+    def test_geometric_mean(self):
+        assert GeometricMean()((0.25, 1.0)) == pytest.approx(0.5)
+
+    def test_geometric_mean_zero(self):
+        assert GeometricMean()((0.0, 1.0)) == 0.0
+
+    def test_harmonic_mean(self):
+        assert HarmonicMean()((0.5, 1.0)) == pytest.approx(2 / 3)
+
+    def test_harmonic_mean_zero_defined(self):
+        assert HarmonicMean()((0.0, 0.9)) == 0.0
+
+    def test_kth_largest(self):
+        assert KthLargest(1)(VEC) == 0.8
+        assert KthLargest(2)(VEC) == 0.5
+        assert KthLargest(3)(VEC) == 0.2
+
+    def test_kth_largest_equals_min_max(self):
+        assert KthLargest(1)(VEC) == MAX(VEC)
+        assert KthLargest(3)(VEC) == MIN(VEC)
+
+    def test_constant(self):
+        assert Constant(0.42)(VEC) == 0.42
+
+    def test_weighted_sum(self):
+        t = WeightedSum([2.0, 1.0, 1.0])
+        assert t(VEC) == pytest.approx(2 * 0.2 + 0.8 + 0.5)
+
+    def test_weighted_sum_normalized(self):
+        t = WeightedSum([2.0, 1.0, 1.0], normalize=True)
+        assert t((1.0, 1.0, 1.0)) == pytest.approx(1.0)
+        assert t.strict
+
+
+class TestDeclaredFlags:
+    def test_min_is_strict(self):
+        assert MIN.strict and MIN.strictly_monotone
+        assert not MIN.strictly_monotone_each_argument
+
+    def test_max_not_strict(self):
+        assert not MAX.strict
+        assert MAX.strictly_monotone
+
+    def test_sum_not_strict_but_smv(self):
+        # t(1,...,1) = m != 1 for m >= 2
+        assert not SUM.strict
+        assert SUM.strictly_monotone_each_argument
+
+    def test_average_fully_behaved(self):
+        assert AVERAGE.strict
+        assert AVERAGE.strictly_monotone
+        assert AVERAGE.strictly_monotone_each_argument
+
+    def test_product_strict_but_not_smv(self):
+        assert PRODUCT.strict
+        assert PRODUCT.strictly_monotone
+        # zero absorbs: raising another coordinate changes nothing
+        assert not PRODUCT.strictly_monotone_each_argument
+        assert PRODUCT((0.0, 0.3)) == PRODUCT((0.0, 0.9)) == 0.0
+
+    def test_median_not_strict(self):
+        assert not MEDIAN.strict
+        assert MEDIAN((1.0, 1.0, 0.0)) == 1.0
+
+
+class TestWeightedSumValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(AggregationError):
+            WeightedSum([])
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(AggregationError):
+            WeightedSum([1.0, 0.0])
+        with pytest.raises(AggregationError):
+            WeightedSum([1.0, -2.0])
+
+    def test_arity_fixed_by_weights(self):
+        t = WeightedSum([1.0, 1.0])
+        with pytest.raises(AggregationError):
+            t([0.1, 0.2, 0.3])
+
+    def test_heuristic_weight_exposed(self):
+        t = WeightedSum([3.0, 1.0])
+        assert t.heuristic_weight(0, 2) == 3.0
+        assert t.heuristic_weight(1, 2) == 1.0
+
+
+class TestKthLargestValidation:
+    def test_rejects_j_below_one(self):
+        with pytest.raises(AggregationError):
+            KthLargest(0)
+
+    def test_rejects_m_below_j(self):
+        with pytest.raises(AggregationError):
+            KthLargest(3)([0.1, 0.2])
+
+
+class TestMonotonicityNumeric:
+    """Spot checks for monotonicity on dominated pairs."""
+
+    @pytest.mark.parametrize(
+        "t",
+        [MIN, MAX, SUM, AVERAGE, PRODUCT, MEDIAN, GeometricMean(), HarmonicMean()],
+        ids=lambda t: t.name,
+    )
+    def test_dominated_pair(self, t):
+        lo = (0.1, 0.5, 0.3)
+        hi = (0.2, 0.5, 0.9)
+        assert t(lo) <= t(hi)

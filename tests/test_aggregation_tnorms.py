@@ -1,0 +1,102 @@
+"""Unit tests for fuzzy t-norms / t-conorms."""
+
+import pytest
+
+from repro.aggregation import (
+    BoundedSum,
+    DrasticProduct,
+    EinsteinProduct,
+    HamacherProduct,
+    LukasiewiczTNorm,
+    ProbabilisticSum,
+)
+
+
+class TestLukasiewicz:
+    def test_binary_value(self):
+        assert LukasiewiczTNorm()((0.7, 0.8)) == pytest.approx(0.5)
+
+    def test_clamps_at_zero(self):
+        assert LukasiewiczTNorm()((0.3, 0.4)) == 0.0
+
+    def test_m_ary(self):
+        assert LukasiewiczTNorm()((0.9, 0.9, 0.9)) == pytest.approx(0.7)
+
+    def test_all_ones(self):
+        assert LukasiewiczTNorm()((1.0, 1.0, 1.0)) == 1.0
+
+    def test_not_strictly_monotone_on_plateau(self):
+        t = LukasiewiczTNorm()
+        assert t((0.1, 0.1)) == t((0.2, 0.2)) == 0.0
+        assert not t.strictly_monotone
+
+
+class TestHamacher:
+    def test_identity_with_one(self):
+        t = HamacherProduct()
+        assert t((0.4, 1.0)) == pytest.approx(0.4)
+
+    def test_zero_at_origin(self):
+        assert HamacherProduct()((0.0, 0.0)) == 0.0
+
+    def test_zero_absorbs(self):
+        assert HamacherProduct()((0.0, 0.7)) == 0.0
+
+    def test_below_min(self):
+        # any t-norm is bounded above by min
+        t = HamacherProduct()
+        assert t((0.5, 0.6)) <= 0.5
+
+    def test_three_ary_fold(self):
+        t = HamacherProduct()
+        xy = t((0.5, 0.6))
+        assert t((0.5, 0.6, 0.7)) == pytest.approx(t((xy, 0.7)))
+
+
+class TestEinstein:
+    def test_identity_with_one(self):
+        assert EinsteinProduct()((0.3, 1.0)) == pytest.approx(0.3)
+
+    def test_binary_value(self):
+        # E(0.5, 0.5) = 0.25 / (2 - 0.75) = 0.2
+        assert EinsteinProduct()((0.5, 0.5)) == pytest.approx(0.2)
+
+    def test_below_algebraic_product_or_equal(self):
+        assert EinsteinProduct()((0.5, 0.5)) <= 0.25
+
+
+class TestDrastic:
+    def test_all_ones(self):
+        assert DrasticProduct()((1.0, 1.0)) == 1.0
+
+    def test_one_non_unit(self):
+        assert DrasticProduct()((0.4, 1.0, 1.0)) == 0.4
+
+    def test_two_non_units_collapse(self):
+        assert DrasticProduct()((0.9, 0.9)) == 0.0
+
+    def test_least_t_norm(self):
+        # drastic <= every other t-norm pointwise
+        vec = (0.7, 0.8)
+        assert DrasticProduct()(vec) <= HamacherProduct()(vec)
+        assert DrasticProduct()(vec) <= LukasiewiczTNorm()(vec)
+
+
+class TestConorms:
+    def test_probabilistic_sum(self):
+        assert ProbabilisticSum()((0.5, 0.5)) == pytest.approx(0.75)
+
+    def test_probabilistic_sum_saturates(self):
+        assert ProbabilisticSum()((1.0, 0.3)) == 1.0
+        assert not ProbabilisticSum().strict
+
+    def test_bounded_sum(self):
+        assert BoundedSum()((0.3, 0.4)) == pytest.approx(0.7)
+
+    def test_bounded_sum_clamps(self):
+        assert BoundedSum()((0.8, 0.9)) == 1.0
+
+    def test_conorm_above_max(self):
+        vec = (0.3, 0.6)
+        assert ProbabilisticSum()(vec) >= 0.6
+        assert BoundedSum()(vec) >= 0.6

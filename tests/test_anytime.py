@@ -1,0 +1,82 @@
+"""Tests for the anytime (streaming) top-k API."""
+
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE, MIN
+from repro.analysis import is_correct_topk, is_theta_approximation
+from repro.core import NoRandomAccessAlgorithm, anytime_topk
+from repro.core.base import QueryError
+from repro.middleware import AccessSession
+
+
+def views_for(db, t, k):
+    session = AccessSession.no_random(db)
+    return list(anytime_topk(session, t, k)), session
+
+
+class TestStream:
+    def test_final_view_is_correct_topk(self):
+        db = datagen.uniform(120, 2, seed=1)
+        views, _ = views_for(db, AVERAGE, 4)
+        final = views[-1]
+        assert final.is_final
+        assert final.certified_theta == 1.0
+        assert is_correct_topk(db, AVERAGE, 4, final.objects)
+
+    def test_only_last_view_is_final(self):
+        db = datagen.uniform(120, 2, seed=2)
+        views, _ = views_for(db, AVERAGE, 4)
+        assert all(not v.is_final for v in views[:-1])
+
+    def test_agrees_with_nra(self):
+        db = datagen.uniform(120, 2, seed=3)
+        views, session = views_for(db, AVERAGE, 4)
+        nra = NoRandomAccessAlgorithm().run_on(db, AVERAGE, 4)
+        assert views[-1].depth == nra.depth
+        assert session.sorted_accesses == nra.sorted_accesses
+        assert set(views[-1].objects) == set(nra.objects)
+
+    def test_rounds_increment(self):
+        db = datagen.uniform(60, 3, seed=4)
+        views, _ = views_for(db, AVERAGE, 3)
+        assert [v.round for v in views] == list(range(1, len(views) + 1))
+
+
+class TestIntermediateGuarantees:
+    def test_certified_theta_is_valid_approximation(self):
+        db = datagen.uniform(200, 2, seed=5)
+        views, _ = views_for(db, AVERAGE, 5)
+        # check a few mid-stream views
+        for view in views[len(views) // 3 :: max(1, len(views) // 5)]:
+            if len(view.objects) == 5 and view.certified_theta < float("inf"):
+                assert is_theta_approximation(
+                    db, AVERAGE, 5, view.objects, view.certified_theta + 1e-9
+                )
+
+    def test_bounds_bracket_truth_in_every_view(self):
+        db = datagen.uniform(100, 2, seed=6)
+        views, _ = views_for(db, AVERAGE, 3)
+        for view in views:
+            for obj, w, b in view.items:
+                truth = AVERAGE(db.grade_vector(obj))
+                assert w - 1e-9 <= truth <= b + 1e-9
+
+    def test_early_consumer_can_stop(self):
+        db = datagen.uniform(300, 2, seed=7)
+        session = AccessSession.no_random(db)
+        stream = anytime_topk(session, AVERAGE, 5)
+        first = next(stream)
+        assert first.round == 1
+        stream.close()  # stopping early is fine; session keeps its stats
+        assert session.sorted_accesses == 2
+
+
+class TestValidation:
+    def test_bad_k(self, tiny_db):
+        session = AccessSession.no_random(tiny_db)
+        with pytest.raises(QueryError):
+            next(anytime_topk(session, MIN, 0))
+        session = AccessSession.no_random(tiny_db)
+        with pytest.raises(QueryError):
+            next(anytime_topk(session, MIN, 99))

@@ -1,0 +1,81 @@
+"""Tests for footnote 6: TA with batched / non-lockstep sorted access.
+
+The paper notes all correctness and instance-optimality results survive
+when the lists are accessed at different (boundedly different) rates.
+"""
+
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE, MIN
+from repro.analysis import assert_result_correct
+from repro.core import ThresholdAlgorithm
+from repro.core.base import QueryError
+from repro.middleware import AccessSession
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("batches", [(1, 1, 1), (2, 1, 1), (3, 1, 2), (5, 5, 5)])
+    def test_batched_correct(self, batches):
+        for seed in range(3):
+            db = datagen.uniform(120, 3, seed=seed)
+            algo = ThresholdAlgorithm(batch_sizes=batches)
+            res = algo.run_on(db, AVERAGE, 4)
+            assert_result_correct(db, AVERAGE, res)
+
+    def test_batched_with_ties(self):
+        db = datagen.plateau(80, 2, levels=2, seed=7)
+        res = ThresholdAlgorithm(batch_sizes=(3, 1)).run_on(db, MIN, 3)
+        assert_result_correct(db, MIN, res)
+
+    def test_unbalanced_rates_still_correct(self):
+        db = datagen.anticorrelated(150, 2, seed=5)
+        res = ThresholdAlgorithm(batch_sizes=(10, 1)).run_on(db, AVERAGE, 3)
+        assert_result_correct(db, AVERAGE, res)
+
+
+class TestAccessPattern:
+    def test_skew_bounded_by_batch_ratio(self):
+        db = datagen.uniform(300, 2, seed=3)
+        algo = ThresholdAlgorithm(batch_sizes=(4, 1))
+        session = AccessSession(db, record_trace=True)
+        algo.run(session, AVERAGE, 3)
+        # positions stay within a factor ~4 of each other
+        p0, p1 = session.position(0), session.position(1)
+        assert p0 >= p1
+        assert p0 <= 4 * p1 + 4
+
+    def test_cost_within_constant_of_lockstep(self):
+        """Footnote 6: bounded rate skew costs at most a constant factor."""
+        for seed in range(3):
+            db = datagen.uniform(200, 2, seed=seed)
+            lockstep = ThresholdAlgorithm().run_on(db, AVERAGE, 3)
+            batched = ThresholdAlgorithm(batch_sizes=(2, 1)).run_on(
+                db, AVERAGE, 3
+            )
+            assert (
+                batched.middleware_cost
+                <= 2 * lockstep.middleware_cost + 12
+            )
+
+    def test_exhaustion_mid_batch(self):
+        db = datagen.uniform(10, 2, seed=1)
+        res = ThresholdAlgorithm(batch_sizes=(7, 7)).run_on(db, AVERAGE, 10)
+        assert_result_correct(db, AVERAGE, res)
+
+
+class TestValidation:
+    def test_rejects_bad_batches(self):
+        with pytest.raises(ValueError):
+            ThresholdAlgorithm(batch_sizes=(0, 1))
+        with pytest.raises(ValueError):
+            ThresholdAlgorithm(batch_sizes=())
+
+    def test_rejects_wrong_length(self, tiny_db):
+        algo = ThresholdAlgorithm(batch_sizes=(1, 2))
+        with pytest.raises(QueryError):
+            algo.run_on(tiny_db, AVERAGE, 1)
+
+    def test_name_mentions_batches(self):
+        algo = ThresholdAlgorithm(batch_sizes=(2, 1))
+        assert "batches" in algo.name

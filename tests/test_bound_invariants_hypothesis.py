@@ -1,0 +1,145 @@
+"""Property-based tests of the W/B bound invariants (Propositions 8.1
+and 8.2) for every aggregation function in the library.
+
+These are the soundness conditions NRA, CA and the certificate searcher
+all rest on: for any subset of known fields and any bottoms vector that
+dominates the hidden true values,
+
+    worst_case(known)  <=  t(true)  <=  best_case(known, bottoms).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation import (
+    AVERAGE,
+    MAX,
+    MEDIAN,
+    MIN,
+    PRODUCT,
+    SUM,
+    BoundedSum,
+    DrasticProduct,
+    EinsteinProduct,
+    GeometricMean,
+    HamacherProduct,
+    HarmonicMean,
+    KthLargest,
+    LukasiewiczTNorm,
+    MinOfSumFirstTwo,
+    ProbabilisticSum,
+)
+
+VARIADIC = [
+    MIN,
+    MAX,
+    SUM,
+    AVERAGE,
+    PRODUCT,
+    MEDIAN,
+    GeometricMean(),
+    HarmonicMean(),
+    LukasiewiczTNorm(),
+    HamacherProduct(),
+    EinsteinProduct(),
+    DrasticProduct(),
+    ProbabilisticSum(),
+    BoundedSum(),
+    KthLargest(1),
+]
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def bound_scenario(draw):
+    """True grades, a known-fields subset, and bottoms dominating the
+    hidden grades (as holds during any run: a hidden field lies below
+    the list's current bottom)."""
+    m = draw(st.integers(min_value=1, max_value=5))
+    true = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    known_mask = draw(st.lists(st.booleans(), min_size=m, max_size=m))
+    # bottoms dominate the hidden true values
+    slack = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    bottoms = [
+        min(1.0, true[i] + slack[i] * (1.0 - true[i]))
+        for i in range(m)
+    ]
+    known = {i: true[i] for i in range(m) if known_mask[i]}
+    t_index = draw(st.integers(min_value=0, max_value=len(VARIADIC) - 1))
+    return VARIADIC[t_index], tuple(true), known, bottoms
+
+
+class TestBoundInvariants:
+    @SETTINGS
+    @given(bound_scenario())
+    def test_w_below_truth(self, scenario):
+        t, true, known, bottoms = scenario
+        m = len(true)
+        assert t.worst_case(known, m) <= t.aggregate(true) + 1e-9
+
+    @SETTINGS
+    @given(bound_scenario())
+    def test_b_above_truth(self, scenario):
+        t, true, known, bottoms = scenario
+        assert t.best_case(known, bottoms) >= t.aggregate(true) - 1e-9
+
+    @SETTINGS
+    @given(bound_scenario())
+    def test_w_below_b(self, scenario):
+        t, true, known, bottoms = scenario
+        m = len(true)
+        assert t.worst_case(known, m) <= t.best_case(known, bottoms) + 1e-9
+
+    @SETTINGS
+    @given(bound_scenario())
+    def test_all_known_collapses_to_truth(self, scenario):
+        t, true, known, bottoms = scenario
+        m = len(true)
+        full = {i: true[i] for i in range(m)}
+        value = t.aggregate(true)
+        assert t.worst_case(full, m) == value
+        assert t.best_case(full, bottoms) == value
+
+    @SETTINGS
+    @given(bound_scenario())
+    def test_threshold_is_unseen_best_case(self, scenario):
+        t, true, known, bottoms = scenario
+        assert t.threshold(bottoms) == t.best_case({}, bottoms)
+
+
+class TestFixedArityBounds:
+    @SETTINGS
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=4,
+            max_size=4,
+        )
+    )
+    def test_min_of_sum_first_two(self, true):
+        t = MinOfSumFirstTwo()
+        rng = np.random.default_rng(0)
+        known = {0: true[0], 2: true[2]}
+        bottoms = [min(1.0, v + 0.1) for v in true]
+        assert t.worst_case(known, 4) <= t.aggregate(tuple(true)) + 1e-9
+        assert t.best_case(known, bottoms) >= t.aggregate(tuple(true)) - 1e-9

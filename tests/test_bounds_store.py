@@ -1,0 +1,209 @@
+"""Unit tests for the CandidateStore (W/B bound bookkeeping)."""
+
+import pytest
+
+from repro.aggregation import AVERAGE, MIN, SUM
+from repro.core import CandidateStore
+
+
+def make_store(t=AVERAGE, m=3, k=2, naive=False):
+    return CandidateStore(t, m, k, naive=naive)
+
+
+class TestRecording:
+    def test_new_field_returns_true(self):
+        store = make_store()
+        assert store.record("a", 0, 0.5)
+        assert not store.record("a", 0, 0.5)  # duplicate field
+
+    def test_w_updates_with_fields(self):
+        store = make_store(AVERAGE, 3, 1)
+        store.record("a", 0, 0.9)
+        assert store.w["a"] == pytest.approx(0.3)
+        store.record("a", 1, 0.6)
+        assert store.w["a"] == pytest.approx(0.5)
+
+    def test_b_uses_current_bottoms(self):
+        store = make_store(AVERAGE, 2, 1)
+        store.record("a", 0, 0.5)
+        assert store.b_value("a") == pytest.approx((0.5 + 1.0) / 2)
+        store.update_bottom(1, 0.4)
+        assert store.b_value("a") == pytest.approx((0.5 + 0.4) / 2)
+
+    def test_threshold_is_unseen_b(self):
+        store = make_store(SUM, 2, 1)
+        store.update_bottom(0, 0.3)
+        store.update_bottom(1, 0.2)
+        assert store.threshold == pytest.approx(0.5)
+
+    def test_fully_known_and_exact_grade(self):
+        store = make_store(AVERAGE, 2, 1)
+        store.record("a", 0, 0.4)
+        assert not store.fully_known("a")
+        assert store.exact_grade("a") is None
+        store.record("a", 1, 0.8)
+        assert store.fully_known("a")
+        assert store.exact_grade("a") == pytest.approx(0.6)
+
+
+class TestTopK:
+    def test_orders_by_w(self):
+        store = make_store(AVERAGE, 2, 2)
+        store.record("hi", 0, 0.9)
+        store.record("mid", 0, 0.5)
+        store.record("lo", 0, 0.1)
+        topk, m_k = store.current_topk()
+        assert topk == ["hi", "mid"]
+        assert m_k == pytest.approx(0.25)
+
+    def test_fewer_than_k(self):
+        store = make_store(AVERAGE, 2, 3)
+        store.record("only", 0, 0.9)
+        topk, m_k = store.current_topk()
+        assert topk == ["only"]
+        assert m_k == float("-inf")
+
+    def test_tie_break_by_b(self):
+        # two objects with equal W; the one with bigger B must win the slot
+        store = make_store(AVERAGE, 2, 1)
+        store.update_bottom(0, 0.6)
+        store.update_bottom(1, 0.6)
+        store.record("weak", 0, 0.5)   # W = .25, B = (.5+.6)/2 = .55
+        store.record("strong", 1, 0.5)  # W = .25, B = (.6+.5)/2 = .55
+        store.update_bottom(0, 0.4)     # now strong's B = .45, weak's = .55
+        topk, _ = store.current_topk()
+        assert topk == ["weak"]
+
+    def test_w_updates_reorder(self):
+        store = make_store(AVERAGE, 2, 1)
+        store.record("a", 0, 0.4)
+        store.record("b", 0, 0.6)
+        assert store.current_topk()[0] == ["b"]
+        store.record("a", 1, 1.0)  # a's W jumps to .7
+        assert store.current_topk()[0] == ["a"]
+
+
+class TestViability:
+    def test_viable_object_found(self):
+        store = make_store(AVERAGE, 2, 1)
+        store.record("top", 0, 0.9)
+        store.record("top", 1, 0.9)   # W = B = .9
+        store.record("rival", 0, 0.8)  # B = (.8 + 1.0)/2 = .9 > M_k? == .9
+        topk, m_k = store.current_topk()
+        assert topk == ["top"]
+        # rival's B == M_k: not strictly viable
+        assert store.find_viable_outside(topk, m_k) is None
+
+    def test_strictly_viable_blocks(self):
+        store = make_store(AVERAGE, 2, 1)
+        store.record("top", 0, 0.5)
+        store.record("top", 1, 0.5)   # W = .5
+        store.record("rival", 0, 0.9)  # B = (.9 + 1)/2 = .95 > .5
+        topk, m_k = store.current_topk()
+        found = store.find_viable_outside(topk, m_k)
+        assert found is not None and found[0] == "rival"
+
+    def test_discard_is_permanent_but_sound(self):
+        store = make_store(AVERAGE, 2, 1)
+        store.record("top", 0, 0.9)
+        store.record("top", 1, 0.9)
+        store.record("dead", 0, 0.2)
+        store.update_bottom(1, 0.1)  # dead's B = .15 <= M_k = .9
+        topk, m_k = store.current_topk()
+        assert store.find_viable_outside(topk, m_k) is None
+        # a second call after more updates must stay consistent
+        store.update_bottom(0, 0.05)
+        topk, m_k = store.current_topk()
+        assert store.find_viable_outside(topk, m_k) is None
+
+    def test_matches_naive_on_random_streams(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for trial in range(10):
+            fast = make_store(AVERAGE, 3, 2)
+            slow = make_store(AVERAGE, 3, 2, naive=True)
+            n = 40
+            grades = rng.random((n, 3))
+            orders = [np.argsort(-grades[:, i]) for i in range(3)]
+            for depth in range(n):
+                for i in range(3):
+                    obj = int(orders[i][depth])
+                    g = float(grades[obj, i])
+                    for store in (fast, slow):
+                        store.update_bottom(i, g)
+                        store.record(obj, i, g)
+                ft, fm = fast.current_topk()
+                st, sm = slow.current_topk()
+                assert fm == pytest.approx(sm)
+                assert set(fast.w[o] for o in ft) == set(
+                    slow.w[o] for o in st
+                )
+                f_viable = fast.find_viable_outside(ft, fm)
+                s_viable = slow.find_viable_outside(st, sm)
+                assert (f_viable is None) == (s_viable is None)
+
+
+class TestRandomAccessTarget:
+    def test_picks_largest_b_with_missing_fields(self):
+        store = make_store(AVERAGE, 2, 1)
+        store.record("full", 0, 0.9)
+        store.record("full", 1, 0.9)  # M_k = 0.9
+        store.record("partial_hi", 0, 0.95)  # B = 0.975 > 0.9: viable
+        store.record("partial_lo", 0, 0.85)  # B = 0.925 > 0.9: viable
+        _, m_k = store.current_topk()
+        # full is excluded (no missing fields); partial_hi beats partial_lo
+        assert store.best_random_access_target(m_k) == "partial_hi"
+
+    def test_escape_when_no_candidate(self):
+        store = make_store(AVERAGE, 2, 1)
+        store.record("full", 0, 0.9)
+        store.record("full", 1, 0.9)
+        _, m_k = store.current_topk()
+        assert store.best_random_access_target(m_k) is None
+
+    def test_non_viable_partials_ignored(self):
+        store = make_store(AVERAGE, 2, 1)
+        store.record("top", 0, 1.0)
+        store.record("top", 1, 1.0)  # M_k = 1.0
+        store.record("hopeless", 0, 0.1)
+        _, m_k = store.current_topk()
+        assert store.best_random_access_target(m_k) is None
+
+    def test_matches_naive_choice_value(self):
+        # the lazy version may break exact ties differently, but the B of
+        # the chosen object must equal the naive maximum
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        fast = make_store(AVERAGE, 3, 2)
+        slow = make_store(AVERAGE, 3, 2, naive=True)
+        n = 30
+        grades = rng.random((n, 3))
+        orders = [np.argsort(-grades[:, i]) for i in range(3)]
+        for depth in range(12):
+            for i in range(3):
+                obj = int(orders[i][depth])
+                g = float(grades[obj, i])
+                for store in (fast, slow):
+                    store.update_bottom(i, g)
+                    store.record(obj, i, g)
+        _, fm = fast.current_topk()
+        _, sm = slow.current_topk()
+        f = fast.best_random_access_target(fm)
+        s = slow.best_random_access_target(sm)
+        assert (f is None) == (s is None)
+        if f is not None:
+            assert fast.b_value(f) == pytest.approx(slow.b_value(s))
+
+
+class TestMinAggregation:
+    def test_w_zero_until_complete(self):
+        # the paper's observation: for min, W is uninformative until all
+        # fields are known
+        store = make_store(MIN, 3, 1)
+        store.record("a", 0, 0.9)
+        store.record("a", 1, 0.8)
+        assert store.w["a"] == 0.0
+        store.record("a", 2, 0.7)
+        assert store.w["a"] == 0.7

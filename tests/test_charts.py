@@ -1,0 +1,81 @@
+"""Tests for the terminal chart helpers."""
+
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE
+from repro.analysis import (
+    bar_chart,
+    render_trajectory,
+    sparkline,
+    threshold_trajectory,
+)
+from repro.analysis.progress import TrajectoryPoint
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_non_finite_rendered_as_space(self):
+        line = sparkline([1.0, float("inf"), 2.0])
+        assert line[1] == " "
+
+    def test_all_non_finite(self):
+        assert sparkline([float("nan")] * 3) == "   "
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        a_line, b_line = text.splitlines()
+        assert b_line.count("█") == 2 * a_line.count("█")
+
+    def test_title_and_values_shown(self):
+        text = bar_chart(["x"], [3.5], title="demo")
+        assert text.startswith("demo")
+        assert "3.5" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_infinite_value_annotated(self):
+        text = bar_chart(["a"], [float("inf")])
+        assert "inf" in text
+
+
+class TestRenderTrajectory:
+    def test_real_trajectory(self):
+        db = datagen.uniform(150, 2, seed=1)
+        points = threshold_trajectory(db, AVERAGE, 3)
+        text = render_trajectory(points, title="TA halting")
+        assert "TA halting" in text
+        assert "upper (falls):" in text
+        assert "crossover at depth" in text
+        assert str(points[-1].depth) in text
+
+    def test_unfinished_trajectory(self):
+        points = [TrajectoryPoint(1, 0.9, 0.1), TrajectoryPoint(2, 0.8, 0.2)]
+        text = render_trajectory(points)
+        assert "not yet halted" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_trajectory([])
+
+    def test_downsampling_keeps_last_point(self):
+        points = [
+            TrajectoryPoint(i, 1.0 - i / 200, i / 200) for i in range(1, 150)
+        ]
+        text = render_trajectory(points, width=20)
+        lines = text.splitlines()
+        assert len(lines[0].split(": ")[1]) <= 25

@@ -1,0 +1,57 @@
+"""Unit tests for the middleware cost model."""
+
+import pytest
+
+from repro.middleware import UNIT_COSTS, CostModel
+
+
+class TestValidation:
+    def test_defaults(self):
+        cm = CostModel()
+        assert cm.cs == 1.0 and cm.cr == 1.0
+
+    def test_rejects_zero_sorted_cost(self):
+        with pytest.raises(ValueError):
+            CostModel(0.0, 1.0)
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            CostModel(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            CostModel(1.0, -1.0)
+
+    def test_zero_random_needs_flag(self):
+        with pytest.raises(ValueError):
+            CostModel(1.0, 0.0)
+        cm = CostModel(1.0, 0.0, allow_zero_random=True)
+        assert cm.cost(10, 100) == 10.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            UNIT_COSTS.sorted_cost = 2.0
+
+
+class TestDerivedQuantities:
+    def test_cost_formula(self):
+        cm = CostModel(2.0, 5.0)
+        assert cm.cost(3, 4) == pytest.approx(3 * 2.0 + 4 * 5.0)
+
+    def test_ratio(self):
+        assert CostModel(2.0, 10.0).ratio == 5.0
+
+    def test_h_floor(self):
+        assert CostModel(1.0, 1.0).h == 1
+        assert CostModel(1.0, 2.5).h == 2
+        assert CostModel(2.0, 9.0).h == 4
+
+    def test_h_at_least_one(self):
+        # cR < cS: CA's assumption fails but h is still clamped to 1
+        assert CostModel(4.0, 1.0).h == 1
+
+    def test_aliases(self):
+        cm = CostModel(3.0, 7.0)
+        assert cm.cs == cm.sorted_cost == 3.0
+        assert cm.cr == cm.random_cost == 7.0
+
+    def test_zero_accesses_cost_zero(self):
+        assert UNIT_COSTS.cost(0, 0) == 0.0

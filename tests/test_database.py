@@ -1,0 +1,163 @@
+"""Unit tests for the Database substrate."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import AVERAGE, MIN
+from repro.middleware import (
+    Database,
+    DatabaseError,
+    UnknownListError,
+    UnknownObjectError,
+)
+
+
+class TestFromRows:
+    def test_basic_shape(self, tiny_db):
+        assert tiny_db.num_objects == 6
+        assert tiny_db.num_lists == 3
+        assert len(tiny_db) == 6
+        assert "a" in tiny_db and "zz" not in tiny_db
+
+    def test_lists_sorted_descending(self, tiny_db):
+        for i in range(3):
+            grades = [
+                tiny_db.sorted_entry(i, p)[1] for p in range(6)
+            ]
+            assert grades == sorted(grades, reverse=True)
+
+    def test_sorted_entry_contents(self, tiny_db):
+        obj, grade = tiny_db.sorted_entry(0, 0)
+        assert obj == "a" and grade == 0.9
+
+    def test_past_end_returns_none(self, tiny_db):
+        assert tiny_db.sorted_entry(0, 6) is None
+
+    def test_negative_position_raises(self, tiny_db):
+        with pytest.raises(IndexError):
+            tiny_db.sorted_entry(0, -1)
+
+    def test_tie_order_is_insertion_order(self):
+        db = Database.from_rows({"x": (0.5,), "y": (0.5,), "z": (0.9,)})
+        assert [db.sorted_entry(0, p)[0] for p in range(3)] == ["z", "x", "y"]
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatabaseError):
+            Database.from_rows({})
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(DatabaseError):
+            Database.from_rows({"a": (0.1, 0.2), "b": (0.3,)})
+
+    def test_rejects_out_of_range_grades(self):
+        with pytest.raises(DatabaseError):
+            Database.from_rows({"a": (1.5,)})
+        with pytest.raises(DatabaseError):
+            Database.from_rows({"a": (-0.1,)})
+
+    def test_rejects_nan(self):
+        with pytest.raises(DatabaseError):
+            Database.from_rows({"a": (float("nan"),)})
+
+
+class TestFromColumns:
+    def test_preserves_explicit_tie_order(self):
+        db = Database.from_columns(
+            [
+                [("y", 0.5), ("x", 0.5), ("z", 0.1)],
+                [("z", 0.9), ("x", 0.3), ("y", 0.2)],
+            ]
+        )
+        assert db.sorted_entry(0, 0)[0] == "y"
+        assert db.sorted_entry(0, 1)[0] == "x"
+
+    def test_rejects_unsorted_column(self):
+        with pytest.raises(DatabaseError):
+            Database.from_columns([[("a", 0.3), ("b", 0.8)]])
+
+    def test_rejects_duplicate_in_column(self):
+        with pytest.raises(DatabaseError):
+            Database.from_columns([[("a", 0.8), ("a", 0.3)]])
+
+    def test_rejects_object_missing_from_a_list(self):
+        with pytest.raises(DatabaseError) as err:
+            Database.from_columns(
+                [
+                    [("a", 0.8), ("b", 0.3)],
+                    [("a", 0.9)],
+                ]
+            )
+        assert "missing" in str(err.value)
+
+
+class TestFromArray:
+    def test_round_trip(self):
+        arr = np.array([[0.1, 0.9], [0.8, 0.2], [0.5, 0.5]])
+        db = Database.from_array(arr)
+        assert db.num_objects == 3 and db.num_lists == 2
+        assert db.grade(0, 1) == 0.9
+        assert db.sorted_entry(0, 0) == (1, 0.8)
+
+    def test_custom_object_ids(self):
+        arr = np.array([[0.1], [0.9]])
+        db = Database.from_array(arr, object_ids=["low", "high"])
+        assert db.sorted_entry(0, 0) == ("high", 0.9)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(DatabaseError):
+            Database.from_array(np.zeros(5))
+
+    def test_rejects_mismatched_ids(self):
+        with pytest.raises(DatabaseError):
+            Database.from_array(np.zeros((2, 2)), object_ids=["only-one"])
+
+    def test_to_array_round_trip(self):
+        arr = np.array([[0.1, 0.9], [0.8, 0.2]])
+        db = Database.from_array(arr)
+        ids, out = db.to_array(object_ids=[0, 1])
+        assert ids == [0, 1]
+        assert np.allclose(out, arr)
+
+
+class TestAccessors:
+    def test_grade(self, tiny_db):
+        assert tiny_db.grade("c", 2) == 0.9
+
+    def test_grade_vector(self, tiny_db):
+        assert tiny_db.grade_vector("d") == (0.3, 0.6, 0.5)
+
+    def test_unknown_object(self, tiny_db):
+        with pytest.raises(UnknownObjectError):
+            tiny_db.grade("missing", 0)
+
+    def test_unknown_list(self, tiny_db):
+        with pytest.raises(UnknownListError):
+            tiny_db.grade("a", 3)
+        with pytest.raises(UnknownListError):
+            tiny_db.sorted_entry(-1, 0)
+
+
+class TestGroundTruth:
+    def test_overall_grades(self, tiny_db):
+        overall = tiny_db.overall_grades(MIN)
+        assert overall["a"] == 0.7
+        assert overall["c"] == 0.2
+
+    def test_top_k(self, tiny_db):
+        top2 = tiny_db.top_k(AVERAGE, 2)
+        assert [obj for obj, _ in top2] == ["a", "b"]
+        assert top2[0][1] == pytest.approx(0.8)
+
+    def test_kth_grade(self, tiny_db):
+        assert tiny_db.kth_grade(AVERAGE, 2) == pytest.approx(
+            (0.8 + 0.9 + 0.6) / 3
+        )
+
+    def test_top_k_rejects_bad_k(self, tiny_db):
+        with pytest.raises(ValueError):
+            tiny_db.top_k(MIN, 0)
+
+    def test_distinctness_detection(self, tiny_db):
+        assert tiny_db.satisfies_distinctness()
+        tied = Database.from_rows({"x": (0.5, 0.1), "y": (0.5, 0.2)})
+        assert not tied.satisfies_distinctness()

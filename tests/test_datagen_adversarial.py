@@ -1,0 +1,276 @@
+"""Unit tests for the adversarial constructions: each instance must have
+exactly the structure the paper's argument needs."""
+
+import pytest
+
+from repro import datagen
+from repro.middleware import CostModel
+
+
+class TestExample63:
+    def test_winner_unique_with_grade_one(self):
+        inst = datagen.example_6_3(10)
+        overall = inst.database.overall_grades(inst.aggregation)
+        assert overall[inst.top_object] == 1.0
+        losers = [g for obj, g in overall.items() if obj != inst.top_object]
+        assert all(g == 0.0 for g in losers)
+
+    def test_winner_in_middle_of_both_lists(self):
+        n = 10
+        inst = datagen.example_6_3(n)
+        db = inst.database
+        # position n (0-based) in both lists
+        assert db.sorted_entry(0, n)[0] == n + 1
+        assert db.sorted_entry(1, n)[0] == n + 1
+
+    def test_list_structure(self):
+        n = 5
+        db = datagen.example_6_3(n).database
+        # top n+1 of L1 have grade 1, rest grade 0
+        grades_l1 = [db.sorted_entry(0, p)[1] for p in range(2 * n + 1)]
+        assert grades_l1 == [1.0] * (n + 1) + [0.0] * n
+        # L2 is the reverse object order
+        order_l2 = [db.sorted_entry(1, p)[0] for p in range(2 * n + 1)]
+        assert order_l2 == list(range(2 * n + 1, 0, -1))
+
+    def test_competitor_hint(self):
+        inst = datagen.example_6_3(10)
+        assert inst.competitor_sorted == 0
+        assert inst.competitor_random == 2
+        assert inst.competitor_cost(CostModel(1.0, 5.0)) == 10.0
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            datagen.example_6_3(0)
+
+
+class TestExample68:
+    def test_distinctness(self):
+        inst = datagen.example_6_8(12, theta=1.5)
+        assert inst.database.satisfies_distinctness()
+
+    def test_winner_grade_is_one_over_theta(self):
+        theta = 2.0
+        inst = datagen.example_6_8(8, theta=theta)
+        overall = inst.database.overall_grades(inst.aggregation)
+        assert overall[inst.top_object] == pytest.approx(1 / theta)
+
+    def test_all_others_below_half_theta_squared(self):
+        theta = 1.5
+        inst = datagen.example_6_8(8, theta=theta)
+        overall = inst.database.overall_grades(inst.aggregation)
+        bound = 1 / (2 * theta * theta)
+        for obj, g in overall.items():
+            if obj != inst.top_object:
+                assert g <= bound + 1e-12
+
+    def test_theta_approx_forces_unique_answer(self):
+        # theta * t(other) < t(winner): only the winner is a valid output
+        theta = 1.5
+        inst = datagen.example_6_8(8, theta=theta)
+        overall = inst.database.overall_grades(inst.aggregation)
+        winner_grade = overall[inst.top_object]
+        for obj, g in overall.items():
+            if obj != inst.top_object:
+                assert theta * g < winner_grade
+
+    def test_winner_in_middle(self):
+        n = 7
+        inst = datagen.example_6_8(n, theta=1.2)
+        db = inst.database
+        assert db.sorted_entry(0, n)[0] == n + 1
+        assert db.sorted_entry(1, n)[0] == n + 1
+
+    def test_rejects_theta_at_most_one(self):
+        with pytest.raises(ValueError):
+            datagen.example_6_8(5, theta=1.0)
+
+
+class TestExample73:
+    def test_distinctness(self):
+        inst = datagen.example_7_3(20)
+        assert inst.database.satisfies_distinctness()
+
+    def test_r_is_unique_winner_with_grade_06(self):
+        inst = datagen.example_7_3(20)
+        overall = inst.database.overall_grades(inst.aggregation)
+        assert overall["R"] == pytest.approx(0.6)
+        for obj, g in overall.items():
+            if obj != "R":
+                assert g <= 0.5
+
+    def test_min_grade_in_l1_is_07(self):
+        inst = datagen.example_7_3(20)
+        db = inst.database
+        bottom = db.sorted_entry(0, db.num_objects - 1)[1]
+        assert bottom == pytest.approx(0.7)
+
+    def test_restricted_lists_declared(self):
+        inst = datagen.example_7_3(10)
+        assert inst.restricted_sorted_lists == (0,)
+
+
+class TestExample83:
+    def test_r_wins_by_average(self):
+        inst = datagen.example_8_3(20)
+        overall = inst.database.overall_grades(inst.aggregation)
+        assert overall["R"] == pytest.approx(0.5)
+        assert all(
+            g <= 1.0 / 3.0 + 1e-12 for obj, g in overall.items() if obj != "R"
+        )
+
+    def test_r_at_bottom_of_l2(self):
+        inst = datagen.example_8_3(20)
+        db = inst.database
+        assert db.sorted_entry(1, db.num_objects - 1)[0] == "R"
+
+    def test_with_second_ordering(self):
+        inst = datagen.example_8_3(20, with_second=True)
+        overall = inst.database.overall_grades(inst.aggregation)
+        assert overall["R2"] == pytest.approx(0.625)
+        assert overall["R"] == pytest.approx(0.5)
+        # top-2 is {R2, R}
+        top2 = [obj for obj, _ in inst.database.top_k(inst.aggregation, 2)]
+        assert set(top2) == {"R", "R2"}
+
+
+class TestFigure5:
+    def test_r_overall_grade_three_halves(self):
+        inst = datagen.figure_5(6)
+        overall = inst.database.overall_grades(inst.aggregation)
+        assert overall["R"] == pytest.approx(1.5)
+
+    def test_everything_else_at_most_eleven_eighths(self):
+        inst = datagen.figure_5(6)
+        overall = inst.database.overall_grades(inst.aggregation)
+        for obj, g in overall.items():
+            if obj != "R":
+                assert g <= 11 / 8 + 1e-12
+
+    def test_r_positions(self):
+        h = 7
+        inst = datagen.figure_5(h)
+        db = inst.database
+        assert db.sorted_entry(0, h - 2) == ("R", 0.5)
+        assert db.sorted_entry(1, h - 2) == ("R", 0.5)
+        assert db.sorted_entry(2, h * h - 1) == ("R", 0.5)
+
+    def test_top_objects_disjoint_across_lists(self):
+        h = 8
+        inst = datagen.figure_5(h)
+        db = inst.database
+        tops = [
+            {db.sorted_entry(i, p)[0] for p in range(h - 2)} for i in range(3)
+        ]
+        assert not (tops[0] & tops[1])
+        assert not (tops[0] & tops[2])
+        assert not (tops[1] & tops[2])
+
+    def test_rejects_small_h(self):
+        with pytest.raises(ValueError):
+            datagen.figure_5(2)
+
+
+class TestTheorem91Family:
+    def test_unique_all_ones_winner(self):
+        inst = datagen.theorem_9_1_family(d=5, m=3)
+        overall = inst.database.overall_grades(inst.aggregation)
+        assert overall["T"] == 1.0
+        assert all(g == 0.0 for obj, g in overall.items() if obj != "T")
+
+    def test_t_at_position_d_in_list_zero(self):
+        d = 5
+        inst = datagen.theorem_9_1_family(d=d, m=3)
+        assert inst.database.sorted_entry(0, d - 1)[0] == "T"
+
+    def test_k_greater_one_adds_easy_winners(self):
+        inst = datagen.theorem_9_1_family(d=4, m=2, k=3)
+        overall = inst.database.overall_grades(inst.aggregation)
+        winners = [obj for obj, g in overall.items() if g == 1.0]
+        assert set(winners) == {"T", "easy0", "easy1"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            datagen.theorem_9_1_family(d=0, m=2)
+        with pytest.raises(ValueError):
+            datagen.theorem_9_1_family(d=3, m=1)
+
+
+class TestTheorem92Family:
+    def test_distinctness(self):
+        inst = datagen.theorem_9_2_family(d=6, m=4)
+        assert inst.database.satisfies_distinctness()
+
+    def test_winner_grade_is_half(self):
+        inst = datagen.theorem_9_2_family(d=6, m=4)
+        overall = inst.database.overall_grades(inst.aggregation)
+        assert overall[inst.top_object] == pytest.approx(0.5)
+
+    def test_everyone_else_below_half(self):
+        inst = datagen.theorem_9_2_family(d=6, m=4)
+        overall = inst.database.overall_grades(inst.aggregation)
+        for obj, g in overall.items():
+            if obj != inst.top_object:
+                assert g < 0.5
+
+    def test_candidates_pair_to_half(self):
+        d = 6
+        inst = datagen.theorem_9_2_family(d=d, m=3)
+        db = inst.database
+        for i in range(1, d + 1):
+            vec = db.grade_vector(f"c{i}")
+            assert vec[0] + vec[1] == pytest.approx(0.5)
+
+    def test_winner_after_first_quarter_of_high_lists(self):
+        inst = datagen.theorem_9_2_family(d=6, m=4)
+        db = inst.database
+        n = db.num_objects
+        winner = inst.top_object
+        for ell in range(2, 4):
+            position = next(
+                p for p in range(n) if db.sorted_entry(ell, p)[0] == winner
+            )
+            assert position >= n // 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            datagen.theorem_9_2_family(d=1, m=3)
+        with pytest.raises(ValueError):
+            datagen.theorem_9_2_family(d=4, m=2)
+
+
+class TestTheorem95Family:
+    def test_unique_all_ones_winner(self):
+        inst = datagen.theorem_9_5_family(d=10, m=3)
+        overall = inst.database.overall_grades(inst.aggregation)
+        assert overall[inst.top_object] == 1.0
+        others = [g for obj, g in overall.items() if obj != inst.top_object]
+        assert all(g == 0.0 for g in others)
+
+    def test_winner_at_position_d_of_challenge_list(self):
+        d = 10
+        inst = datagen.theorem_9_5_family(d=d, m=3)
+        assert inst.database.sorted_entry(0, d - 1)[0] == inst.top_object
+
+    def test_top_2m_minus_2_are_specials(self):
+        m, d = 3, 10
+        inst = datagen.theorem_9_5_family(d=d, m=m)
+        db = inst.database
+        specials = {f"T{i}" for i in range(m)} | {f"U{i}" for i in range(m)}
+        for i in range(m):
+            top = {db.sorted_entry(i, p)[0] for p in range(2 * m - 2)}
+            assert top <= specials
+            # the challenge pair is excluded
+            assert f"T{i}" not in top and f"U{i}" not in top
+
+    def test_ones_zone_depth_exactly_d(self):
+        d, m = 12, 3
+        inst = datagen.theorem_9_5_family(d=d, m=m)
+        db = inst.database
+        for i in range(m):
+            assert db.sorted_entry(i, d - 1)[1] == 1.0
+            assert db.sorted_entry(i, d)[1] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            datagen.theorem_9_5_family(d=3, m=3)  # d < 2m

@@ -1,0 +1,113 @@
+"""Unit tests for the realistic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE, MIN, SUM
+from repro.analysis import assert_result_correct
+from repro.core import NoRandomAccessAlgorithm, ThresholdAlgorithm
+
+
+class TestRatingsLike:
+    def test_shape_and_range(self):
+        db = datagen.ratings_like(500, 3, seed=1)
+        assert db.num_objects == 500 and db.num_lists == 3
+        _, arr = db.to_array()
+        assert arr.min() >= 0.0 and arr.max() <= 1.0
+
+    def test_lists_positively_correlated(self):
+        db = datagen.ratings_like(3000, 2, noise=0.1, seed=2)
+        _, arr = db.to_array()
+        r = np.corrcoef(arr[:, 0], arr[:, 1])[0, 1]
+        assert r > 0.4
+
+    def test_hit_fraction_shapes_the_head(self):
+        few = datagen.ratings_like(3000, 1, hit_fraction=0.02, seed=3)
+        many = datagen.ratings_like(3000, 1, hit_fraction=0.5, seed=3)
+        _, f = few.to_array()
+        _, m = many.to_array()
+        assert m.mean() > f.mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            datagen.ratings_like(10, 2, hit_fraction=1.5)
+        with pytest.raises(ValueError):
+            datagen.ratings_like(10, 2, noise=-0.1)
+
+    def test_algorithms_run_correctly(self):
+        db = datagen.ratings_like(300, 3, seed=4)
+        for algo in (ThresholdAlgorithm(), NoRandomAccessAlgorithm()):
+            res = algo.run_on(db, AVERAGE, 5)
+            assert_result_correct(db, AVERAGE, res)
+
+
+class TestSearchScoresLike:
+    def test_mostly_sparse(self):
+        db = datagen.search_scores_like(
+            2000, 3, match_fraction=0.2, overlap_fraction=0.02, seed=5
+        )
+        _, arr = db.to_array()
+        zero_rate = (arr == 0.0).mean()
+        assert zero_rate > 0.5
+
+    def test_overlap_set_dominates_conjunctive_query(self):
+        db = datagen.search_scores_like(
+            2000, 3, match_fraction=0.2, overlap_fraction=0.02, seed=6
+        )
+        top = db.top_k(MIN, 5)
+        # the winners score positively on every term
+        for obj, grade in top:
+            assert grade > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            datagen.search_scores_like(10, 2, match_fraction=-0.1)
+        with pytest.raises(ValueError):
+            datagen.search_scores_like(10, 2, overlap_fraction=2.0)
+
+    def test_sum_query_correct(self):
+        db = datagen.search_scores_like(300, 3, seed=7)
+        res = ThresholdAlgorithm().run_on(db, SUM, 5)
+        assert_result_correct(db, SUM, res)
+
+
+class TestSensorLike:
+    def test_in_range(self):
+        db = datagen.sensor_like(1000, 2, seed=8)
+        _, arr = db.to_array()
+        assert arr.min() >= 0.0 and arr.max() <= 1.0
+
+    def test_adjacent_objects_similar(self):
+        db = datagen.sensor_like(1000, 1, drift=0.01, seed=9)
+        ids, arr = db.to_array(object_ids=range(1000))
+        jumps = np.abs(np.diff(arr[:, 0]))
+        assert np.median(jumps) < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            datagen.sensor_like(10, 2, drift=0.0)
+
+    def test_nra_correct(self):
+        db = datagen.sensor_like(300, 2, seed=10)
+        res = NoRandomAccessAlgorithm().run_on(db, AVERAGE, 4)
+        assert_result_correct(db, AVERAGE, res)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "gen",
+        [
+            lambda s: datagen.ratings_like(50, 2, seed=s),
+            lambda s: datagen.search_scores_like(50, 2, seed=s),
+            lambda s: datagen.sensor_like(50, 2, seed=s),
+        ],
+    )
+    def test_seeded(self, gen):
+        a, b = gen(3), gen(3)
+        for obj in a.objects:
+            assert a.grade_vector(obj) == b.grade_vector(obj)
+        c = gen(4)
+        assert any(
+            a.grade_vector(obj) != c.grade_vector(obj) for obj in a.objects
+        )

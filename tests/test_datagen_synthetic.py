@@ -1,0 +1,116 @@
+"""Unit tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro import datagen
+
+
+class TestUniform:
+    def test_shape(self):
+        db = datagen.uniform(100, 3, seed=0)
+        assert db.num_objects == 100 and db.num_lists == 3
+
+    def test_deterministic_given_seed(self):
+        a = datagen.uniform(50, 2, seed=5)
+        b = datagen.uniform(50, 2, seed=5)
+        assert a.grade_vector(7) == b.grade_vector(7)
+
+    def test_different_seeds_differ(self):
+        a = datagen.uniform(50, 2, seed=5)
+        b = datagen.uniform(50, 2, seed=6)
+        assert a.grade_vector(7) != b.grade_vector(7)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            datagen.uniform(0, 2)
+        with pytest.raises(ValueError):
+            datagen.uniform(10, 0)
+
+
+class TestPermutations:
+    def test_distinctness_by_construction(self):
+        db = datagen.permutations(200, 3, seed=1)
+        assert db.satisfies_distinctness()
+
+    def test_grades_are_equally_spaced(self):
+        n = 50
+        db = datagen.permutations(n, 2, seed=2)
+        grades = sorted(db.grade(obj, 0) for obj in db.objects)
+        assert grades == pytest.approx([i / n for i in range(1, n + 1)])
+
+    def test_lists_are_permutations_of_each_other(self):
+        db = datagen.permutations(30, 2, seed=3)
+        g0 = sorted(db.grade(obj, 0) for obj in db.objects)
+        g1 = sorted(db.grade(obj, 1) for obj in db.objects)
+        assert g0 == g1
+
+
+class TestCopulas:
+    def test_correlated_actually_correlates(self):
+        db = datagen.correlated(4000, 2, rho=0.9, seed=4)
+        _, arr = db.to_array()
+        r = np.corrcoef(arr[:, 0], arr[:, 1])[0, 1]
+        assert r > 0.6
+
+    def test_anticorrelated_actually_anticorrelates(self):
+        db = datagen.anticorrelated(4000, 2, seed=4)
+        _, arr = db.to_array()
+        r = np.corrcoef(arr[:, 0], arr[:, 1])[0, 1]
+        assert r < -0.5
+
+    def test_marginals_roughly_uniform(self):
+        db = datagen.correlated(5000, 2, rho=0.5, seed=7)
+        _, arr = db.to_array()
+        assert abs(arr[:, 0].mean() - 0.5) < 0.05
+        assert 0.0 <= arr.min() and arr.max() <= 1.0
+
+    def test_correlated_rejects_negative_rho(self):
+        with pytest.raises(ValueError):
+            datagen.correlated(10, 2, rho=-0.5)
+
+    def test_anticorrelated_rejects_positive_rho(self):
+        with pytest.raises(ValueError):
+            datagen.anticorrelated(10, 2, rho=0.5)
+
+    def test_anticorrelated_needs_two_lists(self):
+        with pytest.raises(ValueError):
+            datagen.anticorrelated(10, 1)
+
+    def test_equicorrelation_feasibility_checked(self):
+        # rho < -1/(m-1) is not a valid correlation matrix
+        with pytest.raises(ValueError):
+            datagen.anticorrelated(10, 4, rho=-0.9)
+
+    def test_anticorrelated_default_rho_feasible_for_many_lists(self):
+        db = datagen.anticorrelated(100, 5, seed=1)
+        assert db.num_lists == 5
+
+
+class TestZipf:
+    def test_skew_pushes_mass_down(self):
+        flat = datagen.uniform(3000, 1, seed=9)
+        skewed = datagen.zipf_skewed(3000, 1, alpha=4.0, seed=9)
+        _, f = flat.to_array()
+        _, s = skewed.to_array()
+        assert s.mean() < f.mean() / 2
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            datagen.zipf_skewed(10, 2, alpha=0.0)
+
+
+class TestPlateau:
+    def test_quantized_levels(self):
+        db = datagen.plateau(500, 2, levels=4, seed=11)
+        values = {db.grade(obj, 0) for obj in db.objects}
+        assert values <= {0.0, 1 / 3, 2 / 3, 1.0}
+        assert len(values) == 4
+
+    def test_single_level(self):
+        db = datagen.plateau(20, 2, levels=1, seed=11)
+        assert {db.grade(obj, 0) for obj in db.objects} == {1.0}
+
+    def test_rejects_bad_levels(self):
+        with pytest.raises(ValueError):
+            datagen.plateau(10, 2, levels=0)

@@ -1,0 +1,143 @@
+"""Edge cases across the whole stack: degenerate databases, extreme
+parameters, and boundary interactions between features."""
+
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE, MAX, MIN, SUM
+from repro.analysis import assert_result_correct, minimal_certificate
+from repro.core import (
+    CombinedAlgorithm,
+    FaginAlgorithm,
+    NaiveAlgorithm,
+    NoRandomAccessAlgorithm,
+    QuickCombine,
+    StreamCombine,
+    ThresholdAlgorithm,
+    sorted_topk_without_grades,
+)
+from repro.middleware import Database
+
+ALL_ALGOS = [
+    NaiveAlgorithm(),
+    FaginAlgorithm(),
+    ThresholdAlgorithm(),
+    NoRandomAccessAlgorithm(),
+    CombinedAlgorithm(h=2),
+    QuickCombine(),
+    StreamCombine(),
+]
+
+
+class TestSingleObject:
+    @pytest.mark.parametrize("algo", ALL_ALGOS, ids=lambda a: a.name)
+    def test_one_object_database(self, algo):
+        db = Database.from_rows({"only": (0.4, 0.6)})
+        res = algo.run_on(db, AVERAGE, 1)
+        assert res.objects == ["only"]
+
+    def test_one_object_one_list(self):
+        db = Database.from_rows({"only": (0.4,)})
+        res = ThresholdAlgorithm().run_on(db, MIN, 1)
+        assert res.objects == ["only"]
+        assert res.items[0].grade == pytest.approx(0.4)
+
+
+class TestDegenerateGrades:
+    @pytest.mark.parametrize("algo", ALL_ALGOS, ids=lambda a: a.name)
+    def test_all_grades_equal(self, algo):
+        db = Database.from_rows({i: (0.5, 0.5) for i in range(10)})
+        res = algo.run_on(db, AVERAGE, 3)
+        assert_result_correct(db, AVERAGE, res)
+
+    @pytest.mark.parametrize("algo", ALL_ALGOS, ids=lambda a: a.name)
+    def test_all_grades_zero(self, algo):
+        db = Database.from_rows({i: (0.0, 0.0) for i in range(8)})
+        res = algo.run_on(db, MIN, 2)
+        assert_result_correct(db, MIN, res)
+
+    @pytest.mark.parametrize("algo", ALL_ALGOS, ids=lambda a: a.name)
+    def test_all_grades_one(self, algo):
+        db = Database.from_rows({i: (1.0, 1.0, 1.0) for i in range(6)})
+        res = algo.run_on(db, MAX, 4)
+        assert_result_correct(db, MAX, res)
+
+    def test_zero_database_certificate(self):
+        db = Database.from_rows({i: (0.0, 0.0) for i in range(8)})
+        cert = minimal_certificate(db, MIN, 2)
+        ta = ThresholdAlgorithm().run_on(db, MIN, 2)
+        assert cert.cost <= ta.middleware_cost
+
+
+class TestExtremeParameters:
+    @pytest.mark.parametrize("algo", ALL_ALGOS, ids=lambda a: a.name)
+    def test_k_equals_n(self, algo):
+        db = datagen.uniform(12, 2, seed=1)
+        res = algo.run_on(db, AVERAGE, 12)
+        assert_result_correct(db, AVERAGE, res)
+
+    def test_ca_h_exceeds_database(self):
+        db = datagen.uniform(20, 2, seed=2)
+        res = CombinedAlgorithm(h=1000).run_on(db, AVERAGE, 3)
+        assert res.random_accesses == 0
+        assert_result_correct(db, AVERAGE, res)
+
+    def test_batched_ta_batch_exceeds_n(self):
+        db = datagen.uniform(5, 2, seed=3)
+        res = ThresholdAlgorithm(batch_sizes=(50, 50)).run_on(db, SUM, 2)
+        assert_result_correct(db, SUM, res)
+
+    def test_sorted_order_k_equals_n(self):
+        db = datagen.uniform(8, 2, seed=4)
+        res = sorted_topk_without_grades(db, AVERAGE, 8)
+        assert len(res.ranking) == 8
+
+    def test_nra_theta_with_naive_bookkeeping(self):
+        from repro.analysis import is_theta_approximation
+
+        db = datagen.uniform(60, 2, seed=5)
+        fast = NoRandomAccessAlgorithm(theta=1.3).run_on(db, AVERAGE, 3)
+        slow = NoRandomAccessAlgorithm(
+            theta=1.3, naive_bookkeeping=True
+        ).run_on(db, AVERAGE, 3)
+        assert fast.rounds == slow.rounds
+        assert is_theta_approximation(db, AVERAGE, 3, fast.objects, 1.3)
+        assert is_theta_approximation(db, AVERAGE, 3, slow.objects, 1.3)
+
+    def test_ca_halt_check_interval_combined_with_phases(self):
+        db = datagen.uniform(100, 3, seed=6)
+        res = CombinedAlgorithm(h=2, halt_check_interval=4).run_on(
+            db, AVERAGE, 3
+        )
+        assert_result_correct(db, AVERAGE, res)
+
+
+class TestTwoObjectAdversaries:
+    def test_perfectly_opposed_pair_min(self):
+        db = Database.from_rows({"x": (1.0, 0.0), "y": (0.0, 1.0)})
+        for algo in ALL_ALGOS:
+            res = algo.run_on(db, MIN, 1)
+            assert_result_correct(db, MIN, res)
+
+    def test_perfectly_opposed_pair_sum_tie(self):
+        # both objects have identical sum: any answer is correct
+        db = Database.from_rows({"x": (0.9, 0.1), "y": (0.1, 0.9)})
+        for algo in ALL_ALGOS:
+            res = algo.run_on(db, SUM, 1)
+            assert_result_correct(db, SUM, res)
+
+
+class TestManyLists:
+    def test_eight_lists(self):
+        db = datagen.uniform(40, 8, seed=7)
+        for algo in (ThresholdAlgorithm(), NoRandomAccessAlgorithm(),
+                     CombinedAlgorithm(h=3)):
+            res = algo.run_on(db, AVERAGE, 3)
+            assert_result_correct(db, AVERAGE, res)
+
+    def test_ta_random_access_scaling_with_m(self):
+        # m-1 random accesses per sorted access, any m
+        for m in (2, 4, 6):
+            db = datagen.uniform(50, m, seed=8)
+            res = ThresholdAlgorithm().run_on(db, AVERAGE, 2)
+            assert res.random_accesses == res.sorted_accesses * (m - 1)

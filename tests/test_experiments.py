@@ -1,0 +1,88 @@
+"""Tests for the instance-optimality sweep harness."""
+
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE
+from repro.analysis import (
+    check_instance_optimality,
+    optimality_sweep,
+    worst_ratios,
+)
+from repro.analysis.experiments import OptimalityMeasurement
+from repro.core import NaiveAlgorithm, ThresholdAlgorithm
+from repro.middleware import CostModel
+
+
+def sweep(seeds=(0, 1, 2), k=3):
+    return optimality_sweep(
+        [ThresholdAlgorithm(), NaiveAlgorithm()],
+        lambda seed: datagen.uniform(60, 2, seed=seed),
+        AVERAGE,
+        k,
+        seeds=seeds,
+    )
+
+
+class TestSweep:
+    def test_shape(self):
+        measurements = sweep()
+        assert len(measurements) == 6  # 2 algorithms x 3 seeds
+        assert {m.algorithm for m in measurements} == {"TA", "Naive"}
+        assert all(m.n == 60 and m.m == 2 and m.k == 3 for m in measurements)
+
+    def test_certificate_never_exceeds_costs(self):
+        for meas in sweep():
+            assert meas.certificate_cost <= meas.cost + 1e-9
+            assert meas.ratio >= 1.0 - 1e-9
+
+    def test_cost_model_passed_through(self):
+        measurements = optimality_sweep(
+            [ThresholdAlgorithm()],
+            lambda seed: datagen.uniform(40, 2, seed=seed),
+            AVERAGE,
+            2,
+            seeds=[5],
+            cost_model=CostModel(1.0, 10.0),
+        )
+        meas = measurements[0]
+        assert meas.cost > 0 and meas.certificate_cost > 0
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            optimality_sweep(
+                [ThresholdAlgorithm()],
+                lambda s: datagen.uniform(10, 2, seed=s),
+                AVERAGE,
+                1,
+                seeds=[],
+            )
+
+
+class TestChecks:
+    def test_theorem_6_1_shape_holds_for_ta(self):
+        measurements = [m for m in sweep() if m.algorithm == "TA"]
+        m, k = 2, 3
+        cm = CostModel(1.0, 1.0)
+        multiplicative = m + m * (m - 1) * cm.ratio
+        additive = k * m * cm.cs + k * m * (m - 1) * cm.cr
+        violations = check_instance_optimality(
+            measurements, multiplicative, additive
+        )
+        assert violations == []
+
+    def test_violations_detected(self):
+        fake = OptimalityMeasurement("X", 0, 10, 2, 1, cost=100.0,
+                                     certificate_cost=1.0)
+        assert check_instance_optimality([fake], 2.0, 5.0) == [fake]
+
+    def test_worst_ratios(self):
+        measurements = sweep()
+        worst = worst_ratios(measurements)
+        assert set(worst) == {"TA", "Naive"}
+        assert worst["Naive"] >= worst["TA"] - 1e-9  # naive is never better
+
+    def test_infinite_ratio_on_zero_certificate(self):
+        fake = OptimalityMeasurement("X", 0, 10, 2, 1, cost=1.0,
+                                     certificate_cost=0.0)
+        assert fake.ratio == float("inf")

@@ -1,0 +1,103 @@
+"""Unit tests for FA (Fagin's Algorithm)."""
+
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE, MAX, MIN
+from repro.analysis import assert_result_correct
+from repro.core import FaginAlgorithm, HaltReason, ThresholdAlgorithm
+from repro.middleware import AccessSession, Database
+
+
+class TestCorrectness:
+    def test_tiny_db(self, tiny_db):
+        res = FaginAlgorithm().run_on(tiny_db, MIN, 2)
+        assert res.objects == ["a", "b"]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_dbs(self, seed):
+        db = datagen.uniform(150, 3, seed=seed)
+        for t in (MIN, AVERAGE, MAX):
+            res = FaginAlgorithm().run_on(db, t, 5)
+            assert_result_correct(db, t, res)
+
+    def test_correlated_and_anticorrelated(self):
+        for db in (
+            datagen.correlated(200, 2, rho=0.9, seed=1),
+            datagen.anticorrelated(200, 2, seed=1),
+        ):
+            res = FaginAlgorithm().run_on(db, AVERAGE, 3)
+            assert_result_correct(db, AVERAGE, res)
+
+
+class TestPhaseStructure:
+    def test_stops_at_k_matches(self):
+        # perfectly correlated lists: the k-th match happens at depth k
+        db = Database.from_rows(
+            {i: (1 - i / 10, 1 - i / 10) for i in range(10)}
+        )
+        res = FaginAlgorithm().run_on(db, MIN, 3)
+        assert res.depth == 3
+        assert res.extras["matches"] >= 3
+
+    def test_reversed_lists_need_full_scan(self):
+        # anti-correlated rankings: no matches until the middle
+        n = 21
+        db = Database.from_rows(
+            {i: (i / n, 1 - i / n) for i in range(1, n + 1)}
+        )
+        res = FaginAlgorithm().run_on(db, MIN, 1)
+        assert res.depth >= (n + 1) // 2
+
+    def test_no_wild_guesses(self, tiny_db):
+        session = AccessSession(tiny_db, forbid_wild_guesses=True)
+        res = FaginAlgorithm().run(session, AVERAGE, 2)
+        assert_result_correct(tiny_db, AVERAGE, res)
+
+    def test_random_accesses_only_for_missing_fields(self, tiny_db):
+        session = AccessSession(tiny_db, record_trace=True)
+        FaginAlgorithm().run(session, MIN, 1)
+        # FA's buffer remembers phase-1 grades: no duplicate fetches
+        assert session.trace.duplicate_random_accesses() == 0
+
+
+class TestAccessObliviousness:
+    def test_same_sorted_cost_for_every_aggregation(self, tiny_db):
+        """Section 3: FA's access pattern ignores the aggregation function."""
+        costs = set()
+        for t in (MIN, MAX, AVERAGE):
+            res = FaginAlgorithm().run_on(tiny_db, t, 2)
+            costs.add(res.sorted_accesses)
+        assert len(costs) == 1
+
+
+class TestUnboundedBuffer:
+    def test_buffer_grows_with_database(self):
+        sizes = []
+        for n in (100, 400):
+            db = datagen.anticorrelated(n, 2, seed=7)
+            res = FaginAlgorithm().run_on(db, MIN, 3)
+            sizes.append(res.max_buffer_size)
+        assert sizes[1] > sizes[0]
+
+    def test_ta_sorted_cost_never_exceeds_fa(self):
+        """Section 4: TA's stopping rule fires no later than FA's."""
+        for seed in range(6):
+            db = datagen.uniform(150, 3, seed=seed)
+            for t in (MIN, AVERAGE, MAX):
+                fa = FaginAlgorithm().run_on(db, t, 3)
+                ta = ThresholdAlgorithm().run_on(db, t, 3)
+                assert ta.sorted_accesses <= fa.sorted_accesses
+
+
+class TestEdgeCases:
+    def test_k_equals_n(self, tiny_db):
+        res = FaginAlgorithm().run_on(tiny_db, AVERAGE, 6)
+        assert_result_correct(tiny_db, AVERAGE, res)
+        assert res.halt_reason in (HaltReason.THRESHOLD, HaltReason.EXHAUSTED)
+
+    def test_single_list(self):
+        db = datagen.uniform(40, 1, seed=0)
+        res = FaginAlgorithm().run_on(db, MIN, 4)
+        assert_result_correct(db, MIN, res)
+        assert res.depth == 4  # every object matches on sight

@@ -1,0 +1,175 @@
+"""Failure injection: malformed inputs, capability violations, and
+mis-use must fail loudly with the right error types."""
+
+import numpy as np
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE, MIN, make_aggregation
+from repro.core import (
+    CombinedAlgorithm,
+    FaginAlgorithm,
+    NoRandomAccessAlgorithm,
+    QuickCombine,
+    RestrictedSortedAccessTA,
+    StreamCombine,
+    ThresholdAlgorithm,
+)
+from repro.core.base import QueryError
+from repro.middleware import (
+    AccessSession,
+    CapabilityError,
+    Database,
+    DatabaseError,
+    ListCapabilities,
+    UnknownListError,
+    UnknownObjectError,
+    WildGuessError,
+)
+
+
+class TestMalformedDatabases:
+    def test_grade_out_of_range(self):
+        with pytest.raises(DatabaseError):
+            Database.from_rows({"a": (0.5, 1.2)})
+
+    def test_inconsistent_arity(self):
+        with pytest.raises(DatabaseError):
+            Database.from_rows({"a": (0.5,), "b": (0.5, 0.6)})
+
+    def test_column_not_sorted(self):
+        with pytest.raises(DatabaseError):
+            Database.from_columns([[("a", 0.2), ("b", 0.9)]])
+
+    def test_column_missing_object(self):
+        with pytest.raises(DatabaseError):
+            Database.from_columns(
+                [[("a", 0.9), ("b", 0.2)], [("a", 0.9)]]
+            )
+
+    def test_nan_grade(self):
+        with pytest.raises(DatabaseError):
+            Database.from_array(np.array([[0.5, float("nan")]]))
+
+    def test_empty_array(self):
+        with pytest.raises(DatabaseError):
+            Database.from_array(np.zeros((0, 2)))
+
+
+class TestQueryValidation:
+    @pytest.mark.parametrize(
+        "algo",
+        [
+            ThresholdAlgorithm(),
+            FaginAlgorithm(),
+            NoRandomAccessAlgorithm(),
+            CombinedAlgorithm(h=1),
+            QuickCombine(),
+            StreamCombine(),
+        ],
+        ids=lambda a: a.name,
+    )
+    def test_k_out_of_range(self, algo, tiny_db):
+        with pytest.raises(QueryError):
+            algo.run_on(tiny_db, AVERAGE, 0)
+        with pytest.raises(QueryError):
+            algo.run_on(tiny_db, AVERAGE, 7)
+
+    def test_arity_mismatch_surfaces(self, tiny_db):
+        t = make_aggregation(lambda g: g[0], arity=2)
+        with pytest.raises(Exception) as err:
+            ThresholdAlgorithm().run_on(tiny_db, t, 1)
+        assert "expects 2 arguments" in str(err.value)
+
+
+class TestCapabilityViolations:
+    def test_ta_on_no_random_session(self, tiny_db):
+        session = AccessSession.no_random(tiny_db)
+        with pytest.raises(QueryError):
+            ThresholdAlgorithm().run(session, AVERAGE, 1)
+
+    def test_fa_on_no_random_session(self, tiny_db):
+        session = AccessSession.no_random(tiny_db)
+        with pytest.raises(QueryError):
+            FaginAlgorithm().run(session, AVERAGE, 1)
+
+    def test_ta_on_restricted_sorted_session(self, tiny_db):
+        session = AccessSession.sorted_only_on(tiny_db, [0])
+        with pytest.raises(QueryError):
+            ThresholdAlgorithm().run(session, AVERAGE, 1)
+
+    def test_taz_with_wrong_z(self, tiny_db):
+        session = AccessSession.sorted_only_on(tiny_db, [0])
+        with pytest.raises(QueryError):
+            RestrictedSortedAccessTA(z=[1]).run(session, AVERAGE, 1)
+
+    def test_raw_capability_error_if_algorithm_misbehaves(self, tiny_db):
+        # bypass the pre-check: the session still defends itself
+        session = AccessSession(
+            tiny_db, capabilities=ListCapabilities(random_allowed=False)
+        )
+        with pytest.raises(CapabilityError):
+            session.random_access(0, "a")
+
+
+class TestWildGuessDefense:
+    def test_rogue_algorithm_caught(self, tiny_db):
+        """An 'algorithm' that guesses object names is exactly what
+        Theorem 6.1's class excludes."""
+        session = AccessSession(tiny_db, forbid_wild_guesses=True)
+
+        def rogue(session):
+            return session.random_access(0, "c")  # never seen c
+
+        with pytest.raises(WildGuessError):
+            rogue(session)
+
+    def test_all_library_algorithms_pass_wild_guess_audit(self):
+        db = datagen.uniform(60, 3, seed=2)
+        for algo in (
+            ThresholdAlgorithm(),
+            ThresholdAlgorithm(remember_seen=True),
+            FaginAlgorithm(),
+            CombinedAlgorithm(h=2),
+            QuickCombine(),
+        ):
+            session = AccessSession(db, forbid_wild_guesses=True)
+            algo.run(session, MIN, 3)  # must not raise
+
+
+class TestUnknownTargets:
+    def test_unknown_object(self, tiny_db):
+        session = AccessSession(tiny_db)
+        with pytest.raises(UnknownObjectError):
+            session.random_access(0, "nope")
+
+    def test_unknown_list(self, tiny_db):
+        session = AccessSession(tiny_db)
+        with pytest.raises(UnknownListError):
+            session.sorted_access(5)
+        with pytest.raises(UnknownListError):
+            session.random_access(-1, "a")
+
+
+class TestNonMonotoneMisuse:
+    def test_non_monotone_function_can_break_ta(self):
+        """TA's contract requires monotone t; with a non-monotone rule the
+        verifier catches the wrong answer (documented behaviour, not an
+        exception)."""
+        from repro.analysis import is_correct_topk
+
+        db = Database.from_rows(
+            {
+                "good": (0.9, 0.9),
+                "sneaky": (0.05, 0.05),
+                "mid": (0.5, 0.5),
+            }
+        )
+        trap = make_aggregation(
+            lambda g: 1.0 - sum(g) / len(g), name="anti-average",
+            monotone=False,
+        )
+        res = ThresholdAlgorithm().run_on(db, trap, 1)
+        # TA cannot be trusted here: 'sneaky' is the true winner
+        truth_ok = is_correct_topk(db, trap, 1, res.objects)
+        assert not truth_ok or res.objects == ["sneaky"]

@@ -1,0 +1,111 @@
+"""Integration tests: every algorithm x every aggregation x every
+generator agrees with the naive ground truth (grade-multiset semantics)."""
+
+import pytest
+
+from repro import datagen
+from repro.analysis import assert_result_correct
+
+from tests.helpers import (
+    all_exact_algorithms,
+    all_objects_only_algorithms,
+    extended_aggregations,
+)
+
+GENERATORS = {
+    "uniform": lambda n, m: datagen.uniform(n, m, seed=11),
+    "permutations": lambda n, m: datagen.permutations(n, m, seed=11),
+    "correlated": lambda n, m: datagen.correlated(n, m, rho=0.7, seed=11),
+    "anticorrelated": lambda n, m: datagen.anticorrelated(n, m, seed=11),
+    "zipf": lambda n, m: datagen.zipf_skewed(n, m, alpha=2.5, seed=11),
+    "plateau": lambda n, m: datagen.plateau(n, m, levels=3, seed=11),
+}
+
+
+@pytest.mark.parametrize("gen_name", GENERATORS)
+@pytest.mark.parametrize(
+    "algo",
+    all_exact_algorithms() + all_objects_only_algorithms(),
+    ids=lambda a: a.name,
+)
+def test_algorithm_generator_grid(algo, gen_name):
+    db = GENERATORS[gen_name](80, 3)
+    for t in extended_aggregations(3)[:6]:  # MIN..MEDIAN on the grid
+        result = algo.run_on(db, t, 3)
+        assert_result_correct(db, t, result)
+
+
+@pytest.mark.parametrize(
+    "algo",
+    all_exact_algorithms() + all_objects_only_algorithms(),
+    ids=lambda a: a.name,
+)
+def test_algorithm_exotic_aggregations(algo):
+    db = datagen.uniform(60, 3, seed=23)
+    for t in extended_aggregations(3)[6:]:
+        result = algo.run_on(db, t, 2)
+        assert_result_correct(db, t, result)
+
+
+@pytest.mark.parametrize("m", [1, 2, 4, 6])
+def test_varying_list_counts(m):
+    db = datagen.uniform(60, m, seed=7)
+    from repro.aggregation import AVERAGE
+    from repro.core import (
+        CombinedAlgorithm,
+        FaginAlgorithm,
+        NoRandomAccessAlgorithm,
+        ThresholdAlgorithm,
+    )
+
+    for algo in (
+        ThresholdAlgorithm(),
+        FaginAlgorithm(),
+        NoRandomAccessAlgorithm(),
+        CombinedAlgorithm(h=2),
+    ):
+        result = algo.run_on(db, AVERAGE, 4)
+        assert_result_correct(db, AVERAGE, result)
+
+
+@pytest.mark.parametrize("k", [1, 2, 7, 25, 60])
+def test_varying_k(k):
+    db = datagen.uniform(60, 2, seed=13)
+    from repro.aggregation import MIN
+    from repro.core import NoRandomAccessAlgorithm, ThresholdAlgorithm
+
+    for algo in (ThresholdAlgorithm(), NoRandomAccessAlgorithm()):
+        result = algo.run_on(db, MIN, k)
+        assert_result_correct(db, MIN, result)
+
+
+def test_adversarial_instances_all_algorithms():
+    """Every algorithm must be correct on every adversarial family."""
+    instances = [
+        datagen.example_6_3(8),
+        datagen.example_6_8(8, theta=1.4),
+        datagen.example_8_3(20),
+        datagen.example_8_3(20, with_second=True),
+        datagen.figure_5(5),
+        datagen.theorem_9_1_family(d=4, m=3),
+        datagen.theorem_9_2_family(d=4, m=3),
+        datagen.theorem_9_5_family(d=8, m=3),
+    ]
+    for inst in instances:
+        for algo in all_exact_algorithms() + all_objects_only_algorithms():
+            result = algo.run_on(inst.database, inst.aggregation, inst.k)
+            assert_result_correct(inst.database, inst.aggregation, result)
+
+
+def test_example_7_3_all_capable_algorithms():
+    """Example 7.3 restricts sorted access; algorithms that can run on a
+    restricted session must stay correct."""
+    from repro.core import RestrictedSortedAccessTA
+    from repro.middleware import AccessSession
+
+    inst = datagen.example_7_3(15)
+    session = AccessSession.sorted_only_on(
+        inst.database, inst.restricted_sorted_lists
+    )
+    result = RestrictedSortedAccessTA().run(session, inst.aggregation, 1)
+    assert_result_correct(inst.database, inst.aggregation, result)

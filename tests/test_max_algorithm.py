@@ -1,0 +1,66 @@
+"""Unit tests for the mk-sorted-access max special case (Section 3)."""
+
+import pytest
+
+from repro import datagen
+from repro.aggregation import MAX, MIN
+from repro.analysis import assert_result_correct
+from repro.core import FaginAlgorithm, MaxAlgorithm
+from repro.core.base import QueryError
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_random_dbs(self, k):
+        for seed in range(4):
+            db = datagen.uniform(200, 3, seed=seed)
+            res = MaxAlgorithm().run_on(db, MAX, k)
+            assert_result_correct(db, MAX, res)
+
+    def test_with_ties(self):
+        db = datagen.plateau(100, 3, levels=3, seed=2)
+        res = MaxAlgorithm().run_on(db, MAX, 5)
+        assert_result_correct(db, MAX, res)
+
+    def test_exact_grades_reported(self, tiny_db):
+        res = MaxAlgorithm().run_on(tiny_db, MAX, 2)
+        for item in res.items:
+            assert item.grade == MAX(tiny_db.grade_vector(item.obj))
+
+
+class TestCostBound:
+    def test_at_most_mk_sorted_accesses(self):
+        for k in (1, 4, 9):
+            db = datagen.uniform(300, 3, seed=1)
+            res = MaxAlgorithm().run_on(db, MAX, k)
+            assert res.sorted_accesses <= 3 * k
+            assert res.random_accesses == 0
+
+    def test_independent_of_database_size(self):
+        costs = {
+            n: MaxAlgorithm().run_on(
+                datagen.uniform(n, 2, seed=3), MAX, 4
+            ).sorted_accesses
+            for n in (50, 500)
+        }
+        assert costs[50] == costs[500] == 8
+
+    def test_beats_fa_arbitrarily(self):
+        """Section 3: FA is far from optimal for max."""
+        db = datagen.anticorrelated(400, 2, seed=4)
+        fa = FaginAlgorithm().run_on(db, MAX, 1)
+        mx = MaxAlgorithm().run_on(db, MAX, 1)
+        assert mx.middleware_cost * 10 < fa.middleware_cost
+
+
+class TestGuardrails:
+    def test_refuses_other_aggregations(self, tiny_db):
+        with pytest.raises(QueryError):
+            MaxAlgorithm().run_on(tiny_db, MIN, 1)
+
+    def test_works_without_random_capability(self, tiny_db):
+        from repro.middleware import AccessSession
+
+        session = AccessSession.no_random(tiny_db)
+        res = MaxAlgorithm().run(session, MAX, 2)
+        assert_result_correct(tiny_db, MAX, res)

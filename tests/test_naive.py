@@ -1,0 +1,42 @@
+"""Unit tests for the naive baseline."""
+
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE, MIN
+from repro.analysis import assert_result_correct
+from repro.core import HaltReason, NaiveAlgorithm
+from repro.middleware import AccessSession, CostModel
+
+
+class TestNaive:
+    def test_correct(self, tiny_db):
+        res = NaiveAlgorithm().run_on(tiny_db, MIN, 2)
+        assert res.objects == ["a", "b"]
+        assert_result_correct(tiny_db, MIN, res)
+
+    def test_linear_cost(self):
+        for n in (20, 50):
+            db = datagen.uniform(n, 3, seed=0)
+            res = NaiveAlgorithm().run_on(db, AVERAGE, 2)
+            assert res.sorted_accesses == 3 * n
+            assert res.random_accesses == 0
+
+    def test_halt_reason_exhausted(self, tiny_db):
+        res = NaiveAlgorithm().run_on(tiny_db, MIN, 1)
+        assert res.halt_reason == HaltReason.EXHAUSTED
+
+    def test_works_without_random_capability(self, tiny_db):
+        session = AccessSession.no_random(tiny_db)
+        res = NaiveAlgorithm().run(session, AVERAGE, 3)
+        assert_result_correct(tiny_db, AVERAGE, res)
+
+    def test_cost_model_applies(self, tiny_db):
+        res = NaiveAlgorithm().run_on(tiny_db, MIN, 1, CostModel(2.0, 9.0))
+        assert res.middleware_cost == pytest.approx(2.0 * 18)
+
+    def test_exact_grades_reported(self, tiny_db):
+        res = NaiveAlgorithm().run_on(tiny_db, AVERAGE, 3)
+        for item in res.items:
+            assert item.grade is not None
+            assert item.lower_bound == item.upper_bound == item.grade

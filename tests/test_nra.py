@@ -1,0 +1,146 @@
+"""Unit tests for NRA (No Random Access, Section 8.1)."""
+
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE, MAX, MEDIAN, MIN, SUM
+from repro.analysis import assert_result_correct
+from repro.core import HaltReason, NoRandomAccessAlgorithm
+from repro.middleware import AccessSession
+
+
+class TestCorrectness:
+    def test_tiny_db(self, tiny_db):
+        res = NoRandomAccessAlgorithm().run_on(tiny_db, AVERAGE, 2)
+        assert set(res.objects) == {"a", "b"}
+
+    @pytest.mark.parametrize("t", [MIN, AVERAGE, SUM, MAX, MEDIAN])
+    def test_random_dbs(self, t):
+        for seed in range(3):
+            db = datagen.uniform(120, 3, seed=seed)
+            res = NoRandomAccessAlgorithm().run_on(db, t, 4)
+            assert_result_correct(db, t, res)
+
+    def test_with_ties(self):
+        db = datagen.plateau(80, 2, levels=3, seed=5)
+        res = NoRandomAccessAlgorithm().run_on(db, MIN, 4)
+        assert_result_correct(db, MIN, res)
+
+    def test_never_random_accesses(self, tiny_db):
+        res = NoRandomAccessAlgorithm().run_on(tiny_db, AVERAGE, 2)
+        assert res.random_accesses == 0
+
+    def test_runs_on_no_random_session(self, tiny_db):
+        session = AccessSession.no_random(tiny_db)
+        res = NoRandomAccessAlgorithm().run(session, AVERAGE, 2)
+        assert_result_correct(tiny_db, AVERAGE, res)
+
+
+class TestBoundsSemantics:
+    def test_bounds_bracket_truth(self, tiny_db):
+        res = NoRandomAccessAlgorithm().run_on(tiny_db, AVERAGE, 3)
+        for item in res.items:
+            truth = AVERAGE(tiny_db.grade_vector(item.obj))
+            assert item.lower_bound - 1e-12 <= truth <= item.upper_bound + 1e-12
+
+    def test_grade_reported_only_when_fully_known(self):
+        inst = datagen.example_8_3(30)
+        res = NoRandomAccessAlgorithm().run_on(
+            inst.database, inst.aggregation, 1
+        )
+        # R's grade in L2 was never seen: must be reported as a bound pair
+        assert res.items[0].obj == "R"
+        assert res.items[0].grade is None
+        assert res.items[0].lower_bound == pytest.approx(0.5)
+
+    def test_grades_without_grades_contract(self):
+        """Section 8.1 weakens the output to objects only -- exact grades
+        may be absent, but the object set must still be a correct top-k."""
+        db = datagen.uniform(150, 2, seed=9)
+        res = NoRandomAccessAlgorithm().run_on(db, AVERAGE, 5)
+        assert_result_correct(db, AVERAGE, res)
+
+
+class TestHalting:
+    def test_example_8_3_halts_at_depth_two(self):
+        inst = datagen.example_8_3(40)
+        res = NoRandomAccessAlgorithm().run_on(
+            inst.database, inst.aggregation, 1
+        )
+        assert res.depth == 2
+        assert res.halt_reason == HaltReason.NO_VIABLE
+        assert res.sorted_accesses == 4
+
+    def test_needs_k_distinct_objects(self):
+        # with k = 2, depth 1 sees R and one filler but must keep going
+        # until no viable object remains
+        inst = datagen.example_8_3(40)
+        res = NoRandomAccessAlgorithm().run_on(
+            inst.database, inst.aggregation, 2
+        )
+        assert_result_correct(inst.database, inst.aggregation, res)
+
+    def test_unseen_virtual_object_blocks_halt(self):
+        # threshold must drop to (or below) M_k before halting: construct
+        # lists whose top grades stay high for a while
+        db = datagen.correlated(100, 2, rho=0.95, seed=4)
+        res = NoRandomAccessAlgorithm().run_on(db, AVERAGE, 1)
+        # at halt, t(bottoms) <= winner's W (or everything was seen)
+        assert res.halt_reason in (HaltReason.NO_VIABLE, HaltReason.EXHAUSTED)
+
+    def test_lockstep_depth_dm_on_theorem_9_5_family(self):
+        d = 12
+        inst = datagen.theorem_9_5_family(d=d, m=3)
+        res = NoRandomAccessAlgorithm().run_on(inst.database, MIN, 1)
+        assert res.objects == [inst.top_object]
+        assert res.depth == d  # must reach the winner's hiding depth
+
+
+class TestBookkeepingModes:
+    @pytest.mark.parametrize("t", [MIN, AVERAGE, SUM])
+    def test_lazy_and_naive_agree(self, t):
+        for seed in range(3):
+            db = datagen.uniform(100, 3, seed=seed)
+            fast = NoRandomAccessAlgorithm().run_on(db, t, 3)
+            slow = NoRandomAccessAlgorithm(naive_bookkeeping=True).run_on(
+                db, t, 3
+            )
+            assert fast.depth == slow.depth
+            assert fast.sorted_accesses == slow.sorted_accesses
+            assert set(fast.objects) == set(slow.objects)
+
+    def test_lazy_does_fewer_b_evaluations(self):
+        db = datagen.uniform(400, 2, seed=3)
+        fast = NoRandomAccessAlgorithm().run_on(db, AVERAGE, 3)
+        slow = NoRandomAccessAlgorithm(naive_bookkeeping=True).run_on(
+            db, AVERAGE, 3
+        )
+        assert (
+            fast.extras["b_evaluations"] < slow.extras["b_evaluations"]
+        )
+
+    def test_halt_check_interval_overshoots_boundedly(self):
+        db = datagen.uniform(200, 2, seed=6)
+        every = NoRandomAccessAlgorithm(halt_check_interval=1).run_on(
+            db, AVERAGE, 3
+        )
+        sparse = NoRandomAccessAlgorithm(halt_check_interval=5).run_on(
+            db, AVERAGE, 3
+        )
+        assert every.rounds <= sparse.rounds <= every.rounds + 4
+        assert_result_correct(db, AVERAGE, sparse)
+
+    def test_halt_check_interval_validated(self):
+        with pytest.raises(ValueError):
+            NoRandomAccessAlgorithm(halt_check_interval=0)
+
+
+class TestStopsNoLaterThanNeeded:
+    def test_exhaustion_fallback(self):
+        # two objects, perfectly anti-correlated, min: bounds only settle
+        # at the bottom of the lists
+        from repro.middleware import Database
+
+        db = Database.from_rows({"x": (1.0, 0.0), "y": (0.0, 1.0)})
+        res = NoRandomAccessAlgorithm().run_on(db, MIN, 1)
+        assert_result_correct(db, MIN, res)

@@ -1,0 +1,57 @@
+"""Tests for the NRA-theta extension: theta-approximate top-k with zero
+random accesses (Section 6.2's relaxation applied to Section 8.1)."""
+
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE, MIN, SUM
+from repro.analysis import is_theta_approximation
+from repro.core import NoRandomAccessAlgorithm
+
+
+class TestGuarantee:
+    @pytest.mark.parametrize("theta", [1.05, 1.25, 2.0])
+    @pytest.mark.parametrize("t", [MIN, AVERAGE, SUM], ids=lambda t: t.name)
+    def test_output_is_theta_approximation(self, theta, t):
+        for seed in range(3):
+            db = datagen.uniform(150, 3, seed=seed)
+            algo = NoRandomAccessAlgorithm(theta=theta)
+            res = algo.run_on(db, t, 5)
+            assert res.random_accesses == 0
+            assert is_theta_approximation(db, t, 5, res.objects, theta)
+
+    def test_theta_one_is_exact(self):
+        db = datagen.uniform(100, 2, seed=1)
+        exact = NoRandomAccessAlgorithm().run_on(db, AVERAGE, 4)
+        also_exact = NoRandomAccessAlgorithm(theta=1.0).run_on(db, AVERAGE, 4)
+        assert exact.sorted_accesses == also_exact.sorted_accesses
+
+
+class TestCostReduction:
+    def test_larger_theta_never_costs_more(self):
+        db = datagen.uniform(400, 3, seed=5)
+        costs = []
+        for theta in (1.0, 1.1, 1.5, 3.0):
+            res = NoRandomAccessAlgorithm(theta=theta).run_on(db, AVERAGE, 5)
+            costs.append(res.middleware_cost)
+        assert costs == sorted(costs, reverse=True)
+        assert costs[-1] < costs[0]
+
+    def test_useful_on_anticorrelated_data(self):
+        # the hard regime: exact NRA digs deep, approximation escapes
+        db = datagen.anticorrelated(400, 2, seed=6)
+        exact = NoRandomAccessAlgorithm().run_on(db, AVERAGE, 3)
+        approx = NoRandomAccessAlgorithm(theta=1.5).run_on(db, AVERAGE, 3)
+        assert approx.sorted_accesses < exact.sorted_accesses
+        assert is_theta_approximation(
+            db, AVERAGE, 3, approx.objects, 1.5
+        )
+
+
+class TestValidation:
+    def test_rejects_theta_below_one(self):
+        with pytest.raises(ValueError):
+            NoRandomAccessAlgorithm(theta=0.9)
+
+    def test_name_mentions_theta(self):
+        assert "theta" in NoRandomAccessAlgorithm(theta=1.5).name

@@ -1,0 +1,113 @@
+"""Unit tests for the certificate ('shortest proof') searcher."""
+
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE, MIN
+from repro.analysis import (
+    measured_optimality_ratio,
+    minimal_certificate,
+)
+from repro.core import NoRandomAccessAlgorithm, ThresholdAlgorithm
+from repro.middleware import CostModel
+
+
+class TestCertificateValidity:
+    def test_cost_never_exceeds_ta(self):
+        """Any algorithm's cost upper-bounds the shortest proof."""
+        for seed in range(4):
+            db = datagen.uniform(80, 2, seed=seed)
+            cert = minimal_certificate(db, AVERAGE, 3)
+            ta = ThresholdAlgorithm().run_on(db, AVERAGE, 3)
+            assert cert.cost <= ta.middleware_cost
+
+    def test_cost_never_exceeds_nra_under_sorted_only(self):
+        for seed in range(3):
+            db = datagen.uniform(80, 2, seed=seed)
+            cert = minimal_certificate(db, AVERAGE, 3)
+            nra = NoRandomAccessAlgorithm().run_on(db, AVERAGE, 3)
+            assert cert.cost <= nra.middleware_cost
+
+    def test_full_depth_always_feasible(self):
+        db = datagen.plateau(30, 2, levels=2, seed=1)
+        cert = minimal_certificate(db, MIN, 2)
+        assert cert.cost > 0
+
+    def test_answer_matches_ground_truth(self):
+        db = datagen.uniform(60, 2, seed=5)
+        cert = minimal_certificate(db, AVERAGE, 2)
+        truth = {obj for obj, _ in db.top_k(AVERAGE, 2)}
+        assert set(cert.answer) == truth
+
+
+class TestWildGuessMode:
+    def test_figure_1_certificate_is_two_random_accesses(self):
+        inst = datagen.example_6_3(30)
+        cert = minimal_certificate(
+            inst.database, MIN, 1, wild_guesses=True
+        )
+        assert cert.depth == 0
+        assert cert.sorted_accesses == 0
+        assert cert.random_accesses == 2
+        assert cert.cost == 2.0
+
+    def test_figure_1_no_wild_needs_middle_depth(self):
+        n = 30
+        inst = datagen.example_6_3(n)
+        cert = minimal_certificate(
+            inst.database, MIN, 1, wild_guesses=False
+        )
+        assert cert.depth >= n + 1
+
+    def test_wild_never_costlier_than_tame(self):
+        for seed in range(3):
+            db = datagen.uniform(60, 2, seed=seed)
+            tame = minimal_certificate(db, AVERAGE, 2, wild_guesses=False)
+            wild = minimal_certificate(db, AVERAGE, 2, wild_guesses=True)
+            assert wild.cost <= tame.cost
+
+
+class TestCostModelSensitivity:
+    def test_expensive_random_shifts_to_sorted(self):
+        db = datagen.uniform(100, 2, seed=7)
+        cheap_r = minimal_certificate(db, AVERAGE, 2, CostModel(1.0, 1.0))
+        costly_r = minimal_certificate(db, AVERAGE, 2, CostModel(1.0, 50.0))
+        assert costly_r.random_accesses <= cheap_r.random_accesses
+
+    def test_theorem_9_1_competitor_recovered(self):
+        """On the Thm 9.1 family, the tame certificate should be close to
+        the intended d-sorted + (m-1)-random competitor."""
+        d, m = 12, 3
+        inst = datagen.theorem_9_1_family(d=d, m=m)
+        cm = CostModel(1.0, 1.0)
+        cert = minimal_certificate(inst.database, MIN, 1, cm)
+        competitor = inst.competitor_cost(cm)
+        # lockstep certificate pays m*d sorted instead of d, but no more
+        assert cert.cost <= m * d + (m - 1) + 1e-9
+        assert cert.cost >= competitor  # can't beat the non-lockstep one
+
+
+class TestSearchControls:
+    def test_depth_step_still_valid(self):
+        db = datagen.uniform(100, 2, seed=8)
+        exact = minimal_certificate(db, AVERAGE, 2, depth_step=1)
+        coarse = minimal_certificate(db, AVERAGE, 2, depth_step=7)
+        assert coarse.cost >= exact.cost
+
+    def test_max_depth_cap(self):
+        db = datagen.uniform(100, 2, seed=9)
+        cert = minimal_certificate(db, AVERAGE, 2, max_depth=10)
+        assert cert.depth <= 10 or cert.depth == 100
+
+    def test_depth_step_validated(self):
+        db = datagen.uniform(10, 2, seed=0)
+        with pytest.raises(ValueError):
+            minimal_certificate(db, AVERAGE, 1, depth_step=0)
+
+
+class TestRatioHelper:
+    def test_ratio(self):
+        assert measured_optimality_ratio(10.0, 2.0) == 5.0
+
+    def test_zero_certificate(self):
+        assert measured_optimality_ratio(10.0, 0.0) == float("inf")

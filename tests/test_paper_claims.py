@@ -1,0 +1,186 @@
+"""Theorem-level claims of the paper, tested as executable statements.
+
+Each test names the paper statement it checks.  These are the
+'reproduction' tests proper: beyond per-module correctness, they pin the
+relationships *between* algorithms that the paper proves.
+"""
+
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE, MAX, MIN, SUM, Constant
+from repro.analysis import (
+    minimal_certificate,
+    nra_upper_bound,
+    ta_upper_bound,
+)
+from repro.core import (
+    ApproximateThresholdAlgorithm,
+    CombinedAlgorithm,
+    FaginAlgorithm,
+    NaiveAlgorithm,
+    NoRandomAccessAlgorithm,
+    ThresholdAlgorithm,
+)
+from repro.middleware import CostModel
+
+DISTRIBUTIONS = {
+    "uniform": lambda: datagen.uniform(200, 3, seed=3),
+    "correlated": lambda: datagen.correlated(200, 3, rho=0.8, seed=3),
+    "anticorrelated": lambda: datagen.anticorrelated(200, 2, seed=3),
+    "zipf": lambda: datagen.zipf_skewed(200, 3, alpha=3.0, seed=3),
+    "plateau": lambda: datagen.plateau(200, 3, levels=4, seed=3),
+}
+
+
+class TestSection4TAvsFA:
+    """'The stopping rule for TA always occurs at least as early as the
+    stopping rule for FA.'"""
+
+    @pytest.mark.parametrize("dist", DISTRIBUTIONS)
+    @pytest.mark.parametrize("t", [MIN, AVERAGE, MAX], ids=lambda t: t.name)
+    def test_ta_sorted_cost_at_most_fa(self, dist, t):
+        db = DISTRIBUTIONS[dist]()
+        k = 5
+        ta = ThresholdAlgorithm().run_on(db, t, k)
+        fa = FaginAlgorithm().run_on(db, t, k)
+        assert ta.sorted_accesses <= fa.sorted_accesses
+
+    @pytest.mark.parametrize("dist", DISTRIBUTIONS)
+    def test_ta_middleware_cost_within_constant_of_fa(self, dist):
+        """'the middleware cost of TA is at most a constant times that of
+        FA' -- the constant is m (extra random accesses per sorted)."""
+        db = DISTRIBUTIONS[dist]()
+        m = db.num_lists
+        ta = ThresholdAlgorithm().run_on(db, AVERAGE, 5)
+        fa = FaginAlgorithm().run_on(db, AVERAGE, 5)
+        assert ta.middleware_cost <= m * fa.middleware_cost + m
+
+
+class TestSection3FAWeaknesses:
+    def test_fa_oblivious_to_aggregation(self):
+        """FA's access pattern is identical for every aggregation
+        function -- even a constant one."""
+        db = datagen.uniform(150, 2, seed=9)
+        patterns = set()
+        for t in (MIN, MAX, AVERAGE, Constant(0.7)):
+            res = FaginAlgorithm().run_on(db, t, 3)
+            patterns.add((res.sorted_accesses, res.random_accesses))
+        assert len(patterns) == 1
+
+    def test_ta_exploits_constant_aggregation(self):
+        """TA halts as soon as it has buffered k objects (O(1) rounds)
+        for a constant function; FA still waits for k full matches."""
+        db = datagen.anticorrelated(300, 2, seed=9)
+        k, m = 3, 2
+        ta = ThresholdAlgorithm().run_on(db, Constant(0.5), k)
+        fa = FaginAlgorithm().run_on(db, Constant(0.5), k)
+        assert ta.rounds <= (k + m - 1) // m + 1
+        assert fa.sorted_accesses > 10 * ta.sorted_accesses
+
+
+class TestTheorem42BoundedBuffers:
+    def test_ta_buffer_constant_fa_buffer_linear(self):
+        buffer_ta, buffer_fa = [], []
+        for n in (100, 400, 1600):
+            db = datagen.anticorrelated(n, 2, seed=5)
+            buffer_ta.append(
+                ThresholdAlgorithm().run_on(db, MIN, 3).max_buffer_size
+            )
+            buffer_fa.append(
+                FaginAlgorithm().run_on(db, MIN, 3).max_buffer_size
+            )
+        assert len(set(buffer_ta)) == 1  # constant in N
+        assert buffer_fa[-1] > buffer_fa[0]  # grows with N
+
+
+class TestTheorem61InstanceOptimality:
+    """cost(TA) <= ratio * cost(certificate) + additive constant, with
+    ratio = m + m(m-1) cR/cS, on every database we can throw at it."""
+
+    @pytest.mark.parametrize("dist", DISTRIBUTIONS)
+    @pytest.mark.parametrize("ratio", [1.0, 4.0])
+    def test_ta_within_theorem_bound(self, dist, ratio):
+        db = DISTRIBUTIONS[dist]()
+        k, m = 3, db.num_lists
+        cm = CostModel(1.0, ratio)
+        ta = ThresholdAlgorithm().run_on(db, AVERAGE, k, cm)
+        cert = minimal_certificate(db, AVERAGE, k, cm)
+        bound = ta_upper_bound(m, cm)
+        additive = k * m * cm.cs + k * m * (m - 1) * cm.cr
+        assert ta.middleware_cost <= bound * cert.cost + additive
+
+
+class TestTheorem85NRAInstanceOptimality:
+    """NRA's sorted cost is within factor m of any no-random-access
+    algorithm; the certificate's sorted accesses lower-bound the best
+    competitor's (up to the km^2 additive constant)."""
+
+    @pytest.mark.parametrize("dist", DISTRIBUTIONS)
+    def test_nra_within_bound_of_certificate(self, dist):
+        db = DISTRIBUTIONS[dist]()
+        k, m = 3, db.num_lists
+        cm = CostModel(1.0, 1.0)
+        nra = NoRandomAccessAlgorithm().run_on(db, AVERAGE, k, cm)
+        cert = minimal_certificate(db, AVERAGE, k, cm)
+        bound = nra_upper_bound(m)
+        additive = k * m * m
+        assert nra.middleware_cost <= bound * cert.cost + additive
+
+
+class TestSection62Approximation:
+    @pytest.mark.parametrize("theta", [1.1, 1.5, 2.0])
+    def test_theta_guarantee_on_every_distribution(self, theta):
+        from repro.analysis import is_theta_approximation
+
+        for dist, make in DISTRIBUTIONS.items():
+            db = make()
+            res = ApproximateThresholdAlgorithm(theta=theta).run_on(
+                db, AVERAGE, 5
+            )
+            assert is_theta_approximation(
+                db, AVERAGE, 5, res.objects, theta
+            ), dist
+
+
+class TestSection82CADesign:
+    def test_ca_random_access_budget(self):
+        """CA performs at most one random-access phase (<= m-1 accesses)
+        per h rounds: r <= (m-1) * rounds / h + (m-1)."""
+        for dist, make in DISTRIBUTIONS.items():
+            db = make()
+            m = db.num_lists
+            cm = CostModel(1.0, 5.0)
+            res = CombinedAlgorithm().run_on(db, AVERAGE, 3, cm)
+            assert res.random_accesses <= (m - 1) * (
+                res.rounds // cm.h + 1
+            ), dist
+
+    def test_ca_cost_stable_across_cost_ratios(self):
+        """CA's *relative* cost (vs the certificate) stays bounded as
+        cR/cS grows, while TA's grows linearly (Section 8.4)."""
+        db = datagen.uniform(200, 3, seed=21)
+        ta_ratios, ca_ratios = [], []
+        for ratio in (1.0, 10.0, 100.0):
+            cm = CostModel(1.0, ratio)
+            cert = minimal_certificate(db, AVERAGE, 3, cm)
+            ta = ThresholdAlgorithm().run_on(db, AVERAGE, 3, cm)
+            ca = CombinedAlgorithm().run_on(db, AVERAGE, 3, cm)
+            ta_ratios.append(ta.middleware_cost / cert.cost)
+            ca_ratios.append(ca.middleware_cost / cert.cost)
+        assert ta_ratios[-1] > ta_ratios[0]
+        assert ca_ratios[-1] < ta_ratios[-1]
+
+
+class TestNaiveBaseline:
+    def test_every_algorithm_beats_naive_on_easy_inputs(self):
+        db = datagen.correlated(500, 2, rho=0.9, seed=2)
+        naive = NaiveAlgorithm().run_on(db, AVERAGE, 3)
+        for algo in (
+            ThresholdAlgorithm(),
+            FaginAlgorithm(),
+            NoRandomAccessAlgorithm(),
+            CombinedAlgorithm(h=2),
+        ):
+            res = algo.run_on(db, AVERAGE, 3)
+            assert res.middleware_cost < naive.middleware_cost

@@ -1,0 +1,69 @@
+"""Tests for the convergence-trajectory recorders."""
+
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE, MIN
+from repro.analysis import bound_trajectory, threshold_trajectory
+from repro.core import NoRandomAccessAlgorithm, ThresholdAlgorithm
+
+
+class TestThresholdTrajectory:
+    def test_tau_non_increasing_beta_non_decreasing(self):
+        db = datagen.uniform(200, 2, seed=2)
+        points = threshold_trajectory(db, AVERAGE, 3)
+        taus = [p.upper for p in points]
+        betas = [p.lower for p in points if p.lower > float("-inf")]
+        assert taus == sorted(taus, reverse=True)
+        assert betas == sorted(betas)
+
+    def test_ends_exactly_when_ta_halts(self):
+        db = datagen.uniform(200, 2, seed=3)
+        points = threshold_trajectory(db, AVERAGE, 3)
+        ta = ThresholdAlgorithm().run_on(db, AVERAGE, 3)
+        assert points[-1].halted
+        assert points[-1].depth == ta.depth
+        # every earlier point is pre-halt
+        assert all(not p.halted for p in points[:-1])
+
+    def test_guarantee_matches_tau_over_beta(self):
+        db = datagen.uniform(100, 2, seed=4)
+        points = threshold_trajectory(db, AVERAGE, 2)
+        mid = points[len(points) // 2]
+        if mid.lower > 0:
+            assert mid.guarantee == pytest.approx(
+                max(1.0, mid.upper / mid.lower)
+            )
+
+    def test_max_depth_cap(self):
+        db = datagen.anticorrelated(200, 2, seed=5)
+        points = threshold_trajectory(db, MIN, 3, max_depth=7)
+        assert points[-1].depth <= 7
+
+
+class TestBoundTrajectory:
+    def test_lower_non_decreasing(self):
+        db = datagen.uniform(150, 2, seed=6)
+        points = bound_trajectory(db, AVERAGE, 3)
+        lowers = [p.lower for p in points if p.lower > float("-inf")]
+        assert lowers == sorted(lowers)
+
+    def test_ends_when_nra_halts(self):
+        db = datagen.uniform(150, 2, seed=7)
+        points = bound_trajectory(db, AVERAGE, 3)
+        nra = NoRandomAccessAlgorithm().run_on(db, AVERAGE, 3)
+        assert points[-1].halted
+        assert points[-1].depth == nra.depth
+
+    def test_nra_halts_no_earlier_than_ta_depth_wise(self):
+        # NRA has strictly less information per round than TA
+        db = datagen.uniform(150, 2, seed=8)
+        ta_points = threshold_trajectory(db, AVERAGE, 3)
+        nra_points = bound_trajectory(db, AVERAGE, 3)
+        assert nra_points[-1].depth >= ta_points[-1].depth
+
+    def test_guarantee_infinite_when_lower_nonpositive(self):
+        from repro.analysis.progress import TrajectoryPoint
+
+        point = TrajectoryPoint(depth=1, upper=0.5, lower=0.0)
+        assert point.guarantee == float("inf")

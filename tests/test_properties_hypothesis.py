@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis) on the paper's core invariants.
+
+Databases are drawn as arbitrary grade matrices; aggregation functions
+from the library's monotone family.  Every property here is a theorem of
+the paper (or of the model), so a single counterexample is a real bug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation import AVERAGE, MAX, MEDIAN, MIN, PRODUCT, SUM
+from repro.analysis import (
+    is_correct_topk,
+    is_theta_approximation,
+    minimal_certificate,
+)
+from repro.core import (
+    ApproximateThresholdAlgorithm,
+    CombinedAlgorithm,
+    FaginAlgorithm,
+    NoRandomAccessAlgorithm,
+    ThresholdAlgorithm,
+)
+from repro.middleware import AccessSession, CostModel, Database
+
+AGGREGATIONS = [MIN, MAX, SUM, AVERAGE, PRODUCT, MEDIAN]
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def databases(draw, max_n=24, max_m=4):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=1, max_value=max_m))
+    # quantised grades so ties are frequent (the hard case)
+    levels = draw(st.integers(min_value=1, max_value=10))
+    cells = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=levels),
+            min_size=n * m,
+            max_size=n * m,
+        )
+    )
+    grades = np.array(cells, dtype=float).reshape(n, m) / levels
+    return Database.from_array(grades)
+
+
+@st.composite
+def db_query(draw):
+    db = draw(databases())
+    k = draw(st.integers(min_value=1, max_value=db.num_objects))
+    t = draw(st.sampled_from(AGGREGATIONS))
+    return db, t, k
+
+
+class TestCorrectnessProperties:
+    @SETTINGS
+    @given(db_query())
+    def test_ta_always_correct(self, query):
+        db, t, k = query
+        res = ThresholdAlgorithm().run_on(db, t, k)
+        assert is_correct_topk(db, t, k, res.objects)
+
+    @SETTINGS
+    @given(db_query())
+    def test_fa_always_correct(self, query):
+        db, t, k = query
+        res = FaginAlgorithm().run_on(db, t, k)
+        assert is_correct_topk(db, t, k, res.objects)
+
+    @SETTINGS
+    @given(db_query())
+    def test_nra_always_correct(self, query):
+        db, t, k = query
+        res = NoRandomAccessAlgorithm().run_on(db, t, k)
+        assert is_correct_topk(db, t, k, res.objects)
+        assert res.random_accesses == 0
+
+    @SETTINGS
+    @given(db_query(), st.integers(min_value=1, max_value=5))
+    def test_ca_always_correct(self, query, h):
+        db, t, k = query
+        res = CombinedAlgorithm(h=h).run_on(db, t, k)
+        assert is_correct_topk(db, t, k, res.objects)
+
+    @SETTINGS
+    @given(db_query())
+    def test_nra_bounds_bracket_truth(self, query):
+        db, t, k = query
+        res = NoRandomAccessAlgorithm().run_on(db, t, k)
+        for item in res.items:
+            truth = t.aggregate(db.grade_vector(item.obj))
+            assert item.lower_bound - 1e-9 <= truth <= item.upper_bound + 1e-9
+
+
+class TestRelationalProperties:
+    @SETTINGS
+    @given(db_query())
+    def test_ta_sorted_cost_at_most_fa(self, query):
+        """Section 4: TA's stopping rule fires no later than FA's."""
+        db, t, k = query
+        ta = ThresholdAlgorithm().run_on(db, t, k)
+        fa = FaginAlgorithm().run_on(db, t, k)
+        assert ta.sorted_accesses <= fa.sorted_accesses
+
+    @SETTINGS
+    @given(db_query(), st.floats(min_value=1.01, max_value=4.0))
+    def test_theta_approximation_guarantee(self, query, theta):
+        """Theorem 6.6."""
+        db, t, k = query
+        res = ApproximateThresholdAlgorithm(theta=theta).run_on(db, t, k)
+        assert is_theta_approximation(db, t, k, res.objects, theta)
+
+    @SETTINGS
+    @given(db_query(), st.floats(min_value=1.01, max_value=4.0))
+    def test_theta_never_costlier_than_exact(self, query, theta):
+        db, t, k = query
+        exact = ThresholdAlgorithm().run_on(db, t, k)
+        approx = ApproximateThresholdAlgorithm(theta=theta).run_on(db, t, k)
+        assert approx.sorted_accesses <= exact.sorted_accesses
+
+    @SETTINGS
+    @given(db_query())
+    def test_certificate_cheaper_than_algorithms(self, query):
+        """The shortest proof costs no more than any correct algorithm."""
+        db, t, k = query
+        cert = minimal_certificate(db, t, k)
+        ta = ThresholdAlgorithm().run_on(db, t, k)
+        assert cert.cost <= ta.middleware_cost + 1e-9
+
+    @SETTINGS
+    @given(db_query())
+    def test_cache_variant_dominates_plain_ta(self, query):
+        db, t, k = query
+        plain = ThresholdAlgorithm().run_on(db, t, k)
+        cached = ThresholdAlgorithm(remember_seen=True).run_on(db, t, k)
+        assert cached.sorted_accesses == plain.sorted_accesses
+        assert cached.random_accesses <= plain.random_accesses
+
+
+class TestAccountingProperties:
+    @SETTINGS
+    @given(
+        db_query(),
+        st.floats(min_value=0.1, max_value=10),
+        st.floats(min_value=0.1, max_value=10),
+    )
+    def test_cost_identity(self, query, cs, cr):
+        """middleware cost == s*cS + r*cR, always."""
+        db, t, k = query
+        cm = CostModel(cs, cr)
+        res = ThresholdAlgorithm().run_on(db, t, k, cm)
+        assert res.middleware_cost == pytest.approx(
+            res.sorted_accesses * cs + res.random_accesses * cr
+        )
+
+    @SETTINGS
+    @given(db_query())
+    def test_no_wild_guesses_ever(self, query):
+        """TA, FA, NRA, CA are all in Theorem 6.1's algorithm class."""
+        db, t, k = query
+        for algo in (
+            ThresholdAlgorithm(),
+            FaginAlgorithm(),
+            CombinedAlgorithm(h=2),
+        ):
+            session = AccessSession(db, forbid_wild_guesses=True)
+            res = algo.run(session, t, k)  # raises WildGuessError if not
+            assert is_correct_topk(db, t, k, res.objects)
+
+    @SETTINGS
+    @given(db_query())
+    def test_depth_counts_consistent(self, query):
+        db, t, k = query
+        res = ThresholdAlgorithm().run_on(db, t, k)
+        m = db.num_lists
+        assert res.depth <= res.rounds
+        assert res.sorted_accesses <= res.rounds * m
+
+
+class TestBoundStoreEquivalence:
+    @SETTINGS
+    @given(db_query())
+    def test_lazy_equals_naive_bookkeeping(self, query):
+        """The lazy-heap NRA is observationally identical to the
+        rescan-everything oracle."""
+        db, t, k = query
+        fast = NoRandomAccessAlgorithm().run_on(db, t, k)
+        slow = NoRandomAccessAlgorithm(naive_bookkeeping=True).run_on(
+            db, t, k
+        )
+        assert fast.rounds == slow.rounds
+        assert fast.sorted_accesses == slow.sorted_accesses
+        fast_grades = sorted(
+            t.aggregate(db.grade_vector(o)) for o in fast.objects
+        )
+        slow_grades = sorted(
+            t.aggregate(db.grade_vector(o)) for o in slow.objects
+        )
+        assert fast_grades == pytest.approx(slow_grades)

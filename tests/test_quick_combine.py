@@ -1,0 +1,106 @@
+"""Unit tests for Quick-Combine (heuristic list scheduling, Section 10)."""
+
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE, MIN, SUM, WeightedSum
+from repro.analysis import assert_result_correct
+from repro.core import QuickCombine, ThresholdAlgorithm
+from repro.middleware import Database
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("t", [MIN, AVERAGE, SUM])
+    def test_random_dbs(self, t):
+        for seed in range(3):
+            db = datagen.uniform(120, 3, seed=seed)
+            res = QuickCombine().run_on(db, t, 4)
+            assert_result_correct(db, t, res)
+
+    def test_fairness_patched_variant(self):
+        db = datagen.zipf_skewed(150, 3, alpha=3.0, seed=1)
+        res = QuickCombine(fairness=4).run_on(db, AVERAGE, 3)
+        assert_result_correct(db, AVERAGE, res)
+
+    def test_remember_seen_variant(self):
+        db = datagen.uniform(100, 2, seed=2)
+        res = QuickCombine(remember_seen=True).run_on(db, AVERAGE, 3)
+        assert_result_correct(db, AVERAGE, res)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            QuickCombine(window=0)
+        with pytest.raises(ValueError):
+            QuickCombine(fairness=0)
+
+
+class TestHeuristicBehaviour:
+    def test_prefers_fast_declining_list_on_skew(self):
+        """One list with a steep grade decline should be accessed deeper
+        than a flat list."""
+        n = 200
+        rows = {}
+        for i in range(n):
+            steep = max(0.0, 1.0 - i * 0.02)       # drops fast
+            flat = 0.9 - i * 1e-4                   # barely moves
+            rows[i] = (steep, flat)
+        db = Database.from_rows(rows)
+        res = QuickCombine(window=3).run_on(db, SUM, 3)
+        depths = res.extras["per_list_depth"]
+        assert depths[0] > depths[1]
+
+    def test_weighted_sum_weights_steer_schedule(self):
+        """With a huge weight on list 0, its decline dominates the
+        heuristic."""
+        db = datagen.uniform(200, 2, seed=5)
+        t = WeightedSum([100.0, 1.0])
+        res = QuickCombine(window=3).run_on(db, t, 3)
+        depths = res.extras["per_list_depth"]
+        assert depths[0] >= depths[1]
+        assert_result_correct(db, t, res)
+
+    def test_fairness_bounds_starvation(self):
+        db = datagen.zipf_skewed(300, 3, alpha=4.0, seed=3)
+        u = 5
+        res = QuickCombine(fairness=u).run_on(db, AVERAGE, 3)
+        depths = res.extras["per_list_depth"]
+        total = sum(depths.values())
+        # every list must have been accessed at least ~total/(u * m)
+        for depth in depths.values():
+            assert depth >= total // (u * 6) - 1
+
+
+class TestVersusTA:
+    def test_same_answers_as_ta(self):
+        for seed in range(3):
+            db = datagen.uniform(150, 3, seed=seed)
+            qc = QuickCombine().run_on(db, AVERAGE, 4)
+            ta = ThresholdAlgorithm().run_on(db, AVERAGE, 4)
+            assert sorted(qc.grades) == pytest.approx(sorted(ta.grades))
+
+    def test_can_beat_ta_on_skewed_lists(self):
+        """The heuristic's raison d'etre: on a database where one list's
+        grades collapse quickly, focusing on it drops the threshold fast."""
+        n = 400
+        rows = {}
+        for i in range(n):
+            rows[i] = (
+                max(0.0, 1.0 - i * 0.05),
+                0.999 - i * 1e-6,
+                0.998 - i * 1e-6,
+            )
+        db = Database.from_rows(rows)
+        qc = QuickCombine(window=2).run_on(db, SUM, 1)
+        ta = ThresholdAlgorithm().run_on(db, SUM, 1)
+        assert_result_correct(db, SUM, qc)
+        assert qc.sorted_accesses <= ta.sorted_accesses
+
+    def test_sorted_access_savings_bounded_by_factor_m(self):
+        """Section 10: heuristics can reduce sorted accesses by at most a
+        factor of m versus lockstep TA."""
+        for seed in range(3):
+            db = datagen.zipf_skewed(200, 3, alpha=3.0, seed=seed)
+            qc = QuickCombine().run_on(db, AVERAGE, 2)
+            ta = ThresholdAlgorithm().run_on(db, AVERAGE, 2)
+            m = 3
+            assert qc.sorted_accesses * m >= ta.sorted_accesses - m

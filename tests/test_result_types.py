@@ -1,0 +1,75 @@
+"""Tests for the result types and their presentation helpers."""
+
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE
+from repro.core import (
+    HaltReason,
+    NoRandomAccessAlgorithm,
+    RankedItem,
+    ThresholdAlgorithm,
+)
+
+
+class TestRankedItem:
+    def test_exact_item(self):
+        item = RankedItem("x", 0.5, 0.5, 0.5)
+        assert item.is_exact
+        assert "0.5" in str(item)
+
+    def test_bounded_item(self):
+        item = RankedItem("x", None, 0.2, 0.8)
+        assert not item.is_exact
+        assert "[" in str(item) and "0.8" in str(item)
+
+    def test_frozen(self):
+        item = RankedItem("x", 0.5, 0.5, 0.5)
+        with pytest.raises(AttributeError):
+            item.grade = 0.9
+
+
+class TestTopKResult:
+    @pytest.fixture
+    def result(self):
+        db = datagen.uniform(60, 2, seed=4)
+        return ThresholdAlgorithm().run_on(db, AVERAGE, 3)
+
+    def test_objects_and_grades_aligned(self, result):
+        assert len(result.objects) == len(result.grades) == 3
+        assert result.objects[0] == result.items[0].obj
+
+    def test_cost_accessors_consistent(self, result):
+        assert result.middleware_cost == result.stats.middleware_cost
+        assert result.sorted_accesses == result.stats.sorted_accesses
+        assert result.random_accesses == result.stats.random_accesses
+
+    def test_summary_contains_essentials(self, result):
+        text = result.summary()
+        assert "TA top-3" in text
+        assert "cost=" in text
+        assert "halt=threshold" in text
+
+    def test_summary_truncates_long_lists(self):
+        db = datagen.uniform(60, 2, seed=4)
+        res = ThresholdAlgorithm().run_on(db, AVERAGE, 10)
+        assert "..." in res.summary()
+
+    def test_bounds_result_summary_shows_intervals(self):
+        inst = datagen.example_8_3(30)
+        res = NoRandomAccessAlgorithm().run_on(
+            inst.database, inst.aggregation, 1
+        )
+        assert "[" in res.summary()
+
+
+class TestHaltReasons:
+    def test_constants_distinct(self):
+        reasons = {
+            HaltReason.THRESHOLD,
+            HaltReason.NO_VIABLE,
+            HaltReason.EXHAUSTED,
+            HaltReason.ALL_RESOLVED,
+            HaltReason.INTERACTIVE,
+        }
+        assert len(reasons) == 5

@@ -1,0 +1,111 @@
+"""Unit tests for the experiment runner and text reporting."""
+
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE
+from repro.analysis import (
+    VerificationError,
+    compare_costs,
+    format_kv,
+    format_table,
+    run_algorithms,
+)
+from repro.analysis.runner import RunRecord
+from repro.core import (
+    FaginAlgorithm,
+    NaiveAlgorithm,
+    NoRandomAccessAlgorithm,
+    ThresholdAlgorithm,
+)
+from repro.middleware import CostModel
+
+
+class TestRunner:
+    def test_runs_and_verifies(self, tiny_db):
+        records = run_algorithms(
+            [NaiveAlgorithm(), ThresholdAlgorithm(), FaginAlgorithm()],
+            tiny_db,
+            AVERAGE,
+            2,
+            label="tiny",
+        )
+        assert [r.algorithm for r in records] == ["Naive", "TA", "FA"]
+        assert all(r.k == 2 and r.n == 6 and r.m == 3 for r in records)
+
+    def test_fresh_session_per_algorithm(self, tiny_db):
+        records = run_algorithms(
+            [ThresholdAlgorithm(), ThresholdAlgorithm()],
+            tiny_db,
+            AVERAGE,
+            1,
+        )
+        assert (
+            records[0].middleware_cost == records[1].middleware_cost
+        )
+
+    def test_algorithms_build_their_own_sessions(self, tiny_db):
+        # NRA must get a no-random session even from the generic runner
+        records = run_algorithms(
+            [NoRandomAccessAlgorithm()], tiny_db, AVERAGE, 2
+        )
+        assert records[0].random_accesses == 0
+
+    def test_cost_model_passed_through(self, tiny_db):
+        records = run_algorithms(
+            [ThresholdAlgorithm()],
+            tiny_db,
+            AVERAGE,
+            1,
+            cost_model=CostModel(1.0, 10.0),
+        )
+        rec = records[0]
+        assert rec.middleware_cost == pytest.approx(
+            rec.sorted_accesses + 10.0 * rec.random_accesses
+        )
+
+    def test_compare_costs(self):
+        db = datagen.uniform(200, 2, seed=0)
+        records = run_algorithms(
+            [NaiveAlgorithm(), ThresholdAlgorithm()], db, AVERAGE, 1
+        )
+        costs = compare_costs(records)
+        assert costs["TA"] < costs["Naive"]
+
+    def test_verification_can_be_disabled(self, tiny_db):
+        records = run_algorithms(
+            [ThresholdAlgorithm()], tiny_db, AVERAGE, 1, verify=False
+        )
+        assert records
+
+    def test_rows_align_with_headers(self, tiny_db):
+        records = run_algorithms([ThresholdAlgorithm()], tiny_db, AVERAGE, 1)
+        assert len(records[0].row()) == len(RunRecord.HEADERS)
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.0], ["beta-long-name", 123456.0]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert len(set(len(line) for line in lines[1:])) <= 2
+
+    def test_format_table_numbers(self):
+        text = format_table(["x"], [[0.000123], [float("inf")], [float("nan")]])
+        assert "inf" in text and "nan" in text and "0.000123" in text
+
+    def test_format_kv(self):
+        text = format_kv({"a": 1, "long-key": 2.5}, title="t")
+        assert text.startswith("t")
+        assert "long-key" in text
+
+    def test_run_records_render(self, tiny_db):
+        records = run_algorithms(
+            [NaiveAlgorithm(), ThresholdAlgorithm()], tiny_db, AVERAGE, 2
+        )
+        text = format_table(RunRecord.HEADERS, [r.row() for r in records])
+        assert "Naive" in text and "TA" in text

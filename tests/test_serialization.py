@@ -1,0 +1,89 @@
+"""Tests for database persistence (JSON with tie order; npz matrices)."""
+
+import pytest
+
+from repro import datagen
+from repro.aggregation import MIN
+from repro.core import ThresholdAlgorithm
+from repro.middleware import (
+    Database,
+    DatabaseError,
+    load_json,
+    load_npz,
+    save_json,
+    save_npz,
+)
+
+
+class TestJsonRoundTrip:
+    def test_grades_preserved(self, tmp_path, tiny_db):
+        path = tmp_path / "db.json"
+        save_json(tiny_db, path)
+        loaded = load_json(path)
+        assert loaded.num_objects == tiny_db.num_objects
+        for obj in tiny_db.objects:
+            assert loaded.grade_vector(obj) == tiny_db.grade_vector(obj)
+
+    def test_tie_order_preserved(self, tmp_path):
+        """The property the adversarial families depend on."""
+        inst = datagen.example_6_3(8)
+        path = tmp_path / "fig1.json"
+        save_json(inst.database, path)
+        loaded = load_json(path)
+        for i in range(2):
+            for p in range(loaded.num_objects):
+                assert loaded.sorted_entry(i, p) == inst.database.sorted_entry(
+                    i, p
+                )
+
+    def test_algorithms_agree_after_round_trip(self, tmp_path):
+        inst = datagen.example_6_3(10)
+        path = tmp_path / "fig1.json"
+        save_json(inst.database, path)
+        loaded = load_json(path)
+        before = ThresholdAlgorithm().run_on(inst.database, MIN, 1)
+        after = ThresholdAlgorithm().run_on(loaded, MIN, 1)
+        assert before.objects == after.objects
+        assert before.middleware_cost == after.middleware_cost
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text('{"hello": "world"}')
+        with pytest.raises(DatabaseError):
+            load_json(path)
+
+
+class TestNpzRoundTrip:
+    def test_grades_preserved(self, tmp_path):
+        db = datagen.uniform(50, 3, seed=2)
+        path = tmp_path / "db.npz"
+        save_npz(db, path)
+        loaded = load_npz(path)
+        assert loaded.num_objects == 50
+        for obj in db.objects:
+            assert loaded.grade_vector(obj) == pytest.approx(
+                db.grade_vector(obj)
+            )
+
+    def test_string_ids_preserved(self, tmp_path):
+        db = Database.from_rows({"alpha": (0.3,), "beta": (0.9,)})
+        path = tmp_path / "db.npz"
+        save_npz(db, path)
+        loaded = load_npz(path)
+        assert set(loaded.objects) == {"alpha", "beta"}
+
+    def test_int_ids_restored_as_ints(self, tmp_path):
+        db = datagen.uniform(10, 2, seed=0)
+        path = tmp_path / "db.npz"
+        save_npz(db, path)
+        loaded = load_npz(path)
+        assert all(isinstance(obj, int) for obj in loaded.objects)
+
+    def test_top_k_stable_across_round_trip(self, tmp_path):
+        db = datagen.permutations(60, 2, seed=3)
+        path = tmp_path / "db.npz"
+        save_npz(db, path)
+        loaded = load_npz(path)
+        assert [g for _, g in db.top_k(MIN, 5)] == pytest.approx(
+            [g for _, g in loaded.top_k(MIN, 5)]
+        )

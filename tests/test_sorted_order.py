@@ -1,0 +1,75 @@
+"""Unit tests for sorted-order top-k recovery (Section 8.1's remark)."""
+
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE, MIN
+from repro.core import sorted_topk_without_grades
+from repro.core.base import QueryError
+from repro.middleware import CostModel
+
+
+class TestRankingCorrectness:
+    def test_tiny_db(self, tiny_db):
+        res = sorted_topk_without_grades(tiny_db, AVERAGE, 3)
+        assert res.ranking == ["a", "b", "c"]
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_ground_truth_order(self, seed):
+        db = datagen.uniform(80, 2, seed=seed)
+        k = 6
+        res = sorted_topk_without_grades(db, AVERAGE, k)
+        true_grades = [g for _, g in db.top_k(AVERAGE, k)]
+        got_grades = [AVERAGE(db.grade_vector(obj)) for obj in res.ranking]
+        assert got_grades == pytest.approx(true_grades)
+        # grade-descending by construction
+        assert got_grades == sorted(got_grades, reverse=True)
+
+    def test_with_ties_grade_equivalent(self):
+        db = datagen.plateau(60, 2, levels=3, seed=4)
+        k = 5
+        res = sorted_topk_without_grades(db, MIN, k)
+        true_grades = [g for _, g in db.top_k(MIN, k)]
+        got_grades = [MIN(db.grade_vector(obj)) for obj in res.ranking]
+        assert got_grades == pytest.approx(true_grades)
+
+    def test_ranking_has_k_distinct_objects(self):
+        db = datagen.uniform(50, 3, seed=9)
+        res = sorted_topk_without_grades(db, AVERAGE, 7)
+        assert len(res.ranking) == 7
+        assert len(set(res.ranking)) == 7
+
+
+class TestAccounting:
+    def test_no_random_accesses(self, tiny_db):
+        res = sorted_topk_without_grades(tiny_db, AVERAGE, 3)
+        assert res.total_random_accesses == 0
+
+    def test_total_is_sum_of_sub_queries(self, tiny_db):
+        cm = CostModel(2.0, 3.0)
+        res = sorted_topk_without_grades(tiny_db, AVERAGE, 3, cm)
+        assert res.total_cost == pytest.approx(
+            sum(r.middleware_cost for r in res.sub_results)
+        )
+        assert len(res.sub_results) == 3
+
+    def test_cost_bounded_by_k_times_max_level(self, tiny_db):
+        res = sorted_topk_without_grades(tiny_db, AVERAGE, 4)
+        assert res.total_cost <= 4 * max(res.per_level_costs)
+
+    def test_per_level_costs_can_be_non_monotone(self):
+        """Example 8.3 with R': C2 < C1 shows up in the level costs."""
+        inst = datagen.example_8_3(100, with_second=True)
+        res = sorted_topk_without_grades(
+            inst.database, inst.aggregation, 2
+        )
+        c1, c2 = res.per_level_costs
+        assert c2 < c1
+
+
+class TestValidation:
+    def test_k_bounds(self, tiny_db):
+        with pytest.raises(QueryError):
+            sorted_topk_without_grades(tiny_db, AVERAGE, 0)
+        with pytest.raises(QueryError):
+            sorted_topk_without_grades(tiny_db, AVERAGE, 7)

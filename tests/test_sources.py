@@ -1,0 +1,94 @@
+"""Unit tests for the source adapters (simulated subsystems)."""
+
+import pytest
+
+from repro.aggregation import MIN
+from repro.core import RestrictedSortedAccessTA, ThresholdAlgorithm
+from repro.middleware import (
+    AccessSession,
+    DatabaseError,
+    GradedSource,
+    ScoredCollection,
+    assemble_database,
+)
+
+
+def make_sources():
+    color = GradedSource(
+        "qbic:color=red",
+        [("img1", 0.9), ("img2", 0.7), ("img3", 0.4)],
+    )
+    shape = GradedSource(
+        "qbic:shape=round",
+        [("img2", 0.8), ("img1", 0.6), ("img3", 0.5)],
+    )
+    return color, shape
+
+
+class TestGradedSource:
+    def test_entries_sorted_desc(self):
+        src = GradedSource("s", [("a", 0.1), ("b", 0.9)])
+        assert src.entries == [("b", 0.9), ("a", 0.1)]
+
+    def test_duplicate_object_rejected(self):
+        with pytest.raises(DatabaseError):
+            GradedSource("s", [("a", 0.1), ("a", 0.2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatabaseError):
+            GradedSource("s", [])
+
+    def test_capabilities_flags(self):
+        src = GradedSource("engine", [("a", 0.5)], supports_random=False)
+        caps = src.capabilities()
+        assert caps.sorted_allowed and not caps.random_allowed
+
+
+class TestAssemble:
+    def test_builds_database_and_caps(self):
+        color, shape = make_sources()
+        db, caps = assemble_database([color, shape])
+        assert db.num_objects == 3 and db.num_lists == 2
+        assert db.grade("img1", 1) == 0.6
+        assert all(c.sorted_allowed for c in caps)
+
+    def test_universe_mismatch_rejected(self):
+        a = GradedSource("a", [("x", 0.5)])
+        b = GradedSource("b", [("y", 0.5)])
+        with pytest.raises(DatabaseError):
+            assemble_database([a, b])
+
+    def test_needs_some_sorted_source(self):
+        a = GradedSource("a", [("x", 0.5)], supports_sorted=False)
+        with pytest.raises(DatabaseError):
+            assemble_database([a])
+
+    def test_end_to_end_with_ta(self):
+        color, shape = make_sources()
+        db, caps = assemble_database([color, shape])
+        session = AccessSession(db, capabilities=caps)
+        result = ThresholdAlgorithm().run(session, MIN, 1)
+        # img2: min(0.7, 0.8) = 0.7 beats img1's min(0.9, 0.6) = 0.6
+        assert result.objects == ["img2"]
+
+    def test_restaurant_style_restriction(self):
+        # one sorted-capable source, others random-only (Section 7)
+        zagat = GradedSource("zagat", [("r1", 0.9), ("r2", 0.5)])
+        price = GradedSource(
+            "nyt-price", [("r1", 0.3), ("r2", 0.8)], supports_sorted=False
+        )
+        db, caps = assemble_database([zagat, price])
+        session = AccessSession(db, capabilities=caps)
+        result = RestrictedSortedAccessTA().run(session, MIN, 1)
+        assert result.objects == ["r2"]  # min(0.5, 0.8) > min(0.9, 0.3)
+
+
+class TestScoredCollection:
+    def test_scores_items(self):
+        coll = ScoredCollection({"a": 4, "b": 16})
+        src = coll.attribute("sqrt-ish", lambda v: v / 16)
+        assert dict(src.entries) == {"a": 0.25, "b": 1.0}
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatabaseError):
+            ScoredCollection({})

@@ -1,0 +1,62 @@
+"""Tests for the sweep-statistics helpers."""
+
+import pytest
+
+from repro.analysis import SweepPoint, fit_power_law, seed_average, summarize
+
+
+class TestFitPowerLaw:
+    def test_exact_square_root(self):
+        xs = [1, 4, 16, 64]
+        ys = [x ** 0.5 for x in xs]
+        assert fit_power_law(xs, ys) == pytest.approx(0.5)
+
+    def test_exact_linear_with_constant(self):
+        xs = [10, 100, 1000]
+        ys = [7 * x for x in xs]
+        assert fit_power_law(xs, ys) == pytest.approx(1.0)
+
+    def test_noisy_fit_close(self):
+        xs = [10, 20, 40, 80, 160]
+        ys = [x ** 0.67 * f for x, f in zip(xs, (1.05, 0.97, 1.02, 0.99, 1.01))]
+        assert abs(fit_power_law(xs, ys) - 0.67) < 0.05
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1.0])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1.0])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([0, 1], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [-1.0, 2.0])
+
+    def test_rejects_constant_x(self):
+        with pytest.raises(ValueError):
+            fit_power_law([5, 5], [1.0, 2.0])
+
+
+class TestSeedAverage:
+    def test_average(self):
+        assert seed_average(lambda s: float(s), [1, 2, 3]) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            seed_average(lambda s: 0.0, [])
+
+
+class TestSummarize:
+    def test_points(self):
+        points = summarize([1.0, 2.0], lambda x, s: x * 10 + s, [0, 1])
+        assert points[0] == SweepPoint(1.0, (10.0, 11.0))
+        assert points[0].mean == 10.5
+        assert points[1].x == 2.0
+
+    def test_std(self):
+        point = SweepPoint(1.0, (1.0, 3.0))
+        assert point.std == pytest.approx(2.0 ** 0.5)
+        assert SweepPoint(1.0, (5.0,)).std == 0.0

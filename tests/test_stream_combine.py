@@ -1,0 +1,67 @@
+"""Unit tests for Stream-Combine (upper-bounds-only baseline, Section 10)."""
+
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE, MIN, SUM
+from repro.analysis import assert_result_correct
+from repro.core import NoRandomAccessAlgorithm, StreamCombine
+from repro.middleware import AccessSession
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("t", [MIN, AVERAGE, SUM])
+    def test_random_dbs(self, t):
+        for seed in range(3):
+            db = datagen.uniform(100, 3, seed=seed)
+            res = StreamCombine().run_on(db, t, 4)
+            assert_result_correct(db, t, res)
+
+    def test_reports_exact_grades(self):
+        db = datagen.uniform(80, 2, seed=1)
+        res = StreamCombine().run_on(db, AVERAGE, 3)
+        for item in res.items:
+            assert item.grade is not None
+            assert item.grade == pytest.approx(
+                AVERAGE(db.grade_vector(item.obj))
+            )
+
+    def test_no_random_accesses(self, tiny_db):
+        res = StreamCombine().run_on(tiny_db, AVERAGE, 2)
+        assert res.random_accesses == 0
+
+    def test_runs_on_restricted_session(self, tiny_db):
+        session = AccessSession.no_random(tiny_db)
+        res = StreamCombine().run(session, MIN, 2)
+        assert_result_correct(tiny_db, MIN, res)
+
+
+class TestWhyNotInstanceOptimal:
+    def test_must_see_winner_in_every_list(self):
+        """Example 8.3: NRA identifies R at depth 2; Stream-Combine cannot
+        emit R before seeing its L2 grade at the bottom of the list."""
+        n = 60
+        inst = datagen.example_8_3(n)
+        nra = NoRandomAccessAlgorithm().run_on(
+            inst.database, inst.aggregation, 1
+        )
+        sc = StreamCombine().run_on(inst.database, inst.aggregation, 1)
+        assert nra.depth == 2
+        assert sc.depth >= inst.database.num_objects - 1
+        assert sc.objects == nra.objects == ["R"]
+
+    def test_separation_grows_with_n(self):
+        costs = []
+        for n in (30, 60, 120):
+            inst = datagen.example_8_3(n)
+            sc = StreamCombine().run_on(inst.database, inst.aggregation, 1)
+            costs.append(sc.middleware_cost)
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_never_halts_before_nra(self):
+        # upper-bounds-only + grades required => strictly less information
+        for seed in range(3):
+            db = datagen.uniform(100, 2, seed=seed)
+            nra = NoRandomAccessAlgorithm().run_on(db, AVERAGE, 3)
+            sc = StreamCombine().run_on(db, AVERAGE, 3)
+            assert sc.depth >= nra.depth

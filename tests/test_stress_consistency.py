@@ -1,0 +1,106 @@
+"""Larger-scale consistency stress tests.
+
+Moderate-size workloads where bookkeeping shortcuts would show up as
+disagreements between algorithms, plus determinism guarantees that the
+benchmark numbers in EXPERIMENTS.md rely on.
+"""
+
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE, MIN, SUM
+from repro.analysis import assert_result_correct, true_topk_grades
+from repro.core import (
+    CombinedAlgorithm,
+    FaginAlgorithm,
+    NoRandomAccessAlgorithm,
+    QuickCombine,
+    StreamCombine,
+    ThresholdAlgorithm,
+)
+
+
+class TestCrossAlgorithmConsistency:
+    """Every algorithm must produce grade-identical answers on the same
+    moderately large database."""
+
+    @pytest.mark.parametrize(
+        "make_db",
+        [
+            lambda: datagen.uniform(2500, 3, seed=71),
+            lambda: datagen.ratings_like(2500, 3, seed=71),
+            lambda: datagen.search_scores_like(2500, 3, seed=71),
+        ],
+        ids=["uniform", "ratings", "search-scores"],
+    )
+    def test_grade_multisets_identical(self, make_db):
+        db = make_db()
+        k = 12
+        expected = true_topk_grades(db, AVERAGE, k)
+        for algo in (
+            FaginAlgorithm(),
+            ThresholdAlgorithm(),
+            ThresholdAlgorithm(remember_seen=True),
+            NoRandomAccessAlgorithm(),
+            CombinedAlgorithm(h=3),
+            QuickCombine(),
+            StreamCombine(),
+        ):
+            result = algo.run_on(db, AVERAGE, k)
+            got = sorted(
+                (AVERAGE(db.grade_vector(obj)) for obj in result.objects),
+                reverse=True,
+            )
+            assert got == pytest.approx(expected), algo.name
+
+    def test_min_on_sparse_scores(self):
+        # the W=0-heavy regime: min over mostly-zero grades
+        db = datagen.search_scores_like(1500, 3, seed=72)
+        for algo in (ThresholdAlgorithm(), NoRandomAccessAlgorithm()):
+            result = algo.run_on(db, MIN, 5)
+            assert_result_correct(db, MIN, result)
+
+
+class TestDeterminism:
+    """Same seed, same numbers: the property EXPERIMENTS.md's recorded
+    values depend on."""
+
+    def test_costs_reproducible_across_runs(self):
+        db = datagen.uniform(1000, 3, seed=73)
+        first = ThresholdAlgorithm().run_on(db, AVERAGE, 5)
+        second = ThresholdAlgorithm().run_on(db, AVERAGE, 5)
+        assert first.middleware_cost == second.middleware_cost
+        assert first.objects == second.objects
+
+    def test_costs_reproducible_across_db_builds(self):
+        a = datagen.zipf_skewed(1000, 3, alpha=2.0, seed=74)
+        b = datagen.zipf_skewed(1000, 3, alpha=2.0, seed=74)
+        ra = NoRandomAccessAlgorithm().run_on(a, SUM, 5)
+        rb = NoRandomAccessAlgorithm().run_on(b, SUM, 5)
+        assert ra.sorted_accesses == rb.sorted_accesses
+        assert ra.objects == rb.objects
+
+    def test_adversarial_instances_reproducible(self):
+        a = datagen.theorem_9_2_family(d=8, m=4)
+        b = datagen.theorem_9_2_family(d=8, m=4)
+        ta_a = ThresholdAlgorithm().run_on(a.database, a.aggregation, 1)
+        ta_b = ThresholdAlgorithm().run_on(b.database, b.aggregation, 1)
+        assert ta_a.middleware_cost == ta_b.middleware_cost
+
+
+class TestScalingGuards:
+    """Generous runtime-shape guards: the lazy bookkeeping must keep NRA
+    usable at ~10^4 objects (the naive mode would blow up quadratically)."""
+
+    def test_nra_completes_on_10k_objects(self):
+        db = datagen.uniform(10_000, 2, seed=75)
+        result = NoRandomAccessAlgorithm().run_on(db, AVERAGE, 5)
+        assert_result_correct(db, AVERAGE, result)
+        # lazy B evaluations stay near-linear in the halting depth
+        assert result.extras["b_evaluations"] < 40 * result.rounds + 10_000
+
+    def test_ta_completes_on_20k_objects(self):
+        db = datagen.uniform(20_000, 3, seed=76)
+        result = ThresholdAlgorithm().run_on(db, AVERAGE, 10)
+        assert_result_correct(db, AVERAGE, result)
+        assert result.max_buffer_size == 10  # Theorem 4.2 at scale

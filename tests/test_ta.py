@@ -1,0 +1,178 @@
+"""Unit tests for TA (the Threshold Algorithm)."""
+
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE, MAX, MIN, SUM, Constant
+from repro.analysis import assert_result_correct
+from repro.core import HaltReason, NaiveAlgorithm, ThresholdAlgorithm
+from repro.core.base import QueryError
+from repro.middleware import AccessSession, CostModel, Database
+
+
+class TestCorrectness:
+    def test_tiny_db_min(self, tiny_db):
+        result = ThresholdAlgorithm().run_on(tiny_db, MIN, 2)
+        assert result.objects == ["a", "b"]
+        assert result.items[0].grade == pytest.approx(0.7)
+
+    def test_tiny_db_average(self, tiny_db):
+        result = ThresholdAlgorithm().run_on(tiny_db, AVERAGE, 1)
+        assert result.objects == ["a"]
+
+    def test_agrees_with_naive_on_random_dbs(self):
+        for seed in range(5):
+            db = datagen.uniform(120, 3, seed=seed)
+            for t in (MIN, AVERAGE, SUM, MAX):
+                res = ThresholdAlgorithm().run_on(db, t, 4)
+                assert_result_correct(db, t, res)
+
+    def test_k_equals_n(self, tiny_db):
+        result = ThresholdAlgorithm().run_on(tiny_db, AVERAGE, 6)
+        assert len(result.objects) == 6
+        assert_result_correct(tiny_db, AVERAGE, result)
+
+    def test_with_ties_everywhere(self):
+        db = datagen.plateau(60, 2, levels=2, seed=3)
+        res = ThresholdAlgorithm().run_on(db, MIN, 5)
+        assert_result_correct(db, MIN, res)
+
+    def test_single_list(self):
+        db = datagen.uniform(50, 1, seed=0)
+        res = ThresholdAlgorithm().run_on(db, MIN, 3)
+        assert_result_correct(db, MIN, res)
+        # one list: top-k is literally the top k entries
+        assert res.depth == 3
+
+
+class TestHaltingRule:
+    def test_halts_at_threshold(self, tiny_db):
+        result = ThresholdAlgorithm().run_on(tiny_db, AVERAGE, 1)
+        assert result.halt_reason == HaltReason.THRESHOLD
+        assert result.extras["final_threshold"] <= result.items[0].grade
+
+    def test_constant_function_halts_in_one_round(self, tiny_db):
+        # tau = c and every object grades c: the first k seen objects hit
+        # the threshold immediately (contrast FA, Section 3)
+        result = ThresholdAlgorithm().run_on(tiny_db, Constant(0.5), 2)
+        assert result.rounds == 1
+        assert result.depth == 1
+
+    def test_max_halts_within_k_rounds(self):
+        # Section 6: for t = max, TA halts after (at most) k rounds of
+        # sorted access -- earlier when one round surfaces several of the
+        # top objects at once
+        db = datagen.uniform(300, 3, seed=2)
+        for k in (1, 3, 7):
+            res = ThresholdAlgorithm().run_on(db, MAX, k)
+            assert res.rounds <= k
+            assert_result_correct(db, MAX, res)
+
+    def test_exhaustion_halt_on_hard_instance(self):
+        # anti-correlated two-object lists can force full scans for min
+        db = Database.from_rows({"x": (1.0, 0.0), "y": (0.0, 1.0)})
+        res = ThresholdAlgorithm().run_on(db, MIN, 1)
+        assert res.halt_reason in (HaltReason.THRESHOLD, HaltReason.EXHAUSTED)
+        assert_result_correct(db, MIN, res)
+
+    def test_figure_1_needs_n_plus_one_rounds(self):
+        n = 20
+        inst = datagen.example_6_3(n)
+        res = ThresholdAlgorithm().run_on(inst.database, MIN, 1)
+        assert res.depth == n + 1
+        assert res.objects == [n + 1]
+
+
+class TestAccessPattern:
+    def test_every_sorted_access_resolves_m_minus_1_lists(self, tiny_db):
+        res = ThresholdAlgorithm().run_on(tiny_db, AVERAGE, 1)
+        m = tiny_db.num_lists
+        assert res.random_accesses == res.sorted_accesses * (m - 1)
+
+    def test_never_makes_wild_guesses(self, tiny_db):
+        session = AccessSession(tiny_db, forbid_wild_guesses=True)
+        result = ThresholdAlgorithm().run(session, AVERAGE, 2)
+        assert_result_correct(tiny_db, AVERAGE, result)
+
+    def test_lockstep(self, tiny_db):
+        session = AccessSession(tiny_db, record_trace=True)
+        ThresholdAlgorithm().run(session, MIN, 1)
+        assert session.trace.max_lockstep_skew() <= 1
+
+    def test_remember_seen_never_costs_more(self):
+        for seed in range(4):
+            db = datagen.uniform(100, 3, seed=seed)
+            plain = ThresholdAlgorithm().run_on(db, AVERAGE, 3)
+            cached = ThresholdAlgorithm(remember_seen=True).run_on(
+                db, AVERAGE, 3
+            )
+            assert cached.sorted_accesses == plain.sorted_accesses
+            assert cached.random_accesses <= plain.random_accesses
+            assert cached.objects == plain.objects
+
+
+class TestBoundedBuffer:
+    def test_buffer_constant_in_database_size(self):
+        # Theorem 4.2: faithful TA's footprint is k, independent of N
+        sizes = []
+        for n in (50, 200, 800):
+            db = datagen.uniform(n, 2, seed=1)
+            res = ThresholdAlgorithm().run_on(db, AVERAGE, 5)
+            sizes.append(res.max_buffer_size)
+        assert sizes[0] == sizes[1] == sizes[2] == 5
+
+    def test_cache_variant_buffer_grows(self):
+        db = datagen.anticorrelated(400, 2, seed=1)
+        plain = ThresholdAlgorithm().run_on(db, AVERAGE, 2)
+        cached = ThresholdAlgorithm(remember_seen=True).run_on(db, AVERAGE, 2)
+        assert cached.max_buffer_size > plain.max_buffer_size
+
+
+class TestValidation:
+    def test_k_too_large(self, tiny_db):
+        with pytest.raises(QueryError):
+            ThresholdAlgorithm().run_on(tiny_db, MIN, 7)
+
+    def test_k_zero(self, tiny_db):
+        with pytest.raises(QueryError):
+            ThresholdAlgorithm().run_on(tiny_db, MIN, 0)
+
+    def test_needs_sorted_access_everywhere(self, tiny_db):
+        session = AccessSession.sorted_only_on(tiny_db, [0])
+        with pytest.raises(QueryError):
+            ThresholdAlgorithm().run(session, MIN, 1)
+
+    def test_needs_random_access(self, tiny_db):
+        session = AccessSession.no_random(tiny_db)
+        with pytest.raises(QueryError):
+            ThresholdAlgorithm().run(session, MIN, 1)
+
+
+class TestCostModelInteraction:
+    def test_cost_reflects_model(self, tiny_db):
+        cm = CostModel(2.0, 3.0)
+        res = ThresholdAlgorithm().run_on(tiny_db, AVERAGE, 1, cm)
+        assert res.middleware_cost == pytest.approx(
+            2.0 * res.sorted_accesses + 3.0 * res.random_accesses
+        )
+
+    def test_same_accesses_regardless_of_costs(self, tiny_db):
+        # TA's access pattern does not depend on (cS, cR)
+        r1 = ThresholdAlgorithm().run_on(tiny_db, AVERAGE, 1, CostModel(1, 1))
+        r2 = ThresholdAlgorithm().run_on(tiny_db, AVERAGE, 1, CostModel(1, 100))
+        assert (r1.sorted_accesses, r1.random_accesses) == (
+            r2.sorted_accesses,
+            r2.random_accesses,
+        )
+
+
+class TestAgainstNaive:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("k", [1, 5])
+    def test_grade_multisets_match(self, seed, k):
+        db = datagen.zipf_skewed(150, 3, alpha=2.0, seed=seed)
+        naive = NaiveAlgorithm().run_on(db, AVERAGE, k)
+        ta = ThresholdAlgorithm().run_on(db, AVERAGE, k)
+        assert sorted(g for g in ta.grades) == pytest.approx(
+            sorted(g for g in naive.grades)
+        )

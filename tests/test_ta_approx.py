@@ -1,0 +1,140 @@
+"""Unit tests for TA-theta and interactive early stopping (Section 6.2)."""
+
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE, MIN
+from repro.analysis import is_correct_topk, is_theta_approximation
+from repro.core import (
+    ApproximateThresholdAlgorithm,
+    HaltReason,
+    ThresholdAlgorithm,
+)
+from repro.core.base import QueryError
+
+
+class TestThetaGuarantee:
+    @pytest.mark.parametrize("theta", [1.01, 1.2, 2.0, 5.0])
+    def test_output_is_theta_approximation(self, theta):
+        for seed in range(3):
+            db = datagen.uniform(150, 3, seed=seed)
+            algo = ApproximateThresholdAlgorithm(theta=theta)
+            res = algo.run_on(db, AVERAGE, 5)
+            assert is_theta_approximation(db, AVERAGE, 5, res.objects, theta)
+
+    def test_guarantee_extra_is_reported(self):
+        db = datagen.uniform(100, 2, seed=1)
+        res = ApproximateThresholdAlgorithm(theta=1.5).run_on(db, AVERAGE, 3)
+        assert res.extras["guarantee"] >= 1.0
+
+    def test_theta_must_exceed_one(self):
+        with pytest.raises(QueryError):
+            ApproximateThresholdAlgorithm(theta=1.0)
+        with pytest.raises(QueryError):
+            ApproximateThresholdAlgorithm(theta=0.5)
+
+
+class TestCostReduction:
+    def test_larger_theta_never_costs_more(self):
+        db = datagen.uniform(400, 3, seed=5)
+        costs = []
+        for theta in (1.05, 1.5, 3.0):
+            res = ApproximateThresholdAlgorithm(theta=theta).run_on(
+                db, AVERAGE, 5
+            )
+            costs.append(res.middleware_cost)
+        assert costs == sorted(costs, reverse=True)
+
+    def test_approx_never_costs_more_than_exact(self):
+        db = datagen.uniform(400, 3, seed=6)
+        exact = ThresholdAlgorithm().run_on(db, AVERAGE, 5)
+        approx = ApproximateThresholdAlgorithm(theta=2.0).run_on(
+            db, AVERAGE, 5
+        )
+        assert approx.sorted_accesses <= exact.sorted_accesses
+
+
+class TestExample68:
+    def test_needs_n_plus_one_rounds_despite_distinctness(self):
+        """Theorem 6.9's phenomenon: TA-theta pays n+1 sorted rounds while
+        a wild guess pays 2 random accesses."""
+        n, theta = 15, 1.5
+        inst = datagen.example_6_8(n, theta=theta)
+        res = ApproximateThresholdAlgorithm(theta=theta).run_on(
+            inst.database, MIN, 1
+        )
+        assert res.objects == [inst.top_object]
+        assert res.depth >= n + 1
+
+    def test_unique_valid_answer(self):
+        n, theta = 10, 1.3
+        inst = datagen.example_6_8(n, theta=theta)
+        # any theta-approximation must return the winner
+        for obj in inst.database.objects:
+            ok = is_theta_approximation(
+                inst.database, MIN, 1, [obj], theta
+            )
+            assert ok == (obj == inst.top_object)
+
+
+class TestInteractiveEarlyStopping:
+    def test_views_have_valid_guarantees(self):
+        db = datagen.uniform(300, 2, seed=2)
+        views = []
+
+        def observer(view):
+            views.append(view)
+            return False  # never stop early
+
+        algo = ApproximateThresholdAlgorithm(theta=1.0001)
+        res = algo.run_interactive(
+            algo.make_session(db), AVERAGE, 3, stop_when=observer
+        )
+        assert views, "observer should see intermediate views"
+        for view in views:
+            # every intermediate view is a correct view.guarantee-approx
+            assert is_theta_approximation(
+                db, AVERAGE, 3, [obj for obj, _ in view.items], view.guarantee
+            )
+
+    def test_stopping_early_reports_interactive(self):
+        db = datagen.uniform(300, 2, seed=3)
+        algo = ApproximateThresholdAlgorithm(theta=1.0001)
+        res = algo.run_interactive(
+            algo.make_session(db),
+            AVERAGE,
+            3,
+            stop_when=lambda view: view.guarantee <= 1.6,
+        )
+        assert res.halt_reason in (
+            HaltReason.INTERACTIVE,
+            HaltReason.THRESHOLD,
+        )
+        assert is_theta_approximation(db, AVERAGE, 3, res.objects, 1.6)
+
+    def test_guarantee_reaches_one_at_threshold(self):
+        db = datagen.uniform(100, 2, seed=4)
+        algo = ApproximateThresholdAlgorithm(theta=1.000001)
+        res = algo.run_interactive(
+            algo.make_session(db), AVERAGE, 2, stop_when=lambda v: False
+        )
+        # ran to (almost) exact completion: result is a correct top-k up
+        # to the hair-thin theta
+        assert res.extras["guarantee"] <= 1.000001
+        assert is_correct_topk(db, AVERAGE, 2, res.objects) or (
+            is_theta_approximation(db, AVERAGE, 2, res.objects, 1.000001)
+        )
+
+    def test_early_view_guarantee_decreases_over_time(self):
+        db = datagen.uniform(500, 2, seed=8)
+        guarantees = []
+
+        def observer(view):
+            guarantees.append(view.guarantee)
+            return False
+
+        algo = ApproximateThresholdAlgorithm(theta=1.0001)
+        algo.run_interactive(algo.make_session(db), AVERAGE, 3, observer)
+        # the guarantee improves (weakly) as depth grows, once k objects
+        # are buffered and beta stabilises upward
+        assert guarantees[-1] <= guarantees[0]

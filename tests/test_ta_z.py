@@ -1,0 +1,109 @@
+"""Unit tests for TAZ (restricted sorted access, Section 7)."""
+
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE, MIN
+from repro.analysis import assert_result_correct
+from repro.core import HaltReason, RestrictedSortedAccessTA, ThresholdAlgorithm
+from repro.core.base import QueryError
+from repro.middleware import AccessSession
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("z", [[0], [1], [0, 1], [0, 2], [0, 1, 2]])
+    def test_any_z_yields_correct_topk(self, z, tiny_db):
+        session = AccessSession.sorted_only_on(tiny_db, z)
+        res = RestrictedSortedAccessTA().run(session, AVERAGE, 2)
+        assert_result_correct(tiny_db, AVERAGE, res)
+
+    def test_random_dbs(self):
+        for seed in range(3):
+            db = datagen.uniform(100, 3, seed=seed)
+            session = AccessSession.sorted_only_on(db, [0, 2])
+            res = RestrictedSortedAccessTA().run(session, MIN, 4)
+            assert_result_correct(db, MIN, res)
+
+    def test_full_z_equals_ta(self, tiny_db):
+        taz = RestrictedSortedAccessTA().run_on(tiny_db, AVERAGE, 2)
+        ta = ThresholdAlgorithm().run_on(tiny_db, AVERAGE, 2)
+        assert taz.objects == ta.objects
+        assert taz.sorted_accesses == ta.sorted_accesses
+
+
+class TestAccessDiscipline:
+    def test_never_sorted_accesses_outside_z(self, tiny_db):
+        session = AccessSession.sorted_only_on(tiny_db, [1])
+        res = RestrictedSortedAccessTA().run(session, AVERAGE, 1)
+        stats = res.stats
+        assert set(stats.sorted_by_list) <= {1}
+        assert_result_correct(tiny_db, AVERAGE, res)
+
+    def test_explicit_z_validated_against_session(self, tiny_db):
+        session = AccessSession.sorted_only_on(tiny_db, [0])
+        algo = RestrictedSortedAccessTA(z=[0, 1])
+        with pytest.raises(QueryError):
+            algo.run(session, MIN, 1)
+
+    def test_explicit_z_subset_of_allowed(self, tiny_db):
+        # session allows 0 and 1; algorithm restricts itself to 0
+        session = AccessSession.sorted_only_on(tiny_db, [0, 1])
+        res = RestrictedSortedAccessTA(z=[0]).run(session, AVERAGE, 1)
+        assert set(res.stats.sorted_by_list) <= {0}
+        assert_result_correct(tiny_db, AVERAGE, res)
+
+    def test_no_wild_guesses(self, tiny_db):
+        from repro.middleware import ListCapabilities
+
+        caps = [
+            ListCapabilities(sorted_allowed=(i == 0)) for i in range(3)
+        ]
+        session = AccessSession(
+            tiny_db, capabilities=caps, forbid_wild_guesses=True
+        )
+        res = RestrictedSortedAccessTA().run(session, AVERAGE, 1)
+        assert_result_correct(tiny_db, AVERAGE, res)
+
+
+class TestExample73:
+    def test_taz_scans_to_exhaustion(self):
+        """Figure 3: the threshold is stuck at >= 0.7 > 0.6 = t(R), so TAZ
+        reads list 1 to the very end (footnote 14's halting case)."""
+        n = 25
+        inst = datagen.example_7_3(n)
+        session = AccessSession.sorted_only_on(
+            inst.database, inst.restricted_sorted_lists
+        )
+        res = RestrictedSortedAccessTA().run(session, inst.aggregation, 1)
+        assert res.objects == ["R"]
+        assert res.halt_reason == HaltReason.EXHAUSTED
+        assert res.depth == n  # full scan of L1
+
+    def test_unrestricted_ta_is_cheap_on_same_database(self):
+        """The same database is easy with full sorted access."""
+        inst = datagen.example_7_3(25)
+        res = ThresholdAlgorithm().run_on(inst.database, inst.aggregation, 1)
+        assert res.objects == ["R"]
+        assert res.depth < 25
+
+    def test_cost_grows_linearly_with_n(self):
+        costs = []
+        for n in (10, 20, 40):
+            inst = datagen.example_7_3(n)
+            session = AccessSession.sorted_only_on(
+                inst.database, inst.restricted_sorted_lists
+            )
+            res = RestrictedSortedAccessTA().run(session, inst.aggregation, 1)
+            costs.append(res.middleware_cost)
+        assert costs[2] > costs[1] > costs[0]
+        assert costs[2] >= 3.5 * costs[0]  # ~linear
+
+
+class TestSingleListZ:
+    def test_ta_adapt_case(self, tiny_db):
+        """|Z| = 1 is the TA-Adapt algorithm of Bruno et al."""
+        session = AccessSession.sorted_only_on(tiny_db, [0])
+        res = RestrictedSortedAccessTA().run(session, MIN, 1)
+        assert_result_correct(tiny_db, MIN, res)
+        # m' = 1: only list 0 is sorted-accessed
+        assert set(res.stats.sorted_by_list) == {0}

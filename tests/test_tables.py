@@ -1,0 +1,87 @@
+"""Unit tests for the Table 1 bound formulas."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    ca_upper_bound_min,
+    ca_upper_bound_smv,
+    format_table_1,
+    nra_lower_bound_strict,
+    nra_upper_bound,
+    probabilistic_lower_bound,
+    ta_distinctness_upper_bound,
+    ta_lower_bound_strict,
+    ta_upper_bound,
+    table_1,
+    taz_upper_bound,
+    theorem_9_2_lower_bound,
+)
+from repro.middleware import CostModel
+
+
+class TestFormulas:
+    def test_ta_upper(self):
+        cm = CostModel(1.0, 2.0)
+        assert ta_upper_bound(3, cm) == pytest.approx(3 + 3 * 2 * 2.0)
+
+    def test_ta_upper_matches_lower_when_strict(self):
+        cm = CostModel(1.0, 5.0)
+        for m in (2, 3, 5):
+            assert ta_upper_bound(m, cm) == ta_lower_bound_strict(m, cm)
+
+    def test_ta_distinctness_symmetric_in_ratio(self):
+        # c = max(cR/cS, cS/cR) is symmetric under inversion
+        a = ta_distinctness_upper_bound(3, CostModel(1.0, 4.0))
+        b = ta_distinctness_upper_bound(3, CostModel(4.0, 1.0))
+        assert a == b == pytest.approx(4.0 * 9)
+
+    def test_taz_reduces_to_ta_when_z_full(self):
+        cm = CostModel(1.0, 3.0)
+        assert taz_upper_bound(4, 4, cm) == ta_upper_bound(4, cm)
+
+    def test_taz_scales_with_m_prime(self):
+        cm = CostModel(1.0, 3.0)
+        assert taz_upper_bound(1, 4, cm) == pytest.approx(
+            taz_upper_bound(4, 4, cm) / 4
+        )
+
+    def test_nra_bounds_tight(self):
+        assert nra_upper_bound(5) == nra_lower_bound_strict(5) == 5.0
+
+    def test_ca_bounds(self):
+        assert ca_upper_bound_smv(3, 2) == 14.0
+        assert ca_upper_bound_min(3) == 15.0
+
+    def test_ca_bounds_independent_of_cost_ratio(self):
+        # the whole point of CA: no cR/cS anywhere in the formula
+        assert ca_upper_bound_smv(4, 1) == ca_upper_bound_smv(4, 1)
+
+    def test_theorem_9_2_lower_grows_with_ratio(self):
+        lo = theorem_9_2_lower_bound(4, CostModel(1.0, 2.0))
+        hi = theorem_9_2_lower_bound(4, CostModel(1.0, 20.0))
+        assert hi == 10 * lo
+
+    def test_probabilistic_lower(self):
+        assert probabilistic_lower_bound(6) == 3.0
+
+
+class TestTableConstruction:
+    def test_cells_internally_consistent(self):
+        for ratio in (1.0, 2.0, 10.0):
+            cells = table_1(3, 2, CostModel(1.0, ratio))
+            for cell in cells:
+                assert cell.consistent(), cell
+
+    def test_wild_guess_cell_has_no_upper(self):
+        cells = table_1(3, 1, CostModel(1.0, 1.0))
+        wild = cells[0]
+        assert wild.upper is None
+        assert wild.lower == math.inf
+
+    def test_format_renders(self):
+        text = format_table_1(3, 2, CostModel(1.0, 5.0))
+        assert "Table 1" in text
+        assert "no wild guesses" in text
+        assert "NRA" in text

@@ -1,0 +1,75 @@
+"""Unit tests for the bounded top-k buffer (Theorem 4.2's data structure)."""
+
+import pytest
+
+from repro.core import TopKBuffer
+from repro.core.base import QueryError
+
+
+class TestBasics:
+    def test_fills_up_to_k(self):
+        buf = TopKBuffer(2)
+        assert not buf.full
+        buf.offer("a", 0.5)
+        buf.offer("b", 0.3)
+        assert buf.full
+        assert len(buf) == 2
+
+    def test_min_grade(self):
+        buf = TopKBuffer(2)
+        assert buf.min_grade == float("-inf")
+        buf.offer("a", 0.5)
+        buf.offer("b", 0.3)
+        assert buf.min_grade == 0.3
+
+    def test_eviction(self):
+        buf = TopKBuffer(2)
+        buf.offer("a", 0.5)
+        buf.offer("b", 0.3)
+        buf.offer("c", 0.9)
+        assert "b" not in buf
+        assert buf.items_desc() == [("c", 0.9), ("a", 0.5)]
+
+    def test_below_min_rejected_when_full(self):
+        buf = TopKBuffer(1)
+        buf.offer("a", 0.5)
+        assert not buf.offer("b", 0.4)
+        assert buf.items_desc() == [("a", 0.5)]
+
+    def test_k_validated(self):
+        with pytest.raises(QueryError):
+            TopKBuffer(0)
+
+
+class TestDistinctness:
+    def test_reoffering_same_object_is_idempotent(self):
+        # TA re-sees objects under sorted access in other lists; the
+        # buffer must not double-count them (Theorem 4.1's halting needs
+        # k *distinct* objects at the threshold)
+        buf = TopKBuffer(2)
+        buf.offer("a", 0.5)
+        buf.offer("a", 0.5)
+        assert len(buf) == 1
+        assert not buf.full
+
+    def test_tie_keeps_first_comer(self):
+        buf = TopKBuffer(1)
+        buf.offer("a", 0.5)
+        buf.offer("b", 0.5)  # tie: not strictly greater, keep "a"
+        assert "a" in buf and "b" not in buf
+
+
+class TestOrdering:
+    def test_items_desc_sorted(self):
+        buf = TopKBuffer(3)
+        for obj, g in [("a", 0.2), ("b", 0.9), ("c", 0.5)]:
+            buf.offer(obj, g)
+        grades = [g for _, g in buf.items_desc()]
+        assert grades == sorted(grades, reverse=True)
+
+    def test_large_stream(self):
+        buf = TopKBuffer(5)
+        for i in range(1000):
+            buf.offer(i, (i * 37 % 1000) / 1000)
+        grades = [g for _, g in buf.items_desc()]
+        assert grades == [0.999, 0.998, 0.997, 0.996, 0.995]

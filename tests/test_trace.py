@@ -1,0 +1,74 @@
+"""Unit tests for access traces."""
+
+from repro.middleware import RANDOM, SORTED, AccessSession
+from repro.core import ThresholdAlgorithm
+from repro.aggregation import AVERAGE
+
+
+class TestRecording:
+    def test_disabled_by_default(self, tiny_db):
+        s = AccessSession(tiny_db)
+        assert s.trace is None
+
+    def test_records_both_kinds(self, tiny_db):
+        s = AccessSession(tiny_db, record_trace=True)
+        s.sorted_access(0)
+        s.random_access(1, "a")
+        kinds = [e.kind for e in s.trace]
+        assert kinds == [SORTED, RANDOM]
+
+    def test_event_fields(self, tiny_db):
+        s = AccessSession(tiny_db, record_trace=True)
+        s.sorted_access(0)
+        event = s.trace.events[0]
+        assert event.obj == "a"
+        assert event.grade == 0.9
+        assert event.position == 0
+        assert event.list_index == 0
+
+    def test_counts(self, tiny_db):
+        s = AccessSession(tiny_db, record_trace=True)
+        s.sorted_access(0)
+        s.sorted_access(1)
+        s.random_access(2, "a")
+        counts = s.trace.counts()
+        assert counts[SORTED] == 2 and counts[RANDOM] == 1
+
+    def test_len_and_iter(self, tiny_db):
+        s = AccessSession(tiny_db, record_trace=True)
+        s.sorted_access(0)
+        assert len(s.trace) == 1
+        assert list(s.trace)[0].kind == SORTED
+
+
+class TestDerivedMetrics:
+    def test_duplicate_random_accesses(self, tiny_db):
+        s = AccessSession(tiny_db, record_trace=True)
+        s.random_access(0, "a")
+        s.random_access(0, "a")
+        s.random_access(1, "a")
+        assert s.trace.duplicate_random_accesses() == 1
+
+    def test_faithful_ta_pays_duplicates_cache_does_not(self, tiny_db):
+        s1 = AccessSession(tiny_db, record_trace=True)
+        ThresholdAlgorithm().run(s1, AVERAGE, 2)
+        s2 = AccessSession(tiny_db, record_trace=True)
+        ThresholdAlgorithm(remember_seen=True).run(s2, AVERAGE, 2)
+        assert s2.trace.duplicate_random_accesses() == 0
+        assert (
+            s1.trace.duplicate_random_accesses()
+            >= s2.trace.duplicate_random_accesses()
+        )
+
+    def test_lockstep_skew_for_ta(self, tiny_db):
+        s = AccessSession(tiny_db, record_trace=True)
+        ThresholdAlgorithm().run(s, AVERAGE, 1)
+        assert s.trace.max_lockstep_skew() <= 1
+
+    def test_format_table_truncates(self, tiny_db):
+        s = AccessSession(tiny_db, record_trace=True)
+        for _ in range(5):
+            s.sorted_access(0)
+        text = s.trace.format_table(limit=2)
+        assert "more events" in text
+        assert "step" in text.splitlines()[0]

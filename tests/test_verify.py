@@ -1,0 +1,111 @@
+"""Unit tests for the correctness verifiers."""
+
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE, MIN
+from repro.analysis import (
+    VerificationError,
+    assert_correct_topk,
+    assert_result_correct,
+    is_correct_topk,
+    is_theta_approximation,
+    true_topk_grades,
+)
+from repro.core import ThresholdAlgorithm
+from repro.core.result import RankedItem, TopKResult
+from repro.middleware import Database
+
+
+@pytest.fixture
+def db():
+    return Database.from_rows(
+        {
+            "w": (0.9, 0.9),
+            "x": (0.8, 0.8),
+            "y": (0.8, 0.8),  # tie with x under any symmetric t
+            "z": (0.1, 0.1),
+        }
+    )
+
+
+class TestIsCorrect:
+    def test_true_topk(self, db):
+        assert is_correct_topk(db, AVERAGE, 2, ["w", "x"])
+
+    def test_tie_swap_also_correct(self, db):
+        assert is_correct_topk(db, AVERAGE, 2, ["w", "y"])
+
+    def test_wrong_object_rejected(self, db):
+        assert not is_correct_topk(db, AVERAGE, 2, ["w", "z"])
+
+    def test_wrong_size_rejected(self, db):
+        assert not is_correct_topk(db, AVERAGE, 2, ["w"])
+
+    def test_duplicates_rejected(self, db):
+        with pytest.raises(VerificationError):
+            is_correct_topk(db, AVERAGE, 2, ["w", "w"])
+
+
+class TestThetaApprox:
+    def test_exact_answer_is_always_theta_approx(self, db):
+        assert is_theta_approximation(db, AVERAGE, 2, ["w", "x"], 1.5)
+
+    def test_near_miss_accepted_within_theta(self, db):
+        # z (grade .1) in place of x (.8): needs theta >= 8
+        assert not is_theta_approximation(db, AVERAGE, 2, ["w", "z"], 2.0)
+        assert is_theta_approximation(db, AVERAGE, 2, ["w", "z"], 8.0)
+
+    def test_k_mismatch_rejected(self, db):
+        assert not is_theta_approximation(db, AVERAGE, 2, ["w"], 10.0)
+
+
+class TestAsserts:
+    def test_assert_passes_quietly(self, db):
+        assert_correct_topk(db, AVERAGE, 2, ["w", "y"])
+
+    def test_assert_raises_with_diagnostics(self, db):
+        with pytest.raises(VerificationError) as err:
+            assert_correct_topk(db, AVERAGE, 2, ["w", "z"], context="demo")
+        assert "demo" in str(err.value)
+        assert "true top-2" in str(err.value)
+
+    def test_assert_result_checks_grades(self, db):
+        res = ThresholdAlgorithm().run_on(db, AVERAGE, 2)
+        assert_result_correct(db, AVERAGE, res)
+
+    def test_assert_result_catches_lying_grade(self, db):
+        fake = TopKResult(
+            algorithm="fake",
+            k=1,
+            items=[RankedItem("w", 0.123, 0.123, 0.123)],
+            stats=None,
+            rounds=0,
+            depth=0,
+            halt_reason="threshold",
+            max_buffer_size=1,
+        )
+        with pytest.raises(VerificationError):
+            assert_result_correct(db, AVERAGE, fake)
+
+    def test_assert_result_catches_bad_bounds(self, db):
+        fake = TopKResult(
+            algorithm="fake",
+            k=1,
+            items=[RankedItem("w", None, 0.95, 1.0)],  # truth is 0.9
+            stats=None,
+            rounds=0,
+            depth=0,
+            halt_reason="threshold",
+            max_buffer_size=1,
+        )
+        with pytest.raises(VerificationError):
+            assert_result_correct(db, AVERAGE, fake)
+
+
+class TestTrueTopK:
+    def test_grades_descending(self):
+        db = datagen.uniform(50, 2, seed=1)
+        grades = true_topk_grades(db, MIN, 5)
+        assert grades == sorted(grades, reverse=True)
+        assert len(grades) == 5
