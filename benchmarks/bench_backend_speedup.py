@@ -1,0 +1,152 @@
+"""Backend speedup benchmark: scalar vs columnar execution engine.
+
+Times TA and NRA over identical workloads on the two database backends
+(:class:`repro.middleware.database.Database` vs
+:class:`repro.middleware.database.ColumnarDatabase`), verifies on the
+fly that both backends return identical results and access accounting
+(the same invariant the differential test suite enforces), and writes
+the measurements to ``BENCH_backend.json`` at the repository root so
+future performance work has a trajectory to beat.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_backend_speedup.py           # full
+    PYTHONPATH=src python benchmarks/bench_backend_speedup.py --smoke   # CI
+
+The full grid is N in {10k, 100k} x m in {2, 5} with k=10 under the
+``average`` aggregation on uniform random grades (seeded); ``--smoke``
+shrinks N so the script's plumbing is exercised in a couple of seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.aggregation.standard import AVERAGE  # noqa: E402
+from repro.core.nra import NoRandomAccessAlgorithm  # noqa: E402
+from repro.core.ta import ThresholdAlgorithm  # noqa: E402
+from repro.middleware.database import ColumnarDatabase, Database  # noqa: E402
+
+SEED = 20260729
+K = 10
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_backend.json"
+
+
+def _signature(result):
+    stats = result.stats
+    return (
+        [(item.obj, item.grade, item.lower_bound, item.upper_bound)
+         for item in result.items],
+        stats.sorted_accesses,
+        stats.random_accesses,
+        stats.sorted_by_list,
+        stats.random_by_list,
+        stats.depth,
+        result.halt_reason,
+        result.rounds,
+    )
+
+
+def _time_run(algo, db, aggregation, k, repeats):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = algo.run_on(db, aggregation, k)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run(smoke: bool) -> dict:
+    if smoke:
+        grid = [(2_000, 2), (2_000, 5)]
+        repeats = 1
+    else:
+        grid = [(10_000, 2), (10_000, 5), (100_000, 2), (100_000, 5)]
+        repeats = 3
+    rng = np.random.default_rng(SEED)
+    report = {
+        "seed": SEED,
+        "k": K,
+        "aggregation": AVERAGE.name,
+        "smoke": smoke,
+        "repeats": repeats,
+        "runs": [],
+    }
+    for n, m in grid:
+        grades = rng.random((n, m))
+        scalar_db = Database.from_array(grades)
+        columnar_db = ColumnarDatabase.from_array(grades)
+        for algo_factory in (ThresholdAlgorithm, NoRandomAccessAlgorithm):
+            algo = algo_factory()
+            scalar_s, scalar_res = _time_run(
+                algo, scalar_db, AVERAGE, K, repeats
+            )
+            columnar_s, columnar_res = _time_run(
+                algo, columnar_db, AVERAGE, K, repeats
+            )
+            if _signature(scalar_res) != _signature(columnar_res):
+                raise AssertionError(
+                    f"backend divergence for {algo.name} at N={n} m={m}: "
+                    "results or access counts differ between scalar and "
+                    "columnar execution"
+                )
+            entry = {
+                "algorithm": algo.name,
+                "N": n,
+                "m": m,
+                "scalar_seconds": round(scalar_s, 6),
+                "columnar_seconds": round(columnar_s, 6),
+                "speedup": round(scalar_s / columnar_s, 2),
+                "sorted_accesses": scalar_res.stats.sorted_accesses,
+                "random_accesses": scalar_res.stats.random_accesses,
+                "depth": scalar_res.depth,
+            }
+            report["runs"].append(entry)
+            print(
+                f"{algo.name:4s} N={n:>7d} m={m}: "
+                f"scalar={scalar_s:8.3f}s columnar={columnar_s:8.3f}s "
+                f"speedup={entry['speedup']:6.2f}x  (accounting identical)"
+            )
+    return report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny grid for CI: exercises the script, not the hardware",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help=(
+            f"where to write the JSON report (default: {OUTPUT}; a smoke "
+            "run defaults to BENCH_backend.smoke.json so it never "
+            "clobbers the committed full-run numbers)"
+        ),
+    )
+    args = parser.parse_args()
+    output = args.output
+    if output is None:
+        output = (
+            OUTPUT.with_suffix(".smoke.json") if args.smoke else OUTPUT
+        )
+    report = run(args.smoke)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

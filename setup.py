@@ -1,7 +1,24 @@
-"""Shim for legacy editable installs (``pip install -e . --no-use-pep517``)
-on environments without the ``wheel`` package; all real metadata lives in
-pyproject.toml."""
+"""Packaging shim (there is no pyproject.toml in this tree; the
+reproduction is usually run straight from ``src`` via ``PYTHONPATH``).
 
-from setuptools import setup
+Declares the package layout explicitly so ``pip install .`` works and
+ships the ``py.typed`` marker (PEP 561) with the package data.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-fagin-middleware",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'Optimal Aggregation Algorithms for Middleware' "
+        "(Fagin, Lotem, Naor; PODS 2001)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    package_data={"repro": ["py.typed"]},
+    include_package_data=True,
+    zip_safe=False,
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

@@ -50,6 +50,7 @@ from .core import (
 from .middleware import (
     AccessSession,
     CostModel,
+    ColumnarDatabase,
     Database,
     GradedSource,
     ListCapabilities,
@@ -87,6 +88,7 @@ __all__ = [
     "AccessSession",
     "CostModel",
     "Database",
+    "ColumnarDatabase",
     "GradedSource",
     "ListCapabilities",
     "assemble_database",

@@ -41,6 +41,23 @@ the NRA and CA algorithms (Section 8 of the paper) are built on:
   ``t(R) <= B_S(R)``);
 * ``threshold`` -- the TA threshold ``tau = t(bottom_1, ..., bottom_m)``,
   which coincides with ``best_case`` of a completely unseen object.
+
+Batched evaluation
+------------------
+
+:meth:`AggregationFunction.aggregate_batch` evaluates the function on an
+``(n, m)`` grade matrix, returning an ``(n,)`` vector.  The columnar
+execution engine (:class:`repro.middleware.database.ColumnarDatabase` and
+the batched loops in :mod:`repro.core`) relies on it being **bit-for-bit
+identical** to ``n`` scalar :meth:`~AggregationFunction.aggregate` calls:
+access counts of the batched algorithms depend on exact float comparisons
+against thresholds, so a one-ulp drift could change a halting round.
+Vectorized overrides therefore accumulate *column by column in argument
+order* (see :func:`ordered_rowsum`), which performs the same IEEE
+operations in the same order as a left-to-right Python loop, instead of
+using pairwise-summing reductions like ``np.sum``.  The default
+implementation simply loops, so every custom function is batch-safe out
+of the box.
 """
 
 from __future__ import annotations
@@ -48,13 +65,40 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Mapping, Sequence
 
+import numpy as np
+
 __all__ = [
     "AggregationError",
     "ArityError",
     "AggregationFunction",
     "FunctionAdapter",
     "make_aggregation",
+    "ordered_rowsum",
+    "ordered_rowprod",
 ]
+
+
+def ordered_rowsum(rows: np.ndarray) -> np.ndarray:
+    """Row sums of an ``(n, m)`` matrix, accumulated column by column.
+
+    Performs the additions in argument order, making the result bitwise
+    equal to ``sum(row)`` evaluated left-to-right in Python -- unlike
+    ``np.sum(axis=1)``, whose pairwise reduction may reassociate for
+    large ``m``.
+    """
+    acc = rows[:, 0].copy()
+    for j in range(1, rows.shape[1]):
+        acc += rows[:, j]
+    return acc
+
+
+def ordered_rowprod(rows: np.ndarray) -> np.ndarray:
+    """Row products of an ``(n, m)`` matrix, accumulated in order (the
+    bitwise match of a left-to-right Python product loop)."""
+    acc = rows[:, 0].copy()
+    for j in range(1, rows.shape[1]):
+        acc *= rows[:, j]
+    return acc
 
 
 class AggregationError(ValueError):
@@ -107,6 +151,22 @@ class AggregationFunction(ABC):
     @abstractmethod
     def aggregate(self, grades: tuple[float, ...]) -> float:
         """Evaluate the function on an already-validated grade tuple."""
+
+    def aggregate_batch(self, rows: np.ndarray) -> np.ndarray:
+        """Evaluate the function on every row of an ``(n, m)`` matrix.
+
+        Returns an ``(n,)`` float64 vector whose entries are bit-for-bit
+        equal to scalar :meth:`aggregate` calls on the corresponding rows
+        (see the module docstring).  The base implementation loops;
+        subclasses override with order-preserving vectorized forms.
+        """
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.shape[0] == 0:
+            return np.empty(0, dtype=np.float64)
+        return np.array(
+            [self.aggregate(tuple(row)) for row in rows.tolist()],
+            dtype=np.float64,
+        )
 
     # ------------------------------------------------------------------
     # arity handling
@@ -186,8 +246,10 @@ class FunctionAdapter(AggregationFunction):
         strict: bool = False,
         strictly_monotone: bool = False,
         strictly_monotone_each_argument: bool = False,
+        batch_fn: Callable[["np.ndarray"], "np.ndarray"] | None = None,
     ):
         self._fn = fn
+        self._batch_fn = batch_fn
         self.name = name
         self.arity = arity
         self.monotone = monotone
@@ -202,6 +264,14 @@ class FunctionAdapter(AggregationFunction):
     def aggregate(self, grades: tuple[float, ...]) -> float:
         return self._fn(grades)
 
+    def aggregate_batch(self, rows: np.ndarray) -> np.ndarray:
+        if self._batch_fn is None:
+            return super().aggregate_batch(rows)
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.shape[0] == 0:
+            return np.empty(0, dtype=np.float64)
+        return np.asarray(self._batch_fn(rows), dtype=np.float64)
+
 
 def make_aggregation(
     fn: Callable[[tuple[float, ...]], float],
@@ -211,8 +281,14 @@ def make_aggregation(
     strict: bool = False,
     strictly_monotone: bool = False,
     strictly_monotone_each_argument: bool = False,
+    batch_fn: Callable[[np.ndarray], np.ndarray] | None = None,
 ) -> AggregationFunction:
-    """Convenience constructor for :class:`FunctionAdapter`."""
+    """Convenience constructor for :class:`FunctionAdapter`.
+
+    ``batch_fn``, when given, vectorizes the function over an ``(n, m)``
+    matrix; it must be bit-for-bit consistent with ``fn`` (see the module
+    docstring).  Without it, batched callers fall back to a loop.
+    """
     return FunctionAdapter(
         fn,
         name=name,
@@ -221,4 +297,5 @@ def make_aggregation(
         strict=strict,
         strictly_monotone=strictly_monotone,
         strictly_monotone_each_argument=strictly_monotone_each_argument,
+        batch_fn=batch_fn,
     )

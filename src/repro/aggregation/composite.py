@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
+import numpy as np
+
 from .base import AggregationError, AggregationFunction
 
 __all__ = [
@@ -49,6 +51,12 @@ class MinOfSumFirstTwo(AggregationFunction):
     def aggregate(self, grades: tuple[float, ...]) -> float:
         return min(grades[0] + grades[1], *grades[2:])
 
+    def aggregate_batch(self, rows: np.ndarray) -> np.ndarray:
+        acc = rows[:, 0] + rows[:, 1]
+        for j in range(2, rows.shape[1]):
+            acc = np.minimum(acc, rows[:, j])
+        return acc
+
 
 class Example73Aggregation(AggregationFunction):
     """The 3-ary function of Example 7.3.
@@ -69,6 +77,11 @@ class Example73Aggregation(AggregationFunction):
         if z == 1.0:
             return min(x, y)
         return min(x, y, z) / 2.0
+
+    def aggregate_batch(self, rows: np.ndarray) -> np.ndarray:
+        x, y, z = rows[:, 0], rows[:, 1], rows[:, 2]
+        min_xy = np.minimum(x, y)
+        return np.where(z == 1.0, min_xy, np.minimum(min_xy, z) / 2.0)
 
 
 class MinOfFirstTwo(AggregationFunction):
@@ -91,6 +104,9 @@ class MinOfFirstTwo(AggregationFunction):
 
     def aggregate(self, grades: tuple[float, ...]) -> float:
         return min(grades[0], grades[1])
+
+    def aggregate_batch(self, rows: np.ndarray) -> np.ndarray:
+        return np.minimum(rows[:, 0], rows[:, 1])
 
 
 class Transformed(AggregationFunction):
@@ -126,6 +142,14 @@ class Transformed(AggregationFunction):
 
     def aggregate(self, grades: tuple[float, ...]) -> float:
         return self._transform(self._inner.aggregate(grades))
+
+    def aggregate_batch(self, rows: np.ndarray) -> np.ndarray:
+        inner = self._inner.aggregate_batch(rows)
+        # the outer transform is an arbitrary Python callable: apply it
+        # per element so batched results match the scalar path exactly
+        return np.array(
+            [self._transform(v) for v in inner.tolist()], dtype=np.float64
+        )
 
     def heuristic_weight(self, index: int, m: int) -> float:
         return self._inner.heuristic_weight(index, m)

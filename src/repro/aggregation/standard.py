@@ -8,7 +8,17 @@ and Franklin).  ``median`` appears in Section 8 as an example where the
 lower bound ``W`` becomes informative before all fields are known.
 
 Property flags follow the paper's definitions exactly; see
-:mod:`repro.aggregation.base`.  Notable subtleties:
+:mod:`repro.aggregation.base`.  Every class also overrides
+``aggregate_batch`` with an order-preserving vectorized form that is
+bit-for-bit identical to its scalar ``aggregate`` (sums accumulate
+column-by-column in argument order rather than via ``math.fsum`` or
+pairwise reductions, precisely so that the scalar and batched execution
+paths cannot disagree on a single ulp).  This is a deliberate trade:
+the sum-family aggregates gave up ``fsum``'s correct rounding (results
+may differ from an exactly-rounded sum in the last ulp) in exchange for
+the engines' bit-for-bit scalar/columnar equivalence -- one consistent
+answer everywhere beats two differently-rounded ones.  Notable
+subtleties:
 
 * ``sum`` is *not* strict (``t(1,...,1) = m != 1``), while ``average`` is.
 * ``product`` is strict and strictly monotone but *not* strictly monotone in
@@ -23,7 +33,14 @@ from __future__ import annotations
 import math
 from collections.abc import Sequence
 
-from .base import AggregationError, AggregationFunction
+import numpy as np
+
+from .base import (
+    AggregationError,
+    AggregationFunction,
+    ordered_rowprod,
+    ordered_rowsum,
+)
 
 __all__ = [
     "Min",
@@ -60,6 +77,9 @@ class Min(AggregationFunction):
     def aggregate(self, grades: tuple[float, ...]) -> float:
         return min(grades)
 
+    def aggregate_batch(self, rows: np.ndarray) -> np.ndarray:
+        return np.min(rows, axis=1)
+
 
 class Max(AggregationFunction):
     """``t = max(x1, ..., xm)`` -- the standard fuzzy disjunction.
@@ -79,6 +99,9 @@ class Max(AggregationFunction):
     def aggregate(self, grades: tuple[float, ...]) -> float:
         return max(grades)
 
+    def aggregate_batch(self, rows: np.ndarray) -> np.ndarray:
+        return np.max(rows, axis=1)
+
 
 class Sum(AggregationFunction):
     """``t = x1 + ... + xm`` -- the information-retrieval total score.
@@ -92,7 +115,12 @@ class Sum(AggregationFunction):
     strictly_monotone_each_argument = True
 
     def aggregate(self, grades: tuple[float, ...]) -> float:
-        return math.fsum(grades)
+        # plain left-to-right summation, the bitwise twin of the
+        # column-ordered batched form (see module docstring)
+        return sum(grades)
+
+    def aggregate_batch(self, rows: np.ndarray) -> np.ndarray:
+        return ordered_rowsum(rows)
 
 
 class Average(AggregationFunction):
@@ -108,7 +136,10 @@ class Average(AggregationFunction):
     strictly_monotone_each_argument = True
 
     def aggregate(self, grades: tuple[float, ...]) -> float:
-        return math.fsum(grades) / len(grades)
+        return sum(grades) / len(grades)
+
+    def aggregate_batch(self, rows: np.ndarray) -> np.ndarray:
+        return ordered_rowsum(rows) / rows.shape[1]
 
 
 class WeightedSum(AggregationFunction):
@@ -136,14 +167,22 @@ class WeightedSum(AggregationFunction):
         self.name = f"weighted-sum{list(round(w, 4) for w in weights)}"
         self.strictly_monotone = True
         self.strictly_monotone_each_argument = True
-        self.strict = abs(math.fsum(weights) - 1.0) < 1e-12
+        # judged with the same summation aggregate() uses, so the flag
+        # matches the evaluated function exactly (strict <=> t(1..1) == 1)
+        self.strict = self.aggregate((1.0,) * len(weights)) == 1.0
 
     @property
     def weights(self) -> tuple[float, ...]:
         return self._weights
 
     def aggregate(self, grades: tuple[float, ...]) -> float:
-        return math.fsum(w * g for w, g in zip(self._weights, grades))
+        return sum(w * g for w, g in zip(self._weights, grades))
+
+    def aggregate_batch(self, rows: np.ndarray) -> np.ndarray:
+        acc = rows[:, 0] * self._weights[0]
+        for j in range(1, rows.shape[1]):
+            acc += rows[:, j] * self._weights[j]
+        return acc
 
     def heuristic_weight(self, index: int, m: int) -> float:
         return self._weights[index]
@@ -167,6 +206,9 @@ class Product(AggregationFunction):
             result *= g
         return result
 
+    def aggregate_batch(self, rows: np.ndarray) -> np.ndarray:
+        return ordered_rowprod(rows)
+
 
 class GeometricMean(AggregationFunction):
     """``t = (x1 * ... * xm) ** (1/m)``.
@@ -184,6 +226,15 @@ class GeometricMean(AggregationFunction):
             product *= g
         return product ** (1.0 / len(grades))
 
+    def aggregate_batch(self, rows: np.ndarray) -> np.ndarray:
+        exponent = 1.0 / rows.shape[1]
+        # numpy's vectorized power is not bit-identical to CPython's
+        # float.__pow__, so the root is taken per element
+        return np.array(
+            [p ** exponent for p in ordered_rowprod(rows).tolist()],
+            dtype=np.float64,
+        )
+
 
 class HarmonicMean(AggregationFunction):
     """``t = m / (1/x1 + ... + 1/xm)``, defined as 0 if any ``xi = 0``."""
@@ -195,7 +246,16 @@ class HarmonicMean(AggregationFunction):
     def aggregate(self, grades: tuple[float, ...]) -> float:
         if any(g == 0.0 for g in grades):
             return 0.0
-        return len(grades) / math.fsum(1.0 / g for g in grades)
+        return len(grades) / sum(1.0 / g for g in grades)
+
+    def aggregate_batch(self, rows: np.ndarray) -> np.ndarray:
+        with np.errstate(divide="ignore"):
+            acc = 1.0 / rows[:, 0]
+            for j in range(1, rows.shape[1]):
+                acc += 1.0 / rows[:, j]
+            out = rows.shape[1] / acc
+        out[(rows == 0.0).any(axis=1)] = 0.0
+        return out
 
 
 class Median(AggregationFunction):
@@ -215,6 +275,13 @@ class Median(AggregationFunction):
         if odd:
             return ordered[mid]
         return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+    def aggregate_batch(self, rows: np.ndarray) -> np.ndarray:
+        ordered = np.sort(rows, axis=1)
+        mid, odd = divmod(rows.shape[1], 2)
+        if odd:
+            return ordered[:, mid].copy()
+        return (ordered[:, mid - 1] + ordered[:, mid]) / 2.0
 
 
 class KthLargest(AggregationFunction):
@@ -244,6 +311,9 @@ class KthLargest(AggregationFunction):
     def aggregate(self, grades: tuple[float, ...]) -> float:
         return sorted(grades, reverse=True)[self._j - 1]
 
+    def aggregate_batch(self, rows: np.ndarray) -> np.ndarray:
+        return np.sort(rows, axis=1)[:, rows.shape[1] - self._j].copy()
+
 
 class Constant(AggregationFunction):
     """``t = c`` regardless of the grades.
@@ -259,6 +329,9 @@ class Constant(AggregationFunction):
 
     def aggregate(self, grades: tuple[float, ...]) -> float:
         return self._value
+
+    def aggregate_batch(self, rows: np.ndarray) -> np.ndarray:
+        return np.full(rows.shape[0], self._value, dtype=np.float64)
 
 
 #: Shared stateless instances for the common cases.

@@ -14,9 +14,9 @@ monotone functions (Lukasiewicz, drastic), which the paper points out exist
 
 from __future__ import annotations
 
-import math
+import numpy as np
 
-from .base import AggregationFunction
+from .base import AggregationFunction, ordered_rowsum
 
 __all__ = [
     "LukasiewiczTNorm",
@@ -42,7 +42,10 @@ class LukasiewiczTNorm(AggregationFunction):
     strictly_monotone = False
 
     def aggregate(self, grades: tuple[float, ...]) -> float:
-        return max(0.0, math.fsum(grades) - (len(grades) - 1))
+        return max(0.0, sum(grades) - (len(grades) - 1))
+
+    def aggregate_batch(self, rows: np.ndarray) -> np.ndarray:
+        return np.maximum(0.0, ordered_rowsum(rows) - (rows.shape[1] - 1))
 
 
 def _fold(binary, grades: tuple[float, ...]) -> float:
@@ -74,6 +77,16 @@ class HamacherProduct(AggregationFunction):
     def aggregate(self, grades: tuple[float, ...]) -> float:
         return _fold(self._binary, grades)
 
+    def aggregate_batch(self, rows: np.ndarray) -> np.ndarray:
+        acc = rows[:, 0].copy()
+        for j in range(1, rows.shape[1]):
+            y = rows[:, j]
+            zero = (acc == 0.0) & (y == 0.0)
+            with np.errstate(invalid="ignore"):
+                acc = (acc * y) / (acc + y - acc * y)
+            acc[zero] = 0.0
+        return acc
+
 
 class EinsteinProduct(AggregationFunction):
     """Einstein t-norm ``E(x, y) = xy / (2 - (x + y - xy))``, folded."""
@@ -88,6 +101,13 @@ class EinsteinProduct(AggregationFunction):
 
     def aggregate(self, grades: tuple[float, ...]) -> float:
         return _fold(self._binary, grades)
+
+    def aggregate_batch(self, rows: np.ndarray) -> np.ndarray:
+        acc = rows[:, 0].copy()
+        for j in range(1, rows.shape[1]):
+            y = rows[:, j]
+            acc = (acc * y) / (2.0 - (acc + y - acc * y))
+        return acc
 
 
 class DrasticProduct(AggregationFunction):
@@ -110,6 +130,13 @@ class DrasticProduct(AggregationFunction):
             return below_one[0]
         return 0.0
 
+    def aggregate_batch(self, rows: np.ndarray) -> np.ndarray:
+        below = (rows < 1.0).sum(axis=1)
+        # when exactly one grade is below 1 it is also the row minimum
+        return np.where(
+            below == 0, 1.0, np.where(below == 1, rows.min(axis=1), 0.0)
+        )
+
 
 class ProbabilisticSum(AggregationFunction):
     """t-conorm ``S(x) = 1 - prod(1 - xi)`` (noisy-or).
@@ -128,6 +155,12 @@ class ProbabilisticSum(AggregationFunction):
             result *= 1.0 - g
         return 1.0 - result
 
+    def aggregate_batch(self, rows: np.ndarray) -> np.ndarray:
+        acc = 1.0 - rows[:, 0]
+        for j in range(1, rows.shape[1]):
+            acc *= 1.0 - rows[:, j]
+        return 1.0 - acc
+
 
 class BoundedSum(AggregationFunction):
     """t-conorm ``S(x) = min(1, x1 + ... + xm)``.
@@ -140,4 +173,7 @@ class BoundedSum(AggregationFunction):
     strictly_monotone = False
 
     def aggregate(self, grades: tuple[float, ...]) -> float:
-        return min(1.0, math.fsum(grades))
+        return min(1.0, sum(grades))
+
+    def aggregate_batch(self, rows: np.ndarray) -> np.ndarray:
+        return np.minimum(1.0, ordered_rowsum(rows))

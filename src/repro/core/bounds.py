@@ -33,6 +33,29 @@ updates).  This store instead keeps two lazily-invalidated max-heaps:
 ``naive`` mode disables the heaps and rescans everything per check, both
 as a correctness oracle for the tests and for the Remark 8.7 ablation
 benchmark.
+
+Two additions serve the batched execution engine:
+
+``record_round``
+    bulk-records one lockstep round of sorted accesses with the
+    substituted ``W``/``B`` rows built inline (no per-field mapping
+    genexprs) and heap entries pushed in one pass, preserving the exact
+    mid-round bottoms each cached ``B`` would have seen under scalar
+    ``record`` calls -- the ``B``-heap pop order, and hence CA's choice
+    of random-access target, is bit-for-bit reproducible.  (NRA's
+    chunked engine goes further still and ingests whole speculated
+    chunks inline; see :mod:`repro.core.nra`.)
+
+``current_mk``
+    the exact value ``M_k`` (the k-th largest ``W``), maintained
+    incrementally in O(log k) per ``W`` update.  ``M_k`` as a *value*
+    is tie-independent even though the *membership* of ``T_k`` is not,
+    so the batched NRA/CA loops use it to gate the per-round halting
+    check: while ``t(bottoms) > M_k`` (and unseen objects remain)
+    halting is impossible and neither ``current_topk`` nor the viability
+    scan needs to run.  The multiset of the k largest ``W`` values is
+    preserved by every update (``W`` never decreases), which makes the
+    lazy min-heap below exact, not heuristic.
 """
 
 from __future__ import annotations
@@ -40,9 +63,11 @@ from __future__ import annotations
 import heapq
 from typing import Hashable
 
+import numpy as np
+
 from ..aggregation.base import AggregationFunction
 
-__all__ = ["CandidateStore"]
+__all__ = ["CandidateStore", "ArrayCandidateStore"]
 
 
 class CandidateStore:
@@ -67,8 +92,17 @@ class CandidateStore:
         self._b_heap: list[tuple[float, int, Hashable, int]] = []
         self._seq = 0
         self._never_viable: set[Hashable] = set()
-        #: number of B evaluations performed (for the bookkeeping ablation)
+        #: number of B evaluations performed (for the bookkeeping
+        #: ablation).  NOTE: backend-dependent by design -- the columnar
+        #: engines' M_k gate, witness shortcut, and lazy-heap pruning
+        #: legitimately skip evaluations the scalar loop performs, so
+        #: compare this metric only between runs on the same backend
+        #: (results and AccessStats are backend-identical; this internal
+        #: work counter is not).
         self.b_evaluations = 0
+        # incremental M_k: lazy min-heap over the k largest W values
+        self._mk_heap: list[tuple[float, int, Hashable]] = []
+        self._mk_members: dict[Hashable, float] = {}
 
     # ------------------------------------------------------------------
     # updates
@@ -94,7 +128,110 @@ class CandidateStore:
             heapq.heappush(
                 self._b_heap, (-self.b_value(obj), self._seq, obj, version)
             )
+            self._mk_note(obj, self.w[obj])
         return True
+
+    def record_round(
+        self,
+        objects: list,
+        list_indices: list,
+        grades: list,
+    ) -> None:
+        """Bulk-record one lockstep round: entry ``p`` is object
+        ``objects[p]`` discovered in list ``list_indices[p]`` with grade
+        ``grades[p]``, lists in ascending order (at most one entry per
+        list).
+
+        Equivalent to the scalar sequence
+        ``update_bottom(i, g); record(obj, i, g)`` per entry, with the
+        substituted ``W``/``B`` rows built inline (no per-field mapping
+        genexprs) and the heap entries pushed in one pass.  Cached ``B``
+        values see the same mid-round bottoms as scalar ``record``
+        calls, so the downstream heap order is identical.
+        """
+        t = self.t
+        m = self.m
+        fields = self.fields
+        bottoms = self.bottoms
+        w_map = self.w
+        versions = self._version
+        naive = self.naive
+        aggregate = t.aggregate
+        for p in range(len(objects)):
+            i = list_indices[p]
+            g = grades[p]
+            bottoms[i] = g
+            obj = objects[p]
+            known = fields.setdefault(obj, {})
+            if i in known:
+                continue  # re-discovered field: scalar record is a no-op
+            known[i] = g
+            worst = [0.0] * m
+            for j, kg in known.items():
+                worst[j] = kg
+            w = aggregate(tuple(worst))
+            w_map[obj] = w
+            version = versions.get(obj, 0) + 1
+            versions[obj] = version
+            if not naive:
+                best = bottoms.copy()
+                for j, kg in known.items():
+                    best[j] = kg
+                b = aggregate(tuple(best))
+                self.b_evaluations += 1
+                self._seq += 1
+                heapq.heappush(self._w_heap, (-w, self._seq, obj, version))
+                self._seq += 1
+                heapq.heappush(self._b_heap, (-b, self._seq, obj, version))
+                self._mk_note(obj, w)
+
+    # ------------------------------------------------------------------
+    # incremental M_k (k-th largest W; see module docstring)
+    # ------------------------------------------------------------------
+    def _mk_note(self, obj: Hashable, w: float) -> None:
+        members = self._mk_members
+        current = members.get(obj)
+        if current is not None:
+            if w != current:
+                members[obj] = w
+                self._seq += 1
+                heapq.heappush(self._mk_heap, (w, self._seq, obj))
+        elif len(members) < self.k:
+            members[obj] = w
+            self._seq += 1
+            heapq.heappush(self._mk_heap, (w, self._seq, obj))
+        else:
+            floor = self._mk_clean()
+            if w > floor:
+                _, _, evicted = heapq.heappop(self._mk_heap)
+                del members[evicted]
+                members[obj] = w
+                self._seq += 1
+                heapq.heappush(self._mk_heap, (w, self._seq, obj))
+
+    def _mk_clean(self) -> float:
+        """Drop stale heap roots; return the current smallest member W."""
+        heap = self._mk_heap
+        members = self._mk_members
+        while heap:
+            w, _, obj = heap[0]
+            if members.get(obj) == w:
+                return w
+            heapq.heappop(heap)
+        return float("-inf")
+
+    def current_mk(self) -> float:
+        """``M_k``, the k-th largest ``W`` over all seen objects
+        (``-inf`` while fewer than ``k`` objects have been seen).
+
+        Identical to the ``m_k`` returned by :meth:`current_topk` -- the
+        value is tie-independent -- but O(log k) amortised instead of
+        O(k log N) per call, so the batched loops use it to gate the
+        full halting check.
+        """
+        if len(self._mk_members) < self.k:
+            return float("-inf")
+        return self._mk_clean()
 
     # ------------------------------------------------------------------
     # queries
@@ -276,3 +413,56 @@ class CandidateStore:
         for entry in pushback:
             heapq.heappush(self._b_heap, entry)
         return best[1] if best is not None else None
+
+
+class ArrayCandidateStore(CandidateStore):
+    """Row-keyed, array-backed candidate store for the chunked NRA engine.
+
+    Candidates are row indices into an ``(N, m)`` float64 field matrix
+    (NaN = unknown) that the engine fills with one vectorised scatter per
+    chunk instead of per-entry dict updates.  Only the members the
+    halting machinery reads (``b_value`` / ``fully_known`` /
+    ``exact_grade`` / ``seen_count``) are overridden; the lazy heaps,
+    the incremental ``M_k`` tracker, and ``find_viable_outside`` work
+    unchanged because they only ever touch candidates through those
+    hooks.  ``fields`` dicts are *not* maintained -- this store is not
+    for the record()-based algorithms (CA, Stream-Combine keep the dict
+    store).
+    """
+
+    def __init__(
+        self,
+        aggregation: AggregationFunction,
+        m: int,
+        k: int,
+        num_rows: int,
+    ):
+        super().__init__(aggregation, m, k, naive=False)
+        self.field_matrix = np.full((num_rows, m), np.nan, dtype=np.float64)
+        self.seen_count_value = 0
+
+    @property
+    def seen_count(self) -> int:
+        return self.seen_count_value
+
+    def b_value(self, row) -> float:
+        """Fresh ``B`` from the field matrix (bitwise equal to the dict
+        store's ``best_case`` substitution)."""
+        self.b_evaluations += 1
+        bottoms = self.bottoms
+        vec = self.field_matrix[row].tolist()
+        return self.t.aggregate(
+            tuple(
+                bottoms[j] if g != g else g  # NaN check via g != g
+                for j, g in enumerate(vec)
+            )
+        )
+
+    def fully_known(self, row) -> bool:
+        vec = self.field_matrix[row]
+        return not np.isnan(vec).any()
+
+    def exact_grade(self, row) -> float | None:
+        if self.fully_known(row):
+            return self.w[row]
+        return None

@@ -80,23 +80,38 @@ class CombinedAlgorithm(TopKAlgorithm):
         escape_clauses = 0
         halt_reason = None
         topk: list = []
+        # like NRA: the naive oracle keeps the scalar loop (current_mk
+        # relies on the heap bookkeeping)
+        batched = session.supports_batches and not self.naive_bookkeeping
 
         while halt_reason is None:
             rounds += 1
-            progressed = False
-            for i in range(m):
-                entry = session.sorted_access(i)
-                if entry is None:
-                    continue
-                progressed = True
-                obj, grade = entry
-                store.update_bottom(i, grade)
-                store.record(obj, i, grade)
+            if batched:
+                rb = session.sorted_access_round()
+                progressed = bool(rb)
+                if progressed:
+                    store.record_round(rb.objects, rb.lists, rb.grades)
+            else:
+                progressed = False
+                for i in range(m):
+                    entry = session.sorted_access(i)
+                    if entry is None:
+                        continue
+                    progressed = True
+                    obj, grade = entry
+                    store.update_bottom(i, grade)
+                    store.record(obj, i, grade)
 
             if progressed and rounds % h == 0:
                 # random-access phase: fully resolve the most promising
-                # viable object that still has missing fields
-                _, m_k = store.current_topk()
+                # viable object that still has missing fields.  The
+                # B-greedy choice needs only the value M_k, which the
+                # batched path reads from the O(log k) incremental
+                # tracker instead of a full top-k recomputation.
+                if batched:
+                    m_k = store.current_mk()
+                else:
+                    _, m_k = store.current_topk()
                 target = store.best_random_access_target(m_k)
                 if target is None:
                     escape_clauses += 1
@@ -113,11 +128,18 @@ class CombinedAlgorithm(TopKAlgorithm):
                 rounds % self.halt_check_interval == 0 or not progressed
             )
             if check_now and store.seen_count >= k:
-                topk, m_k = store.current_topk()
                 unseen_remain = store.seen_count < session.num_objects
-                if not (unseen_remain and store.threshold > m_k):
-                    if store.find_viable_outside(topk, m_k) is None:
-                        halt_reason = HaltReason.NO_VIABLE
+                if batched:
+                    m_k = store.current_mk()
+                    if not (unseen_remain and store.threshold > m_k):
+                        topk, m_k = store.current_topk()
+                        if store.find_viable_outside(topk, m_k) is None:
+                            halt_reason = HaltReason.NO_VIABLE
+                else:
+                    topk, m_k = store.current_topk()
+                    if not (unseen_remain and store.threshold > m_k):
+                        if store.find_viable_outside(topk, m_k) is None:
+                            halt_reason = HaltReason.NO_VIABLE
             if halt_reason is None and not progressed:
                 topk, _ = store.current_topk()
                 halt_reason = HaltReason.EXHAUSTED

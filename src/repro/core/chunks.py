@@ -1,0 +1,133 @@
+"""Shared chunk assembly for the speculative columnar engines.
+
+Both chunked engines (TA's ``_execute_columnar`` and NRA's
+``_run_columnar``) speculate the next ``chunk_rounds`` rounds' worth of
+sorted entries through the uncharged columnar view.  The delicate
+conventions live here, once:
+
+* entries are ordered exactly as the scalar loops consume them -- a
+  stable sort by (round, list index), with within-list slice order
+  preserved (``np.lexsort`` is stable);
+* list ``i`` contributes ``batches[i]`` entries per round (entry ``e``
+  of a list belongs to round ``e // batches[i]``), thinning out as the
+  list nears exhaustion but never producing an empty round before
+  ``c_eff``;
+* the per-round bottoms matrix carries each list's last seen grade past
+  its exhaustion (and the caller's current bottom before the list's
+  first entry), so row ``r`` is exactly the scalar loop's bottom vector
+  after round ``r``.
+
+The engines must charge whatever prefix of the chunk they consume via
+the session's batched access methods; nothing here touches accounting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SortedChunk", "assemble_sorted_chunk"]
+
+
+@dataclass
+class SortedChunk:
+    """One speculated run of lockstep rounds, in scalar consumption
+    order."""
+
+    #: entries available per list (aligned with the caller's list set)
+    counts: list[int]
+    #: backing row index per entry
+    rows: np.ndarray
+    #: grade per entry
+    grades: np.ndarray
+    #: round index per entry (non-decreasing)
+    rounds: np.ndarray
+    #: source list index per entry
+    lists: np.ndarray
+    #: number of entries
+    total: int
+    #: number of rounds present (max round index + 1)
+    c_eff: int
+    #: ``(c_eff, m)`` bottoms after each round, exhaustion-carried
+    bottoms_matrix: np.ndarray
+
+    def consumed_upto(self, consumed_rounds: int) -> int:
+        """Number of entries in rounds ``< consumed_rounds``."""
+        if consumed_rounds >= self.c_eff:
+            return self.total
+        return int(
+            np.searchsorted(self.rounds, consumed_rounds, side="left")
+        )
+
+
+def assemble_sorted_chunk(
+    order_rows: Sequence[np.ndarray],
+    order_grades: Sequence[np.ndarray],
+    positions: Sequence[int],
+    sorted_lists: Sequence[int],
+    batches: Sequence[int],
+    chunk_rounds: int,
+    num_objects: int,
+    m: int,
+    bottoms: Sequence[float],
+) -> SortedChunk | None:
+    """Slice the next ``chunk_rounds`` rounds from the columnar view.
+
+    Returns ``None`` when every list in ``sorted_lists`` is already
+    exhausted (the zero-progress round).
+    """
+    counts: list[int] = []
+    rows_parts: list[np.ndarray] = []
+    grade_parts: list[np.ndarray] = []
+    round_parts: list[np.ndarray] = []
+    list_parts: list[np.ndarray] = []
+    for idx, i in enumerate(sorted_lists):
+        b = batches[idx]
+        c = min(chunk_rounds * b, num_objects - positions[i])
+        counts.append(c)
+        if c == 0:
+            continue
+        pos = positions[i]
+        rows_parts.append(order_rows[i][pos : pos + c])
+        grade_parts.append(order_grades[i][pos : pos + c])
+        round_parts.append(np.arange(c, dtype=np.intp) // b)
+        list_parts.append(np.full(c, i, dtype=np.intp))
+    if not rows_parts:
+        return None
+    rows_all = np.concatenate(rows_parts)
+    grades_all = np.concatenate(grade_parts)
+    rounds_all = np.concatenate(round_parts)
+    lists_all = np.concatenate(list_parts)
+    if len(rows_parts) > 1:
+        # stable: primary key round, secondary key list index -- the
+        # scalar loops' exact consumption order
+        order = np.lexsort((lists_all, rounds_all))
+        rows_all = rows_all[order]
+        grades_all = grades_all[order]
+        rounds_all = rounds_all[order]
+        lists_all = lists_all[order]
+    c_eff = int(rounds_all[-1]) + 1
+    bott = np.empty((c_eff, m), dtype=np.float64)
+    for j in range(m):
+        bott[:, j] = bottoms[j]
+    part = 0
+    for idx, i in enumerate(sorted_lists):
+        c = counts[idx]
+        if c == 0:
+            continue
+        b = batches[idx]
+        idxs = np.minimum((np.arange(c_eff, dtype=np.intp) + 1) * b, c) - 1
+        bott[:, i] = grade_parts[part][idxs]
+        part += 1
+    return SortedChunk(
+        counts=counts,
+        rows=rows_all,
+        grades=grades_all,
+        rounds=rounds_all,
+        lists=lists_all,
+        total=rows_all.shape[0],
+        c_eff=c_eff,
+        bottoms_matrix=bott,
+    )

@@ -20,16 +20,42 @@ as an oracle in tests and measured in the bookkeeping ablation).
 ``halt_check_interval`` trades halting-check work for (slightly) late
 stops -- checking every ``c`` rounds can overshoot the paper's halting
 depth by at most ``c - 1`` rounds.
+
+Execution backends: on a columnar session
+(:attr:`~repro.middleware.access.AccessSession.supports_batches`) NRA
+runs a speculative chunked engine that is bit-for-bit equivalent to
+the scalar loop (differential-tested: same top-k, same halting round
+and reason, same access accounting).  Per chunk of lockstep rounds,
+read ahead through the uncharged ``columnar_view``: every entry's
+``W`` and cached ``B`` and every round's threshold come from one
+``aggregate_batch`` each, the rounds are then replayed in scalar
+order against an :class:`~repro.core.bounds.ArrayCandidateStore`
+(fields committed with one vectorised scatter), and only the consumed
+prefix is charged through ``sorted_access_batch``.  Three
+decision-neutral gates keep the sequential part tiny: while
+``t(bottoms) > theta * M_k`` (with unseen objects remaining) no
+halting check can succeed, so none runs; entries whose ``W``/cached
+``B`` sit below the non-decreasing ``M_k`` floor skip the lazy heaps
+entirely; and each failed halting check yields a *viability witness*
+-- a seen object outside every possible ``T_k`` (``W < M_k``) that is
+still viable (``B > theta * M_k``) -- whose standing proves
+``find_viable_outside`` would return non-``None``, letting the full
+top-k/viability scan be skipped until the witness falls.
 """
 
 from __future__ import annotations
+
+import heapq
+
+import numpy as np
 
 from ..aggregation.base import AggregationFunction
 from ..middleware.access import AccessSession, ListCapabilities
 from ..middleware.cost import UNIT_COSTS, CostModel
 from ..middleware.database import Database
 from .base import TopKAlgorithm
-from .bounds import CandidateStore
+from .bounds import ArrayCandidateStore, CandidateStore
+from .chunks import assemble_sorted_chunk
 from .result import HaltReason, RankedItem, TopKResult
 
 __all__ = ["NoRandomAccessAlgorithm"]
@@ -82,6 +108,10 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
     def _run(
         self, session: AccessSession, aggregation: AggregationFunction, k: int
     ) -> TopKResult:
+        # the chunked engine needs the heap bookkeeping (for current_mk),
+        # so the Remark 8.7 naive oracle always runs the scalar loop
+        if session.supports_batches and not self.naive_bookkeeping:
+            return self._run_columnar(session, aggregation, k)
         m = session.num_lists
         store = CandidateStore(aggregation, m, k, naive=self.naive_bookkeeping)
         rounds = 0
@@ -115,11 +145,311 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
                 topk, _ = store.current_topk()
                 halt_reason = HaltReason.EXHAUSTED
 
+        return self._finish(session, store, k, rounds, halt_reason, topk)
+
+    def _run_columnar(
+        self, session: AccessSession, aggregation: AggregationFunction, k: int
+    ) -> TopKResult:
+        """The speculative chunked engine (see the module docstring).
+
+        Candidates are row indices into an
+        :class:`~repro.core.bounds.ArrayCandidateStore`: per chunk, every
+        entry's ``W`` and cached ``B`` and every round's threshold come
+        from one ``aggregate_batch`` each; the field matrix is committed
+        with a single vectorised scatter (synced early only at the rare
+        full halting checks); and the sequential part of the scan visits
+        only the entries that actually touch the lazy heaps.
+
+        Decision-neutral lazy-store refinements (sound because ``M_k``
+        never decreases and ``W`` per object never decreases):
+
+        * an entry whose ``W`` is below the chunk-start ``M_k`` floor can
+          never enter the top-``k``, so its ``W``-heap push (and, if its
+          ``B`` is also pruned, its version bump) is skipped;
+        * an entry whose cached ``B`` is at or below the floor can never
+          be viable again, so its ``B``-heap push is skipped -- the same
+          permanent discard ``find_viable_outside`` would apply later;
+        * each failed halting check yields a *viability witness*: an
+          object outside every possible ``T_k`` (``W < M_k``) that is
+          still viable (``B > theta * M_k``).  While it stands --
+          checked against a per-chunk vectorised ``B`` trajectory --
+          ``find_viable_outside`` would certainly return non-``None``,
+          so the full top-k/viability scan is skipped.
+        """
+        db = session.columnar_view()
+        order_rows = db._order_rows
+        order_grades = db._order_grades
+        n = db.num_objects
+        m = session.num_lists
+        store = ArrayCandidateStore(aggregation, m, k, n)
+        field_matrix = store.field_matrix
+        seen_rows = np.zeros(n, dtype=bool)
+        w_map = store.w
+        versions = store._version
+        w_heap = store._w_heap
+        b_heap = store._b_heap
+        mk_members = store._mk_members
+        mk_note = store._mk_note
+        heappush = heapq.heappush
+        interval = self.halt_check_interval
+        check_every_round = interval == 1
+        theta = self.theta
+        bottoms = store.bottoms
+        positions = [session.position(i) for i in range(m)]
+        rounds = 0
+        halt_reason = None
+        topk: list = []
+        witness = None
+        chunk_rounds = 32
+
+        while halt_reason is None:
+            if all(positions[i] >= n for i in range(m)):
+                # zero-progress round: full check, then EXHAUSTED
+                rounds += 1
+                if store.seen_count_value >= k:
+                    topk, m_k = store.current_topk()
+                    cutoff = m_k if theta == 1.0 else theta * m_k
+                    if not (
+                        store.seen_count_value < n and store.threshold > cutoff
+                    ):
+                        if store.find_viable_outside(topk, cutoff) is None:
+                            halt_reason = HaltReason.NO_VIABLE
+                if halt_reason is None:
+                    topk, _ = store.current_topk()
+                    halt_reason = HaltReason.EXHAUSTED
+                break
+            # ---- chunk assembly (uncharged view reads) ----
+            chunk = assemble_sorted_chunk(
+                order_rows,
+                order_grades,
+                positions,
+                range(m),
+                (1,) * m,
+                chunk_rounds,
+                n,
+                m,
+                bottoms,
+            )
+            counts = chunk.counts
+            rows_all = chunk.rows
+            grades_all = chunk.grades
+            rounds_all = chunk.rounds
+            lists_all = chunk.lists
+            total = chunk.total
+            c_eff = chunk.c_eff
+            entry_range = np.arange(total, dtype=np.intp)
+            # last entry index of round r (rounds may thin out near the
+            # end of a list, but never vanish before c_eff)
+            round_ends = (
+                np.searchsorted(
+                    rounds_all, np.arange(1, c_eff + 1, dtype=np.intp)
+                )
+                - 1
+            )
+            # ---- per-entry known-field rows ----
+            # chunk-start state + own field, then a sequential overlay for
+            # the entries of objects appearing more than once in the chunk
+            k_matrix = field_matrix[rows_all]
+            k_matrix[entry_range, lists_all] = grades_all
+            group = np.lexsort((entry_range, rows_all))
+            prev_e = group[:-1]
+            next_e = group[1:]
+            same = rows_all[prev_e] == rows_all[next_e]
+            dup_pairs = np.stack(
+                [prev_e[same], next_e[same]], axis=1
+            ).tolist()
+            lists_list = lists_all.tolist()
+            grades_list = grades_all.tolist()
+            for prev_p, cur_p in dup_pairs:
+                own = grades_list[cur_p]
+                k_matrix[cur_p] = k_matrix[prev_p]
+                k_matrix[cur_p, lists_list[cur_p]] = own
+            # distinct-object count per round
+            first_in_chunk = np.zeros(total, dtype=bool)
+            first_in_chunk[np.unique(rows_all, return_index=True)[1]] = True
+            new_mask = first_in_chunk & ~seen_rows[rows_all]
+            seen_cum = np.cumsum(new_mask)[round_ends].tolist()
+            seen_base = store.seen_count_value
+            # ---- vectorised W, bottoms, thresholds, cached B ----
+            unknown = np.isnan(k_matrix)
+            w_list = aggregation.aggregate_batch(
+                np.where(unknown, 0.0, k_matrix)
+            ).tolist()
+            bott = chunk.bottoms_matrix
+            tau_list = aggregation.aggregate_batch(bott).tolist()
+            bott_rows = bott.tolist()
+            bott_entries = np.empty((total, m), dtype=np.float64)
+            for j in range(m):
+                ej = np.nonzero(lists_all == j)[0]
+                if ej.size == 0:
+                    bott_entries[:, j] = bottoms[j]
+                    continue
+                ff = np.searchsorted(ej, entry_range, side="right")
+                col = grades_all[ej[np.maximum(ff - 1, 0)]]
+                bott_entries[:, j] = np.where(ff == 0, bottoms[j], col)
+            b_arr = aggregation.aggregate_batch(
+                np.where(unknown, bott_entries, k_matrix)
+            )
+            b_list = b_arr.tolist()
+            # ---- lazy-store floors (sound: M_k never decreases) ----
+            if len(mk_members) < k:
+                w_keep = b_keep = None
+                kept = entry_range.tolist()
+            else:
+                floor = store._mk_clean()
+                w_arr = np.asarray(w_list)
+                w_keep_arr = w_arr >= floor
+                b_keep_arr = b_arr > floor
+                w_keep = w_keep_arr.tolist()
+                b_keep = b_keep_arr.tolist()
+                kept = np.nonzero(w_keep_arr | b_keep_arr)[0].tolist()
+            rows_list = rows_all.tolist()
+            rounds_list = rounds_all.tolist()
+            # witness bookkeeping for this chunk
+            witness_b: list[float] | None = None
+            if witness is not None:
+                gain_rounds = rounds_all[
+                    np.nonzero(rows_all == witness)[0]
+                ].tolist()
+            else:
+                gain_rounds = []
+            gain_ptr = 0
+            synced = 0
+
+            def sync_fields(upto: int) -> None:
+                nonlocal synced
+                if upto > synced:
+                    field_matrix[
+                        rows_all[synced:upto], lists_all[synced:upto]
+                    ] = grades_all[synced:upto]
+                    synced = upto
+
+            # ---- sequential replay: kept entries + per-round checks ----
+            seq = store._seq
+            ki = 0
+            klen = len(kept)
+            r_halt = None
+            for r in range(c_eff):
+                while ki < klen:
+                    e = kept[ki]
+                    if rounds_list[e] != r:
+                        break
+                    row = rows_list[e]
+                    version = versions.get(row, 0) + 1
+                    versions[row] = version
+                    if w_keep is None or w_keep[e]:
+                        w = w_list[e]
+                        w_map[row] = w
+                        seq += 1
+                        heappush(w_heap, (-w, seq, row, version))
+                        store._seq = seq
+                        mk_note(row, w)
+                        seq = store._seq
+                    if b_keep is None or b_keep[e]:
+                        seq += 1
+                        heappush(b_heap, (-b_list[e], seq, row, version))
+                    ki += 1
+                if check_every_round or (rounds + r + 1) % interval == 0:
+                    seen_r = seen_base + seen_cum[r]
+                    if seen_r >= k:
+                        if len(mk_members) < k:
+                            m_k = float("-inf")
+                        else:
+                            m_k = store._mk_clean()
+                        cutoff = m_k if theta == 1.0 else theta * m_k
+                        skip = seen_r < n and tau_list[r] > cutoff
+                        if not skip and witness is not None:
+                            # outside every possible T_k needs W < M_k;
+                            # viability needs fresh B > theta * M_k
+                            while (
+                                gain_ptr < len(gain_rounds)
+                                and gain_rounds[gain_ptr] <= r
+                            ):
+                                witness_b = None
+                                gain_ptr += 1
+                            w_wit = w_map.get(witness)
+                            if w_wit is not None and w_wit < m_k:
+                                if witness_b is None:
+                                    sync_fields(round_ends[r] + 1)
+                                    wit_rows = bott.copy()
+                                    wit_vec = field_matrix[witness].tolist()
+                                    for j, g in enumerate(wit_vec):
+                                        if g == g:
+                                            wit_rows[:, j] = g
+                                    witness_b = aggregation.aggregate_batch(
+                                        wit_rows
+                                    ).tolist()
+                                if witness_b[r] > cutoff:
+                                    skip = True
+                        if not skip:
+                            sync_fields(round_ends[r] + 1)
+                            bottoms[:] = bott_rows[r]
+                            store.seen_count_value = seen_r
+                            store._seq = seq
+                            topk, m_k = store.current_topk()
+                            cutoff = m_k if theta == 1.0 else theta * m_k
+                            if not (seen_r < n and store.threshold > cutoff):
+                                found = store.find_viable_outside(
+                                    topk, cutoff
+                                )
+                                if found is None:
+                                    halt_reason = HaltReason.NO_VIABLE
+                                    r_halt = r
+                                else:
+                                    witness = found[0]
+                                    witness_b = None
+                                    gain_rounds = rounds_all[
+                                        np.nonzero(rows_all == witness)[0]
+                                    ].tolist()
+                                    gain_ptr = int(
+                                        np.searchsorted(
+                                            gain_rounds, r, side="right"
+                                        )
+                                    )
+                            else:
+                                witness = None
+                                witness_b = None
+                            seq = store._seq
+                            if r_halt is not None:
+                                break
+            store._seq = seq
+            consumed = r_halt + 1 if r_halt is not None else c_eff
+            upto = chunk.consumed_upto(consumed)
+            # ---- commit: field scatter, seen set, charges ----
+            sync_fields(upto)
+            seen_rows[rows_all[:upto]] = True
+            store.seen_count_value = seen_base + seen_cum[consumed - 1]
+            store.b_evaluations += upto
+            bottoms[:] = bott_rows[consumed - 1]
+            for i in range(m):
+                c = min(consumed, counts[i])
+                if c:
+                    session.sorted_access_batch(i, c)
+                    positions[i] += c
+            rounds += consumed
+            chunk_rounds = min(chunk_rounds * 2, 2048)
+
+        return self._finish(
+            session, store, k, rounds, halt_reason, topk, ids=db._ids
+        )
+
+    def _finish(
+        self,
+        session: AccessSession,
+        store: CandidateStore,
+        k: int,
+        rounds: int,
+        halt_reason,
+        topk: list,
+        ids: list | None = None,
+    ) -> TopKResult:
+        """Assemble the result; ``ids`` translates row-keyed candidates
+        (the columnar engine's store) back to object ids."""
         items = []
         for obj in topk:
             items.append(
                 RankedItem(
-                    obj,
+                    obj if ids is None else ids[obj],
                     store.exact_grade(obj),
                     store.w[obj],
                     store.b_value(obj),

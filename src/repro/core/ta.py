@@ -25,6 +25,22 @@ Two implementation switches:
     The practical variant with an unbounded seen-cache that skips
     duplicate random accesses -- the memory/cost trade-off the paper
     discusses after Theorem 4.2, measurable via ``max_buffer_size``.
+
+Execution backends: when the session reports
+:attr:`~repro.middleware.access.AccessSession.supports_batches` (columnar
+database, no trace), TA runs on a *speculative chunked engine*: it scans
+a chunk of upcoming rounds through the uncharged
+:meth:`~repro.middleware.access.AccessSession.columnar_view`, computes
+every candidate overall grade and every round's threshold in one
+``aggregate_batch`` each, replays the paper's per-round loop (buffer
+offers, threshold test, exhaustion test -- all via the same hooks the
+scalar loop uses) to locate the exact halting round, then charges
+exactly the consumed prefix through ``sorted_access_batch`` /
+``random_access_batch``.  Results, halting reason, rounds, and every
+access count are identical to the scalar reference loop -- the
+differential test suite holds the two paths equal bit for bit; the
+speculative read-ahead is an engine-level device that never influences
+the output (see ``columnar_view``'s contract).
 """
 
 from __future__ import annotations
@@ -33,9 +49,12 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from typing import Hashable
 
+import numpy as np
+
 from ..aggregation.base import AggregationFunction
 from ..middleware.access import AccessSession
 from .base import QueryError, TopKAlgorithm, TopKBuffer
+from .chunks import assemble_sorted_chunk
 from .result import HaltReason, RankedItem, TopKResult
 
 __all__ = ["ThresholdAlgorithm", "EarlyStopView"]
@@ -127,6 +146,10 @@ class ThresholdAlgorithm(TopKAlgorithm):
                 f"{len(sorted_lists)} sorted-accessible lists"
             )
         batches = self.batch_sizes or (1,) * len(sorted_lists)
+        if session.supports_batches:
+            return self._execute_columnar(
+                session, aggregation, k, observer, sorted_lists, batches, m
+            )
         buffer = TopKBuffer(k)
         bottoms = [1.0] * m
         cache: dict[Hashable, dict[int, float]] | None = (
@@ -176,6 +199,214 @@ class ThresholdAlgorithm(TopKAlgorithm):
                     # one list ran dry mid-run: every object has appeared in
                     # it, hence has been seen and resolved already
                     halt_reason = HaltReason.EXHAUSTED
+
+        tau = aggregation.aggregate(tuple(bottoms))
+        beta = buffer.min_grade
+        items = [
+            RankedItem(obj, grade, grade, grade)
+            for obj, grade in buffer.items_desc()
+        ]
+        return TopKResult(
+            algorithm=self.name,
+            k=k,
+            items=items,
+            stats=session.stats(),
+            rounds=rounds,
+            depth=session.depth,
+            halt_reason=halt_reason,
+            max_buffer_size=max_buffer,
+            extras={
+                "final_threshold": tau,
+                "guarantee": max(1.0, tau / beta) if beta > 0 else float("inf"),
+            },
+        )
+
+    def _execute_columnar(
+        self,
+        session: AccessSession,
+        aggregation: AggregationFunction,
+        k: int,
+        observer: Callable[[EarlyStopView], bool] | None,
+        sorted_lists: Sequence[int],
+        batches: Sequence[int],
+        m: int,
+    ) -> TopKResult:
+        """The speculative chunked engine (see the module docstring).
+
+        Per chunk: read the next ``chunk_rounds`` rounds' worth of sorted
+        entries through the uncharged columnar view, compute every
+        overall grade and every round's threshold vectorised, replay the
+        paper's rounds sequentially (through the same
+        ``_halt_on_threshold`` / observer hooks as the scalar loop) to
+        find the exact halting round, then charge precisely the consumed
+        prefix through the session's batched access methods.
+        """
+        db = session.columnar_view()
+        matrix = db._matrix
+        order_rows = db._order_rows
+        order_grades = db._order_grades
+        n = db.num_objects
+        buffer = TopKBuffer(k)
+        offer = buffer.offer
+        bottoms = [1.0] * m
+        cache: dict[Hashable, dict[int, float]] | None = (
+            {} if self.remember_seen else None
+        )
+        positions = [session.position(i) for i in range(m)]
+        rounds = 0
+        max_buffer = 0
+        halt_reason = None
+        chunk_rounds = 32
+
+        while halt_reason is None:
+            # ---- speculative chunk assembly (uncharged view reads) ----
+            chunk = assemble_sorted_chunk(
+                order_rows,
+                order_grades,
+                positions,
+                sorted_lists,
+                batches,
+                chunk_rounds,
+                n,
+                m,
+                bottoms,
+            )
+            if chunk is None:
+                # phantom round on a fully exhausted database: replay the
+                # scalar tail exactly (threshold, observer, exhaustion)
+                rounds += 1
+                tau = aggregation.aggregate(tuple(bottoms))
+                if self._halt_on_threshold(buffer, tau):
+                    halt_reason = HaltReason.THRESHOLD
+                elif observer is not None and buffer.full:
+                    view = EarlyStopView(
+                        round=rounds,
+                        depth=max(positions),
+                        items=tuple(buffer.items_desc()),
+                        tau=tau,
+                        beta=buffer.min_grade,
+                    )
+                    if observer(view):
+                        halt_reason = HaltReason.INTERACTIVE
+                if halt_reason is None:
+                    halt_reason = HaltReason.EXHAUSTED
+                break
+            counts = chunk.counts
+            rows_all = chunk.rows
+            grades_all = chunk.grades
+            rounds_all = chunk.rounds
+            lists_all = chunk.lists
+            total = chunk.total
+            c_eff = chunk.c_eff
+            bott = chunk.bottoms_matrix
+            overall_arr = aggregation.aggregate_batch(matrix[rows_all])
+            overall = overall_arr.tolist()
+            objs_all = db.ids_for_rows(rows_all)
+            rounds_list = rounds_all.tolist()
+            tau_list = aggregation.aggregate_batch(bott).tolist()
+            # first round (if any) in which some list runs dry
+            exhaust_round = None
+            for idx, i in enumerate(sorted_lists):
+                c = counts[idx]
+                if positions[i] + c >= n:
+                    r = (c - 1) // batches[idx] if c > 0 else 0
+                    if exhaust_round is None or r < exhaust_round:
+                        exhaust_round = r
+            # prefilter: entries that cannot enter the buffer (grade not
+            # strictly above the current floor) are skipped -- offer()
+            # would reject them unchanged, and the floor only rises
+            if buffer.full:
+                accepted = np.nonzero(overall_arr > buffer.min_grade)[0].tolist()
+            else:
+                accepted = list(range(total))
+            # ---- exact sequential replay of the paper's rounds ----
+            halt_round = None
+            ai = 0
+            acc_len = len(accepted)
+            for r in range(c_eff):
+                while ai < acc_len and rounds_list[accepted[ai]] == r:
+                    p = accepted[ai]
+                    offer(objs_all[p], overall[p])
+                    ai += 1
+                tau = tau_list[r]
+                if self._halt_on_threshold(buffer, tau):
+                    halt_reason = HaltReason.THRESHOLD
+                    halt_round = r
+                    break
+                if observer is not None and buffer.full:
+                    depth = 0
+                    for idx, i in enumerate(sorted_lists):
+                        d = positions[i] + min(
+                            (r + 1) * batches[idx], counts[idx]
+                        )
+                        if d > depth:
+                            depth = d
+                    view = EarlyStopView(
+                        round=rounds + r + 1,
+                        depth=depth,
+                        items=tuple(buffer.items_desc()),
+                        tau=tau,
+                        beta=buffer.min_grade,
+                    )
+                    if observer(view):
+                        halt_reason = HaltReason.INTERACTIVE
+                        halt_round = r
+                        break
+                if exhaust_round is not None and r >= exhaust_round:
+                    halt_reason = HaltReason.EXHAUSTED
+                    halt_round = r
+                    break
+            consumed = halt_round + 1 if halt_round is not None else c_eff
+            # ---- commit: charge exactly the consumed prefix ----
+            for idx, i in enumerate(sorted_lists):
+                c = min(consumed * batches[idx], counts[idx])
+                if c:
+                    session.sorted_access_batch(i, c)
+                    positions[i] += c
+            upto = chunk.consumed_upto(consumed)
+            bottoms[:] = bott[consumed - 1].tolist()
+            rows_prefix = rows_all[:upto]
+            lists_prefix = lists_all[:upto]
+            if cache is None:
+                if m > 1:
+                    # bounded-buffer TA: every entry re-pays m - 1
+                    # random accesses, order-independent per list
+                    for j in range(m):
+                        mask = lists_prefix != j
+                        rows_j = rows_prefix[mask]
+                        if rows_j.size:
+                            session.random_access_batch(j, None, rows=rows_j)
+            else:
+                # seen-cache: plan sequentially in scalar order so
+                # duplicates skip exactly the same accesses
+                pending_objs: list[list] = [[] for _ in range(m)]
+                pending_rows: list[list[int]] = [[] for _ in range(m)]
+                rows_pref = rows_prefix.tolist()
+                lists_pref = lists_prefix.tolist()
+                grades_pref = grades_all[:upto].tolist()
+                for p in range(upto):
+                    obj = objs_all[p]
+                    known = cache.setdefault(obj, {})
+                    known[lists_pref[p]] = grades_pref[p]
+                    for j in range(m):
+                        if j not in known:
+                            known[j] = None  # filled after the gather
+                            pending_objs[j].append(obj)
+                            pending_rows[j].append(rows_pref[p])
+                for j in range(m):
+                    if pending_objs[j]:
+                        fetched = session.random_access_batch(
+                            j,
+                            pending_objs[j],
+                            rows=np.asarray(pending_rows[j], dtype=np.intp),
+                        )
+                        for obj, g in zip(pending_objs[j], fetched.tolist()):
+                            cache[obj][j] = g
+            rounds += consumed
+            size = len(buffer) + (len(cache) if cache is not None else 0)
+            if size > max_buffer:
+                max_buffer = size
+            chunk_rounds = min(chunk_rounds * 2, 4096)
 
         tau = aggregation.aggregate(tuple(bottoms))
         beta = buffer.min_grade

@@ -7,9 +7,15 @@ named object's grade, cost ``cR``) through an accounted
 :class:`~repro.middleware.access.AccessSession`.
 """
 
-from .access import AccessSession, AccessStats, ListCapabilities
+from .access import (
+    AccessSession,
+    AccessStats,
+    ListCapabilities,
+    RoundBatch,
+    SortedBatch,
+)
 from .cost import UNIT_COSTS, CostModel
-from .database import Database
+from .database import ColumnarDatabase, Database
 from .errors import (
     AccessError,
     CapabilityError,
@@ -30,6 +36,9 @@ __all__ = [
     "CostModel",
     "UNIT_COSTS",
     "Database",
+    "ColumnarDatabase",
+    "SortedBatch",
+    "RoundBatch",
     "MiddlewareError",
     "DatabaseError",
     "AccessError",

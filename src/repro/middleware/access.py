@@ -15,6 +15,39 @@ A session wraps a :class:`~repro.middleware.database.Database` and
 
 Algorithms receive a session, never a database, so the access counts and
 middleware cost reported by a run are trustworthy by construction.
+
+Batched access plane
+--------------------
+
+The scalar methods (:meth:`AccessSession.sorted_access`,
+:meth:`AccessSession.random_access`) charge one access per call.  Three
+batched methods amortise the Python-level cost of the paper's inner
+loops **without changing the cost accounting in any way**:
+
+* :meth:`AccessSession.sorted_access_batch` pops the next ``n`` entries
+  of one list and charges exactly the number of entries returned (a
+  batch overrunning the end of the list returns, and charges, only what
+  exists -- exhaustion stays free);
+* :meth:`AccessSession.sorted_access_round` performs one sorted access
+  on every sorted-capable, non-exhausted list in list order (the
+  lockstep round of NRA/CA), charging one access per entry returned;
+* :meth:`AccessSession.random_access_batch` fetches the grades of many
+  objects from one list and charges ``len(objects)`` accesses --
+  including repeats, exactly like the scalar method.
+
+Semantics are identical to issuing the equivalent scalar calls in
+order: per-list counters, depth, wild-guess certification (a batch that
+hits a wild guess charges the accesses *before* the offending object,
+then raises, just as a scalar loop would have), capability checks and
+trace events are all preserved.  When a trace is recorded, the batch
+methods internally fall back to the scalar loop so the event stream is
+byte-identical; when the database is a
+:class:`~repro.middleware.database.ColumnarDatabase` (and no trace is
+recorded), they instead serve array slices and fancy-indexed gathers in
+O(1) Python operations per batch.  :attr:`AccessSession.supports_batches`
+tells algorithms whether that fast path is active; the batched loops in
+:mod:`repro.core` use it to pick between the scalar reference loop and
+the columnar one.
 """
 
 from __future__ import annotations
@@ -23,12 +56,25 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Hashable
 
+import numpy as np
+
 from .cost import CostModel, UNIT_COSTS
-from .database import Database
-from .errors import CapabilityError, UnknownListError, WildGuessError
+from .database import ColumnarDatabase, Database
+from .errors import (
+    CapabilityError,
+    UnknownListError,
+    UnknownObjectError,
+    WildGuessError,
+)
 from .trace import RANDOM, SORTED, AccessEvent, AccessTrace
 
-__all__ = ["ListCapabilities", "AccessStats", "AccessSession"]
+__all__ = [
+    "ListCapabilities",
+    "AccessStats",
+    "AccessSession",
+    "SortedBatch",
+    "RoundBatch",
+]
 
 
 @dataclass(frozen=True)
@@ -64,6 +110,45 @@ class AccessStats:
             f"s={self.sorted_accesses} r={self.random_accesses} "
             f"cost={self.middleware_cost:g} depth={self.depth}"
         )
+
+
+@dataclass(frozen=True)
+class SortedBatch:
+    """Result of one :meth:`AccessSession.sorted_access_batch` call.
+
+    ``objects[p]`` / ``grades[p]`` is the ``p``-th entry popped;
+    ``rows`` holds the backing row indices when the database is columnar
+    (``None`` on the scalar backend), letting callers hand them back to
+    :meth:`AccessSession.random_access_batch` to skip id interning.
+    """
+
+    list_index: int
+    objects: list
+    grades: np.ndarray
+    rows: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def __bool__(self) -> bool:
+        return bool(self.objects)
+
+
+@dataclass(frozen=True)
+class RoundBatch:
+    """Result of one :meth:`AccessSession.sorted_access_round` call: one
+    entry per sorted-capable, non-exhausted list, in list order."""
+
+    lists: list
+    objects: list
+    grades: list
+    rows: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def __bool__(self) -> bool:
+        return bool(self.objects)
 
 
 class AccessSession:
@@ -113,6 +198,9 @@ class AccessSession:
         self._random_by_list = [0] * m
         self._seen_sorted: set[Hashable] = set()
         self.trace: AccessTrace | None = AccessTrace() if record_trace else None
+        self._columnar: ColumnarDatabase | None = (
+            database if isinstance(database, ColumnarDatabase) else None
+        )
 
     # ------------------------------------------------------------------
     # convenience constructors for the paper's scenarios
@@ -225,6 +313,178 @@ class AccessSession:
                 )
             )
         return grade
+
+    # ------------------------------------------------------------------
+    # the batched access plane (same accounting, amortised overhead; see
+    # the module docstring)
+    # ------------------------------------------------------------------
+    @property
+    def supports_batches(self) -> bool:
+        """True when batched accesses are served by array slices (columnar
+        database, no trace recording).  The batch methods work either
+        way; this flag lets algorithms pick their faster inner loop."""
+        return self._columnar is not None and self.trace is None
+
+    def columnar_view(self) -> ColumnarDatabase | None:
+        """The raw columnar storage, for *speculative* engine execution
+        (``None`` unless :attr:`supports_batches`).
+
+        Contract: reads through the view are uncharged and carry no
+        model-level meaning.  An engine may scan ahead through the view
+        to locate the exact round at which the paper's sequential
+        algorithm halts, but every entry that influences its *output*
+        must afterwards be realised -- and thereby charged -- through
+        the session's (batched) access methods, consuming exactly the
+        prefix the scalar reference loop would have consumed.  The
+        reported :class:`AccessStats` therefore still describe the
+        paper's algorithm faithfully; speculation is an engine-level
+        device (in the spirit of hardware speculative execution), and
+        the differential test suite holds the engines to bit-for-bit
+        equality with the scalar reference loops -- results, halting
+        reasons, and access accounting alike.
+        """
+        if self._columnar is not None and self.trace is None:
+            return self._columnar
+        return None
+
+    def sorted_access_batch(self, list_index: int, n: int) -> SortedBatch:
+        """Pop up to ``n`` entries of list ``list_index``.
+
+        Charges exactly the number of entries returned; a batch that
+        overruns the end of the list returns only the remaining entries
+        (possibly zero), and exhaustion itself stays free of charge.
+        """
+        if n < 0:
+            raise ValueError(f"batch size must be >= 0, got {n}")
+        self._check_list(list_index)
+        if not self._capabilities[list_index].sorted_allowed:
+            raise CapabilityError("sorted", list_index)
+        db = self._columnar
+        if db is None or self.trace is not None:
+            objects: list = []
+            grades: list[float] = []
+            for _ in range(n):
+                entry = self.sorted_access(list_index)
+                if entry is None:
+                    break
+                objects.append(entry[0])
+                grades.append(entry[1])
+            return SortedBatch(
+                list_index, objects, np.asarray(grades, dtype=np.float64)
+            )
+        position = self._positions[list_index]
+        count = min(n, db.num_objects - position)
+        if count <= 0:
+            return SortedBatch(
+                list_index, [], np.empty(0, dtype=np.float64), None
+            )
+        rows = db._order_rows[list_index][position : position + count]
+        grades = db._order_grades[list_index][position : position + count]
+        # the slice views the database's own arrays; freeze it so a
+        # mutating caller cannot corrupt the shared orderings
+        rows.flags.writeable = False
+        grades.flags.writeable = False
+        objects = db.ids_for_rows(rows)
+        self._positions[list_index] = position + count
+        self._sorted_by_list[list_index] += count
+        self._seen_sorted.update(objects)
+        return SortedBatch(list_index, objects, grades, rows)
+
+    def sorted_access_round(self) -> RoundBatch:
+        """One sorted access on every sorted-capable, non-exhausted list,
+        in list order -- the lockstep round of NRA and CA.  Charges one
+        access per entry returned."""
+        db = self._columnar
+        if db is None or self.trace is not None:
+            lists: list[int] = []
+            objects: list = []
+            grades: list[float] = []
+            for i, caps in enumerate(self._capabilities):
+                if not caps.sorted_allowed:
+                    continue
+                entry = self.sorted_access(i)
+                if entry is None:
+                    continue
+                lists.append(i)
+                objects.append(entry[0])
+                grades.append(entry[1])
+            return RoundBatch(lists, objects, grades)
+        n = db.num_objects
+        lists = []
+        row_list: list[int] = []
+        grades = []
+        positions = self._positions
+        sorted_by_list = self._sorted_by_list
+        for i, caps in enumerate(self._capabilities):
+            if not caps.sorted_allowed:
+                continue
+            position = positions[i]
+            if position >= n:
+                continue
+            lists.append(i)
+            row_list.append(int(db._order_rows[i][position]))
+            grades.append(float(db._order_grades[i][position]))
+            positions[i] = position + 1
+            sorted_by_list[i] += 1
+        rows = np.asarray(row_list, dtype=np.intp)
+        objects = db.ids_for_rows(rows)
+        self._seen_sorted.update(objects)
+        return RoundBatch(lists, objects, grades, rows)
+
+    def random_access_batch(
+        self,
+        list_index: int,
+        objects: Sequence[Hashable] | None,
+        rows: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Fetch the grades of ``objects`` in list ``list_index``,
+        charging one random access per object (repeats included).
+
+        ``rows`` may carry the columnar row indices (e.g. from a
+        :class:`SortedBatch`) to skip the id interning table; at least
+        one of ``objects``/``rows`` must be given.  If the no-wild-guess
+        certificate is armed and some object was never seen under sorted
+        access, the objects *before* it are charged (their grades were
+        already served), then :class:`WildGuessError` is raised --
+        exactly the accounting of the equivalent scalar loop.
+        """
+        self._check_list(list_index)
+        if not self._capabilities[list_index].random_allowed:
+            raise CapabilityError("random", list_index)
+        def replay_scalar() -> np.ndarray:
+            # per-object scalar accesses: identical charging, including
+            # the partially-charged prefix when a call raises mid-batch
+            return np.array(
+                [self.random_access(list_index, obj) for obj in objects],
+                dtype=np.float64,
+            )
+
+        db = self._columnar
+        if db is None or self.trace is not None:
+            if objects is None:
+                raise ValueError(
+                    "objects may be omitted only on the columnar fast path"
+                )
+            return replay_scalar()
+        if rows is None:
+            if objects is None:
+                raise ValueError("need objects or rows")
+            try:
+                rows = db.rows_for(objects)
+            except (UnknownObjectError, TypeError):
+                # unknown object somewhere in the batch
+                return replay_scalar()
+        if self._forbid_wild_guesses:
+            if objects is None:
+                objects = db.ids_for_rows(rows)
+            seen = self._seen_sorted
+            for prefix, obj in enumerate(objects):
+                if obj not in seen:
+                    self._random_by_list[list_index] += prefix
+                    raise WildGuessError(obj, list_index)
+        grades = db._matrix[rows, list_index]
+        self._random_by_list[list_index] += len(rows)
+        return grades
 
     # ------------------------------------------------------------------
     # cursor state

@@ -19,6 +19,24 @@ descending, insertion order among ties).
 
 The database itself performs no accounting; all algorithmic access is
 mediated (and charged) by :class:`repro.middleware.access.AccessSession`.
+
+Two interchangeable backends implement the view:
+
+* :class:`Database` -- the scalar reference backend: a dict grade table
+  plus per-list orderings as Python lists.  Simple, order-preserving,
+  and the semantic baseline everything else is verified against.
+* :class:`ColumnarDatabase` -- the array backend: one contiguous
+  ``(N, m)`` float64 grade matrix, precomputed stable argsort orderings
+  (as row-index arrays with the grades along each list materialised),
+  and an object-id <-> row-index interning table.  It exposes the exact
+  same API and tie semantics, answers the same queries bit-for-bit, and
+  additionally powers the batched access plane of
+  :class:`~repro.middleware.access.AccessSession` (array slices per
+  sorted batch, fancy-indexed gathers per random batch).
+
+``Database.to_columnar()`` converts any database -- including
+tie-order-sensitive adversarial constructions -- without changing any
+observable ordering.
 """
 
 from __future__ import annotations
@@ -30,7 +48,7 @@ import numpy as np
 
 from .errors import DatabaseError, UnknownListError, UnknownObjectError
 
-__all__ = ["Database"]
+__all__ = ["Database", "ColumnarDatabase"]
 
 ObjectId = Hashable
 
@@ -55,6 +73,7 @@ class Database:
         self._grades = grades
         self._orderings = orderings
         self._m = len(orderings)
+        self._position0: dict[ObjectId, int] | None = None
         if validate:
             self._validate()
 
@@ -279,7 +298,13 @@ class Database:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         overall = self.overall_grades(t)
-        position = {obj: pos for pos, obj in enumerate(self._orderings[0])}
+        if self._position0 is None:
+            # the database is immutable, so the tie-break positions are
+            # computed once and reused by every verification call
+            self._position0 = {
+                obj: pos for pos, obj in enumerate(self._orderings[0])
+            }
+        position = self._position0
         ranked = sorted(
             overall.items(), key=lambda item: (-item[1], position[item[0]])
         )
@@ -311,5 +336,337 @@ class Database:
             out[row] = self.grade_vector(obj)
         return ids, out
 
+    def to_columnar(self) -> "ColumnarDatabase":
+        """An equivalent :class:`ColumnarDatabase`, preserving the exact
+        per-list tie order of this database."""
+        ids, matrix = self.to_array()
+        row_of = {obj: row for row, obj in enumerate(ids)}
+        order_rows = [
+            np.fromiter(
+                (row_of[obj] for obj in ordering), dtype=np.intp, count=len(ids)
+            )
+            for ordering in self._orderings
+        ]
+        return ColumnarDatabase(matrix, ids, order_rows, validate=False)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Database N={self.num_objects} m={self.num_lists}>"
+
+
+class ColumnarDatabase(Database):
+    """Array-backed database: same API and semantics as :class:`Database`,
+    stored as a contiguous grade matrix with precomputed orderings.
+
+    Internals (all private, consumed by the batched access plane):
+
+    * ``_matrix`` -- C-contiguous ``(N, m)`` float64 grade matrix;
+    * ``_ids`` / ``_row_of`` -- row-index <-> object-id interning;
+    * ``_order_rows[i]`` -- row indices of list ``i`` in sorted order;
+    * ``_order_grades[i]`` -- grades of list ``i`` in sorted order
+      (materialised so a sorted batch is a pure slice, no gather).
+
+    When the object ids are exactly ``0 .. N-1`` (the default of
+    :meth:`from_array`), id <-> row translation is the identity and is
+    skipped entirely.
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        ids: Sequence[ObjectId],
+        order_rows: Sequence[np.ndarray],
+        validate: bool = True,
+    ):
+        # always copy: the database is immutable by contract, and sharing
+        # memory with the caller's array would let later mutations of it
+        # silently desynchronise the materialised orderings (the scalar
+        # backend copies into its dicts and is immune)
+        matrix = np.array(matrix, dtype=np.float64, order="C")
+        if matrix.ndim != 2:
+            raise DatabaseError(
+                f"expected a 2-D (N, m) array, got shape {matrix.shape}"
+            )
+        self._matrix = matrix
+        self._ids = list(ids)
+        self._m = matrix.shape[1]
+        self._row_of = {obj: row for row, obj in enumerate(self._ids)}
+        self._order_rows = [
+            np.array(rows, dtype=np.intp) for rows in order_rows
+        ]
+        self._order_grades = [
+            matrix[rows, i] for i, rows in enumerate(self._order_rows)
+        ]
+        # identity shortcut only for genuine int ids 0..N-1: a value
+        # check alone would let float (or bool) ids equal to their row
+        # index through, and ids_for_rows would then hand back ints of
+        # a different type than the scalar backend's objects
+        self._trivial_ids = all(
+            type(obj) is int and obj == row
+            for row, obj in enumerate(self._ids)
+        )
+        self._position0_rows: np.ndarray | None = None
+        if validate:
+            self._validate()
+
+    # ------------------------------------------------------------------
+    # constructors (mirroring Database's, with identical tie semantics)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Mapping[ObjectId, Sequence[float]],
+        validate: bool = True,
+    ) -> "ColumnarDatabase":
+        """Build from ``{object_id: grade_vector}``; ties keep insertion
+        order (stable argsort), exactly like :meth:`Database.from_rows`."""
+        if not rows:
+            raise DatabaseError("database must contain at least one object")
+        arities = {len(v) for v in rows.values()}
+        if len(arities) != 1:
+            raise DatabaseError(
+                f"all objects must have the same number of grades; got {arities}"
+            )
+        m = arities.pop()
+        if m < 1:
+            raise DatabaseError("objects must have at least one grade")
+        ids = list(rows)
+        matrix = np.array([list(rows[obj]) for obj in ids], dtype=np.float64)
+        order_rows = [
+            np.argsort(-matrix[:, i], kind="stable") for i in range(m)
+        ]
+        return cls(matrix, ids, order_rows, validate=validate)
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Sequence[Sequence[tuple[ObjectId, float]]],
+        validate: bool = True,
+    ) -> "ColumnarDatabase":
+        """Build from explicit per-list orderings, preserving tie
+        placement; same checks and messages as
+        :meth:`Database.from_columns`."""
+        scalar = Database.from_columns(columns, validate=False)
+        columnar = scalar.to_columnar()
+        if validate:
+            columnar._validate()
+        return columnar
+
+    @classmethod
+    def from_array(
+        cls,
+        array: np.ndarray,
+        object_ids: Sequence[ObjectId] | None = None,
+        validate: bool = True,
+    ) -> "ColumnarDatabase":
+        """Build from an ``(N, m)`` grade array; deterministic stable
+        ordering, identical to :meth:`Database.from_array`."""
+        array = np.asarray(array, dtype=float)
+        if array.ndim != 2:
+            raise DatabaseError(
+                f"expected a 2-D (N, m) array, got shape {array.shape}"
+            )
+        n, m = array.shape
+        if n < 1 or m < 1:
+            raise DatabaseError(f"array must be non-empty, got shape {array.shape}")
+        if object_ids is None:
+            object_ids = range(n)
+        ids = list(object_ids)
+        if len(ids) != n:
+            raise DatabaseError(
+                f"got {len(ids)} object ids for {n} rows"
+            )
+        if len(set(ids)) != n:
+            raise DatabaseError("object ids must be distinct")
+        order_rows = [
+            np.argsort(-array[:, i], kind="stable") for i in range(m)
+        ]
+        return cls(array, ids, order_rows, validate=validate)
+
+    @classmethod
+    def from_database(cls, db: Database) -> "ColumnarDatabase":
+        """Convert any database (scalar or columnar) to columnar form."""
+        if isinstance(db, ColumnarDatabase):
+            return db
+        return db.to_columnar()
+
+    def to_columnar(self) -> "ColumnarDatabase":
+        return self
+
+    # ------------------------------------------------------------------
+    # scalar-backend compatibility (lazy; only built if legacy internals
+    # are reached, e.g. by code written against the dict representation)
+    # ------------------------------------------------------------------
+    @property
+    def _grades(self) -> dict[ObjectId, tuple[float, ...]]:
+        grades = self.__dict__.get("_grades_cache")
+        if grades is None:
+            rows = self._matrix.tolist()
+            grades = {obj: tuple(rows[r]) for r, obj in enumerate(self._ids)}
+            self.__dict__["_grades_cache"] = grades
+        return grades
+
+    @property
+    def _orderings(self) -> list[list[ObjectId]]:
+        orderings = self.__dict__.get("_orderings_cache")
+        if orderings is None:
+            ids = self._ids
+            orderings = [
+                [ids[r] for r in rows.tolist()] for rows in self._order_rows
+            ]
+            self.__dict__["_orderings_cache"] = orderings
+        return orderings
+
+    # ------------------------------------------------------------------
+    # vectorized validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        matrix = self._matrix
+        n, m = matrix.shape
+        if n < 1:
+            raise DatabaseError("database must contain at least one object")
+        if m < 1:
+            raise DatabaseError("database must contain at least one list")
+        if len(self._ids) != n:
+            raise DatabaseError(f"got {len(self._ids)} object ids for {n} rows")
+        if len(self._row_of) != n:
+            raise DatabaseError("object ids must be distinct")
+        bad = ~((matrix >= 0.0) & (matrix <= 1.0))  # catches NaN too
+        if bad.any():
+            row, i = map(int, np.argwhere(bad)[0])
+            raise DatabaseError(
+                f"grade of object {self._ids[row]!r} in list {i} is "
+                f"{matrix[row, i]}, outside [0, 1]"
+            )
+        for i, rows in enumerate(self._order_rows):
+            if rows.shape != (n,):
+                raise DatabaseError(
+                    f"list {i} has {rows.shape[0]} entries for {n} objects"
+                )
+            if rows.size and (rows.min() < 0 or rows.max() >= n):
+                raise DatabaseError(f"list {i} references unknown rows")
+            if not (np.bincount(rows, minlength=n) == 1).all():
+                raise DatabaseError(f"list {i} contains duplicate objects")
+            g = self._order_grades[i]
+            if (g[1:] > g[:-1] + 1e-15).any():
+                raise DatabaseError(f"list {i} is not sorted descending")
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+    @property
+    def num_objects(self) -> int:
+        return len(self._ids)
+
+    @property
+    def objects(self) -> Iterable[ObjectId]:
+        return iter(self._ids)
+
+    def __contains__(self, obj: ObjectId) -> bool:
+        return obj in self._row_of
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    # ------------------------------------------------------------------
+    # raw access
+    # ------------------------------------------------------------------
+    def sorted_entry(self, list_index: int, position: int):
+        self._check_list(list_index)
+        if position < 0:
+            raise IndexError(f"negative position {position}")
+        if position >= len(self._ids):
+            return None
+        row = self._order_rows[list_index][position]
+        return self._ids[row], float(self._order_grades[list_index][position])
+
+    def grade(self, obj: ObjectId, list_index: int) -> float:
+        self._check_list(list_index)
+        row = self._row_of.get(obj)
+        if row is None:
+            raise UnknownObjectError(obj)
+        return float(self._matrix[row, list_index])
+
+    def grade_vector(self, obj: ObjectId) -> tuple[float, ...]:
+        row = self._row_of.get(obj)
+        if row is None:
+            raise UnknownObjectError(obj)
+        return tuple(self._matrix[row].tolist())
+
+    # ------------------------------------------------------------------
+    # row <-> id translation (used by the batched access plane)
+    # ------------------------------------------------------------------
+    def rows_for(self, objects: Sequence[ObjectId]) -> np.ndarray:
+        """Row indices of ``objects`` (raises
+        :class:`~repro.middleware.errors.UnknownObjectError` on the first
+        unknown id)."""
+        if self._trivial_ids:
+            arr = np.asarray(objects)
+            # only genuine integer ids may take the identity shortcut; a
+            # float or object array must go through the interning table so
+            # unknown ids raise instead of truncating to a valid row
+            if arr.ndim == 1 and arr.dtype.kind in "iu":
+                rows = arr.astype(np.intp, copy=False)
+                if rows.size and (
+                    rows.min() < 0 or rows.max() >= len(self._ids)
+                ):
+                    bad = next(
+                        o
+                        for o in objects
+                        if not 0 <= int(o) < len(self._ids)
+                    )
+                    raise UnknownObjectError(bad)
+                return rows
+        row_of = self._row_of
+        out = np.empty(len(objects), dtype=np.intp)
+        for pos, obj in enumerate(objects):
+            row = row_of.get(obj)
+            if row is None:
+                raise UnknownObjectError(obj)
+            out[pos] = row
+        return out
+
+    def ids_for_rows(self, rows: np.ndarray) -> list:
+        """Object ids for an array of row indices."""
+        if self._trivial_ids:
+            return rows.tolist()
+        ids = self._ids
+        return [ids[r] for r in rows.tolist()]
+
+    # ------------------------------------------------------------------
+    # vectorized ground truth
+    # ------------------------------------------------------------------
+    def overall_grades(self, t) -> dict[ObjectId, float]:
+        t.check_arity(self._m)
+        values = t.aggregate_batch(self._matrix)
+        return dict(zip(self._ids, values.tolist()))
+
+    def top_k(self, t, k: int) -> list[tuple[ObjectId, float]]:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        t.check_arity(self._m)
+        overall = t.aggregate_batch(self._matrix)
+        if self._position0_rows is None:
+            pos0 = np.empty(len(self._ids), dtype=np.intp)
+            pos0[self._order_rows[0]] = np.arange(len(self._ids))
+            self._position0_rows = pos0
+        # lexsort: last key is primary -> grade descending, then list-0
+        # position ascending, matching the scalar tie-break exactly
+        order = np.lexsort((self._position0_rows, -overall))
+        ids = self._ids
+        return [(ids[r], float(overall[r])) for r in order[:k].tolist()]
+
+    def satisfies_distinctness(self) -> bool:
+        for g in self._order_grades:
+            if (g[1:] == g[:-1]).any():
+                return False
+        return True
+
+    def to_array(self, object_ids: Sequence[ObjectId] | None = None):
+        if object_ids is None:
+            return list(self._ids), self._matrix.copy()
+        ids = list(object_ids)
+        rows = self.rows_for(ids)
+        return ids, self._matrix[rows]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ColumnarDatabase N={self.num_objects} m={self.num_lists}>"

@@ -1,0 +1,162 @@
+"""Unit tests for the batched access plane: identical accounting to the
+scalar access methods, on both backends, including the awkward edges
+(batches overrunning the list end, wild guesses raised mid-batch,
+capability refusals, trace-recording fallback)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.middleware.access import AccessSession, ListCapabilities
+from repro.middleware.database import ColumnarDatabase, Database
+from repro.middleware.errors import (
+    CapabilityError,
+    UnknownObjectError,
+    WildGuessError,
+)
+
+N, M = 30, 3
+
+
+@pytest.fixture(params=["scalar", "columnar"])
+def db(request):
+    grades = np.random.default_rng(11).random((N, M))
+    if request.param == "scalar":
+        return Database.from_array(grades)
+    return ColumnarDatabase.from_array(grades)
+
+
+def test_sorted_batch_matches_scalar_sequence(db):
+    batched = AccessSession(db)
+    scalar = AccessSession(db)
+    batch = batched.sorted_access_batch(0, 7)
+    reference = [scalar.sorted_access(0) for _ in range(7)]
+    assert batch.objects == [obj for obj, _ in reference]
+    assert batch.grades.tolist() == [g for _, g in reference]
+    assert batched.stats() == scalar.stats()
+    assert batched.position(0) == 7
+
+
+def test_sorted_batch_overrunning_list_end_charges_only_entries(db):
+    session = AccessSession(db)
+    batch = session.sorted_access_batch(1, N + 50)
+    assert len(batch) == N
+    assert session.sorted_accesses == N
+    assert session.exhausted(1)
+    # exhaustion stays free of charge
+    empty = session.sorted_access_batch(1, 5)
+    assert len(empty) == 0 and not empty
+    assert session.sorted_accesses == N
+
+
+def test_sorted_batch_zero_and_negative(db):
+    session = AccessSession(db)
+    assert len(session.sorted_access_batch(0, 0)) == 0
+    with pytest.raises(ValueError):
+        session.sorted_access_batch(0, -1)
+
+
+def test_random_batch_charges_per_object_including_repeats(db):
+    session = AccessSession(db)
+    batch = session.sorted_access_batch(0, 3)
+    objs = batch.objects + batch.objects  # repeats are charged again
+    grades = session.random_access_batch(1, objs)
+    assert session.random_accesses == 6
+    assert grades.tolist() == [db.grade(o, 1) for o in objs]
+
+
+def test_random_batch_rows_shortcut_matches_objects(db):
+    session = AccessSession(db)
+    batch = session.sorted_access_batch(2, 5)
+    by_objects = session.random_access_batch(0, batch.objects)
+    by_rows = session.random_access_batch(0, None, rows=batch.rows) \
+        if batch.rows is not None else by_objects
+    assert by_rows.tolist() == by_objects.tolist()
+
+
+def test_wild_guess_mid_batch_charges_exact_prefix(db):
+    """A wild guess at position q charges exactly q accesses -- the same
+    as a scalar loop that died on the q-th+1 call."""
+    session = AccessSession(db, forbid_wild_guesses=True)
+    seen = session.sorted_access_batch(0, 4).objects
+    unseen = next(o for o in db.objects if o not in seen)
+    request = [seen[0], seen[1], unseen, seen[2]]
+    with pytest.raises(WildGuessError):
+        session.random_access_batch(1, request)
+    assert session.random_accesses == 2
+
+    scalar = AccessSession(db, forbid_wild_guesses=True)
+    scalar.sorted_access_batch(0, 4)
+    with pytest.raises(WildGuessError):
+        for obj in request:
+            scalar.random_access(1, obj)
+    assert scalar.random_accesses == session.random_accesses
+
+
+def test_wild_guess_after_sorted_batch_is_not_raised(db):
+    session = AccessSession(db, forbid_wild_guesses=True)
+    batch = session.sorted_access_batch(0, 5)
+    grades = session.random_access_batch(1, batch.objects, rows=batch.rows)
+    assert len(grades) == 5
+
+
+def test_unknown_object_mid_batch_charges_prefix(db):
+    session = AccessSession(db)
+    seen = session.sorted_access_batch(0, 2).objects
+    with pytest.raises(UnknownObjectError):
+        session.random_access_batch(0, [seen[0], "no-such-object", seen[1]])
+    assert session.random_accesses == 1
+
+
+def test_capability_checks_apply_to_batches(db):
+    session = AccessSession(
+        db, capabilities=ListCapabilities(random_allowed=False)
+    )
+    with pytest.raises(CapabilityError):
+        session.random_access_batch(0, [0])
+    session = AccessSession(
+        db, capabilities=ListCapabilities(sorted_allowed=False)
+    )
+    with pytest.raises(CapabilityError):
+        session.sorted_access_batch(0, 1)
+    assert session.sorted_accesses == 0
+
+
+def test_sorted_access_round_is_one_lockstep_round(db):
+    session = AccessSession(db)
+    scalar = AccessSession(db)
+    rb = session.sorted_access_round()
+    reference = [(i, *scalar.sorted_access(i)) for i in range(M)]
+    assert rb.lists == [i for i, *_ in reference]
+    assert rb.objects == [obj for _, obj, _ in reference]
+    assert rb.grades == [g for *_, g in reference]
+    assert session.stats() == scalar.stats()
+
+
+def test_sorted_access_round_skips_exhausted_lists(db):
+    session = AccessSession(db)
+    session.sorted_access_batch(0, N)  # exhaust list 0
+    rb = session.sorted_access_round()
+    assert rb.lists == [1, 2]
+    assert len(rb) == 2
+
+
+def test_trace_recording_falls_back_to_scalar_semantics(db):
+    session = AccessSession(db, record_trace=True)
+    assert not session.supports_batches
+    assert session.columnar_view() is None
+    batch = session.sorted_access_batch(0, 4)
+    session.random_access_batch(1, batch.objects)
+    events = session.trace.events if hasattr(session.trace, "events") else list(session.trace)
+    assert len(list(events)) == 8  # one event per charged access
+
+
+def test_supports_batches_only_on_columnar():
+    grades = np.random.default_rng(0).random((10, 2))
+    scalar = AccessSession(Database.from_array(grades))
+    columnar = AccessSession(ColumnarDatabase.from_array(grades))
+    assert not scalar.supports_batches
+    assert scalar.columnar_view() is None
+    assert columnar.supports_batches
+    assert columnar.columnar_view() is not None

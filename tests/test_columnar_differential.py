@@ -1,0 +1,178 @@
+"""Differential tests: the columnar execution engine must be bit-for-bit
+equivalent to the scalar reference path.
+
+Every algorithm that grows a columnar fast path (TA, TA(cache), NRA, CA,
+plus their knob variants) is run twice over the same logical database --
+once on the scalar :class:`~repro.middleware.database.Database`, once on
+its :class:`~repro.middleware.database.ColumnarDatabase` twin -- and the
+*entire* observable output must match exactly: ranked items (objects,
+grades, bounds), halting reason, round count, buffer usage, and the full
+:class:`~repro.middleware.access.AccessStats` (total and per-list sorted
+and random access counts, depth, middleware cost, distinct objects
+seen).  Floats are compared with ``==``, not a tolerance: the engines
+are required to perform the same IEEE operations.
+
+Randomized cases come from hypothesis (including heavy grade ties, which
+exercise the tie-breaking paths of the candidate store), and the paper's
+adversarial constructions exercise exact tie *placement*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation.standard import AVERAGE, MAX, MEDIAN, MIN, PRODUCT, SUM
+from repro.core.ca import CombinedAlgorithm
+from repro.core.nra import NoRandomAccessAlgorithm
+from repro.core.ta import ThresholdAlgorithm
+from repro.datagen import example_6_3, example_8_3, figure_5
+from repro.middleware.cost import CostModel
+from repro.middleware.database import ColumnarDatabase, Database
+
+AGGREGATIONS = [MIN, MAX, AVERAGE, SUM, PRODUCT, MEDIAN]
+
+
+def signature(result):
+    stats = result.stats
+    return (
+        [(it.obj, it.grade, it.lower_bound, it.upper_bound)
+         for it in result.items],
+        stats.sorted_accesses,
+        stats.random_accesses,
+        stats.sorted_by_list,
+        stats.random_by_list,
+        stats.middleware_cost,
+        stats.depth,
+        stats.distinct_objects_seen,
+        result.halt_reason,
+        result.rounds,
+        result.max_buffer_size,
+    )
+
+
+def assert_backends_agree(db, algo, aggregation, k, cost_model=None):
+    kwargs = {} if cost_model is None else {"cost_model": cost_model}
+    columnar = db.to_columnar()
+    assert isinstance(columnar, ColumnarDatabase)
+    scalar_result = algo.run_on(db, aggregation, k, **kwargs)
+    columnar_result = algo.run_on(columnar, aggregation, k, **kwargs)
+    assert signature(scalar_result) == signature(columnar_result), (
+        f"{algo.name} with {aggregation.name} diverged between backends"
+    )
+
+
+def algorithms_for(m):
+    yield ThresholdAlgorithm(), None
+    yield ThresholdAlgorithm(remember_seen=True), None
+    yield ThresholdAlgorithm(batch_sizes=[2] * m), None
+    yield NoRandomAccessAlgorithm(), None
+    yield NoRandomAccessAlgorithm(halt_check_interval=3), None
+    yield NoRandomAccessAlgorithm(theta=1.25), None
+    yield CombinedAlgorithm(), CostModel(1.0, 5.0)
+    yield CombinedAlgorithm(h=1), None
+
+
+grade_matrices = st.integers(min_value=1, max_value=40).flatmap(
+    lambda n: st.integers(min_value=1, max_value=4).flatmap(
+        lambda m: st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=8).map(lambda v: v / 8),
+                min_size=m,
+                max_size=m,
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=grade_matrices, data=st.data())
+def test_backends_agree_on_tied_random_databases(rows, data):
+    """Coarse grades (multiples of 1/8) force heavy ties everywhere."""
+    arr = np.asarray(rows, dtype=float)
+    db = Database.from_array(arr)
+    n, m = arr.shape
+    k = data.draw(st.integers(min_value=1, max_value=min(n, 5)))
+    aggregation = data.draw(st.sampled_from(AGGREGATIONS))
+    for algo, cost_model in algorithms_for(m):
+        assert_backends_agree(db, algo, aggregation, k, cost_model)
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("aggregation", AGGREGATIONS, ids=lambda t: t.name)
+def test_backends_agree_on_continuous_random_databases(seed, aggregation):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(10, 200))
+    m = int(rng.integers(1, 6))
+    k = int(rng.integers(1, min(n, 10) + 1))
+    db = Database.from_array(rng.random((n, m)))
+    for algo, cost_model in algorithms_for(m):
+        assert_backends_agree(db, algo, aggregation, k, cost_model)
+
+
+@pytest.mark.parametrize(
+    "instance",
+    [figure_5(8), example_6_3(24), example_8_3(16)],
+    ids=["figure-5", "example-6.3", "example-8.3"],
+)
+@pytest.mark.parametrize("aggregation", [MIN, AVERAGE], ids=lambda t: t.name)
+def test_backends_agree_on_adversarial_constructions(instance, aggregation):
+    """Tie *placement* sensitive databases: the columnar conversion must
+    preserve it, and the engines must agree on the consequences."""
+    db = instance.database
+    assert_backends_agree(db, ThresholdAlgorithm(), aggregation, 1)
+    assert_backends_agree(db, NoRandomAccessAlgorithm(), aggregation, 1)
+    assert_backends_agree(
+        db, CombinedAlgorithm(), aggregation, 1, CostModel(1.0, 3.0)
+    )
+
+
+def test_backends_agree_on_string_object_ids():
+    """Non-integer ids force the interning table (no trivial-rows path)."""
+    rng = np.random.default_rng(3)
+    arr = rng.random((60, 3))
+    ids = [f"obj-{i:03d}" for i in range(60)]
+    scalar = Database.from_array(arr, object_ids=ids)
+    for aggregation in (MIN, AVERAGE):
+        for algo, cost_model in algorithms_for(3):
+            assert_backends_agree(scalar, algo, aggregation, 4, cost_model)
+
+
+def test_backends_agree_on_row_valued_float_ids():
+    """Ids *equal* to 0..N-1 but of a different type (floats, bools)
+    must come back with their original type, not as row ints."""
+    rng = np.random.default_rng(5)
+    arr = rng.random((40, 3))
+    ids = [float(i) for i in range(40)]
+    db = Database.from_array(arr, object_ids=ids)
+    scalar = ThresholdAlgorithm().run_on(db, AVERAGE, 3)
+    columnar = ThresholdAlgorithm().run_on(db.to_columnar(), AVERAGE, 3)
+    assert [(it.obj, type(it.obj)) for it in scalar.items] == [
+        (it.obj, type(it.obj)) for it in columnar.items
+    ]
+
+
+def test_columnar_ground_truth_matches_scalar():
+    rng = np.random.default_rng(7)
+    arr = rng.random((300, 4))
+    scalar = Database.from_array(arr)
+    columnar = scalar.to_columnar()
+    for t in AGGREGATIONS:
+        assert scalar.overall_grades(t) == columnar.overall_grades(t)
+        assert scalar.top_k(t, 12) == columnar.top_k(t, 12)
+        assert scalar.kth_grade(t, 5) == columnar.kth_grade(t, 5)
+    assert scalar.satisfies_distinctness() == columnar.satisfies_distinctness()
+
+
+def test_columnar_preserves_exact_tie_order():
+    inst = figure_5(6)
+    db = inst.database
+    columnar = db.to_columnar()
+    for i in range(db.num_lists):
+        for pos in range(db.num_objects):
+            assert db.sorted_entry(i, pos) == columnar.sorted_entry(i, pos)
