@@ -1,7 +1,7 @@
 """Backend speedup benchmark: scalar vs columnar execution engine.
 
-Times TA and NRA over identical workloads on the two database backends
-(:class:`repro.middleware.database.Database` vs
+Times TA, NRA, CA and Stream-Combine over identical workloads on the
+two database backends (:class:`repro.middleware.database.Database` vs
 :class:`repro.middleware.database.ColumnarDatabase`), verifies on the
 fly that both backends return identical results and access accounting
 (the same invariant the differential test suite enforces), and writes
@@ -14,8 +14,10 @@ Run directly::
     PYTHONPATH=src python benchmarks/bench_backend_speedup.py --smoke   # CI
 
 The full grid is N in {10k, 100k} x m in {2, 5} with k=10 under the
-``average`` aggregation on uniform random grades (seeded); ``--smoke``
-shrinks N so the script's plumbing is exercised in a couple of seconds.
+``average`` aggregation on uniform random grades (seeded); CA runs with
+``cR/cS = 5`` (so ``h = 5``, the regime it was designed for);
+``--smoke`` shrinks N so the script's plumbing is exercised in a couple
+of seconds.
 """
 
 from __future__ import annotations
@@ -31,13 +33,17 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.aggregation.standard import AVERAGE  # noqa: E402
+from repro.core.ca import CombinedAlgorithm  # noqa: E402
 from repro.core.nra import NoRandomAccessAlgorithm  # noqa: E402
+from repro.core.stream_combine import StreamCombine  # noqa: E402
 from repro.core.ta import ThresholdAlgorithm  # noqa: E402
+from repro.middleware.cost import UNIT_COSTS, CostModel  # noqa: E402
 from repro.middleware.database import ColumnarDatabase, Database  # noqa: E402
 
 SEED = 20260729
 K = 10
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_backend.json"
+CA_COSTS = CostModel(1.0, 5.0)
 
 
 def _signature(result):
@@ -55,12 +61,12 @@ def _signature(result):
     )
 
 
-def _time_run(algo, db, aggregation, k, repeats):
+def _time_run(algo, db, aggregation, k, repeats, cost_model):
     best = float("inf")
     result = None
     for _ in range(repeats):
         start = time.perf_counter()
-        result = algo.run_on(db, aggregation, k)
+        result = algo.run_on(db, aggregation, k, cost_model=cost_model)
         best = min(best, time.perf_counter() - start)
     return best, result
 
@@ -77,6 +83,7 @@ def run(smoke: bool) -> dict:
         "seed": SEED,
         "k": K,
         "aggregation": AVERAGE.name,
+        "ca_costs": {"cS": CA_COSTS.cs, "cR": CA_COSTS.cr},
         "smoke": smoke,
         "repeats": repeats,
         "runs": [],
@@ -85,13 +92,18 @@ def run(smoke: bool) -> dict:
         grades = rng.random((n, m))
         scalar_db = Database.from_array(grades)
         columnar_db = ColumnarDatabase.from_array(grades)
-        for algo_factory in (ThresholdAlgorithm, NoRandomAccessAlgorithm):
-            algo = algo_factory()
+        contenders = [
+            (ThresholdAlgorithm(), UNIT_COSTS),
+            (NoRandomAccessAlgorithm(), UNIT_COSTS),
+            (CombinedAlgorithm(), CA_COSTS),
+            (StreamCombine(), UNIT_COSTS),
+        ]
+        for algo, cost_model in contenders:
             scalar_s, scalar_res = _time_run(
-                algo, scalar_db, AVERAGE, K, repeats
+                algo, scalar_db, AVERAGE, K, repeats, cost_model
             )
             columnar_s, columnar_res = _time_run(
-                algo, columnar_db, AVERAGE, K, repeats
+                algo, columnar_db, AVERAGE, K, repeats, cost_model
             )
             if _signature(scalar_res) != _signature(columnar_res):
                 raise AssertionError(
@@ -112,7 +124,7 @@ def run(smoke: bool) -> dict:
             }
             report["runs"].append(entry)
             print(
-                f"{algo.name:4s} N={n:>7d} m={m}: "
+                f"{algo.name:13s} N={n:>7d} m={m}: "
                 f"scalar={scalar_s:8.3f}s columnar={columnar_s:8.3f}s "
                 f"speedup={entry['speedup']:6.2f}x  (accounting identical)"
             )

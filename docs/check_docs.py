@@ -1,0 +1,97 @@
+"""Documentation checks: doctest the README quickstart and verify that
+every intra-repo markdown link resolves.
+
+Run from anywhere::
+
+    python docs/check_docs.py
+
+Exit status is non-zero on any failure; CI runs this as the ``docs``
+job, and ``tests/test_docs.py`` wraps the same checks for the tier-1
+suite.  External links (http/https/mailto) and pure anchors are not
+checked; relative links are resolved against the file containing them,
+and a ``#fragment`` suffix is ignored.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: markdown files whose ``>>>`` examples must run green (README's
+#: quickstart uses the library through its public import surface)
+DOCTESTED = ["README.md"]
+
+#: directories never scanned for markdown
+SKIP_DIRS = {".git", ".hypothesis", "__pycache__", ".pytest_cache"}
+
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doctest_failures(root: Path = REPO_ROOT) -> list[str]:
+    """Run the ``>>>`` examples of the doctested markdown files;
+    returns a list of human-readable failure descriptions."""
+    sys.path.insert(0, str(root / "src"))
+    failures = []
+    try:
+        for name in DOCTESTED:
+            path = root / name
+            results = doctest.testfile(
+                str(path), module_relative=False, verbose=False
+            )
+            if results.failed:
+                failures.append(
+                    f"{name}: {results.failed} of {results.attempted} "
+                    "doctest examples failed"
+                )
+    finally:
+        sys.path.remove(str(root / "src"))
+    return failures
+
+
+def markdown_files(root: Path = REPO_ROOT) -> list[Path]:
+    return [
+        path
+        for path in sorted(root.rglob("*.md"))
+        if not (SKIP_DIRS & set(part.name for part in path.parents))
+    ]
+
+
+def broken_links(root: Path = REPO_ROOT) -> list[str]:
+    """All intra-repo markdown links whose target file or directory
+    does not exist, as ``file: target`` strings."""
+    broken = []
+    for path in markdown_files(root):
+        for match in _LINK.finditer(path.read_text(encoding="utf-8")):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                broken.append(f"{path.relative_to(root)}: {target}")
+    return broken
+
+
+def main() -> int:
+    ok = True
+    failures = doctest_failures()
+    for failure in failures:
+        print(f"DOCTEST FAIL  {failure}")
+        ok = False
+    if not failures:
+        print(f"doctests green in {', '.join(DOCTESTED)}")
+    links = broken_links()
+    for link in links:
+        print(f"BROKEN LINK   {link}")
+        ok = False
+    if not links:
+        print(f"all intra-repo links resolve in {len(markdown_files())} markdown files")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

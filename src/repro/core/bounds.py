@@ -34,28 +34,30 @@ updates).  This store instead keeps two lazily-invalidated max-heaps:
 as a correctness oracle for the tests and for the Remark 8.7 ablation
 benchmark.
 
-Two additions serve the batched execution engine:
-
-``record_round``
-    bulk-records one lockstep round of sorted accesses with the
-    substituted ``W``/``B`` rows built inline (no per-field mapping
-    genexprs) and heap entries pushed in one pass, preserving the exact
-    mid-round bottoms each cached ``B`` would have seen under scalar
-    ``record`` calls -- the ``B``-heap pop order, and hence CA's choice
-    of random-access target, is bit-for-bit reproducible.  (NRA's
-    chunked engine goes further still and ingests whole speculated
-    chunks inline; see :mod:`repro.core.nra`.)
+Two additions serve the chunked execution engines
+(:class:`ArrayCandidateStore` below; see :mod:`repro.core.nra`,
+:mod:`repro.core.ca` and :mod:`repro.core.stream_combine` for the
+engines themselves):
 
 ``current_mk``
     the exact value ``M_k`` (the k-th largest ``W``), maintained
     incrementally in O(log k) per ``W`` update.  ``M_k`` as a *value*
     is tie-independent even though the *membership* of ``T_k`` is not,
-    so the batched NRA/CA loops use it to gate the per-round halting
+    so the chunked NRA/CA loops use it to gate the per-round halting
     check: while ``t(bottoms) > M_k`` (and unseen objects remain)
     halting is impossible and neither ``current_topk`` nor the viability
     scan needs to run.  The multiset of the k largest ``W`` values is
     preserved by every update (``W`` never decreases), which makes the
     lazy min-heap below exact, not heuristic.
+
+``_discovery``
+    the order of first sorted appearance per seen object, used by
+    :meth:`CandidateStore.best_random_access_target` to break ``B``
+    ties *canonically*.  Heap pop order is an accident of cached values
+    and refresh history (e.g. which halting checks ran), so it must not
+    decide which object CA random-accesses; discovery order is a
+    property of the database alone, identical across backends and
+    bookkeeping modes.
 """
 
 from __future__ import annotations
@@ -92,6 +94,11 @@ class CandidateStore:
         self._b_heap: list[tuple[float, int, Hashable, int]] = []
         self._seq = 0
         self._never_viable: set[Hashable] = set()
+        #: discovery index per seen object (order of first sorted
+        #: appearance).  Canonical tie-break key for
+        #: :meth:`best_random_access_target`; identical across backends
+        #: because both consume sorted entries in the same order.
+        self._discovery: dict[Hashable, int] = {}
         #: number of B evaluations performed (for the bookkeeping
         #: ablation).  NOTE: backend-dependent by design -- the columnar
         #: engines' M_k gate, witness shortcut, and lazy-heap pruning
@@ -115,6 +122,8 @@ class CandidateStore:
         known = self.fields.setdefault(obj, {})
         if list_index in known:
             return False
+        if not known:
+            self._discovery[obj] = len(self._discovery)
         known[list_index] = grade
         self.w[obj] = self.t.worst_case(known, self.m)
         version = self._version.get(obj, 0) + 1
@@ -130,60 +139,6 @@ class CandidateStore:
             )
             self._mk_note(obj, self.w[obj])
         return True
-
-    def record_round(
-        self,
-        objects: list,
-        list_indices: list,
-        grades: list,
-    ) -> None:
-        """Bulk-record one lockstep round: entry ``p`` is object
-        ``objects[p]`` discovered in list ``list_indices[p]`` with grade
-        ``grades[p]``, lists in ascending order (at most one entry per
-        list).
-
-        Equivalent to the scalar sequence
-        ``update_bottom(i, g); record(obj, i, g)`` per entry, with the
-        substituted ``W``/``B`` rows built inline (no per-field mapping
-        genexprs) and the heap entries pushed in one pass.  Cached ``B``
-        values see the same mid-round bottoms as scalar ``record``
-        calls, so the downstream heap order is identical.
-        """
-        t = self.t
-        m = self.m
-        fields = self.fields
-        bottoms = self.bottoms
-        w_map = self.w
-        versions = self._version
-        naive = self.naive
-        aggregate = t.aggregate
-        for p in range(len(objects)):
-            i = list_indices[p]
-            g = grades[p]
-            bottoms[i] = g
-            obj = objects[p]
-            known = fields.setdefault(obj, {})
-            if i in known:
-                continue  # re-discovered field: scalar record is a no-op
-            known[i] = g
-            worst = [0.0] * m
-            for j, kg in known.items():
-                worst[j] = kg
-            w = aggregate(tuple(worst))
-            w_map[obj] = w
-            version = versions.get(obj, 0) + 1
-            versions[obj] = version
-            if not naive:
-                best = bottoms.copy()
-                for j, kg in known.items():
-                    best[j] = kg
-                b = aggregate(tuple(best))
-                self.b_evaluations += 1
-                self._seq += 1
-                heapq.heappush(self._w_heap, (-w, self._seq, obj, version))
-                self._seq += 1
-                heapq.heappush(self._b_heap, (-b, self._seq, obj, version))
-                self._mk_note(obj, w)
 
     # ------------------------------------------------------------------
     # incremental M_k (k-th largest W; see module docstring)
@@ -370,9 +325,19 @@ class CandidateStore:
 
         Viability here is over *all* seen objects (the paper does not
         exclude the current top-``k``: its members usually have missing
-        fields and the largest ``B`` values).
+        fields and the largest ``B`` values).  The paper breaks ``B``
+        ties arbitrarily; this store breaks them *canonically*, by
+        earliest discovery (first sorted appearance, see
+        :attr:`_discovery`).  Canonical matters: the chosen target
+        decides which random accesses are charged, so the choice must
+        not depend on incidental heap arrangement -- the naive oracle,
+        the lazy scalar loop, and the chunked engines (whose
+        witness-gated halting checks legitimately skip some of the
+        ``find_viable_outside`` calls that refresh cached heap entries)
+        must all pick the same object.
         """
         if self.naive:
+            # first strict maximum in fields-iteration (= discovery) order
             best_obj, best_b = None, m_k
             for obj in self.fields:
                 if self.fully_known(obj):
@@ -382,14 +347,16 @@ class CandidateStore:
                     best_obj, best_b = obj, b
             return best_obj
         pushback: list[tuple[float, int, Hashable, int]] = []
-        best: tuple[float, Hashable] | None = None
+        best: tuple[float, int, Hashable] | None = None
         while self._b_heap:
             neg_b, _, obj, version = self._b_heap[0]
             if version != self._version.get(obj) or obj in self._never_viable:
                 heapq.heappop(self._b_heap)
                 continue
             cached = -neg_b
-            if cached <= m_k or (best is not None and cached <= best[0]):
+            # strict <: candidates tied with the current best at
+            # cached == fresh == best must still be examined
+            if cached <= m_k or (best is not None and cached < best[0]):
                 break
             heapq.heappop(self._b_heap)
             fresh = self.b_value(obj)
@@ -397,37 +364,45 @@ class CandidateStore:
                 self._never_viable.add(obj)
                 continue
             self._seq += 1
-            refreshed = (-fresh, self._seq, obj, version)
+            pushback.append((-fresh, self._seq, obj, version))
             if self.fully_known(obj):
-                pushback.append(refreshed)
                 continue
-            if best is None or fresh > best[0]:
-                if best is not None:
-                    self._seq += 1
-                    pushback.append((-best[0], self._seq, best[1], self._version[best[1]]))
-                best = (fresh, obj)
-                self._seq += 1
-                pushback.append(refreshed)
-            else:
-                pushback.append(refreshed)
+            d = self._discovery[obj]
+            if (
+                best is None
+                or fresh > best[0]
+                or (fresh == best[0] and d < best[1])
+            ):
+                best = (fresh, d, obj)
         for entry in pushback:
             heapq.heappush(self._b_heap, entry)
-        return best[1] if best is not None else None
+        return best[2] if best is not None else None
 
 
 class ArrayCandidateStore(CandidateStore):
-    """Row-keyed, array-backed candidate store for the chunked NRA engine.
+    """Row-keyed, array-backed candidate store for the chunked engines
+    of NRA, CA and Stream-Combine.
 
     Candidates are row indices into an ``(N, m)`` float64 field matrix
-    (NaN = unknown) that the engine fills with one vectorised scatter per
+    (NaN = unknown) that the engines fill with one vectorised scatter per
     chunk instead of per-entry dict updates.  Only the members the
     halting machinery reads (``b_value`` / ``fully_known`` /
     ``exact_grade`` / ``seen_count``) are overridden; the lazy heaps,
-    the incremental ``M_k`` tracker, and ``find_viable_outside`` work
+    the incremental ``M_k`` tracker and ``find_viable_outside`` work
     unchanged because they only ever touch candidates through those
-    hooks.  ``fields`` dicts are *not* maintained -- this store is not
-    for the record()-based algorithms (CA, Stream-Combine keep the dict
-    store).
+    hooks.  ``fields`` dicts and ``_discovery`` are *not* maintained --
+    the scalar reference loops keep the dict store, and the chunked CA
+    engine selects its phase targets through its own discovery-ordered
+    candidate array (the vectorised equivalent of
+    :meth:`CandidateStore.best_random_access_target`; see
+    :mod:`repro.core.ca`) rather than through the heap scan.
+
+    :meth:`resolve_row_fields` serves CA's random-access phase: it
+    replays, against the field matrix, the exact per-field ``record``
+    sequence the scalar loop performs when it resolves the chosen
+    target (intermediate ``W`` recomputations, version bumps, heap
+    pushes, ``M_k`` notes), so every later heap decision is
+    order-identical to the scalar run.
     """
 
     def __init__(
@@ -466,3 +441,35 @@ class ArrayCandidateStore(CandidateStore):
         if self.fully_known(row):
             return self.w[row]
         return None
+
+    def resolve_row_fields(
+        self, row, list_indices: list[int], grades: list[float]
+    ) -> None:
+        """Record random-access resolutions of ``row``'s missing fields.
+
+        Bit-for-bit equivalent to the scalar loop's per-field
+        ``record(row, i, grade)`` calls: after each field the lower
+        bound ``W`` is recomputed (0-substitution in argument order),
+        the version bumped, one ``W``-heap and one freshly-evaluated
+        ``B``-heap entry pushed, and the incremental ``M_k`` tracker
+        notified -- so heap pop order in later phases and halting
+        checks matches the scalar run exactly.
+        """
+        matrix = self.field_matrix
+        aggregate = self.t.aggregate
+        for i, g in zip(list_indices, grades):
+            matrix[row, i] = g
+            vec = matrix[row].tolist()
+            w = aggregate(
+                tuple(0.0 if x != x else x for x in vec)  # NaN -> 0
+            )
+            self.w[row] = w
+            version = self._version.get(row, 0) + 1
+            self._version[row] = version
+            self._seq += 1
+            heapq.heappush(self._w_heap, (-w, self._seq, row, version))
+            self._seq += 1
+            heapq.heappush(
+                self._b_heap, (-self.b_value(row), self._seq, row, version)
+            )
+            self._mk_note(row, w)

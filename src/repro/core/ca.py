@@ -20,14 +20,71 @@ argument (or ``min``) and the database has distinct grades.  By design:
 
 Like NRA, CA returns the top-``k`` objects with bound information; exact
 grades are reported when CA happened to resolve the object.
+
+Execution backends: on a columnar session
+(:attr:`~repro.middleware.access.AccessSession.supports_batches`) CA runs
+a *speculative chunked engine* that is bit-for-bit equivalent to the
+scalar reference loop (differential-tested: same top-k, same halting
+round and reason, same access accounting).  The design is the
+speculate -> replay -> charge-prefix scheme NRA uses, with the paper's
+per-``h``-rounds random-access phase spliced into the replay:
+
+speculate
+    read the next chunk of lockstep rounds through the uncharged
+    ``columnar_view``; one ``aggregate_batch`` each yields every entry's
+    ``W`` (Proposition 8.1), its cached ``B`` under the exact mid-round
+    bottoms (Proposition 8.2), and every round's threshold
+    ``t(bottoms)``.
+replay
+    ingest the rounds in scalar order against an
+    :class:`~repro.core.bounds.ArrayCandidateStore`.  At every global
+    round divisible by ``h`` the phase runs *on the real store*: the
+    ``B``-greedy target comes from the same lazy-heap scan
+    (:meth:`~repro.core.bounds.CandidateStore.best_random_access_target`)
+    the scalar loop uses -- tie order included -- because the target
+    choice, not just the halting round, decides which random accesses
+    the paper's algorithm pays for (the Theorem 8.9 cost ratio counts
+    exactly these).  The consumed sorted prefix is charged *before* the
+    phase's random accesses, preserving scalar charging order and the
+    no-wild-guess certificate of Theorem 6.1; the resolution then
+    replays the scalar per-field ``record`` sequence
+    (:meth:`~repro.core.bounds.ArrayCandidateStore.resolve_row_fields`),
+    and later sorted re-discoveries of the resolved object are
+    suppressed exactly where the scalar ``record`` is a no-op.
+charge prefix
+    halting (NRA's rule, Theorem 8.4 applied as in Section 8.2) is
+    located by the replay and only the consumed prefix is charged
+    through the session's batched access methods.
+
+Three decision-neutral gates keep the sequential part small, inherited
+from NRA (sound because ``M_k`` never decreases while every ``B`` is
+non-increasing): the ``t(bottoms) > M_k`` skip, the lazy-heap floor
+pruning, and the *viability witness* -- a seen object outside every
+possible ``T_k`` (``W < M_k``) still viable (``B > M_k``) whose standing
+proves the full top-k/viability scan would not halt, letting it be
+skipped until the witness falls (or is itself resolved by a phase).
 """
 
 from __future__ import annotations
 
+import heapq
+
+import numpy as np
+
 from ..aggregation.base import AggregationFunction
 from ..middleware.access import AccessSession
 from .base import QueryError, TopKAlgorithm
-from .bounds import CandidateStore
+from .bounds import ArrayCandidateStore, CandidateStore
+from .chunks import (
+    ChunkWitness,
+    assemble_sorted_chunk,
+    entry_bottoms,
+    first_new_entries,
+    known_rows,
+    new_seen_cum,
+    round_last_entries,
+    witness_trajectory,
+)
 from .result import HaltReason, RankedItem, TopKResult
 
 __all__ = ["CombinedAlgorithm"]
@@ -72,6 +129,10 @@ class CombinedAlgorithm(TopKAlgorithm):
     def _run(
         self, session: AccessSession, aggregation: AggregationFunction, k: int
     ) -> TopKResult:
+        # the chunked engine needs the heap bookkeeping, so the
+        # Remark 8.7 naive oracle always runs the scalar loop
+        if session.supports_batches and not self.naive_bookkeeping:
+            return self._run_columnar(session, aggregation, k)
         m = session.num_lists
         h = self._period(session)
         store = CandidateStore(aggregation, m, k, naive=self.naive_bookkeeping)
@@ -80,38 +141,23 @@ class CombinedAlgorithm(TopKAlgorithm):
         escape_clauses = 0
         halt_reason = None
         topk: list = []
-        # like NRA: the naive oracle keeps the scalar loop (current_mk
-        # relies on the heap bookkeeping)
-        batched = session.supports_batches and not self.naive_bookkeeping
 
         while halt_reason is None:
             rounds += 1
-            if batched:
-                rb = session.sorted_access_round()
-                progressed = bool(rb)
-                if progressed:
-                    store.record_round(rb.objects, rb.lists, rb.grades)
-            else:
-                progressed = False
-                for i in range(m):
-                    entry = session.sorted_access(i)
-                    if entry is None:
-                        continue
-                    progressed = True
-                    obj, grade = entry
-                    store.update_bottom(i, grade)
-                    store.record(obj, i, grade)
+            progressed = False
+            for i in range(m):
+                entry = session.sorted_access(i)
+                if entry is None:
+                    continue
+                progressed = True
+                obj, grade = entry
+                store.update_bottom(i, grade)
+                store.record(obj, i, grade)
 
             if progressed and rounds % h == 0:
                 # random-access phase: fully resolve the most promising
-                # viable object that still has missing fields.  The
-                # B-greedy choice needs only the value M_k, which the
-                # batched path reads from the O(log k) incremental
-                # tracker instead of a full top-k recomputation.
-                if batched:
-                    m_k = store.current_mk()
-                else:
-                    _, m_k = store.current_topk()
+                # viable object that still has missing fields
+                _, m_k = store.current_topk()
                 target = store.best_random_access_target(m_k)
                 if target is None:
                     escape_clauses += 1
@@ -129,26 +175,401 @@ class CombinedAlgorithm(TopKAlgorithm):
             )
             if check_now and store.seen_count >= k:
                 unseen_remain = store.seen_count < session.num_objects
-                if batched:
-                    m_k = store.current_mk()
-                    if not (unseen_remain and store.threshold > m_k):
-                        topk, m_k = store.current_topk()
-                        if store.find_viable_outside(topk, m_k) is None:
-                            halt_reason = HaltReason.NO_VIABLE
-                else:
-                    topk, m_k = store.current_topk()
-                    if not (unseen_remain and store.threshold > m_k):
-                        if store.find_viable_outside(topk, m_k) is None:
-                            halt_reason = HaltReason.NO_VIABLE
+                topk, m_k = store.current_topk()
+                if not (unseen_remain and store.threshold > m_k):
+                    if store.find_viable_outside(topk, m_k) is None:
+                        halt_reason = HaltReason.NO_VIABLE
             if halt_reason is None and not progressed:
                 topk, _ = store.current_topk()
                 halt_reason = HaltReason.EXHAUSTED
 
+        return self._finish(
+            session,
+            store,
+            k,
+            h,
+            rounds,
+            random_phases,
+            escape_clauses,
+            halt_reason,
+            topk,
+        )
+
+    def _run_columnar(
+        self, session: AccessSession, aggregation: AggregationFunction, k: int
+    ) -> TopKResult:
+        """The speculative chunked engine (see the module docstring).
+
+        Differences from NRA's replay: at every global round divisible
+        by ``h`` the random-access phase executes against the live
+        store state (fields synced, bottoms set), charging the
+        speculated sorted prefix first so the accounting -- including
+        wild-guess certification -- interleaves exactly as the scalar
+        loop's does; resolved objects join ``resolved`` so their later
+        sorted re-discoveries are skipped (scalar ``record`` no-ops);
+        and the witness is dropped if a phase resolves it.
+        """
+        db = session.columnar_view()
+        order_rows = db._order_rows
+        order_grades = db._order_grades
+        n = db.num_objects
+        m = session.num_lists
+        h = self._period(session)
+        store = ArrayCandidateStore(aggregation, m, k, n)
+        field_matrix = store.field_matrix
+        seen_rows = np.zeros(n, dtype=bool)
+        resolved: set[int] = set()  # rows fully resolved by a phase
+        w_map = store.w
+        versions = store._version
+        w_heap = store._w_heap
+        b_heap = store._b_heap
+        mk_members = store._mk_members
+        mk_note = store._mk_note
+        heappush = heapq.heappush
+        interval = self.halt_check_interval
+        check_every_round = interval == 1
+        bottoms = store.bottoms
+        positions = [session.position(i) for i in range(m)]
+        rounds = 0
+        random_phases = 0
+        escape_clauses = 0
+        halt_reason = None
+        topk: list = []
+        witness = None
+        chunk_rounds = 32
+        # candidate rows for the B-greedy phase, kept in discovery order
+        # (array position = order of first sorted appearance) so that
+        # "first position among maxima" IS the canonical tie-break of
+        # best_random_access_target.  cand_b carries each row's last
+        # evaluated B (initially the ingestion-time cached B): since B
+        # never increases, it upper-bounds the fresh value -- the
+        # vectorised analogue of the lazy B-heap's cached keys.  Rows
+        # whose bound falls to M_k or below are pruned permanently (the
+        # _never_viable discard, vectorised).
+        cand = np.empty(0, dtype=np.intp)
+        cand_b = np.empty(0, dtype=np.float64)
+
+        while halt_reason is None:
+            if all(positions[i] >= n for i in range(m)):
+                # zero-progress round: no phase fires; full check, then
+                # EXHAUSTED
+                rounds += 1
+                if store.seen_count_value >= k:
+                    topk, m_k = store.current_topk()
+                    if not (
+                        store.seen_count_value < n and store.threshold > m_k
+                    ):
+                        if store.find_viable_outside(topk, m_k) is None:
+                            halt_reason = HaltReason.NO_VIABLE
+                if halt_reason is None:
+                    topk, _ = store.current_topk()
+                    halt_reason = HaltReason.EXHAUSTED
+                break
+            # ---- chunk assembly (uncharged view reads) ----
+            chunk = assemble_sorted_chunk(
+                order_rows,
+                order_grades,
+                positions,
+                range(m),
+                (1,) * m,
+                chunk_rounds,
+                n,
+                m,
+                bottoms,
+            )
+            counts = chunk.counts
+            rows_all = chunk.rows
+            grades_all = chunk.grades
+            lists_all = chunk.lists
+            c_eff = chunk.c_eff
+            round_ends = round_last_entries(chunk)
+            k_matrix = known_rows(chunk, field_matrix)
+            rows_list = rows_all.tolist()
+            new_entries = first_new_entries(chunk, seen_rows)
+            seen_cum = new_seen_cum(chunk, seen_rows, round_ends, new_entries)
+            seen_base = store.seen_count_value
+            # newly seen rows in discovery order; absorbed into the
+            # phase candidate array as the replay reaches their rounds
+            new_rows_chunk = rows_all[new_entries]
+            absorbed = 0
+            # ---- vectorised W, bottoms, thresholds, cached B ----
+            unknown = np.isnan(k_matrix)
+            w_list = aggregation.aggregate_batch(
+                np.where(unknown, 0.0, k_matrix)
+            ).tolist()
+            bott = chunk.bottoms_matrix
+            tau_list = aggregation.aggregate_batch(bott).tolist()
+            bott_rows = bott.tolist()
+            bott_entries = entry_bottoms(chunk, bottoms, m)
+            b_arr = aggregation.aggregate_batch(
+                np.where(unknown, bott_entries, k_matrix)
+            )
+            b_list = b_arr.tolist()
+            # ---- lazy-store floors (sound: M_k never decreases) ----
+            if len(mk_members) < k:
+                w_keep = b_keep = None
+                kept = list(range(chunk.total))
+            else:
+                floor = store._mk_clean()
+                w_keep_arr = np.asarray(w_list) >= floor
+                b_keep_arr = b_arr > floor
+                w_keep = w_keep_arr.tolist()
+                b_keep = b_keep_arr.tolist()
+                kept = np.nonzero(w_keep_arr | b_keep_arr)[0].tolist()
+            rounds_list = chunk.rounds.tolist()
+            # witness bookkeeping: re-anchor the carried-over witness to
+            # this chunk's gain rounds
+            if witness is not None:
+                witness = ChunkWitness(witness.row, chunk)
+            synced = 0
+            charged_rounds = 0
+
+            def sync_fields(upto: int) -> None:
+                nonlocal synced
+                if upto > synced:
+                    field_matrix[
+                        rows_all[synced:upto], lists_all[synced:upto]
+                    ] = grades_all[synced:upto]
+                    synced = upto
+
+            def witness_bound(r: int) -> list[float]:
+                sync_fields(round_ends[r] + 1)
+                return witness_trajectory(
+                    aggregation, bott, field_matrix[witness.row]
+                )
+
+            def charge_sorted(upto_rounds: int) -> None:
+                # charge the consumed sorted prefix; called before a
+                # phase's random accesses (scalar charging order, and the
+                # wild-guess certificate needs the target's sorted
+                # appearance realised first) and again at chunk commit
+                nonlocal charged_rounds
+                if upto_rounds > charged_rounds:
+                    for i in range(m):
+                        c_new = min(upto_rounds, counts[i])
+                        c_old = min(charged_rounds, counts[i])
+                        if c_new > c_old:
+                            session.sorted_access_batch(i, c_new - c_old)
+                            positions[i] += c_new - c_old
+                    charged_rounds = upto_rounds
+
+            # ---- sequential replay: kept entries, phases, checks ----
+            seq = store._seq
+            ki = 0
+            klen = len(kept)
+            r_halt = None
+            for r in range(c_eff):
+                while ki < klen:
+                    e = kept[ki]
+                    if rounds_list[e] != r:
+                        break
+                    row = rows_list[e]
+                    if row in resolved:
+                        # sorted re-discovery of a random-access-resolved
+                        # field: scalar record() is a no-op
+                        ki += 1
+                        continue
+                    version = versions.get(row, 0) + 1
+                    versions[row] = version
+                    if w_keep is None or w_keep[e]:
+                        w = w_list[e]
+                        w_map[row] = w
+                        seq += 1
+                        heappush(w_heap, (-w, seq, row, version))
+                        store._seq = seq
+                        mk_note(row, w)
+                        seq = store._seq
+                    if b_keep is None or b_keep[e]:
+                        seq += 1
+                        heappush(b_heap, (-b_list[e], seq, row, version))
+                    ki += 1
+                gr = rounds + r + 1
+                if gr % h == 0:
+                    # random-access phase on the live store (every round
+                    # inside a chunk progresses, so the phase always
+                    # fires).  Target selection is the vectorised form
+                    # of best_random_access_target: same candidate set
+                    # (seen, missing fields, fresh B > M_k), same
+                    # canonical max-fresh-B / discovery-order choice.
+                    # Blocks of the highest-bounded rows are re-evaluated
+                    # until no unevaluated bound can beat the best found
+                    # -- the lazy-heap scan, vectorised.
+                    sync_fields(round_ends[r] + 1)
+                    bottoms[:] = bott_rows[r]
+                    store.seen_count_value = seen_base + seen_cum[r]
+                    m_k = store.current_mk()
+                    upto_new = seen_cum[r]
+                    if upto_new > absorbed:
+                        cand = np.concatenate(
+                            [cand, new_rows_chunk[absorbed:upto_new]]
+                        )
+                        cand_b = np.concatenate(
+                            [cand_b, b_arr[new_entries[absorbed:upto_new]]]
+                        )
+                        absorbed = upto_new
+                    target = None
+                    if cand.size:
+                        evaluated = np.zeros(cand.size, dtype=bool)
+                        has_missing = np.zeros(cand.size, dtype=bool)
+                        best_b = m_k
+                        while True:
+                            mask = (
+                                ~evaluated
+                                & (cand_b > m_k)
+                                & (cand_b >= best_b)
+                            )
+                            idxs = np.nonzero(mask)[0]
+                            if idxs.size == 0:
+                                break
+                            if idxs.size > 256:
+                                idxs = idxs[
+                                    np.argpartition(-cand_b[idxs], 255)[
+                                        :256
+                                    ]
+                                ]
+                            sub = field_matrix[cand[idxs]]
+                            unknown_c = np.isnan(sub)
+                            fresh = aggregation.aggregate_batch(
+                                np.where(unknown_c, bott[r], sub)
+                            )
+                            store.b_evaluations += idxs.size
+                            cand_b[idxs] = fresh
+                            evaluated[idxs] = True
+                            miss = unknown_c.any(axis=1)
+                            has_missing[idxs] = miss
+                            good = miss & (fresh > m_k)
+                            if good.any():
+                                mx = fresh[good].max()
+                                if mx > best_b:
+                                    best_b = mx
+                        if best_b > m_k:
+                            sel = (
+                                evaluated
+                                & has_missing
+                                & (cand_b == best_b)
+                            )
+                            first = int(np.nonzero(sel)[0][0])
+                            target = int(cand[first])
+                            missing = np.nonzero(
+                                np.isnan(field_matrix[target])
+                            )[0].tolist()
+                        keep = cand_b > m_k
+                        if not keep.all():
+                            cand = cand[keep]
+                            cand_b = cand_b[keep]
+                    if target is None:
+                        escape_clauses += 1
+                    else:
+                        random_phases += 1
+                        charge_sorted(r + 1)
+                        row_arr = np.asarray([target], dtype=np.intp)
+                        fetched = [
+                            float(
+                                session.random_access_batch(
+                                    j, None, rows=row_arr
+                                )[0]
+                            )
+                            for j in missing
+                        ]
+                        store._seq = seq
+                        store.resolve_row_fields(target, missing, fetched)
+                        seq = store._seq
+                        resolved.add(target)
+                        if witness is not None and witness.row == target:
+                            # the witness is now fully known: it may
+                            # enter the top-k, so it proves nothing
+                            witness = None
+                if check_every_round or gr % interval == 0:
+                    seen_r = seen_base + seen_cum[r]
+                    if seen_r >= k:
+                        if len(mk_members) < k:
+                            m_k = float("-inf")
+                        else:
+                            m_k = store._mk_clean()
+                        skip = seen_r < n and tau_list[r] > m_k
+                        if not skip and witness is not None:
+                            # outside every possible T_k needs W < M_k;
+                            # viability needs fresh B > M_k
+                            w_wit = w_map.get(witness.row)
+                            if w_wit is not None and w_wit < m_k:
+                                if witness.bound_at(r, witness_bound) > m_k:
+                                    skip = True
+                        if not skip:
+                            sync_fields(round_ends[r] + 1)
+                            bottoms[:] = bott_rows[r]
+                            store.seen_count_value = seen_r
+                            store._seq = seq
+                            topk, m_k = store.current_topk()
+                            if not (seen_r < n and store.threshold > m_k):
+                                found = store.find_viable_outside(topk, m_k)
+                                if found is None:
+                                    halt_reason = HaltReason.NO_VIABLE
+                                    r_halt = r
+                                else:
+                                    witness = ChunkWitness(
+                                        found[0], chunk, after_round=r
+                                    )
+                            else:
+                                witness = None
+                            seq = store._seq
+                            if r_halt is not None:
+                                break
+            store._seq = seq
+            consumed = r_halt + 1 if r_halt is not None else c_eff
+            upto = chunk.consumed_upto(consumed)
+            # ---- commit: field scatter, seen set, remaining charges ----
+            sync_fields(upto)
+            seen_rows[rows_all[:upto]] = True
+            store.seen_count_value = seen_base + seen_cum[consumed - 1]
+            store.b_evaluations += upto
+            bottoms[:] = bott_rows[consumed - 1]
+            upto_new = seen_cum[consumed - 1]
+            if upto_new > absorbed:
+                # consumed rows not yet absorbed become candidates for
+                # the next chunk's phases
+                cand = np.concatenate(
+                    [cand, new_rows_chunk[absorbed:upto_new]]
+                )
+                cand_b = np.concatenate(
+                    [cand_b, b_arr[new_entries[absorbed:upto_new]]]
+                )
+            charge_sorted(consumed)
+            rounds += consumed
+            chunk_rounds = min(chunk_rounds * 2, 2048)
+
+        return self._finish(
+            session,
+            store,
+            k,
+            h,
+            rounds,
+            random_phases,
+            escape_clauses,
+            halt_reason,
+            topk,
+            ids=db._ids,
+        )
+
+    def _finish(
+        self,
+        session: AccessSession,
+        store: CandidateStore,
+        k: int,
+        h: int,
+        rounds: int,
+        random_phases: int,
+        escape_clauses: int,
+        halt_reason,
+        topk: list,
+        ids: list | None = None,
+    ) -> TopKResult:
+        """Assemble the result; ``ids`` translates row-keyed candidates
+        (the columnar engine's store) back to object ids."""
         items = []
         for obj in topk:
             items.append(
                 RankedItem(
-                    obj,
+                    obj if ids is None else ids[obj],
                     store.exact_grade(obj),
                     store.w[obj],
                     store.b_value(obj),

@@ -1,9 +1,9 @@
 """Shared chunk assembly for the speculative columnar engines.
 
-Both chunked engines (TA's ``_execute_columnar`` and NRA's
-``_run_columnar``) speculate the next ``chunk_rounds`` rounds' worth of
-sorted entries through the uncharged columnar view.  The delicate
-conventions live here, once:
+The chunked engines (TA's ``_execute_columnar`` and the
+``_run_columnar`` engines of NRA, CA and Stream-Combine) speculate the
+next ``chunk_rounds`` rounds' worth of sorted entries through the
+uncharged columnar view.  The delicate conventions live here, once:
 
 * entries are ordered exactly as the scalar loops consume them -- a
   stable sort by (round, list index), with within-list slice order
@@ -19,6 +19,16 @@ conventions live here, once:
 
 The engines must charge whatever prefix of the chunk they consume via
 the session's batched access methods; nothing here touches accounting.
+
+Besides assembly, this module holds the per-entry derivations the
+bound-based engines (NRA, CA, Stream-Combine) share: the mid-round
+bottom vectors each entry's cached ``B`` must see
+(:func:`entry_bottoms`), the cumulative known-field rows feeding the
+vectorised ``W``/``B`` computations (:func:`known_rows`), the index of
+each round's last entry (:func:`round_last_entries`), and the running
+distinct-object count per round (:func:`new_seen_cum`).  Each mirrors,
+vectorised, exactly what the scalar reference loops observe entry by
+entry -- the bit-for-bit differential tests depend on that.
 """
 
 from __future__ import annotations
@@ -28,7 +38,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["SortedChunk", "assemble_sorted_chunk"]
+__all__ = [
+    "SortedChunk",
+    "assemble_sorted_chunk",
+    "entry_bottoms",
+    "known_rows",
+    "round_last_entries",
+    "first_new_entries",
+    "new_seen_cum",
+    "witness_trajectory",
+]
 
 
 @dataclass
@@ -131,3 +150,160 @@ def assemble_sorted_chunk(
         c_eff=c_eff,
         bottoms_matrix=bott,
     )
+
+
+def round_last_entries(chunk: SortedChunk) -> np.ndarray:
+    """Index of the last entry of each round ``r`` (rounds may thin out
+    near the end of a list, but never vanish before ``c_eff``)."""
+    return (
+        np.searchsorted(
+            chunk.rounds, np.arange(1, chunk.c_eff + 1, dtype=np.intp)
+        )
+        - 1
+    )
+
+
+def entry_bottoms(
+    chunk: SortedChunk, bottoms: Sequence[float], m: int
+) -> np.ndarray:
+    """``(total, m)`` matrix: row ``e`` is the bottom vector the scalar
+    loop holds immediately after consuming entry ``e`` -- the exact
+    mid-round bottoms a cached ``B`` pushed at that point would see.
+
+    Column ``j`` carries the grade of list ``j``'s most recent entry at
+    or before ``e`` (the caller's current ``bottoms[j]`` before the
+    list's first entry of the chunk).
+    """
+    total = chunk.total
+    lists_all = chunk.lists
+    grades_all = chunk.grades
+    entry_range = np.arange(total, dtype=np.intp)
+    out = np.empty((total, m), dtype=np.float64)
+    for j in range(m):
+        ej = np.nonzero(lists_all == j)[0]
+        if ej.size == 0:
+            out[:, j] = bottoms[j]
+            continue
+        ff = np.searchsorted(ej, entry_range, side="right")
+        col = grades_all[ej[np.maximum(ff - 1, 0)]]
+        out[:, j] = np.where(ff == 0, bottoms[j], col)
+    return out
+
+
+def known_rows(chunk: SortedChunk, field_matrix: np.ndarray) -> np.ndarray:
+    """``(total, m)`` matrix: row ``e`` is entry ``e``'s object's known
+    fields *just after* recording entry ``e`` (NaN = unknown).
+
+    Starts from the chunk-start state in ``field_matrix`` plus each
+    entry's own field, then overlays, in consumption order, the earlier
+    in-chunk discoveries of objects that appear more than once in the
+    chunk.  ``field_matrix`` is read, never written.
+    """
+    rows_all = chunk.rows
+    lists_all = chunk.lists
+    grades_all = chunk.grades
+    entry_range = np.arange(chunk.total, dtype=np.intp)
+    k_matrix = field_matrix[rows_all]
+    k_matrix[entry_range, lists_all] = grades_all
+    group = np.lexsort((entry_range, rows_all))
+    prev_e = group[:-1]
+    next_e = group[1:]
+    same = rows_all[prev_e] == rows_all[next_e]
+    dup_pairs = np.stack([prev_e[same], next_e[same]], axis=1).tolist()
+    lists_list = lists_all.tolist()
+    grades_list = grades_all.tolist()
+    for prev_p, cur_p in dup_pairs:
+        own = grades_list[cur_p]
+        k_matrix[cur_p] = k_matrix[prev_p]
+        k_matrix[cur_p, lists_list[cur_p]] = own
+    return k_matrix
+
+
+def first_new_entries(
+    chunk: SortedChunk, seen_rows: np.ndarray
+) -> np.ndarray:
+    """Ascending entry indices at which an object *new to this run*
+    makes its first appearance (``seen_rows`` marks rows seen in earlier
+    chunks).  The order is the scalar loop's discovery order."""
+    first_in_chunk = np.zeros(chunk.total, dtype=bool)
+    first_in_chunk[np.unique(chunk.rows, return_index=True)[1]] = True
+    return np.nonzero(first_in_chunk & ~seen_rows[chunk.rows])[0]
+
+
+def new_seen_cum(
+    chunk: SortedChunk,
+    seen_rows: np.ndarray,
+    ends: np.ndarray,
+    new_entries: np.ndarray | None = None,
+) -> list[int]:
+    """Per round ``r``: how many objects *new to this run* appear in the
+    chunk at rounds ``<= r``.  Adding the chunk-start seen count gives
+    the scalar loop's ``seen_count`` after round ``r``.  Callers that
+    need the first-appearance entries themselves (CA's candidate
+    absorption) pass the precomputed ``first_new_entries`` array."""
+    if new_entries is None:
+        new_entries = first_new_entries(chunk, seen_rows)
+    return np.searchsorted(new_entries, ends, side="right").tolist()
+
+
+def witness_trajectory(
+    aggregation, bottoms_matrix: np.ndarray, field_row: np.ndarray
+) -> list[float]:
+    """Per round ``r``: the viability witness's fresh upper bound ``B``
+    under round ``r``'s bottoms -- ``bottoms_matrix`` rows with the
+    witness's known fields (non-NaN entries of ``field_row``)
+    substituted in.  Valid until the witness gains a field; the engines
+    invalidate at its gain rounds (see :class:`ChunkWitness`)."""
+    wit_rows = bottoms_matrix.copy()
+    for j, g in enumerate(field_row.tolist()):
+        if g == g:  # NaN check
+            wit_rows[:, j] = g
+    return aggregation.aggregate_batch(wit_rows).tolist()
+
+
+class ChunkWitness:
+    """Per-chunk bookkeeping for one viability witness.
+
+    A witness skips a halting check only while its upper bound ``B``
+    still clears the cutoff, and its cached per-round ``B`` trajectory
+    is valid only until the witness gains a field.  This object owns
+    the delicate part all three witness-gated engines (NRA, CA,
+    Stream-Combine) share: the witness's in-chunk gain rounds and the
+    trajectory invalidation at them.  The engine-specific standing
+    predicates (``W < M_k`` for NRA/CA, not-fully-seen for
+    Stream-Combine) and the witness's *retirement* (falling at a check,
+    being resolved by a CA phase, completing in Stream-Combine) stay in
+    the engines.
+    """
+
+    __slots__ = ("row", "_gains", "_ptr", "_trajectory")
+
+    def __init__(self, row, chunk: SortedChunk, after_round: int = -1):
+        """Track ``row`` through ``chunk``; with ``after_round >= 0``
+        (a witness found mid-chunk at that round), gains at or before
+        it are already reflected in the fields used for the first
+        trajectory computation."""
+        self.row = row
+        self._gains: list[int] = chunk.rounds[
+            np.nonzero(chunk.rows == row)[0]
+        ].tolist()
+        self._ptr = (
+            int(np.searchsorted(self._gains, after_round, side="right"))
+            if after_round >= 0
+            else 0
+        )
+        self._trajectory: list[float] | None = None
+
+    def bound_at(self, r: int, compute) -> float:
+        """The witness's ``B`` after round ``r``; ``compute(r)`` builds
+        the trajectory (via :func:`witness_trajectory`, after syncing
+        fields to round ``r``) when no valid cache exists."""
+        gains = self._gains
+        ptr = self._ptr
+        while ptr < len(gains) and gains[ptr] <= r:
+            self._trajectory = None
+            ptr += 1
+        self._ptr = ptr
+        if self._trajectory is None:
+            self._trajectory = compute(r)
+        return self._trajectory[r]

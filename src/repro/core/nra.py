@@ -55,7 +55,15 @@ from ..middleware.cost import UNIT_COSTS, CostModel
 from ..middleware.database import Database
 from .base import TopKAlgorithm
 from .bounds import ArrayCandidateStore, CandidateStore
-from .chunks import assemble_sorted_chunk
+from .chunks import (
+    ChunkWitness,
+    assemble_sorted_chunk,
+    entry_bottoms,
+    known_rows,
+    new_seen_cum,
+    round_last_entries,
+    witness_trajectory,
+)
 from .result import HaltReason, RankedItem, TopKResult
 
 __all__ = ["NoRandomAccessAlgorithm"]
@@ -238,37 +246,10 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
             total = chunk.total
             c_eff = chunk.c_eff
             entry_range = np.arange(total, dtype=np.intp)
-            # last entry index of round r (rounds may thin out near the
-            # end of a list, but never vanish before c_eff)
-            round_ends = (
-                np.searchsorted(
-                    rounds_all, np.arange(1, c_eff + 1, dtype=np.intp)
-                )
-                - 1
-            )
-            # ---- per-entry known-field rows ----
-            # chunk-start state + own field, then a sequential overlay for
-            # the entries of objects appearing more than once in the chunk
-            k_matrix = field_matrix[rows_all]
-            k_matrix[entry_range, lists_all] = grades_all
-            group = np.lexsort((entry_range, rows_all))
-            prev_e = group[:-1]
-            next_e = group[1:]
-            same = rows_all[prev_e] == rows_all[next_e]
-            dup_pairs = np.stack(
-                [prev_e[same], next_e[same]], axis=1
-            ).tolist()
-            lists_list = lists_all.tolist()
-            grades_list = grades_all.tolist()
-            for prev_p, cur_p in dup_pairs:
-                own = grades_list[cur_p]
-                k_matrix[cur_p] = k_matrix[prev_p]
-                k_matrix[cur_p, lists_list[cur_p]] = own
-            # distinct-object count per round
-            first_in_chunk = np.zeros(total, dtype=bool)
-            first_in_chunk[np.unique(rows_all, return_index=True)[1]] = True
-            new_mask = first_in_chunk & ~seen_rows[rows_all]
-            seen_cum = np.cumsum(new_mask)[round_ends].tolist()
+            round_ends = round_last_entries(chunk)
+            # per-entry known-field rows and distinct-object counts
+            k_matrix = known_rows(chunk, field_matrix)
+            seen_cum = new_seen_cum(chunk, seen_rows, round_ends)
             seen_base = store.seen_count_value
             # ---- vectorised W, bottoms, thresholds, cached B ----
             unknown = np.isnan(k_matrix)
@@ -278,15 +259,7 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
             bott = chunk.bottoms_matrix
             tau_list = aggregation.aggregate_batch(bott).tolist()
             bott_rows = bott.tolist()
-            bott_entries = np.empty((total, m), dtype=np.float64)
-            for j in range(m):
-                ej = np.nonzero(lists_all == j)[0]
-                if ej.size == 0:
-                    bott_entries[:, j] = bottoms[j]
-                    continue
-                ff = np.searchsorted(ej, entry_range, side="right")
-                col = grades_all[ej[np.maximum(ff - 1, 0)]]
-                bott_entries[:, j] = np.where(ff == 0, bottoms[j], col)
+            bott_entries = entry_bottoms(chunk, bottoms, m)
             b_arr = aggregation.aggregate_batch(
                 np.where(unknown, bott_entries, k_matrix)
             )
@@ -305,15 +278,10 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
                 kept = np.nonzero(w_keep_arr | b_keep_arr)[0].tolist()
             rows_list = rows_all.tolist()
             rounds_list = rounds_all.tolist()
-            # witness bookkeeping for this chunk
-            witness_b: list[float] | None = None
+            # witness bookkeeping: re-anchor the carried-over witness to
+            # this chunk's gain rounds
             if witness is not None:
-                gain_rounds = rounds_all[
-                    np.nonzero(rows_all == witness)[0]
-                ].tolist()
-            else:
-                gain_rounds = []
-            gain_ptr = 0
+                witness = ChunkWitness(witness.row, chunk)
             synced = 0
 
             def sync_fields(upto: int) -> None:
@@ -323,6 +291,12 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
                         rows_all[synced:upto], lists_all[synced:upto]
                     ] = grades_all[synced:upto]
                     synced = upto
+
+            def witness_bound(r: int) -> list[float]:
+                sync_fields(round_ends[r] + 1)
+                return witness_trajectory(
+                    aggregation, bott, field_matrix[witness.row]
+                )
 
             # ---- sequential replay: kept entries + per-round checks ----
             seq = store._seq
@@ -361,25 +335,9 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
                         if not skip and witness is not None:
                             # outside every possible T_k needs W < M_k;
                             # viability needs fresh B > theta * M_k
-                            while (
-                                gain_ptr < len(gain_rounds)
-                                and gain_rounds[gain_ptr] <= r
-                            ):
-                                witness_b = None
-                                gain_ptr += 1
-                            w_wit = w_map.get(witness)
+                            w_wit = w_map.get(witness.row)
                             if w_wit is not None and w_wit < m_k:
-                                if witness_b is None:
-                                    sync_fields(round_ends[r] + 1)
-                                    wit_rows = bott.copy()
-                                    wit_vec = field_matrix[witness].tolist()
-                                    for j, g in enumerate(wit_vec):
-                                        if g == g:
-                                            wit_rows[:, j] = g
-                                    witness_b = aggregation.aggregate_batch(
-                                        wit_rows
-                                    ).tolist()
-                                if witness_b[r] > cutoff:
+                                if witness.bound_at(r, witness_bound) > cutoff:
                                     skip = True
                         if not skip:
                             sync_fields(round_ends[r] + 1)
@@ -396,19 +354,11 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
                                     halt_reason = HaltReason.NO_VIABLE
                                     r_halt = r
                                 else:
-                                    witness = found[0]
-                                    witness_b = None
-                                    gain_rounds = rounds_all[
-                                        np.nonzero(rows_all == witness)[0]
-                                    ].tolist()
-                                    gain_ptr = int(
-                                        np.searchsorted(
-                                            gain_rounds, r, side="right"
-                                        )
+                                    witness = ChunkWitness(
+                                        found[0], chunk, after_round=r
                                     )
                             else:
                                 witness = None
-                                witness_b = None
                             seq = store._seq
                             if r_halt is not None:
                                 break

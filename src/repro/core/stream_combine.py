@@ -18,16 +18,66 @@ measured in ``benchmarks/bench_related_heuristics.py``.
 
 This is the *basic* (lockstep) version; the original paper adds a
 list-scheduling heuristic orthogonal to the comparison made here.
+
+Execution backends: on a columnar session
+(:attr:`~repro.middleware.access.AccessSession.supports_batches`) the
+algorithm runs a *speculative chunked engine*, bit-for-bit equivalent to
+the scalar reference loop (differential-tested: same items, halting
+round and reason, and access accounting), following the
+speculate -> replay -> charge-prefix scheme of NRA and CA:
+
+speculate
+    read the next chunk of lockstep rounds through the uncharged
+    ``columnar_view``; one ``aggregate_batch`` each yields every entry's
+    cached ``B`` under the exact mid-round bottoms (Proposition 8.2),
+    every round's threshold, and -- where an entry completes its object
+    -- the exact overall grade (the 0-substituted row has no unknowns
+    left, so it *is* ``t``'s value; Stream-Combine never uses partial
+    ``W`` bounds, matching difference (1) above).
+replay
+    ingest the rounds in scalar order against an
+    :class:`~repro.core.bounds.ArrayCandidateStore`: only the ``B``-heap
+    is fed (upper-bounds-only bookkeeping needs no ``W``-heap and no
+    ``M_k`` tracker), and entries that complete an object offer its
+    exact grade to the fully-seen top-``k`` buffer, preserving the
+    scalar offer order (tie placement included).
+charge prefix
+    the replay locates the exact halting round and only the consumed
+    prefix is charged through ``sorted_access_batch``.
+
+Two decision-neutral gates keep the sequential part small, sound
+because the fully-seen floor ``M_k`` (the buffer's k-th exact grade)
+never decreases while every ``B`` is non-increasing: entries whose
+cached ``B`` sits at or below the chunk-start floor skip the lazy heap
+(the same permanent discard ``find_viable_outside`` would apply), and
+each failed halting check yields a *viability witness* -- a not yet
+fully seen object (hence outside the buffer) with ``B > M_k`` -- whose
+standing, checked against a per-chunk vectorised ``B`` trajectory,
+proves the full viability scan would not halt, letting it be skipped
+until the witness falls or is fully seen.
 """
 
 from __future__ import annotations
+
+import heapq
+
+import numpy as np
 
 from ..aggregation.base import AggregationFunction
 from ..middleware.access import AccessSession, ListCapabilities
 from ..middleware.cost import UNIT_COSTS, CostModel
 from ..middleware.database import Database
 from .base import TopKAlgorithm, TopKBuffer
-from .bounds import CandidateStore
+from .bounds import ArrayCandidateStore, CandidateStore
+from .chunks import (
+    ChunkWitness,
+    assemble_sorted_chunk,
+    entry_bottoms,
+    known_rows,
+    new_seen_cum,
+    round_last_entries,
+    witness_trajectory,
+)
 from .result import HaltReason, RankedItem, TopKResult
 
 __all__ = ["StreamCombine"]
@@ -53,6 +103,8 @@ class StreamCombine(TopKAlgorithm):
     def _run(
         self, session: AccessSession, aggregation: AggregationFunction, k: int
     ) -> TopKResult:
+        if session.supports_batches:
+            return self._run_columnar(session, aggregation, k)
         m = session.num_lists
         store = CandidateStore(aggregation, m, k)
         full = TopKBuffer(k)  # fully-seen objects by exact grade
@@ -90,6 +142,219 @@ class StreamCombine(TopKAlgorithm):
             RankedItem(obj, grade, grade, grade)
             for obj, grade in full.items_desc()
         ]
+        return self._result(session, k, items, rounds, halt_reason, store)
+
+    def _run_columnar(
+        self, session: AccessSession, aggregation: AggregationFunction, k: int
+    ) -> TopKResult:
+        """The speculative chunked engine (see the module docstring).
+
+        Candidates are row indices into an
+        :class:`~repro.core.bounds.ArrayCandidateStore`; the buffer of
+        fully seen objects is keyed by row and translated back to object
+        ids at the end.  Only the ``B``-heap is maintained (plus the
+        version map its staleness checks need): Stream-Combine's halting
+        machinery touches candidates exclusively through
+        ``find_viable_outside``.
+        """
+        db = session.columnar_view()
+        order_rows = db._order_rows
+        order_grades = db._order_grades
+        n = db.num_objects
+        m = session.num_lists
+        store = ArrayCandidateStore(aggregation, m, k, n)
+        field_matrix = store.field_matrix
+        seen_rows = np.zeros(n, dtype=bool)
+        w_map = store.w
+        versions = store._version
+        b_heap = store._b_heap
+        heappush = heapq.heappush
+        full = TopKBuffer(k)
+        offer = full.offer
+        bottoms = store.bottoms
+        positions = [session.position(i) for i in range(m)]
+        rounds = 0
+        halt_reason = None
+        witness = None
+        chunk_rounds = 32
+
+        while halt_reason is None:
+            if all(positions[i] >= n for i in range(m)):
+                # zero-progress round: full check, then EXHAUSTED
+                rounds += 1
+                if full.full:
+                    m_k = full.min_grade
+                    topk_objs = [obj for obj, _ in full.items_desc()]
+                    if not (
+                        store.seen_count_value < n and store.threshold > m_k
+                    ):
+                        if (
+                            store.find_viable_outside(topk_objs, m_k)
+                            is None
+                        ):
+                            halt_reason = HaltReason.NO_VIABLE
+                if halt_reason is None:
+                    halt_reason = HaltReason.EXHAUSTED
+                break
+            # ---- chunk assembly (uncharged view reads) ----
+            chunk = assemble_sorted_chunk(
+                order_rows,
+                order_grades,
+                positions,
+                range(m),
+                (1,) * m,
+                chunk_rounds,
+                n,
+                m,
+                bottoms,
+            )
+            counts = chunk.counts
+            rows_all = chunk.rows
+            grades_all = chunk.grades
+            lists_all = chunk.lists
+            c_eff = chunk.c_eff
+            round_ends = round_last_entries(chunk)
+            k_matrix = known_rows(chunk, field_matrix)
+            seen_cum = new_seen_cum(chunk, seen_rows, round_ends)
+            seen_base = store.seen_count_value
+            # ---- vectorised exact grades, bottoms, thresholds, cached B
+            unknown = np.isnan(k_matrix)
+            complete = ~unknown.any(axis=1)
+            # for complete entries the 0-substituted row has no unknowns:
+            # w_list[e] is the exact overall grade
+            w_list = aggregation.aggregate_batch(
+                np.where(unknown, 0.0, k_matrix)
+            ).tolist()
+            bott = chunk.bottoms_matrix
+            tau_list = aggregation.aggregate_batch(bott).tolist()
+            bott_rows = bott.tolist()
+            bott_entries = entry_bottoms(chunk, bottoms, m)
+            b_arr = aggregation.aggregate_batch(
+                np.where(unknown, bott_entries, k_matrix)
+            )
+            b_list = b_arr.tolist()
+            # ---- lazy-heap floor (sound: the fully-seen M_k never
+            # decreases, every B is non-increasing) ----
+            complete_list = complete.tolist()
+            if full.full:
+                floor = full.min_grade
+                b_keep_arr = b_arr > floor
+                b_keep = b_keep_arr.tolist()
+                kept = np.nonzero(b_keep_arr | complete)[0].tolist()
+            else:
+                b_keep = None
+                kept = list(range(chunk.total))
+            rows_list = rows_all.tolist()
+            rounds_list = chunk.rounds.tolist()
+            # witness bookkeeping: re-anchor the carried-over witness to
+            # this chunk's gain rounds
+            if witness is not None:
+                witness = ChunkWitness(witness.row, chunk)
+            synced = 0
+
+            def sync_fields(upto: int) -> None:
+                nonlocal synced
+                if upto > synced:
+                    field_matrix[
+                        rows_all[synced:upto], lists_all[synced:upto]
+                    ] = grades_all[synced:upto]
+                    synced = upto
+
+            def witness_bound(r: int) -> list[float]:
+                sync_fields(round_ends[r] + 1)
+                return witness_trajectory(
+                    aggregation, bott, field_matrix[witness.row]
+                )
+
+            # ---- sequential replay: kept entries + per-round checks ----
+            seq = store._seq
+            ki = 0
+            klen = len(kept)
+            r_halt = None
+            for r in range(c_eff):
+                while ki < klen:
+                    e = kept[ki]
+                    if rounds_list[e] != r:
+                        break
+                    row = rows_list[e]
+                    version = versions.get(row, 0) + 1
+                    versions[row] = version
+                    if b_keep is None or b_keep[e]:
+                        seq += 1
+                        heappush(b_heap, (-b_list[e], seq, row, version))
+                    if complete_list[e]:
+                        w = w_list[e]
+                        w_map[row] = w
+                        offer(row, w)
+                        if witness is not None and witness.row == row:
+                            # a fully seen witness may enter the buffer;
+                            # it no longer proves the check fails
+                            witness = None
+                    ki += 1
+                if full.full:
+                    m_k = full.min_grade
+                    seen_r = seen_base + seen_cum[r]
+                    skip = seen_r < n and tau_list[r] > m_k
+                    if not skip and witness is not None:
+                        # not fully seen => outside the buffer; viability
+                        # needs fresh B > M_k
+                        if witness.bound_at(r, witness_bound) > m_k:
+                            skip = True
+                    if not skip:
+                        sync_fields(round_ends[r] + 1)
+                        bottoms[:] = bott_rows[r]
+                        store.seen_count_value = seen_r
+                        store._seq = seq
+                        topk_objs = [obj for obj, _ in full.items_desc()]
+                        if not (seen_r < n and store.threshold > m_k):
+                            found = store.find_viable_outside(
+                                topk_objs, m_k
+                            )
+                            if found is None:
+                                halt_reason = HaltReason.NO_VIABLE
+                                r_halt = r
+                            else:
+                                witness = ChunkWitness(
+                                    found[0], chunk, after_round=r
+                                )
+                        else:
+                            witness = None
+                        seq = store._seq
+                        if r_halt is not None:
+                            break
+            store._seq = seq
+            consumed = r_halt + 1 if r_halt is not None else c_eff
+            upto = chunk.consumed_upto(consumed)
+            # ---- commit: field scatter, seen set, charges ----
+            sync_fields(upto)
+            seen_rows[rows_all[:upto]] = True
+            store.seen_count_value = seen_base + seen_cum[consumed - 1]
+            store.b_evaluations += upto
+            bottoms[:] = bott_rows[consumed - 1]
+            for i in range(m):
+                c = min(consumed, counts[i])
+                if c:
+                    session.sorted_access_batch(i, c)
+                    positions[i] += c
+            rounds += consumed
+            chunk_rounds = min(chunk_rounds * 2, 2048)
+
+        ids = db._ids
+        items = [
+            RankedItem(ids[row], grade, grade, grade)
+            for row, grade in full.items_desc()
+        ]
+        return self._result(session, k, items, rounds, halt_reason, store)
+
+    def _result(
+        self,
+        session: AccessSession,
+        k: int,
+        items: list[RankedItem],
+        rounds: int,
+        halt_reason,
+        store: CandidateStore,
+    ) -> TopKResult:
         return TopKResult(
             algorithm=self.name,
             k=k,

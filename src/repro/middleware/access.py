@@ -45,9 +45,12 @@ byte-identical; when the database is a
 :class:`~repro.middleware.database.ColumnarDatabase` (and no trace is
 recorded), they instead serve array slices and fancy-indexed gathers in
 O(1) Python operations per batch.  :attr:`AccessSession.supports_batches`
-tells algorithms whether that fast path is active; the batched loops in
-:mod:`repro.core` use it to pick between the scalar reference loop and
-the columnar one.
+tells algorithms whether that fast path is active; every bound-based
+algorithm in :mod:`repro.core` (TA and its TA-theta/TA-Z hooks, NRA,
+CA, Stream-Combine) uses it to pick between its scalar reference loop
+and its speculative chunked engine (see :meth:`AccessSession.columnar_view`
+for the speculation contract, and ``docs/ARCHITECTURE.md`` for the
+engine scheme).
 """
 
 from __future__ import annotations
@@ -393,7 +396,14 @@ class AccessSession:
     def sorted_access_round(self) -> RoundBatch:
         """One sorted access on every sorted-capable, non-exhausted list,
         in list order -- the lockstep round of NRA and CA.  Charges one
-        access per entry returned."""
+        access per entry returned.
+
+        Kept as public batched-plane API for algorithm authors writing
+        lockstep loops: the in-tree engines now speculate whole chunks
+        instead (see :meth:`columnar_view`), but a round-at-a-time
+        batched loop remains the simplest correct way to amortise the
+        scalar methods without taking on the speculation contract.
+        """
         db = self._columnar
         if db is None or self.trace is not None:
             lists: list[int] = []

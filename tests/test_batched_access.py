@@ -1,13 +1,20 @@
 """Unit tests for the batched access plane: identical accounting to the
 scalar access methods, on both backends, including the awkward edges
 (batches overrunning the list end, wild guesses raised mid-batch,
-capability refusals, trace-recording fallback)."""
+capability refusals, trace-recording fallback).
+
+The ``TestCombinedAlgorithmPhaseAccounting`` class covers the charging
+edges of CA's chunked random-access phase: ``h`` boundaries relative to
+the halting round, interleaving with the no-wild-guess certificate, and
+the footnote-15 escape clause (empty candidate pool)."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
+from repro.aggregation.standard import AVERAGE, MIN
+from repro.core.ca import CombinedAlgorithm
 from repro.middleware.access import AccessSession, ListCapabilities
 from repro.middleware.database import ColumnarDatabase, Database
 from repro.middleware.errors import (
@@ -160,3 +167,108 @@ def test_supports_batches_only_on_columnar():
     assert scalar.columnar_view() is None
     assert columnar.supports_batches
     assert columnar.columnar_view() is not None
+
+
+class TestCombinedAlgorithmPhaseAccounting:
+    """Charging edges of CA's chunked random-access phase."""
+
+    @staticmethod
+    def _accounting(result):
+        stats = result.stats
+        return (
+            stats.sorted_accesses,
+            stats.random_accesses,
+            stats.sorted_by_list,
+            stats.random_by_list,
+            stats.depth,
+            result.rounds,
+            result.extras["random_phases"],
+            result.extras["escape_clauses"],
+        )
+
+    @staticmethod
+    def _both(algo, grades, aggregation, k, **kwargs):
+        scalar = algo.run_on(Database.from_array(grades), aggregation, k,
+                             **kwargs)
+        columnar = algo.run_on(
+            ColumnarDatabase.from_array(grades), aggregation, k, **kwargs
+        )
+        return scalar, columnar
+
+    @pytest.mark.parametrize("h", [1, 2, 3, 7, 10**9])
+    def test_phase_charges_identical_at_every_h_boundary(self, h):
+        """The phase fires exactly at global rounds divisible by h --
+        including h=1 (a phase per round, mid-chunk store mutations
+        every replay step) and huge h (no phase before halting, CA
+        degenerates to NRA)."""
+        grades = np.random.default_rng(23).random((80, 3))
+        scalar, columnar = self._both(
+            CombinedAlgorithm(h=h), grades, AVERAGE, 4
+        )
+        assert self._accounting(scalar) == self._accounting(columnar)
+        if h == 10**9:
+            assert columnar.random_accesses == 0
+
+    def test_phase_halting_on_the_phase_round_charges_once(self):
+        """When the halting check succeeds on a phase round, the phase's
+        random accesses and the round's sorted accesses are both charged
+        exactly once (the phase pre-charges the sorted prefix; the
+        commit must not double-charge it)."""
+        grades = np.random.default_rng(5).random((60, 3))
+        for h in (1, 2, 5):
+            scalar, columnar = self._both(
+                CombinedAlgorithm(h=h), grades, MIN, 2
+            )
+            assert self._accounting(scalar) == self._accounting(columnar)
+            n_sorted = columnar.stats.sorted_accesses
+            assert n_sorted <= 3 * columnar.rounds  # never over-charged
+
+    def test_phase_random_accesses_pass_wild_guess_certification(self):
+        """Phase targets have, by construction, been seen under sorted
+        access; the chunked engine must realise (charge) the speculated
+        sorted prefix *before* the phase's random accesses, or the
+        certificate would see a wild guess."""
+        grades = np.random.default_rng(11).random((70, 3))
+        scalar, columnar = self._both(
+            CombinedAlgorithm(h=2),
+            grades,
+            AVERAGE,
+            3,
+            forbid_wild_guesses=True,
+        )
+        assert columnar.random_accesses > 0
+        assert self._accounting(scalar) == self._accounting(columnar)
+
+    def test_escape_clause_on_empty_candidate_pool_charges_nothing(self):
+        """Footnote 15: when every viable object is already fully known
+        (identical columns => each round completes its object), the
+        phase charges no random accesses on either backend."""
+        column = np.linspace(1.0, 0.1, 10)
+        grades = np.stack([column, column], axis=1)
+        scalar, columnar = self._both(
+            CombinedAlgorithm(h=1), grades, MIN, 2
+        )
+        assert self._accounting(scalar) == self._accounting(columnar)
+        assert columnar.random_accesses == 0
+        assert columnar.extras["escape_clauses"] >= 1
+        assert columnar.extras["random_phases"] == 0
+
+    def test_phase_on_near_exhausted_lists(self):
+        """h boundaries interacting with list exhaustion: a large
+        halt-check interval skips the final checks, so the run exhausts
+        every list, fires phases on thinned-out rounds along the way,
+        and halts on the zero-progress phantom round -- where no phase
+        may fire (the scalar loop's ``progressed`` guard)."""
+        grades = np.random.default_rng(7).random((12, 3))
+        # halt_check_interval=13 skips every in-chunk check: the first
+        # check runs on the zero-progress round after full exhaustion
+        scalar, columnar = self._both(
+            CombinedAlgorithm(h=2, halt_check_interval=13),
+            grades,
+            AVERAGE,
+            12,
+        )
+        assert self._accounting(scalar) == self._accounting(columnar)
+        assert scalar.halt_reason == columnar.halt_reason
+        assert columnar.depth == 12  # every list fully consumed
+        assert columnar.rounds == 13  # 12 progressing + 1 phantom round

@@ -2,7 +2,8 @@
 equivalent to the scalar reference path.
 
 Every algorithm that grows a columnar fast path (TA, TA(cache), NRA, CA,
-plus their knob variants) is run twice over the same logical database --
+Stream-Combine, plus their knob variants) is run twice over the same
+logical database --
 once on the scalar :class:`~repro.middleware.database.Database`, once on
 its :class:`~repro.middleware.database.ColumnarDatabase` twin -- and the
 *entire* observable output must match exactly: ranked items (objects,
@@ -27,12 +28,25 @@ from hypothesis import strategies as st
 from repro.aggregation.standard import AVERAGE, MAX, MEDIAN, MIN, PRODUCT, SUM
 from repro.core.ca import CombinedAlgorithm
 from repro.core.nra import NoRandomAccessAlgorithm
+from repro.core.stream_combine import StreamCombine
 from repro.core.ta import ThresholdAlgorithm
 from repro.datagen import example_6_3, example_8_3, figure_5
 from repro.middleware.cost import CostModel
 from repro.middleware.database import ColumnarDatabase, Database
 
 AGGREGATIONS = [MIN, MAX, AVERAGE, SUM, PRODUCT, MEDIAN]
+
+
+# extras that must agree between backends (b_evaluations is documented
+# as backend-dependent: the chunked engines legitimately skip work)
+PORTABLE_EXTRAS = (
+    "h",
+    "random_phases",
+    "escape_clauses",
+    "fully_seen",
+    "final_threshold",
+    "guarantee",
+)
 
 
 def signature(result):
@@ -50,6 +64,7 @@ def signature(result):
         result.halt_reason,
         result.rounds,
         result.max_buffer_size,
+        {k: v for k, v in result.extras.items() if k in PORTABLE_EXTRAS},
     )
 
 
@@ -73,6 +88,8 @@ def algorithms_for(m):
     yield NoRandomAccessAlgorithm(theta=1.25), None
     yield CombinedAlgorithm(), CostModel(1.0, 5.0)
     yield CombinedAlgorithm(h=1), None
+    yield CombinedAlgorithm(h=3, halt_check_interval=2), None
+    yield StreamCombine(), None
 
 
 grade_matrices = st.integers(min_value=1, max_value=40).flatmap(
@@ -130,6 +147,7 @@ def test_backends_agree_on_adversarial_constructions(instance, aggregation):
     assert_backends_agree(
         db, CombinedAlgorithm(), aggregation, 1, CostModel(1.0, 3.0)
     )
+    assert_backends_agree(db, StreamCombine(), aggregation, 1)
 
 
 def test_backends_agree_on_string_object_ids():

@@ -1,0 +1,31 @@
+"""The documentation surface stays healthy: the README quickstart runs
+green (doctest) and every intra-repo markdown link resolves.  The same
+checks run standalone in CI via ``python docs/check_docs.py``."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+spec = importlib.util.spec_from_file_location(
+    "check_docs", REPO_ROOT / "docs" / "check_docs.py"
+)
+check_docs = importlib.util.module_from_spec(spec)
+sys.modules["check_docs"] = check_docs
+spec.loader.exec_module(check_docs)
+
+
+def test_readme_quickstart_doctests_pass():
+    assert check_docs.doctest_failures() == []
+
+
+def test_readme_and_architecture_exist():
+    assert (REPO_ROOT / "README.md").is_file()
+    assert (REPO_ROOT / "docs" / "ARCHITECTURE.md").is_file()
+
+
+def test_intra_repo_markdown_links_resolve():
+    assert check_docs.broken_links() == []
