@@ -63,7 +63,7 @@ def bench_ca_vs_ta_cost_ratio(benchmark):
                  r["ca_random"]]
                 for r in rows
             ],
-            title=f"TA vs CA measured optimality ratios as cR/cS grows "
+            title="TA vs CA measured optimality ratios as cR/cS grows "
             f"(permutations N={N}, m={M}, k={K}, t=average)",
         )
     )

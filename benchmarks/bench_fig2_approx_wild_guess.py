@@ -9,7 +9,6 @@ Paper claims reproduced here:
 * the separation grows linearly in n for every theta > 1.
 """
 
-import pytest
 from _util import emit
 
 from repro.aggregation import MIN

@@ -74,7 +74,7 @@ def bench_instance_optimality_sweep(benchmark):
         format_table(
             ["family", "algorithm", "worst measured ratio"],
             rows,
-            title=f"instance-optimality sweep: worst cost/certificate ratio "
+            title="instance-optimality sweep: worst cost/certificate ratio "
             f"over {len(SEEDS)} seeds per family (m=2, k={K}, cR/cS=2; "
             f"TA bound = {bound:g}).  Note: the certificate may use random "
             "accesses, so NRA's ratio here can exceed its bound m, which "

@@ -81,7 +81,7 @@ def bench_overall_comparison(benchmark):
         format_table(
             ["workload", "Naive", "FA", "TA", "NRA", "CA"],
             rows,
-            title=f"middleware cost, every algorithm x every workload "
+            title="middleware cost, every algorithm x every workload "
             f"(N={N}, k={K}, cS=1, cR=5, t=average)",
         )
     )

@@ -22,7 +22,7 @@ from repro.core import (
     StreamCombine,
     ThresholdAlgorithm,
 )
-from repro.datagen import example_8_3, zipf_skewed
+from repro.datagen import example_8_3
 from repro.middleware import Database
 
 
@@ -127,7 +127,6 @@ def bench_quick_combine_starvation_and_patch(benchmark):
             "fairness patch",
         )
     )
-    from repro.analysis import assert_result_correct  # answers stay right
     # the pure heuristic starves the plateau list and pays dearly
     assert pure.middleware_cost > 20 * ta.middleware_cost
     # the fairness patch restores a constant-factor relationship

@@ -1,0 +1,118 @@
+"""Bench regression gate: compare a smoke run's backend speedups
+against the committed full-run baseline.
+
+The smoke run (``bench_backend_speedup.py --smoke``) times the scalar
+and columnar backends on (algorithm, N, m) configurations that also
+appear in the committed ``BENCH_backend.json``.  Speedup (scalar
+seconds / columnar seconds) is a within-machine ratio, so it is
+comparable across hardware where absolute seconds are not.  For every
+configuration present in both files the gate requires::
+
+    baseline_speedup / smoke_speedup <= tolerance
+
+i.e. the columnar engine may not have lost more than ``tolerance``x of
+its relative advantage (default 2.0).  Exits non-zero, listing the
+offending configurations, when any check fails -- or when the files
+share no configurations at all (a miswired grid should fail loudly,
+not pass silently).
+
+Run::
+
+    python benchmarks/check_bench_regression.py \
+        --baseline BENCH_backend.json \
+        --smoke BENCH_backend.smoke.json \
+        --tolerance 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _runs_by_config(report: dict) -> dict[tuple, dict]:
+    return {
+        (run["algorithm"], run["N"], run["m"]): run
+        for run in report["runs"]
+    }
+
+
+def check(baseline_path: Path, smoke_path: Path, tolerance: float) -> int:
+    baseline = _runs_by_config(json.loads(baseline_path.read_text()))
+    smoke = _runs_by_config(json.loads(smoke_path.read_text()))
+    shared = sorted(set(baseline) & set(smoke))
+    if not shared:
+        print(
+            "bench regression gate: no (algorithm, N, m) configuration is "
+            f"shared between {baseline_path} and {smoke_path}; the smoke "
+            "grid must overlap the committed grid",
+            file=sys.stderr,
+        )
+        return 2
+    failures = []
+    for key in shared:
+        algorithm, n, m = key
+        base_speedup = baseline[key]["speedup"]
+        smoke_speedup = smoke[key]["speedup"]
+        ratio = (
+            base_speedup / smoke_speedup
+            if smoke_speedup > 0
+            else float("inf")
+        )
+        verdict = "ok" if ratio <= tolerance else "FAIL"
+        print(
+            f"{algorithm:13s} N={n:>7d} m={m}: baseline {base_speedup:6.2f}x "
+            f"smoke {smoke_speedup:6.2f}x  ratio={ratio:5.2f} "
+            f"(tolerance {tolerance:g})  {verdict}"
+        )
+        if ratio > tolerance:
+            failures.append(key)
+    if failures:
+        print(
+            f"bench regression gate: {len(failures)} configuration(s) lost "
+            f"more than {tolerance:g}x of their columnar speedup: "
+            + ", ".join(
+                f"{a} (N={n}, m={m})" for a, n, m in failures
+            ),
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"bench regression gate: all {len(shared)} shared configurations "
+        f"within {tolerance:g}x of the committed baseline"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_backend.json",
+        help="committed full-run report (the reference speedups)",
+    )
+    parser.add_argument(
+        "--smoke",
+        type=Path,
+        default=REPO_ROOT / "BENCH_backend.smoke.json",
+        help="fresh smoke-run report to gate",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="maximum allowed baseline/smoke speedup ratio (default 2.0)",
+    )
+    args = parser.parse_args()
+    if args.tolerance < 1.0:
+        parser.error(f"tolerance must be >= 1.0, got {args.tolerance}")
+    return check(args.baseline, args.smoke, args.tolerance)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -99,7 +99,7 @@ def main() -> None:
     print(
         f"\nover {len(broadcast_log)} ticks TA examined on average the top "
         f"{avg_depth:.1f} of {avg_pending:.0f} pending pages per decision "
-        f"(naive rescan: all of them, every tick)."
+        "(naive rescan: all of them, every tick)."
     )
     print(f"total middleware cost: {total_cost:g} for {total_entries} entries")
 

@@ -53,7 +53,7 @@ def main() -> None:
         format_table(
             ["algorithm", "cost", "ratio vs proof"],
             rows,
-            title=f"measured optimality ratios (TA's theoretical bound: "
+            title="measured optimality ratios (TA's theoretical bound: "
             f"{bound:g})\n",
         )
     )

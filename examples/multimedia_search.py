@@ -93,7 +93,7 @@ def main() -> None:
         stop_when=lambda view: view.guarantee <= 1.10,
     )
     print(
-        f"\nearly stop at guarantee <= 1.10: paid "
+        "\nearly stop at guarantee <= 1.10: paid "
         f"{approx.middleware_cost:g} vs exact {result.middleware_cost:g} "
         f"(achieved theta = {approx.extras['guarantee']:.4f})"
     )

@@ -50,7 +50,7 @@ def main() -> None:
             RunRecord.HEADERS,
             [r.row() for r in records],
             title=f"top-{k} by average grade over N=10,000, m=3 "
-            f"(cS=1, cR=5)\n",
+            "(cS=1, cR=5)\n",
         )
     )
 

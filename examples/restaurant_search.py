@@ -81,7 +81,7 @@ def main() -> None:
     print(
         f"even though {inst.competitor_sorted} sorted + "
         f"{inst.competitor_random} random accesses prove the answer "
-        f"(paper, Figure 3)."
+        "(paper, Figure 3)."
     )
 
 

@@ -64,7 +64,7 @@ def main() -> None:
     print(
         f"\nNRA: {result.sorted_accesses} sorted accesses "
         f"(depth {result.depth} of {db.num_objects} per engine), "
-        f"0 random accesses."
+        "0 random accesses."
     )
     exact = sum(1 for item in result.items if item.grade is not None)
     print(

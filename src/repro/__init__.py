@@ -54,6 +54,7 @@ from .middleware import (
     Database,
     GradedSource,
     ListCapabilities,
+    ShardedDatabase,
     assemble_database,
 )
 
@@ -89,6 +90,7 @@ __all__ = [
     "CostModel",
     "Database",
     "ColumnarDatabase",
+    "ShardedDatabase",
     "GradedSource",
     "ListCapabilities",
     "assemble_database",

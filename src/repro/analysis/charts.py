@@ -53,7 +53,7 @@ def bar_chart(
         )
     finite = _finite(values) or [0.0]
     peak = max(max(finite), 1e-12)
-    label_width = max((len(str(l)) for l in labels), default=0)
+    label_width = max((len(str(lbl)) for lbl in labels), default=0)
     lines = [title] if title else []
     for label, value in zip(labels, values):
         if math.isfinite(value):

@@ -75,16 +75,7 @@ from ..aggregation.base import AggregationFunction
 from ..middleware.access import AccessSession
 from .base import QueryError, TopKAlgorithm
 from .bounds import ArrayCandidateStore, CandidateStore
-from .chunks import (
-    ChunkWitness,
-    assemble_sorted_chunk,
-    entry_bottoms,
-    first_new_entries,
-    known_rows,
-    new_seen_cum,
-    round_last_entries,
-    witness_trajectory,
-)
+from .chunks import ChunkReplay, ChunkWitness, assemble_sorted_chunk
 from .result import HaltReason, RankedItem, TopKResult
 
 __all__ = ["CombinedAlgorithm"]
@@ -277,82 +268,44 @@ class CombinedAlgorithm(TopKAlgorithm):
                 m,
                 bottoms,
             )
-            counts = chunk.counts
-            rows_all = chunk.rows
-            grades_all = chunk.grades
-            lists_all = chunk.lists
-            c_eff = chunk.c_eff
-            round_ends = round_last_entries(chunk)
-            k_matrix = known_rows(chunk, field_matrix)
-            rows_list = rows_all.tolist()
-            new_entries = first_new_entries(chunk, seen_rows)
-            seen_cum = new_seen_cum(chunk, seen_rows, round_ends, new_entries)
-            seen_base = store.seen_count_value
+            rep = ChunkReplay(
+                chunk,
+                aggregation,
+                store,
+                seen_rows,
+                bottoms,
+                m,
+                track_new_entries=True,
+            )
+            c_eff = rep.c_eff
+            round_ends = rep.round_ends
+            w_list = rep.w_list
+            b_arr = rep.b_arr
+            b_list = rep.b_list
+            tau_list = rep.tau_list
+            bott = rep.bott
+            bott_rows = rep.bott_rows
+            new_entries = rep.new_entries
+            seen_cum = rep.seen_cum
+            seen_base = rep.seen_base
+            rows_list = rep.rows_list
+            rounds_list = rep.rounds_list
             # newly seen rows in discovery order; absorbed into the
             # phase candidate array as the replay reaches their rounds
-            new_rows_chunk = rows_all[new_entries]
+            new_rows_chunk = chunk.rows[new_entries]
             absorbed = 0
-            # ---- vectorised W, bottoms, thresholds, cached B ----
-            unknown = np.isnan(k_matrix)
-            w_list = aggregation.aggregate_batch(
-                np.where(unknown, 0.0, k_matrix)
-            ).tolist()
-            bott = chunk.bottoms_matrix
-            tau_list = aggregation.aggregate_batch(bott).tolist()
-            bott_rows = bott.tolist()
-            bott_entries = entry_bottoms(chunk, bottoms, m)
-            b_arr = aggregation.aggregate_batch(
-                np.where(unknown, bott_entries, k_matrix)
-            )
-            b_list = b_arr.tolist()
             # ---- lazy-store floors (sound: M_k never decreases) ----
             if len(mk_members) < k:
                 w_keep = b_keep = None
                 kept = list(range(chunk.total))
             else:
                 floor = store._mk_clean()
-                w_keep_arr = np.asarray(w_list) >= floor
+                w_keep_arr = rep.w_arr >= floor
                 b_keep_arr = b_arr > floor
                 w_keep = w_keep_arr.tolist()
                 b_keep = b_keep_arr.tolist()
                 kept = np.nonzero(w_keep_arr | b_keep_arr)[0].tolist()
-            rounds_list = chunk.rounds.tolist()
-            # witness bookkeeping: re-anchor the carried-over witness to
-            # this chunk's gain rounds
-            if witness is not None:
-                witness = ChunkWitness(witness.row, chunk)
-            synced = 0
-            charged_rounds = 0
-
-            def sync_fields(upto: int) -> None:
-                nonlocal synced
-                if upto > synced:
-                    field_matrix[
-                        rows_all[synced:upto], lists_all[synced:upto]
-                    ] = grades_all[synced:upto]
-                    synced = upto
-
-            def witness_bound(r: int) -> list[float]:
-                sync_fields(round_ends[r] + 1)
-                return witness_trajectory(
-                    aggregation, bott, field_matrix[witness.row]
-                )
-
-            def charge_sorted(upto_rounds: int) -> None:
-                # charge the consumed sorted prefix; called before a
-                # phase's random accesses (scalar charging order, and the
-                # wild-guess certificate needs the target's sorted
-                # appearance realised first) and again at chunk commit
-                nonlocal charged_rounds
-                if upto_rounds > charged_rounds:
-                    for i in range(m):
-                        c_new = min(upto_rounds, counts[i])
-                        c_old = min(charged_rounds, counts[i])
-                        if c_new > c_old:
-                            session.sorted_access_batch(i, c_new - c_old)
-                            positions[i] += c_new - c_old
-                    charged_rounds = upto_rounds
-
+            witness = rep.carry(witness)
             # ---- sequential replay: kept entries, phases, checks ----
             seq = store._seq
             ki = 0
@@ -394,7 +347,7 @@ class CombinedAlgorithm(TopKAlgorithm):
                     # Blocks of the highest-bounded rows are re-evaluated
                     # until no unevaluated bound can beat the best found
                     # -- the lazy-heap scan, vectorised.
-                    sync_fields(round_ends[r] + 1)
+                    rep.sync_fields(round_ends[r] + 1)
                     bottoms[:] = bott_rows[r]
                     store.seen_count_value = seen_base + seen_cum[r]
                     m_k = store.current_mk()
@@ -461,7 +414,11 @@ class CombinedAlgorithm(TopKAlgorithm):
                         escape_clauses += 1
                     else:
                         random_phases += 1
-                        charge_sorted(r + 1)
+                        # scalar charging order: the consumed sorted
+                        # prefix lands before the phase's randoms, and
+                        # the wild-guess certificate needs the target's
+                        # sorted appearance realised first
+                        rep.charge_sorted(session, positions, r + 1)
                         row_arr = np.asarray([target], dtype=np.intp)
                         fetched = [
                             float(
@@ -492,10 +449,10 @@ class CombinedAlgorithm(TopKAlgorithm):
                             # viability needs fresh B > M_k
                             w_wit = w_map.get(witness.row)
                             if w_wit is not None and w_wit < m_k:
-                                if witness.bound_at(r, witness_bound) > m_k:
+                                if rep.witness_bound(witness, r) > m_k:
                                     skip = True
                         if not skip:
-                            sync_fields(round_ends[r] + 1)
+                            rep.sync_fields(round_ends[r] + 1)
                             bottoms[:] = bott_rows[r]
                             store.seen_count_value = seen_r
                             store._seq = seq
@@ -516,13 +473,6 @@ class CombinedAlgorithm(TopKAlgorithm):
                                 break
             store._seq = seq
             consumed = r_halt + 1 if r_halt is not None else c_eff
-            upto = chunk.consumed_upto(consumed)
-            # ---- commit: field scatter, seen set, remaining charges ----
-            sync_fields(upto)
-            seen_rows[rows_all[:upto]] = True
-            store.seen_count_value = seen_base + seen_cum[consumed - 1]
-            store.b_evaluations += upto
-            bottoms[:] = bott_rows[consumed - 1]
             upto_new = seen_cum[consumed - 1]
             if upto_new > absorbed:
                 # consumed rows not yet absorbed become candidates for
@@ -533,7 +483,7 @@ class CombinedAlgorithm(TopKAlgorithm):
                 cand_b = np.concatenate(
                     [cand_b, b_arr[new_entries[absorbed:upto_new]]]
                 )
-            charge_sorted(consumed)
+            rep.commit(session, positions, consumed)
             rounds += consumed
             chunk_rounds = min(chunk_rounds * 2, 2048)
 

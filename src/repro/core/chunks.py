@@ -47,6 +47,8 @@ __all__ = [
     "first_new_entries",
     "new_seen_cum",
     "witness_trajectory",
+    "ChunkWitness",
+    "ChunkReplay",
 ]
 
 
@@ -307,3 +309,163 @@ class ChunkWitness:
         if self._trajectory is None:
             self._trajectory = compute(r)
         return self._trajectory[r]
+
+
+class ChunkReplay:
+    """One chunk's derived state and commit bookkeeping, shared by the
+    bound-based chunked engines (NRA, CA, Stream-Combine).
+
+    Owns, once, the per-chunk scaffolding the three replays used to
+    duplicate: the vectorised derivations (per-entry ``W`` and cached
+    ``B``, per-round thresholds and bottoms, the cumulative new-seen
+    counts), the lazy field-matrix sync, the witness-bound trajectory
+    plumbing, the incremental charging of the consumed sorted prefix,
+    and the end-of-chunk commit.  The engine-specific parts -- lazy-heap
+    floors, CA's random-access phases, the halting-check bodies -- stay
+    in the engines.
+
+    The engines all run lockstep over every list (``sorted_lists =
+    range(m)``, one entry per list per round), which is what
+    :meth:`charge_sorted` assumes; TA's engine (arbitrary list subsets
+    and batch sizes) keeps its own charging.
+    """
+
+    __slots__ = (
+        "chunk",
+        "aggregation",
+        "field_matrix",
+        "rows_all",
+        "lists_all",
+        "grades_all",
+        "c_eff",
+        "round_ends",
+        "unknown",
+        "w_arr",
+        "w_list",
+        "b_arr",
+        "b_list",
+        "bott",
+        "bott_rows",
+        "tau_list",
+        "rows_list",
+        "rounds_list",
+        "new_entries",
+        "seen_cum",
+        "seen_base",
+        "_store",
+        "_seen_rows",
+        "_bottoms",
+        "_synced",
+        "_charged_rounds",
+    )
+
+    def __init__(
+        self,
+        chunk: SortedChunk,
+        aggregation,
+        store,
+        seen_rows: np.ndarray,
+        bottoms,
+        m: int,
+        track_new_entries: bool = False,
+    ):
+        self.chunk = chunk
+        self.aggregation = aggregation
+        self.field_matrix = store.field_matrix
+        self.rows_all = chunk.rows
+        self.lists_all = chunk.lists
+        self.grades_all = chunk.grades
+        self.c_eff = chunk.c_eff
+        self.round_ends = round_last_entries(chunk)
+        k_matrix = known_rows(chunk, self.field_matrix)
+        self.unknown = np.isnan(k_matrix)
+        self.w_arr = aggregation.aggregate_batch(
+            np.where(self.unknown, 0.0, k_matrix)
+        )
+        self.w_list = self.w_arr.tolist()
+        self.bott = chunk.bottoms_matrix
+        self.tau_list = aggregation.aggregate_batch(self.bott).tolist()
+        self.bott_rows = self.bott.tolist()
+        self.b_arr = aggregation.aggregate_batch(
+            np.where(self.unknown, entry_bottoms(chunk, bottoms, m), k_matrix)
+        )
+        self.b_list = self.b_arr.tolist()
+        self.rows_list = chunk.rows.tolist()
+        self.rounds_list = chunk.rounds.tolist()
+        self.new_entries = (
+            first_new_entries(chunk, seen_rows) if track_new_entries else None
+        )
+        self.seen_cum = new_seen_cum(
+            chunk, seen_rows, self.round_ends, self.new_entries
+        )
+        self.seen_base = int(store.seen_count_value)
+        self._store = store
+        self._seen_rows = seen_rows
+        self._bottoms = bottoms
+        self._synced = 0
+        self._charged_rounds = 0
+
+    def sync_fields(self, upto: int) -> None:
+        """Scatter entries ``< upto`` into the store's field matrix
+        (idempotent per prefix; called lazily before any state read that
+        needs fields current)."""
+        if upto > self._synced:
+            s = self._synced
+            self.field_matrix[
+                self.rows_all[s:upto], self.lists_all[s:upto]
+            ] = self.grades_all[s:upto]
+            self._synced = upto
+
+    def carry(self, witness: ChunkWitness | None) -> ChunkWitness | None:
+        """Re-anchor a witness carried over from an earlier chunk to
+        this chunk's gain rounds (``None`` passes through)."""
+        if witness is None:
+            return None
+        return ChunkWitness(witness.row, self.chunk)
+
+    def witness_bound(self, witness: ChunkWitness, r: int) -> float:
+        """The witness's fresh ``B`` after round ``r``, via its cached
+        per-round trajectory (fields synced to round ``r`` first when
+        the trajectory must be rebuilt)."""
+
+        def compute(rr: int) -> list[float]:
+            self.sync_fields(self.round_ends[rr] + 1)
+            return witness_trajectory(
+                self.aggregation, self.bott, self.field_matrix[witness.row]
+            )
+
+        return witness.bound_at(r, compute)
+
+    def charge_sorted(self, session, positions, upto_rounds: int) -> None:
+        """Charge the consumed sorted prefix through ``upto_rounds``
+        rounds, incrementally: only the delta beyond what this chunk
+        already charged is issued, in list order -- the scalar loops'
+        exact charging order (CA calls this before each phase's random
+        accesses; the commit charges whatever remains)."""
+        if upto_rounds > self._charged_rounds:
+            counts = self.chunk.counts
+            charged = self._charged_rounds
+            for i in range(len(counts)):
+                c_new = min(upto_rounds, counts[i])
+                c_old = min(charged, counts[i])
+                if c_new > c_old:
+                    session.sorted_access_batch(i, c_new - c_old)
+                    positions[i] += c_new - c_old
+            self._charged_rounds = upto_rounds
+
+    def commit(self, session, positions, consumed: int) -> int:
+        """End-of-chunk bookkeeping once the replay fixed the number of
+        ``consumed`` rounds: field scatter, seen set and count, the
+        per-entry ``b_evaluations`` accounting, the caller's bottoms,
+        and the remaining sorted charges.  Returns the number of entries
+        consumed."""
+        upto = self.chunk.consumed_upto(consumed)
+        self.sync_fields(upto)
+        self._seen_rows[self.rows_all[:upto]] = True
+        self._store.seen_count_value = (
+            self.seen_base + self.seen_cum[consumed - 1]
+        )
+        self._store.b_evaluations += upto
+        self._bottoms[:] = self.bott_rows[consumed - 1]
+        self.charge_sorted(session, positions, consumed)
+        return upto

@@ -55,15 +55,7 @@ from ..middleware.cost import UNIT_COSTS, CostModel
 from ..middleware.database import Database
 from .base import TopKAlgorithm
 from .bounds import ArrayCandidateStore, CandidateStore
-from .chunks import (
-    ChunkWitness,
-    assemble_sorted_chunk,
-    entry_bottoms,
-    known_rows,
-    new_seen_cum,
-    round_last_entries,
-    witness_trajectory,
-)
+from .chunks import ChunkReplay, ChunkWitness, assemble_sorted_chunk
 from .result import HaltReason, RankedItem, TopKResult
 
 __all__ = ["NoRandomAccessAlgorithm"]
@@ -190,7 +182,6 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
         n = db.num_objects
         m = session.num_lists
         store = ArrayCandidateStore(aggregation, m, k, n)
-        field_matrix = store.field_matrix
         seen_rows = np.zeros(n, dtype=bool)
         w_map = store.w
         versions = store._version
@@ -238,66 +229,29 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
                 m,
                 bottoms,
             )
-            counts = chunk.counts
-            rows_all = chunk.rows
-            grades_all = chunk.grades
-            rounds_all = chunk.rounds
-            lists_all = chunk.lists
-            total = chunk.total
-            c_eff = chunk.c_eff
-            entry_range = np.arange(total, dtype=np.intp)
-            round_ends = round_last_entries(chunk)
-            # per-entry known-field rows and distinct-object counts
-            k_matrix = known_rows(chunk, field_matrix)
-            seen_cum = new_seen_cum(chunk, seen_rows, round_ends)
-            seen_base = store.seen_count_value
-            # ---- vectorised W, bottoms, thresholds, cached B ----
-            unknown = np.isnan(k_matrix)
-            w_list = aggregation.aggregate_batch(
-                np.where(unknown, 0.0, k_matrix)
-            ).tolist()
-            bott = chunk.bottoms_matrix
-            tau_list = aggregation.aggregate_batch(bott).tolist()
-            bott_rows = bott.tolist()
-            bott_entries = entry_bottoms(chunk, bottoms, m)
-            b_arr = aggregation.aggregate_batch(
-                np.where(unknown, bott_entries, k_matrix)
-            )
-            b_list = b_arr.tolist()
+            rep = ChunkReplay(chunk, aggregation, store, seen_rows, bottoms, m)
+            c_eff = rep.c_eff
+            round_ends = rep.round_ends
+            w_list = rep.w_list
+            b_list = rep.b_list
+            tau_list = rep.tau_list
+            bott_rows = rep.bott_rows
+            seen_cum = rep.seen_cum
+            seen_base = rep.seen_base
+            rows_list = rep.rows_list
+            rounds_list = rep.rounds_list
             # ---- lazy-store floors (sound: M_k never decreases) ----
             if len(mk_members) < k:
                 w_keep = b_keep = None
-                kept = entry_range.tolist()
+                kept = list(range(chunk.total))
             else:
                 floor = store._mk_clean()
-                w_arr = np.asarray(w_list)
-                w_keep_arr = w_arr >= floor
-                b_keep_arr = b_arr > floor
+                w_keep_arr = rep.w_arr >= floor
+                b_keep_arr = rep.b_arr > floor
                 w_keep = w_keep_arr.tolist()
                 b_keep = b_keep_arr.tolist()
                 kept = np.nonzero(w_keep_arr | b_keep_arr)[0].tolist()
-            rows_list = rows_all.tolist()
-            rounds_list = rounds_all.tolist()
-            # witness bookkeeping: re-anchor the carried-over witness to
-            # this chunk's gain rounds
-            if witness is not None:
-                witness = ChunkWitness(witness.row, chunk)
-            synced = 0
-
-            def sync_fields(upto: int) -> None:
-                nonlocal synced
-                if upto > synced:
-                    field_matrix[
-                        rows_all[synced:upto], lists_all[synced:upto]
-                    ] = grades_all[synced:upto]
-                    synced = upto
-
-            def witness_bound(r: int) -> list[float]:
-                sync_fields(round_ends[r] + 1)
-                return witness_trajectory(
-                    aggregation, bott, field_matrix[witness.row]
-                )
-
+            witness = rep.carry(witness)
             # ---- sequential replay: kept entries + per-round checks ----
             seq = store._seq
             ki = 0
@@ -337,10 +291,10 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
                             # viability needs fresh B > theta * M_k
                             w_wit = w_map.get(witness.row)
                             if w_wit is not None and w_wit < m_k:
-                                if witness.bound_at(r, witness_bound) > cutoff:
+                                if rep.witness_bound(witness, r) > cutoff:
                                     skip = True
                         if not skip:
-                            sync_fields(round_ends[r] + 1)
+                            rep.sync_fields(round_ends[r] + 1)
                             bottoms[:] = bott_rows[r]
                             store.seen_count_value = seen_r
                             store._seq = seq
@@ -364,18 +318,7 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
                                 break
             store._seq = seq
             consumed = r_halt + 1 if r_halt is not None else c_eff
-            upto = chunk.consumed_upto(consumed)
-            # ---- commit: field scatter, seen set, charges ----
-            sync_fields(upto)
-            seen_rows[rows_all[:upto]] = True
-            store.seen_count_value = seen_base + seen_cum[consumed - 1]
-            store.b_evaluations += upto
-            bottoms[:] = bott_rows[consumed - 1]
-            for i in range(m):
-                c = min(consumed, counts[i])
-                if c:
-                    session.sorted_access_batch(i, c)
-                    positions[i] += c
+            rep.commit(session, positions, consumed)
             rounds += consumed
             chunk_rounds = min(chunk_rounds * 2, 2048)
 

@@ -69,15 +69,7 @@ from ..middleware.cost import UNIT_COSTS, CostModel
 from ..middleware.database import Database
 from .base import TopKAlgorithm, TopKBuffer
 from .bounds import ArrayCandidateStore, CandidateStore
-from .chunks import (
-    ChunkWitness,
-    assemble_sorted_chunk,
-    entry_bottoms,
-    known_rows,
-    new_seen_cum,
-    round_last_entries,
-    witness_trajectory,
-)
+from .chunks import ChunkReplay, ChunkWitness, assemble_sorted_chunk
 from .result import HaltReason, RankedItem, TopKResult
 
 __all__ = ["StreamCombine"]
@@ -163,7 +155,6 @@ class StreamCombine(TopKAlgorithm):
         n = db.num_objects
         m = session.num_lists
         store = ArrayCandidateStore(aggregation, m, k, n)
-        field_matrix = store.field_matrix
         seen_rows = np.zeros(n, dtype=bool)
         w_map = store.w
         versions = store._version
@@ -208,64 +199,32 @@ class StreamCombine(TopKAlgorithm):
                 m,
                 bottoms,
             )
-            counts = chunk.counts
-            rows_all = chunk.rows
-            grades_all = chunk.grades
-            lists_all = chunk.lists
-            c_eff = chunk.c_eff
-            round_ends = round_last_entries(chunk)
-            k_matrix = known_rows(chunk, field_matrix)
-            seen_cum = new_seen_cum(chunk, seen_rows, round_ends)
-            seen_base = store.seen_count_value
-            # ---- vectorised exact grades, bottoms, thresholds, cached B
-            unknown = np.isnan(k_matrix)
-            complete = ~unknown.any(axis=1)
+            rep = ChunkReplay(chunk, aggregation, store, seen_rows, bottoms, m)
+            c_eff = rep.c_eff
+            round_ends = rep.round_ends
             # for complete entries the 0-substituted row has no unknowns:
             # w_list[e] is the exact overall grade
-            w_list = aggregation.aggregate_batch(
-                np.where(unknown, 0.0, k_matrix)
-            ).tolist()
-            bott = chunk.bottoms_matrix
-            tau_list = aggregation.aggregate_batch(bott).tolist()
-            bott_rows = bott.tolist()
-            bott_entries = entry_bottoms(chunk, bottoms, m)
-            b_arr = aggregation.aggregate_batch(
-                np.where(unknown, bott_entries, k_matrix)
-            )
-            b_list = b_arr.tolist()
+            complete = ~rep.unknown.any(axis=1)
+            w_list = rep.w_list
+            b_list = rep.b_list
+            tau_list = rep.tau_list
+            bott_rows = rep.bott_rows
+            seen_cum = rep.seen_cum
+            seen_base = rep.seen_base
+            rows_list = rep.rows_list
+            rounds_list = rep.rounds_list
             # ---- lazy-heap floor (sound: the fully-seen M_k never
             # decreases, every B is non-increasing) ----
             complete_list = complete.tolist()
             if full.full:
                 floor = full.min_grade
-                b_keep_arr = b_arr > floor
+                b_keep_arr = rep.b_arr > floor
                 b_keep = b_keep_arr.tolist()
                 kept = np.nonzero(b_keep_arr | complete)[0].tolist()
             else:
                 b_keep = None
                 kept = list(range(chunk.total))
-            rows_list = rows_all.tolist()
-            rounds_list = chunk.rounds.tolist()
-            # witness bookkeeping: re-anchor the carried-over witness to
-            # this chunk's gain rounds
-            if witness is not None:
-                witness = ChunkWitness(witness.row, chunk)
-            synced = 0
-
-            def sync_fields(upto: int) -> None:
-                nonlocal synced
-                if upto > synced:
-                    field_matrix[
-                        rows_all[synced:upto], lists_all[synced:upto]
-                    ] = grades_all[synced:upto]
-                    synced = upto
-
-            def witness_bound(r: int) -> list[float]:
-                sync_fields(round_ends[r] + 1)
-                return witness_trajectory(
-                    aggregation, bott, field_matrix[witness.row]
-                )
-
+            witness = rep.carry(witness)
             # ---- sequential replay: kept entries + per-round checks ----
             seq = store._seq
             ki = 0
@@ -298,10 +257,10 @@ class StreamCombine(TopKAlgorithm):
                     if not skip and witness is not None:
                         # not fully seen => outside the buffer; viability
                         # needs fresh B > M_k
-                        if witness.bound_at(r, witness_bound) > m_k:
+                        if rep.witness_bound(witness, r) > m_k:
                             skip = True
                     if not skip:
-                        sync_fields(round_ends[r] + 1)
+                        rep.sync_fields(round_ends[r] + 1)
                         bottoms[:] = bott_rows[r]
                         store.seen_count_value = seen_r
                         store._seq = seq
@@ -324,18 +283,7 @@ class StreamCombine(TopKAlgorithm):
                             break
             store._seq = seq
             consumed = r_halt + 1 if r_halt is not None else c_eff
-            upto = chunk.consumed_upto(consumed)
-            # ---- commit: field scatter, seen set, charges ----
-            sync_fields(upto)
-            seen_rows[rows_all[:upto]] = True
-            store.seen_count_value = seen_base + seen_cum[consumed - 1]
-            store.b_evaluations += upto
-            bottoms[:] = bott_rows[consumed - 1]
-            for i in range(m):
-                c = min(consumed, counts[i])
-                if c:
-                    session.sorted_access_batch(i, c)
-                    positions[i] += c
+            rep.commit(session, positions, consumed)
             rounds += consumed
             chunk_rounds = min(chunk_rounds * 2, 2048)
 

@@ -18,6 +18,8 @@ from .synthetic import (
     correlated,
     permutations,
     plateau,
+    sharded_blocks,
+    sharded_uniform,
     uniform,
     zipf_skewed,
 )
@@ -39,6 +41,8 @@ __all__ = [
     "correlated",
     "permutations",
     "plateau",
+    "sharded_blocks",
+    "sharded_uniform",
     "uniform",
     "zipf_skewed",
 ]

@@ -17,16 +17,23 @@ used in the top-k literature:
 * :func:`plateau` -- grades quantised to a few levels, producing massive
   ties (the regime where wild guesses provably help, cf. Example 6.3).
 
+Shard-aware generation (:func:`sharded_blocks`, :func:`sharded_uniform`)
+builds a :class:`~repro.middleware.database.ShardedDatabase` from
+per-shard grade blocks drawn on *independent spawned RNG streams*, so a
+distributed loader can produce shard ``s`` reproducibly without
+materialising -- or even knowing the seed state of -- the other shards.
+
 Every generator takes an integer ``seed`` and is deterministic given it.
 """
 
 from __future__ import annotations
 
 import math
+from collections.abc import Callable
 
 import numpy as np
 
-from ..middleware.database import Database
+from ..middleware.database import Database, ShardedDatabase, shard_bounds_for
 
 __all__ = [
     "uniform",
@@ -35,6 +42,8 @@ __all__ = [
     "anticorrelated",
     "zipf_skewed",
     "plateau",
+    "sharded_blocks",
+    "sharded_uniform",
 ]
 
 
@@ -154,3 +163,43 @@ def plateau(n: int, m: int, levels: int = 4, seed: int = 0) -> Database:
         order = sorted(shuffled.tolist(), key=lambda row: -grades[row, i])
         columns.append([(row, grades[row, i]) for row in order])
     return Database.from_columns(columns)
+
+
+def sharded_blocks(
+    block: Callable[[np.random.Generator, int, int], np.ndarray],
+    n: int,
+    m: int,
+    num_shards: int = 2,
+    seed: int = 0,
+) -> ShardedDatabase:
+    """Assemble a :class:`~repro.middleware.database.ShardedDatabase`
+    from per-shard grade blocks.
+
+    ``block(rng, n_s, m)`` produces one shard's ``(n_s, m)`` grade block
+    from its own spawned child stream of ``seed``'s root RNG, so each
+    shard is reproducible in isolation: worker ``s`` only needs
+    ``(seed, s)`` to regenerate its block, the way a distributed loader
+    would.  Shard sizes are the balanced contiguous partition of
+    :func:`~repro.middleware.database.shard_bounds_for`.
+    """
+    _check_shape(n, m)
+    bounds = shard_bounds_for(n, num_shards)
+    streams = np.random.default_rng(seed).spawn(num_shards)
+    parts = [
+        np.asarray(
+            block(streams[s], int(bounds[s + 1] - bounds[s]), m), dtype=float
+        ).reshape(int(bounds[s + 1] - bounds[s]), m)
+        for s in range(num_shards)
+    ]
+    return ShardedDatabase.from_shards(parts)
+
+
+def sharded_uniform(
+    n: int, m: int, num_shards: int = 2, seed: int = 0
+) -> ShardedDatabase:
+    """i.i.d. ``Uniform[0, 1]`` grades generated shard by shard (the
+    sharded counterpart of :func:`uniform`; the *distribution* matches,
+    the draws differ because each shard uses its own child stream)."""
+    return sharded_blocks(
+        lambda rng, n_s, m_: rng.random((n_s, m_)), n, m, num_shards, seed
+    )

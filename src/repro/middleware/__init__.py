@@ -15,7 +15,13 @@ from .access import (
     SortedBatch,
 )
 from .cost import UNIT_COSTS, CostModel
-from .database import ColumnarDatabase, Database
+from .database import (
+    ColumnarDatabase,
+    Database,
+    ListMergeCursor,
+    ShardedDatabase,
+    shard_bounds_for,
+)
 from .errors import (
     AccessError,
     CapabilityError,
@@ -37,6 +43,9 @@ __all__ = [
     "UNIT_COSTS",
     "Database",
     "ColumnarDatabase",
+    "ShardedDatabase",
+    "ListMergeCursor",
+    "shard_bounds_for",
     "SortedBatch",
     "RoundBatch",
     "MiddlewareError",

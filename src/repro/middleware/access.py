@@ -44,7 +44,12 @@ methods internally fall back to the scalar loop so the event stream is
 byte-identical; when the database is a
 :class:`~repro.middleware.database.ColumnarDatabase` (and no trace is
 recorded), they instead serve array slices and fancy-indexed gathers in
-O(1) Python operations per batch.  :attr:`AccessSession.supports_batches`
+O(1) Python operations per batch.  A
+:class:`~repro.middleware.database.ShardedDatabase` takes the same fast
+path: its per-list order arrays are materialised lazily by k-way merge
+cursors over the shard runs (bit-identical to the columnar orderings),
+and its fancy-indexed gathers into the concatenated matrix are the
+vectorised form of per-shard random-access routing.  :attr:`AccessSession.supports_batches`
 tells algorithms whether that fast path is active; every bound-based
 algorithm in :mod:`repro.core` (TA and its TA-theta/TA-Z hooks, NRA,
 CA, Stream-Combine) uses it to pick between its scalar reference loop

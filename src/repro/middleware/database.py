@@ -41,16 +41,48 @@ observable ordering.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping, Sequence
+import heapq
+import operator
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 from typing import Hashable
 
 import numpy as np
 
 from .errors import DatabaseError, UnknownListError, UnknownObjectError
 
-__all__ = ["Database", "ColumnarDatabase"]
+__all__ = [
+    "Database",
+    "ColumnarDatabase",
+    "ShardedDatabase",
+    "ListMergeCursor",
+    "shard_bounds_for",
+]
 
 ObjectId = Hashable
+
+
+def _coerce_array_and_ids(
+    array: np.ndarray, object_ids: Sequence[ObjectId] | None
+) -> tuple[np.ndarray, list]:
+    """Shared constructor-argument checks of the array backends: a
+    non-empty 2-D float grade matrix plus one distinct id per row
+    (defaulting to ``0 .. N-1``)."""
+    array = np.asarray(array, dtype=float)
+    if array.ndim != 2:
+        raise DatabaseError(
+            f"expected a 2-D (N, m) array, got shape {array.shape}"
+        )
+    n, m = array.shape
+    if n < 1 or m < 1:
+        raise DatabaseError(f"array must be non-empty, got shape {array.shape}")
+    if object_ids is None:
+        object_ids = range(n)
+    ids = list(object_ids)
+    if len(ids) != n:
+        raise DatabaseError(f"got {len(ids)} object ids for {n} rows")
+    if len(set(ids)) != n:
+        raise DatabaseError("object ids must be distinct")
+    return array, ids
 
 
 class Database:
@@ -349,6 +381,12 @@ class Database:
         ]
         return ColumnarDatabase(matrix, ids, order_rows, validate=False)
 
+    def to_sharded(self, num_shards: int = 1) -> "ShardedDatabase":
+        """An equivalent :class:`ShardedDatabase` over ``num_shards``
+        contiguous row-range shards, preserving the exact per-list tie
+        order of this database."""
+        return ShardedDatabase.from_database(self, num_shards=num_shards)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Database N={self.num_objects} m={self.num_lists}>"
 
@@ -377,6 +415,21 @@ class ColumnarDatabase(Database):
         order_rows: Sequence[np.ndarray],
         validate: bool = True,
     ):
+        self._init_core(matrix, ids)
+        self._order_rows = [
+            np.array(rows, dtype=np.intp) for rows in order_rows
+        ]
+        self._order_grades = [
+            self._matrix[rows, i] for i, rows in enumerate(self._order_rows)
+        ]
+        if validate:
+            self._validate()
+
+    def _init_core(
+        self, matrix: np.ndarray, ids: Sequence[ObjectId]
+    ) -> None:
+        """The storage every array backend shares: the copied matrix,
+        the id <-> row interning, and the trivial-ids shortcut."""
         # always copy: the database is immutable by contract, and sharing
         # memory with the caller's array would let later mutations of it
         # silently desynchronise the materialised orderings (the scalar
@@ -390,12 +443,6 @@ class ColumnarDatabase(Database):
         self._ids = list(ids)
         self._m = matrix.shape[1]
         self._row_of = {obj: row for row, obj in enumerate(self._ids)}
-        self._order_rows = [
-            np.array(rows, dtype=np.intp) for rows in order_rows
-        ]
-        self._order_grades = [
-            matrix[rows, i] for i, rows in enumerate(self._order_rows)
-        ]
         # identity shortcut only for genuine int ids 0..N-1: a value
         # check alone would let float (or bool) ids equal to their row
         # index through, and ids_for_rows would then hand back ints of
@@ -405,8 +452,6 @@ class ColumnarDatabase(Database):
             for row, obj in enumerate(self._ids)
         )
         self._position0_rows: np.ndarray | None = None
-        if validate:
-            self._validate()
 
     # ------------------------------------------------------------------
     # constructors (mirroring Database's, with identical tie semantics)
@@ -460,25 +505,10 @@ class ColumnarDatabase(Database):
     ) -> "ColumnarDatabase":
         """Build from an ``(N, m)`` grade array; deterministic stable
         ordering, identical to :meth:`Database.from_array`."""
-        array = np.asarray(array, dtype=float)
-        if array.ndim != 2:
-            raise DatabaseError(
-                f"expected a 2-D (N, m) array, got shape {array.shape}"
-            )
-        n, m = array.shape
-        if n < 1 or m < 1:
-            raise DatabaseError(f"array must be non-empty, got shape {array.shape}")
-        if object_ids is None:
-            object_ids = range(n)
-        ids = list(object_ids)
-        if len(ids) != n:
-            raise DatabaseError(
-                f"got {len(ids)} object ids for {n} rows"
-            )
-        if len(set(ids)) != n:
-            raise DatabaseError("object ids must be distinct")
+        array, ids = _coerce_array_and_ids(array, object_ids)
         order_rows = [
-            np.argsort(-array[:, i], kind="stable") for i in range(m)
+            np.argsort(-array[:, i], kind="stable")
+            for i in range(array.shape[1])
         ]
         return cls(array, ids, order_rows, validate=validate)
 
@@ -519,7 +549,9 @@ class ColumnarDatabase(Database):
     # ------------------------------------------------------------------
     # vectorized validation
     # ------------------------------------------------------------------
-    def _validate(self) -> None:
+    def _validate_core(self) -> None:
+        """Shape, id-distinctness and grade-range checks shared by the
+        array backends."""
         matrix = self._matrix
         n, m = matrix.shape
         if n < 1:
@@ -537,6 +569,10 @@ class ColumnarDatabase(Database):
                 f"grade of object {self._ids[row]!r} in list {i} is "
                 f"{matrix[row, i]}, outside [0, 1]"
             )
+
+    def _validate(self) -> None:
+        self._validate_core()
+        n = self._matrix.shape[0]
         for i, rows in enumerate(self._order_rows):
             if rows.shape != (n,):
                 raise DatabaseError(
@@ -670,3 +706,519 @@ class ColumnarDatabase(Database):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<ColumnarDatabase N={self.num_objects} m={self.num_lists}>"
+
+
+# ----------------------------------------------------------------------
+# sharded backend: contiguous row-range shards + per-list merge cursors
+# ----------------------------------------------------------------------
+
+def shard_bounds_for(num_objects: int, num_shards: int) -> np.ndarray:
+    """Balanced contiguous row-range partition: shard ``s`` owns rows
+    ``[bounds[s], bounds[s+1])``; shard sizes differ by at most one.
+    Shards may be empty when ``num_shards > num_objects``."""
+    if num_shards < 1:
+        raise DatabaseError(f"need at least one shard, got {num_shards}")
+    return np.array(
+        [(s * num_objects) // num_shards for s in range(num_shards + 1)],
+        dtype=np.intp,
+    )
+
+
+#: one shard's slice of one sorted list: ``(rows, grades, ties)`` arrays
+#: sorted by the merge key (grade descending, tie key ascending)
+_Run = tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+class ListMergeCursor:
+    """Streaming k-way merge over one list's shard-local sorted runs.
+
+    Each run is a ``(rows, grades, ties)`` triple sorted by the merge key
+    *(grade descending, tie key ascending)*; tie keys are unique integers
+    that encode the reference global order (the row index for databases
+    built by stable argsort, the global list position for databases that
+    carry an explicit -- possibly adversarial -- tie placement).  Merging
+    by that key therefore streams the exact global sorted order,
+    bit-for-bit, including tie placement: ties between shards are decided
+    by the key, never by arrival order.
+
+    Two consumption modes share one cursor position:
+
+    * :meth:`take` / iteration -- heap-based streaming, O(log S) per
+      entry, for consumers that want a prefix (the paper's algorithms
+      rarely need more than a shallow prefix of each list);
+    * :meth:`drain` -- a vectorised merge of everything not yet taken
+      (``np.lexsort`` over the concatenated remainders), used to
+      materialise whole order arrays.
+
+    Both modes produce identical output (asserted by the test suite).
+    """
+
+    __slots__ = ("_runs", "_pos", "_heap")
+
+    def __init__(self, runs: Sequence[_Run]):
+        self._runs = list(runs)
+        self._pos = [0] * len(self._runs)
+        heap: list[tuple[float, int, int]] = []
+        for s, (_rows, grades, ties) in enumerate(self._runs):
+            if len(grades):
+                heap.append((-float(grades[0]), int(ties[0]), s))
+        heapq.heapify(heap)
+        self._heap = heap
+
+    @property
+    def exhausted(self) -> bool:
+        return not self._heap
+
+    def __iter__(self) -> Iterator[tuple[int, float]]:
+        while self._heap:
+            yield self.next_entry()
+
+    def next_entry(self) -> tuple[int, float]:
+        """The next ``(row, grade)`` in global sorted order."""
+        if not self._heap:
+            raise IndexError("merge cursor exhausted")
+        _neg, _tie, s = self._heap[0]
+        rows, grades, ties = self._runs[s]
+        p = self._pos[s]
+        entry = (int(rows[p]), float(grades[p]))
+        p += 1
+        self._pos[s] = p
+        if p < len(grades):
+            heapq.heapreplace(
+                self._heap, (-float(grades[p]), int(ties[p]), s)
+            )
+        else:
+            heapq.heappop(self._heap)
+        return entry
+
+    def take(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """The next ``n`` entries (fewer at exhaustion) as
+        ``(rows, grades)`` arrays."""
+        if n < 0:
+            raise ValueError(f"take size must be >= 0, got {n}")
+        remaining = sum(
+            len(run[1]) - pos for run, pos in zip(self._runs, self._pos)
+        )
+        n = min(n, remaining)
+        out_rows = np.empty(n, dtype=np.intp)
+        out_grades = np.empty(n, dtype=np.float64)
+        count = 0
+        while count < n and self._heap:
+            out_rows[count], out_grades[count] = self.next_entry()
+            count += 1
+        return out_rows[:count], out_grades[:count]
+
+    def drain(self) -> tuple[np.ndarray, np.ndarray]:
+        """All remaining entries, merged vectorised.
+
+        ``np.lexsort`` with the tie keys as the secondary key is a
+        stable merge of the (already sorted) remainders; the heap path
+        and this path produce identical arrays.
+        """
+        rows_parts: list[np.ndarray] = []
+        grade_parts: list[np.ndarray] = []
+        tie_parts: list[np.ndarray] = []
+        for s, (rows, grades, ties) in enumerate(self._runs):
+            p = self._pos[s]
+            if p < len(grades):
+                rows_parts.append(rows[p:])
+                grade_parts.append(grades[p:])
+                tie_parts.append(ties[p:])
+            self._pos[s] = len(grades)
+        self._heap = []
+        if not rows_parts:
+            return (
+                np.empty(0, dtype=np.intp),
+                np.empty(0, dtype=np.float64),
+            )
+        rows_all = np.concatenate(rows_parts)
+        grades_all = np.concatenate(grade_parts)
+        ties_all = np.concatenate(tie_parts)
+        order = np.lexsort((ties_all, -grades_all))
+        return (
+            rows_all[order].astype(np.intp, copy=False),
+            grades_all[order],
+        )
+
+
+class _MergedOrders(Sequence):
+    """Per-list view over a :class:`ShardedDatabase`'s lazily merged
+    order arrays, shaped like the ``_order_rows`` / ``_order_grades``
+    lists of :class:`ColumnarDatabase` so the batched access plane and
+    the chunked engines run unmodified on the sharded backend."""
+
+    __slots__ = ("_db", "_part")
+
+    def __init__(self, db: "ShardedDatabase", part: int):
+        self._db = db
+        self._part = part
+
+    def __len__(self) -> int:
+        return self._db.num_lists
+
+    def __getitem__(self, i: int) -> np.ndarray:
+        m = self._db.num_lists
+        i = operator.index(i)
+        if i < 0:
+            i += m
+        if not 0 <= i < m:
+            raise IndexError(i)
+        return self._db._merged_order(i)[self._part]
+
+
+class ShardedDatabase(ColumnarDatabase):
+    """Sharded array backend: the grade matrix is partitioned into
+    ``S`` contiguous row-range shards, each holding its own per-list
+    sorted runs; globally sorted access is produced by a per-list
+    k-way :class:`ListMergeCursor` and random access is routed to the
+    owning shard through the id -> row interning table.
+
+    Same API, tie semantics and bit-for-bit results as
+    :class:`ColumnarDatabase` (enforced by the differential suite):
+    the merge key *(grade descending, unique tie key ascending)*
+    reproduces the reference order exactly, so TA/NRA/CA/Stream-Combine
+    -- including their speculative chunked engines -- run unmodified.
+
+    Internals (per list ``i``, shard ``s``):
+
+    * ``_runs[i][s]`` -- ``(rows, grades, ties)`` sorted by the merge
+      key; ``rows`` are global row indices, ``ties`` the global
+      tie-break keys (see :class:`ListMergeCursor`);
+    * ``_shard_bounds`` -- ``S + 1`` row offsets; shard ``s`` owns rows
+      ``[bounds[s], bounds[s+1])``, so routing a row to its shard is a
+      binary search (and the batched access plane's fancy-indexed
+      gathers into the concatenated matrix are the vectorised form of
+      per-shard routing);
+    * merged global order arrays are materialised lazily, per list, on
+      first (uncharged) touch -- an O(N log S) merge instead of the
+      O(N log N) global argsort, and only for lists actually accessed.
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        ids: Sequence[ObjectId],
+        shard_bounds: np.ndarray,
+        runs: Sequence[Sequence[_Run]],
+        validate: bool = True,
+        _merged: Sequence[tuple[np.ndarray, np.ndarray] | None] | None = None,
+    ):
+        self._init_core(matrix, ids)
+        self._shard_bounds = np.asarray(shard_bounds, dtype=np.intp)
+        self._shard_matrices = [
+            self._matrix[int(lo) : int(hi)]
+            for lo, hi in zip(self._shard_bounds[:-1], self._shard_bounds[1:])
+        ]
+        self._runs = [list(shard_runs) for shard_runs in runs]
+        self._merged_cache: list[tuple[np.ndarray, np.ndarray] | None] = (
+            list(_merged) if _merged is not None else [None] * self._m
+        )
+        if validate:
+            self._validate()
+
+    # ------------------------------------------------------------------
+    # shard topology
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """``S``, the number of row-range shards."""
+        return len(self._shard_bounds) - 1
+
+    @property
+    def shard_bounds(self) -> np.ndarray:
+        """The ``S + 1`` row offsets (copy; shard ``s`` owns rows
+        ``[bounds[s], bounds[s+1])``)."""
+        return self._shard_bounds.copy()
+
+    def shard_of_row(self, row: int) -> int:
+        """The shard owning global row index ``row``."""
+        if not 0 <= row < len(self._ids):
+            raise IndexError(f"row {row} out of range")
+        return int(np.searchsorted(self._shard_bounds, row, side="right")) - 1
+
+    def shard_of(self, obj: ObjectId) -> int:
+        """The shard owning ``obj`` (via the id -> row interning)."""
+        row = self._row_of.get(obj)
+        if row is None:
+            raise UnknownObjectError(obj)
+        return self.shard_of_row(row)
+
+    # ------------------------------------------------------------------
+    # merge cursors and the lazily merged global orders
+    # ------------------------------------------------------------------
+    def merge_cursor(self, list_index: int) -> ListMergeCursor:
+        """A fresh streaming merge cursor over list ``list_index``'s
+        shard runs."""
+        self._check_list(list_index)
+        return ListMergeCursor(self._runs[list_index])
+
+    def iter_sorted(
+        self, list_index: int
+    ) -> Iterator[tuple[ObjectId, float]]:
+        """Stream ``(object, grade)`` in global sorted order without
+        materialising the merged order array."""
+        ids = self._ids
+        for row, grade in self.merge_cursor(list_index):
+            yield ids[row], grade
+
+    def _merged_order(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        cached = self._merged_cache[i]
+        if cached is None:
+            cached = self.merge_cursor(i).drain()
+            self._merged_cache[i] = cached
+        return cached
+
+    @property
+    def _order_rows(self) -> Sequence[np.ndarray]:  # type: ignore[override]
+        return _MergedOrders(self, 0)
+
+    @property
+    def _order_grades(self) -> Sequence[np.ndarray]:  # type: ignore[override]
+        return _MergedOrders(self, 1)
+
+    # ------------------------------------------------------------------
+    # shard-routed random access (the batched plane's fancy-indexed
+    # gathers into the concatenated matrix are the vectorised analogue:
+    # contiguous range sharding makes the routing a slice offset)
+    # ------------------------------------------------------------------
+    def grade(self, obj: ObjectId, list_index: int) -> float:
+        self._check_list(list_index)
+        row = self._row_of.get(obj)
+        if row is None:
+            raise UnknownObjectError(obj)
+        s = self.shard_of_row(row)
+        lo = int(self._shard_bounds[s])
+        return float(self._shard_matrices[s][row - lo, list_index])
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _argsort_runs(
+        matrix: np.ndarray, bounds: np.ndarray
+    ) -> list[list[_Run]]:
+        """Per-shard stable argsorts (each shard orders its own rows
+        independently -- the distributable part); tie keys are global
+        row indices, which reproduces the global stable argsort order
+        under the merge."""
+        m = matrix.shape[1]
+        runs: list[list[_Run]] = [[] for _ in range(m)]
+        for s in range(len(bounds) - 1):
+            lo, hi = int(bounds[s]), int(bounds[s + 1])
+            block = matrix[lo:hi]
+            for i in range(m):
+                local = np.argsort(-block[:, i], kind="stable")
+                rows = (lo + local).astype(np.intp, copy=False)
+                runs[i].append(
+                    (rows, block[local, i], rows.astype(np.int64))
+                )
+        return runs
+
+    @classmethod
+    def from_array(
+        cls,
+        array: np.ndarray,
+        object_ids: Sequence[ObjectId] | None = None,
+        validate: bool = True,
+        *,
+        num_shards: int = 1,
+    ) -> "ShardedDatabase":
+        """Build from an ``(N, m)`` grade array partitioned into
+        ``num_shards`` balanced row ranges; each shard argsorts its own
+        slice (stable), and the merged order is identical to
+        :meth:`ColumnarDatabase.from_array`'s."""
+        array, ids = _coerce_array_and_ids(array, object_ids)
+        bounds = shard_bounds_for(array.shape[0], num_shards)
+        runs = cls._argsort_runs(array, bounds)
+        return cls(array, ids, bounds, runs, validate=validate)
+
+    @classmethod
+    def from_shards(
+        cls,
+        shard_matrices: Sequence[np.ndarray],
+        object_ids: Sequence[ObjectId] | None = None,
+        validate: bool = True,
+    ) -> "ShardedDatabase":
+        """Build from per-shard ``(n_s, m)`` grade blocks (e.g. produced
+        by independent workers); shard ``s`` owns the contiguous row
+        range covering its block, in the order given."""
+        if not shard_matrices:
+            raise DatabaseError("need at least one shard")
+        parts = [np.asarray(p, dtype=float) for p in shard_matrices]
+        arities = set()
+        for s, p in enumerate(parts):
+            if p.ndim != 2:
+                raise DatabaseError(
+                    f"shard {s}: expected a 2-D (n, m) array, got shape "
+                    f"{p.shape}"
+                )
+            arities.add(p.shape[1])
+        if len(arities) != 1:
+            raise DatabaseError(
+                f"shards disagree on the number of lists: {sorted(arities)}"
+            )
+        matrix = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        matrix, ids = _coerce_array_and_ids(matrix, object_ids)
+        bounds = np.concatenate(
+            [[0], np.cumsum([len(p) for p in parts])]
+        ).astype(np.intp)
+        runs = cls._argsort_runs(matrix, bounds)
+        return cls(matrix, ids, bounds, runs, validate=validate)
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Mapping[ObjectId, Sequence[float]],
+        validate: bool = True,
+        *,
+        num_shards: int = 1,
+    ) -> "ShardedDatabase":
+        """Build from ``{object_id: grade_vector}``; ties keep insertion
+        order, exactly like :meth:`Database.from_rows`."""
+        if not rows:
+            raise DatabaseError("database must contain at least one object")
+        arities = {len(v) for v in rows.values()}
+        if len(arities) != 1:
+            raise DatabaseError(
+                "all objects must have the same number of grades; got "
+                f"{arities}"
+            )
+        if arities.pop() < 1:
+            raise DatabaseError("objects must have at least one grade")
+        ids = list(rows)
+        matrix = np.array([list(rows[obj]) for obj in ids], dtype=np.float64)
+        return cls.from_array(
+            matrix, ids, validate=validate, num_shards=num_shards
+        )
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Sequence[Sequence[tuple[ObjectId, float]]],
+        validate: bool = True,
+        *,
+        num_shards: int = 1,
+    ) -> "ShardedDatabase":
+        """Build from explicit per-list orderings, preserving tie
+        placement across the shard partition."""
+        scalar = Database.from_columns(columns, validate=validate)
+        return cls.from_database(scalar, num_shards=num_shards)
+
+    @classmethod
+    def from_database(
+        cls,
+        db: Database,
+        num_shards: int = 1,
+        *,
+        shard_bounds: np.ndarray | None = None,
+    ) -> "ShardedDatabase":
+        """Re-shard any database (scalar, columnar or sharded) into
+        ``num_shards`` contiguous row-range shards, preserving its exact
+        per-list tie order: each shard's run is the subsequence of the
+        reference global order falling in its row range, with the global
+        list positions as tie keys.  ``shard_bounds`` overrides the
+        balanced partition with explicit row offsets (used when
+        restoring a persisted shard layout)."""
+        col = ColumnarDatabase.from_database(db)
+        matrix = col._matrix
+        n = matrix.shape[0]
+        if shard_bounds is not None:
+            bounds = np.asarray(shard_bounds, dtype=np.intp)
+            num_shards = len(bounds) - 1
+        else:
+            bounds = shard_bounds_for(n, num_shards)
+        runs: list[list[_Run]] = []
+        for i in range(col._m):
+            g_rows = np.asarray(col._order_rows[i])
+            g_grades = np.asarray(col._order_grades[i])
+            shard_idx = np.searchsorted(bounds, g_rows, side="right") - 1
+            shard_runs: list[_Run] = []
+            for s in range(num_shards):
+                mask = shard_idx == s
+                shard_runs.append(
+                    (
+                        g_rows[mask].astype(np.intp, copy=False),
+                        g_grades[mask],
+                        np.nonzero(mask)[0].astype(np.int64),
+                    )
+                )
+            runs.append(shard_runs)
+        return cls(matrix, col._ids, bounds, runs, validate=False)
+
+    # ------------------------------------------------------------------
+    # validation (per shard; merged orders are validated implicitly by
+    # the run invariants + the differential suite)
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        self._validate_core()
+        matrix = self._matrix
+        n, m = matrix.shape
+        bounds = self._shard_bounds
+        if (
+            bounds[0] != 0
+            or bounds[-1] != n
+            or (np.diff(bounds) < 0).any()
+        ):
+            raise DatabaseError(
+                f"shard bounds {bounds.tolist()} do not partition "
+                f"0..{n}"
+            )
+        num_shards = self.num_shards
+        if len(self._runs) != m:
+            raise DatabaseError(
+                f"got runs for {len(self._runs)} lists, expected {m}"
+            )
+        for i, shard_runs in enumerate(self._runs):
+            if len(shard_runs) != num_shards:
+                raise DatabaseError(
+                    f"list {i} has runs for {len(shard_runs)} shards, "
+                    f"expected {num_shards}"
+                )
+            rows_parts = []
+            tie_parts = []
+            for s, (rows, grades, ties) in enumerate(shard_runs):
+                lo, hi = int(bounds[s]), int(bounds[s + 1])
+                if not (len(rows) == len(grades) == len(ties)):
+                    raise DatabaseError(
+                        f"list {i} shard {s}: run arrays disagree in length"
+                    )
+                if rows.size and (rows.min() < lo or rows.max() >= hi):
+                    raise DatabaseError(
+                        f"list {i} shard {s} references rows outside "
+                        f"[{lo}, {hi})"
+                    )
+                if not np.array_equal(matrix[rows, i], grades):
+                    raise DatabaseError(
+                        f"list {i} shard {s}: run grades disagree with "
+                        "the grade matrix"
+                    )
+                if (grades[1:] > grades[:-1] + 1e-15).any():
+                    raise DatabaseError(
+                        f"list {i} shard {s} is not sorted descending"
+                    )
+                tied = grades[1:] == grades[:-1]
+                if (ties[1:][tied] <= ties[:-1][tied]).any():
+                    raise DatabaseError(
+                        f"list {i} shard {s}: tie keys not ascending "
+                        "within equal grades"
+                    )
+                rows_parts.append(rows)
+                tie_parts.append(ties)
+            all_rows = np.concatenate(rows_parts)
+            if all_rows.size != n or not (
+                np.bincount(all_rows, minlength=n) == 1
+            ).all():
+                raise DatabaseError(
+                    f"list {i}: shard runs do not partition the rows"
+                )
+            all_ties = np.concatenate(tie_parts)
+            if np.unique(all_ties).size != n:
+                raise DatabaseError(
+                    f"list {i}: tie keys are not unique across shards"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ShardedDatabase N={self.num_objects} m={self.num_lists} "
+            f"S={self.num_shards}>"
+        )

@@ -3,11 +3,22 @@ NumPy ``.npz`` (compact, for large synthetic workloads).
 
 The JSON form stores the per-list orderings explicitly, so adversarial
 constructions round-trip with their tie placement intact -- the property
-several of the paper's counterexamples depend on.  The ``.npz`` form
-stores the grade matrix plus object ids and rebuilds orderings with the
-deterministic stable sort of :meth:`Database.from_array` (tie order is
-*not* preserved; refuse it for tie-sensitive data by checking
-:meth:`Database.satisfies_distinctness` yourself if it matters).
+several of the paper's counterexamples depend on.
+
+The ``.npz`` form stores the grade matrix *plus the per-list order
+arrays* (and, for a :class:`~repro.middleware.database.ShardedDatabase`,
+the shard layout), so a reload rebuilds the columnar backend directly:
+no argsort is re-run, and the exact tie order -- adversarial placements
+included -- survives the round trip.  :func:`load_npz` therefore returns
+a ready-to-query :class:`~repro.middleware.database.ColumnarDatabase`
+(or :class:`~repro.middleware.database.ShardedDatabase` when a shard
+layout was persisted or ``num_shards`` is requested).  Files written by
+the pre-order-array format (grades only) still load, rebuilding
+orderings with the deterministic stable sort of
+:meth:`Database.from_array` exactly as before.
+
+Object ids are stored as strings in the ``.npz`` form; integer ids are
+restored on load (other id types come back as their ``str()``).
 """
 
 from __future__ import annotations
@@ -17,12 +28,13 @@ from pathlib import Path
 
 import numpy as np
 
-from .database import Database
+from .database import ColumnarDatabase, Database, ShardedDatabase
 from .errors import DatabaseError
 
 __all__ = ["save_json", "load_json", "save_npz", "load_npz"]
 
 _FORMAT = "repro-database-v1"
+_NPZ_FORMAT = "repro-database-npz-v2"
 
 
 def save_json(db: Database, path: str | Path) -> None:
@@ -54,27 +66,81 @@ def load_json(path: str | Path) -> Database:
 
 
 def save_npz(db: Database, path: str | Path) -> None:
-    """Write ``db``'s grade matrix to a compressed ``.npz``.
-
-    Object ids are stored as strings; integer ids are restored on load.
-    """
-    ids, grades = db.to_array(object_ids=sorted(db.objects, key=str))
-    np.savez_compressed(
-        Path(path),
-        grades=grades,
-        object_ids=np.array([str(obj) for obj in ids]),
-        int_ids=np.array([isinstance(obj, int) for obj in ids]),
+    """Write ``db`` to a compressed ``.npz``: grade matrix, object ids,
+    per-list order arrays, and -- for a sharded database -- the shard
+    layout, so :func:`load_npz` skips the argsort and preserves the
+    exact tie order."""
+    col = db.to_columnar()
+    m = col.num_lists
+    order_rows = np.stack(
+        [np.asarray(col._order_rows[i], dtype=np.int64) for i in range(m)]
     )
+    ids = col._ids
+    payload = {
+        "format": np.array(_NPZ_FORMAT),
+        "grades": col._matrix,
+        "object_ids": np.array([str(obj) for obj in ids]),
+        "int_ids": np.array([isinstance(obj, int) for obj in ids]),
+        "order_rows": order_rows,
+    }
+    if isinstance(db, ShardedDatabase):
+        payload["shard_bounds"] = db.shard_bounds.astype(np.int64)
+    np.savez_compressed(Path(path), **payload)
 
 
-def load_npz(path: str | Path) -> Database:
-    """Read a database written by :func:`save_npz`."""
-    with np.load(Path(path), allow_pickle=False) as data:
-        grades = data["grades"]
-        raw_ids = data["object_ids"]
-        int_ids = data["int_ids"]
-    ids = [
+def _restore_ids(raw_ids: np.ndarray, int_ids: np.ndarray) -> list:
+    return [
         int(obj) if is_int else str(obj)
         for obj, is_int in zip(raw_ids.tolist(), int_ids.tolist())
     ]
-    return Database.from_array(grades, object_ids=ids)
+
+
+def load_npz(
+    path: str | Path, num_shards: int | None = None
+) -> Database:
+    """Read a database written by :func:`save_npz`.
+
+    Files carrying order arrays come back as a
+    :class:`~repro.middleware.database.ColumnarDatabase` built directly
+    from the persisted orderings (no re-sort, tie order intact), or as a
+    :class:`~repro.middleware.database.ShardedDatabase` when the file
+    stores a shard layout.  ``num_shards`` re-shards into that many
+    balanced contiguous shards regardless of the persisted layout.
+    Legacy files (grades only) rebuild orderings with the deterministic
+    stable sort of :meth:`Database.from_array`, as before.
+    """
+    with np.load(Path(path), allow_pickle=False) as data:
+        files = set(data.files)
+        grades = data["grades"]
+        ids = _restore_ids(data["object_ids"], data["int_ids"])
+        if "order_rows" not in files:
+            # legacy format: orderings were not persisted
+            db: Database = Database.from_array(grades, object_ids=ids)
+            if num_shards is not None:
+                return db.to_sharded(num_shards)
+            return db
+        order_rows = [
+            np.asarray(rows, dtype=np.intp) for rows in data["order_rows"]
+        ]
+        shard_bounds = (
+            np.asarray(data["shard_bounds"], dtype=np.intp)
+            if "shard_bounds" in files
+            else None
+        )
+    col = ColumnarDatabase(grades, ids, order_rows, validate=True)
+    if num_shards is not None:
+        sharded = ShardedDatabase.from_database(col, num_shards=num_shards)
+    elif shard_bounds is not None:
+        sharded = ShardedDatabase.from_database(
+            col, shard_bounds=shard_bounds
+        )
+    else:
+        return col
+    # the merged global orders were just loaded (and the shard runs are
+    # split from them, so the merge reproduces them bit-for-bit); hand
+    # them to the shard backend so sorted access skips the merge too
+    sharded._merged_cache = [
+        (col._order_rows[i], col._order_grades[i])
+        for i in range(col.num_lists)
+    ]
+    return sharded

@@ -120,8 +120,16 @@ class ScoredCollection:
 
 def assemble_database(
     sources: Sequence[GradedSource],
+    num_shards: int | None = None,
 ) -> tuple[Database, list[ListCapabilities]]:
     """Compile sources into a database and matching capability vector.
+
+    ``num_shards`` compiles into a
+    :class:`~repro.middleware.database.ShardedDatabase` over that many
+    contiguous row-range shards instead of the scalar backend -- each
+    source's exact tie order is preserved across the shard partition, so
+    algorithm behaviour (and the tie-placement-sensitive examples) is
+    unchanged.
 
     Raises :class:`DatabaseError` if the sources disagree on the object
     universe or none of them supports sorted access (then no middleware
@@ -142,5 +150,9 @@ def assemble_database(
         raise DatabaseError(
             "at least one source must support sorted access (|Z| >= 1)"
         )
-    database = Database.from_columns([src.entries for src in sources])
+    database: Database = Database.from_columns(
+        [src.entries for src in sources]
+    )
+    if num_shards is not None:
+        database = database.to_sharded(num_shards)
     return database, [src.capabilities() for src in sources]

@@ -10,7 +10,6 @@ dominates the hidden true values,
 
 from __future__ import annotations
 
-import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -138,7 +137,6 @@ class TestFixedArityBounds:
     )
     def test_min_of_sum_first_two(self, true):
         t = MinOfSumFirstTwo()
-        rng = np.random.default_rng(0)
         known = {0: true[0], 2: true[2]}
         bottoms = [min(1.0, v + 0.1) for v in true]
         assert t.worst_case(known, 4) <= t.aggregate(tuple(true)) + 1e-9

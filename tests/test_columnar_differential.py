@@ -2,10 +2,12 @@
 equivalent to the scalar reference path.
 
 Every algorithm that grows a columnar fast path (TA, TA(cache), NRA, CA,
-Stream-Combine, plus their knob variants) is run twice over the same
-logical database --
-once on the scalar :class:`~repro.middleware.database.Database`, once on
-its :class:`~repro.middleware.database.ColumnarDatabase` twin -- and the
+Stream-Combine, plus their knob variants) is run over the same logical
+database on every backend --
+the scalar :class:`~repro.middleware.database.Database`, its
+:class:`~repro.middleware.database.ColumnarDatabase` twin, and its
+:class:`~repro.middleware.database.ShardedDatabase` re-shardings
+(``S`` in {1, 2, 4}, served through per-list merge cursors) -- and the
 *entire* observable output must match exactly: ranked items (objects,
 grades, bounds), halting reason, round count, buffer usage, and the full
 :class:`~repro.middleware.access.AccessStats` (total and per-list sorted
@@ -14,8 +16,9 @@ seen).  Floats are compared with ``==``, not a tolerance: the engines
 are required to perform the same IEEE operations.
 
 Randomized cases come from hypothesis (including heavy grade ties, which
-exercise the tie-breaking paths of the candidate store), and the paper's
-adversarial constructions exercise exact tie *placement*.
+exercise the tie-breaking paths of the candidate store and of the shard
+merge), and the paper's adversarial constructions exercise exact tie
+*placement*.
 """
 
 from __future__ import annotations
@@ -32,9 +35,14 @@ from repro.core.stream_combine import StreamCombine
 from repro.core.ta import ThresholdAlgorithm
 from repro.datagen import example_6_3, example_8_3, figure_5
 from repro.middleware.cost import CostModel
-from repro.middleware.database import ColumnarDatabase, Database
+from repro.middleware.database import (
+    ColumnarDatabase,
+    Database,
+    ShardedDatabase,
+)
 
 AGGREGATIONS = [MIN, MAX, AVERAGE, SUM, PRODUCT, MEDIAN]
+SHARD_COUNTS = (1, 2, 4)
 
 
 # extras that must agree between backends (b_evaluations is documented
@@ -73,10 +81,16 @@ def assert_backends_agree(db, algo, aggregation, k, cost_model=None):
     columnar = db.to_columnar()
     assert isinstance(columnar, ColumnarDatabase)
     scalar_result = algo.run_on(db, aggregation, k, **kwargs)
-    columnar_result = algo.run_on(columnar, aggregation, k, **kwargs)
-    assert signature(scalar_result) == signature(columnar_result), (
-        f"{algo.name} with {aggregation.name} diverged between backends"
-    )
+    expected = signature(scalar_result)
+    backends = [("columnar", columnar)] + [
+        (f"sharded-{s}", db.to_sharded(s)) for s in SHARD_COUNTS
+    ]
+    for label, backend in backends:
+        result = algo.run_on(backend, aggregation, k, **kwargs)
+        assert signature(result) == expected, (
+            f"{algo.name} with {aggregation.name} diverged between the "
+            f"scalar and {label} backends"
+        )
 
 
 def algorithms_for(m):
@@ -179,18 +193,40 @@ def test_columnar_ground_truth_matches_scalar():
     rng = np.random.default_rng(7)
     arr = rng.random((300, 4))
     scalar = Database.from_array(arr)
-    columnar = scalar.to_columnar()
-    for t in AGGREGATIONS:
-        assert scalar.overall_grades(t) == columnar.overall_grades(t)
-        assert scalar.top_k(t, 12) == columnar.top_k(t, 12)
-        assert scalar.kth_grade(t, 5) == columnar.kth_grade(t, 5)
-    assert scalar.satisfies_distinctness() == columnar.satisfies_distinctness()
+    for backend in (scalar.to_columnar(), scalar.to_sharded(3)):
+        for t in AGGREGATIONS:
+            assert scalar.overall_grades(t) == backend.overall_grades(t)
+            assert scalar.top_k(t, 12) == backend.top_k(t, 12)
+            assert scalar.kth_grade(t, 5) == backend.kth_grade(t, 5)
+        assert (
+            scalar.satisfies_distinctness()
+            == backend.satisfies_distinctness()
+        )
 
 
 def test_columnar_preserves_exact_tie_order():
     inst = figure_5(6)
     db = inst.database
-    columnar = db.to_columnar()
-    for i in range(db.num_lists):
-        for pos in range(db.num_objects):
-            assert db.sorted_entry(i, pos) == columnar.sorted_entry(i, pos)
+    for backend in (db.to_columnar(), db.to_sharded(2), db.to_sharded(4)):
+        for i in range(db.num_lists):
+            for pos in range(db.num_objects):
+                assert db.sorted_entry(i, pos) == backend.sorted_entry(i, pos)
+
+
+def test_sharded_direct_construction_matches_columnar_order():
+    """ShardedDatabase.from_array (per-shard stable argsorts merged by
+    (grade, global row)) must reproduce the global stable argsort order
+    of ColumnarDatabase.from_array, ties included."""
+    rng = np.random.default_rng(11)
+    arr = (rng.integers(0, 6, size=(120, 3)) / 5.0).astype(float)
+    columnar = ColumnarDatabase.from_array(arr)
+    for s in (1, 2, 4, 7):
+        sharded = ShardedDatabase.from_array(arr, num_shards=s)
+        for i in range(3):
+            assert np.array_equal(
+                np.asarray(sharded._order_rows[i]), columnar._order_rows[i]
+            )
+            assert np.array_equal(
+                np.asarray(sharded._order_grades[i]),
+                columnar._order_grades[i],
+            )

@@ -3,7 +3,6 @@ it promises.  Examples are executed in-process with a trimmed __main__
 environment so failures give real tracebacks."""
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

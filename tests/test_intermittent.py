@@ -44,7 +44,7 @@ class TestDelayedTAOrder:
         # run with a traced session to inspect the access order
         algo = IntermittentAlgorithm(h=h)
         session = algo.make_session(db, CostModel(1.0, 1.0), record_trace=True)
-        result = algo.run(session, AVERAGE, 2)
+        algo.run(session, AVERAGE, 2)
         events = session.trace.events
         first_random = next(
             (idx for idx, e in enumerate(events) if e.kind == "R"), None

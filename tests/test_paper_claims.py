@@ -8,7 +8,7 @@ relationships *between* algorithms that the paper proves.
 import pytest
 
 from repro import datagen
-from repro.aggregation import AVERAGE, MAX, MIN, SUM, Constant
+from repro.aggregation import AVERAGE, MAX, MIN, Constant
 from repro.analysis import (
     minimal_certificate,
     nra_upper_bound,

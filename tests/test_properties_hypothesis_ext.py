@@ -4,7 +4,6 @@ sorted order, serialization) and cross-feature invariants."""
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

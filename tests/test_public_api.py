@@ -16,7 +16,7 @@ TOP_LEVEL = [
     "NoRandomAccessAlgorithm", "QuickCombine", "RestrictedSortedAccessTA",
     "StreamCombine", "ThresholdAlgorithm", "TopKResult",
     "AccessSession", "CostModel", "Database", "GradedSource",
-    "ListCapabilities", "assemble_database",
+    "ListCapabilities", "ShardedDatabase", "assemble_database",
 ]
 
 SUBMODULE_NAMES = {
@@ -28,7 +28,8 @@ SUBMODULE_NAMES = {
     "repro.middleware": [
         "save_json", "load_json", "save_npz", "load_npz",
         "WildGuessError", "CapabilityError", "DatabaseError",
-        "AccessTrace", "ScoredCollection",
+        "AccessTrace", "ScoredCollection", "ShardedDatabase",
+        "ListMergeCursor", "shard_bounds_for",
     ],
     "repro.datagen": [
         "uniform", "permutations", "correlated", "anticorrelated",
@@ -36,6 +37,7 @@ SUBMODULE_NAMES = {
         "sensor_like", "example_6_3", "example_6_8", "example_7_3",
         "example_8_3", "figure_5", "theorem_9_1_family",
         "theorem_9_2_family", "theorem_9_5_family", "AdversarialInstance",
+        "sharded_blocks", "sharded_uniform",
     ],
     "repro.analysis": [
         "minimal_certificate", "Certificate", "measured_optimality_ratio",

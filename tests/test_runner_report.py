@@ -5,7 +5,6 @@ import pytest
 from repro import datagen
 from repro.aggregation import AVERAGE
 from repro.analysis import (
-    VerificationError,
     compare_costs,
     format_kv,
     format_table,

@@ -1,11 +1,14 @@
-"""Tests for database persistence (JSON with tie order; npz matrices)."""
+"""Tests for database persistence (JSON with tie order; npz with the
+grade matrix, the per-list order arrays, and the shard layout)."""
 
+import numpy as np
 import pytest
 
 from repro import datagen
-from repro.aggregation import MIN
+from repro.aggregation import AVERAGE, MIN
 from repro.core import ThresholdAlgorithm
 from repro.middleware import (
+    ColumnarDatabase,
     Database,
     DatabaseError,
     load_json,
@@ -87,3 +90,78 @@ class TestNpzRoundTrip:
         assert [g for _, g in db.top_k(MIN, 5)] == pytest.approx(
             [g for _, g in loaded.top_k(MIN, 5)]
         )
+
+
+class TestNpzOrderArrays:
+    """The v2 format persists the per-list order arrays: reload returns
+    a ready columnar backend, skips the argsort, and preserves the exact
+    tie order (which the legacy grades-only format could not)."""
+
+    def test_reload_is_columnar_and_tie_order_preserved(self, tmp_path):
+        inst = datagen.example_6_3(10)
+        path = tmp_path / "adv.npz"
+        save_npz(inst.database, path)
+        loaded = load_npz(path)
+        assert isinstance(loaded, ColumnarDatabase)
+        for i in range(loaded.num_lists):
+            for p in range(loaded.num_objects):
+                assert loaded.sorted_entry(i, p) == inst.database.sorted_entry(
+                    i, p
+                )
+
+    def test_reload_skips_argsort(self, tmp_path, monkeypatch):
+        """Sort-spy: with the order arrays persisted, no argsort may run
+        during load, and sorted access must serve the stored orderings
+        directly."""
+        db = datagen.uniform(80, 3, seed=6)
+        columnar = db.to_columnar()
+        path = tmp_path / "col.npz"
+        save_npz(columnar, path)
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("argsort ran during load_npz")
+
+        monkeypatch.setattr(np, "argsort", forbidden)
+        loaded = load_npz(path)
+        assert isinstance(loaded, ColumnarDatabase)
+        for i in range(3):
+            assert np.array_equal(
+                loaded._order_rows[i], columnar._order_rows[i]
+            )
+            assert np.array_equal(
+                loaded._order_grades[i], columnar._order_grades[i]
+            )
+        assert loaded.sorted_entry(1, 0) == columnar.sorted_entry(1, 0)
+
+    def test_columnar_round_trip_runs_identically(self, tmp_path):
+        db = datagen.uniform(120, 3, seed=8).to_columnar()
+        path = tmp_path / "run.npz"
+        save_npz(db, path)
+        loaded = load_npz(path)
+        before = ThresholdAlgorithm().run_on(db, AVERAGE, 7)
+        after = ThresholdAlgorithm().run_on(loaded, AVERAGE, 7)
+        assert [(it.obj, it.grade) for it in before.items] == [
+            (it.obj, it.grade) for it in after.items
+        ]
+        assert before.stats.sorted_accesses == after.stats.sorted_accesses
+        assert before.stats.random_accesses == after.stats.random_accesses
+
+    def test_legacy_grades_only_files_still_load(self, tmp_path):
+        """Files written before the order arrays existed (grades +
+        string ids only) rebuild with the deterministic stable sort."""
+        db = datagen.uniform(30, 2, seed=4)
+        ids_sorted = sorted(db.objects, key=str)
+        ids, grades = db.to_array(object_ids=ids_sorted)
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(
+            path,
+            grades=grades,
+            object_ids=np.array([str(obj) for obj in ids]),
+            int_ids=np.array([isinstance(obj, int) for obj in ids]),
+        )
+        loaded = load_npz(path)
+        assert loaded.num_objects == 30
+        for obj in db.objects:
+            assert loaded.grade_vector(obj) == pytest.approx(
+                db.grade_vector(obj)
+            )

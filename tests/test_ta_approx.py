@@ -87,7 +87,7 @@ class TestInteractiveEarlyStopping:
             return False  # never stop early
 
         algo = ApproximateThresholdAlgorithm(theta=1.0001)
-        res = algo.run_interactive(
+        algo.run_interactive(
             algo.make_session(db), AVERAGE, 3, stop_when=observer
         )
         assert views, "observer should see intermediate views"
