@@ -1,12 +1,13 @@
-"""Bench regression gate: compare a smoke run's backend speedups
-against the committed full-run baseline.
+"""Bench regression gate: compare a smoke run's speedups against the
+committed full-run baselines.
 
-The smoke run (``bench_backend_speedup.py --smoke``) times the scalar
-and columnar backends on (algorithm, N, m) configurations that also
-appear in the committed ``BENCH_backend.json``.  Speedup (scalar
-seconds / columnar seconds) is a within-machine ratio, so it is
-comparable across hardware where absolute seconds are not.  For every
-configuration present in both files the gate requires::
+Backend gate: the smoke run (``bench_backend_speedup.py --smoke``)
+times the scalar and columnar backends on (algorithm, N, m)
+configurations that also appear in the committed
+``BENCH_backend.json``.  Speedup (scalar seconds / columnar seconds)
+is a within-machine ratio, so it is comparable across hardware where
+absolute seconds are not.  For every configuration present in both
+files the gate requires::
 
     baseline_speedup / smoke_speedup <= tolerance
 
@@ -16,11 +17,21 @@ offending configurations, when any check fails -- or when the files
 share no configurations at all (a miswired grid should fail loudly,
 not pass silently).
 
+Async gate (``--async-smoke``): the committed ``BENCH_async.json``
+must show >= ``--async-min-speedup`` (default 2.0) overlap speedup on
+every run -- the subsystem's acceptance bar -- and the smoke run
+(``bench_async.py --smoke``) is held to the same ratio rule against
+the committed speedups on shared (part, config) keys, with an absolute
+floor of ``--async-floor`` (default 1.2; CI runners are noisy but
+overlap must still visibly win).
+
 Run::
 
     python benchmarks/check_bench_regression.py \
         --baseline BENCH_backend.json \
         --smoke BENCH_backend.smoke.json \
+        --async-baseline BENCH_async.json \
+        --async-smoke BENCH_async.smoke.json \
         --tolerance 2.0
 """
 
@@ -88,6 +99,74 @@ def check(baseline_path: Path, smoke_path: Path, tolerance: float) -> int:
     return 0
 
 
+def _async_runs_by_key(report: dict) -> dict[tuple, dict]:
+    return {
+        (run["part"], run["config"]): run for run in report["runs"]
+    }
+
+
+def check_async(
+    baseline_path: Path,
+    smoke_path: Path | None,
+    tolerance: float,
+    min_speedup: float,
+    floor: float,
+) -> int:
+    """Gate the async overlap speedups: the committed baseline must
+    meet the subsystem's >= ``min_speedup`` acceptance bar, and a smoke
+    run (when given) must stay within ``tolerance`` of the committed
+    speedups on shared keys and above the absolute ``floor``."""
+    baseline = _async_runs_by_key(json.loads(baseline_path.read_text()))
+    failures = []
+    for (part, config), run in sorted(baseline.items()):
+        verdict = "ok" if run["speedup"] >= min_speedup else "FAIL"
+        print(
+            f"async baseline {part:8s} {config:30s} "
+            f"speedup={run['speedup']:6.2f}x (>= {min_speedup:g} "
+            f"required)  {verdict}"
+        )
+        if verdict == "FAIL":
+            failures.append((part, config, "baseline below acceptance bar"))
+    if smoke_path is not None:
+        smoke = _async_runs_by_key(json.loads(smoke_path.read_text()))
+        shared = sorted(set(baseline) & set(smoke))
+        if not shared:
+            print(
+                "async bench gate: no (part, config) shared between "
+                f"{baseline_path} and {smoke_path}; the smoke grid must "
+                "overlap the committed grid",
+                file=sys.stderr,
+            )
+            return 2
+        for key in shared:
+            part, config = key
+            base_speedup = baseline[key]["speedup"]
+            smoke_speedup = smoke[key]["speedup"]
+            ratio = (
+                base_speedup / smoke_speedup
+                if smoke_speedup > 0
+                else float("inf")
+            )
+            ok = ratio <= tolerance and smoke_speedup >= floor
+            print(
+                f"async smoke    {part:8s} {config:30s} "
+                f"baseline {base_speedup:6.2f}x smoke {smoke_speedup:6.2f}x "
+                f"ratio={ratio:5.2f} floor={floor:g}  "
+                f"{'ok' if ok else 'FAIL'}"
+            )
+            if not ok:
+                failures.append((part, config, "smoke overlap regressed"))
+    if failures:
+        print(
+            f"async bench gate: {len(failures)} failure(s): "
+            + ", ".join(f"{p}/{c} ({why})" for p, c, why in failures),
+            file=sys.stderr,
+        )
+        return 1
+    print("async bench gate: all checks passed")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -108,10 +187,54 @@ def main() -> int:
         default=2.0,
         help="maximum allowed baseline/smoke speedup ratio (default 2.0)",
     )
+    parser.add_argument(
+        "--async-baseline",
+        type=Path,
+        default=None,
+        help=(
+            "committed BENCH_async.json to gate (pass to enable the "
+            "async checks)"
+        ),
+    )
+    parser.add_argument(
+        "--async-smoke",
+        type=Path,
+        default=None,
+        help="fresh bench_async.py --smoke report to gate",
+    )
+    parser.add_argument(
+        "--async-min-speedup",
+        type=float,
+        default=2.0,
+        help=(
+            "minimum overlap speedup every committed async run must "
+            "show (default 2.0, the subsystem's acceptance bar)"
+        ),
+    )
+    parser.add_argument(
+        "--async-floor",
+        type=float,
+        default=1.2,
+        help="absolute minimum smoke overlap speedup (default 1.2)",
+    )
     args = parser.parse_args()
     if args.tolerance < 1.0:
         parser.error(f"tolerance must be >= 1.0, got {args.tolerance}")
-    return check(args.baseline, args.smoke, args.tolerance)
+    if args.async_smoke is not None and args.async_baseline is None:
+        # fail loudly: a smoke file without a baseline would otherwise
+        # skip the async gate silently
+        parser.error("--async-smoke requires --async-baseline")
+    status = check(args.baseline, args.smoke, args.tolerance)
+    if args.async_baseline is not None:
+        async_status = check_async(
+            args.async_baseline,
+            args.async_smoke,
+            args.tolerance,
+            args.async_min_speedup,
+            args.async_floor,
+        )
+        status = status or async_status
+    return status
 
 
 if __name__ == "__main__":

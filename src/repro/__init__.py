@@ -22,7 +22,7 @@ Quick start::
     print(result.summary())
 """
 
-from . import aggregation, analysis, core, datagen, middleware
+from . import aggregation, analysis, core, datagen, middleware, services
 from .aggregation import (
     AVERAGE,
     MAX,
@@ -57,6 +57,14 @@ from .middleware import (
     ShardedDatabase,
     assemble_database,
 )
+from .services import (
+    AsyncAccessSession,
+    LatencyModel,
+    SimulatedListService,
+    assemble_remote_database,
+    services_for_database,
+    services_for_sources,
+)
 
 __version__ = "1.0.0"
 
@@ -66,6 +74,7 @@ __all__ = [
     "core",
     "datagen",
     "middleware",
+    "services",
     "AVERAGE",
     "MAX",
     "MEDIAN",
@@ -94,5 +103,11 @@ __all__ = [
     "GradedSource",
     "ListCapabilities",
     "assemble_database",
+    "AsyncAccessSession",
+    "LatencyModel",
+    "SimulatedListService",
+    "assemble_remote_database",
+    "services_for_database",
+    "services_for_sources",
     "__version__",
 ]

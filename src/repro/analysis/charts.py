@@ -28,7 +28,7 @@ def sparkline(values: Sequence[float]) -> str:
         return " " * len(values)
     lo, hi = min(finite), max(finite)
     span = hi - lo
-    chars = []
+    chars: list[str] = []
     for v in values:
         if not math.isfinite(v):
             chars.append(" ")

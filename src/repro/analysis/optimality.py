@@ -77,7 +77,7 @@ class _Instance:
             obj: [0] * self.m for obj in db.objects
         }
         for i in range(self.m):
-            column = []
+            column: list[Hashable] = []
             for p in range(self.n):
                 obj, _ = db.sorted_entry(i, p)
                 column.append(obj)
@@ -103,7 +103,7 @@ class _Instance:
         }
 
     def bottoms(self, depth: int) -> list[float]:
-        out = []
+        out: list[float] = []
         for i in range(self.m):
             if depth == 0:
                 out.append(1.0)
@@ -234,7 +234,7 @@ def minimal_certificate(
         # including z costs its missing fields, excluding a *seen* z
         # costs driving its B down to g_k (0 if already there)
         if inst.slots:
-            scored = []
+            scored: list[tuple[int, Hashable, int, int]] = []
             for z in boundary_seen:
                 known = inst.known_fields(z, depth)
                 cost_in = m - len(known)
@@ -261,7 +261,7 @@ def minimal_certificate(
                 answer.extend(unseen_boundary[:missing_slots])
 
         # dominate every seen object strictly below the k-th grade
-        pushback = []
+        pushback: list[tuple[float, int, Hashable]] = []
         while problem_heap:
             neg_b, _, obj = problem_heap[0]
             if -neg_b <= inst.g_k + _TOL:

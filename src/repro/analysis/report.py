@@ -39,7 +39,7 @@ def format_table(
     def fmt_row(cells: Sequence[str]) -> str:
         return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
 
-    lines = []
+    lines: list[str] = []
     if title:
         lines.append(title)
     lines.append(fmt_row(list(headers)))

@@ -102,7 +102,7 @@ def run_algorithms(
     session_kwargs: dict | None = None,
 ) -> list[RunRecord]:
     """Run each algorithm on a fresh session over ``database``."""
-    records = []
+    records: list[RunRecord] = []
     for algorithm in algorithms:
         result = algorithm.run_on(
             database, aggregation, k, cost_model, **(session_kwargs or {})

@@ -415,6 +415,9 @@ class ArrayCandidateStore(CandidateStore):
         super().__init__(aggregation, m, k, naive=False)
         self.field_matrix = np.full((num_rows, m), np.nan, dtype=np.float64)
         self.seen_count_value = 0
+        #: first-block size for the blocked viability scan (adapted to
+        #: what the previous scan needed; see find_viable_outside)
+        self._viable_scan_hint = k + 1
 
     @property
     def seen_count(self) -> int:
@@ -441,6 +444,84 @@ class ArrayCandidateStore(CandidateStore):
         if self.fully_known(row):
             return self.w[row]
         return None
+
+    def find_viable_outside(
+        self, topk: list, m_k: float
+    ) -> tuple | None:
+        """Blocked-vectorised form of the lazy ``B``-heap scan.
+
+        The scalar scan pops one heap entry at a time and re-evaluates
+        its fresh ``B`` through a per-row :meth:`b_value` call -- for
+        the chunked engines, that is one Python-level aggregation per
+        top-k member per full halting check.  Here live entries whose
+        cached ``B`` exceeds ``M_k`` are popped in blocks and
+        re-evaluated with one ``aggregate_batch`` over the field matrix
+        (bottoms substituted for NaN), exactly like CA's phase-target
+        selection.  Heap pop order is preserved, so the first fresh-
+        viable row outside ``topk`` -- the returned witness -- is the
+        same entry the scalar scan would have found; entries past it in
+        the same block are merely refreshed (their cached keys only
+        tighten, which is always sound) and the ``fresh <= M_k``
+        discard is identical.  Outputs, halting decisions and
+        ``AccessStats`` are unchanged (differential-tested); only the
+        per-check Python work shrinks.
+
+        Block sizing is adaptive: the first block matches what the
+        *previous* scan needed (NRA's rare full checks wade through
+        thousands of cached-viable entries; CA's witness-gated checks
+        typically need a few dozen; over-evaluating would add work, not
+        remove it), and subsequent blocks grow geometrically when the
+        guess falls short.
+        """
+        heap = self._b_heap
+        versions = self._version
+        never = self._never_viable
+        topk_set = set(topk)
+        matrix = self.field_matrix
+        bottoms_row = np.asarray(self.bottoms, dtype=np.float64)
+        pushback: list[tuple[float, int, object, int]] = []
+        found: tuple | None = None
+        block_size = max(self._viable_scan_hint, 1)
+        examined = 0
+        while found is None:
+            block: list[tuple[float, int, object, int]] = []
+            while heap and len(block) < block_size:
+                neg_b, _, row, version = heap[0]
+                if version != versions.get(row) or row in never:
+                    heapq.heappop(heap)
+                    continue
+                if -neg_b <= m_k:
+                    break
+                block.append(heapq.heappop(heap))
+            if not block:
+                break
+            rows = np.fromiter(
+                (entry[2] for entry in block),
+                dtype=np.intp,
+                count=len(block),
+            )
+            sub = matrix[rows]
+            fresh = self.t.aggregate_batch(
+                np.where(np.isnan(sub), bottoms_row, sub)
+            )
+            self.b_evaluations += len(block)
+            for j, (_neg_b, _, row, version) in enumerate(block):
+                fresh_b = float(fresh[j])
+                if fresh_b <= m_k:
+                    never.add(row)
+                    continue
+                self._seq += 1
+                pushback.append((-fresh_b, self._seq, row, version))
+                if found is None and row not in topk_set:
+                    found = (row, fresh_b)
+                    self._viable_scan_hint = examined + j + 1
+            examined += len(block)
+            block_size = min(block_size * 4, 4096)
+        if found is None:
+            self._viable_scan_hint = max(examined, 1)
+        for entry in pushback:
+            heapq.heappush(heap, entry)
+        return found
 
     def resolve_row_fields(
         self, row, list_indices: list[int], grades: list[float]

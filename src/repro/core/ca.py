@@ -515,7 +515,7 @@ class CombinedAlgorithm(TopKAlgorithm):
     ) -> TopKResult:
         """Assemble the result; ``ids`` translates row-keyed candidates
         (the columnar engine's store) back to object ids."""
-        items = []
+        items: list[RankedItem] = []
         for obj in topk:
             items.append(
                 RankedItem(

@@ -64,7 +64,7 @@ class FaginAlgorithm(TopKAlgorithm):
         # Phase 2: resolve every seen object by random access.
         buffer = TopKBuffer(k)
         for obj, known in fields.items():
-            grades = []
+            grades: list[float] = []
             for i in range(m):
                 if i in known:
                     grades.append(known[i])

@@ -111,7 +111,7 @@ class IntermittentAlgorithm(TopKAlgorithm):
                 topk, _ = store.current_topk()
                 halt_reason = HaltReason.EXHAUSTED
 
-        items = []
+        items: list[RankedItem] = []
         for obj in topk:
             items.append(
                 RankedItem(

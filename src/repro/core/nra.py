@@ -338,7 +338,7 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
     ) -> TopKResult:
         """Assemble the result; ``ids`` translates row-keyed candidates
         (the columnar engine's store) back to object ids."""
-        items = []
+        items: list[RankedItem] = []
         for obj in topk:
             items.append(
                 RankedItem(

@@ -18,6 +18,7 @@ from .synthetic import (
     correlated,
     permutations,
     plateau,
+    remote_uniform,
     sharded_blocks,
     sharded_uniform,
     uniform,
@@ -41,6 +42,7 @@ __all__ = [
     "correlated",
     "permutations",
     "plateau",
+    "remote_uniform",
     "sharded_blocks",
     "sharded_uniform",
     "uniform",

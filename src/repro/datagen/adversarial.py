@@ -309,7 +309,7 @@ def theorem_9_1_family(d: int, m: int, k: int = 1) -> AdversarialInstance:
     def zero_list(obj: str) -> int:
         return int(obj[1:]) % m
 
-    columns = []
+    columns: list[list[tuple[str, float]]] = []
     for i in range(m):
         ones = [obj for obj in others if zero_list(obj) != i]
         zeros = [obj for obj in others if zero_list(obj) == i]
@@ -453,7 +453,7 @@ def theorem_9_5_family(d: int, m: int) -> AdversarialInstance:
             filler_home[filler] = i
         cursor += count
 
-    columns = []
+    columns: list[list[tuple[str, float]]] = []
     for i in range(m):
         top_specials = [s for s in specials if challenge(s) != i]
         ones = list(top_specials)

@@ -44,6 +44,7 @@ __all__ = [
     "plateau",
     "sharded_blocks",
     "sharded_uniform",
+    "remote_uniform",
 ]
 
 
@@ -157,7 +158,7 @@ def plateau(n: int, m: int, levels: int = 4, seed: int = 0) -> Database:
     rng = np.random.default_rng(seed)
     raw = rng.integers(0, levels, size=(n, m)).astype(float)
     grades = raw / (levels - 1) if levels > 1 else raw * 0.0 + 1.0
-    columns = []
+    columns: list[list[tuple[int, float]]] = []
     for i in range(m):
         shuffled = rng.permutation(n)
         order = sorted(shuffled.tolist(), key=lambda row: -grades[row, i])
@@ -203,3 +204,36 @@ def sharded_uniform(
     return sharded_blocks(
         lambda rng, n_s, m_: rng.random((n_s, m_)), n, m, num_shards, seed
     )
+
+
+def remote_uniform(
+    n: int,
+    m: int,
+    seed: int = 0,
+    *,
+    base_latency: float = 0.0,
+    jitter: float = 0.0,
+):
+    """A uniform workload deployed as ``m`` simulated remote services.
+
+    The remote counterpart of :func:`uniform` (the
+    ``assemble_database``-style assembly helper of the async plane):
+    returns ``(services, database)`` where ``services`` are
+    :class:`~repro.services.simulated.SimulatedListService` instances
+    serving the database's lists under the given per-call latency
+    model, ready for an
+    :class:`~repro.services.session.AsyncAccessSession` or
+    :func:`~repro.services.assemble.assemble_remote_database`; the
+    ``database`` is the local ground truth the services were built
+    from (useful for verification -- it never touches the services'
+    accounting)."""
+    # local import: repro.services layers on top of datagen's siblings
+    from ..services import LatencyModel, services_for_database
+
+    db = uniform(n, m, seed)
+    latency = (
+        LatencyModel(base_latency, jitter, seed=seed)
+        if base_latency or jitter
+        else None
+    )
+    return services_for_database(db, latency=latency), db

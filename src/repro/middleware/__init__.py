@@ -27,6 +27,10 @@ from .errors import (
     CapabilityError,
     DatabaseError,
     MiddlewareError,
+    RemoteServiceError,
+    ServiceTimeoutError,
+    ServiceTransientError,
+    ServiceUnavailableError,
     UnknownListError,
     UnknownObjectError,
     WildGuessError,
@@ -55,6 +59,10 @@ __all__ = [
     "WildGuessError",
     "UnknownObjectError",
     "UnknownListError",
+    "RemoteServiceError",
+    "ServiceTimeoutError",
+    "ServiceTransientError",
+    "ServiceUnavailableError",
     "GradedSource",
     "ScoredCollection",
     "assemble_database",

@@ -425,9 +425,9 @@ class AccessSession:
                 grades.append(entry[1])
             return RoundBatch(lists, objects, grades)
         n = db.num_objects
-        lists = []
+        lists: list[int] = []
         row_list: list[int] = []
-        grades = []
+        grades: list[float] = []
         positions = self._positions
         sorted_by_list = self._sorted_by_list
         for i, caps in enumerate(self._capabilities):

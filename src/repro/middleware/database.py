@@ -158,7 +158,7 @@ class Database:
         m = len(columns)
         orderings: list[list[ObjectId]] = []
         for i, column in enumerate(columns):
-            ordering = []
+            ordering: list[ObjectId] = []
             previous = None
             for obj, grade in column:
                 grade = float(grade)
@@ -216,7 +216,7 @@ class Database:
                 f"got {len(ids)} object ids for {n} rows"
             )
         grades = {obj: tuple(array[row].tolist()) for row, obj in enumerate(ids)}
-        orderings = []
+        orderings: list[list[ObjectId]] = []
         for i in range(m):
             order = np.argsort(-array[:, i], kind="stable")
             orderings.append([ids[row] for row in order.tolist()])
@@ -351,7 +351,7 @@ class Database:
         """True iff no two objects share a grade in any list (the
         *distinctness property* of Section 6)."""
         for i in range(self._m):
-            seen = set()
+            seen: set[float] = set()
             for obj in self._orderings[i]:
                 g = self._grades[obj][i]
                 if g in seen:
@@ -946,6 +946,15 @@ class ShardedDatabase(ColumnarDatabase):
     # ------------------------------------------------------------------
     # merge cursors and the lazily merged global orders
     # ------------------------------------------------------------------
+    def list_runs(self, list_index: int) -> list[_Run]:
+        """List ``list_index``'s per-shard ``(rows, grades, ties)``
+        runs, shard order -- the units a
+        :class:`ListMergeCursor` merges (and what a distributed
+        deployment would serve per shard; see
+        :func:`repro.services.assemble.shard_run_services`)."""
+        self._check_list(list_index)
+        return list(self._runs[list_index])
+
     def merge_cursor(self, list_index: int) -> ListMergeCursor:
         """A fresh streaming merge cursor over list ``list_index``'s
         shard runs."""
@@ -1045,7 +1054,7 @@ class ShardedDatabase(ColumnarDatabase):
         if not shard_matrices:
             raise DatabaseError("need at least one shard")
         parts = [np.asarray(p, dtype=float) for p in shard_matrices]
-        arities = set()
+        arities: set[int] = set()
         for s, p in enumerate(parts):
             if p.ndim != 2:
                 raise DatabaseError(
@@ -1174,8 +1183,8 @@ class ShardedDatabase(ColumnarDatabase):
                     f"list {i} has runs for {len(shard_runs)} shards, "
                     f"expected {num_shards}"
                 )
-            rows_parts = []
-            tie_parts = []
+            rows_parts: list[np.ndarray] = []
+            tie_parts: list[np.ndarray] = []
             for s, (rows, grades, ties) in enumerate(shard_runs):
                 lo, hi = int(bounds[s]), int(bounds[s + 1])
                 if not (len(rows) == len(grades) == len(ties)):

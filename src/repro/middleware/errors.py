@@ -19,6 +19,10 @@ __all__ = [
     "WildGuessError",
     "UnknownObjectError",
     "UnknownListError",
+    "RemoteServiceError",
+    "ServiceTimeoutError",
+    "ServiceTransientError",
+    "ServiceUnavailableError",
 ]
 
 
@@ -79,3 +83,50 @@ class UnknownListError(AccessError):
             f"list index {list_index} out of range for database with m={m}"
         )
         self.list_index = list_index
+
+
+class RemoteServiceError(AccessError):
+    """An access against a remote graded source failed.
+
+    The paper's middleware is a client of autonomous subsystems, so a
+    service failing is an *access-plane* event, not a database-shape
+    one: it subclasses :class:`AccessError` and carries the service
+    name and how many attempts were spent.  Crucially, a raised access
+    is an access that never happened -- the session charges an access
+    only after its grade has been served, so a failure can never
+    corrupt the accounting (see :mod:`repro.services`).
+    """
+
+    def __init__(self, service: str, message: str, attempts: int = 1):
+        super().__init__(f"service {service!r}: {message}")
+        self.service = service
+        self.attempts = attempts
+
+
+class ServiceTimeoutError(RemoteServiceError):
+    """A service call exceeded its deadline (after any retries)."""
+
+    def __init__(self, service: str, attempts: int = 1):
+        super().__init__(
+            service,
+            f"call timed out after {attempts} attempt(s)",
+            attempts,
+        )
+
+
+class ServiceTransientError(RemoteServiceError):
+    """A retryable transient failure exhausted its retry budget."""
+
+    def __init__(self, service: str, attempts: int = 1):
+        super().__init__(
+            service,
+            f"transient failure persisted across {attempts} attempt(s)",
+            attempts,
+        )
+
+
+class ServiceUnavailableError(RemoteServiceError):
+    """The service failed permanently; retrying cannot help."""
+
+    def __init__(self, service: str, attempts: int = 1):
+        super().__init__(service, "permanently unavailable", attempts)

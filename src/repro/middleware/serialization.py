@@ -39,9 +39,9 @@ _NPZ_FORMAT = "repro-database-npz-v2"
 
 def save_json(db: Database, path: str | Path) -> None:
     """Write ``db`` to ``path`` as JSON, preserving exact tie order."""
-    columns = []
+    columns: list[list] = []
     for i in range(db.num_lists):
-        column = []
+        column: list[list] = []
         for position in range(db.num_objects):
             obj, grade = db.sorted_entry(i, position)
             column.append([obj, grade])

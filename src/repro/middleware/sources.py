@@ -56,7 +56,7 @@ class GradedSource:
             raise DatabaseError(f"source {name!r} produced no entries")
         # stable sort: ties keep caller order, mirroring Database.from_rows
         self._entries = sorted(items, key=lambda e: -float(e[1]))
-        self._grades = {}
+        self._grades: dict[Hashable, float] = {}
         for obj, grade in items:
             if obj in self._grades:
                 raise DatabaseError(

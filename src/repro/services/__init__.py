@@ -1,0 +1,59 @@
+"""Asynchronous remote-source subsystem.
+
+The paper's middleware is a *client of autonomous remote subsystems*
+(Section 1): each of the ``m`` graded lists lives in a separate service
+with its own access latency.  This package realises that setting:
+
+* :mod:`repro.services.protocol` -- the asynchronous wire contract
+  (:class:`RemoteGradedSource`: paged ``sorted_access_stream`` +
+  ``random_access_batch``);
+* :mod:`repro.services.simulated` -- in-process services wrapping
+  per-attribute lists or per-shard runs behind configurable latency,
+  jitter, failure and retry models;
+* :mod:`repro.services.session` -- :class:`AsyncAccessSession`, which
+  overlaps all ``m`` services' sorted streams behind bounded prefetch
+  buffers while charging the *identical*
+  :class:`~repro.middleware.access.AccessStats`/trace semantics as the
+  synchronous plane;
+* :mod:`repro.services.assemble` -- builders and drain adapters: remote
+  streams into the columnar/sharded backends (and their merge cursors)
+  the speculative chunked engines consume unmodified.
+
+See ``docs/ARCHITECTURE.md`` ("Async services") for the overlap model
+and the charging equivalence contract.
+"""
+
+from .assemble import (
+    assemble_remote_database,
+    drain_columns,
+    fetch_merged_orders,
+    services_for_database,
+    services_for_sources,
+    shard_run_services,
+)
+from .protocol import RemoteGradedSource, SortedPage
+from .session import AsyncAccessSession
+from .simulated import (
+    FailureModel,
+    LatencyModel,
+    RetryPolicy,
+    ShardRunService,
+    SimulatedListService,
+)
+
+__all__ = [
+    "RemoteGradedSource",
+    "SortedPage",
+    "AsyncAccessSession",
+    "LatencyModel",
+    "FailureModel",
+    "RetryPolicy",
+    "SimulatedListService",
+    "ShardRunService",
+    "services_for_database",
+    "services_for_sources",
+    "shard_run_services",
+    "drain_columns",
+    "assemble_remote_database",
+    "fetch_merged_orders",
+]

@@ -1,0 +1,104 @@
+"""The remote-source protocol: what an autonomous graded subsystem
+looks like to the middleware.
+
+Section 1 of the paper is explicit that the ``m`` graded lists live in
+*separate autonomous subsystems* -- QBIC answering ``Color='red'``, a
+video server scoring ``Format=MPEG``.  Every access therefore crosses a
+service boundary with its own latency, and the dominant execution cost
+of a real middleware is communication, not local compute.  This module
+pins down the asynchronous wire contract the rest of
+:mod:`repro.services` builds on:
+
+* :class:`RemoteGradedSource` -- one attribute's service.  It streams
+  its graded list best-first in pages (*sorted access*) and answers
+  named-object grade probes (*random access*), both asynchronously.
+* :class:`SortedPage` -- one page of a sorted stream: parallel
+  ``objects`` / ``grades`` sequences in list order.
+
+The protocol deliberately mirrors the two access modes of Section 2 and
+nothing else: capabilities (a web search engine that forbids random
+access; a source that forbids sorted access, Section 7) are declared
+exactly like :class:`~repro.middleware.sources.GradedSource` does, and
+``num_entries`` is ``N`` -- the paper's model takes the database size
+as known (it appears in the cost bounds).
+
+Charging stays with the session: a service serves bytes, the
+:class:`~repro.services.session.AsyncAccessSession` decides what is an
+*access* and charges it with the exact semantics of the synchronous
+plane.  Prefetched-but-unconsumed pages are therefore uncharged
+speculation, the asynchronous sibling of the
+:meth:`~repro.middleware.access.AccessSession.columnar_view` contract.
+"""
+
+from __future__ import annotations
+
+from collections.abc import AsyncIterator, Sequence
+from dataclasses import dataclass
+from typing import Hashable, Protocol, runtime_checkable
+
+from ..middleware.access import ListCapabilities
+
+__all__ = ["SortedPage", "RemoteGradedSource"]
+
+
+@dataclass(frozen=True)
+class SortedPage:
+    """One page of a sorted-access stream: the next ``len(objects)``
+    entries of the list, best grade first, ties in the service's
+    authoritative order."""
+
+    objects: list
+    grades: list[float]
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def __iter__(self):
+        return iter(zip(self.objects, self.grades))
+
+
+@runtime_checkable
+class RemoteGradedSource(Protocol):
+    """Structural protocol for one attribute's remote service.
+
+    Implementations include the in-process simulated services of
+    :mod:`repro.services.simulated`; a real deployment would satisfy it
+    with an HTTP/RPC client.  All methods may raise the
+    :class:`~repro.middleware.errors.RemoteServiceError` family (after
+    whatever client-side retry policy the implementation applies) and
+    :class:`~repro.middleware.errors.UnknownObjectError` for random
+    access to an id the service has never graded.
+    """
+
+    name: str
+
+    @property
+    def num_entries(self) -> int:
+        """``N`` -- how many objects this service has graded."""
+        ...
+
+    @property
+    def supports_sorted(self) -> bool:
+        ...
+
+    @property
+    def supports_random(self) -> bool:
+        ...
+
+    def capabilities(self) -> ListCapabilities:
+        """The per-list capability vector entry this service induces."""
+        ...
+
+    def sorted_access_stream(
+        self, batch_size: int
+    ) -> AsyncIterator[SortedPage]:
+        """Stream the graded list best-first in pages of up to
+        ``batch_size`` entries (the final page may be short)."""
+        ...
+
+    async def random_access_batch(
+        self, objects: Sequence[Hashable]
+    ) -> list[float]:
+        """Grades of ``objects``, positionally (one service round trip
+        for the whole batch)."""
+        ...

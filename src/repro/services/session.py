@@ -1,0 +1,370 @@
+"""The asynchronous access session: remote services, synchronous
+charging.
+
+:class:`AsyncAccessSession` gives the paper's algorithms -- unmodified
+-- a session over ``m`` remote graded sources.  Architecture:
+
+* a private asyncio event loop runs on a background thread;
+* one *prefetch task* per sorted-capable list pulls pages from the
+  service's ``sorted_access_stream`` into a bounded per-source buffer
+  (``prefetch_pages`` pages ahead of the consumer; ``0`` disables
+  pipelining and fetches strictly on demand -- the sequential baseline
+  the async benchmark compares against);
+* the algorithm thread consumes entries through the ordinary
+  :class:`~repro.middleware.access.AccessSession` API; a sorted access
+  pops the next buffered entry (blocking only when the buffer is
+  behind), a random access bridges one ``random_access_batch`` call
+  onto the loop.
+
+Because all prefetch tasks run concurrently on one loop, a lockstep
+round of NRA/CA costs one service round trip of wall-clock instead of
+``m``, and pipelined prefetch hides even that behind the algorithm's
+compute -- while the *model-level* accounting is untouched:
+
+charging equivalence contract
+    ``AsyncAccessSession`` subclasses
+    :class:`~repro.middleware.access.AccessSession` and overrides
+    nothing about charging.  The parent's scalar machinery runs against
+    a :class:`Database`-shaped facade over the prefetch buffers, so
+    per-list counters, depth, the wild-guess certificate, capability
+    checks, trace events and cost are *the same code paths* as the
+    synchronous plane -- sorted accesses charge exactly the consumed
+    prefix (prefetched-but-unconsumed pages are uncharged speculation,
+    like :meth:`~repro.middleware.access.AccessSession.columnar_view`
+    reads), random accesses charge after their grade is served, and a
+    failed service call raises *before* anything is charged.  The
+    differential suite holds algorithms on this session to bit-for-bit
+    equality (items, halting, :class:`~repro.middleware.access.AccessStats`)
+    with the scalar, columnar and sharded backends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+import time
+from collections.abc import Sequence
+from typing import Hashable
+
+from ..middleware.access import AccessSession, ListCapabilities
+from ..middleware.cost import UNIT_COSTS, CostModel
+from ..middleware.errors import DatabaseError, ServiceTimeoutError
+from .protocol import RemoteGradedSource
+
+__all__ = ["AsyncAccessSession"]
+
+
+class _ListBuffer:
+    """One list's prefetched prefix plus the thread/loop handshake."""
+
+    __slots__ = ("objects", "grades", "done", "error", "cond", "space")
+
+    def __init__(self):
+        self.objects: list = []
+        self.grades: list[float] = []
+        self.done = False
+        self.error: BaseException | None = None
+        self.cond = threading.Condition()
+        # created on the event loop by the prefetch task
+        self.space: asyncio.Event | None = None
+
+
+class _ServiceBackedView:
+    """:class:`~repro.middleware.database.Database`-shaped facade over
+    the session's prefetch buffers, so the parent class's scalar access
+    machinery (and therefore its charging semantics) runs unmodified.
+    Never used for ground truth -- only ``num_lists`` / ``num_objects``
+    / ``sorted_entry`` / ``grade`` are served."""
+
+    def __init__(self, session: "AsyncAccessSession"):
+        self._session = session
+
+    @property
+    def num_lists(self) -> int:
+        return len(self._session._services)
+
+    @property
+    def num_objects(self) -> int:
+        return self._session._num_objects
+
+    def sorted_entry(self, list_index: int, position: int):
+        return self._session._entry_at(list_index, position)
+
+    def grade(self, obj: Hashable, list_index: int) -> float:
+        return self._session._remote_grade(obj, list_index)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ServiceBackedView m={self.num_lists} "
+            f"N={self.num_objects}>"
+        )
+
+
+class AsyncAccessSession(AccessSession):
+    """Accounted, capability-checked access to ``m`` remote services.
+
+    Parameters
+    ----------
+    services:
+        One :class:`~repro.services.protocol.RemoteGradedSource` per
+        list, in list order.  All must agree on ``num_entries``.
+    cost_model, capabilities, forbid_wild_guesses, record_trace:
+        As for :class:`~repro.middleware.access.AccessSession`;
+        ``capabilities`` defaults to each service's declared modes.
+    batch_size:
+        Page size of the sorted prefetch streams.
+    prefetch_pages:
+        How many pages each stream may run ahead of its consumer.
+        ``0`` fetches strictly on demand (no pipelining, no overlap
+        between compute and transfer) -- the sequential baseline.
+    wait_timeout:
+        Seconds the consumer thread waits on a stalled buffer or
+        random-access bridge before raising
+        :class:`~repro.middleware.errors.ServiceTimeoutError` (a
+        deadlock net, not a latency model).
+    eager:
+        Arm every sorted-capable list's prefetcher at construction, so
+        the very first lockstep round already overlaps all ``m``
+        services (the default).  Pass ``False`` -- together with
+        ``prefetch_pages=0`` -- for the strict sequential
+        fetch-on-demand baseline, where no service is contacted until
+        its list is actually read (this is what ``bench_async.py``'s
+        sequential arm measures).
+    """
+
+    def __init__(
+        self,
+        services: Sequence[RemoteGradedSource],
+        cost_model: CostModel = UNIT_COSTS,
+        capabilities: ListCapabilities | Sequence[ListCapabilities] | None = None,
+        forbid_wild_guesses: bool = False,
+        record_trace: bool = False,
+        *,
+        batch_size: int = 64,
+        prefetch_pages: int = 2,
+        wait_timeout: float = 30.0,
+        eager: bool = True,
+    ):
+        if not services:
+            raise DatabaseError("need at least one service")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if prefetch_pages < 0:
+            raise ValueError(
+                f"prefetch_pages must be >= 0, got {prefetch_pages}"
+            )
+        self._services = list(services)
+        sizes = {int(s.num_entries) for s in self._services}
+        if len(sizes) != 1:
+            raise DatabaseError(
+                "services disagree on the database size N: "
+                f"{sorted(sizes)}"
+            )
+        self._num_objects = sizes.pop()
+        if self._num_objects < 1:
+            raise DatabaseError("services must grade at least one object")
+        self._batch_size = batch_size
+        self._prefetch_pages = prefetch_pages
+        # wake the producer when fewer than half the prefetch window
+        # (at least one page) remains buffered ahead of the consumer
+        self._refill_margin = max(
+            (prefetch_pages * batch_size) // 2, batch_size, 1
+        )
+        self._wait_timeout = wait_timeout
+        self._buffers = [_ListBuffer() for _ in self._services]
+        self._prefetching: list[concurrent.futures.Future | None] = [
+            None for _ in self._services
+        ]
+        self._closing = False
+        if capabilities is None:
+            capabilities = [s.capabilities() for s in self._services]
+        super().__init__(
+            _ServiceBackedView(self),
+            cost_model,
+            capabilities=capabilities,
+            forbid_wild_guesses=forbid_wild_guesses,
+            record_trace=record_trace,
+        )
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-async-session",
+            daemon=True,
+        )
+        self._thread.start()
+        if eager:
+            # arm every sorted-capable list's prefetcher up front so the
+            # very first lockstep round already overlaps all m services
+            for i in self.sorted_lists:
+                self._ensure_prefetch(i)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the prefetchers and the background loop (idempotent)."""
+        if self._closing:
+            return
+        self._closing = True
+        loop = self._loop
+        try:
+            future = asyncio.run_coroutine_threadsafe(self._shutdown(), loop)
+            future.result(timeout=5.0)
+        except Exception:  # pragma: no cover - defensive teardown
+            pass
+        try:
+            loop.call_soon_threadsafe(loop.stop)
+        except RuntimeError:  # pragma: no cover - loop already closed
+            pass
+        self._thread.join(timeout=5.0)
+        if not self._thread.is_alive():
+            loop.close()
+
+    async def _shutdown(self) -> None:
+        """Cancel and drain the prefetch tasks on their own loop, so
+        none is destroyed while pending."""
+        for buf in self._buffers:
+            if buf.space is not None:
+                buf.space.set()
+        tasks = [
+            task
+            for task in asyncio.all_tasks()
+            if task is not asyncio.current_task()
+        ]
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+
+    def __enter__(self) -> "AsyncAccessSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - defensive
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # prefetch plumbing
+    # ------------------------------------------------------------------
+    def _ensure_prefetch(self, i: int) -> None:
+        if self._prefetching[i] is None:
+            self._prefetching[i] = asyncio.run_coroutine_threadsafe(
+                self._prefetch_list(i), self._loop
+            )
+
+    def _buffer_target(self, i: int) -> int:
+        """Entries list ``i``'s buffer may hold before its producer
+        must wait: the consumed prefix plus the prefetch window (or a
+        single on-demand entry when pipelining is off)."""
+        ahead = self._prefetch_pages * self._batch_size
+        return self._positions[i] + max(ahead, 1)
+
+    async def _prefetch_list(self, i: int) -> None:
+        buf = self._buffers[i]
+        buf.space = asyncio.Event()
+        try:
+            stream = self._services[i].sorted_access_stream(self._batch_size)
+            async for page in stream:
+                with buf.cond:
+                    # grades first: the consumer's lock-free fast path
+                    # gates on len(objects), which must trail grades
+                    buf.grades.extend(page.grades)
+                    buf.objects.extend(page.objects)
+                    buf.cond.notify_all()
+                while (
+                    not self._closing
+                    and len(buf.objects) >= self._buffer_target(i)
+                ):
+                    buf.space.clear()
+                    await buf.space.wait()
+                if self._closing:
+                    return
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            with buf.cond:
+                buf.error = exc
+                buf.cond.notify_all()
+            return
+        with buf.cond:
+            buf.done = True
+            buf.cond.notify_all()
+
+    def _signal_space(self, i: int) -> None:
+        space = self._buffers[i].space
+        if space is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(space.set)
+
+    def _entry_at(self, i: int, position: int):
+        """The facade's ``sorted_entry``: block until the prefetched
+        prefix covers ``position`` (or the stream ends / fails).
+
+        Fast path: the buffer lists only ever grow (grades before
+        objects), so once ``len(objects) > position`` both entries are
+        readable without the lock; the producer is woken only when the
+        remaining buffered-ahead window runs low, not on every entry.
+        """
+        buf = self._buffers[i]
+        objects = buf.objects
+        if position < len(objects):
+            if len(objects) - position <= self._refill_margin:
+                self._signal_space(i)
+            return objects[position], buf.grades[position]
+        self._ensure_prefetch(i)
+        self._signal_space(i)
+        deadline = time.monotonic() + self._wait_timeout
+        with buf.cond:
+            while (
+                len(buf.objects) <= position
+                and not buf.done
+                and buf.error is None
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServiceTimeoutError(
+                        self._services[i].name
+                    ) from None
+                buf.cond.wait(timeout=remaining)
+        if position < len(buf.objects):
+            return buf.objects[position], buf.grades[position]
+        if buf.error is not None:
+            raise buf.error
+        return None  # stream exhausted
+
+    def _remote_grade(self, obj: Hashable, i: int) -> float:
+        """The facade's ``grade``: bridge one random-access batch of
+        size one onto the loop and wait for it."""
+        future = asyncio.run_coroutine_threadsafe(
+            self._services[i].random_access_batch([obj]), self._loop
+        )
+        try:
+            grades = future.result(timeout=self._wait_timeout)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            raise ServiceTimeoutError(self._services[i].name) from None
+        return float(grades[0])
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def services(self) -> list[RemoteGradedSource]:
+        return list(self._services)
+
+    def prefetched(self, list_index: int) -> int:
+        """Entries buffered for ``list_index`` so far (consumed or not);
+        uncharged observability for tests and benchmarks."""
+        self._check_list(list_index)
+        return len(self._buffers[list_index].objects)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<AsyncAccessSession m={len(self._services)} "
+            f"N={self._num_objects} s={self.sorted_accesses} "
+            f"r={self.random_accesses}>"
+        )

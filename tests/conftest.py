@@ -3,9 +3,45 @@ tests/helpers.py)."""
 
 from __future__ import annotations
 
+import os
+import signal
+
 import pytest
 
 from repro.middleware import Database
+
+
+@pytest.fixture(autouse=True)
+def _async_services_timeout(request):
+    """Per-test timeout guard for the async service tests.
+
+    Tests marked ``async_services`` coordinate threads and event loops;
+    a deadlock there would otherwise hang the whole suite.  A SIGALRM
+    deadline (default 60 s, ``REPRO_ASYNC_TEST_TIMEOUT`` overrides --
+    CI sets it explicitly) turns a hang into a loud failure.  No-op on
+    platforms without SIGALRM and for unmarked tests.
+    """
+    if request.node.get_closest_marker("async_services") is None:
+        yield
+        return
+    seconds = int(os.environ.get("REPRO_ASYNC_TEST_TIMEOUT", "60"))
+    if seconds <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"async service test exceeded {seconds}s "
+            "(REPRO_ASYNC_TEST_TIMEOUT)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -19,6 +19,18 @@ Randomized cases come from hypothesis (including heavy grade ties, which
 exercise the tie-breaking paths of the candidate store and of the shard
 merge), and the paper's adversarial constructions exercise exact tie
 *placement*.
+
+Two asynchronous axes ride along (see :mod:`repro.services`):
+
+* *drained* -- every backend comparison also covers a
+  :class:`~repro.middleware.database.ColumnarDatabase` assembled by
+  concurrently draining simulated remote services
+  (:func:`~repro.services.assemble.assemble_remote_database`), so the
+  chunked engines run unmodified over remotely-fetched data;
+* *session* -- algorithms run through an
+  :class:`~repro.services.session.AsyncAccessSession` over per-list
+  services (prefetch pipelined, small pages) and must be bit-for-bit
+  identical to the scalar reference run, ``AccessStats`` included.
 """
 
 from __future__ import annotations
@@ -40,9 +52,19 @@ from repro.middleware.database import (
     Database,
     ShardedDatabase,
 )
+from repro.services import (
+    AsyncAccessSession,
+    assemble_remote_database,
+    services_for_database,
+)
 
 AGGREGATIONS = [MIN, MAX, AVERAGE, SUM, PRODUCT, MEDIAN]
 SHARD_COUNTS = (1, 2, 4)
+
+# every comparison in this module drains simulated remote services
+# (see assert_backends_agree), so the whole module runs under the
+# async per-test SIGALRM timeout guard of tests/conftest.py
+pytestmark = pytest.mark.async_services
 
 
 # extras that must agree between backends (b_evaluations is documented
@@ -82,15 +104,37 @@ def assert_backends_agree(db, algo, aggregation, k, cost_model=None):
     assert isinstance(columnar, ColumnarDatabase)
     scalar_result = algo.run_on(db, aggregation, k, **kwargs)
     expected = signature(scalar_result)
-    backends = [("columnar", columnar)] + [
-        (f"sharded-{s}", db.to_sharded(s)) for s in SHARD_COUNTS
-    ]
+    drained, _ = assemble_remote_database(
+        services_for_database(db), batch_size=17
+    )
+    backends = (
+        [("columnar", columnar)]
+        + [(f"sharded-{s}", db.to_sharded(s)) for s in SHARD_COUNTS]
+        + [("async-drained", drained)]
+    )
     for label, backend in backends:
         result = algo.run_on(backend, aggregation, k, **kwargs)
         assert signature(result) == expected, (
             f"{algo.name} with {aggregation.name} diverged between the "
             f"scalar and {label} backends"
         )
+
+
+def assert_async_session_agrees(db, algo, aggregation, k, cost_model=None):
+    """The async-session axis: the same algorithm, run over per-list
+    remote services through an overlapped prefetching session, must be
+    bit-for-bit identical to the scalar reference run."""
+    kwargs = {} if cost_model is None else {"cost_model": cost_model}
+    expected = signature(algo.run_on(db, aggregation, k, **kwargs))
+    args = [] if cost_model is None else [cost_model]
+    with AsyncAccessSession(
+        services_for_database(db), *args, batch_size=9, prefetch_pages=2
+    ) as session:
+        result = algo.run(session, aggregation, k)
+    assert signature(result) == expected, (
+        f"{algo.name} with {aggregation.name} diverged between the "
+        "scalar backend and the async session"
+    )
 
 
 def algorithms_for(m):
@@ -162,6 +206,10 @@ def test_backends_agree_on_adversarial_constructions(instance, aggregation):
         db, CombinedAlgorithm(), aggregation, 1, CostModel(1.0, 3.0)
     )
     assert_backends_agree(db, StreamCombine(), aggregation, 1)
+    assert_async_session_agrees(db, ThresholdAlgorithm(), aggregation, 1)
+    assert_async_session_agrees(
+        db, CombinedAlgorithm(), aggregation, 1, CostModel(1.0, 3.0)
+    )
 
 
 def test_backends_agree_on_string_object_ids():
@@ -173,6 +221,23 @@ def test_backends_agree_on_string_object_ids():
     for aggregation in (MIN, AVERAGE):
         for algo, cost_model in algorithms_for(3):
             assert_backends_agree(scalar, algo, aggregation, 4, cost_model)
+
+
+@pytest.mark.parametrize("seed", range(3))
+@pytest.mark.parametrize("aggregation", [MIN, AVERAGE], ids=lambda t: t.name)
+def test_async_session_agrees_on_every_algorithm(seed, aggregation):
+    """The async backend axis: every algorithm variant of the suite,
+    run through an overlapped AsyncAccessSession over simulated remote
+    services, is bit-for-bit identical to the scalar reference --
+    items, halting, rounds, and the full AccessStats."""
+    rng = np.random.default_rng(100 + seed)
+    n = int(rng.integers(10, 90))
+    m = int(rng.integers(2, 5))
+    k = int(rng.integers(1, min(n, 6) + 1))
+    # coarse grades force heavy ties through the async paging too
+    db = Database.from_array(rng.integers(0, 7, (n, m)) / 6.0)
+    for algo, cost_model in algorithms_for(m):
+        assert_async_session_agrees(db, algo, aggregation, k, cost_model)
 
 
 def test_backends_agree_on_row_valued_float_ids():

@@ -1,5 +1,6 @@
-"""Failure injection: malformed inputs, capability violations, and
-mis-use must fail loudly with the right error types."""
+"""Failure injection: malformed inputs, capability violations, remote
+service faults, and mis-use must fail loudly with the right error
+types -- and must never corrupt the access accounting."""
 
 import numpy as np
 import pytest
@@ -22,9 +23,20 @@ from repro.middleware import (
     Database,
     DatabaseError,
     ListCapabilities,
+    RemoteServiceError,
+    ServiceTimeoutError,
+    ServiceTransientError,
+    ServiceUnavailableError,
     UnknownListError,
     UnknownObjectError,
     WildGuessError,
+)
+from repro.services import (
+    AsyncAccessSession,
+    FailureModel,
+    RetryPolicy,
+    SimulatedListService,
+    services_for_database,
 )
 
 
@@ -149,6 +161,184 @@ class TestUnknownTargets:
             session.sorted_access(5)
         with pytest.raises(UnknownListError):
             session.random_access(-1, "a")
+
+
+@pytest.mark.async_services
+class TestRemoteServiceFailures:
+    """Timeout / retry / permanent-failure injection on remote graded
+    sources: failures surface as the middleware error types, retries
+    are invisible to the accounting, and a failed access is never
+    charged (the session charges only after a grade is served)."""
+
+    def _db(self, n=30, m=2, seed=4):
+        rng = np.random.default_rng(seed)
+        return Database.from_array(rng.random((n, m)))
+
+    def test_transient_failure_is_retried_and_uncharged(self):
+        db = self._db(m=1)
+        reference = AccessSession(db)
+        services = services_for_database(
+            db,
+            failures=FailureModel(script={0: "transient"}),
+            retry=RetryPolicy(max_attempts=2),
+        )
+        with AsyncAccessSession(
+            services, batch_size=4, prefetch_pages=0, eager=False
+        ) as session:
+            for _ in range(db.num_objects):
+                assert session.sorted_access(0) == reference.sorted_access(0)
+            assert session.stats() == reference.stats()
+        assert services[0].failed_attempts == 1
+        # 1 failed attempt + ceil(30/4) successful pages
+        assert services[0].calls == 1 + 8
+
+    def test_timeout_exhausts_retries_and_never_charges(self):
+        db = self._db(m=1)
+        services = services_for_database(
+            db,
+            # call 0 is the first sorted page; calls 1-2 are the random
+            # probe and its retry, both timing out
+            failures=FailureModel(script={1: "timeout", 2: "timeout"}),
+            retry=RetryPolicy(max_attempts=2),
+        )
+        with AsyncAccessSession(
+            services, batch_size=4, prefetch_pages=0, eager=False
+        ) as session:
+            obj, _ = session.sorted_access(0)
+            with pytest.raises(ServiceTimeoutError) as err:
+                session.random_access(0, obj)
+            assert err.value.attempts == 2
+            assert isinstance(err.value, RemoteServiceError)
+            # the failed probe was never charged...
+            assert session.random_accesses == 0
+            assert session.stats().random_by_list == {}
+            # ...and a later retry by the caller charges exactly once
+            grade = session.random_access(0, obj)
+            assert grade == db.grade(obj, 0)
+            assert session.random_accesses == 1
+            assert session.sorted_accesses == 1
+
+    def test_transient_exhaustion_surfaces_transient_error(self):
+        db = self._db(m=1)
+        services = services_for_database(
+            db,
+            failures=FailureModel(
+                script={1: "transient", 2: "transient", 3: "transient"}
+            ),
+            retry=RetryPolicy(max_attempts=3),
+        )
+        with AsyncAccessSession(
+            services, batch_size=4, prefetch_pages=0, eager=False
+        ) as session:
+            obj, _ = session.sorted_access(0)
+            with pytest.raises(ServiceTransientError):
+                session.random_access(0, obj)
+            assert session.random_accesses == 0
+
+    def test_permanent_failure_mid_stream_charges_only_served_prefix(self):
+        db = self._db(n=30, m=2)
+        services = services_for_database(
+            db,
+            failures=[
+                None,
+                # list 1 dies on its third page: entries 8.. never arrive
+                FailureModel(script={2: "permanent"}),
+            ],
+        )
+        with AsyncAccessSession(
+            services, batch_size=4, prefetch_pages=0, eager=False
+        ) as session:
+            with pytest.raises(ServiceUnavailableError):
+                NoRandomAccessAlgorithm().run(session, AVERAGE, 3)
+            # lockstep rounds: list 0 served round 9's entry, list 1
+            # raised instead -- the failed access is not charged
+            assert session.stats().sorted_by_list == {0: 9, 1: 8}
+            assert session.middleware_cost == 17
+            # the dead service keeps failing loudly
+            with pytest.raises(ServiceUnavailableError):
+                session.sorted_access(1)
+            assert session.stats().sorted_by_list == {0: 9, 1: 8}
+
+    def test_pipelined_prefetch_failure_still_charges_exactly(self):
+        """With overlap the failure fires in the background long before
+        the consumer reaches it; charging must still cover exactly the
+        served prefix."""
+        db = self._db(n=40, m=1)
+        services = services_for_database(
+            db, failures=FailureModel(script={3: "permanent"})
+        )
+        with AsyncAccessSession(
+            services, batch_size=4, prefetch_pages=3, eager=True
+        ) as session:
+            consumed = 0
+            with pytest.raises(ServiceUnavailableError):
+                for _ in range(db.num_objects):
+                    session.sorted_access(0)
+                    consumed += 1
+            assert consumed == 12  # three pages arrived before the fault
+            assert session.sorted_accesses == 12
+
+    def test_probabilistic_failures_with_retry_are_invisible(self):
+        """Seeded random transient/timeout faults, absorbed by a retry
+        budget, must not change results or accounting at all."""
+        db = self._db(n=50, m=3, seed=11)
+        reference = NoRandomAccessAlgorithm().run_on(db, MIN, 4)
+        services = services_for_database(
+            db,
+            failures=FailureModel(
+                timeout_rate=0.1, transient_rate=0.1, seed=99
+            ),
+            retry=RetryPolicy(max_attempts=8),
+        )
+        with AsyncAccessSession(services, batch_size=8) as session:
+            result = NoRandomAccessAlgorithm().run(session, MIN, 4)
+        assert result.items == reference.items
+        assert result.stats == reference.stats
+        assert sum(s.failed_attempts for s in services) > 0
+
+    def test_wild_guess_check_precedes_the_service_call(self):
+        db = self._db(m=1)
+        services = services_for_database(
+            db, failures=FailureModel(script={0: "permanent"})
+        )
+        with AsyncAccessSession(
+            services,
+            forbid_wild_guesses=True,
+            prefetch_pages=0,
+            eager=False,
+        ) as session:
+            with pytest.raises(WildGuessError):
+                session.random_access(0, 0)
+        # the certificate fired before any service round trip
+        assert services[0].calls == 0
+
+    def test_unknown_object_through_async_session(self):
+        db = self._db(m=1)
+        with AsyncAccessSession(
+            services_for_database(db), prefetch_pages=0, eager=False
+        ) as session:
+            with pytest.raises(UnknownObjectError):
+                session.random_access(0, "missing")
+            assert session.random_accesses == 0
+
+    def test_failure_model_validation(self):
+        with pytest.raises(ValueError):
+            FailureModel(script={0: "explode"})
+        with pytest.raises(ValueError):
+            FailureModel(timeout_rate=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        from repro.services import LatencyModel
+
+        with pytest.raises(ValueError):
+            LatencyModel(base=-1.0)
+
+    def test_zero_batch_size_rejected(self):
+        import asyncio
+
+        service = SimulatedListService("s", [("a", 0.5)])
+        with pytest.raises(ValueError):
+            asyncio.run(anext(service.sorted_access_stream(0)))
 
 
 class TestNonMonotoneMisuse:

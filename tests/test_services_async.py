@@ -1,0 +1,346 @@
+"""The async remote-source subsystem: protocol, simulated services,
+the overlapped session's charging equivalence, and the drain adapters.
+
+The charging-equivalence contract under test: an
+:class:`~repro.services.session.AsyncAccessSession` over simulated
+services built from a database must be observationally identical to a
+synchronous :class:`~repro.middleware.access.AccessSession` over that
+database -- same entries, same ``AccessStats``, same trace bytes, same
+errors -- regardless of page size, prefetch depth, latency or drain
+mode.  (The full algorithm-level differential lives in
+``tests/test_columnar_differential.py``; this module tests the
+subsystem directly.)
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import datagen
+from repro.aggregation import AVERAGE, MIN
+from repro.core import (
+    CombinedAlgorithm,
+    NoRandomAccessAlgorithm,
+    StreamCombine,
+    ThresholdAlgorithm,
+)
+from repro.middleware import (
+    AccessSession,
+    CapabilityError,
+    Database,
+    DatabaseError,
+    GradedSource,
+    ListCapabilities,
+    ShardedDatabase,
+    UnknownObjectError,
+    assemble_database,
+)
+from repro.middleware.cost import CostModel
+from repro.services import (
+    AsyncAccessSession,
+    LatencyModel,
+    SimulatedListService,
+    SortedPage,
+    assemble_remote_database,
+    drain_columns,
+    fetch_merged_orders,
+    services_for_database,
+    services_for_sources,
+    shard_run_services,
+)
+
+pytestmark = pytest.mark.async_services
+
+
+def stats_tuple(session):
+    s = session.stats()
+    return (
+        s.sorted_accesses,
+        s.random_accesses,
+        s.sorted_by_list,
+        s.random_by_list,
+        s.middleware_cost,
+        s.depth,
+        s.distinct_objects_seen,
+    )
+
+
+def result_signature(result):
+    stats = result.stats
+    return (
+        [(it.obj, it.grade, it.lower_bound, it.upper_bound)
+         for it in result.items],
+        stats.sorted_accesses,
+        stats.random_accesses,
+        stats.sorted_by_list,
+        stats.random_by_list,
+        stats.middleware_cost,
+        stats.depth,
+        stats.distinct_objects_seen,
+        result.halt_reason,
+        result.rounds,
+    )
+
+
+class TestSimulatedListService:
+    def _service(self, **kwargs):
+        return SimulatedListService(
+            "svc",
+            [("a", 0.9), ("b", 0.7), ("c", 0.7), ("d", 0.2)],
+            **kwargs,
+        )
+
+    def test_stream_pages_and_order(self):
+        service = self._service()
+
+        async def drain():
+            pages = []
+            async for page in service.sorted_access_stream(3):
+                pages.append(page)
+            return pages
+
+        pages = asyncio.run(drain())
+        assert [len(p) for p in pages] == [3, 1]
+        assert isinstance(pages[0], SortedPage)
+        flat = [entry for page in pages for entry in page]
+        assert flat == [("a", 0.9), ("b", 0.7), ("c", 0.7), ("d", 0.2)]
+        # one call per page, charged nowhere (services do not account)
+        assert service.calls == 2
+
+    def test_random_access_batch(self):
+        service = self._service()
+        grades = asyncio.run(service.random_access_batch(["c", "a", "c"]))
+        assert grades == [0.7, 0.9, 0.7]
+        with pytest.raises(UnknownObjectError):
+            asyncio.run(service.random_access_batch(["a", "nope"]))
+
+    def test_entries_must_be_sorted_and_distinct(self):
+        with pytest.raises(DatabaseError):
+            SimulatedListService("bad", [("a", 0.2), ("b", 0.9)])
+        with pytest.raises(DatabaseError):
+            SimulatedListService("dup", [("a", 0.9), ("a", 0.8)])
+        with pytest.raises(DatabaseError):
+            SimulatedListService("empty", [])
+
+    def test_latency_is_deterministic(self):
+        model = LatencyModel(base=0.001, jitter=0.002, seed=42)
+        a, b = model.sampler(), model.sampler()
+        assert [model.delay(a) for _ in range(5)] == [
+            model.delay(b) for _ in range(5)
+        ]
+
+    def test_capabilities_flow_from_flags(self):
+        service = self._service(supports_random=False)
+        caps = service.capabilities()
+        assert caps.sorted_allowed and not caps.random_allowed
+
+
+class TestAsyncSessionCharging:
+    @pytest.fixture
+    def db(self):
+        rng = np.random.default_rng(17)
+        return Database.from_array(rng.integers(0, 10, (60, 3)) / 9.0)
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 64])
+    @pytest.mark.parametrize("prefetch_pages", [0, 2])
+    def test_scalar_access_parity(self, db, batch_size, prefetch_pages):
+        """Interleaved sorted/random accesses charge exactly like the
+        sync session, for every paging/prefetch shape."""
+        sync = AccessSession(db)
+        with AsyncAccessSession(
+            services_for_database(db),
+            batch_size=batch_size,
+            prefetch_pages=prefetch_pages,
+            eager=prefetch_pages > 0,
+        ) as session:
+            script = []
+            for round_index in range(25):
+                for i in range(db.num_lists):
+                    script.append(
+                        (session.sorted_access(i), sync.sorted_access(i))
+                    )
+                if round_index % 3 == 0:
+                    obj = script[-1][1][0]
+                    assert session.random_access(
+                        1, obj
+                    ) == sync.random_access(1, obj)
+            for got, want in script:
+                assert got == want
+            assert stats_tuple(session) == stats_tuple(sync)
+            assert session.position(0) == sync.position(0)
+            assert session.depth == sync.depth
+
+    def test_exhaustion_is_free(self, db):
+        with AsyncAccessSession(
+            services_for_database(db), batch_size=16
+        ) as session:
+            for _ in range(db.num_objects):
+                assert session.sorted_access(0) is not None
+            assert session.sorted_access(0) is None
+            assert session.sorted_access(0) is None
+            assert session.exhausted(0)
+            assert session.sorted_accesses == db.num_objects
+
+    def test_algorithm_parity_all_engines(self, db):
+        for algo, cost_model in [
+            (ThresholdAlgorithm(), None),
+            (NoRandomAccessAlgorithm(), None),
+            (CombinedAlgorithm(), CostModel(1.0, 5.0)),
+            (StreamCombine(), None),
+        ]:
+            kwargs = {} if cost_model is None else {"cost_model": cost_model}
+            reference = algo.run_on(db, AVERAGE, 5, **kwargs)
+            with AsyncAccessSession(
+                services_for_database(db),
+                *([] if cost_model is None else [cost_model]),
+                batch_size=8,
+            ) as session:
+                result = algo.run(session, AVERAGE, 5)
+            assert result_signature(result) == result_signature(reference)
+
+    def test_trace_bytes_identical(self, db):
+        sync = AccessSession(db, record_trace=True)
+        ThresholdAlgorithm().run(sync, MIN, 4)
+        with AsyncAccessSession(
+            services_for_database(db), record_trace=True, batch_size=16
+        ) as session:
+            ThresholdAlgorithm().run(session, MIN, 4)
+        assert session.trace.events == sync.trace.events
+
+    def test_capabilities_default_from_services(self, db):
+        caps = [
+            ListCapabilities(),
+            ListCapabilities(random_allowed=False),
+            ListCapabilities(sorted_allowed=False),
+        ]
+        with AsyncAccessSession(
+            services_for_database(db, capabilities=caps)
+        ) as session:
+            assert session.sorted_lists == [0, 1]
+            session.sorted_access(0)
+            with pytest.raises(CapabilityError):
+                session.random_access(1, 0)
+            with pytest.raises(CapabilityError):
+                session.sorted_access(2)
+
+    def test_services_must_agree_on_size(self):
+        a = SimulatedListService("a", [(0, 0.5), (1, 0.4)])
+        b = SimulatedListService("b", [(0, 0.5)])
+        with pytest.raises(DatabaseError):
+            AsyncAccessSession([a, b])
+
+    def test_prefetch_is_uncharged_speculation(self, db):
+        with AsyncAccessSession(
+            services_for_database(db), batch_size=8, prefetch_pages=3
+        ) as session:
+            session.sorted_access(0)
+            # the prefetcher ran ahead of the single consumed entry...
+            assert session.prefetched(0) >= 8
+            # ...but only the consumed prefix is charged
+            assert session.sorted_accesses == 1
+        assert session.stats().sorted_by_list == {0: 1}
+
+    def test_close_is_idempotent(self, db):
+        session = AsyncAccessSession(services_for_database(db))
+        session.sorted_access(1)
+        session.close()
+        session.close()
+
+
+class TestDrainAdapters:
+    @pytest.fixture
+    def db(self):
+        rng = np.random.default_rng(23)
+        return Database.from_array(rng.integers(0, 5, (40, 3)) / 4.0)
+
+    def test_sequential_and_overlapped_drains_agree(self, db):
+        fast = drain_columns(services_for_database(db), batch_size=7)
+        slow = drain_columns(
+            services_for_database(db), batch_size=7, sequential=True
+        )
+        assert fast == slow
+        for i, column in enumerate(fast):
+            assert column == [
+                db.sorted_entry(i, pos) for pos in range(db.num_objects)
+            ]
+
+    def test_assemble_remote_database_matches_local(self, db):
+        remote, caps = assemble_remote_database(
+            services_for_database(db), batch_size=16
+        )
+        assert AccessSession(remote).supports_batches  # chunked engines on
+        for i in range(db.num_lists):
+            for pos in range(db.num_objects):
+                assert remote.sorted_entry(i, pos) == db.sorted_entry(i, pos)
+        for algo in (ThresholdAlgorithm(), NoRandomAccessAlgorithm()):
+            assert result_signature(
+                algo.run_on(remote, AVERAGE, 4)
+            ) == result_signature(algo.run_on(db, AVERAGE, 4))
+
+    def test_assemble_remote_database_sharded(self, db):
+        remote, _ = assemble_remote_database(
+            services_for_database(db), num_shards=3, batch_size=16
+        )
+        assert isinstance(remote, ShardedDatabase)
+        assert remote.num_shards == 3
+        # internal row numbering may differ (rows are interned by first
+        # appearance when draining columns); the observable sorted
+        # streams must not
+        for i in range(db.num_lists):
+            for pos in range(db.num_objects):
+                assert remote.sorted_entry(i, pos) == db.sorted_entry(i, pos)
+
+    def test_assemble_from_graded_sources_keeps_capabilities(self):
+        sources = [
+            GradedSource("s0", [("x", 0.9), ("y", 0.1)]),
+            GradedSource(
+                "s1", [("y", 0.8), ("x", 0.2)], supports_random=False
+            ),
+        ]
+        local_db, local_caps = assemble_database(sources)
+        remote_db, remote_caps = assemble_remote_database(
+            services_for_sources(sources)
+        )
+        assert remote_caps == local_caps
+        for i in range(2):
+            for pos in range(2):
+                assert remote_db.sorted_entry(i, pos) == local_db.sorted_entry(
+                    i, pos
+                )
+
+    def test_universe_disagreement_raises(self):
+        a = SimulatedListService("a", [("x", 0.9), ("y", 0.1)])
+        b = SimulatedListService("b", [("x", 0.8), ("z", 0.2)])
+        with pytest.raises(DatabaseError):
+            assemble_remote_database([a, b])
+
+
+class TestShardRunStreams:
+    def test_merge_matches_sharded_orders(self):
+        """Per-shard remote run streams + ListMergeCursor reconstruct
+        the exact global order, tie placement included, in both drain
+        modes -- even under latency jitter that scrambles arrivals."""
+        db = datagen.figure_5(6).database.to_sharded(4)
+        for kwargs in (
+            {},
+            {"latency": LatencyModel(0.0005, 0.001, seed=7)},
+        ):
+            grid = shard_run_services(db, **kwargs)
+            merged = fetch_merged_orders(grid, batch_size=5)
+            sequential = fetch_merged_orders(
+                shard_run_services(db, **kwargs),
+                batch_size=5,
+                sequential=True,
+            )
+            for i in range(db.num_lists):
+                assert np.array_equal(
+                    merged[i][0], np.asarray(db._order_rows[i])
+                )
+                assert np.array_equal(
+                    merged[i][1], np.asarray(db._order_grades[i])
+                )
+                assert np.array_equal(merged[i][0], sequential[i][0])
+                assert np.array_equal(merged[i][1], sequential[i][1])
