@@ -111,8 +111,10 @@ def check_async(
     tolerance: float,
     min_speedup: float,
     floor: float,
+    label: str = "async",
 ) -> int:
-    """Gate the async overlap speedups: the committed baseline must
+    """Gate overlap speedups (shared by the async and transport
+    benchmarks -- same report schema): the committed baseline must
     meet the subsystem's >= ``min_speedup`` acceptance bar, and a smoke
     run (when given) must stay within ``tolerance`` of the committed
     speedups on shared keys and above the absolute ``floor``."""
@@ -121,7 +123,7 @@ def check_async(
     for (part, config), run in sorted(baseline.items()):
         verdict = "ok" if run["speedup"] >= min_speedup else "FAIL"
         print(
-            f"async baseline {part:8s} {config:30s} "
+            f"{label} baseline {part:8s} {config:30s} "
             f"speedup={run['speedup']:6.2f}x (>= {min_speedup:g} "
             f"required)  {verdict}"
         )
@@ -132,7 +134,7 @@ def check_async(
         shared = sorted(set(baseline) & set(smoke))
         if not shared:
             print(
-                "async bench gate: no (part, config) shared between "
+                f"{label} bench gate: no (part, config) shared between "
                 f"{baseline_path} and {smoke_path}; the smoke grid must "
                 "overlap the committed grid",
                 file=sys.stderr,
@@ -149,7 +151,7 @@ def check_async(
             )
             ok = ratio <= tolerance and smoke_speedup >= floor
             print(
-                f"async smoke    {part:8s} {config:30s} "
+                f"{label} smoke    {part:8s} {config:30s} "
                 f"baseline {base_speedup:6.2f}x smoke {smoke_speedup:6.2f}x "
                 f"ratio={ratio:5.2f} floor={floor:g}  "
                 f"{'ok' if ok else 'FAIL'}"
@@ -158,12 +160,12 @@ def check_async(
                 failures.append((part, config, "smoke overlap regressed"))
     if failures:
         print(
-            f"async bench gate: {len(failures)} failure(s): "
+            f"{label} bench gate: {len(failures)} failure(s): "
             + ", ".join(f"{p}/{c} ({why})" for p, c, why in failures),
             file=sys.stderr,
         )
         return 1
-    print("async bench gate: all checks passed")
+    print(f"{label} bench gate: all checks passed")
     return 0
 
 
@@ -217,6 +219,41 @@ def main() -> int:
         default=1.2,
         help="absolute minimum smoke overlap speedup (default 1.2)",
     )
+    parser.add_argument(
+        "--transport-baseline",
+        type=Path,
+        default=None,
+        help=(
+            "committed BENCH_transport.json to gate (pass to enable "
+            "the real-transport checks; same schema and rules as the "
+            "async gate)"
+        ),
+    )
+    parser.add_argument(
+        "--transport-smoke",
+        type=Path,
+        default=None,
+        help="fresh bench_transport.py --smoke report to gate",
+    )
+    parser.add_argument(
+        "--transport-min-speedup",
+        type=float,
+        default=2.0,
+        help=(
+            "minimum overlap speedup every committed transport run "
+            "must show (default 2.0: the overlapped network session "
+            "must hold >= 2x vs sequential round-robin at loopback)"
+        ),
+    )
+    parser.add_argument(
+        "--transport-floor",
+        type=float,
+        default=1.2,
+        help=(
+            "absolute minimum transport smoke overlap speedup "
+            "(default 1.2)"
+        ),
+    )
     args = parser.parse_args()
     if args.tolerance < 1.0:
         parser.error(f"tolerance must be >= 1.0, got {args.tolerance}")
@@ -224,6 +261,8 @@ def main() -> int:
         # fail loudly: a smoke file without a baseline would otherwise
         # skip the async gate silently
         parser.error("--async-smoke requires --async-baseline")
+    if args.transport_smoke is not None and args.transport_baseline is None:
+        parser.error("--transport-smoke requires --transport-baseline")
     status = check(args.baseline, args.smoke, args.tolerance)
     if args.async_baseline is not None:
         async_status = check_async(
@@ -234,6 +273,16 @@ def main() -> int:
             args.async_floor,
         )
         status = status or async_status
+    if args.transport_baseline is not None:
+        transport_status = check_async(
+            args.transport_baseline,
+            args.transport_smoke,
+            args.tolerance,
+            args.transport_min_speedup,
+            args.transport_floor,
+            label="transport",
+        )
+        status = status or transport_status
     return status
 
 

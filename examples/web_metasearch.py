@@ -11,26 +11,35 @@ per-engine scores, and -- exactly as Section 8.1 argues -- the
 metasearcher returns the top documents *without* exact total scores,
 because those would require reading every list to the bottom.
 
-Each engine here is a simulated remote service with a per-call latency
-model; the :class:`~repro.services.session.AsyncAccessSession` overlaps
-all engines' result streams behind bounded prefetch buffers, and the
+Each engine here is a remote service with a per-call latency model;
+the :class:`~repro.services.session.AsyncAccessSession` overlaps all
+engines' result streams behind bounded prefetch buffers, and the
 example measures what that overlap is worth against the sequential
 fetch-on-demand client -- same accesses charged, same answers, less
 wall-clock.
 
-Run:  python examples/web_metasearch.py
+By default the engines are in-process simulated services; with
+``--subprocess`` they are served by a *spawned server process* over
+the real wire protocol (every page crosses a TCP socket; the latency
+model runs server-side), and the queries run unchanged.
+
+Run:  python examples/web_metasearch.py [--subprocess]
 """
 
 import random
+import sys
 import time
 
 from repro import SUM, GradedSource, NoRandomAccessAlgorithm
 from repro.analysis import format_table
+from repro.middleware import assemble_database
 from repro.services import (
     AsyncAccessSession,
     LatencyModel,
+    network_services,
     services_for_sources,
 )
+from repro.transport import ServerProcess
 
 
 def engine_scores(rng: random.Random, docs, bias: float):
@@ -59,18 +68,27 @@ def build_engines(rng: random.Random, docs):
     ]
 
 
-def query(engines, k: int, *, overlapped: bool):
+def query(engines, k: int, *, overlapped: bool, server=None):
     """One metasearch query over remote engines; returns the NRA
     result and the wall-clock spent.  ``overlapped`` pipelines all
     engines' streams concurrently; off, pages are fetched one at a
-    time on demand (the sequential client)."""
-    services = services_for_sources(
-        engines,
-        # ~2 ms per page round trip, +-1 ms jitter, per engine
-        latency=LatencyModel(base=0.002, jitter=0.001, seed=7),
-    )
+    time on demand (the sequential client).  With ``server`` the
+    engines live in that spawned process and every page crosses a
+    real socket; otherwise they are in-process simulations."""
+    if server is not None:
+        # real transport: the latency model runs inside the server
+        services = network_services(server.address)
+        capabilities = [src.capabilities() for src in engines]
+    else:
+        services = services_for_sources(
+            engines,
+            # ~2 ms per page round trip, +-1 ms jitter, per engine
+            latency=LatencyModel(base=0.002, jitter=0.001, seed=7),
+        )
+        capabilities = None
     session = AsyncAccessSession(
         services,
+        capabilities=capabilities,
         batch_size=64,
         prefetch_pages=4 if overlapped else 0,
         eager=overlapped,
@@ -82,7 +100,7 @@ def query(engines, k: int, *, overlapped: bool):
     return result, elapsed
 
 
-def main() -> None:
+def main(subprocess_server: bool = False) -> None:
     rng = random.Random(11)
     docs = [(f"doc-{i:04d}", rng.random()) for i in range(3000)]
     k = 8
@@ -91,44 +109,65 @@ def main() -> None:
     # lives in the service wrappers query() creates, so one build
     # serves both the overlapped and the sequential run
     engines = build_engines(rng, docs)
-    result, overlapped_s = query(engines, k, overlapped=True)
-
-    print(
-        f"metasearch top-{k} over 3 remote engines "
-        "(t = sum of engine scores, no random access):"
-    )
-    rows = []
-    for item in result.items:
-        score = (
-            f"{item.grade:.4f}"
-            if item.grade is not None
-            else f"[{item.lower_bound:.3f}, {item.upper_bound:.3f}]"
+    server = None
+    if subprocess_server:
+        # serve the engines' exact lists from a spawned process; the
+        # no-random-access capability travels session-side
+        engine_db, _ = assemble_database(engines)
+        server = ServerProcess(
+            engine_db, latency=0.002, jitter=0.001, latency_seed=7
         )
-        rows.append([item.obj, score])
-    print(format_table(["document", "total score (or bound)"], rows))
-    print(
-        f"\nNRA: {result.sorted_accesses} sorted accesses "
-        f"(depth {result.depth} of {len(docs)} per engine), "
-        "0 random accesses."
-    )
-    exact = sum(1 for item in result.items if item.grade is not None)
-    print(
-        f"{exact}/{k} of the answers happen to have exact scores; the "
-        "rest are returned with bound intervals -- the paper's "
-        "'top k objects without grades' contract."
-    )
+        print(
+            f"engines served by subprocess pid={server.pid} at "
+            f"{server.address[0]}:{server.address[1]} "
+            "(every page crosses a real socket)"
+        )
+    try:
+        result, overlapped_s = query(
+            engines, k, overlapped=True, server=server
+        )
 
-    # the same query through a sequential fetch-on-demand client: the
-    # accesses charged are identical, only the waiting adds up
-    sequential_result, sequential_s = query(engines, k, overlapped=False)
-    assert sequential_result.stats == result.stats
-    print(
-        f"\nOverlapped engine streams: {overlapped_s * 1e3:.0f} ms; "
-        f"sequential round-robin: {sequential_s * 1e3:.0f} ms "
-        f"({sequential_s / overlapped_s:.1f}x) -- identical access "
-        "accounting, the speedup is pure communication overlap."
-    )
+        print(
+            f"metasearch top-{k} over 3 remote engines "
+            "(t = sum of engine scores, no random access):"
+        )
+        rows = []
+        for item in result.items:
+            score = (
+                f"{item.grade:.4f}"
+                if item.grade is not None
+                else f"[{item.lower_bound:.3f}, {item.upper_bound:.3f}]"
+            )
+            rows.append([item.obj, score])
+        print(format_table(["document", "total score (or bound)"], rows))
+        print(
+            f"\nNRA: {result.sorted_accesses} sorted accesses "
+            f"(depth {result.depth} of {len(docs)} per engine), "
+            "0 random accesses."
+        )
+        exact = sum(1 for item in result.items if item.grade is not None)
+        print(
+            f"{exact}/{k} of the answers happen to have exact scores; the "
+            "rest are returned with bound intervals -- the paper's "
+            "'top k objects without grades' contract."
+        )
+
+        # the same query through a sequential fetch-on-demand client:
+        # the accesses charged are identical, only the waiting adds up
+        sequential_result, sequential_s = query(
+            engines, k, overlapped=False, server=server
+        )
+        assert sequential_result.stats == result.stats
+        print(
+            f"\nOverlapped engine streams: {overlapped_s * 1e3:.0f} ms; "
+            f"sequential round-robin: {sequential_s * 1e3:.0f} ms "
+            f"({sequential_s / overlapped_s:.1f}x) -- identical access "
+            "accounting, the speedup is pure communication overlap."
+        )
+    finally:
+        if server is not None:
+            server.terminate()
 
 
 if __name__ == "__main__":
-    main()
+    main(subprocess_server="--subprocess" in sys.argv[1:])

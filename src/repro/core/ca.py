@@ -157,8 +157,13 @@ class CombinedAlgorithm(TopKAlgorithm):
                     missing = [
                         i for i in range(m) if i not in store.fields[target]
                     ]
-                    for i in missing:
-                        grade = session.random_access(i, target)
+                    # one overlapped cross-list fetch on remote
+                    # sessions, the plain per-list loop locally --
+                    # identical charging either way
+                    for i, grade in zip(
+                        missing,
+                        session.random_access_across(target, missing),
+                    ):
                         store.record(target, i, grade)
 
             check_now = (

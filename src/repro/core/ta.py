@@ -439,17 +439,25 @@ class ThresholdAlgorithm(TopKAlgorithm):
         m: int,
         cache: dict[Hashable, dict[int, float]] | None,
     ) -> float:
-        """Fetch all fields of ``obj`` (random access to the other lists)
-        and return its overall grade."""
+        """Fetch all fields of ``obj`` (random access to the other
+        lists) and return its overall grade.  The cross-list fetch goes
+        through :meth:`~repro.middleware.access.AccessSession.random_access_across`
+        -- the per-list scalar loop on local sessions, concurrently
+        overlapped round trips (same charging) on remote ones."""
         if cache is None:
+            others = [j for j in range(m) if j != seen_list]
+            fetched = iter(session.random_access_across(obj, others))
             grades = tuple(
-                seen_grade if j == seen_list else session.random_access(j, obj)
+                seen_grade if j == seen_list else next(fetched)
                 for j in range(m)
             )
             return aggregation.aggregate(grades)
         known = cache.setdefault(obj, {})
         known[seen_list] = seen_grade
-        for j in range(m):
-            if j not in known:
-                known[j] = session.random_access(j, obj)
+        missing = [j for j in range(m) if j not in known]
+        if missing:
+            for j, grade in zip(
+                missing, session.random_access_across(obj, missing)
+            ):
+                known[j] = grade
         return aggregation.aggregate(tuple(known[j] for j in range(m)))

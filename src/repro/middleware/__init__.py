@@ -34,8 +34,19 @@ from .errors import (
     UnknownListError,
     UnknownObjectError,
     WildGuessError,
+    WireFormatError,
+    connection_error_to_service_error,
 )
-from .serialization import load_json, load_npz, save_json, save_npz
+from .serialization import (
+    decode_frame,
+    decode_message,
+    encode_frame,
+    encode_message,
+    load_json,
+    load_npz,
+    save_json,
+    save_npz,
+)
 from .sources import GradedSource, ScoredCollection, assemble_database
 from .trace import RANDOM, SORTED, AccessEvent, AccessTrace
 
@@ -63,6 +74,8 @@ __all__ = [
     "ServiceTimeoutError",
     "ServiceTransientError",
     "ServiceUnavailableError",
+    "WireFormatError",
+    "connection_error_to_service_error",
     "GradedSource",
     "ScoredCollection",
     "assemble_database",
@@ -70,6 +83,10 @@ __all__ = [
     "load_json",
     "save_npz",
     "load_npz",
+    "encode_message",
+    "decode_message",
+    "encode_frame",
+    "decode_frame",
     "AccessEvent",
     "AccessTrace",
     "SORTED",

@@ -446,6 +446,25 @@ class AccessSession:
         self._seen_sorted.update(objects)
         return RoundBatch(lists, objects, grades, rows)
 
+    def random_access_across(
+        self, obj: Hashable, lists: Sequence[int]
+    ) -> list[float]:
+        """Fetch ``obj``'s grade in each of ``lists``, charging one
+        random access per list, in list order -- semantically identical
+        to calling :meth:`random_access` in a loop (which is exactly
+        what this base implementation does).
+
+        This is the access shape of TA's resolution step and CA's
+        random phase: one object, its ``m - 1`` (or missing) fields.
+        Sessions over remote services override it to issue the per-list
+        round trips *concurrently* while replaying the charges in list
+        order (see
+        :meth:`~repro.services.session.AsyncAccessSession.random_access_across`),
+        so the paper's scalar loops gain the overlap win without
+        touching their accounting.
+        """
+        return [self.random_access(i, obj) for i in lists]
+
     def random_access_batch(
         self,
         list_index: int,

@@ -23,6 +23,8 @@ __all__ = [
     "ServiceTimeoutError",
     "ServiceTransientError",
     "ServiceUnavailableError",
+    "WireFormatError",
+    "connection_error_to_service_error",
 ]
 
 
@@ -130,3 +132,62 @@ class ServiceUnavailableError(RemoteServiceError):
 
     def __init__(self, service: str, attempts: int = 1):
         super().__init__(service, "permanently unavailable", attempts)
+
+
+class WireFormatError(MiddlewareError):
+    """A wire frame or message is malformed: truncated, oversized,
+    carrying an unknown type tag, or followed by trailing garbage.
+
+    Raised by the codecs in :mod:`repro.middleware.serialization` and
+    by the transport endpoints in :mod:`repro.transport`.  Deliberately
+    *not* an :class:`AccessError`: a corrupt frame is a protocol bug or
+    an attack, never a legitimate access-plane event, so it must not be
+    absorbed by retry policies built for service failures.
+    """
+
+
+def connection_error_to_service_error(
+    service: str, exc: BaseException, attempts: int = 1
+) -> RemoteServiceError:
+    """Map a socket-level failure onto the remote-service taxonomy.
+
+    The mapping keeps :class:`~repro.services.simulated.RetryPolicy`
+    meaningful over real connections exactly as over the simulated
+    failure models:
+
+    * a deadline (``TimeoutError``, which ``asyncio.TimeoutError``
+      aliases since 3.11) -> :class:`ServiceTimeoutError` (retryable);
+    * connection refused -> :class:`ServiceUnavailableError`
+      (nobody is listening; retrying the same endpoint cannot help,
+      the permanent verdict of the failure models);
+    * reset / aborted / broken pipe / EOF mid-frame
+      (``asyncio.IncompleteReadError`` subclasses ``EOFError``) ->
+      :class:`ServiceTransientError` (a fresh connection may succeed,
+      and the frame protocol's stateless requests make the retry safe);
+    * any other ``OSError`` (unreachable network, name failure, ...)
+      -> :class:`ServiceTransientError`.
+
+    Already-mapped :class:`RemoteServiceError` instances pass through
+    unchanged so callers can funnel mixed failure paths through one
+    mapping point.
+    """
+    if isinstance(exc, RemoteServiceError):
+        return exc
+    if isinstance(exc, TimeoutError):
+        return ServiceTimeoutError(service, attempts)
+    if isinstance(exc, ConnectionRefusedError):
+        return ServiceUnavailableError(service, attempts)
+    if isinstance(
+        exc,
+        (
+            ConnectionResetError,
+            ConnectionAbortedError,
+            BrokenPipeError,
+            EOFError,
+            OSError,
+        ),
+    ):
+        return ServiceTransientError(service, attempts)
+    raise TypeError(
+        f"not a connection-level failure: {type(exc).__name__}: {exc}"
+    ) from exc

@@ -17,10 +17,13 @@ with its own access latency.  This package realises that setting:
   synchronous plane;
 * :mod:`repro.services.assemble` -- builders and drain adapters: remote
   streams into the columnar/sharded backends (and their merge cursors)
-  the speculative chunked engines consume unmodified.
+  the speculative chunked engines consume unmodified;
+* :mod:`repro.services.network` -- transport-backed factories
+  (:func:`network_services`, :func:`network_shard_runs`) connecting the
+  same contracts to a :mod:`repro.transport` server in another process.
 
-See ``docs/ARCHITECTURE.md`` ("Async services") for the overlap model
-and the charging equivalence contract.
+See ``docs/ARCHITECTURE.md`` ("Async services", "Real transport") for
+the overlap model and the charging equivalence contract.
 """
 
 from .assemble import (
@@ -31,7 +34,8 @@ from .assemble import (
     services_for_sources,
     shard_run_services,
 )
-from .protocol import RemoteGradedSource, SortedPage
+from .network import network_client, network_services, network_shard_runs
+from .protocol import RemoteGradedSource, RunStreamSource, SortedPage
 from .session import AsyncAccessSession
 from .simulated import (
     FailureModel,
@@ -43,6 +47,7 @@ from .simulated import (
 
 __all__ = [
     "RemoteGradedSource",
+    "RunStreamSource",
     "SortedPage",
     "AsyncAccessSession",
     "LatencyModel",
@@ -56,4 +61,7 @@ __all__ = [
     "drain_columns",
     "assemble_remote_database",
     "fetch_merged_orders",
+    "network_client",
+    "network_services",
+    "network_shard_runs",
 ]

@@ -51,7 +51,7 @@ from ..middleware.database import (
 )
 from ..middleware.errors import DatabaseError
 from ..middleware.sources import GradedSource
-from .protocol import RemoteGradedSource
+from .protocol import RemoteGradedSource, RunStreamSource
 from .simulated import (
     FailureModel,
     LatencyModel,
@@ -155,15 +155,21 @@ def services_for_sources(
 def shard_run_services(
     db: ShardedDatabase,
     *,
-    latency: LatencyModel | None = None,
-    failures: FailureModel | None = None,
-    retry: RetryPolicy | None = None,
+    latency: LatencyModel | Sequence[LatencyModel | None] | None = None,
+    failures: FailureModel | Sequence[FailureModel | None] | None = None,
+    retry: RetryPolicy | Sequence[RetryPolicy | None] | None = None,
 ) -> list[list[ShardRunService]]:
     """``[list][shard]`` grid of run services over ``db``'s shard-local
     sorted runs -- each serves one ``(rows, grades, ties)`` run, the
-    unit :class:`~repro.middleware.database.ListMergeCursor` merges."""
+    unit :class:`~repro.middleware.database.ListMergeCursor` merges.
+    A sequence model is per *list* (every shard of list ``i`` gets
+    entry ``i``), like :func:`services_for_database`."""
+    m = db.num_lists
+    lat = _per_list(latency, m, "latency")
+    fail = _per_list(failures, m, "failure")
+    ret = _per_list(retry, m, "retry")
     grid: list[list[ShardRunService]] = []
-    for i in range(db.num_lists):
+    for i in range(m):
         row: list[ShardRunService] = []
         for s, (rows, grades, ties) in enumerate(db.list_runs(i)):
             row.append(
@@ -172,9 +178,9 @@ def shard_run_services(
                     rows,
                     grades,
                     ties,
-                    latency=latency,
-                    failures=failures,
-                    retry=retry,
+                    latency=lat[i],
+                    failures=fail[i],
+                    retry=ret[i],
                 )
             )
         grid.append(row)
@@ -289,7 +295,7 @@ def assemble_remote_database(
 
 
 async def _gather_runs_overlapped(
-    shard_services: Sequence[ShardRunService], batch_size: int
+    shard_services: Sequence[RunStreamSource], batch_size: int
 ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
     return list(
         await asyncio.gather(
@@ -299,7 +305,7 @@ async def _gather_runs_overlapped(
 
 
 async def _gather_runs_round_robin(
-    shard_services: Sequence[ShardRunService], batch_size: int
+    shard_services: Sequence[RunStreamSource], batch_size: int
 ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
     parts: list[list[tuple]] = [[] for _ in shard_services]
     streams = [s.run_stream(batch_size) for s in shard_services]
@@ -330,7 +336,7 @@ async def _gather_runs_round_robin(
 
 
 def fetch_merged_orders(
-    grid: Sequence[Sequence[ShardRunService]],
+    grid: Sequence[Sequence[RunStreamSource]],
     *,
     batch_size: int = 512,
     sequential: bool = False,

@@ -38,7 +38,7 @@ from typing import Hashable, Protocol, runtime_checkable
 
 from ..middleware.access import ListCapabilities
 
-__all__ = ["SortedPage", "RemoteGradedSource"]
+__all__ = ["SortedPage", "RemoteGradedSource", "RunStreamSource"]
 
 
 @dataclass(frozen=True)
@@ -101,4 +101,31 @@ class RemoteGradedSource(Protocol):
     ) -> list[float]:
         """Grades of ``objects``, positionally (one service round trip
         for the whole batch)."""
+        ...
+
+
+@runtime_checkable
+class RunStreamSource(Protocol):
+    """One shard's sorted run of one list, served remotely.
+
+    Satisfied by the in-process
+    :class:`~repro.services.simulated.ShardRunService` and by the
+    transport-backed :class:`~repro.transport.client.NetworkRunSource`;
+    :func:`~repro.services.assemble.fetch_merged_orders` accepts any
+    grid of these.
+    """
+
+    name: str
+
+    @property
+    def num_entries(self) -> int:
+        ...
+
+    def run_stream(self, batch_size: int):
+        """Page out the run as ``(rows, grades, ties)`` array triples
+        (an async iterator)."""
+        ...
+
+    async def fetch_run(self, batch_size: int):
+        """Drain the whole stream into one concatenated run triple."""
         ...

@@ -47,9 +47,17 @@ import time
 from collections.abc import Sequence
 from typing import Hashable
 
+import numpy as np
+
 from ..middleware.access import AccessSession, ListCapabilities
 from ..middleware.cost import UNIT_COSTS, CostModel
-from ..middleware.errors import DatabaseError, ServiceTimeoutError
+from ..middleware.errors import (
+    CapabilityError,
+    DatabaseError,
+    ServiceTimeoutError,
+    UnknownObjectError,
+    WildGuessError,
+)
 from .protocol import RemoteGradedSource
 
 __all__ = ["AsyncAccessSession"]
@@ -336,18 +344,139 @@ class AsyncAccessSession(AccessSession):
             raise buf.error
         return None  # stream exhausted
 
-    def _remote_grade(self, obj: Hashable, i: int) -> float:
-        """The facade's ``grade``: bridge one random-access batch of
-        size one onto the loop and wait for it."""
+    def _bridge_random(self, i: int, objects: list) -> list[float]:
+        """Bridge one ``random_access_batch`` service round trip onto
+        the loop and wait for it (uncharged; charging is the caller's
+        job)."""
         future = asyncio.run_coroutine_threadsafe(
-            self._services[i].random_access_batch([obj]), self._loop
+            self._services[i].random_access_batch(objects), self._loop
         )
         try:
-            grades = future.result(timeout=self._wait_timeout)
+            return future.result(timeout=self._wait_timeout)
         except concurrent.futures.TimeoutError:
             future.cancel()
             raise ServiceTimeoutError(self._services[i].name) from None
-        return float(grades[0])
+
+    def _remote_grade(self, obj: Hashable, i: int) -> float:
+        """The facade's ``grade``: bridge one random-access batch of
+        size one onto the loop and wait for it."""
+        return float(self._bridge_random(i, [obj])[0])
+
+    # ------------------------------------------------------------------
+    # batched random access: one service round trip per batch
+    # ------------------------------------------------------------------
+    def random_access_batch(
+        self,
+        list_index: int,
+        objects: Sequence[Hashable] | None,
+        rows=None,
+    ) -> np.ndarray:
+        """Fetch the grades of ``objects``, charging one random access
+        per object -- served by **one** bridged
+        ``random_access_batch`` service round trip for the whole batch
+        instead of the parent's one-call-per-object scalar replay.
+
+        Batched-plane callers therefore pay one round trip of
+        wall-clock per (list, batch); the cross-list twin for TA's
+        resolution step and CA's phases is
+        :meth:`random_access_across`.  The charging semantics are
+        exactly the batched plane's: every object charges (repeats
+        included) once its
+        grade is served; with the no-wild-guess certificate armed, an
+        unseen object charges the objects *before* it and then raises
+        -- before any service round trip, matching the columnar fast
+        path and the scalar loop's counters alike.  ``rows`` (a
+        columnar-backend affordance) is ignored: services address
+        objects by id.  When a trace is recorded the call falls back
+        to the scalar loop so the event stream stays byte-identical.
+        """
+        self._check_list(list_index)
+        if not self._capabilities[list_index].random_allowed:
+            raise CapabilityError("random", list_index)
+        if objects is None:
+            raise ValueError(
+                "objects are required on a service-backed session "
+                "(row addressing is a columnar-backend affordance)"
+            )
+        if self.trace is not None:
+            # scalar fallback: per-access trace events, identical bytes
+            return super().random_access_batch(list_index, objects)
+        objects = list(objects)
+        if self._forbid_wild_guesses:
+            seen = self._seen_sorted
+            for prefix, obj in enumerate(objects):
+                if obj not in seen:
+                    self._random_by_list[list_index] += prefix
+                    raise WildGuessError(obj, list_index)
+        if not objects:
+            return np.empty(0, dtype=np.float64)
+        try:
+            grades = self._bridge_random(list_index, objects)
+        except UnknownObjectError:
+            # replay object by object for exact prefix charging: the
+            # objects before the unknown one charge (their grades were
+            # servable), the unknown raises uncharged -- the scalar
+            # loop's accounting
+            return super().random_access_batch(list_index, objects)
+        self._random_by_list[list_index] += len(objects)
+        return np.asarray(grades, dtype=np.float64)
+
+    def random_access_across(
+        self, obj: Hashable, lists: Sequence[int]
+    ) -> list[float]:
+        """Fetch ``obj``'s grade in each of ``lists`` with every
+        service round trip *in flight concurrently*, then replay the
+        charges in list order -- so TA's resolution step and CA's
+        random phase cost one round trip of wall-clock instead of
+        ``len(lists)``, with accounting identical to the scalar loop.
+
+        Exactness: any condition under which the scalar loop would
+        interleave charging with a raise (trace recording, a list
+        refusing random access, a wild guess, an out-of-range index)
+        falls back to the parent's per-list loop wholesale.  On the
+        concurrent path a failed round trip re-raises after the lists
+        *before* it (in list order) were charged; grades fetched from
+        later lists are discarded uncharged -- speculation, exactly
+        like prefetched-but-unconsumed pages.
+        """
+        lists = list(lists)
+        if (
+            self.trace is not None
+            or (self._forbid_wild_guesses and obj not in self._seen_sorted)
+            or any(
+                not (0 <= i < len(self._capabilities))
+                or not self._capabilities[i].random_allowed
+                for i in lists
+            )
+        ):
+            return super().random_access_across(obj, lists)
+        if not lists:
+            return []
+
+        async def _gather():
+            return await asyncio.gather(
+                *(
+                    self._services[i].random_access_batch([obj])
+                    for i in lists
+                ),
+                return_exceptions=True,
+            )
+
+        future = asyncio.run_coroutine_threadsafe(_gather(), self._loop)
+        try:
+            results = future.result(timeout=self._wait_timeout)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            raise ServiceTimeoutError(
+                self._services[lists[0]].name
+            ) from None
+        out: list[float] = []
+        for i, served in zip(lists, results):
+            if isinstance(served, BaseException):
+                raise served
+            self._random_by_list[i] += 1
+            out.append(float(served[0]))
+        return out
 
     # ------------------------------------------------------------------
     # introspection

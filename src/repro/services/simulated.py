@@ -269,6 +269,25 @@ class SimulatedListService(_SimulatedEndpoint):
                 [obj for obj, _ in page], [g for _, g in page]
             )
 
+    async def page(self, start: int, count: int) -> SortedPage:
+        """One *stateless* page: entries ``[start, start + count)`` of
+        the sorted list, one service call.
+
+        This is the request shape of the wire protocol
+        (:mod:`repro.transport`), whose clients keep their own cursors
+        so that a retried request is idempotent.  Paged sequentially at
+        a fixed ``count`` it makes exactly the calls of
+        :meth:`sorted_access_stream`, latency and failure injection
+        included.
+        """
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        await self._call()
+        page = self._entries[start : start + count]
+        return SortedPage([obj for obj, _ in page], [g for _, g in page])
+
     async def random_access_batch(
         self, objects: Sequence[Hashable]
     ) -> list[float]:
@@ -351,6 +370,25 @@ class ShardRunService(_SimulatedEndpoint):
                 self._ties[position:stop],
             )
             position = stop
+
+    async def run_page(
+        self, start: int, count: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One *stateless* page of the run: ``(rows, grades, ties)``
+        slices covering ``[start, start + count)``, one service call
+        (the wire-protocol twin of :meth:`run_stream`; see
+        :meth:`SimulatedListService.page`)."""
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        await self._call()
+        stop = min(start + count, len(self._rows))
+        return (
+            self._rows[start:stop],
+            self._grades[start:stop],
+            self._ties[start:stop],
+        )
 
     async def fetch_run(
         self, batch_size: int

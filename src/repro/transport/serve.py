@@ -1,0 +1,101 @@
+"""CLI entry point: serve a persisted database over the wire protocol.
+
+This is what the subprocess harness (and a human wanting a standalone
+source server) runs::
+
+    PYTHONPATH=src python -m repro.transport.serve --npz db.npz --port 0
+
+The child loads the ``.npz`` (tie order intact -- the order arrays are
+persisted), builds one simulated service per list (plus the per-shard
+run grid when the file carries a shard layout or ``--num-shards`` is
+given), binds, prints one readiness line::
+
+    LISTENING <host> <port>
+
+to stdout (flushed), and serves until killed.  ``--latency`` /
+``--jitter`` attach a seeded server-side latency model, which is how
+the transport benchmark emulates per-call service time on real
+sockets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from pathlib import Path
+
+from ..middleware.serialization import load_npz
+from ..services.simulated import LatencyModel
+from .server import GradedSourceServer
+
+__all__ = ["main"]
+
+
+def build_server(args: argparse.Namespace) -> GradedSourceServer:
+    db = load_npz(Path(args.npz), num_shards=args.num_shards)
+    latency = None
+    if args.latency or args.jitter:
+        latency = LatencyModel(
+            base=args.latency, jitter=args.jitter, seed=args.latency_seed
+        )
+    return GradedSourceServer.from_database(
+        db,
+        include_runs=not args.no_runs,
+        latency=latency,
+        host=args.host,
+        port=args.port,
+    )
+
+
+async def _serve(args: argparse.Namespace) -> None:
+    server = build_server(args)
+    await server.start()
+    host, port = server.address
+    print(f"LISTENING {host} {port}", flush=True)
+    await server.serve_forever()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--npz", required=True, help="database written by save_npz"
+    )
+    parser.add_argument(
+        "--num-shards",
+        type=int,
+        default=None,
+        help="re-shard the database before serving its run grid",
+    )
+    parser.add_argument(
+        "--no-runs",
+        action="store_true",
+        help="do not export the per-shard run grid of a sharded database",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="0 picks a free port"
+    )
+    parser.add_argument(
+        "--latency",
+        type=float,
+        default=0.0,
+        help="server-side per-call latency base, seconds",
+    )
+    parser.add_argument(
+        "--jitter",
+        type=float,
+        default=0.0,
+        help="server-side per-call latency jitter, seconds",
+    )
+    parser.add_argument("--latency-seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    try:
+        asyncio.run(_serve(args))
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

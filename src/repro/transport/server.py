@@ -1,0 +1,518 @@
+"""The wire-protocol server: graded sources behind a real TCP socket.
+
+:class:`GradedSourceServer` exposes a set of per-attribute services
+(and, optionally, a grid of per-shard run services) over the
+length-prefixed frame protocol of
+:mod:`repro.middleware.serialization`.  One server process plays the
+role of the paper's *autonomous subsystems*: clients reach it only
+through sorted pages and random-access probes, shipped as real bytes.
+
+Protocol
+--------
+
+Every request and response is one frame (4-byte little-endian payload
+length + one tagged binary message, a ``dict``).  Requests carry a
+client-chosen ``id``; responses echo it, which is what makes the
+connection *multiplexed*: the server dispatches every request into its
+own asyncio task the moment the frame is read, so slow requests
+(e.g. a page from a high-latency source) never block fast ones on the
+same connection, and responses are written strictly one frame at a
+time under a per-connection lock.
+
+Operations (all reads, all idempotent -- the client may safely retry):
+
+``{"op": "meta"}``
+    ``{"sources": [{name, n, sorted, random}, ...], "runs": [[shard
+    lengths] per list]}`` -- what the server exports.
+``{"op": "page", "src": i, "start": p, "count": c}``
+    entries ``[p, p + c)`` of source ``i``'s sorted list:
+    ``{"objects": [...], "grades": float64 array}``.  Clients keep
+    their own cursors; the server holds no stream state.
+``{"op": "random", "src": i, "ids": [...]}``
+    ``{"grades": float64 array}``, positionally.
+``{"op": "run_page", "list": i, "shard": s, "start": p, "count": c}``
+    ``{"rows", "grades", "ties"}`` array slices of that shard run.
+
+Failures raise out of the serving source (latency/failure models run
+*server-side*) and travel back as ``{"ok": False, "error": code,
+"message": str, "attempts": n}`` frames; the client re-raises the
+matching :mod:`repro.middleware.errors` type, so failure semantics are
+identical to the in-process path.  A malformed frame is a protocol
+violation, not a service failure: the connection is closed.
+
+Lifecycle: ``await start()`` / ``aclose()`` inside an event loop (the
+``repro.transport.serve`` CLI), or :meth:`start_in_thread` /
+:meth:`close` (context manager) to run the server on a background
+thread next to synchronous test or benchmark code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..middleware.database import Database, ShardedDatabase
+from ..middleware.errors import (
+    DatabaseError,
+    RemoteServiceError,
+    ServiceTimeoutError,
+    ServiceTransientError,
+    ServiceUnavailableError,
+    UnknownObjectError,
+    WireFormatError,
+)
+from ..middleware.serialization import (
+    FRAME_HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    decode_message,
+    encode_frame,
+    frame_payload_size,
+)
+from ..middleware.sources import GradedSource
+from ..services.assemble import services_for_database, shard_run_services
+from ..services.simulated import (
+    FailureModel,
+    LatencyModel,
+    RetryPolicy,
+    ShardRunService,
+    SimulatedListService,
+)
+
+__all__ = ["GradedSourceServer", "serve_sources"]
+
+
+def _as_list_service(source) -> SimulatedListService:
+    """Adapt one exported source: an already-wrapped service passes
+    through, a :class:`GradedSource` is wrapped (keeping its name,
+    entry order and capability flags)."""
+    if isinstance(source, SimulatedListService):
+        return source
+    if isinstance(source, GradedSource):
+        return SimulatedListService(
+            source.name,
+            source.entries,
+            supports_sorted=source.supports_sorted,
+            supports_random=source.supports_random,
+        )
+    raise DatabaseError(
+        f"cannot serve {type(source).__name__}: expected a "
+        "SimulatedListService or GradedSource"
+    )
+
+
+class GradedSourceServer:
+    """Serve graded sources (and shard runs) over TCP.
+
+    Parameters
+    ----------
+    sources:
+        The per-attribute sorted lists to export, in list order --
+        :class:`~repro.services.simulated.SimulatedListService` or
+        :class:`~repro.middleware.sources.GradedSource` instances
+        (wrapped on the fly).  Latency/failure/retry models attached to
+        a service run *inside this server*, which is what makes the
+        overlap benchmark honest: concurrent requests overlap their
+        service time on the server's event loop exactly as concurrent
+        calls to autonomous services would.
+    run_grid:
+        Optional ``[list][shard]`` grid of
+        :class:`~repro.services.simulated.ShardRunService`.
+    host, port:
+        Bind address; port 0 (the default) picks a free port, exposed
+        as :attr:`address` after start.
+    max_frame:
+        Frame size limit for both directions.
+    """
+
+    def __init__(
+        self,
+        sources: Sequence = (),
+        run_grid: Sequence[Sequence[ShardRunService]] = (),
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_frame: int = MAX_FRAME_BYTES,
+    ):
+        self._sources = [_as_list_service(s) for s in sources]
+        self._run_grid = [list(row) for row in run_grid]
+        if not self._sources and not self._run_grid:
+            raise DatabaseError("nothing to serve: no sources, no runs")
+        self._host = host
+        self._requested_port = port
+        self._max_frame = max_frame
+        self._server: asyncio.Server | None = None
+        self._address: tuple[str, int] | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        # background-thread mode
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    @classmethod
+    def from_database(
+        cls,
+        db: Database,
+        *,
+        include_runs: bool = True,
+        latency: LatencyModel | Sequence[LatencyModel | None] | None = None,
+        failures: FailureModel | Sequence[FailureModel | None] | None = None,
+        retry: RetryPolicy | Sequence[RetryPolicy | None] | None = None,
+        names: Sequence[str] | None = None,
+        **kwargs,
+    ) -> "GradedSourceServer":
+        """A server exporting every list of ``db`` (exact tie order),
+        plus -- for a :class:`~repro.middleware.database.ShardedDatabase`
+        with ``include_runs`` -- its per-shard run grid."""
+        sources = services_for_database(
+            db, latency=latency, failures=failures, retry=retry, names=names
+        )
+        run_grid: list[list[ShardRunService]] = []
+        if include_runs and isinstance(db, ShardedDatabase):
+            # the run grid carries the same (possibly per-list) models
+            # as the page/random sources: every shard of list i behaves
+            # like one piece of list i's service
+            run_grid = shard_run_services(
+                db, latency=latency, failures=failures, retry=retry
+            )
+        return cls(sources, run_grid, **kwargs)
+
+    # ------------------------------------------------------------------
+    # async lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._host, self._requested_port
+        )
+        sock = self._server.sockets[0]
+        self._address = sock.getsockname()[:2]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (valid after start)."""
+        if self._address is None:
+            raise RuntimeError("server not started")
+        return self._address
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            for writer in list(self._writers):
+                writer.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # background-thread lifecycle (for synchronous callers)
+    # ------------------------------------------------------------------
+    def start_in_thread(self) -> "GradedSourceServer":
+        """Run the server on a private event loop on a daemon thread;
+        returns ``self`` once the socket is bound."""
+        if self._loop is not None:
+            raise RuntimeError("server thread already running")
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-transport-server",
+            daemon=True,
+        )
+        self._thread.start()
+        asyncio.run_coroutine_threadsafe(self.start(), self._loop).result(
+            timeout=10.0
+        )
+        return self
+
+    def close(self) -> None:
+        """Stop the background-thread server (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        loop, thread = self._loop, self._thread
+        if loop is None:
+            return
+        try:
+            asyncio.run_coroutine_threadsafe(self.aclose(), loop).result(
+                timeout=5.0
+            )
+        except Exception:  # pragma: no cover - defensive teardown
+            pass
+        loop.call_soon_threadsafe(loop.stop)
+        if thread is not None:
+            thread.join(timeout=5.0)
+            if not thread.is_alive():
+                loop.close()
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "GradedSourceServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the protocol
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        send_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                header = await reader.readexactly(FRAME_HEADER_BYTES)
+                size = frame_payload_size(header, self._max_frame)
+                payload = await reader.readexactly(size)
+                message = decode_message(payload)
+                # one task per request: responses interleave by
+                # completion order, matched to requests by id
+                task = asyncio.create_task(
+                    self._handle(message, writer, send_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass  # client hung up
+        except WireFormatError:
+            pass  # protocol violation: drop the connection
+        finally:
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _handle(
+        self,
+        message,
+        writer: asyncio.StreamWriter,
+        send_lock: asyncio.Lock,
+    ) -> None:
+        rid = message.get("id") if isinstance(message, dict) else None
+        try:
+            response = await self._dispatch(message)
+            response["id"] = rid
+            response["ok"] = True
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            response = _error_response(rid, exc)
+        try:
+            frame = encode_frame(response, self._max_frame)
+        except WireFormatError as exc:  # oversized/unencodable result
+            frame = encode_frame(
+                _error_response(rid, exc), self._max_frame
+            )
+        try:
+            async with send_lock:
+                writer.write(frame)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, RuntimeError):
+            pass  # client hung up mid-response
+
+    async def _dispatch(self, message) -> dict:
+        if not isinstance(message, dict):
+            raise WireFormatError("request must be a message dict")
+        op = message.get("op")
+        if op == "meta":
+            return {
+                "sources": [
+                    {
+                        "name": s.name,
+                        "n": s.num_entries,
+                        "sorted": s.supports_sorted,
+                        "random": s.supports_random,
+                    }
+                    for s in self._sources
+                ],
+                "runs": [
+                    [run.num_entries for run in row]
+                    for row in self._run_grid
+                ],
+            }
+        if op == "page":
+            source = self._source(message)
+            page = await source.page(
+                int(message["start"]), int(message["count"])
+            )
+            return {
+                "objects": list(page.objects),
+                "grades": np.asarray(page.grades, dtype=np.float64),
+            }
+        if op == "random":
+            source = self._source(message)
+            ids = message["ids"]
+            if not isinstance(ids, list):
+                raise WireFormatError("'ids' must be a list")
+            grades = await source.random_access_batch(ids)
+            return {"grades": np.asarray(grades, dtype=np.float64)}
+        if op == "run_page":
+            run = self._run(message)
+            rows, grades, ties = await run.run_page(
+                int(message["start"]), int(message["count"])
+            )
+            return {"rows": rows, "grades": grades, "ties": ties}
+        if op == "ping":
+            return {}
+        raise WireFormatError(f"unknown op {op!r}")
+
+    def _source(self, message) -> SimulatedListService:
+        index = int(message["src"])
+        if not (0 <= index < len(self._sources)):
+            raise WireFormatError(
+                f"source index {index} out of range "
+                f"(serving {len(self._sources)})"
+            )
+        return self._sources[index]
+
+    def _run(self, message) -> ShardRunService:
+        i = int(message["list"])
+        s = int(message["shard"])
+        if not (0 <= i < len(self._run_grid)) or not (
+            0 <= s < len(self._run_grid[i])
+        ):
+            raise WireFormatError(f"run ({i}, {s}) out of range")
+        return self._run_grid[i][s]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = self._address or (self._host, self._requested_port)
+        return (
+            f"<GradedSourceServer {where[0]}:{where[1]} "
+            f"m={len(self._sources)} runs={len(self._run_grid)}>"
+        )
+
+
+#: wire error codes, by exception type (checked in order)
+_ERROR_CODES = (
+    (UnknownObjectError, "unknown_object"),
+    (ServiceTimeoutError, "timeout"),
+    (ServiceTransientError, "transient"),
+    (ServiceUnavailableError, "unavailable"),
+    (RemoteServiceError, "remote"),
+    (WireFormatError, "bad_request"),
+    ((KeyError, TypeError, ValueError, DatabaseError), "bad_request"),
+)
+
+
+def _error_response(rid, exc: BaseException) -> dict:
+    code = "internal"
+    for types, name in _ERROR_CODES:
+        if isinstance(exc, types):
+            code = name
+            break
+    response = {
+        "id": rid,
+        "ok": False,
+        "error": code,
+        "message": str(exc),
+        "attempts": int(getattr(exc, "attempts", 1)),
+    }
+    if isinstance(exc, UnknownObjectError):
+        obj = exc.obj
+        if not isinstance(obj, (int, str, float, bool, type(None))):
+            obj = str(obj)
+        response["obj"] = obj
+    return response
+
+
+def serve_sources(
+    what,
+    *,
+    num_shards: int | None = None,
+    include_runs: bool = True,
+    latency: LatencyModel | Sequence[LatencyModel | None] | None = None,
+    failures: FailureModel | Sequence[FailureModel | None] | None = None,
+    retry: RetryPolicy | Sequence[RetryPolicy | None] | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_frame: int = MAX_FRAME_BYTES,
+) -> GradedSourceServer:
+    """Serve ``what`` -- a :class:`~repro.middleware.database.Database`
+    or a sequence of sources/services -- on a background thread.
+
+    Returns the running :class:`GradedSourceServer` (a context
+    manager); connect with
+    :func:`repro.services.network_services(server.address)
+    <repro.services.network.network_services>`.  A
+    :class:`~repro.middleware.database.ShardedDatabase` additionally
+    exports its per-shard run grid (``include_runs``); ``num_shards``
+    re-shards a flat database first.
+    """
+    if isinstance(what, Database):
+        if num_shards is not None:
+            what = what.to_sharded(num_shards)
+        server = GradedSourceServer.from_database(
+            what,
+            include_runs=include_runs,
+            latency=latency,
+            failures=failures,
+            retry=retry,
+            host=host,
+            port=port,
+            max_frame=max_frame,
+        )
+    else:
+        if num_shards is not None:
+            raise DatabaseError(
+                "num_shards only applies when serving a Database"
+            )
+        sources = list(what)
+        adapted: list[SimulatedListService] = []
+        for src, lat, fail, ret in zip(
+            sources,
+            _broadcast(latency, len(sources)),
+            _broadcast(failures, len(sources)),
+            _broadcast(retry, len(sources)),
+        ):
+            has_models = (
+                lat is not None or fail is not None or ret is not None
+            )
+            if isinstance(src, GradedSource):
+                adapted.append(
+                    SimulatedListService(
+                        src.name,
+                        src.entries,
+                        supports_sorted=src.supports_sorted,
+                        supports_random=src.supports_random,
+                        latency=lat,
+                        failures=fail,
+                        retry=ret,
+                    )
+                )
+            elif has_models:
+                raise DatabaseError(
+                    "latency/failures/retry models must be attached when "
+                    f"constructing {type(src).__name__}, not in "
+                    "serve_sources"
+                )
+            else:
+                adapted.append(_as_list_service(src))
+        server = GradedSourceServer(
+            adapted, host=host, port=port, max_frame=max_frame
+        )
+    return server.start_in_thread()
+
+
+def _broadcast(value, m: int) -> list:
+    if value is None or not isinstance(value, (list, tuple)):
+        return [value] * m
+    if len(value) != m:
+        raise DatabaseError(f"got {len(value)} entries for m={m} sources")
+    return list(value)

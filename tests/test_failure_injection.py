@@ -341,6 +341,215 @@ class TestRemoteServiceFailures:
             asyncio.run(anext(service.sorted_access_stream(0)))
 
 
+@pytest.mark.async_services
+class TestConnectionFailures:
+    """Socket-level faults on the real transport must map onto the
+    service error taxonomy and -- like the PR 4 permanent-failure
+    semantics -- charge exactly the served prefix: a failed access is
+    an access that never happened."""
+
+    def _db(self, n=30, m=2, seed=4):
+        rng = np.random.default_rng(seed)
+        return Database.from_array(rng.random((n, m)))
+
+    def test_killed_server_stream_fails_at_exact_page_boundary(self):
+        """Drive a network source's page stream directly (no session
+        prefetcher): after the server process is SIGKILLed, the pages
+        already shipped stand, and the next page request maps the
+        reset/refused connection into the service taxonomy -- exactly
+        two pages served, never 2.5."""
+        import asyncio
+
+        from repro.services import RetryPolicy, network_services
+        from repro.transport import ServerProcess
+
+        db = self._db(n=30, m=1)
+        with ServerProcess(db) as server:
+            source = network_services(
+                server.address, retry=RetryPolicy(max_attempts=2)
+            )[0]
+
+            async def consume():
+                served = []
+                stream = source.sorted_access_stream(4)
+                for _ in range(2):
+                    page = await anext(stream)
+                    served.extend(page)
+                server.kill()  # SIGKILL: no draining, no goodbye
+                with pytest.raises(
+                    (ServiceUnavailableError, ServiceTransientError)
+                ):
+                    await anext(stream)
+                return served
+
+            served = asyncio.run(consume())
+        assert served == [db.sorted_entry(0, p) for p in range(8)]
+
+    def test_killed_server_mid_run_charges_only_served_prefix(self):
+        """The real-socket twin of
+        ``test_permanent_failure_mid_stream_charges_only_served_prefix``:
+        the server *process* dies mid-run.  Buffered-but-unconsumed
+        pages are uncharged speculation either way, so the exact
+        invariant is: every entry the algorithm consumed is charged,
+        the access that hit the dead socket is not, and the failure
+        surfaces as a service error the retry machinery understands."""
+        from repro.services import RetryPolicy, network_services
+        from repro.transport import ServerProcess
+
+        db = self._db(n=200, m=2)
+        with ServerProcess(db) as server:
+            with AsyncAccessSession(
+                network_services(
+                    server.address, retry=RetryPolicy(max_attempts=2)
+                ),
+                batch_size=4,
+                prefetch_pages=0,
+                eager=False,
+            ) as session:
+                consumed = {0: 0, 1: 0}
+                for _ in range(5):
+                    for i in (0, 1):
+                        assert session.sorted_access(i) is not None
+                        consumed[i] += 1
+                server.kill()  # SIGKILL: no draining, no goodbye
+                with pytest.raises(RemoteServiceError):
+                    # the handful of already-buffered entries still
+                    # serve (uncharged speculation made real on
+                    # consumption); the first entry that needs the
+                    # dead process raises *before* being charged
+                    for _ in range(db.num_objects):
+                        for i in (0, 1):
+                            assert session.sorted_access(i) is not None
+                            consumed[i] += 1
+                assert sum(consumed.values()) < db.num_objects  # mid-run
+                assert session.stats().sorted_by_list == consumed
+                assert session.middleware_cost == sum(consumed.values())
+                # the dead server keeps failing: any leftover buffered
+                # entries still serve (and charge), then every further
+                # attempt raises without charging
+                with pytest.raises(RemoteServiceError):
+                    while True:
+                        session.sorted_access(0)
+                        consumed[0] += 1
+                assert session.stats().sorted_by_list == consumed
+
+    def test_mid_frame_eof_maps_to_transient_and_exhausts_retries(self):
+        """A peer that closes mid-frame (IncompleteReadError territory)
+        is a retryable transient; exhausting the budget surfaces
+        ServiceTransientError with the attempt count."""
+        import socket
+        import threading
+
+        from repro.services import RetryPolicy, network_client
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen()
+        listener.settimeout(0.1)
+        stop = threading.Event()
+
+        def rude_server():
+            while not stop.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except socket.timeout:
+                    continue
+                with conn:
+                    conn.recv(65536)
+                    conn.sendall(b"\xff\xff")  # 2 of 4 header bytes
+        thread = threading.Thread(target=rude_server, daemon=True)
+        thread.start()
+        try:
+            client = network_client(
+                listener.getsockname(),
+                retry=RetryPolicy(max_attempts=3),
+                request_timeout=5.0,
+            )
+
+            async def probe():
+                await client.fetch_metadata()
+
+            with pytest.raises(ServiceTransientError) as err:
+                import asyncio
+
+                asyncio.run(probe())
+            assert err.value.attempts == 3
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+            listener.close()
+
+    def test_corrupt_frame_is_never_retried(self):
+        """A complete frame with a garbage payload is a protocol
+        violation: WireFormatError, raised immediately -- retry
+        policies are for weather, not bugs."""
+        import socket
+        import struct
+        import threading
+
+        from repro.middleware import WireFormatError
+        from repro.services import RetryPolicy, network_client
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen()
+        listener.settimeout(0.1)
+        stop = threading.Event()
+        served = []
+
+        def corrupt_server():
+            while not stop.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except socket.timeout:
+                    continue
+                with conn:
+                    conn.recv(65536)
+                    served.append(1)
+                    # well-formed frame, unknown tag byte inside
+                    conn.sendall(struct.pack("<I", 1) + b"z")
+        thread = threading.Thread(target=corrupt_server, daemon=True)
+        thread.start()
+        try:
+            client = network_client(
+                listener.getsockname(),
+                retry=RetryPolicy(max_attempts=5),
+                request_timeout=5.0,
+            )
+
+            async def probe():
+                await client.fetch_metadata()
+
+            with pytest.raises(WireFormatError):
+                import asyncio
+
+                asyncio.run(probe())
+            assert len(served) == 1  # no retry happened
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+            listener.close()
+
+    def test_connection_error_mapping_table(self):
+        """The documented socket-fault -> taxonomy mapping."""
+        from repro.middleware import connection_error_to_service_error as f
+
+        assert isinstance(f("s", TimeoutError()), ServiceTimeoutError)
+        assert isinstance(
+            f("s", ConnectionRefusedError()), ServiceUnavailableError
+        )
+        assert isinstance(
+            f("s", ConnectionResetError()), ServiceTransientError
+        )
+        assert isinstance(f("s", BrokenPipeError()), ServiceTransientError)
+        assert isinstance(f("s", EOFError()), ServiceTransientError)
+        assert isinstance(f("s", OSError()), ServiceTransientError)
+        already = ServiceTimeoutError("s", 2)
+        assert f("s", already) is already
+        with pytest.raises(TypeError):
+            f("s", KeyError("not a connection failure"))
+
+
 class TestNonMonotoneMisuse:
     def test_non_monotone_function_can_break_ta(self):
         """TA's contract requires monotone t; with a non-monotone rule the

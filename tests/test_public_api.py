@@ -30,6 +30,22 @@ SUBMODULE_NAMES = {
         "WildGuessError", "CapabilityError", "DatabaseError",
         "AccessTrace", "ScoredCollection", "ShardedDatabase",
         "ListMergeCursor", "shard_bounds_for",
+        "WireFormatError", "connection_error_to_service_error",
+        "encode_message", "decode_message", "encode_frame",
+        "decode_frame",
+    ],
+    "repro.services": [
+        "RemoteGradedSource", "SortedPage", "AsyncAccessSession",
+        "LatencyModel", "FailureModel", "RetryPolicy",
+        "SimulatedListService", "ShardRunService",
+        "services_for_database", "services_for_sources",
+        "shard_run_services", "drain_columns",
+        "assemble_remote_database", "fetch_merged_orders",
+        "network_client", "network_services", "network_shard_runs",
+    ],
+    "repro.transport": [
+        "GradedSourceServer", "serve_sources", "TransportClient",
+        "NetworkGradedSource", "NetworkRunSource", "ServerProcess",
     ],
     "repro.datagen": [
         "uniform", "permutations", "correlated", "anticorrelated",

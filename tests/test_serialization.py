@@ -1,8 +1,15 @@
 """Tests for database persistence (JSON with tie order; npz with the
-grade matrix, the per-list order arrays, and the shard layout)."""
+grade matrix, the per-list order arrays, and the shard layout) and for
+the wire codecs the transport subsystem ships between processes
+(tagged binary messages in length-prefixed frames)."""
+
+import math
+import struct
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import datagen
 from repro.aggregation import AVERAGE, MIN
@@ -11,10 +18,20 @@ from repro.middleware import (
     ColumnarDatabase,
     Database,
     DatabaseError,
+    WireFormatError,
+    decode_frame,
+    decode_message,
+    encode_frame,
+    encode_message,
     load_json,
     load_npz,
     save_json,
     save_npz,
+)
+from repro.middleware.serialization import (
+    FRAME_HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    frame_payload_size,
 )
 
 
@@ -165,3 +182,200 @@ class TestNpzOrderArrays:
             assert loaded.grade_vector(obj) == pytest.approx(
                 db.grade_vector(obj)
             )
+
+
+# ----------------------------------------------------------------------
+# wire codecs (the transport subsystem's frames; see repro.transport)
+# ----------------------------------------------------------------------
+
+def bits(x: float) -> bytes:
+    """A float's identity as its IEEE-754 bytes: distinguishes -0.0
+    from 0.0 and compares NaN payloads exactly."""
+    return struct.pack("<d", x)
+
+
+wire_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),  # unbounded: exercises the bigint escape hatch
+    st.floats(allow_nan=False),  # ±0.0, ±inf, subnormals included
+    st.text(),  # arbitrary unicode ids
+    st.binary(max_size=64),
+)
+
+wire_messages = st.recursive(
+    wire_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=6),
+        st.dictionaries(st.text(max_size=12), children, max_size=6),
+    ),
+    max_leaves=24,
+)
+
+
+class TestWireMessageRoundTrip:
+    @given(wire_messages)
+    @settings(max_examples=200, deadline=None)
+    def test_any_message_round_trips(self, value):
+        assert decode_message(encode_message(value)) == value
+
+    @given(st.floats(allow_nan=True))
+    @settings(max_examples=200, deadline=None)
+    def test_floats_round_trip_bit_for_bit(self, x):
+        assert bits(decode_message(encode_message(x))) == bits(x)
+
+    @pytest.mark.parametrize(
+        "x",
+        [
+            0.0,
+            -0.0,
+            5e-324,  # smallest positive subnormal
+            -5e-324,
+            2.2250738585072014e-308,  # smallest normal
+            float("inf"),
+            float("-inf"),
+            1 / 3,
+        ],
+    )
+    def test_exact_float_corners(self, x):
+        assert bits(decode_message(encode_message(x))) == bits(x)
+
+    def test_nan_payload_preserved(self):
+        quiet = struct.unpack("<d", b"\x01\x00\x00\x00\x00\x00\xf8\x7f")[0]
+        assert math.isnan(quiet)
+        assert bits(decode_message(encode_message(quiet))) == bits(quiet)
+
+    def test_types_are_not_conflated(self):
+        for value, kind in [(True, bool), (1, int), (1.0, float)]:
+            decoded = decode_message(encode_message(value))
+            assert type(decoded) is kind
+
+    @given(st.integers())
+    @settings(max_examples=100, deadline=None)
+    def test_unbounded_ints(self, n):
+        decoded = decode_message(encode_message(n))
+        assert decoded == n and type(decoded) is int
+
+    @pytest.mark.parametrize(
+        "text", ["", "café", "名前", "🔎🗂️", "a\x00b", " "]
+    )
+    def test_unicode_ids(self, text):
+        assert decode_message(encode_message(text)) == text
+
+    def test_numpy_scalars_coerce(self):
+        assert decode_message(encode_message(np.int64(-7))) == -7
+        assert bits(decode_message(encode_message(np.float64(-0.0)))) == bits(
+            -0.0
+        )
+
+    @given(
+        st.lists(st.floats(allow_nan=False), max_size=40),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_float64_arrays_round_trip(self, values):
+        arr = np.asarray(values, dtype=np.float64)
+        out = decode_message(encode_message(arr))
+        assert isinstance(out, np.ndarray) and out.dtype == np.float64
+        assert out.tobytes() == arr.tobytes()  # bit-for-bit, ±0.0 included
+
+    def test_int_arrays_round_trip_and_intp_travels_as_int64(self):
+        arr = np.arange(-5, 5, dtype=np.intp)
+        out = decode_message(encode_message(arr))
+        assert out.dtype == np.int64
+        assert np.array_equal(out, arr)
+
+    def test_empty_page_shapes(self):
+        page = {"objects": [], "grades": np.empty(0, dtype=np.float64)}
+        out = decode_message(encode_message(page))
+        assert out["objects"] == [] and len(out["grades"]) == 0
+
+    def test_unsupported_values_fail_loudly(self):
+        with pytest.raises(WireFormatError):
+            encode_message(object())
+        with pytest.raises(WireFormatError):
+            encode_message({1: "non-str key"})
+        with pytest.raises(WireFormatError):
+            encode_message(np.zeros((2, 2)))  # only 1-D arrays
+        with pytest.raises(WireFormatError):
+            encode_message(np.zeros(3, dtype=np.complex128))
+
+
+class TestWireFrames:
+    def test_frame_round_trip(self):
+        message = {"op": "page", "src": 2, "start": 0, "count": 64}
+        decoded, rest = decode_frame(encode_frame(message))
+        assert decoded == message and rest == b""
+
+    def test_back_to_back_frames(self):
+        data = encode_frame([1]) + encode_frame([2])
+        first, rest = decode_frame(data)
+        second, tail = decode_frame(rest)
+        assert (first, second, tail) == ([1], [2], b"")
+
+    def test_max_size_frame_boundary(self):
+        """A frame exactly at the limit passes; one byte over fails --
+        on encode and on header parse alike."""
+        payload_at_limit = b"x" * 100
+        limit = len(encode_message(payload_at_limit))
+        frame = encode_frame(payload_at_limit, max_frame=limit)
+        message, rest = decode_frame(frame, max_frame=limit)
+        assert message == payload_at_limit and rest == b""
+        with pytest.raises(WireFormatError):
+            encode_frame(b"x" * 101, max_frame=limit)
+        oversized = struct.pack("<I", limit + 1)
+        with pytest.raises(WireFormatError):
+            frame_payload_size(oversized, max_frame=limit)
+        assert frame_payload_size(struct.pack("<I", limit), limit) == limit
+
+    @given(wire_messages)
+    @settings(max_examples=60, deadline=None)
+    def test_any_truncation_is_rejected(self, value):
+        """Every proper prefix of a frame must raise, never decode."""
+        frame = encode_frame(value)
+        for cut in range(len(frame)):
+            with pytest.raises(WireFormatError):
+                decode_frame(frame[:cut])
+
+    def test_trailing_garbage_is_rejected(self):
+        data = encode_message("ok") + b"\x00"
+        with pytest.raises(WireFormatError):
+            decode_message(data)
+
+    def test_unknown_tag_is_rejected(self):
+        with pytest.raises(WireFormatError):
+            decode_message(b"z")
+
+    def test_corrupt_utf8_is_rejected(self):
+        corrupt = b"s" + struct.pack("<I", 2) + b"\xff\xfe"
+        with pytest.raises(WireFormatError):
+            decode_message(corrupt)
+
+    def test_corrupt_length_overrun_is_rejected(self):
+        # a list claiming 1000 items backed by no bytes
+        corrupt = b"l" + struct.pack("<I", 1000)
+        with pytest.raises(WireFormatError):
+            decode_message(corrupt)
+
+    def test_hostile_nesting_is_rejected_not_recursed(self):
+        """A tiny frame of deeply nested single-item lists must raise
+        WireFormatError, never RecursionError -- on decode and on
+        encode alike."""
+        from repro.middleware.serialization import MAX_NESTING_DEPTH
+
+        hostile = (b"l" + struct.pack("<I", 1)) * 10_000 + b"N"
+        with pytest.raises(WireFormatError):
+            decode_message(hostile)
+        deep: list = []
+        for _ in range(MAX_NESTING_DEPTH + 2):
+            deep = [deep]
+        with pytest.raises(WireFormatError):
+            encode_message(deep)
+        # the documented protocol depth is comfortably within the cap
+        fine: list = ["x"]
+        for _ in range(MAX_NESTING_DEPTH - 2):
+            fine = [fine]
+        assert decode_message(encode_message(fine)) == fine
+
+    def test_default_limit_is_sane(self):
+        assert FRAME_HEADER_BYTES == 4
+        assert MAX_FRAME_BYTES >= 2**20

@@ -250,6 +250,221 @@ class TestAsyncSessionCharging:
         session.close()
 
 
+class TestAsyncRandomAccessBatching:
+    """The async-batching satellite: a ``random_access_batch`` on the
+    async session is served by ONE bridged service round trip for the
+    whole batch (not one per object), with the batched plane's exact
+    charging semantics."""
+
+    @pytest.fixture
+    def db(self):
+        rng = np.random.default_rng(41)
+        return Database.from_array(rng.random((40, 2)))
+
+    def test_one_service_call_per_batch_and_charging_parity(self, db):
+        sync = AccessSession(db)
+        services = services_for_database(db)
+        with AsyncAccessSession(
+            services, batch_size=4, prefetch_pages=0, eager=False
+        ) as session:
+            objs = [session.sorted_access(0)[0] for _ in range(6)]
+            for _ in range(6):
+                sync.sorted_access(0)
+            calls_before = services[1].calls
+            got = session.random_access_batch(1, objs + objs[:2])
+            want = sync.random_access_batch(1, objs + objs[:2])
+            assert np.array_equal(got, want)
+            # eight objects (repeats included), ONE service round trip
+            assert services[1].calls == calls_before + 1
+            assert stats_tuple(session) == stats_tuple(sync)
+
+    def test_empty_batch_is_free_and_callless(self, db):
+        services = services_for_database(db)
+        with AsyncAccessSession(
+            services, prefetch_pages=0, eager=False
+        ) as session:
+            out = session.random_access_batch(0, [])
+            assert len(out) == 0
+            assert session.random_accesses == 0
+            assert services[0].calls == 0
+
+    def test_unknown_object_mid_batch_charges_prefix(self, db):
+        sync = AccessSession(db)
+        with AsyncAccessSession(
+            services_for_database(db), prefetch_pages=0, eager=False
+        ) as session:
+            known = session.sorted_access(0)[0]
+            sync.sorted_access(0)
+            for s in (session, sync):
+                with pytest.raises(UnknownObjectError):
+                    s.random_access_batch(1, [known, "nope", known])
+            # the object before the unknown one was served and charged,
+            # the unknown raised uncharged -- scalar-loop accounting
+            assert stats_tuple(session) == stats_tuple(sync)
+            assert session.stats().random_by_list == {1: 1}
+
+    def test_wild_guess_mid_batch_charges_prefix_before_any_round_trip(
+        self, db
+    ):
+        services = services_for_database(db)
+        with AsyncAccessSession(
+            services,
+            forbid_wild_guesses=True,
+            prefetch_pages=0,
+            eager=False,
+        ) as session:
+            seen = session.sorted_access(0)[0]
+            calls_before = services[1].calls
+            from repro.middleware import WildGuessError
+
+            with pytest.raises(WildGuessError):
+                session.random_access_batch(1, [seen, "never-seen"])
+            # prefix charged, certificate fired before the round trip
+            assert session.stats().random_by_list == {1: 1}
+            assert services[1].calls == calls_before
+
+    def test_rows_are_rejected_objects_required(self, db):
+        with AsyncAccessSession(
+            services_for_database(db), prefetch_pages=0, eager=False
+        ) as session:
+            with pytest.raises(ValueError):
+                session.random_access_batch(0, None)
+
+    def test_trace_fallback_keeps_bytes_identical(self, db):
+        sync = AccessSession(db, record_trace=True)
+        with AsyncAccessSession(
+            services_for_database(db), record_trace=True,
+            prefetch_pages=0, eager=False,
+        ) as session:
+            objs = [session.sorted_access(0)[0] for _ in range(3)]
+            for _ in range(3):
+                sync.sorted_access(0)
+            session.random_access_batch(1, objs)
+            sync.random_access_batch(1, objs)
+            assert session.trace.events == sync.trace.events
+
+
+class TestRandomAccessAcross:
+    """The cross-list resolution primitive: TA's resolve step / CA's
+    random phase as one concurrent gather on the async session, with
+    the scalar loop's exact charging."""
+
+    def _db(self, m=3):
+        rng = np.random.default_rng(53)
+        return Database.from_array(rng.random((30, m)))
+
+    def test_parity_and_one_call_per_list(self):
+        db = self._db()
+        sync = AccessSession(db)
+        services = services_for_database(db)
+        with AsyncAccessSession(
+            services, prefetch_pages=0, eager=False
+        ) as session:
+            obj, _ = session.sorted_access(0)
+            sync.sorted_access(0)
+            got = session.random_access_across(obj, [1, 2, 1])
+            want = sync.random_access_across(obj, [1, 2, 1])
+            assert got == want
+            assert stats_tuple(session) == stats_tuple(sync)
+            # one service round trip per listed list (repeats included)
+            assert services[1].calls == 2 and services[2].calls == 1
+
+    def test_round_trips_overlap(self):
+        """Three 40 ms services resolved across must take ~one latency,
+        not three (the TA/CA random-phase overlap win)."""
+        import time
+
+        db = self._db()
+        latency = 0.04
+        services = services_for_database(
+            db, latency=LatencyModel(latency, 0.0)
+        )
+        with AsyncAccessSession(
+            services, prefetch_pages=0, eager=False
+        ) as session:
+            obj, _ = session.sorted_access(0)
+            start = time.perf_counter()
+            session.random_access_across(obj, [0, 1, 2])
+            elapsed = time.perf_counter() - start
+        # sorted access cost one latency already; the across-fetch
+        # must not cost anywhere near 3 more
+        assert elapsed < 3 * latency
+
+    def test_ta_and_ca_run_through_it_bit_identically(self):
+        db = self._db()
+        for algo, kwargs in [
+            (ThresholdAlgorithm(), {}),
+            (ThresholdAlgorithm(remember_seen=True), {}),
+            (CombinedAlgorithm(h=2), {"cost_model": CostModel(1.0, 5.0)}),
+        ]:
+            reference = algo.run_on(db, AVERAGE, 4, **kwargs)
+            with AsyncAccessSession(
+                services_for_database(db),
+                *([kwargs["cost_model"]] if kwargs else []),
+                batch_size=8,
+            ) as session:
+                result = algo.run(session, AVERAGE, 4)
+            assert result_signature(result) == result_signature(reference)
+
+    def test_failure_mid_gather_charges_exact_list_prefix(self):
+        """A failing list re-raises after the lists before it (in list
+        order) were charged; later lists' grades are discarded
+        uncharged -- the scalar loop's accounting."""
+        from repro.services import FailureModel
+
+        db = self._db()
+        services = services_for_database(
+            db,
+            failures=[None, FailureModel(script={0: "permanent"}), None],
+        )
+        with AsyncAccessSession(
+            services, prefetch_pages=0, eager=False
+        ) as session:
+            obj, _ = session.sorted_access(0)
+            from repro.middleware import ServiceUnavailableError
+
+            with pytest.raises(ServiceUnavailableError):
+                session.random_access_across(obj, [0, 1, 2])
+            assert session.stats().random_by_list == {0: 1}
+            # list 2's grade was fetched concurrently but discarded
+            assert services[2].calls == 1
+
+    def test_wild_guess_falls_back_to_scalar_semantics(self):
+        db = self._db()
+        from repro.middleware import WildGuessError
+
+        services = services_for_database(db)
+        with AsyncAccessSession(
+            services, forbid_wild_guesses=True, prefetch_pages=0,
+            eager=False,
+        ) as session:
+            with pytest.raises(WildGuessError):
+                session.random_access_across("never-seen", [0, 1])
+            assert session.random_accesses == 0
+            assert all(s.calls == 0 for s in services)
+
+    def test_empty_lists_is_free(self):
+        db = self._db()
+        with AsyncAccessSession(
+            services_for_database(db), prefetch_pages=0, eager=False
+        ) as session:
+            assert session.random_access_across("whatever", []) == []
+            assert session.random_accesses == 0
+
+
+class TestPerListRunGridModels:
+    def test_shard_run_services_broadcast_per_list_latency(self):
+        rng = np.random.default_rng(7)
+        sharded = Database.from_array(rng.random((24, 2))).to_sharded(2)
+        slow = LatencyModel(0.005, 0.0)
+        grid = shard_run_services(sharded, latency=[None, slow])
+        assert grid[0][0]._latency.base == 0.0
+        assert grid[1][0]._latency.base == 0.005
+        assert grid[1][1]._latency.base == 0.005
+        with pytest.raises(DatabaseError):
+            shard_run_services(sharded, latency=[slow])
+
+
 class TestDrainAdapters:
     @pytest.fixture
     def db(self):
