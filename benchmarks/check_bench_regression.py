@@ -25,6 +25,12 @@ the committed speedups on shared (part, config) keys, with an absolute
 floor of ``--async-floor`` (default 1.2; CI runners are noisy but
 overlap must still visibly win).
 
+Resilience gate (``--resilience-baseline``): same schema and rules
+again for ``BENCH_resilience.json`` (``bench_resilience.py``) with its
+own acceptance bar of >= ``--resilience-min-speedup`` (default 1.5):
+hedging must beat the injected tail latency at p99 and transparent
+failover must beat the naive restart-from-scratch client.
+
 Run::
 
     python benchmarks/check_bench_regression.py \
@@ -32,6 +38,8 @@ Run::
         --smoke BENCH_backend.smoke.json \
         --async-baseline BENCH_async.json \
         --async-smoke BENCH_async.smoke.json \
+        --resilience-baseline BENCH_resilience.json \
+        --resilience-smoke BENCH_resilience.smoke.json \
         --tolerance 2.0
 """
 
@@ -254,6 +262,41 @@ def main() -> int:
             "(default 1.2)"
         ),
     )
+    parser.add_argument(
+        "--resilience-baseline",
+        type=Path,
+        default=None,
+        help=(
+            "committed BENCH_resilience.json to gate (pass to enable "
+            "the resilience checks; same schema and rules as the "
+            "async gate)"
+        ),
+    )
+    parser.add_argument(
+        "--resilience-smoke",
+        type=Path,
+        default=None,
+        help="fresh bench_resilience.py --smoke report to gate",
+    )
+    parser.add_argument(
+        "--resilience-min-speedup",
+        type=float,
+        default=1.5,
+        help=(
+            "minimum speedup every committed resilience run must show "
+            "(default 1.5: hedging must improve p99 sorted-access "
+            "latency and failover must beat the naive restart by at "
+            "least 1.5x)"
+        ),
+    )
+    parser.add_argument(
+        "--resilience-floor",
+        type=float,
+        default=1.2,
+        help=(
+            "absolute minimum resilience smoke speedup (default 1.2)"
+        ),
+    )
     args = parser.parse_args()
     if args.tolerance < 1.0:
         parser.error(f"tolerance must be >= 1.0, got {args.tolerance}")
@@ -263,6 +306,8 @@ def main() -> int:
         parser.error("--async-smoke requires --async-baseline")
     if args.transport_smoke is not None and args.transport_baseline is None:
         parser.error("--transport-smoke requires --transport-baseline")
+    if args.resilience_smoke is not None and args.resilience_baseline is None:
+        parser.error("--resilience-smoke requires --resilience-baseline")
     status = check(args.baseline, args.smoke, args.tolerance)
     if args.async_baseline is not None:
         async_status = check_async(
@@ -283,6 +328,16 @@ def main() -> int:
             label="transport",
         )
         status = status or transport_status
+    if args.resilience_baseline is not None:
+        resilience_status = check_async(
+            args.resilience_baseline,
+            args.resilience_smoke,
+            args.tolerance,
+            args.resilience_min_speedup,
+            args.resilience_floor,
+            label="resilience",
+        )
+        status = status or resilience_status
     return status
 
 

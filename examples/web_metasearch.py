@@ -23,7 +23,16 @@ By default the engines are in-process simulated services; with
 the real wire protocol (every page crosses a TCP socket; the latency
 model runs server-side), and the queries run unchanged.
 
-Run:  python examples/web_metasearch.py [--subprocess]
+With ``--chaos`` the engines are served by a two-replica
+:class:`~repro.resilience.chaos.ReplicaFleet` of server processes and
+the example turns referee: it SIGKILLs one replica of *every* engine
+mid-query and shows the answer is bit-identical to the failure-free
+run (transparent failover), then kills an engine served by a single
+sacrificial process mid-query and shows the resulting
+:class:`~repro.resilience.degraded.DegradedResult` -- the lost list,
+the guarantee, and its certificate checked against full ground truth.
+
+Run:  python examples/web_metasearch.py [--subprocess] [--chaos]
 """
 
 import random
@@ -33,6 +42,12 @@ import time
 from repro import SUM, GradedSource, NoRandomAccessAlgorithm
 from repro.analysis import format_table
 from repro.middleware import assemble_database
+from repro.resilience import (
+    DegradedResult,
+    ReplicaFleet,
+    ReplicatedGradedSource,
+    verify_against_oracle,
+)
 from repro.services import (
     AsyncAccessSession,
     LatencyModel,
@@ -100,7 +115,87 @@ def query(engines, k: int, *, overlapped: bool, server=None):
     return result, elapsed
 
 
-def main(subprocess_server: bool = False) -> None:
+def chaos_demo(engines, k: int) -> None:
+    """Kill real server processes mid-query and show what survives:
+    failover keeps the answer bit-identical; whole-engine loss yields
+    a certified degraded answer."""
+    engine_db, _ = assemble_database(engines)
+    capabilities = [src.capabilities() for src in engines]
+    truth = {obj: engine_db.grade_vector(obj) for obj in engine_db.objects}
+
+    with ReplicaFleet(engine_db, replicas=2) as fleet:
+        print(
+            "\n--- chaos: every engine served by 2 replica server "
+            f"processes (pids {[s.pid for s in fleet.servers]}) ---"
+        )
+
+        # failure-free reference over the fleet; one sorted access per
+        # engine primes every group's stream on replica 0 (the chaos
+        # run primes identically, so the accounting stays comparable)
+        groups = fleet.services()
+        with AsyncAccessSession(
+            groups, capabilities=capabilities, batch_size=64, prefetch_pages=0
+        ) as session:
+            for i in range(len(engines)):
+                session.sorted_access(i)
+            reference = NoRandomAccessAlgorithm().run(session, SUM, k)
+
+        # chaos run: prime the same way, then SIGKILL replica 0 of
+        # every engine mid-query -- its connections die between frames
+        groups = fleet.services()
+        with AsyncAccessSession(
+            groups, capabilities=capabilities, batch_size=64, prefetch_pages=0
+        ) as session:
+            for i in range(len(engines)):
+                session.sorted_access(i)
+            fleet.kill(0)
+            survived = NoRandomAccessAlgorithm().run(session, SUM, k)
+        failovers = sum(g.failovers for g in groups)
+        assert [i.obj for i in survived.items] == [
+            i.obj for i in reference.items
+        ]
+        assert survived.stats == reference.stats
+        print(
+            f"SIGKILLed replica 0 of all {len(engines)} engines "
+            f"mid-query: {failovers} stream(s) failed over and the "
+            f"top-{k} answer and access accounting are bit-identical "
+            "to the failure-free run."
+        )
+
+        # whole-engine loss: the third engine is served by a single
+        # sacrificial process; killing it loses the list for good
+        fleet.restart(0)
+        with ServerProcess(engine_db) as sacrificial:
+            groups = fleet.services()
+            solo = ReplicatedGradedSource(
+                engines[2].name,
+                [network_services(sacrificial.address)[2]],
+            )
+            with AsyncAccessSession(
+                [groups[0], groups[1], solo],
+                capabilities=capabilities,
+                batch_size=64,
+                prefetch_pages=0,
+                survive_list_loss=True,
+            ) as session:
+                for i in range(len(engines)):
+                    session.sorted_access(i)
+                sacrificial.kill()
+                degraded = NoRandomAccessAlgorithm().run(session, SUM, k)
+        assert isinstance(degraded, DegradedResult)
+        verify_against_oracle(degraded, truth, SUM)
+        lost = ", ".join(engines[i].name for i in sorted(degraded.lost_lists))
+        print(
+            f"SIGKILLed the only server for {lost}: NRA finished over "
+            f"the surviving engines at depth {degraded.depth} and "
+            f"returned a degraded answer -- guarantee "
+            f"'{degraded.guarantee}', certified theta "
+            f"{degraded.certified_theta:.3f}, verified against full "
+            "ground truth."
+        )
+
+
+def main(subprocess_server: bool = False, chaos: bool = False) -> None:
     rng = random.Random(11)
     docs = [(f"doc-{i:04d}", rng.random()) for i in range(3000)]
     k = 8
@@ -168,6 +263,12 @@ def main(subprocess_server: bool = False) -> None:
         if server is not None:
             server.terminate()
 
+    if chaos:
+        chaos_demo(engines, k)
+
 
 if __name__ == "__main__":
-    main(subprocess_server="--subprocess" in sys.argv[1:])
+    main(
+        subprocess_server="--subprocess" in sys.argv[1:],
+        chaos="--chaos" in sys.argv[1:],
+    )

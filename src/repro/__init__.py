@@ -22,7 +22,15 @@ Quick start::
     print(result.summary())
 """
 
-from . import aggregation, analysis, core, datagen, middleware, services
+from . import (
+    aggregation,
+    analysis,
+    core,
+    datagen,
+    middleware,
+    resilience,
+    services,
+)
 from .aggregation import (
     AVERAGE,
     MAX,
@@ -74,6 +82,7 @@ __all__ = [
     "core",
     "datagen",
     "middleware",
+    "resilience",
     "services",
     "AVERAGE",
     "MAX",

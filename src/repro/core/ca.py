@@ -73,6 +73,7 @@ import numpy as np
 
 from ..aggregation.base import AggregationFunction
 from ..middleware.access import AccessSession
+from ..middleware.errors import ListLostError
 from .base import QueryError, TopKAlgorithm
 from .bounds import ArrayCandidateStore, CandidateStore
 from .chunks import ChunkReplay, ChunkWitness, assemble_sorted_chunk
@@ -134,6 +135,10 @@ class CombinedAlgorithm(TopKAlgorithm):
         topk: list = []
 
         while halt_reason is None:
+            if session.budget_exceeded:
+                topk, _ = store.current_topk()
+                halt_reason = HaltReason.DEADLINE
+                break
             rounds += 1
             progressed = False
             for i in range(m):
@@ -154,16 +159,25 @@ class CombinedAlgorithm(TopKAlgorithm):
                     escape_clauses += 1
                 else:
                     random_phases += 1
+                    lost = session.lost_lists
                     missing = [
-                        i for i in range(m) if i not in store.fields[target]
+                        i
+                        for i in range(m)
+                        if i not in store.fields[target] and i not in lost
                     ]
                     # one overlapped cross-list fetch on remote
                     # sessions, the plain per-list loop locally --
                     # identical charging either way
-                    for i, grade in zip(
-                        missing,
-                        session.random_access_across(target, missing),
-                    ):
+                    try:
+                        fetched = session.random_access_across(
+                            target, missing
+                        )
+                    except ListLostError:
+                        # the list died inside the phase: its bound
+                        # contribution stays at the (sound) bottom
+                        fetched = []
+                        missing = []
+                    for i, grade in zip(missing, fetched):
                         store.record(target, i, grade)
 
             check_now = (
@@ -246,6 +260,11 @@ class CombinedAlgorithm(TopKAlgorithm):
         cand_b = np.empty(0, dtype=np.float64)
 
         while halt_reason is None:
+            if session.budget_exceeded:
+                # chunk boundary: the store is committed and consistent
+                topk, _ = store.current_topk()
+                halt_reason = HaltReason.DEADLINE
+                break
             if all(positions[i] >= n for i in range(m)):
                 # zero-progress round: no phase fires; full check, then
                 # EXHAUSTED
@@ -531,7 +550,10 @@ class CombinedAlgorithm(TopKAlgorithm):
                 )
             )
         items.sort(key=lambda it: (-it.lower_bound, -it.upper_bound))
-        return TopKResult(
+        # imported lazily: repro.resilience builds on repro.core
+        from ..resilience.degraded import finalize_certificates
+
+        result = TopKResult(
             algorithm=self.name,
             k=k,
             items=items,
@@ -547,3 +569,4 @@ class CombinedAlgorithm(TopKAlgorithm):
                 "b_evaluations": store.b_evaluations,
             },
         )
+        return finalize_certificates(result, session, store, topk)

@@ -119,6 +119,10 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
         topk: list = []
 
         while halt_reason is None:
+            if session.budget_exceeded:
+                topk, _ = store.current_topk()
+                halt_reason = HaltReason.DEADLINE
+                break
             rounds += 1
             progressed = False
             for i in range(m):
@@ -202,6 +206,11 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
         chunk_rounds = 32
 
         while halt_reason is None:
+            if session.budget_exceeded:
+                # chunk boundary: the store is committed and consistent
+                topk, _ = store.current_topk()
+                halt_reason = HaltReason.DEADLINE
+                break
             if all(positions[i] >= n for i in range(m)):
                 # zero-progress round: full check, then EXHAUSTED
                 rounds += 1
@@ -338,6 +347,9 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
     ) -> TopKResult:
         """Assemble the result; ``ids`` translates row-keyed candidates
         (the columnar engine's store) back to object ids."""
+        # imported lazily: repro.resilience builds on repro.core
+        from ..resilience.degraded import finalize_certificates
+
         items: list[RankedItem] = []
         for obj in topk:
             items.append(
@@ -349,7 +361,7 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
                 )
             )
         items.sort(key=lambda it: (-it.lower_bound, -it.upper_bound))
-        return TopKResult(
+        result = TopKResult(
             algorithm=self.name,
             k=k,
             items=items,
@@ -360,3 +372,4 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
             max_buffer_size=store.seen_count,
             extras={"b_evaluations": store.b_evaluations},
         )
+        return finalize_certificates(result, session, store, topk)

@@ -31,6 +31,7 @@ class HaltReason:
     EXHAUSTED = "exhausted"          # a list (or all lists) ran out
     ALL_RESOLVED = "all-resolved"    # every object fully known
     INTERACTIVE = "interactive"      # user stopped an early-stopping run
+    DEADLINE = "deadline"            # the query budget expired
 
 
 @dataclass(frozen=True)

@@ -104,6 +104,9 @@ class StreamCombine(TopKAlgorithm):
         halt_reason = None
 
         while halt_reason is None:
+            if session.budget_exceeded:
+                halt_reason = HaltReason.DEADLINE
+                break
             rounds += 1
             progressed = False
             for i in range(m):
@@ -130,11 +133,36 @@ class StreamCombine(TopKAlgorithm):
             if halt_reason is None and not progressed:
                 halt_reason = HaltReason.EXHAUSTED
 
-        items = [
-            RankedItem(obj, grade, grade, grade)
-            for obj, grade in full.items_desc()
-        ]
-        return self._result(session, k, items, rounds, halt_reason, store)
+        fully_seen = len(full.items_desc())
+        if not full.full and (
+            halt_reason == HaltReason.DEADLINE or session.lost_lists
+        ):
+            # a deadline (or a lost list starving the exact-grade
+            # buffer) forfeits the exact-grades-only contract: report
+            # the store's current top-k with its bound intervals, so
+            # the certificate machinery still has something to certify
+            topk, _ = store.current_topk()
+            items = [
+                RankedItem(
+                    obj,
+                    store.exact_grade(obj),
+                    store.w[obj],
+                    store.b_value(obj),
+                )
+                for obj in topk
+            ]
+            items.sort(key=lambda it: (-it.lower_bound, -it.upper_bound))
+            cert_topk = topk
+        else:
+            items = [
+                RankedItem(obj, grade, grade, grade)
+                for obj, grade in full.items_desc()
+            ]
+            cert_topk = [obj for obj, _ in full.items_desc()]
+        return self._result(
+            session, k, items, rounds, halt_reason, store, cert_topk,
+            fully_seen,
+        )
 
     def _run_columnar(
         self, session: AccessSession, aggregation: AggregationFunction, k: int
@@ -170,6 +198,10 @@ class StreamCombine(TopKAlgorithm):
         chunk_rounds = 32
 
         while halt_reason is None:
+            if session.budget_exceeded:
+                # chunk boundary: the store is committed and consistent
+                halt_reason = HaltReason.DEADLINE
+                break
             if all(positions[i] >= n for i in range(m)):
                 # zero-progress round: full check, then EXHAUSTED
                 rounds += 1
@@ -288,11 +320,47 @@ class StreamCombine(TopKAlgorithm):
             chunk_rounds = min(chunk_rounds * 2, 2048)
 
         ids = db._ids
-        items = [
-            RankedItem(ids[row], grade, grade, grade)
-            for row, grade in full.items_desc()
-        ]
-        return self._result(session, k, items, rounds, halt_reason, store)
+        fully_seen = len(full.items_desc())
+        if halt_reason == HaltReason.DEADLINE and not full.full:
+            # the W-heap is never fed here (upper-bounds-only
+            # bookkeeping), so rank the committed field matrix by the
+            # 0-substituted lower bound directly
+            matrix = store.field_matrix
+            known = ~np.isnan(matrix)
+            seen_idx = np.nonzero(known.any(axis=1))[0]
+            topk_rows: list[int] = []
+            items = []
+            if seen_idx.size:
+                w_all = aggregation.aggregate_batch(
+                    np.where(known[seen_idx], matrix[seen_idx], 0.0)
+                )
+                best = np.argsort(-w_all, kind="stable")[:k]
+                topk_rows = seen_idx[best].tolist()
+                for row, w in zip(topk_rows, w_all[best].tolist()):
+                    w_map.setdefault(row, w)
+                items = [
+                    RankedItem(
+                        ids[row],
+                        store.exact_grade(row),
+                        w_map[row],
+                        store.b_value(row),
+                    )
+                    for row in topk_rows
+                ]
+                items.sort(
+                    key=lambda it: (-it.lower_bound, -it.upper_bound)
+                )
+            cert_topk: list = topk_rows
+        else:
+            items = [
+                RankedItem(ids[row], grade, grade, grade)
+                for row, grade in full.items_desc()
+            ]
+            cert_topk = [row for row, _ in full.items_desc()]
+        return self._result(
+            session, k, items, rounds, halt_reason, store, cert_topk,
+            fully_seen,
+        )
 
     def _result(
         self,
@@ -302,8 +370,13 @@ class StreamCombine(TopKAlgorithm):
         rounds: int,
         halt_reason,
         store: CandidateStore,
+        cert_topk: list,
+        fully_seen: int,
     ) -> TopKResult:
-        return TopKResult(
+        # imported lazily: repro.resilience builds on repro.core
+        from ..resilience.degraded import finalize_certificates
+
+        result = TopKResult(
             algorithm=self.name,
             k=k,
             items=items,
@@ -312,5 +385,6 @@ class StreamCombine(TopKAlgorithm):
             depth=session.depth,
             halt_reason=halt_reason,
             max_buffer_size=store.seen_count,
-            extras={"fully_seen": len(items)},
+            extras={"fully_seen": fully_seen},
         )
+        return finalize_certificates(result, session, store, cert_topk)

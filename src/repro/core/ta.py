@@ -53,7 +53,9 @@ import numpy as np
 
 from ..aggregation.base import AggregationFunction
 from ..middleware.access import AccessSession
+from ..middleware.errors import ListLostError
 from .base import QueryError, TopKAlgorithm, TopKBuffer
+from .bounds import CandidateStore
 from .chunks import assemble_sorted_chunk
 from .result import HaltReason, RankedItem, TopKResult
 
@@ -155,11 +157,24 @@ class ThresholdAlgorithm(TopKAlgorithm):
         cache: dict[Hashable, dict[int, float]] | None = (
             {} if self.remember_seen else None
         )
+        # survive mode keeps a shadow candidate store from round one:
+        # TA's own buffer requires full resolution, which dies with the
+        # lost list's random access, but the shadow's W/B bounds stay
+        # sound and let complete_with_sorted_only finish NRA-style
+        shadow = (
+            CandidateStore(aggregation, m, k)
+            if session.survive_list_loss
+            else None
+        )
+        lost_hit = False
         rounds = 0
         max_buffer = 0
         halt_reason = None
 
         while halt_reason is None:
+            if session.budget_exceeded:
+                halt_reason = HaltReason.DEADLINE
+                break
             rounds += 1
             progressed = False
             for i, batch in zip(sorted_lists, batches):
@@ -170,10 +185,30 @@ class ThresholdAlgorithm(TopKAlgorithm):
                     progressed = True
                     obj, grade = entry
                     bottoms[i] = grade
-                    overall = self._resolve(
-                        session, aggregation, obj, i, grade, m, cache
-                    )
+                    if shadow is not None:
+                        shadow.update_bottom(i, grade)
+                        shadow.record(obj, i, grade)
+                    try:
+                        overall = self._resolve(
+                            session, aggregation, obj, i, grade, m, cache,
+                            shadow,
+                        )
+                    except ListLostError:
+                        lost_hit = True
+                        break
                     buffer.offer(obj, overall)
+                if lost_hit:
+                    break
+            if lost_hit or (shadow is not None and session.lost_lists):
+                return self._complete_degraded(
+                    session,
+                    aggregation,
+                    k,
+                    shadow,
+                    rounds,
+                    max_buffer,
+                    sorted_lists,
+                )
             max_buffer = max(
                 max_buffer, len(buffer) + (len(cache) if cache is not None else 0)
             )
@@ -206,6 +241,14 @@ class ThresholdAlgorithm(TopKAlgorithm):
             RankedItem(obj, grade, grade, grade)
             for obj, grade in buffer.items_desc()
         ]
+        extras = {
+            "final_threshold": tau,
+            "guarantee": max(1.0, tau / beta) if beta > 0 else float("inf"),
+        }
+        if halt_reason == HaltReason.DEADLINE:
+            # THRESHOLD would have fired at guarantee <= 1: the same
+            # tau/beta ratio IS the certified factor at the deadline
+            extras["certified_theta"] = extras["guarantee"]
         return TopKResult(
             algorithm=self.name,
             k=k,
@@ -215,11 +258,53 @@ class ThresholdAlgorithm(TopKAlgorithm):
             depth=session.depth,
             halt_reason=halt_reason,
             max_buffer_size=max_buffer,
-            extras={
-                "final_threshold": tau,
-                "guarantee": max(1.0, tau / beta) if beta > 0 else float("inf"),
-            },
+            extras=extras,
         )
+
+    def _complete_degraded(
+        self,
+        session: AccessSession,
+        aggregation: AggregationFunction,
+        k: int,
+        shadow: CandidateStore,
+        rounds: int,
+        max_buffer: int,
+        sorted_lists: Sequence[int],
+    ) -> TopKResult:
+        """A list died mid-run: finish NRA-style over the survivors
+        using the shadow store's (still sound) W/B bounds, and report a
+        certified :class:`~repro.resilience.degraded.DegradedResult`."""
+        # imported lazily: repro.resilience builds on repro.core
+        from ..resilience.degraded import (
+            complete_with_sorted_only,
+            finalize_certificates,
+        )
+
+        topk, rounds, halt_reason = complete_with_sorted_only(
+            session, aggregation, k, shadow, rounds, lists=sorted_lists
+        )
+        items = [
+            RankedItem(
+                obj,
+                shadow.exact_grade(obj),
+                shadow.w[obj],
+                shadow.b_value(obj),
+            )
+            for obj in topk
+        ]
+        items.sort(key=lambda it: (-it.lower_bound, -it.upper_bound))
+        result = TopKResult(
+            algorithm=self.name,
+            k=k,
+            items=items,
+            stats=session.stats(),
+            rounds=rounds,
+            depth=session.depth,
+            halt_reason=halt_reason,
+            max_buffer_size=max(max_buffer, shadow.seen_count),
+            extras={"final_threshold": shadow.threshold},
+        )
+        return finalize_certificates(result, session, shadow, topk)
 
     def _execute_columnar(
         self,
@@ -259,6 +344,10 @@ class ThresholdAlgorithm(TopKAlgorithm):
         chunk_rounds = 32
 
         while halt_reason is None:
+            if session.budget_exceeded:
+                # chunk boundary: everything consumed has been charged
+                halt_reason = HaltReason.DEADLINE
+                break
             # ---- speculative chunk assembly (uncharged view reads) ----
             chunk = assemble_sorted_chunk(
                 order_rows,
@@ -414,6 +503,12 @@ class ThresholdAlgorithm(TopKAlgorithm):
             RankedItem(obj, grade, grade, grade)
             for obj, grade in buffer.items_desc()
         ]
+        extras = {
+            "final_threshold": tau,
+            "guarantee": max(1.0, tau / beta) if beta > 0 else float("inf"),
+        }
+        if halt_reason == HaltReason.DEADLINE:
+            extras["certified_theta"] = extras["guarantee"]
         return TopKResult(
             algorithm=self.name,
             k=k,
@@ -423,10 +518,7 @@ class ThresholdAlgorithm(TopKAlgorithm):
             depth=session.depth,
             halt_reason=halt_reason,
             max_buffer_size=max_buffer,
-            extras={
-                "final_threshold": tau,
-                "guarantee": max(1.0, tau / beta) if beta > 0 else float("inf"),
-            },
+            extras=extras,
         )
 
     def _resolve(
@@ -438,12 +530,15 @@ class ThresholdAlgorithm(TopKAlgorithm):
         seen_grade: float,
         m: int,
         cache: dict[Hashable, dict[int, float]] | None,
+        shadow: CandidateStore | None = None,
     ) -> float:
         """Fetch all fields of ``obj`` (random access to the other
         lists) and return its overall grade.  The cross-list fetch goes
         through :meth:`~repro.middleware.access.AccessSession.random_access_across`
         -- the per-list scalar loop on local sessions, concurrently
-        overlapped round trips (same charging) on remote ones."""
+        overlapped round trips (same charging) on remote ones.  In
+        survive mode, every grade actually fetched is mirrored into the
+        ``shadow`` store (nothing is recorded when the fetch raises)."""
         if cache is None:
             others = [j for j in range(m) if j != seen_list]
             fetched = iter(session.random_access_across(obj, others))
@@ -451,6 +546,9 @@ class ThresholdAlgorithm(TopKAlgorithm):
                 seen_grade if j == seen_list else next(fetched)
                 for j in range(m)
             )
+            if shadow is not None:
+                for j in others:
+                    shadow.record(obj, j, grades[j])
             return aggregation.aggregate(grades)
         known = cache.setdefault(obj, {})
         known[seen_list] = seen_grade
@@ -460,4 +558,7 @@ class ThresholdAlgorithm(TopKAlgorithm):
                 missing, session.random_access_across(obj, missing)
             ):
                 known[j] = grade
+        if shadow is not None:
+            for j in range(m):
+                shadow.record(obj, j, known[j])
         return aggregation.aggregate(tuple(known[j] for j in range(m)))

@@ -14,7 +14,7 @@ from .access import (
     RoundBatch,
     SortedBatch,
 )
-from .cost import UNIT_COSTS, CostModel
+from .cost import UNIT_COSTS, CostModel, QueryBudget
 from .database import (
     ColumnarDatabase,
     Database,
@@ -26,8 +26,10 @@ from .errors import (
     AccessError,
     CapabilityError,
     DatabaseError,
+    ListLostError,
     MiddlewareError,
     RemoteServiceError,
+    ReplicaGroupExhaustedError,
     ServiceTimeoutError,
     ServiceTransientError,
     ServiceUnavailableError,
@@ -55,6 +57,7 @@ __all__ = [
     "AccessStats",
     "ListCapabilities",
     "CostModel",
+    "QueryBudget",
     "UNIT_COSTS",
     "Database",
     "ColumnarDatabase",
@@ -74,6 +77,8 @@ __all__ = [
     "ServiceTimeoutError",
     "ServiceTransientError",
     "ServiceUnavailableError",
+    "ReplicaGroupExhaustedError",
+    "ListLostError",
     "WireFormatError",
     "connection_error_to_service_error",
     "GradedSource",

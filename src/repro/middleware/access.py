@@ -66,10 +66,12 @@ from typing import Hashable
 
 import numpy as np
 
-from .cost import CostModel, UNIT_COSTS
+from .cost import CostModel, QueryBudget, UNIT_COSTS
 from .database import ColumnarDatabase, Database
 from .errors import (
     CapabilityError,
+    ListLostError,
+    ServiceUnavailableError,
     UnknownListError,
     UnknownObjectError,
     WildGuessError,
@@ -176,6 +178,20 @@ class AccessSession:
         *any* sorted access raises :class:`WildGuessError`.
     record_trace:
         When true, every access is appended to :attr:`trace`.
+    budget:
+        Optional :class:`~repro.middleware.cost.QueryBudget`.  The
+        session never enforces it itself -- engines poll
+        :attr:`budget_exceeded` at consistent points and halt with
+        ``HaltReason.DEADLINE`` -- but it lives here so one object
+        travels with the session through ``run_on`` and the async
+        facade.
+    survive_list_loss:
+        When true, a :class:`ServiceUnavailableError` raised by the
+        backing store during *sorted* access marks the list as lost and
+        reports exhaustion (``None``) instead of propagating; *random*
+        access to a lost list raises :class:`ListLostError` so the
+        engines can switch to their degraded completion path.  Off by
+        default: a plain session fails loudly, exactly as before.
     """
 
     def __init__(
@@ -185,6 +201,9 @@ class AccessSession:
         capabilities: ListCapabilities | Sequence[ListCapabilities] | None = None,
         forbid_wild_guesses: bool = False,
         record_trace: bool = False,
+        *,
+        budget: QueryBudget | None = None,
+        survive_list_loss: bool = False,
     ):
         self._db = database
         self._cost_model = cost_model
@@ -201,6 +220,10 @@ class AccessSession:
                 )
             self._capabilities = caps
         self._forbid_wild_guesses = forbid_wild_guesses
+        self._budget = budget
+        self._survive_list_loss = survive_list_loss
+        # list index -> depth consumed when the loss was detected
+        self._lost_lists: dict[int, int] = {}
         self._positions = [0] * m
         self._sorted_by_list = [0] * m
         self._random_by_list = [0] * m
@@ -285,8 +308,16 @@ class AccessSession:
         self._check_list(list_index)
         if not self._capabilities[list_index].sorted_allowed:
             raise CapabilityError("sorted", list_index)
+        if list_index in self._lost_lists:
+            return None
         position = self._positions[list_index]
-        entry = self._db.sorted_entry(list_index, position)
+        try:
+            entry = self._db.sorted_entry(list_index, position)
+        except ServiceUnavailableError:
+            if not self._survive_list_loss:
+                raise
+            self._lost_lists[list_index] = position
+            return None
         if entry is None:
             return None
         self._positions[list_index] = position + 1
@@ -310,9 +341,21 @@ class AccessSession:
         self._check_list(list_index)
         if not self._capabilities[list_index].random_allowed:
             raise CapabilityError("random", list_index)
+        if list_index in self._lost_lists:
+            raise ListLostError(f"list-{list_index}", list_index)
         if self._forbid_wild_guesses and obj not in self._seen_sorted:
             raise WildGuessError(obj, list_index)
-        grade = self._db.grade(obj, list_index)  # raises UnknownObjectError
+        try:
+            grade = self._db.grade(obj, list_index)  # raises UnknownObjectError
+        except ListLostError:
+            raise
+        except ServiceUnavailableError as exc:
+            if not self._survive_list_loss:
+                raise
+            self._lost_lists[list_index] = self._positions[list_index]
+            raise ListLostError(
+                f"list-{list_index}", list_index, exc.attempts
+            ) from exc
         self._random_by_list[list_index] += 1
         if self.trace is not None:
             self.trace.record(
@@ -535,6 +578,8 @@ class AccessSession:
 
     def exhausted(self, list_index: int) -> bool:
         self._check_list(list_index)
+        if list_index in self._lost_lists:
+            return True
         return self._positions[list_index] >= self._db.num_objects
 
     @property
@@ -550,6 +595,31 @@ class AccessSession:
 
     def seen_under_sorted(self, obj: Hashable) -> bool:
         return obj in self._seen_sorted
+
+    # ------------------------------------------------------------------
+    # resilience state
+    # ------------------------------------------------------------------
+    @property
+    def budget(self) -> QueryBudget | None:
+        return self._budget
+
+    @property
+    def budget_exceeded(self) -> bool:
+        """True once the attached :class:`QueryBudget` has expired (always
+        false without one).  Engines poll this at round/chunk boundaries."""
+        return self._budget is not None and self._budget.expired(
+            self.middleware_cost
+        )
+
+    @property
+    def survive_list_loss(self) -> bool:
+        return self._survive_list_loss
+
+    @property
+    def lost_lists(self) -> dict[int, int]:
+        """Lists declared lost, mapped to the depth consumed at loss time
+        (a copy; mutations don't write through)."""
+        return dict(self._lost_lists)
 
     # ------------------------------------------------------------------
     # accounting

@@ -13,9 +13,11 @@ schedule (Section 8.2).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
+from typing import Callable
 
-__all__ = ["CostModel", "UNIT_COSTS"]
+__all__ = ["CostModel", "UNIT_COSTS", "QueryBudget"]
 
 
 @dataclass(frozen=True)
@@ -81,3 +83,81 @@ class CostModel:
 
 #: The unit cost model ``cS = cR = 1`` used as the default everywhere.
 UNIT_COSTS = CostModel(1.0, 1.0)
+
+
+@dataclass
+class QueryBudget:
+    """Per-query resource envelope: a wall-clock deadline and/or a
+    middleware-cost ceiling.
+
+    Either limit may be ``None`` (unbounded).  The engines poll
+    :meth:`expired` at round (scalar loops) or chunk (columnar loops)
+    boundaries -- points where the bookkeeping is fully consistent --
+    and on expiry halt with ``HaltReason.DEADLINE``, returning the
+    current top-``k`` together with the certified approximation factor
+    θ the live W/B bounds support, instead of raising.
+
+    The clock is injectable so deadline behaviour is testable without
+    real sleeping; it defaults to :func:`time.monotonic`.
+
+    Parameters
+    ----------
+    deadline_s:
+        Wall-clock seconds from :meth:`start` until expiry, or ``None``.
+    max_cost:
+        Middleware-cost ceiling (``s*cS + r*cR``), or ``None``.  The
+        budget expires once the accrued cost *reaches* the ceiling,
+        so ``max_cost=0`` expires immediately.
+    clock:
+        Zero-argument callable returning monotonic seconds.
+    """
+
+    deadline_s: float | None = None
+    max_cost: float | None = None
+    clock: Callable[[], float] = field(default=time.monotonic, repr=False)
+    _t0: float | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self):
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise ValueError(
+                f"deadline_s must be >= 0, got {self.deadline_s}"
+            )
+        if self.max_cost is not None and self.max_cost < 0:
+            raise ValueError(f"max_cost must be >= 0, got {self.max_cost}")
+
+    def start(self) -> QueryBudget:
+        """Arm the wall clock (idempotent; first call wins) and return
+        ``self`` for chaining."""
+        if self._t0 is None:
+            self._t0 = self.clock()
+        return self
+
+    @property
+    def started(self) -> bool:
+        return self._t0 is not None
+
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start` (0.0 if never started)."""
+        if self._t0 is None:
+            return 0.0
+        return self.clock() - self._t0
+
+    def remaining(self) -> float:
+        """Wall-clock seconds left (``inf`` when no deadline is set;
+        never negative)."""
+        if self.deadline_s is None:
+            return math.inf
+        return max(0.0, self.deadline_s - self.elapsed())
+
+    def expired(self, cost: float = 0.0) -> bool:
+        """True once either limit is hit.
+
+        ``cost`` is the middleware cost accrued so far; pass
+        ``session.middleware_cost``.
+        """
+        if self.max_cost is not None and cost >= self.max_cost:
+            return True
+        if self.deadline_s is not None:
+            self.start()
+            return self.elapsed() >= self.deadline_s
+        return False

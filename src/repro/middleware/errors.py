@@ -23,6 +23,8 @@ __all__ = [
     "ServiceTimeoutError",
     "ServiceTransientError",
     "ServiceUnavailableError",
+    "ReplicaGroupExhaustedError",
+    "ListLostError",
     "WireFormatError",
     "connection_error_to_service_error",
 ]
@@ -132,6 +134,46 @@ class ServiceUnavailableError(RemoteServiceError):
 
     def __init__(self, service: str, attempts: int = 1):
         super().__init__(service, "permanently unavailable", attempts)
+
+
+class ReplicaGroupExhaustedError(ServiceUnavailableError):
+    """Every replica of a replicated source failed for one request.
+
+    Subclasses :class:`ServiceUnavailableError` because that is what a
+    replica group *is* to its consumers: a single logical service that
+    has become unavailable.  Sessions in ``survive_list_loss`` mode
+    absorb it exactly like a permanent single-service failure.
+    """
+
+    def __init__(self, service: str, attempts: int = 1):
+        RemoteServiceError.__init__(
+            self,
+            service,
+            f"all replicas failed ({attempts} attempt(s) spent)",
+            attempts,
+        )
+
+
+class ListLostError(ServiceUnavailableError):
+    """An access was attempted on a list the session already declared
+    lost (degraded mode).
+
+    Raised only by sessions with ``survive_list_loss=True``: sorted
+    access to a lost list silently reports exhaustion (the sorted
+    stream simply ends), but *random* access cannot be absorbed that
+    way -- the algorithm asked for a grade that no longer exists -- so
+    it surfaces as this dedicated type, letting the engines switch to
+    their degraded completion path (see :mod:`repro.resilience`).
+    """
+
+    def __init__(self, service: str, list_index: int, attempts: int = 1):
+        RemoteServiceError.__init__(
+            self,
+            service,
+            f"list {list_index} was lost; random access is impossible",
+            attempts,
+        )
+        self.list_index = list_index
 
 
 class WireFormatError(MiddlewareError):

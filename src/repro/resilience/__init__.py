@@ -1,0 +1,53 @@
+"""Resilient query execution over unreliable autonomous services.
+
+The paper's model assumes every list answers every access; this
+package removes that assumption without touching the algorithms'
+guarantees:
+
+* :mod:`~repro.resilience.replica` -- replica groups with transparent
+  failover, per-replica circuit breakers, and hedged requests, behind
+  the ordinary single-source protocol;
+* :mod:`~repro.resilience.breaker` -- the deterministic (tick-clocked,
+  seeded-jitter) circuit breaker;
+* :mod:`~repro.resilience.degraded` -- certified degraded-mode
+  answers: when a whole list is lost, the engines finish on the
+  survivors and report exactly what the answer is still worth
+  (``exact`` or a certified theta), straight from the paper's W/B
+  bound machinery;
+* :mod:`~repro.resilience.chaos` -- the test/benchmark harness that
+  SIGKILLs and restarts real server processes mid-query.
+
+Per-query deadlines live in
+:class:`~repro.middleware.cost.QueryBudget` (middleware, since the
+sessions enforce them) and surface here through
+:data:`~repro.core.result.HaltReason.DEADLINE` results carrying the
+same certificates.
+"""
+
+from ..middleware.cost import QueryBudget
+from .breaker import BreakerState, CircuitBreaker, CircuitBreakerPolicy
+from .chaos import ReplicaFleet
+from .degraded import (
+    DegradedResult,
+    certify,
+    complete_with_sorted_only,
+    degrade_result,
+    finalize_certificates,
+    verify_against_oracle,
+)
+from .replica import ReplicatedGradedSource
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "CircuitBreakerPolicy",
+    "DegradedResult",
+    "QueryBudget",
+    "ReplicaFleet",
+    "ReplicatedGradedSource",
+    "certify",
+    "complete_with_sorted_only",
+    "degrade_result",
+    "finalize_certificates",
+    "verify_against_oracle",
+]

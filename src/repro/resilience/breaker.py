@@ -1,0 +1,138 @@
+"""Deterministic circuit breaker for replica health tracking.
+
+A breaker guards one replica inside a
+:class:`~repro.resilience.replica.ReplicatedGradedSource`.  It follows
+the classic three-state machine -- CLOSED (healthy), OPEN (failing;
+requests are not attempted), HALF_OPEN (cooldown elapsed; one probe
+request is allowed through) -- but its clock is the *group's request
+tick counter*, not wall time: failure tests must be bit-reproducible,
+and wall-clock cooldowns are anything but.  Ticks advance once per
+logical group request, so "cooldown of 8" means "skip this replica for
+the next 8 group requests", regardless of scheduling jitter.
+
+The only randomness is an optional cooldown jitter drawn from a
+per-breaker seeded RNG -- it desynchronises the half-open probes of
+breakers that opened on the same tick (the retry-storm fix applied at
+the replica level) while staying deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["BreakerState", "CircuitBreakerPolicy", "CircuitBreaker"]
+
+
+class BreakerState:
+    """Breaker states (string constants, mirroring
+    :class:`~repro.core.result.HaltReason`'s style)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class CircuitBreakerPolicy:
+    """Tuning knobs for one breaker.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip CLOSED -> OPEN.  A failure while
+        HALF_OPEN re-opens immediately (the probe failed).
+    cooldown_ticks:
+        Group request ticks an OPEN breaker waits before allowing the
+        half-open probe.
+    jitter:
+        Fractional cooldown jitter in ``[0, 1]``: the actual cooldown is
+        ``cooldown_ticks * (1 + U(0, jitter))`` with ``U`` drawn from the
+        seeded per-breaker RNG.
+    seed:
+        Seed of the jitter RNG (deterministic schedules under a fixed
+        seed).
+    """
+
+    failure_threshold: int = 3
+    cooldown_ticks: int = 8
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.cooldown_ticks < 1:
+            raise ValueError(
+                f"cooldown_ticks must be >= 1, got {self.cooldown_ticks}"
+            )
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+
+class CircuitBreaker:
+    """One replica's health state machine (see the module docstring).
+
+    The caller supplies the current group tick to :meth:`allow` and
+    :meth:`record_failure`; :meth:`record_success` closes the breaker
+    unconditionally.
+    """
+
+    def __init__(self, policy: CircuitBreakerPolicy | None = None):
+        self.policy = policy or CircuitBreakerPolicy()
+        self._rng = random.Random(self.policy.seed)
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self._reopen_at = 0.0
+        #: total CLOSED/HALF_OPEN -> OPEN transitions (observability)
+        self.opens = 0
+
+    def allow(self, tick: int) -> bool:
+        """May a request be sent to this replica at group tick ``tick``?
+
+        An OPEN breaker whose cooldown has elapsed transitions to
+        HALF_OPEN and allows exactly the probe that caused the
+        transition; the probe's outcome (:meth:`record_success` /
+        :meth:`record_failure`) decides what happens next.
+        """
+        if self.state == BreakerState.OPEN:
+            if tick >= self._reopen_at:
+                self.state = BreakerState.HALF_OPEN
+                return True
+            return False
+        return True
+
+    def reopen_in(self, tick: int) -> float:
+        """Ticks until the half-open probe becomes allowed (0 when the
+        breaker is not OPEN).  Used to pick the least-recently-failed
+        replica when every breaker is open."""
+        if self.state != BreakerState.OPEN:
+            return 0.0
+        return max(0.0, self._reopen_at - tick)
+
+    def record_success(self) -> None:
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+
+    def record_failure(self, tick: int) -> None:
+        """A request (or half-open probe) against this replica failed at
+        group tick ``tick``."""
+        self.consecutive_failures += 1
+        if (
+            self.state == BreakerState.HALF_OPEN
+            or self.consecutive_failures >= self.policy.failure_threshold
+        ):
+            self.state = BreakerState.OPEN
+            self.opens += 1
+            cooldown = float(self.policy.cooldown_ticks)
+            if self.policy.jitter:
+                cooldown *= 1.0 + self._rng.uniform(0.0, self.policy.jitter)
+            self._reopen_at = tick + cooldown
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<CircuitBreaker {self.state} "
+            f"failures={self.consecutive_failures} opens={self.opens}>"
+        )

@@ -1,0 +1,154 @@
+"""Chaos harness: replicated server fleets you can SIGKILL mid-query.
+
+:class:`ReplicaFleet` spawns ``r`` independent
+:class:`~repro.transport.harness.ServerProcess` children, every one
+serving the *same* persisted database (same tie order, same pages), and
+assembles per-list :class:`~repro.resilience.replica.ReplicatedGradedSource`
+groups whose replica ``j`` of list ``i`` is reached over the wire on
+server ``j``.  Because replica streams are stateless pages, killing a
+server mid-query exercises the real failure path -- a TCP connection
+dying between frames -- while the group's failover keeps the query's
+observable stream bit-identical.
+
+The fleet is the referee's weapon rack: :meth:`kill` delivers SIGKILL
+(no draining, no goodbye frame), :meth:`restart` brings a replica back
+on the same port, and the context manager reaps everything even when
+the test suite's SIGALRM deadline fires mid-test.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..middleware.database import Database
+from ..middleware.errors import DatabaseError
+from ..transport.harness import ServerProcess
+from .breaker import CircuitBreakerPolicy
+from .replica import ReplicatedGradedSource
+
+__all__ = ["ReplicaFleet"]
+
+
+class ReplicaFleet:
+    """``r`` wire-protocol server processes serving one database.
+
+    Parameters
+    ----------
+    database:
+        The lists to serve; persisted once per replica (each child owns
+        its copy -- no shared state whatsoever between replicas).
+    replicas:
+        Fleet size ``r >= 1``.
+    latency, jitter, latency_seed:
+        Server-side per-call latency model, applied to every replica
+        (replica ``j`` is seeded ``latency_seed + j`` so the fleet's
+        jitter is desynchronised but deterministic).
+    startup_timeout:
+        Per-child readiness deadline, also used by :meth:`restart`.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        replicas: int = 2,
+        latency: float = 0.0,
+        jitter: float = 0.0,
+        latency_seed: int = 0,
+        startup_timeout: float = 30.0,
+    ):
+        if replicas < 1:
+            raise DatabaseError(f"fleet needs >= 1 replica, got {replicas}")
+        self._servers: list[ServerProcess] = []
+        try:
+            for j in range(replicas):
+                self._servers.append(
+                    ServerProcess(
+                        database,
+                        latency=latency,
+                        jitter=jitter,
+                        latency_seed=latency_seed + j,
+                        startup_timeout=startup_timeout,
+                    )
+                )
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def servers(self) -> list[ServerProcess]:
+        return list(self._servers)
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self._servers)
+
+    def addresses(self) -> list[tuple[str, int]]:
+        return [server.address for server in self._servers]
+
+    def services(
+        self,
+        *,
+        breaker_policy: CircuitBreakerPolicy | None = None,
+        hedge_after: float | None = None,
+        only_replicas: Sequence[int] | None = None,
+        **client_kwargs,
+    ) -> list[ReplicatedGradedSource]:
+        """One replica group per served list, ready for
+        :class:`~repro.services.session.AsyncAccessSession`.
+
+        Each call opens fresh transport clients (``client_kwargs`` are
+        forwarded to :func:`~repro.services.network.network_services`,
+        e.g. ``retry=...``).  ``only_replicas`` restricts the groups to
+        a subset of the fleet -- the way a test builds a one-replica
+        group whose single server it then kills (permanent list loss).
+        """
+        from ..services.network import network_services
+
+        chosen = (
+            list(range(len(self._servers)))
+            if only_replicas is None
+            else list(only_replicas)
+        )
+        per_replica = [
+            network_services(self._servers[j].address, **client_kwargs)
+            for j in chosen
+        ]
+        groups = []
+        for i, primary in enumerate(per_replica[0]):
+            groups.append(
+                ReplicatedGradedSource(
+                    primary.name,
+                    [sources[i] for sources in per_replica],
+                    breaker_policy=breaker_policy,
+                    hedge_after=hedge_after,
+                )
+            )
+        return groups
+
+    def kill(self, replica_index: int) -> None:
+        """SIGKILL replica ``replica_index`` -- no draining, its open
+        connections die mid-frame."""
+        self._servers[replica_index].kill()
+
+    def restart(self, replica_index: int) -> None:
+        """Bring a killed replica back on its original port."""
+        self._servers[replica_index].restart()
+
+    def close(self) -> None:
+        """Terminate every replica (idempotent)."""
+        for server in self._servers:
+            try:
+                server.terminate()
+            except Exception:  # pragma: no cover - defensive teardown
+                pass
+
+    def __enter__(self) -> "ReplicaFleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        live = sum(1 for s in self._servers if s.process.poll() is None)
+        return f"<ReplicaFleet r={len(self._servers)} live={live}>"

@@ -1,0 +1,316 @@
+"""Certified degraded-mode answers.
+
+When a whole replica group dies mid-query (every replica gone), a
+session in ``survive_list_loss`` mode absorbs the loss: the lost list's
+sorted stream reports exhaustion and random access to it raises
+:class:`~repro.middleware.errors.ListLostError`.  The engines then
+finish over the surviving lists -- and the paper's own bound machinery
+says exactly what the answer is still worth:
+
+* every W/B bound stays *sound* after a loss: objects never popped from
+  list ``i`` have ``grade_i <= bottom_i`` (the last grade seen before
+  the loss), which is precisely the substitution ``B`` already uses,
+  and ``W``'s 0-substitution needs nothing at all;
+* therefore NRA's halting rule still certifies exactness when it fires
+  (every excluded object's ``B`` is at most ``M_k``), and when it
+  cannot fire the Section 6.2 approximation bound applies verbatim:
+  for every returned ``y`` and excluded ``z``,
+  ``t(z) <= max_outside_B <= theta * M_k <= theta * t(y)`` with
+  ``theta = max(1, max_outside_B / M_k)``.
+
+:class:`DegradedResult` carries the loss report and the certificate;
+:func:`certify` computes ``theta`` from a live candidate store (dict or
+array backed); :func:`complete_with_sorted_only` is the shared
+completion loop TA switches to after a loss (its own buffer cannot
+certify anything once random access dies); and
+:func:`verify_against_oracle` checks a degraded answer against the full
+ground-truth data -- the test suite's referee.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import numpy as np
+
+from ..aggregation.base import AggregationFunction
+from ..middleware.access import AccessSession
+from ..core.bounds import ArrayCandidateStore, CandidateStore
+from ..core.result import HaltReason, TopKResult
+
+__all__ = [
+    "DegradedResult",
+    "certify",
+    "degrade_result",
+    "finalize_certificates",
+    "complete_with_sorted_only",
+    "verify_against_oracle",
+]
+
+#: guarantee labels carried by :class:`DegradedResult`
+EXACT = "exact"
+THETA = "theta-approximate"
+
+
+@dataclass
+class DegradedResult(TopKResult):
+    """A top-``k`` answer computed after losing one or more lists.
+
+    Everything a :class:`~repro.core.result.TopKResult` carries, plus:
+
+    Attributes
+    ----------
+    lost_lists:
+        Lost list index -> sorted depth consumed when the loss was
+        detected (from
+        :attr:`~repro.middleware.access.AccessSession.lost_lists`).
+    guarantee:
+        ``"exact"`` when the surviving bounds still certify the true
+        top-``k`` (NRA's halting rule fired), else
+        ``"theta-approximate"``.
+    certified_theta:
+        The certified approximation factor: ``1.0`` when exact,
+        otherwise ``max(1, max_outside_B / M_k)`` (``inf`` when
+        ``M_k <= 0`` certifies nothing).  Every returned item's
+        ``[lower_bound, upper_bound]`` interval is carried per item as
+        usual.
+    """
+
+    lost_lists: dict[int, int] = field(default_factory=dict)
+    guarantee: str = EXACT
+    certified_theta: float = 1.0
+
+    @property
+    def is_exact(self) -> bool:
+        return self.guarantee == EXACT
+
+
+def certify(
+    store: CandidateStore, topk: Sequence[Hashable], num_objects: int
+) -> tuple[float, bool]:
+    """Certify ``topk`` against the live store: returns
+    ``(theta, exact)``.
+
+    ``theta`` is the Section 6.2 factor ``max(1, max_outside_B / M_k)``
+    where ``max_outside_B`` ranges over every seen object outside
+    ``topk`` plus the virtual unseen object at the threshold; ``exact``
+    is true when ``max_outside_B <= M_k`` with a full ``topk`` (NRA's
+    halting certificate).  Works on both the dict-backed store and the
+    chunked engines' :class:`~repro.core.bounds.ArrayCandidateStore`
+    (which has no per-object field dicts -- outside bounds come from
+    one vectorised substitution over the field matrix).
+    """
+    topk = list(topk)
+    topk_set = set(topk)
+    if len(topk) >= store.k:
+        m_k = min(store.w[obj] for obj in topk)
+    else:
+        m_k = float("-inf")
+    outside: list[float] = []
+    if isinstance(store, ArrayCandidateStore):
+        matrix = store.field_matrix
+        known = ~np.isnan(matrix)
+        seen_rows = np.nonzero(known.any(axis=1))[0]
+        if seen_rows.size:
+            sub = matrix[seen_rows]
+            bottoms = np.asarray(store.bottoms, dtype=np.float64)
+            b_all = store.t.aggregate_batch(
+                np.where(np.isnan(sub), bottoms, sub)
+            )
+            store.b_evaluations += int(seen_rows.size)
+            in_topk = np.fromiter(
+                (row in topk_set for row in seen_rows.tolist()),
+                dtype=bool,
+                count=seen_rows.size,
+            )
+            if (~in_topk).any():
+                outside.append(float(b_all[~in_topk].max()))
+    else:
+        outside.extend(
+            store.b_value(obj) for obj in store.fields if obj not in topk_set
+        )
+    if store.seen_count < num_objects:
+        outside.append(store.threshold)
+    max_outside = max(outside) if outside else float("-inf")
+    exact = len(topk) >= store.k and max_outside <= m_k
+    if exact:
+        return 1.0, True
+    if m_k <= 0:
+        return float("inf"), False
+    return max(1.0, max_outside / m_k), False
+
+
+def degrade_result(
+    result: TopKResult,
+    session: AccessSession,
+    store: CandidateStore,
+) -> TopKResult:
+    """Wrap ``result`` into a :class:`DegradedResult` when the session
+    lost lists; pass it through untouched otherwise.  Called by the
+    engines' result assembly, so every algorithm reports losses the
+    same way."""
+    lost = session.lost_lists
+    if not lost:
+        return result
+    theta, exact = certify(
+        store, [item.obj for item in result.items], session.num_objects
+    )
+    return DegradedResult(
+        algorithm=result.algorithm,
+        k=result.k,
+        items=result.items,
+        stats=result.stats,
+        rounds=result.rounds,
+        depth=result.depth,
+        halt_reason=result.halt_reason,
+        max_buffer_size=result.max_buffer_size,
+        extras=dict(result.extras),
+        lost_lists=lost,
+        guarantee=EXACT if exact else THETA,
+        certified_theta=theta,
+    )
+
+
+def finalize_certificates(
+    result: TopKResult,
+    session: AccessSession,
+    store: CandidateStore,
+    topk: Sequence[Hashable],
+) -> TopKResult:
+    """The engines' shared result post-pass: a ``DEADLINE`` halt gets
+    its certified theta in ``extras`` (from the live store, exactly the
+    Section 6.2 factor), and a session that lost lists gets its result
+    wrapped into a :class:`DegradedResult`.  ``topk`` is store-keyed
+    (row indices for the chunked engines, whose sessions can never lose
+    lists), so the certificate is computed against the store directly.
+    """
+    if (
+        result.halt_reason == HaltReason.DEADLINE
+        and "certified_theta" not in result.extras
+    ):
+        theta, exact = certify(store, topk, session.num_objects)
+        result.extras["certified_theta"] = theta
+        result.extras["guarantee"] = EXACT if exact else THETA
+    if not session.lost_lists:
+        return result
+    return degrade_result(result, session, store)
+
+
+def complete_with_sorted_only(
+    session: AccessSession,
+    aggregation: AggregationFunction,
+    k: int,
+    store: CandidateStore,
+    rounds: int,
+    lists: Sequence[int] | None = None,
+) -> tuple[list[Hashable], int, str]:
+    """Finish a query NRA-style over the surviving lists.
+
+    TA switches here after a list loss: its own buffer requires full
+    resolution (impossible once random access to the lost list raises),
+    but the shadow store it maintained from round one holds sound W/B
+    bounds for everything seen so far, so NRA's sorted-only loop and
+    halting rule (Theorem 8.4, unchanged) complete the query.  Returns
+    ``(topk, rounds, halt_reason)``; the lost lists' streams report
+    exhaustion, so the loop naturally runs over the survivors.  Honours
+    the session budget like every engine loop.  ``lists`` restricts
+    sorted access to the given lists (for callers whose sessions allow
+    sorted access on a subset, like TAZ); default is all of them.
+    """
+    sorted_lists = (
+        list(range(session.num_lists)) if lists is None else list(lists)
+    )
+    halt_reason = None
+    topk: list = []
+    while halt_reason is None:
+        if session.budget_exceeded:
+            topk, _ = store.current_topk()
+            halt_reason = HaltReason.DEADLINE
+            break
+        rounds += 1
+        progressed = False
+        for i in sorted_lists:
+            entry = session.sorted_access(i)
+            if entry is None:
+                continue
+            progressed = True
+            obj, grade = entry
+            store.update_bottom(i, grade)
+            store.record(obj, i, grade)
+        if store.seen_count >= k:
+            topk, m_k = store.current_topk()
+            unseen_remain = store.seen_count < session.num_objects
+            if not (unseen_remain and store.threshold > m_k):
+                if store.find_viable_outside(topk, m_k) is None:
+                    halt_reason = HaltReason.NO_VIABLE
+        if halt_reason is None and not progressed:
+            topk, _ = store.current_topk()
+            halt_reason = HaltReason.EXHAUSTED
+    return topk, rounds, halt_reason
+
+
+def verify_against_oracle(
+    result: TopKResult,
+    true_fields: Mapping[Hashable, Sequence[float]],
+    aggregation: AggregationFunction,
+) -> None:
+    """Referee a (possibly degraded) answer against full ground truth.
+
+    Checks, raising ``AssertionError`` with a specific message on the
+    first violation:
+
+    * every returned item's ``[lower_bound, upper_bound]`` interval
+      contains the object's true overall grade;
+    * the certified factor holds: for every returned ``y`` and every
+      excluded ``z``, ``theta * t(y) >= t(z)`` (with ``theta = 1`` for
+      plain results);
+    * a claimed-exact answer really is a true top-``k``: the smallest
+      returned true grade is at least the largest excluded true grade.
+    """
+    truth = {
+        obj: aggregation.aggregate(tuple(fields))
+        for obj, fields in true_fields.items()
+    }
+    returned = [item.obj for item in result.items]
+    returned_set = set(returned)
+    for item in result.items:
+        t = truth[item.obj]
+        assert item.lower_bound <= t + 1e-12, (
+            f"lower bound {item.lower_bound} exceeds true grade {t} "
+            f"for {item.obj!r}"
+        )
+        assert item.upper_bound >= t - 1e-12, (
+            f"upper bound {item.upper_bound} below true grade {t} "
+            f"for {item.obj!r}"
+        )
+    if isinstance(result, DegradedResult):
+        theta = result.certified_theta
+        claims_exact = result.is_exact
+    else:
+        # plain results carry a DEADLINE certificate in extras; any
+        # other plain halt claims exactness (the paper's halting rules)
+        theta = float(result.extras.get("certified_theta", 1.0))
+        if result.halt_reason == HaltReason.DEADLINE:
+            claims_exact = result.extras.get("guarantee") == EXACT
+        else:
+            claims_exact = True
+    if math.isinf(theta):
+        return  # an infinite certificate promises nothing to check
+    max_excluded = max(
+        (t for obj, t in truth.items() if obj not in returned_set),
+        default=float("-inf"),
+    )
+    for obj in returned:
+        assert theta * truth[obj] >= max_excluded - 1e-12, (
+            f"theta={theta} certificate violated: returned {obj!r} has "
+            f"true grade {truth[obj]} but {max_excluded} was excluded"
+        )
+    if claims_exact and len(returned) >= result.k:
+        min_returned = min(truth[obj] for obj in returned)
+        assert min_returned >= max_excluded - 1e-12, (
+            f"claimed-exact answer is wrong: returned grade "
+            f"{min_returned} < excluded grade {max_excluded}"
+        )

@@ -50,11 +50,13 @@ from typing import Hashable
 import numpy as np
 
 from ..middleware.access import AccessSession, ListCapabilities
-from ..middleware.cost import UNIT_COSTS, CostModel
+from ..middleware.cost import UNIT_COSTS, CostModel, QueryBudget
 from ..middleware.errors import (
     CapabilityError,
     DatabaseError,
+    ListLostError,
     ServiceTimeoutError,
+    ServiceUnavailableError,
     UnknownObjectError,
     WildGuessError,
 )
@@ -139,6 +141,11 @@ class AsyncAccessSession(AccessSession):
         fetch-on-demand baseline, where no service is contacted until
         its list is actually read (this is what ``bench_async.py``'s
         sequential arm measures).
+    budget, survive_list_loss:
+        As for :class:`~repro.middleware.access.AccessSession` -- the
+        per-query resource envelope and the degraded-mode switch; both
+        are forwarded to the parent unchanged so the scalar charging
+        machinery owns them.
     """
 
     def __init__(
@@ -153,6 +160,8 @@ class AsyncAccessSession(AccessSession):
         prefetch_pages: int = 2,
         wait_timeout: float = 30.0,
         eager: bool = True,
+        budget: QueryBudget | None = None,
+        survive_list_loss: bool = False,
     ):
         if not services:
             raise DatabaseError("need at least one service")
@@ -193,6 +202,8 @@ class AsyncAccessSession(AccessSession):
             capabilities=capabilities,
             forbid_wild_guesses=forbid_wild_guesses,
             record_trace=record_trace,
+            budget=budget,
+            survive_list_loss=survive_list_loss,
         )
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
@@ -393,6 +404,10 @@ class AsyncAccessSession(AccessSession):
         self._check_list(list_index)
         if not self._capabilities[list_index].random_allowed:
             raise CapabilityError("random", list_index)
+        if list_index in self._lost_lists:
+            raise ListLostError(
+                self._services[list_index].name, list_index
+            )
         if objects is None:
             raise ValueError(
                 "objects are required on a service-backed session "
@@ -418,6 +433,18 @@ class AsyncAccessSession(AccessSession):
             # servable), the unknown raises uncharged -- the scalar
             # loop's accounting
             return super().random_access_batch(list_index, objects)
+        except ListLostError:
+            raise
+        except ServiceUnavailableError as exc:
+            if not self._survive_list_loss:
+                raise
+            # the whole batch failed in one round trip: nothing was
+            # served, so nothing is charged -- mark the loss and
+            # surface it as the dedicated degraded-mode signal
+            self._lost_lists[list_index] = self._positions[list_index]
+            raise ListLostError(
+                self._services[list_index].name, list_index, exc.attempts
+            ) from exc
         self._random_by_list[list_index] += len(objects)
         return np.asarray(grades, dtype=np.float64)
 
@@ -446,9 +473,12 @@ class AsyncAccessSession(AccessSession):
             or any(
                 not (0 <= i < len(self._capabilities))
                 or not self._capabilities[i].random_allowed
+                or i in self._lost_lists
                 for i in lists
             )
         ):
+            # an already-lost list takes the parent's scalar loop too:
+            # lists before it charge in order, then ListLostError
             return super().random_access_across(obj, lists)
         if not lists:
             return []
@@ -473,6 +503,18 @@ class AsyncAccessSession(AccessSession):
         out: list[float] = []
         for i, served in zip(lists, results):
             if isinstance(served, BaseException):
+                if (
+                    self._survive_list_loss
+                    and isinstance(served, ServiceUnavailableError)
+                    and not isinstance(served, ListLostError)
+                ):
+                    # lists before i charged above (in list order);
+                    # grades speculatively fetched from later lists
+                    # are discarded uncharged, as on any failure
+                    self._lost_lists[i] = self._positions[i]
+                    raise ListLostError(
+                        self._services[i].name, i, served.attempts
+                    ) from served
                 raise served
             self._random_by_list[i] += 1
             out.append(float(served[0]))

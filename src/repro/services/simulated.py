@@ -129,10 +129,28 @@ class FailureModel:
 @dataclass(frozen=True)
 class RetryPolicy:
     """Client-stub retry budget for retryable (timeout/transient)
-    failures; ``backoff`` seconds are slept between attempts."""
+    failures, with seeded exponential backoff.
+
+    The delay before retry number ``a`` (1-based) is::
+
+        min(backoff * multiplier ** (a - 1), max_backoff)
+        * (1 + U(-jitter, jitter))
+
+    with ``U`` drawn from a per-stub RNG seeded with ``seed`` -- so a
+    fixed seed gives a bit-reproducible delay schedule, while distinct
+    stubs (distinct seeds) desynchronise their retries instead of
+    hammering a briefly-unavailable service in lockstep (the retry
+    storm the earlier fixed-delay policy produced).  The defaults
+    (``backoff=0``) keep retries immediate, matching the previous
+    behaviour.
+    """
 
     max_attempts: int = 3
     backoff: float = 0.0
+    multiplier: float = 2.0
+    max_backoff: float | None = None
+    jitter: float = 0.0
+    seed: int = 0
 
     def __post_init__(self):
         if self.max_attempts < 1:
@@ -141,6 +159,32 @@ class RetryPolicy:
             )
         if self.backoff < 0:
             raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.max_backoff is not None and self.max_backoff < 0:
+            raise ValueError(
+                f"max_backoff must be >= 0, got {self.max_backoff}"
+            )
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def sampler(self) -> "random.Random":
+        """The per-stub jitter RNG (deterministic under the seed)."""
+        return random.Random(self.seed)
+
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Seconds to sleep before retrying after failed attempt number
+        ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        base = self.backoff * self.multiplier ** (attempt - 1)
+        if self.max_backoff is not None:
+            base = min(base, self.max_backoff)
+        if self.jitter and rng is not None and base:
+            base *= 1.0 + rng.uniform(-self.jitter, self.jitter)
+        return base
 
 
 class _SimulatedEndpoint:
@@ -162,6 +206,7 @@ class _SimulatedEndpoint:
         self._retry = retry or RetryPolicy()
         self._latency_rng = self._latency.sampler()
         self._failure_rng = self._failures.sampler()
+        self._retry_rng = self._retry.sampler()
         self._calls = 0
         self._dead = False
         #: total attempts that were failed by injection (observability
@@ -195,8 +240,9 @@ class _SimulatedEndpoint:
                 if verdict == "timeout":
                     raise ServiceTimeoutError(self.name, attempts)
                 raise ServiceTransientError(self.name, attempts)
-            if self._retry.backoff:
-                await asyncio.sleep(self._retry.backoff)
+            pause = self._retry.delay(attempts, self._retry_rng)
+            if pause:
+                await asyncio.sleep(pause)
 
 
 class SimulatedListService(_SimulatedEndpoint):

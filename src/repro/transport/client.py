@@ -213,6 +213,7 @@ class TransportClient:
         self._pool_size = pool_size
         self._max_frame = max_frame
         self._pools: dict[int, _LoopPool] = {}
+        self._retry_rng = self._retry.sampler()
 
     # ------------------------------------------------------------------
     # connection pool (per running loop; see the module docstring)
@@ -265,8 +266,9 @@ class TransportClient:
                     or attempts >= self._retry.max_attempts
                 ):
                     raise mapped from exc
-                if self._retry.backoff:
-                    await asyncio.sleep(self._retry.backoff)
+                pause = self._retry.delay(attempts, self._retry_rng)
+                if pause:
+                    await asyncio.sleep(pause)
         if response.get("ok"):
             return response
         raise _server_error(response, service)
@@ -382,6 +384,33 @@ class NetworkGradedSource:
             random_allowed=self.supports_random,
         )
 
+    async def page(self, start: int, count: int) -> SortedPage:
+        """One *stateless* page: entries ``[start, start + count)`` of
+        the remote sorted list, one request (the wire twin of
+        :meth:`~repro.services.simulated.SimulatedListService.page`).
+        Exposed so replicated wrappers can keep the cursor themselves
+        and resume at an exact page boundary on another replica."""
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        response = await self._client.request(
+            {
+                "op": "page",
+                "src": self._index,
+                "start": start,
+                "count": count,
+            },
+            service=self.name,
+        )
+        objects = response["objects"]
+        grades = response["grades"]
+        if not isinstance(objects, list) or not isinstance(
+            grades, np.ndarray
+        ):
+            raise WireFormatError(f"malformed page from {self.name!r}")
+        return SortedPage(objects, grades.tolist())
+
     async def sorted_access_stream(
         self, batch_size: int
     ) -> AsyncIterator[SortedPage]:
@@ -389,27 +418,11 @@ class NetworkGradedSource:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         position = 0
         while position < self._num_entries:
-            response = await self._client.request(
-                {
-                    "op": "page",
-                    "src": self._index,
-                    "start": position,
-                    "count": batch_size,
-                },
-                service=self.name,
-            )
-            objects = response["objects"]
-            grades = response["grades"]
-            if not isinstance(objects, list) or not isinstance(
-                grades, np.ndarray
-            ):
-                raise WireFormatError(
-                    f"malformed page from {self.name!r}"
-                )
-            if not objects:
+            page = await self.page(position, batch_size)
+            if not page.objects:
                 break
-            position += len(objects)
-            yield SortedPage(objects, grades.tolist())
+            position += len(page.objects)
+            yield page
 
     async def random_access_batch(
         self, objects: Sequence[Hashable]

@@ -81,25 +81,35 @@ class ServerProcess:
         startup_timeout: float = 30.0,
     ):
         self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-transport-")
-        npz_path = Path(self._tmpdir.name) / "db.npz"
-        save_npz(database, npz_path)
+        self._npz_path = Path(self._tmpdir.name) / "db.npz"
+        save_npz(database, self._npz_path)
+        self._num_shards = num_shards
+        self._latency = latency
+        self._jitter = jitter
+        self._latency_seed = latency_seed
+        self._startup_timeout = startup_timeout
+        self._spawn(port=0, timeout=startup_timeout)
+
+    def _spawn(self, port: int, timeout: float) -> None:
+        """Start the child on ``port`` (0 picks one) and wait for its
+        readiness line; sets :attr:`process` and :attr:`address`."""
         command = [
             sys.executable,
             "-m",
             "repro.transport.serve",
             "--npz",
-            str(npz_path),
+            str(self._npz_path),
             "--port",
-            "0",
+            str(port),
         ]
-        if num_shards is not None:
-            command += ["--num-shards", str(num_shards)]
-        if latency:
-            command += ["--latency", repr(latency)]
-        if jitter:
-            command += ["--jitter", repr(jitter)]
-        if latency_seed:
-            command += ["--latency-seed", str(latency_seed)]
+        if self._num_shards is not None:
+            command += ["--num-shards", str(self._num_shards)]
+        if self._latency:
+            command += ["--latency", repr(self._latency)]
+        if self._jitter:
+            command += ["--jitter", repr(self._jitter)]
+        if self._latency_seed:
+            command += ["--latency-seed", str(self._latency_seed)]
         env = dict(os.environ)
         package_root = str(Path(__file__).resolve().parent.parent.parent)
         existing = env.get("PYTHONPATH")
@@ -115,7 +125,7 @@ class ServerProcess:
             text=True,
         )
         _LIVE.add(self)
-        self.address = self._await_ready(startup_timeout)
+        self.address = self._await_ready(timeout)
 
     def _await_ready(self, timeout: float) -> tuple[str, int]:
         """Read stdout lines on a side thread until the readiness line
@@ -164,10 +174,39 @@ class ServerProcess:
 
     def kill(self) -> None:
         """SIGKILL the child *without* any draining -- the tool for
-        provoking genuine mid-stream connection failures in tests."""
+        provoking genuine mid-stream connection failures in tests.
+
+        The persisted ``.npz`` (and the registry entry, so ``atexit``
+        still reaps the tempdir) survives, which is what lets
+        :meth:`restart` bring the replica back on the same port."""
         self.process.kill()
         self.process.wait(timeout=10.0)
-        self._cleanup()
+        self._close_streams()
+
+    def restart(self, startup_timeout: float | None = None) -> None:
+        """Respawn a killed (or still-running, then hard-stopped) child
+        on the *same* address, serving the same persisted database.
+        Clients reconnect transparently: the address in their hands
+        stays valid."""
+        if self.process.poll() is None:
+            self.kill()
+        host, port = self.address
+        timeout = (
+            self._startup_timeout if startup_timeout is None
+            else startup_timeout
+        )
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                # asyncio sets SO_REUSEADDR on POSIX, so rebinding the
+                # port works as soon as the old process is gone; retry
+                # briefly in case the kernel is still releasing it
+                self._spawn(port=port, timeout=timeout)
+                return
+            except ServiceUnavailableError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.2)
 
     def terminate(self) -> None:
         """Stop the child (idempotent): SIGTERM, then SIGKILL after a
@@ -181,14 +220,17 @@ class ServerProcess:
                 self.process.wait(timeout=5.0)
         self._cleanup()
 
-    def _cleanup(self) -> None:
-        _LIVE.discard(self)
+    def _close_streams(self) -> None:
         for stream in (self.process.stdout, self.process.stderr):
             if stream is not None:
                 try:
                     stream.close()
                 except Exception:  # pragma: no cover - defensive
                     pass
+
+    def _cleanup(self) -> None:
+        _LIVE.discard(self)
+        self._close_streams()
         try:
             self._tmpdir.cleanup()
         except Exception:  # pragma: no cover - defensive

@@ -16,12 +16,20 @@ to stdout (flushed), and serves until killed.  ``--latency`` /
 ``--jitter`` attach a seeded server-side latency model, which is how
 the transport benchmark emulates per-call service time on real
 sockets.
+
+Shutdown is graceful on SIGTERM: the listener closes, in-flight
+requests get up to ``--drain-timeout`` seconds to finish and flush
+their responses, then the process exits 0.  SIGKILL (the chaos
+harness's weapon) is, of course, not graceful.  ``--max-concurrent``
+caps in-flight requests server-wide (connections stop reading frames
+at the cap -- TCP backpressure instead of unbounded buffering).
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import signal
 import sys
 from pathlib import Path
 
@@ -45,15 +53,24 @@ def build_server(args: argparse.Namespace) -> GradedSourceServer:
         latency=latency,
         host=args.host,
         port=args.port,
+        max_concurrent=args.max_concurrent,
     )
 
 
 async def _serve(args: argparse.Namespace) -> None:
     server = build_server(args)
     await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    loop.add_signal_handler(signal.SIGTERM, stop.set)
     host, port = server.address
     print(f"LISTENING {host} {port}", flush=True)
-    await server.serve_forever()
+    try:
+        await stop.wait()
+        # graceful: drain in-flight requests (bounded), then close
+        await server.drain(args.drain_timeout)
+    finally:
+        await server.aclose()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -89,6 +106,18 @@ def main(argv: list[str] | None = None) -> int:
         help="server-side per-call latency jitter, seconds",
     )
     parser.add_argument("--latency-seed", type=int, default=0)
+    parser.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=None,
+        help="server-wide cap on in-flight requests (backpressure)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        help="seconds SIGTERM waits for in-flight requests to drain",
+    )
     args = parser.parse_args(argv)
     try:
         asyncio.run(_serve(args))

@@ -125,6 +125,13 @@ class GradedSourceServer:
         as :attr:`address` after start.
     max_frame:
         Frame size limit for both directions.
+    max_concurrent:
+        Server-wide cap on in-flight requests.  When reached, every
+        connection stops *reading* frames until a slot frees up, so a
+        flood of requests backs up in the kernel's TCP buffers (and
+        eventually blocks the sender) instead of ballooning server
+        memory with decoded-but-unserved requests.  ``None`` (default)
+        disables the cap.
     """
 
     def __init__(
@@ -135,17 +142,27 @@ class GradedSourceServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_frame: int = MAX_FRAME_BYTES,
+        max_concurrent: int | None = None,
     ):
         self._sources = [_as_list_service(s) for s in sources]
         self._run_grid = [list(row) for row in run_grid]
         if not self._sources and not self._run_grid:
             raise DatabaseError("nothing to serve: no sources, no runs")
+        if max_concurrent is not None and max_concurrent < 1:
+            raise DatabaseError(
+                f"max_concurrent must be >= 1, got {max_concurrent}"
+            )
         self._host = host
         self._requested_port = port
         self._max_frame = max_frame
+        self._max_concurrent = max_concurrent
         self._server: asyncio.Server | None = None
         self._address: tuple[str, int] | None = None
         self._writers: set[asyncio.StreamWriter] = set()
+        self._inflight = 0
+        self._slot_free: asyncio.Event | None = None
+        #: high-water mark of concurrently served requests
+        self.peak_inflight = 0
         # background-thread mode
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
@@ -185,6 +202,7 @@ class GradedSourceServer:
     async def start(self) -> None:
         if self._server is not None:
             raise RuntimeError("server already started")
+        self._slot_free = asyncio.Event()
         self._server = await asyncio.start_server(
             self._serve_connection, self._host, self._requested_port
         )
@@ -204,6 +222,34 @@ class GradedSourceServer:
         assert self._server is not None
         async with self._server:
             await self._server.serve_forever()
+
+    async def drain(self, timeout: float = 5.0) -> bool:
+        """Graceful shutdown, phase one: stop accepting connections,
+        then wait (bounded by ``timeout`` seconds) for every in-flight
+        request to finish and flush its response.  Returns ``True``
+        when the server drained cleanly, ``False`` when the timeout
+        expired with requests still running (the caller's
+        :meth:`aclose` will then cut them off).  Open connections are
+        left open so drained responses still reach their clients."""
+        if self._server is not None:
+            self._server.close()
+        event = self._slot_free
+        if event is None:
+            return True
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while self._inflight > 0:
+            # no await between the check and the clear, so a decrement
+            # cannot slip through unnoticed (single-threaded loop)
+            event.clear()
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                return False
+            try:
+                await asyncio.wait_for(event.wait(), remaining)
+            except asyncio.TimeoutError:
+                return False
+        return True
 
     async def aclose(self) -> None:
         if self._server is not None:
@@ -270,12 +316,29 @@ class GradedSourceServer:
         self._writers.add(writer)
         send_lock = asyncio.Lock()
         tasks: set[asyncio.Task] = set()
+        event = self._slot_free
         try:
             while True:
                 header = await reader.readexactly(FRAME_HEADER_BYTES)
                 size = frame_payload_size(header, self._max_frame)
                 payload = await reader.readexactly(size)
                 message = decode_message(payload)
+                if self._max_concurrent is not None and event is not None:
+                    # backpressure: at the cap, stop reading further
+                    # frames -- this connection holds exactly one decoded
+                    # request while the rest of the bytes pile up in
+                    # kernel TCP buffers and eventually block the sender,
+                    # so a slow consumer cannot balloon this process's
+                    # memory.  The gate sits *after* the read so the
+                    # check-and-admit below is atomic on the event loop
+                    # (no await between the final check and the
+                    # increment).
+                    while self._inflight >= self._max_concurrent:
+                        event.clear()
+                        await event.wait()
+                self._inflight += 1
+                if self._inflight > self.peak_inflight:
+                    self.peak_inflight = self._inflight
                 # one task per request: responses interleave by
                 # completion order, matched to requests by id
                 task = asyncio.create_task(
@@ -300,6 +363,21 @@ class GradedSourceServer:
             writer.close()
 
     async def _handle(
+        self,
+        message,
+        writer: asyncio.StreamWriter,
+        send_lock: asyncio.Lock,
+    ) -> None:
+        try:
+            await self._respond(message, writer, send_lock)
+        finally:
+            # synchronous, so it runs even when this task is cancelled:
+            # wake both backpressured readers and a pending drain()
+            self._inflight -= 1
+            if self._slot_free is not None:
+                self._slot_free.set()
+
+    async def _respond(
         self,
         message,
         writer: asyncio.StreamWriter,
@@ -443,6 +521,7 @@ def serve_sources(
     host: str = "127.0.0.1",
     port: int = 0,
     max_frame: int = MAX_FRAME_BYTES,
+    max_concurrent: int | None = None,
 ) -> GradedSourceServer:
     """Serve ``what`` -- a :class:`~repro.middleware.database.Database`
     or a sequence of sources/services -- on a background thread.
@@ -467,6 +546,7 @@ def serve_sources(
             host=host,
             port=port,
             max_frame=max_frame,
+            max_concurrent=max_concurrent,
         )
     else:
         if num_shards is not None:
@@ -505,7 +585,11 @@ def serve_sources(
             else:
                 adapted.append(_as_list_service(src))
         server = GradedSourceServer(
-            adapted, host=host, port=port, max_frame=max_frame
+            adapted,
+            host=host,
+            port=port,
+            max_frame=max_frame,
+            max_concurrent=max_concurrent,
         )
     return server.start_in_thread()
 

@@ -32,7 +32,14 @@ SUBMODULE_NAMES = {
         "ListMergeCursor", "shard_bounds_for",
         "WireFormatError", "connection_error_to_service_error",
         "encode_message", "decode_message", "encode_frame",
-        "decode_frame",
+        "decode_frame", "QueryBudget", "ListLostError",
+        "ReplicaGroupExhaustedError",
+    ],
+    "repro.resilience": [
+        "BreakerState", "CircuitBreaker", "CircuitBreakerPolicy",
+        "ReplicaFleet", "ReplicatedGradedSource", "QueryBudget",
+        "DegradedResult", "certify", "complete_with_sorted_only",
+        "degrade_result", "finalize_certificates", "verify_against_oracle",
     ],
     "repro.services": [
         "RemoteGradedSource", "SortedPage", "AsyncAccessSession",
