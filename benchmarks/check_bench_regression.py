@@ -31,6 +31,13 @@ own acceptance bar of >= ``--resilience-min-speedup`` (default 1.5):
 hedging must beat the injected tail latency at p99 and transparent
 failover must beat the naive restart-from-scratch client.
 
+Server gate (``--server-baseline``): same schema and rules once more
+for ``BENCH_server.json`` (``bench_server.py``) with an acceptance bar
+of >= ``--server-min-speedup`` (default 1.5): the query service's
+shared scan cache must beat per-query private sessions by at least
+1.5x throughput on every committed overlapping-workload
+configuration.
+
 Run::
 
     python benchmarks/check_bench_regression.py \
@@ -40,6 +47,8 @@ Run::
         --async-smoke BENCH_async.smoke.json \
         --resilience-baseline BENCH_resilience.json \
         --resilience-smoke BENCH_resilience.smoke.json \
+        --server-baseline BENCH_server.json \
+        --server-smoke BENCH_server.smoke.json \
         --tolerance 2.0
 """
 
@@ -297,6 +306,39 @@ def main() -> int:
             "absolute minimum resilience smoke speedup (default 1.2)"
         ),
     )
+    parser.add_argument(
+        "--server-baseline",
+        type=Path,
+        default=None,
+        help=(
+            "committed BENCH_server.json to gate (pass to enable the "
+            "query-service scan-sharing checks; same schema and rules "
+            "as the async gate)"
+        ),
+    )
+    parser.add_argument(
+        "--server-smoke",
+        type=Path,
+        default=None,
+        help="fresh bench_server.py --smoke report to gate",
+    )
+    parser.add_argument(
+        "--server-min-speedup",
+        type=float,
+        default=1.5,
+        help=(
+            "minimum scan-sharing speedup every committed server run "
+            "must show (default 1.5: the shared scan cache must beat "
+            "per-query private sessions by at least 1.5x throughput on "
+            "overlapping workloads)"
+        ),
+    )
+    parser.add_argument(
+        "--server-floor",
+        type=float,
+        default=1.2,
+        help="absolute minimum server smoke speedup (default 1.2)",
+    )
     args = parser.parse_args()
     if args.tolerance < 1.0:
         parser.error(f"tolerance must be >= 1.0, got {args.tolerance}")
@@ -308,6 +350,8 @@ def main() -> int:
         parser.error("--transport-smoke requires --transport-baseline")
     if args.resilience_smoke is not None and args.resilience_baseline is None:
         parser.error("--resilience-smoke requires --resilience-baseline")
+    if args.server_smoke is not None and args.server_baseline is None:
+        parser.error("--server-smoke requires --server-baseline")
     status = check(args.baseline, args.smoke, args.tolerance)
     if args.async_baseline is not None:
         async_status = check_async(
@@ -338,6 +382,16 @@ def main() -> int:
             label="resilience",
         )
         status = status or resilience_status
+    if args.server_baseline is not None:
+        server_status = check_async(
+            args.server_baseline,
+            args.server_smoke,
+            args.tolerance,
+            args.server_min_speedup,
+            args.server_floor,
+            label="server",
+        )
+        status = status or server_status
     return status
 
 

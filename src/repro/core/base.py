@@ -10,8 +10,10 @@ ground truth.
 
 from __future__ import annotations
 
+import asyncio
 import heapq
 from abc import ABC, abstractmethod
+from concurrent.futures import Executor
 from typing import Hashable
 
 from ..aggregation.base import AggregationFunction
@@ -131,6 +133,43 @@ class TopKAlgorithm(ABC):
         """Convenience: build a fresh session over ``database`` and run."""
         session = self.make_session(database, cost_model, **session_kwargs)
         return self.run(session, aggregation, k)
+
+    async def run_on_loop(
+        self,
+        session: AccessSession,
+        aggregation: AggregationFunction,
+        k: int,
+        *,
+        executor: Executor | None = None,
+    ) -> TopKResult:
+        """Run this query without blocking the calling event loop.
+
+        The engines are deliberately synchronous -- the paper's
+        algorithms are sequential access schedules, and keeping one
+        scalar reference loop is what makes the differential parity
+        suites meaningful -- so a server hosting many queries on one
+        asyncio loop runs each engine on an executor thread and awaits
+        it here.  The *session* is where concurrency lives: service-
+        and scan-backed sessions block their worker thread on remote
+        or shared pages while the loop keeps scheduling everyone else.
+
+        Validation (``k``, arity, capabilities) happens eagerly on the
+        loop so invalid queries fail at submission, not inside a
+        worker.
+        """
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        if k > session.num_objects:
+            raise QueryError(
+                f"k={k} exceeds the database size N={session.num_objects}; "
+                "the paper's model assumes N >= k"
+            )
+        aggregation.check_arity(session.num_lists)
+        self._check_capabilities(session)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            executor, self._run, session, aggregation, k
+        )
 
     def make_session(
         self,

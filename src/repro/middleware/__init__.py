@@ -14,7 +14,14 @@ from .access import (
     RoundBatch,
     SortedBatch,
 )
-from .cost import UNIT_COSTS, CostModel, QueryBudget
+from .cost import (
+    UNIT_COSTS,
+    AdmissionPolicy,
+    BillingLedger,
+    CostModel,
+    QueryBill,
+    QueryBudget,
+)
 from .database import (
     ColumnarDatabase,
     Database,
@@ -24,10 +31,12 @@ from .database import (
 )
 from .errors import (
     AccessError,
+    AdmissionError,
     CapabilityError,
     DatabaseError,
     ListLostError,
     MiddlewareError,
+    QueryCancelledError,
     RemoteServiceError,
     ReplicaGroupExhaustedError,
     ServiceTimeoutError,
@@ -35,6 +44,7 @@ from .errors import (
     ServiceUnavailableError,
     UnknownListError,
     UnknownObjectError,
+    UnknownQueryError,
     WildGuessError,
     WireFormatError,
     connection_error_to_service_error,
@@ -58,6 +68,9 @@ __all__ = [
     "ListCapabilities",
     "CostModel",
     "QueryBudget",
+    "QueryBill",
+    "BillingLedger",
+    "AdmissionPolicy",
     "UNIT_COSTS",
     "Database",
     "ColumnarDatabase",
@@ -80,6 +93,9 @@ __all__ = [
     "ReplicaGroupExhaustedError",
     "ListLostError",
     "WireFormatError",
+    "QueryCancelledError",
+    "AdmissionError",
+    "UnknownQueryError",
     "connection_error_to_service_error",
     "GradedSource",
     "ScoredCollection",

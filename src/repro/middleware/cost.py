@@ -13,11 +13,19 @@ schedule (Section 8.2).
 from __future__ import annotations
 
 import math
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-__all__ = ["CostModel", "UNIT_COSTS", "QueryBudget"]
+__all__ = [
+    "CostModel",
+    "UNIT_COSTS",
+    "QueryBudget",
+    "QueryBill",
+    "BillingLedger",
+    "AdmissionPolicy",
+]
 
 
 @dataclass(frozen=True)
@@ -161,3 +169,130 @@ class QueryBudget:
             self.start()
             return self.elapsed() >= self.deadline_s
         return False
+
+
+@dataclass(frozen=True)
+class QueryBill:
+    """One query's invoice: the paper's cost model read as a meter.
+
+    ``middleware_cost`` is exactly ``s*cS + r*cR`` over the accesses
+    *this* query consumed -- shared scan pages another query pulled are
+    uncharged speculation, so concurrent bills sum to what independent
+    runs would each have paid, never less per query.
+
+    ``outcome`` is one of ``"ok"``, ``"error"``, or ``"cancelled"``;
+    ``halt_reason`` carries the engine's halt certificate for ``"ok"``
+    bills (and ``None`` otherwise).
+    """
+
+    query_id: str
+    algorithm: str
+    aggregation: str
+    k: int
+    lists: tuple[int, ...]
+    sorted_accesses: int
+    random_accesses: int
+    middleware_cost: float
+    wall_seconds: float
+    outcome: str
+    halt_reason: str | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "query_id": self.query_id,
+            "algorithm": self.algorithm,
+            "aggregation": self.aggregation,
+            "k": self.k,
+            "lists": list(self.lists),
+            "sorted_accesses": self.sorted_accesses,
+            "random_accesses": self.random_accesses,
+            "middleware_cost": self.middleware_cost,
+            "wall_seconds": self.wall_seconds,
+            "outcome": self.outcome,
+            "halt_reason": self.halt_reason,
+        }
+
+
+class BillingLedger:
+    """Thread-safe append-only record of :class:`QueryBill` entries.
+
+    The query service posts one bill per terminal query -- completed,
+    failed, or cancelled -- from whichever worker thread finished it,
+    while readers (status endpoints, tests, the CLI) snapshot from
+    other threads; hence the lock.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._bills: list[QueryBill] = []
+
+    def post(self, bill: QueryBill) -> None:
+        with self._lock:
+            self._bills.append(bill)
+
+    def bills(self) -> list[QueryBill]:
+        """Snapshot of every posted bill, in posting order."""
+        with self._lock:
+            return list(self._bills)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._bills)
+
+    def totals(self) -> dict:
+        """Aggregate ledger: query counts by outcome and summed cost."""
+        with self._lock:
+            bills = list(self._bills)
+        by_outcome: dict[str, int] = {}
+        for bill in bills:
+            by_outcome[bill.outcome] = by_outcome.get(bill.outcome, 0) + 1
+        return {
+            "queries": len(bills),
+            "by_outcome": by_outcome,
+            "sorted_accesses": sum(b.sorted_accesses for b in bills),
+            "random_accesses": sum(b.random_accesses for b in bills),
+            "middleware_cost": sum(b.middleware_cost for b in bills),
+        }
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Service-level fairness knobs for the concurrent query front-end.
+
+    ``max_active`` bounds how many queries run simultaneously (each
+    active query owns one worker-thread slot); arrivals beyond that
+    wait in a FIFO queue of at most ``max_queued`` -- FIFO *is* the
+    fairness policy: no query can be overtaken by a later arrival, so
+    service order equals arrival order and tail latency is bounded by
+    queue position.  A submission past ``max_queued`` is refused with
+    :class:`~repro.middleware.errors.AdmissionError` rather than
+    buffered without bound.
+
+    ``default_deadline_s`` / ``default_max_cost`` arm a
+    :class:`QueryBudget` for queries that do not bring their own, so a
+    service can guarantee every admitted query terminates.
+    """
+
+    max_active: int = 4
+    max_queued: int = 256
+    default_deadline_s: float | None = None
+    default_max_cost: float | None = None
+
+    def __post_init__(self):
+        if self.max_active < 1:
+            raise ValueError(
+                f"max_active must be >= 1, got {self.max_active}"
+            )
+        if self.max_queued < 0:
+            raise ValueError(
+                f"max_queued must be >= 0, got {self.max_queued}"
+            )
+
+    def default_budget(self) -> QueryBudget | None:
+        """A fresh budget from the defaults, or ``None`` if unbounded."""
+        if self.default_deadline_s is None and self.default_max_cost is None:
+            return None
+        return QueryBudget(
+            deadline_s=self.default_deadline_s,
+            max_cost=self.default_max_cost,
+        )

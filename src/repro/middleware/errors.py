@@ -26,6 +26,9 @@ __all__ = [
     "ReplicaGroupExhaustedError",
     "ListLostError",
     "WireFormatError",
+    "QueryCancelledError",
+    "AdmissionError",
+    "UnknownQueryError",
     "connection_error_to_service_error",
 ]
 
@@ -174,6 +177,50 @@ class ListLostError(ServiceUnavailableError):
             attempts,
         )
         self.list_index = list_index
+
+
+class QueryCancelledError(AccessError):
+    """The query owning this session was cancelled.
+
+    Raised *from inside the access plane*: a cancelled query's next
+    sorted or random access fails before anything is charged, so the
+    session's accounting stops exactly at the prefix the query had
+    already consumed.  Cancellation can therefore never refund or
+    over-charge -- charged == consumed holds for aborted queries by
+    construction, which is what the scan-sharing contract requires
+    (see :mod:`repro.server`).
+    """
+
+    def __init__(self, query_id: str):
+        super().__init__(f"query {query_id!r} was cancelled")
+        self.query_id = query_id
+
+
+class AdmissionError(MiddlewareError):
+    """The query service refused to enqueue a query.
+
+    Raised at submission time when the admission policy's queue bound
+    is already full (or the service is draining).  Deliberately not an
+    :class:`AccessError`: the query never reached the access plane, so
+    no accounting exists to protect -- and transports must map it to a
+    distinct, retry-later error code rather than a service failure.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message)
+
+
+class UnknownQueryError(MiddlewareError):
+    """A query id that the service is not (or no longer) tracking.
+
+    Results are single-shot: once a result has been collected the
+    service may forget the query, and cancel/result calls for ids it
+    never issued are client bugs, not access-plane events.
+    """
+
+    def __init__(self, query_id: str):
+        super().__init__(f"unknown query id {query_id!r}")
+        self.query_id = query_id
 
 
 class WireFormatError(MiddlewareError):

@@ -1,0 +1,157 @@
+"""CLI entry point: the standalone query-service daemon.
+
+::
+
+    PYTHONPATH=src python -m repro.server --npz db.npz --port 0
+
+Loads the persisted database, builds one simulated service per list
+(optionally behind a seeded latency model), mounts a
+:class:`~repro.server.service.QueryService` on a
+:class:`~repro.server.wire.QueryServer`, binds, prints one readiness
+line ``LISTENING <host> <port>`` (flushed), and serves until killed.
+SIGTERM is graceful: stop accepting, drain in-flight requests
+(bounded by ``--drain-timeout``), tear down the service, exit 0.
+
+``--max-active`` / ``--max-queued`` set the admission policy;
+``--no-share-scans`` turns the scan cache into the benchmark's
+private-scan control arm.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+from pathlib import Path
+
+from ..middleware.cost import AdmissionPolicy
+from ..middleware.serialization import load_npz
+from ..services.simulated import LatencyModel
+from .service import QueryService
+from .wire import QueryServer
+
+__all__ = ["main"]
+
+
+def build_server(args: argparse.Namespace) -> QueryServer:
+    db = load_npz(Path(args.npz))
+    latency = None
+    if args.latency or args.jitter:
+        latency = LatencyModel(
+            base=args.latency, jitter=args.jitter, seed=args.latency_seed
+        )
+    service = QueryService(
+        database=db,
+        latency=latency,
+        admission=AdmissionPolicy(
+            max_active=args.max_active,
+            max_queued=args.max_queued,
+            default_deadline_s=args.default_deadline,
+        ),
+        share_scans=not args.no_share_scans,
+        batch_size=args.batch_size,
+        readahead_pages=args.readahead_pages,
+    )
+    return QueryServer(
+        service,
+        host=args.host,
+        port=args.port,
+        max_concurrent=args.max_concurrent,
+    )
+
+
+async def _serve(args: argparse.Namespace) -> None:
+    server = build_server(args)
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    loop.add_signal_handler(signal.SIGTERM, stop.set)
+    host, port = server.address
+    print(f"LISTENING {host} {port}", flush=True)
+    try:
+        await stop.wait()
+        await server.service.adrain(args.drain_timeout)
+        await server.drain(args.drain_timeout)
+    finally:
+        await server.aclose()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server", description=__doc__
+    )
+    parser.add_argument(
+        "--npz", required=True, help="database written by save_npz"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="0 picks a free port"
+    )
+    parser.add_argument(
+        "--max-active",
+        type=int,
+        default=4,
+        help="queries running concurrently (worker threads)",
+    )
+    parser.add_argument(
+        "--max-queued",
+        type=int,
+        default=256,
+        help="admission queue bound; beyond it submissions are refused",
+    )
+    parser.add_argument(
+        "--default-deadline",
+        type=float,
+        default=None,
+        help="default per-query wall-clock budget, seconds",
+    )
+    parser.add_argument(
+        "--no-share-scans",
+        action="store_true",
+        help="private sorted cursors per query (the benchmark control)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=64, help="scan page size"
+    )
+    parser.add_argument(
+        "--readahead-pages",
+        type=int,
+        default=2,
+        help="pages the shared fetcher keeps ahead of demand",
+    )
+    parser.add_argument(
+        "--latency",
+        type=float,
+        default=0.0,
+        help="per-service-call latency base, seconds",
+    )
+    parser.add_argument(
+        "--jitter",
+        type=float,
+        default=0.0,
+        help="per-service-call latency jitter, seconds",
+    )
+    parser.add_argument("--latency-seed", type=int, default=0)
+    parser.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=None,
+        help="server-wide cap on in-flight wire requests",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        help="seconds SIGTERM waits for in-flight queries to drain",
+    )
+    args = parser.parse_args(argv)
+    try:
+        asyncio.run(_serve(args))
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 130
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,170 @@
+"""The query-service client: whole top-k queries over the wire.
+
+:class:`QueryServiceClient` extends
+:class:`~repro.transport.client.TransportClient` (same pooled,
+multiplexed connections, same connection-level retry) with the
+:class:`~repro.server.wire.QueryServer` protocol: submit a
+:class:`~repro.server.service.QuerySpec`, long-poll for its result,
+cancel it, read the service's stats.  Server-reported query errors
+come back as the exact in-process types --
+:class:`~repro.middleware.errors.AdmissionError`,
+:class:`~repro.middleware.errors.QueryCancelledError`,
+:class:`~repro.middleware.errors.UnknownQueryError` -- so client code
+handles a remote service and an embedded one identically.
+
+Submission is *not* retried at the connection level the way stateless
+source reads are: a submit that dies mid-flight may or may not have
+admitted the query, so :meth:`submit_query` sends on the default
+single-attempt path and surfaces the connection error to the caller
+(who can list nothing -- queries are cheap to resubmit and the
+abandoned twin, if any, is cancelled when its connection drops).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from ..core.base import QueryError
+from ..core.result import TopKResult
+from ..middleware.errors import (
+    AdmissionError,
+    QueryCancelledError,
+    UnknownQueryError,
+)
+from ..services.simulated import RetryPolicy
+from ..transport.client import TransportClient
+from .service import QuerySpec
+from .wire import decode_result
+
+__all__ = ["QueryServiceClient", "QueryOutcome"]
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """One finished remote query: the decoded result and the bill the
+    service posted for it (a plain dict, see
+    :meth:`~repro.middleware.cost.QueryBill.as_dict`)."""
+
+    query_id: str
+    result: TopKResult
+    bill: dict | None
+
+
+class QueryServiceClient(TransportClient):
+    """See the module docstring; construct with the
+    :class:`~repro.server.wire.QueryServer` address."""
+
+    def __init__(self, host: str, port: int, **kwargs):
+        # submissions must not be silently replayed (see module
+        # docstring); callers can still opt back into retries
+        kwargs.setdefault("retry", RetryPolicy(max_attempts=1))
+        super().__init__(host, port, **kwargs)
+
+    def _map_server_error(self, response: dict, service: str):
+        code = response.get("error")
+        query_id = response.get("query")
+        if code == "cancelled" and isinstance(query_id, str):
+            return QueryCancelledError(query_id)
+        if code == "unknown_query" and isinstance(query_id, str):
+            return UnknownQueryError(query_id)
+        if code == "admission":
+            return AdmissionError(
+                response.get("message", "admission refused")
+            )
+        if code == "bad_request":
+            # invalid specs fail identically against a remote service
+            # and an embedded one (QueryError is a ValueError)
+            return QueryError(response.get("message", "bad request"))
+        return super()._map_server_error(response, service)
+
+    # ------------------------------------------------------------------
+    # the query protocol
+    # ------------------------------------------------------------------
+    async def submit_query(self, spec: QuerySpec | dict) -> str:
+        """Admit one query; returns its id.  Raises
+        :class:`~repro.middleware.errors.AdmissionError` when refused
+        and ``bad_request``-mapped errors for invalid specs."""
+        if isinstance(spec, QuerySpec):
+            spec = spec.as_dict()
+        response = await self.request(
+            {"op": "query", "spec": dict(spec)}, service="query-service"
+        )
+        return response["query"]
+
+    async def stream_result(
+        self,
+        query_id: str,
+        *,
+        poll_timeout: float = 10.0,
+        deadline: float | None = None,
+    ) -> QueryOutcome:
+        """Long-poll until the query reaches a terminal state; returns
+        the decoded result + bill, or raises the query's terminal error
+        (:class:`~repro.middleware.errors.QueryCancelledError` for a
+        cancelled query).  ``deadline`` bounds the *total* client-side
+        wait (``None`` = poll forever); each poll holds the request
+        open server-side for up to ``poll_timeout`` seconds."""
+        loop = asyncio.get_running_loop()
+        give_up = None if deadline is None else loop.time() + deadline
+        while True:
+            timeout = poll_timeout
+            if give_up is not None:
+                timeout = min(timeout, give_up - loop.time())
+                if timeout <= 0:
+                    raise TimeoutError(
+                        f"query {query_id!r} not done within {deadline}s"
+                    )
+            response = await self.request(
+                {"op": "result", "query": query_id, "timeout": timeout},
+                service="query-service",
+            )
+            if response.get("done"):
+                return QueryOutcome(
+                    query_id=query_id,
+                    result=decode_result(response["result"]),
+                    bill=response.get("bill"),
+                )
+
+    async def run_query(self, spec: QuerySpec | dict, **wait) -> QueryOutcome:
+        """Submit and wait: :meth:`submit_query` +
+        :meth:`stream_result`."""
+        return await self.stream_result(await self.submit_query(spec), **wait)
+
+    async def run_queries(
+        self, specs, **wait
+    ) -> list[QueryOutcome | BaseException]:
+        """Submit *all* specs first (so they are genuinely concurrent
+        server-side), then collect every outcome.  Per-query failures
+        come back as exception objects in the result list, positionally
+        aligned with ``specs``."""
+        ids = [await self.submit_query(spec) for spec in specs]
+        return await asyncio.gather(
+            *(self.stream_result(qid, **wait) for qid in ids),
+            return_exceptions=True,
+        )
+
+    async def cancel_query(self, query_id: str) -> bool:
+        """True when the query was still live (queued or running)."""
+        response = await self.request(
+            {"op": "cancel", "query": query_id}, service="query-service"
+        )
+        return bool(response["cancelled"])
+
+    async def query_status(self, query_id: str) -> dict:
+        response = await self.request(
+            {"op": "status", "query": query_id}, service="query-service"
+        )
+        return {
+            k: response[k]
+            for k in ("query", "status", "queued", "active")
+            if k in response
+        }
+
+    async def service_stats(self) -> dict:
+        """Service-level counters: admission, ledger totals, scan-cache
+        materialization."""
+        response = await self.request(
+            {"op": "stats"}, service="query-service"
+        )
+        return response["stats"]

@@ -1,0 +1,328 @@
+"""Shared sorted-stream scans: one cursor per list, many queries.
+
+The paper's cost model is per *query*: each query pays ``cS`` for
+every sorted entry **it** consumes.  A server running many concurrent
+queries over the same lists would naively open one sorted cursor per
+(query, list) and pay the service latency once per consumer.  The scan
+cache collapses that: per list there is **one** underlying
+``sorted_access_stream`` cursor whose pages append to a shared,
+immutable-prefix materialization, and every query reads that prefix at
+its own pace.
+
+The accounting contract survives untouched because sharing happens
+*below* the charged access plane:
+
+* the materialized prefix is append-only and global -- a query reading
+  position ``p`` sees exactly the entries a solo run would have seen
+  at ``p`` (sorted order is the service's, fixed, tie order included);
+* a query is charged (by its own
+  :class:`~repro.services.session.SharedScanSession`) only for
+  positions it consumed; pages pulled because a *deeper* query
+  demanded them are uncharged speculation for everyone shallower --
+  precisely the contract prefetch buffers and
+  :meth:`~repro.middleware.access.AccessSession.columnar_view` already
+  obey;
+* random accesses are never shared: they are per-query probes, charged
+  and performed by each query's own session.
+
+Demand model: consumers raise a monotone *demand watermark* (the
+deepest position any attached query needs); the single fetcher task
+materializes ``demand + readahead`` entries and then parks.  A scan
+with no demand costs nothing -- the fetcher is started lazily on first
+demand.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections.abc import Sequence
+
+from ..middleware.errors import DatabaseError
+from ..services.protocol import RemoteGradedSource
+from ..services.session import SharedScanSession
+
+__all__ = ["SharedListScan", "ScanCache"]
+
+
+class SharedListScan:
+    """One list's shared materialized prefix and its single fetcher.
+
+    Satisfies the :class:`~repro.services.session.SharedScan` protocol
+    consumed by :class:`~repro.services.session.SharedScanSession`:
+    ``objects``/``grades`` are append-only (grades published before
+    objects, under ``cond``), ``demand(n)`` is the thread-safe
+    watermark, ``attach``/``detach`` count consumers.
+    """
+
+    def __init__(
+        self,
+        source: RemoteGradedSource,
+        loop: asyncio.AbstractEventLoop,
+        *,
+        batch_size: int = 64,
+        readahead_pages: int = 2,
+    ):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if readahead_pages < 0:
+            raise ValueError(
+                f"readahead_pages must be >= 0, got {readahead_pages}"
+            )
+        self._source = source
+        self._loop = loop
+        self._batch_size = batch_size
+        self._readahead = readahead_pages * batch_size
+        # --- shared-prefix state (the SharedScan protocol surface) ---
+        self.objects: list = []
+        self.grades: list[float] = []
+        self.done = False
+        self.error: BaseException | None = None
+        self.cond = threading.Condition()
+        #: how close to the frontier a reader gets before demanding more
+        self.refill_margin = max(batch_size // 2, 1)
+        # --- demand/fetcher plumbing ---
+        self._lock = threading.Lock()
+        self._demand = 0
+        self._attached = 0
+        self._closing = False
+        self._fetcher: asyncio.Task | None = None
+        self._wake: asyncio.Event | None = None
+        # --- observability (uncharged; tests and status endpoints) ---
+        self.pages_fetched = 0
+        self.peak_attached = 0
+
+    @property
+    def name(self) -> str:
+        return self._source.name
+
+    @property
+    def source(self) -> RemoteGradedSource:
+        return self._source
+
+    # ------------------------------------------------------------------
+    # the SharedScan protocol
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        with self._lock:
+            self._attached += 1
+            if self._attached > self.peak_attached:
+                self.peak_attached = self._attached
+
+    def detach(self) -> None:
+        with self._lock:
+            if self._attached <= 0:
+                raise RuntimeError(f"detach without attach on {self.name!r}")
+            self._attached -= 1
+
+    @property
+    def attached(self) -> int:
+        """Currently attached consumers (sessions)."""
+        with self._lock:
+            return self._attached
+
+    def materialized(self) -> int:
+        """Entries in the shared prefix so far."""
+        return len(self.objects)
+
+    def demand(self, n: int) -> None:
+        """Ask the fetcher to materialize at least ``n`` entries
+        (monotone; thread-safe; cheap when already satisfied)."""
+        with self._lock:
+            if n <= self._demand:
+                return
+            self._demand = n
+            if self._closing:
+                return
+        try:
+            self._loop.call_soon_threadsafe(self._poke)
+        except RuntimeError:
+            # loop already closed (service teardown); waiters are
+            # released by close()'s notify_all
+            pass
+
+    # ------------------------------------------------------------------
+    # fetcher (loop-side)
+    # ------------------------------------------------------------------
+    def _poke(self) -> None:
+        if self._closing:
+            return
+        if self._fetcher is None:
+            self._fetcher = self._loop.create_task(self._fetch())
+        elif self._wake is not None:
+            self._wake.set()
+
+    def _target(self) -> int:
+        with self._lock:
+            return self._demand + self._readahead
+
+    async def _fetch(self) -> None:
+        self._wake = asyncio.Event()
+        try:
+            stream = self._source.sorted_access_stream(self._batch_size)
+            async for page in stream:
+                with self.cond:
+                    # grades first: readers' lock-free fast path gates
+                    # on len(objects), which must trail grades
+                    self.grades.extend(page.grades)
+                    self.objects.extend(page.objects)
+                    self.pages_fetched += 1
+                    self.cond.notify_all()
+                while (
+                    not self._closing
+                    and len(self.objects) >= self._target()
+                ):
+                    self._wake.clear()
+                    await self._wake.wait()
+                if self._closing:
+                    return
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            # the stream is shared: every attached query sees the same
+            # failure (resilient sources fail over *inside* the stream,
+            # so only truly exhausted sources end up here)
+            with self.cond:
+                self.error = exc
+                self.cond.notify_all()
+            return
+        with self.cond:
+            self.done = True
+            self.cond.notify_all()
+
+    async def aclose(self) -> None:
+        """Stop the fetcher and release any blocked readers (loop-side,
+        idempotent)."""
+        with self._lock:
+            self._closing = True
+        if self._wake is not None:
+            self._wake.set()
+        if self._fetcher is not None:
+            self._fetcher.cancel()
+            await asyncio.gather(self._fetcher, return_exceptions=True)
+            self._fetcher = None
+        with self.cond:
+            self.cond.notify_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<SharedListScan {self.name!r} mat={len(self.objects)} "
+            f"attached={self.attached} pages={self.pages_fetched}>"
+        )
+
+
+class ScanCache:
+    """Per-list shared scans over ``m`` services, and session checkout.
+
+    ``shared=True`` (the point of the cache): every checkout over list
+    ``i`` attaches to the *same* :class:`SharedListScan`, so ``Q``
+    concurrent queries drive one cursor per list.  ``shared=False`` is
+    the control arm for the benchmark: checkouts get private scans with
+    identical machinery, so measured differences are pure scan sharing.
+
+    Loop-affine: construct and use on the event loop that owns the
+    services' I/O.
+    """
+
+    def __init__(
+        self,
+        services: Sequence[RemoteGradedSource],
+        loop: asyncio.AbstractEventLoop,
+        *,
+        batch_size: int = 64,
+        readahead_pages: int = 2,
+        shared: bool = True,
+    ):
+        if not services:
+            raise DatabaseError("need at least one service")
+        self._services = list(services)
+        self._loop = loop
+        self._batch_size = batch_size
+        self._readahead_pages = readahead_pages
+        self.shared = shared
+        self._scans: list[SharedListScan] | None = (
+            [self._new_scan(s) for s in self._services] if shared else None
+        )
+        self._private_scans: list[SharedListScan] = []
+
+    def _new_scan(self, source: RemoteGradedSource) -> SharedListScan:
+        return SharedListScan(
+            source,
+            self._loop,
+            batch_size=self._batch_size,
+            readahead_pages=self._readahead_pages,
+        )
+
+    @property
+    def num_lists(self) -> int:
+        return len(self._services)
+
+    def scan(self, list_index: int) -> SharedListScan:
+        """The shared scan for one list (``shared=True`` only)."""
+        if self._scans is None:
+            raise DatabaseError("cache is in private-scan mode")
+        return self._scans[list_index]
+
+    def scans_for(self, lists: Sequence[int]) -> list[SharedListScan]:
+        if self._scans is not None:
+            return [self._scans[i] for i in lists]
+        fresh = [self._new_scan(self._services[i]) for i in lists]
+        self._private_scans.extend(fresh)
+        return fresh
+
+    def checkout(
+        self,
+        lists: Sequence[int] | None = None,
+        *,
+        query_id: str = "query",
+        **session_kwargs,
+    ) -> SharedScanSession:
+        """A per-query accounted session over ``lists`` (default: all),
+        reading the cache's scans.  ``session_kwargs`` pass through to
+        :class:`~repro.services.session.SharedScanSession`."""
+        if lists is None:
+            lists = range(len(self._services))
+        lists = list(lists)
+        for i in lists:
+            if not (0 <= i < len(self._services)):
+                raise DatabaseError(
+                    f"list index {i} out of range for m={len(self._services)}"
+                )
+        if len(set(lists)) != len(lists):
+            raise DatabaseError(f"duplicate list indices in {lists}")
+        services = [self._services[i] for i in lists]
+        return SharedScanSession(
+            services,
+            self.scans_for(lists),
+            self._loop,
+            query_id=query_id,
+            **session_kwargs,
+        )
+
+    def stats(self) -> dict:
+        """Cache-level observability: per-list materialization, pages
+        fetched, attachment high-water marks."""
+        scans = self._scans if self._scans is not None else self._private_scans
+        return {
+            "shared": self.shared,
+            "scans": [
+                {
+                    "name": scan.name,
+                    "materialized": scan.materialized(),
+                    "pages_fetched": scan.pages_fetched,
+                    "attached": scan.attached,
+                    "peak_attached": scan.peak_attached,
+                }
+                for scan in scans
+            ],
+        }
+
+    async def aclose(self) -> None:
+        """Stop every fetcher (loop-side, idempotent)."""
+        scans = list(self._scans or []) + self._private_scans
+        for scan in scans:
+            await scan.aclose()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "shared" if self.shared else "private"
+        return f"<ScanCache m={len(self._services)} {mode}>"

@@ -1,0 +1,815 @@
+"""The concurrent top-k query service.
+
+:class:`QueryService` turns the library into a server: many top-k
+queries in flight at once over one set of backing services, scheduled
+cooperatively on a single asyncio loop.  The moving parts:
+
+* **Admission** (:class:`~repro.middleware.cost.AdmissionPolicy`): at
+  most ``max_active`` queries run concurrently, arrivals beyond that
+  wait FIFO in a bounded queue, and a full queue refuses with
+  :class:`~repro.middleware.errors.AdmissionError`.  Dispatch runs as
+  *urgent* work on the :class:`~repro.server.scheduler.Scheduler`;
+  housekeeping (forgetting collected queries) runs on its idle band,
+  so bookkeeping can never delay a query start.
+* **Scan sharing** (:class:`~repro.server.scancache.ScanCache`):
+  concurrent queries over the same lists read one underlying sorted
+  cursor per list.  Charging is untouched -- each query's
+  :class:`~repro.services.session.SharedScanSession` charges exactly
+  the prefix *it* consumed.
+* **Engine execution**: the paper's synchronous engines run unmodified
+  via :meth:`~repro.core.base.TopKAlgorithm.run_on_loop` on a worker
+  pool of ``max_active`` threads; the loop stays free to admit, feed
+  scans, serve random accesses, and cancel.
+* **Billing** (:class:`~repro.middleware.cost.BillingLedger`): every
+  terminal query -- completed, failed, or cancelled -- posts a
+  :class:`~repro.middleware.cost.QueryBill`; the paper's middleware
+  cost *is* the meter.
+
+Use it embedded (``service.start()`` on a private loop thread,
+``submit``/``result``/``cancel`` from any thread) or attached to an
+existing loop (``await service.astart()``), which is how
+:class:`~repro.server.wire.QueryServer` hosts it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+import time
+from collections import deque
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Callable
+
+from ..aggregation import (
+    AVERAGE,
+    MAX,
+    MEDIAN,
+    MIN,
+    PRODUCT,
+    SUM,
+    AggregationFunction,
+)
+from ..core import (
+    CombinedAlgorithm,
+    NoRandomAccessAlgorithm,
+    StreamCombine,
+    ThresholdAlgorithm,
+    TopKAlgorithm,
+    TopKResult,
+)
+from ..core.base import QueryError
+from ..middleware.cost import (
+    AdmissionPolicy,
+    BillingLedger,
+    CostModel,
+    QueryBill,
+    QueryBudget,
+)
+from ..middleware.database import Database
+from ..middleware.errors import (
+    AdmissionError,
+    DatabaseError,
+    QueryCancelledError,
+    UnknownQueryError,
+)
+from ..services.assemble import services_for_database
+from ..services.protocol import RemoteGradedSource
+from ..services.session import SharedScanSession
+from ..services.simulated import FailureModel, LatencyModel, RetryPolicy
+from .scancache import ScanCache
+from .scheduler import Scheduler
+
+__all__ = [
+    "ALGORITHMS",
+    "AGGREGATIONS",
+    "QuerySpec",
+    "QueryHandle",
+    "QueryService",
+    "QueryStatus",
+]
+
+
+#: name -> zero-argument engine factory (fresh instance per query; the
+#: engines are stateless across runs but cheap to construct, and a
+#: fresh instance keeps any future per-run state private)
+ALGORITHMS: dict[str, Callable[[], TopKAlgorithm]] = {
+    "ta": ThresholdAlgorithm,
+    "ta-seen": lambda: ThresholdAlgorithm(remember_seen=True),
+    "nra": NoRandomAccessAlgorithm,
+    "ca": CombinedAlgorithm,
+    "stream-combine": StreamCombine,
+}
+
+#: name -> aggregation function (all variadic)
+AGGREGATIONS: dict[str, AggregationFunction] = {
+    "min": MIN,
+    "max": MAX,
+    "sum": SUM,
+    "average": AVERAGE,
+    "product": PRODUCT,
+    "median": MEDIAN,
+}
+
+
+class QueryStatus:
+    """Lifecycle states of a submitted query (string constants)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    CANCELLED = "cancelled"
+    ERROR = "error"
+
+    TERMINAL = frozenset({DONE, CANCELLED, ERROR})
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One top-k query, by value (constructible from a wire dict).
+
+    ``lists`` selects which of the service's lists the query runs over
+    (``None`` = all, in order); the aggregation's arity is checked
+    against it.  ``sorted_cost``/``random_cost`` are the paper's
+    ``cS``/``cR`` for *this* query's bill; ``deadline_s``/``max_cost``
+    arm a per-query :class:`~repro.middleware.cost.QueryBudget` (the
+    wall clock starts at admission, so time spent queued counts).
+    """
+
+    algorithm: str
+    aggregation: str
+    k: int
+    lists: tuple[int, ...] | None = None
+    sorted_cost: float = 1.0
+    random_cost: float = 1.0
+    deadline_s: float | None = None
+    max_cost: float | None = None
+    forbid_wild_guesses: bool = False
+
+    def make_algorithm(self) -> TopKAlgorithm:
+        factory = ALGORITHMS.get(self.algorithm)
+        if factory is None:
+            raise QueryError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"known: {sorted(ALGORITHMS)}"
+            )
+        return factory()
+
+    def make_aggregation(self) -> AggregationFunction:
+        aggregation = AGGREGATIONS.get(self.aggregation)
+        if aggregation is None:
+            raise QueryError(
+                f"unknown aggregation {self.aggregation!r}; "
+                f"known: {sorted(AGGREGATIONS)}"
+            )
+        return aggregation
+
+    def cost_model(self) -> CostModel:
+        return CostModel(self.sorted_cost, self.random_cost)
+
+    def make_budget(self) -> QueryBudget | None:
+        if self.deadline_s is None and self.max_cost is None:
+            return None
+        return QueryBudget(
+            deadline_s=self.deadline_s, max_cost=self.max_cost
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "aggregation": self.aggregation,
+            "k": self.k,
+            "lists": None if self.lists is None else list(self.lists),
+            "sorted_cost": self.sorted_cost,
+            "random_cost": self.random_cost,
+            "deadline_s": self.deadline_s,
+            "max_cost": self.max_cost,
+            "forbid_wild_guesses": self.forbid_wild_guesses,
+        }
+
+    @classmethod
+    def from_dict(cls, data) -> "QuerySpec":
+        """Build a spec from an untrusted wire dict, validating shapes
+        (name resolution happens at admission)."""
+        if not isinstance(data, dict):
+            raise ValueError("query spec must be a dict")
+        algorithm = data.get("algorithm")
+        aggregation = data.get("aggregation")
+        if not isinstance(algorithm, str) or not isinstance(aggregation, str):
+            raise ValueError("spec needs string 'algorithm'/'aggregation'")
+        k = data.get("k")
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise ValueError(f"spec 'k' must be a positive int, got {k!r}")
+        lists = data.get("lists")
+        if lists is not None:
+            if not isinstance(lists, (list, tuple)) or not all(
+                isinstance(i, int) and not isinstance(i, bool) for i in lists
+            ):
+                raise ValueError("'lists' must be a list of ints or None")
+            lists = tuple(int(i) for i in lists)
+        def _number(key, default):
+            value = data.get(key, default)
+            if value is None and default is None:
+                return None
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"{key!r} must be a number")
+            return float(value)
+        return cls(
+            algorithm=algorithm,
+            aggregation=aggregation,
+            k=k,
+            lists=lists,
+            sorted_cost=_number("sorted_cost", 1.0),
+            random_cost=_number("random_cost", 1.0),
+            deadline_s=_number("deadline_s", None),
+            max_cost=_number("max_cost", None),
+            forbid_wild_guesses=bool(data.get("forbid_wild_guesses", False)),
+        )
+
+
+class _QueryState:
+    """Loop-confined bookkeeping for one submitted query."""
+
+    __slots__ = (
+        "query_id",
+        "spec",
+        "algorithm",
+        "aggregation",
+        "lists",
+        "budget",
+        "future",
+        "status",
+        "session",
+        "cancel_requested",
+        "submitted_at",
+        "finished_at",
+        "bill",
+        "collected",
+    )
+
+    def __init__(
+        self,
+        query_id: str,
+        spec: QuerySpec,
+        algorithm: TopKAlgorithm,
+        aggregation: AggregationFunction,
+        lists: list[int],
+        budget: QueryBudget | None,
+    ):
+        self.query_id = query_id
+        self.spec = spec
+        self.algorithm = algorithm
+        self.aggregation = aggregation
+        self.lists = lists
+        self.budget = budget
+        self.future: concurrent.futures.Future = concurrent.futures.Future()
+        self.status = QueryStatus.QUEUED
+        self.session: SharedScanSession | None = None
+        self.cancel_requested = False
+        self.submitted_at = time.monotonic()
+        self.finished_at: float | None = None
+        self.bill: QueryBill | None = None
+        self.collected = False
+
+
+@dataclass(frozen=True)
+class QueryHandle:
+    """A submitted query: its id and the future carrying its result.
+
+    ``future`` is a :class:`concurrent.futures.Future` resolving to the
+    :class:`~repro.core.result.TopKResult` (or raising the query's
+    terminal error / :class:`QueryCancelledError`); thread-safe to wait
+    on, and ``asyncio.wrap_future`` makes it awaitable.
+    """
+
+    query_id: str
+    future: concurrent.futures.Future
+    service: "QueryService"
+
+    def result(self, timeout: float | None = None) -> TopKResult:
+        return self.service.result(self.query_id, timeout=timeout)
+
+    def cancel(self) -> bool:
+        return self.service.cancel(self.query_id)
+
+    def bill(self) -> QueryBill | None:
+        return self.service.bill_for(self.query_id)
+
+
+#: default seconds a collected terminal query lingers before the idle
+#: sweeper forgets it
+SWEEP_AFTER_S = 30.0
+
+
+async def _drain_loop_tasks() -> None:
+    """Cancel and await every other task on the running loop -- the
+    same courtesy :func:`asyncio.run` extends at shutdown, for the
+    service's private loop (remote sources park reader tasks there)."""
+    tasks = [
+        task
+        for task in asyncio.all_tasks()
+        if task is not asyncio.current_task()
+    ]
+    for task in tasks:
+        task.cancel()
+    if tasks:
+        await asyncio.gather(*tasks, return_exceptions=True)
+
+
+class QueryService:
+    """See the module docstring.
+
+    Parameters
+    ----------
+    services:
+        The ``m`` backing :class:`~repro.services.protocol.RemoteGradedSource`
+        objects, in list order; or pass ``database`` (plus optional
+        ``latency``/``failures``/``retry`` models) to build simulated
+        services over it.
+    admission:
+        :class:`~repro.middleware.cost.AdmissionPolicy`; defaults to 4
+        active / 256 queued / no default budget.
+    share_scans:
+        ``True`` (default): concurrent queries share one sorted cursor
+        per list through the :class:`~repro.server.scancache.ScanCache`.
+        ``False``: every query gets private scans (identical machinery;
+        the benchmark's control arm).
+    batch_size, readahead_pages:
+        Scan paging: page size of the shared cursors and how many pages
+        the fetcher keeps ahead of the deepest consumer.
+    wait_timeout:
+        Deadlock net for worker threads blocked on a scan frontier or a
+        random-access bridge.
+    sweep_after:
+        Seconds a collected terminal query lingers before the idle
+        sweeper forgets it.
+    """
+
+    def __init__(
+        self,
+        services: Sequence[RemoteGradedSource] | None = None,
+        *,
+        database: Database | None = None,
+        latency: LatencyModel | Sequence[LatencyModel | None] | None = None,
+        failures: FailureModel | Sequence[FailureModel | None] | None = None,
+        retry: RetryPolicy | Sequence[RetryPolicy | None] | None = None,
+        admission: AdmissionPolicy | None = None,
+        share_scans: bool = True,
+        batch_size: int = 64,
+        readahead_pages: int = 2,
+        wait_timeout: float = 30.0,
+        sweep_after: float = SWEEP_AFTER_S,
+    ):
+        if (services is None) == (database is None):
+            raise DatabaseError(
+                "pass exactly one of services= or database="
+            )
+        if database is not None:
+            services = services_for_database(
+                database, latency=latency, failures=failures, retry=retry
+            )
+        elif latency is not None or failures is not None or retry is not None:
+            raise DatabaseError(
+                "latency/failures/retry only apply with database=; "
+                "attach models to the services you pass"
+            )
+        assert services is not None
+        self._services = list(services)
+        if not self._services:
+            raise DatabaseError("need at least one service")
+        sizes = {int(s.num_entries) for s in self._services}
+        if len(sizes) != 1:
+            raise DatabaseError(
+                f"services disagree on N: {sorted(sizes)}"
+            )
+        self._num_objects = sizes.pop()
+        self._admission = admission or AdmissionPolicy()
+        self._share_scans = share_scans
+        self._batch_size = batch_size
+        self._readahead_pages = readahead_pages
+        self._wait_timeout = wait_timeout
+        self._sweep_after = sweep_after
+        self._ledger = BillingLedger()
+        self._scheduler = Scheduler()
+        self._cache: ScanCache | None = None
+        self._queries: dict[str, _QueryState] = {}
+        self._queue: deque[str] = deque()
+        self._active: set[str] = set()
+        self._next_query = 0
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self._admission.max_active,
+            thread_name_prefix="repro-query",
+        )
+        self._draining = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._owns_loop = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_lists(self) -> int:
+        return len(self._services)
+
+    @property
+    def num_objects(self) -> int:
+        return self._num_objects
+
+    @property
+    def admission(self) -> AdmissionPolicy:
+        return self._admission
+
+    @property
+    def ledger(self) -> BillingLedger:
+        return self._ledger
+
+    @property
+    def scheduler(self) -> Scheduler:
+        return self._scheduler
+
+    @property
+    def scan_cache(self) -> ScanCache | None:
+        """The scan cache (``None`` before start)."""
+        return self._cache
+
+    def bills(self) -> list[QueryBill]:
+        return self._ledger.bills()
+
+    def bill_for(self, query_id: str) -> QueryBill | None:
+        state = self._queries.get(query_id)
+        if state is None:
+            for bill in self._ledger.bills():
+                if bill.query_id == query_id:
+                    return bill
+            raise UnknownQueryError(query_id)
+        return state.bill
+
+    def stats(self) -> dict:
+        """Service-level counters (thread-safe snapshot, approximate
+        while queries move between states)."""
+        return {
+            "m": self.num_lists,
+            "n": self.num_objects,
+            "queued": len(self._queue),
+            "active": len(self._active),
+            "tracked": len(self._queries),
+            "share_scans": self._share_scans,
+            "ledger": self._ledger.totals(),
+            "cache": self._cache.stats() if self._cache else None,
+            "scheduler": dict(self._scheduler.ran),
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle: attached to an existing loop
+    # ------------------------------------------------------------------
+    async def astart(self) -> "QueryService":
+        """Arm the service on the *running* loop (idempotent)."""
+        if self._cache is not None:
+            return self
+        self._loop = asyncio.get_running_loop()
+        self._cache = ScanCache(
+            self._services,
+            self._loop,
+            batch_size=self._batch_size,
+            readahead_pages=self._readahead_pages,
+            shared=self._share_scans,
+        )
+        self._scheduler.start()
+        self._scheduler.add_idle(self._sweep)
+        return self
+
+    async def adrain(self, timeout: float = 5.0) -> bool:
+        """Stop admitting, let queued + running queries finish; True
+        when everything reached a terminal state within ``timeout``."""
+        self._draining = True
+        deadline = time.monotonic() + timeout
+        while self._queue or self._active:
+            if time.monotonic() >= deadline:
+                return False
+            await asyncio.sleep(0.01)
+        return True
+
+    async def aclose(self) -> None:
+        """Cancel everything in flight and tear down (loop-side,
+        idempotent)."""
+        self._draining = True
+        for state in list(self._queries.values()):
+            if state.status not in QueryStatus.TERMINAL:
+                try:
+                    self._cancel_on_loop(state.query_id)
+                except UnknownQueryError:  # pragma: no cover - racy sweep
+                    pass
+        # let cancelled engines unwind off their worker threads
+        deadline = time.monotonic() + self._wait_timeout
+        while self._active and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        await self._scheduler.stop()
+        if self._cache is not None:
+            await self._cache.aclose()
+        self._executor.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # lifecycle: own loop on a background thread (embedded mode)
+    # ------------------------------------------------------------------
+    def start(self) -> "QueryService":
+        """Run the service on a private event loop thread; returns
+        ``self`` once armed."""
+        if self._loop is not None:
+            raise RuntimeError("service already started")
+        loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=loop.run_forever, name="repro-query-service", daemon=True
+        )
+        self._thread.start()
+        self._owns_loop = True
+        asyncio.run_coroutine_threadsafe(self.astart(), loop).result(
+            timeout=10.0
+        )
+        return self
+
+    def close(self) -> None:
+        """Stop the embedded service (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        loop = self._loop
+        if loop is None or not self._owns_loop:
+            return
+        try:
+            asyncio.run_coroutine_threadsafe(self.aclose(), loop).result(
+                timeout=10.0
+            )
+        except Exception:  # pragma: no cover - defensive teardown
+            pass
+        try:
+            # mimic asyncio.run teardown: cancel whatever still lives on
+            # the loop (e.g. transport reader tasks owned by remote
+            # sources) so no task is destroyed while pending
+            asyncio.run_coroutine_threadsafe(
+                _drain_loop_tasks(), loop
+            ).result(timeout=5.0)
+        except Exception:  # pragma: no cover - defensive teardown
+            pass
+        loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            if not self._thread.is_alive():
+                loop.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _require_loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            raise RuntimeError(
+                "service not started (call start() or await astart())"
+            )
+        return self._loop
+
+    # ------------------------------------------------------------------
+    # submission / results / cancellation
+    # ------------------------------------------------------------------
+    async def asubmit(self, spec: QuerySpec) -> QueryHandle:
+        """Admit one query (loop-side).  Raises
+        :class:`~repro.middleware.errors.AdmissionError` when refused,
+        :class:`~repro.core.base.QueryError` /
+        :class:`ValueError` when the spec is invalid."""
+        if self._draining:
+            raise AdmissionError("service is draining; resubmit elsewhere")
+        # resolve eagerly: an invalid query fails at the submission
+        # boundary, never inside a worker
+        algorithm = spec.make_algorithm()
+        aggregation = spec.make_aggregation()
+        lists = (
+            list(range(self.num_lists))
+            if spec.lists is None
+            else list(spec.lists)
+        )
+        for i in lists:
+            if not (0 <= i < self.num_lists):
+                raise QueryError(
+                    f"list index {i} out of range for m={self.num_lists}"
+                )
+        if len(set(lists)) != len(lists):
+            raise QueryError(f"duplicate list indices in {lists}")
+        if not lists:
+            raise QueryError("query needs at least one list")
+        aggregation.check_arity(len(lists))
+        if spec.k > self.num_objects:
+            raise QueryError(
+                f"k={spec.k} exceeds the database size N={self.num_objects}"
+            )
+        spec.cost_model()  # validates positivity
+        budget = spec.make_budget() or self._admission.default_budget()
+        if budget is not None:
+            budget.start()  # queue time counts against the deadline
+        self._next_query += 1
+        query_id = f"q{self._next_query:05d}"
+        state = _QueryState(
+            query_id, spec, algorithm, aggregation, lists, budget
+        )
+        if (
+            len(self._active) >= self._admission.max_active
+            or self._queue
+        ):
+            if len(self._queue) >= self._admission.max_queued:
+                raise AdmissionError(
+                    f"admission queue full ({self._admission.max_queued} "
+                    "queued); retry later"
+                )
+            self._queries[query_id] = state
+            self._queue.append(query_id)
+            self._scheduler.call_soon(self._admit_more)
+        else:
+            self._queries[query_id] = state
+            self._start_query(state)
+        return QueryHandle(query_id, state.future, self)
+
+    def submit(self, spec: QuerySpec) -> QueryHandle:
+        """Thread-safe submission from outside the loop."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.asubmit(spec), self._require_loop()
+        )
+        return future.result(timeout=self._wait_timeout)
+
+    def _admit_more(self) -> None:
+        """Urgent scheduler callback: fill free slots FIFO."""
+        while self._queue and len(self._active) < self._admission.max_active:
+            state = self._queries.get(self._queue.popleft())
+            if state is None or state.status != QueryStatus.QUEUED:
+                continue  # cancelled while queued
+            self._start_query(state)
+
+    def _start_query(self, state: _QueryState) -> None:
+        state.status = QueryStatus.RUNNING
+        self._active.add(state.query_id)
+        assert self._loop is not None
+        self._loop.create_task(self._run_query(state))
+
+    async def _run_query(self, state: _QueryState) -> None:
+        assert self._cache is not None
+        session: SharedScanSession | None = None
+        try:
+            session = self._cache.checkout(
+                state.lists,
+                query_id=state.query_id,
+                cost_model=state.spec.cost_model(),
+                forbid_wild_guesses=state.spec.forbid_wild_guesses,
+                budget=state.budget,
+                wait_timeout=self._wait_timeout,
+            )
+            state.session = session
+            if state.cancel_requested:
+                raise QueryCancelledError(state.query_id)
+            result = await state.algorithm.run_on_loop(
+                session,
+                state.aggregation,
+                state.spec.k,
+                executor=self._executor,
+            )
+        except QueryCancelledError as exc:
+            self._finish(state, session, "cancelled", None, exc)
+        except BaseException as exc:
+            self._finish(state, session, "error", None, exc)
+        else:
+            self._finish(state, session, "ok", result, None)
+        finally:
+            if session is not None:
+                session.close()
+            self._active.discard(state.query_id)
+            self._scheduler.call_soon(self._admit_more)
+
+    def _finish(
+        self,
+        state: _QueryState,
+        session: SharedScanSession | None,
+        outcome: str,
+        result: TopKResult | None,
+        exc: BaseException | None,
+    ) -> None:
+        if state.status in QueryStatus.TERMINAL:  # pragma: no cover
+            return
+        state.finished_at = time.monotonic()
+        stats = session.stats() if session is not None else None
+        bill = QueryBill(
+            query_id=state.query_id,
+            algorithm=state.spec.algorithm,
+            aggregation=state.spec.aggregation,
+            k=state.spec.k,
+            lists=tuple(state.lists),
+            sorted_accesses=stats.sorted_accesses if stats else 0,
+            random_accesses=stats.random_accesses if stats else 0,
+            middleware_cost=stats.middleware_cost if stats else 0.0,
+            wall_seconds=state.finished_at - state.submitted_at,
+            outcome=outcome,
+            halt_reason=result.halt_reason if result is not None else None,
+        )
+        self._ledger.post(bill)
+        state.bill = bill
+        if outcome == "ok":
+            state.status = QueryStatus.DONE
+            assert result is not None
+            state.future.set_result(result)
+        else:
+            state.status = (
+                QueryStatus.CANCELLED
+                if outcome == "cancelled"
+                else QueryStatus.ERROR
+            )
+            assert exc is not None
+            state.future.set_exception(exc)
+
+    def _cancel_on_loop(self, query_id: str) -> bool:
+        state = self._queries.get(query_id)
+        if state is None:
+            raise UnknownQueryError(query_id)
+        if state.status in QueryStatus.TERMINAL:
+            return False
+        state.cancel_requested = True
+        if state.status == QueryStatus.QUEUED:
+            # never started: terminal immediately, zero-access bill
+            self._finish(
+                state, None, "cancelled", None,
+                QueryCancelledError(query_id),
+            )
+            return True
+        if state.session is not None:
+            state.session.cancel()
+        return True
+
+    def cancel(self, query_id: str) -> bool:
+        """Thread-safe cancel; True when the query was still live.
+        Raises :class:`UnknownQueryError` for ids never issued or
+        already swept."""
+        future = asyncio.run_coroutine_threadsafe(
+            _call_async(self._cancel_on_loop, query_id), self._require_loop()
+        )
+        return future.result(timeout=self._wait_timeout)
+
+    def result(
+        self, query_id: str, timeout: float | None = None
+    ) -> TopKResult:
+        """Block for a query's result (thread-safe); re-raises the
+        query's terminal error (including
+        :class:`QueryCancelledError`)."""
+        state = self._queries.get(query_id)
+        if state is None:
+            raise UnknownQueryError(query_id)
+        try:
+            return state.future.result(timeout=timeout)
+        finally:
+            state.collected = True
+
+    def status(self, query_id: str) -> dict:
+        state = self._queries.get(query_id)
+        if state is None:
+            raise UnknownQueryError(query_id)
+        return {
+            "query": query_id,
+            "status": state.status,
+            "queued": len(self._queue),
+            "active": len(self._active),
+        }
+
+    def query_state(self, query_id: str) -> _QueryState:
+        """Internal/loop-side accessor used by the wire layer."""
+        state = self._queries.get(query_id)
+        if state is None:
+            raise UnknownQueryError(query_id)
+        return state
+
+    # ------------------------------------------------------------------
+    # housekeeping (idle band)
+    # ------------------------------------------------------------------
+    def _sweep(self) -> None:
+        """Idle callback: forget terminal queries whose results were
+        collected and have lingered past ``sweep_after``; re-queues
+        itself (recurring idle work)."""
+        now = time.monotonic()
+        for query_id in list(self._queries):
+            state = self._queries[query_id]
+            if (
+                state.status in QueryStatus.TERMINAL
+                and state.collected
+                and state.finished_at is not None
+                and now - state.finished_at >= self._sweep_after
+            ):
+                del self._queries[query_id]
+        if not self._draining:
+            self._scheduler.add_idle(self._sweep)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<QueryService m={self.num_lists} N={self.num_objects} "
+            f"active={len(self._active)} queued={len(self._queue)}>"
+        )
+
+
+async def _call_async(fn, *args):
+    return fn(*args)

@@ -1,0 +1,271 @@
+"""The query service over the wire: :class:`QueryServer` and codecs.
+
+:class:`QueryServer` mounts a :class:`~repro.server.service.QueryService`
+on the :class:`~repro.transport.frames.FrameServer` chassis, so remote
+clients submit whole top-k *queries* over the same length-prefixed
+frame protocol that :class:`~repro.transport.server.GradedSourceServer`
+uses for raw source reads.  Ops:
+
+``query``
+    ``{"spec": {...}}`` -> ``{"query": id}``.  Admission errors travel
+    back as ``error="admission"`` frames.
+``result``
+    ``{"query": id, "timeout": s}`` -> long-poll: ``{"done": True,
+    "result": ..., "bill": ...}`` when the query reached a terminal
+    state within ``timeout`` seconds, ``{"done": False, "status": ...}``
+    otherwise.  A failed query's error surfaces here, as the error
+    frame the query's exception maps to (a cancelled query yields
+    ``error="cancelled"``).
+``status`` / ``cancel`` / ``stats`` / ``meta`` / ``ping``
+    Introspection and control.
+
+Per-connection state matters here, unlike for source reads: the ids a
+connection submitted live in ``conn.state["queries"]``, and when the
+client disconnects its unfinished queries are cancelled -- abandoning
+a socket must free the scan-cache attachments and worker slots its
+queries held.
+
+The result codec (:func:`encode_result` / :func:`decode_result`) is
+lossless for everything the differential tests compare: items with
+exact grades or ``[W, B]`` bounds, halting reason, rounds, depth,
+buffer high-water mark, the full per-list ``AccessStats`` (the wire
+format requires ``str`` dict keys, so per-list counts travel as
+``{"0": n0, ...}``), and portable extras (scalars only -- engine
+internals like interned id maps stay server-side).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..middleware.access import AccessStats
+from ..middleware.errors import (
+    AdmissionError,
+    QueryCancelledError,
+    UnknownQueryError,
+    WireFormatError,
+)
+from ..core.result import RankedItem, TopKResult
+from ..transport.frames import BASE_ERROR_CODES, FrameConnection, FrameServer
+from .service import ALGORITHMS, AGGREGATIONS, QueryService, QuerySpec
+
+__all__ = ["QueryServer", "encode_result", "decode_result"]
+
+
+#: extras value types that survive the trip (everything else is
+#: server-side engine state and is dropped from wire results)
+_PORTABLE_SCALARS = (str, int, float, bool, type(None))
+
+
+def encode_result(result: TopKResult) -> dict:
+    """A :class:`~repro.core.result.TopKResult` as a wire-portable dict
+    (plain scalars, lists, and ``str``-keyed dicts only)."""
+    stats = result.stats
+    return {
+        "algorithm": result.algorithm,
+        "k": result.k,
+        "items": [
+            {
+                "obj": item.obj,
+                "grade": item.grade,
+                "lower": item.lower_bound,
+                "upper": item.upper_bound,
+            }
+            for item in result.items
+        ],
+        "stats": {
+            "sorted_accesses": stats.sorted_accesses,
+            "random_accesses": stats.random_accesses,
+            # the wire codec requires str dict keys; per-list counts
+            # are int-keyed in AccessStats
+            "sorted_by_list": {
+                str(i): c for i, c in stats.sorted_by_list.items()
+            },
+            "random_by_list": {
+                str(i): c for i, c in stats.random_by_list.items()
+            },
+            "middleware_cost": stats.middleware_cost,
+            "depth": stats.depth,
+            "distinct_objects_seen": stats.distinct_objects_seen,
+        },
+        "rounds": result.rounds,
+        "depth": result.depth,
+        "halt_reason": result.halt_reason,
+        "max_buffer_size": result.max_buffer_size,
+        "extras": {
+            key: value
+            for key, value in result.extras.items()
+            if isinstance(key, str)
+            and isinstance(value, _PORTABLE_SCALARS)
+        },
+    }
+
+
+def decode_result(data: dict) -> TopKResult:
+    """Rebuild a :class:`~repro.core.result.TopKResult` from
+    :func:`encode_result` output (grades stay bit-exact: the frame
+    codec ships floats as raw IEEE doubles)."""
+    try:
+        stats_data = data["stats"]
+        stats = AccessStats(
+            sorted_accesses=stats_data["sorted_accesses"],
+            random_accesses=stats_data["random_accesses"],
+            sorted_by_list={
+                int(i): c for i, c in stats_data["sorted_by_list"].items()
+            },
+            random_by_list={
+                int(i): c for i, c in stats_data["random_by_list"].items()
+            },
+            middleware_cost=stats_data["middleware_cost"],
+            depth=stats_data["depth"],
+            distinct_objects_seen=stats_data["distinct_objects_seen"],
+        )
+        items = [
+            RankedItem(
+                obj=item["obj"],
+                grade=item["grade"],
+                lower_bound=item["lower"],
+                upper_bound=item["upper"],
+            )
+            for item in data["items"]
+        ]
+        return TopKResult(
+            algorithm=data["algorithm"],
+            k=data["k"],
+            items=items,
+            stats=stats,
+            rounds=data["rounds"],
+            depth=data["depth"],
+            halt_reason=data["halt_reason"],
+            max_buffer_size=data["max_buffer_size"],
+            extras=dict(data["extras"]),
+        )
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise WireFormatError(f"malformed result payload: {exc!r}") from exc
+
+
+#: how long one ``result`` long-poll waits server-side before replying
+#: ``done=False`` (clients re-poll; bounded so dead clients can't pin
+#: request slots forever)
+MAX_RESULT_WAIT_S = 30.0
+
+
+class QueryServer(FrameServer):
+    """Serve a :class:`~repro.server.service.QueryService` over TCP.
+
+    The service is armed on the serving loop (``_starting`` hook) and
+    torn down when the server closes, so ``QueryServer(service=...)``
+    owns its service's lifecycle in both async and background-thread
+    modes.
+    """
+
+    thread_name = "repro-query-server"
+    error_codes = (
+        (QueryCancelledError, "cancelled"),
+        (AdmissionError, "admission"),
+        (UnknownQueryError, "unknown_query"),
+    ) + BASE_ERROR_CODES
+
+    def __init__(
+        self,
+        service: QueryService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_frame: int | None = None,
+        max_concurrent: int | None = None,
+    ):
+        kwargs = {} if max_frame is None else {"max_frame": max_frame}
+        super().__init__(
+            host=host, port=port, max_concurrent=max_concurrent, **kwargs
+        )
+        self._service = service
+
+    @property
+    def service(self) -> QueryService:
+        return self._service
+
+    async def _starting(self) -> None:
+        await self._service.astart()
+
+    async def _stopping(self) -> None:
+        await self._service.aclose()
+
+    async def _connection_closed(self, conn: FrameConnection) -> None:
+        # the client is gone: nobody will ever collect these results,
+        # so cancelling frees their worker slots, scan attachments,
+        # and budget clocks
+        for query_id in conn.state.get("queries", ()):
+            try:
+                self._service._cancel_on_loop(query_id)
+            except UnknownQueryError:
+                pass  # already swept
+
+    async def _dispatch(self, message, conn: FrameConnection) -> dict:
+        op = message.get("op")
+        if op == "query":
+            spec = QuerySpec.from_dict(message.get("spec"))
+            handle = await self._service.asubmit(spec)
+            conn.state.setdefault("queries", set()).add(handle.query_id)
+            return {"query": handle.query_id}
+        if op == "result":
+            return await self._result(message, conn)
+        if op == "status":
+            return self._service.status(self._query_id(message))
+        if op == "cancel":
+            cancelled = self._service._cancel_on_loop(
+                self._query_id(message)
+            )
+            return {"cancelled": cancelled}
+        if op == "stats":
+            return {"stats": self._service.stats()}
+        if op == "meta":
+            return {
+                "m": self._service.num_lists,
+                "n": self._service.num_objects,
+                "algorithms": sorted(ALGORITHMS),
+                "aggregations": sorted(AGGREGATIONS),
+            }
+        if op == "ping":
+            return {"pong": True}
+        raise WireFormatError(f"unknown op {op!r}")
+
+    def _error_response(self, rid, exc: BaseException) -> dict:
+        response = super()._error_response(rid, exc)
+        # carry the query id so the client can rebuild the exact
+        # exception (mirrors the chassis's UnknownObjectError handling)
+        query_id = getattr(exc, "query_id", None)
+        if isinstance(query_id, str):
+            response["query"] = query_id
+        return response
+
+    @staticmethod
+    def _query_id(message) -> str:
+        query_id = message.get("query")
+        if not isinstance(query_id, str):
+            raise WireFormatError(f"bad query id {query_id!r}")
+        return query_id
+
+    async def _result(self, message, conn: FrameConnection) -> dict:
+        query_id = self._query_id(message)
+        timeout = message.get("timeout", MAX_RESULT_WAIT_S)
+        if not isinstance(timeout, (int, float)) or isinstance(timeout, bool):
+            raise WireFormatError(f"bad timeout {timeout!r}")
+        timeout = min(float(timeout), MAX_RESULT_WAIT_S)
+        state = self._service.query_state(query_id)
+        try:
+            result = await asyncio.wait_for(
+                asyncio.wrap_future(state.future), timeout
+            )
+        except asyncio.TimeoutError:
+            return {"done": False, "status": state.status}
+        finally:
+            state.collected = True
+        # errors (including QueryCancelledError) propagate out of
+        # wait_for and become this request's error frame
+        bill = state.bill
+        return {
+            "done": True,
+            "result": encode_result(result),
+            "bill": bill.as_dict() if bill is not None else None,
+        }

@@ -36,7 +36,7 @@ from .assemble import (
 )
 from .network import network_client, network_services, network_shard_runs
 from .protocol import RemoteGradedSource, RunStreamSource, SortedPage
-from .session import AsyncAccessSession
+from .session import AsyncAccessSession, ServiceSession, SharedScanSession
 from .simulated import (
     FailureModel,
     LatencyModel,
@@ -50,6 +50,8 @@ __all__ = [
     "RunStreamSource",
     "SortedPage",
     "AsyncAccessSession",
+    "ServiceSession",
+    "SharedScanSession",
     "LatencyModel",
     "FailureModel",
     "RetryPolicy",

@@ -1,41 +1,41 @@
-"""The asynchronous access session: remote services, synchronous
+"""Service-backed access sessions: remote services, synchronous
 charging.
 
-:class:`AsyncAccessSession` gives the paper's algorithms -- unmodified
--- a session over ``m`` remote graded sources.  Architecture:
+Two concrete sessions give the paper's algorithms -- unmodified --
+accounted access to ``m`` remote graded sources:
 
-* a private asyncio event loop runs on a background thread;
-* one *prefetch task* per sorted-capable list pulls pages from the
-  service's ``sorted_access_stream`` into a bounded per-source buffer
-  (``prefetch_pages`` pages ahead of the consumer; ``0`` disables
-  pipelining and fetches strictly on demand -- the sequential baseline
-  the async benchmark compares against);
-* the algorithm thread consumes entries through the ordinary
-  :class:`~repro.middleware.access.AccessSession` API; a sorted access
-  pops the next buffered entry (blocking only when the buffer is
-  behind), a random access bridges one ``random_access_batch`` call
-  onto the loop.
+* :class:`AsyncAccessSession` owns a private asyncio loop on a
+  background thread and one prefetch task per list (the single-query
+  plane: one session, one set of cursors);
+* :class:`SharedScanSession` owns nothing: it reads the materialized
+  prefix of *shared* per-list scans (one underlying cursor serving many
+  concurrent queries; see :mod:`repro.server.scancache`) and bridges
+  its random accesses onto a loop it is lent.  It adds cooperative
+  cancellation: a cancelled query's next access raises
+  :class:`~repro.middleware.errors.QueryCancelledError` *before*
+  anything is charged, so its accounting stops exactly at the prefix it
+  consumed.
 
-Because all prefetch tasks run concurrently on one loop, a lockstep
-round of NRA/CA costs one service round trip of wall-clock instead of
-``m``, and pipelined prefetch hides even that behind the algorithm's
-compute -- while the *model-level* accounting is untouched:
+Both share :class:`ServiceSession`, which holds everything that makes
+the charging-equivalence contract work:
 
 charging equivalence contract
-    ``AsyncAccessSession`` subclasses
+    :class:`ServiceSession` subclasses
     :class:`~repro.middleware.access.AccessSession` and overrides
     nothing about charging.  The parent's scalar machinery runs against
-    a :class:`Database`-shaped facade over the prefetch buffers, so
+    a :class:`Database`-shaped facade (:class:`_ServiceBackedView`), so
     per-list counters, depth, the wild-guess certificate, capability
     checks, trace events and cost are *the same code paths* as the
     synchronous plane -- sorted accesses charge exactly the consumed
-    prefix (prefetched-but-unconsumed pages are uncharged speculation,
-    like :meth:`~repro.middleware.access.AccessSession.columnar_view`
+    prefix (prefetched or shared-scan pages beyond it are uncharged
+    speculation, like
+    :meth:`~repro.middleware.access.AccessSession.columnar_view`
     reads), random accesses charge after their grade is served, and a
     failed service call raises *before* anything is charged.  The
-    differential suite holds algorithms on this session to bit-for-bit
-    equality (items, halting, :class:`~repro.middleware.access.AccessStats`)
-    with the scalar, columnar and sharded backends.
+    differential suites hold algorithms on these sessions to
+    bit-for-bit equality (items, halting,
+    :class:`~repro.middleware.access.AccessStats`) with the scalar,
+    columnar and sharded backends.
 """
 
 from __future__ import annotations
@@ -45,7 +45,7 @@ import concurrent.futures
 import threading
 import time
 from collections.abc import Sequence
-from typing import Hashable
+from typing import Hashable, Protocol
 
 import numpy as np
 
@@ -55,6 +55,7 @@ from ..middleware.errors import (
     CapabilityError,
     DatabaseError,
     ListLostError,
+    QueryCancelledError,
     ServiceTimeoutError,
     ServiceUnavailableError,
     UnknownObjectError,
@@ -62,7 +63,7 @@ from ..middleware.errors import (
 )
 from .protocol import RemoteGradedSource
 
-__all__ = ["AsyncAccessSession"]
+__all__ = ["ServiceSession", "AsyncAccessSession", "SharedScanSession"]
 
 
 class _ListBuffer:
@@ -82,12 +83,12 @@ class _ListBuffer:
 
 class _ServiceBackedView:
     """:class:`~repro.middleware.database.Database`-shaped facade over
-    the session's prefetch buffers, so the parent class's scalar access
-    machinery (and therefore its charging semantics) runs unmodified.
-    Never used for ground truth -- only ``num_lists`` / ``num_objects``
-    / ``sorted_entry`` / ``grade`` are served."""
+    a service session, so the parent class's scalar access machinery
+    (and therefore its charging semantics) runs unmodified.  Never used
+    for ground truth -- only ``num_lists`` / ``num_objects`` /
+    ``sorted_entry`` / ``grade`` are served."""
 
-    def __init__(self, session: "AsyncAccessSession"):
+    def __init__(self, session: "ServiceSession"):
         self._session = session
 
     @property
@@ -111,8 +112,282 @@ class _ServiceBackedView:
         )
 
 
-class AsyncAccessSession(AccessSession):
-    """Accounted, capability-checked access to ``m`` remote services.
+class SharedScan(Protocol):
+    """What :class:`SharedScanSession` needs from a shared per-list
+    scan (the concrete type lives in :mod:`repro.server.scancache`;
+    this protocol keeps the dependency arrow pointing server -> here).
+
+    ``objects``/``grades`` are append-only and published grades-first
+    under ``cond``, so a reader that observes ``position <
+    len(objects)`` may read both without the lock.  ``demand(n)`` is a
+    thread-safe monotone watermark asking the producer to materialize
+    at least ``n`` entries; ``refill_margin`` is how close to the
+    frontier a reader may get before it should demand more.
+    """
+
+    objects: list
+    grades: list[float]
+    done: bool
+    error: BaseException | None
+    cond: threading.Condition
+    refill_margin: int
+
+    def demand(self, n: int) -> None: ...
+
+    def attach(self) -> None: ...
+
+    def detach(self) -> None: ...
+
+
+class ServiceSession(AccessSession):
+    """Shared machinery for sessions whose ``m`` lists live behind
+    :class:`~repro.services.protocol.RemoteGradedSource` services.
+
+    Subclasses supply *where sorted entries come from* (``_entry_at``)
+    and *which loop bridges random accesses* (``_service_loop``); this
+    base owns service validation, the Database-shaped facade, and the
+    batched random-access overrides whose charging replay is identical
+    for every service-backed plane.
+    """
+
+    def __init__(
+        self,
+        services: Sequence[RemoteGradedSource],
+        cost_model: CostModel = UNIT_COSTS,
+        capabilities: ListCapabilities | Sequence[ListCapabilities] | None = None,
+        forbid_wild_guesses: bool = False,
+        record_trace: bool = False,
+        *,
+        wait_timeout: float = 30.0,
+        budget: QueryBudget | None = None,
+        survive_list_loss: bool = False,
+    ):
+        if not services:
+            raise DatabaseError("need at least one service")
+        self._services = list(services)
+        sizes = {int(s.num_entries) for s in self._services}
+        if len(sizes) != 1:
+            raise DatabaseError(
+                "services disagree on the database size N: "
+                f"{sorted(sizes)}"
+            )
+        self._num_objects = sizes.pop()
+        if self._num_objects < 1:
+            raise DatabaseError("services must grade at least one object")
+        self._wait_timeout = wait_timeout
+        if capabilities is None:
+            capabilities = [s.capabilities() for s in self._services]
+        super().__init__(
+            _ServiceBackedView(self),
+            cost_model,
+            capabilities=capabilities,
+            forbid_wild_guesses=forbid_wild_guesses,
+            record_trace=record_trace,
+            budget=budget,
+            survive_list_loss=survive_list_loss,
+        )
+
+    # -- subclass surface ----------------------------------------------
+    @property
+    def _service_loop(self) -> asyncio.AbstractEventLoop:
+        """The loop that owns the services' I/O (their simulated
+        endpoints and transport connections are single-loop objects)."""
+        raise NotImplementedError
+
+    def _entry_at(self, i: int, position: int):
+        """The facade's ``sorted_entry``: ``(object, grade)``, ``None``
+        on exhaustion, or raise."""
+        raise NotImplementedError
+
+    def _check_open(self) -> None:
+        """Hook called before every access; cancellable sessions raise
+        here so a dead query charges nothing further."""
+
+    # -- random-access bridging ----------------------------------------
+    def _bridge_random(self, i: int, objects: list) -> list[float]:
+        """Bridge one ``random_access_batch`` service round trip onto
+        the loop and wait for it (uncharged; charging is the caller's
+        job).  Gated on ``_check_open`` so *every* random path -- the
+        facade's single probe included -- fails before anything is
+        served (hence before anything is charged) on a dead query."""
+        self._check_open()
+        future = asyncio.run_coroutine_threadsafe(
+            self._services[i].random_access_batch(objects),
+            self._service_loop,
+        )
+        try:
+            return future.result(timeout=self._wait_timeout)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            raise ServiceTimeoutError(self._services[i].name) from None
+
+    def _remote_grade(self, obj: Hashable, i: int) -> float:
+        """The facade's ``grade``: bridge one random-access batch of
+        size one onto the loop and wait for it."""
+        return float(self._bridge_random(i, [obj])[0])
+
+    # ------------------------------------------------------------------
+    # batched random access: one service round trip per batch
+    # ------------------------------------------------------------------
+    def random_access_batch(
+        self,
+        list_index: int,
+        objects: Sequence[Hashable] | None,
+        rows=None,
+    ) -> np.ndarray:
+        """Fetch the grades of ``objects``, charging one random access
+        per object -- served by **one** bridged
+        ``random_access_batch`` service round trip for the whole batch
+        instead of the parent's one-call-per-object scalar replay.
+
+        Batched-plane callers therefore pay one round trip of
+        wall-clock per (list, batch); the cross-list twin for TA's
+        resolution step and CA's phases is
+        :meth:`random_access_across`.  The charging semantics are
+        exactly the batched plane's: every object charges (repeats
+        included) once its
+        grade is served; with the no-wild-guess certificate armed, an
+        unseen object charges the objects *before* it and then raises
+        -- before any service round trip, matching the columnar fast
+        path and the scalar loop's counters alike.  ``rows`` (a
+        columnar-backend affordance) is ignored: services address
+        objects by id.  When a trace is recorded the call falls back
+        to the scalar loop so the event stream stays byte-identical.
+        """
+        self._check_open()
+        self._check_list(list_index)
+        if not self._capabilities[list_index].random_allowed:
+            raise CapabilityError("random", list_index)
+        if list_index in self._lost_lists:
+            raise ListLostError(
+                self._services[list_index].name, list_index
+            )
+        if objects is None:
+            raise ValueError(
+                "objects are required on a service-backed session "
+                "(row addressing is a columnar-backend affordance)"
+            )
+        if self.trace is not None:
+            # scalar fallback: per-access trace events, identical bytes
+            return super().random_access_batch(list_index, objects)
+        objects = list(objects)
+        if self._forbid_wild_guesses:
+            seen = self._seen_sorted
+            for prefix, obj in enumerate(objects):
+                if obj not in seen:
+                    self._random_by_list[list_index] += prefix
+                    raise WildGuessError(obj, list_index)
+        if not objects:
+            return np.empty(0, dtype=np.float64)
+        try:
+            grades = self._bridge_random(list_index, objects)
+        except UnknownObjectError:
+            # replay object by object for exact prefix charging: the
+            # objects before the unknown one charge (their grades were
+            # servable), the unknown raises uncharged -- the scalar
+            # loop's accounting
+            return super().random_access_batch(list_index, objects)
+        except ListLostError:
+            raise
+        except ServiceUnavailableError as exc:
+            if not self._survive_list_loss:
+                raise
+            # the whole batch failed in one round trip: nothing was
+            # served, so nothing is charged -- mark the loss and
+            # surface it as the dedicated degraded-mode signal
+            self._lost_lists[list_index] = self._positions[list_index]
+            raise ListLostError(
+                self._services[list_index].name, list_index, exc.attempts
+            ) from exc
+        self._random_by_list[list_index] += len(objects)
+        return np.asarray(grades, dtype=np.float64)
+
+    def random_access_across(
+        self, obj: Hashable, lists: Sequence[int]
+    ) -> list[float]:
+        """Fetch ``obj``'s grade in each of ``lists`` with every
+        service round trip *in flight concurrently*, then replay the
+        charges in list order -- so TA's resolution step and CA's
+        random phase cost one round trip of wall-clock instead of
+        ``len(lists)``, with accounting identical to the scalar loop.
+
+        Exactness: any condition under which the scalar loop would
+        interleave charging with a raise (trace recording, a list
+        refusing random access, a wild guess, an out-of-range index)
+        falls back to the parent's per-list loop wholesale.  On the
+        concurrent path a failed round trip re-raises after the lists
+        *before* it (in list order) were charged; grades fetched from
+        later lists are discarded uncharged -- speculation, exactly
+        like prefetched-but-unconsumed pages.
+        """
+        self._check_open()
+        lists = list(lists)
+        if (
+            self.trace is not None
+            or (self._forbid_wild_guesses and obj not in self._seen_sorted)
+            or any(
+                not (0 <= i < len(self._capabilities))
+                or not self._capabilities[i].random_allowed
+                or i in self._lost_lists
+                for i in lists
+            )
+        ):
+            # an already-lost list takes the parent's scalar loop too:
+            # lists before it charge in order, then ListLostError
+            return super().random_access_across(obj, lists)
+        if not lists:
+            return []
+
+        async def _gather():
+            return await asyncio.gather(
+                *(
+                    self._services[i].random_access_batch([obj])
+                    for i in lists
+                ),
+                return_exceptions=True,
+            )
+
+        future = asyncio.run_coroutine_threadsafe(
+            _gather(), self._service_loop
+        )
+        try:
+            results = future.result(timeout=self._wait_timeout)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            raise ServiceTimeoutError(
+                self._services[lists[0]].name
+            ) from None
+        out: list[float] = []
+        for i, served in zip(lists, results):
+            if isinstance(served, BaseException):
+                if (
+                    self._survive_list_loss
+                    and isinstance(served, ServiceUnavailableError)
+                    and not isinstance(served, ListLostError)
+                ):
+                    # lists before i charged above (in list order);
+                    # grades speculatively fetched from later lists
+                    # are discarded uncharged, as on any failure
+                    self._lost_lists[i] = self._positions[i]
+                    raise ListLostError(
+                        self._services[i].name, i, served.attempts
+                    ) from served
+                raise served
+            self._random_by_list[i] += 1
+            out.append(float(served[0]))
+        return out
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def services(self) -> list[RemoteGradedSource]:
+        return list(self._services)
+
+
+class AsyncAccessSession(ServiceSession):
+    """Accounted, capability-checked access to ``m`` remote services,
+    with a private event loop and per-list prefetch pipelines.
 
     Parameters
     ----------
@@ -163,24 +438,12 @@ class AsyncAccessSession(AccessSession):
         budget: QueryBudget | None = None,
         survive_list_loss: bool = False,
     ):
-        if not services:
-            raise DatabaseError("need at least one service")
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if prefetch_pages < 0:
             raise ValueError(
                 f"prefetch_pages must be >= 0, got {prefetch_pages}"
             )
-        self._services = list(services)
-        sizes = {int(s.num_entries) for s in self._services}
-        if len(sizes) != 1:
-            raise DatabaseError(
-                "services disagree on the database size N: "
-                f"{sorted(sizes)}"
-            )
-        self._num_objects = sizes.pop()
-        if self._num_objects < 1:
-            raise DatabaseError("services must grade at least one object")
         self._batch_size = batch_size
         self._prefetch_pages = prefetch_pages
         # wake the producer when fewer than half the prefetch window
@@ -188,20 +451,18 @@ class AsyncAccessSession(AccessSession):
         self._refill_margin = max(
             (prefetch_pages * batch_size) // 2, batch_size, 1
         )
-        self._wait_timeout = wait_timeout
-        self._buffers = [_ListBuffer() for _ in self._services]
+        self._buffers = [_ListBuffer() for _ in services]
         self._prefetching: list[concurrent.futures.Future | None] = [
-            None for _ in self._services
+            None for _ in services
         ]
         self._closing = False
-        if capabilities is None:
-            capabilities = [s.capabilities() for s in self._services]
         super().__init__(
-            _ServiceBackedView(self),
+            services,
             cost_model,
-            capabilities=capabilities,
-            forbid_wild_guesses=forbid_wild_guesses,
-            record_trace=record_trace,
+            capabilities,
+            forbid_wild_guesses,
+            record_trace,
+            wait_timeout=wait_timeout,
             budget=budget,
             survive_list_loss=survive_list_loss,
         )
@@ -217,6 +478,10 @@ class AsyncAccessSession(AccessSession):
             # very first lockstep round already overlaps all m services
             for i in self.sorted_lists:
                 self._ensure_prefetch(i)
+
+    @property
+    def _service_loop(self) -> asyncio.AbstractEventLoop:
+        return self._loop
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -355,178 +620,9 @@ class AsyncAccessSession(AccessSession):
             raise buf.error
         return None  # stream exhausted
 
-    def _bridge_random(self, i: int, objects: list) -> list[float]:
-        """Bridge one ``random_access_batch`` service round trip onto
-        the loop and wait for it (uncharged; charging is the caller's
-        job)."""
-        future = asyncio.run_coroutine_threadsafe(
-            self._services[i].random_access_batch(objects), self._loop
-        )
-        try:
-            return future.result(timeout=self._wait_timeout)
-        except concurrent.futures.TimeoutError:
-            future.cancel()
-            raise ServiceTimeoutError(self._services[i].name) from None
-
-    def _remote_grade(self, obj: Hashable, i: int) -> float:
-        """The facade's ``grade``: bridge one random-access batch of
-        size one onto the loop and wait for it."""
-        return float(self._bridge_random(i, [obj])[0])
-
-    # ------------------------------------------------------------------
-    # batched random access: one service round trip per batch
-    # ------------------------------------------------------------------
-    def random_access_batch(
-        self,
-        list_index: int,
-        objects: Sequence[Hashable] | None,
-        rows=None,
-    ) -> np.ndarray:
-        """Fetch the grades of ``objects``, charging one random access
-        per object -- served by **one** bridged
-        ``random_access_batch`` service round trip for the whole batch
-        instead of the parent's one-call-per-object scalar replay.
-
-        Batched-plane callers therefore pay one round trip of
-        wall-clock per (list, batch); the cross-list twin for TA's
-        resolution step and CA's phases is
-        :meth:`random_access_across`.  The charging semantics are
-        exactly the batched plane's: every object charges (repeats
-        included) once its
-        grade is served; with the no-wild-guess certificate armed, an
-        unseen object charges the objects *before* it and then raises
-        -- before any service round trip, matching the columnar fast
-        path and the scalar loop's counters alike.  ``rows`` (a
-        columnar-backend affordance) is ignored: services address
-        objects by id.  When a trace is recorded the call falls back
-        to the scalar loop so the event stream stays byte-identical.
-        """
-        self._check_list(list_index)
-        if not self._capabilities[list_index].random_allowed:
-            raise CapabilityError("random", list_index)
-        if list_index in self._lost_lists:
-            raise ListLostError(
-                self._services[list_index].name, list_index
-            )
-        if objects is None:
-            raise ValueError(
-                "objects are required on a service-backed session "
-                "(row addressing is a columnar-backend affordance)"
-            )
-        if self.trace is not None:
-            # scalar fallback: per-access trace events, identical bytes
-            return super().random_access_batch(list_index, objects)
-        objects = list(objects)
-        if self._forbid_wild_guesses:
-            seen = self._seen_sorted
-            for prefix, obj in enumerate(objects):
-                if obj not in seen:
-                    self._random_by_list[list_index] += prefix
-                    raise WildGuessError(obj, list_index)
-        if not objects:
-            return np.empty(0, dtype=np.float64)
-        try:
-            grades = self._bridge_random(list_index, objects)
-        except UnknownObjectError:
-            # replay object by object for exact prefix charging: the
-            # objects before the unknown one charge (their grades were
-            # servable), the unknown raises uncharged -- the scalar
-            # loop's accounting
-            return super().random_access_batch(list_index, objects)
-        except ListLostError:
-            raise
-        except ServiceUnavailableError as exc:
-            if not self._survive_list_loss:
-                raise
-            # the whole batch failed in one round trip: nothing was
-            # served, so nothing is charged -- mark the loss and
-            # surface it as the dedicated degraded-mode signal
-            self._lost_lists[list_index] = self._positions[list_index]
-            raise ListLostError(
-                self._services[list_index].name, list_index, exc.attempts
-            ) from exc
-        self._random_by_list[list_index] += len(objects)
-        return np.asarray(grades, dtype=np.float64)
-
-    def random_access_across(
-        self, obj: Hashable, lists: Sequence[int]
-    ) -> list[float]:
-        """Fetch ``obj``'s grade in each of ``lists`` with every
-        service round trip *in flight concurrently*, then replay the
-        charges in list order -- so TA's resolution step and CA's
-        random phase cost one round trip of wall-clock instead of
-        ``len(lists)``, with accounting identical to the scalar loop.
-
-        Exactness: any condition under which the scalar loop would
-        interleave charging with a raise (trace recording, a list
-        refusing random access, a wild guess, an out-of-range index)
-        falls back to the parent's per-list loop wholesale.  On the
-        concurrent path a failed round trip re-raises after the lists
-        *before* it (in list order) were charged; grades fetched from
-        later lists are discarded uncharged -- speculation, exactly
-        like prefetched-but-unconsumed pages.
-        """
-        lists = list(lists)
-        if (
-            self.trace is not None
-            or (self._forbid_wild_guesses and obj not in self._seen_sorted)
-            or any(
-                not (0 <= i < len(self._capabilities))
-                or not self._capabilities[i].random_allowed
-                or i in self._lost_lists
-                for i in lists
-            )
-        ):
-            # an already-lost list takes the parent's scalar loop too:
-            # lists before it charge in order, then ListLostError
-            return super().random_access_across(obj, lists)
-        if not lists:
-            return []
-
-        async def _gather():
-            return await asyncio.gather(
-                *(
-                    self._services[i].random_access_batch([obj])
-                    for i in lists
-                ),
-                return_exceptions=True,
-            )
-
-        future = asyncio.run_coroutine_threadsafe(_gather(), self._loop)
-        try:
-            results = future.result(timeout=self._wait_timeout)
-        except concurrent.futures.TimeoutError:
-            future.cancel()
-            raise ServiceTimeoutError(
-                self._services[lists[0]].name
-            ) from None
-        out: list[float] = []
-        for i, served in zip(lists, results):
-            if isinstance(served, BaseException):
-                if (
-                    self._survive_list_loss
-                    and isinstance(served, ServiceUnavailableError)
-                    and not isinstance(served, ListLostError)
-                ):
-                    # lists before i charged above (in list order);
-                    # grades speculatively fetched from later lists
-                    # are discarded uncharged, as on any failure
-                    self._lost_lists[i] = self._positions[i]
-                    raise ListLostError(
-                        self._services[i].name, i, served.attempts
-                    ) from served
-                raise served
-            self._random_by_list[i] += 1
-            out.append(float(served[0]))
-        return out
-
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
-    @property
-    def services(self) -> list[RemoteGradedSource]:
-        return list(self._services)
-
     def prefetched(self, list_index: int) -> int:
         """Entries buffered for ``list_index`` so far (consumed or not);
         uncharged observability for tests and benchmarks."""
@@ -538,4 +634,177 @@ class AsyncAccessSession(AccessSession):
             f"<AsyncAccessSession m={len(self._services)} "
             f"N={self._num_objects} s={self.sorted_accesses} "
             f"r={self.random_accesses}>"
+        )
+
+
+class SharedScanSession(ServiceSession):
+    """A query's accounted view over *shared* per-list scans.
+
+    Many concurrent queries hold a ``SharedScanSession`` over the same
+    :class:`SharedScan` objects: one underlying sorted cursor per list
+    materializes an append-only global prefix, and every query reads
+    that prefix at its own pace.  Charging stays per query -- the
+    parent's counters advance only for entries *this* session consumed,
+    so a page pulled because a deeper query demanded it is uncharged
+    speculation for everyone else, and each query's
+    :class:`~repro.middleware.access.AccessStats` is bit-identical to a
+    solo run of the same query.
+
+    Cancellation (:meth:`cancel`) is cooperative and charge-safe: the
+    next access raises
+    :class:`~repro.middleware.errors.QueryCancelledError` before
+    charging, and any wait blocked on a scan frontier is woken
+    immediately.
+
+    Parameters
+    ----------
+    services:
+        The remote sources backing the scans, in list order (used for
+        random access, which is always per-query, and for names).
+    scans:
+        One attached :class:`SharedScan` per service, same order.
+    loop:
+        The running event loop that owns the services' I/O; random
+        accesses are bridged onto it.  Unlike
+        :class:`AsyncAccessSession` this session does not own the loop
+        and never stops it.
+    query_id:
+        Identifies this query in cancellation errors and bills.
+    """
+
+    def __init__(
+        self,
+        services: Sequence[RemoteGradedSource],
+        scans: Sequence[SharedScan],
+        loop: asyncio.AbstractEventLoop,
+        cost_model: CostModel = UNIT_COSTS,
+        capabilities: ListCapabilities | Sequence[ListCapabilities] | None = None,
+        forbid_wild_guesses: bool = False,
+        record_trace: bool = False,
+        *,
+        wait_timeout: float = 30.0,
+        budget: QueryBudget | None = None,
+        survive_list_loss: bool = False,
+        query_id: str = "query",
+    ):
+        scans = list(scans)
+        if len(scans) != len(list(services)):
+            raise DatabaseError(
+                f"got {len(scans)} scans for {len(list(services))} services"
+            )
+        self._scans = scans
+        self._session_loop = loop
+        self._query_id = query_id
+        self._cancelled = False
+        self._closed = False
+        super().__init__(
+            services,
+            cost_model,
+            capabilities,
+            forbid_wild_guesses,
+            record_trace,
+            wait_timeout=wait_timeout,
+            budget=budget,
+            survive_list_loss=survive_list_loss,
+        )
+        for scan in self._scans:
+            scan.attach()
+
+    @property
+    def _service_loop(self) -> asyncio.AbstractEventLoop:
+        return self._session_loop
+
+    @property
+    def query_id(self) -> str:
+        return self._query_id
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def cancel(self) -> None:
+        """Mark the query dead and wake any wait blocked on a scan.
+
+        Thread-safe and idempotent; callable from the event loop while
+        the engine blocks in a worker thread.  The engine's next access
+        raises :class:`QueryCancelledError` *before* charging, so the
+        session's accounting freezes at exactly the consumed prefix.
+        """
+        if self._cancelled:
+            return
+        self._cancelled = True
+        for scan in self._scans:
+            with scan.cond:
+                scan.cond.notify_all()
+
+    def close(self) -> None:
+        """Detach from every shared scan (idempotent).  The scans keep
+        their materialized prefix -- they are a cache -- but stop
+        counting this query as a consumer."""
+        if self._closed:
+            return
+        self._closed = True
+        for scan in self._scans:
+            scan.detach()
+
+    def __enter__(self) -> "SharedScanSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # access plumbing
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._cancelled:
+            raise QueryCancelledError(self._query_id)
+
+    def _entry_at(self, i: int, position: int):
+        """The facade's ``sorted_entry`` against the shared prefix.
+
+        Fast path mirrors :class:`AsyncAccessSession`: the scan's
+        lists only grow (grades published before objects), so once
+        ``len(objects) > position`` both are readable without the
+        lock; the shared producer is asked for more only when this
+        reader nears the frontier.
+        """
+        self._check_open()
+        scan = self._scans[i]
+        objects = scan.objects
+        if position < len(objects):
+            if len(objects) - position <= scan.refill_margin:
+                scan.demand(position + 1)
+            return objects[position], scan.grades[position]
+        scan.demand(position + 1)
+        deadline = time.monotonic() + self._wait_timeout
+        with scan.cond:
+            while (
+                len(scan.objects) <= position
+                and not scan.done
+                and scan.error is None
+                and not self._cancelled
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServiceTimeoutError(
+                        self._services[i].name
+                    ) from None
+                scan.cond.wait(timeout=remaining)
+        if self._cancelled:
+            raise QueryCancelledError(self._query_id)
+        if position < len(scan.objects):
+            return scan.objects[position], scan.grades[position]
+        if scan.error is not None:
+            raise scan.error
+        return None  # stream exhausted
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<SharedScanSession {self._query_id!r} "
+            f"m={len(self._services)} N={self._num_objects} "
+            f"s={self.sorted_accesses} r={self.random_accesses}>"
         )

@@ -36,10 +36,13 @@ to the same run over in-process simulated services.
 """
 
 from .client import NetworkGradedSource, NetworkRunSource, TransportClient
+from .frames import FrameConnection, FrameServer
 from .harness import ServerProcess
 from .server import GradedSourceServer, serve_sources
 
 __all__ = [
+    "FrameServer",
+    "FrameConnection",
     "GradedSourceServer",
     "serve_sources",
     "TransportClient",

@@ -271,7 +271,13 @@ class TransportClient:
                     await asyncio.sleep(pause)
         if response.get("ok"):
             return response
-        raise _server_error(response, service)
+        raise self._map_server_error(response, service)
+
+    def _map_server_error(self, response: dict, service: str) -> Exception:
+        """Turn a server error frame into the exception to raise;
+        subclasses serving richer protocols (e.g. the query client)
+        extend the code table before falling back here."""
+        return _server_error(response, service)
 
     async def fetch_metadata(self) -> dict:
         """The server's export manifest (``meta`` op)."""
@@ -321,6 +327,21 @@ class TransportClient:
                     pass
             pool.connections = []
         self._pools.clear()
+
+    async def aclose(self) -> None:
+        """Like :meth:`close`, but *awaits* the running loop's reader
+        tasks so none outlives the loop that owns it -- the clean
+        teardown for callers about to let their event loop die."""
+        loop = asyncio.get_running_loop()
+        pool = self._pools.pop(id(loop), None)
+        if pool is not None:
+            tasks = [c._reader_task for c in pool.connections]
+            for connection in pool.connections:
+                connection.close()
+            pool.connections = []
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        self.close()
 
     def __enter__(self) -> "TransportClient":
         return self

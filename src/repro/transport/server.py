@@ -7,19 +7,11 @@ length-prefixed frame protocol of
 role of the paper's *autonomous subsystems*: clients reach it only
 through sorted pages and random-access probes, shipped as real bytes.
 
-Protocol
---------
-
-Every request and response is one frame (4-byte little-endian payload
-length + one tagged binary message, a ``dict``).  Requests carry a
-client-chosen ``id``; responses echo it, which is what makes the
-connection *multiplexed*: the server dispatches every request into its
-own asyncio task the moment the frame is read, so slow requests
-(e.g. a page from a high-latency source) never block fast ones on the
-same connection, and responses are written strictly one frame at a
-time under a per-connection lock.
-
-Operations (all reads, all idempotent -- the client may safely retry):
+The connection/lifecycle chassis (frame loop, per-request tasks,
+backpressure, drain, error frames) lives in
+:class:`~repro.transport.frames.FrameServer`; this module adds the
+source-serving operations (all reads, all idempotent -- the client may
+safely retry):
 
 ``{"op": "meta"}``
     ``{"sources": [{name, n, sorted, random}, ...], "runs": [[shard
@@ -34,11 +26,9 @@ Operations (all reads, all idempotent -- the client may safely retry):
     ``{"rows", "grades", "ties"}`` array slices of that shard run.
 
 Failures raise out of the serving source (latency/failure models run
-*server-side*) and travel back as ``{"ok": False, "error": code,
-"message": str, "attempts": n}`` frames; the client re-raises the
-matching :mod:`repro.middleware.errors` type, so failure semantics are
-identical to the in-process path.  A malformed frame is a protocol
-violation, not a service failure: the connection is closed.
+*server-side*) and travel back as error frames; the client re-raises
+the matching :mod:`repro.middleware.errors` type, so failure semantics
+are identical to the in-process path.
 
 Lifecycle: ``await start()`` / ``aclose()`` inside an event loop (the
 ``repro.transport.serve`` CLI), or :meth:`start_in_thread` /
@@ -48,29 +38,13 @@ thread next to synchronous test or benchmark code.
 
 from __future__ import annotations
 
-import asyncio
-import threading
 from collections.abc import Sequence
 
 import numpy as np
 
 from ..middleware.database import Database, ShardedDatabase
-from ..middleware.errors import (
-    DatabaseError,
-    RemoteServiceError,
-    ServiceTimeoutError,
-    ServiceTransientError,
-    ServiceUnavailableError,
-    UnknownObjectError,
-    WireFormatError,
-)
-from ..middleware.serialization import (
-    FRAME_HEADER_BYTES,
-    MAX_FRAME_BYTES,
-    decode_message,
-    encode_frame,
-    frame_payload_size,
-)
+from ..middleware.errors import DatabaseError, WireFormatError
+from ..middleware.serialization import MAX_FRAME_BYTES
 from ..middleware.sources import GradedSource
 from ..services.assemble import services_for_database, shard_run_services
 from ..services.simulated import (
@@ -80,6 +54,7 @@ from ..services.simulated import (
     ShardRunService,
     SimulatedListService,
 )
+from .frames import FrameConnection, FrameServer
 
 __all__ = ["GradedSourceServer", "serve_sources"]
 
@@ -103,7 +78,7 @@ def _as_list_service(source) -> SimulatedListService:
     )
 
 
-class GradedSourceServer:
+class GradedSourceServer(FrameServer):
     """Serve graded sources (and shard runs) over TCP.
 
     Parameters
@@ -120,19 +95,11 @@ class GradedSourceServer:
     run_grid:
         Optional ``[list][shard]`` grid of
         :class:`~repro.services.simulated.ShardRunService`.
-    host, port:
-        Bind address; port 0 (the default) picks a free port, exposed
-        as :attr:`address` after start.
-    max_frame:
-        Frame size limit for both directions.
-    max_concurrent:
-        Server-wide cap on in-flight requests.  When reached, every
-        connection stops *reading* frames until a slot frees up, so a
-        flood of requests backs up in the kernel's TCP buffers (and
-        eventually blocks the sender) instead of ballooning server
-        memory with decoded-but-unserved requests.  ``None`` (default)
-        disables the cap.
+    host, port, max_frame, max_concurrent:
+        As for :class:`~repro.transport.frames.FrameServer`.
     """
+
+    thread_name = "repro-transport-server"
 
     def __init__(
         self,
@@ -148,25 +115,12 @@ class GradedSourceServer:
         self._run_grid = [list(row) for row in run_grid]
         if not self._sources and not self._run_grid:
             raise DatabaseError("nothing to serve: no sources, no runs")
-        if max_concurrent is not None and max_concurrent < 1:
-            raise DatabaseError(
-                f"max_concurrent must be >= 1, got {max_concurrent}"
-            )
-        self._host = host
-        self._requested_port = port
-        self._max_frame = max_frame
-        self._max_concurrent = max_concurrent
-        self._server: asyncio.Server | None = None
-        self._address: tuple[str, int] | None = None
-        self._writers: set[asyncio.StreamWriter] = set()
-        self._inflight = 0
-        self._slot_free: asyncio.Event | None = None
-        #: high-water mark of concurrently served requests
-        self.peak_inflight = 0
-        # background-thread mode
-        self._loop: asyncio.AbstractEventLoop | None = None
-        self._thread: threading.Thread | None = None
-        self._closed = False
+        super().__init__(
+            host=host,
+            port=port,
+            max_frame=max_frame,
+            max_concurrent=max_concurrent,
+        )
 
     @classmethod
     def from_database(
@@ -197,215 +151,9 @@ class GradedSourceServer:
         return cls(sources, run_grid, **kwargs)
 
     # ------------------------------------------------------------------
-    # async lifecycle
+    # the operations
     # ------------------------------------------------------------------
-    async def start(self) -> None:
-        if self._server is not None:
-            raise RuntimeError("server already started")
-        self._slot_free = asyncio.Event()
-        self._server = await asyncio.start_server(
-            self._serve_connection, self._host, self._requested_port
-        )
-        sock = self._server.sockets[0]
-        self._address = sock.getsockname()[:2]
-
-    @property
-    def address(self) -> tuple[str, int]:
-        """``(host, port)`` actually bound (valid after start)."""
-        if self._address is None:
-            raise RuntimeError("server not started")
-        return self._address
-
-    async def serve_forever(self) -> None:
-        if self._server is None:
-            await self.start()
-        assert self._server is not None
-        async with self._server:
-            await self._server.serve_forever()
-
-    async def drain(self, timeout: float = 5.0) -> bool:
-        """Graceful shutdown, phase one: stop accepting connections,
-        then wait (bounded by ``timeout`` seconds) for every in-flight
-        request to finish and flush its response.  Returns ``True``
-        when the server drained cleanly, ``False`` when the timeout
-        expired with requests still running (the caller's
-        :meth:`aclose` will then cut them off).  Open connections are
-        left open so drained responses still reach their clients."""
-        if self._server is not None:
-            self._server.close()
-        event = self._slot_free
-        if event is None:
-            return True
-        loop = asyncio.get_running_loop()
-        deadline = loop.time() + timeout
-        while self._inflight > 0:
-            # no await between the check and the clear, so a decrement
-            # cannot slip through unnoticed (single-threaded loop)
-            event.clear()
-            remaining = deadline - loop.time()
-            if remaining <= 0:
-                return False
-            try:
-                await asyncio.wait_for(event.wait(), remaining)
-            except asyncio.TimeoutError:
-                return False
-        return True
-
-    async def aclose(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            for writer in list(self._writers):
-                writer.close()
-            await self._server.wait_closed()
-            self._server = None
-
-    # ------------------------------------------------------------------
-    # background-thread lifecycle (for synchronous callers)
-    # ------------------------------------------------------------------
-    def start_in_thread(self) -> "GradedSourceServer":
-        """Run the server on a private event loop on a daemon thread;
-        returns ``self`` once the socket is bound."""
-        if self._loop is not None:
-            raise RuntimeError("server thread already running")
-        self._loop = asyncio.new_event_loop()
-        self._thread = threading.Thread(
-            target=self._loop.run_forever,
-            name="repro-transport-server",
-            daemon=True,
-        )
-        self._thread.start()
-        asyncio.run_coroutine_threadsafe(self.start(), self._loop).result(
-            timeout=10.0
-        )
-        return self
-
-    def close(self) -> None:
-        """Stop the background-thread server (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
-        loop, thread = self._loop, self._thread
-        if loop is None:
-            return
-        try:
-            asyncio.run_coroutine_threadsafe(self.aclose(), loop).result(
-                timeout=5.0
-            )
-        except Exception:  # pragma: no cover - defensive teardown
-            pass
-        loop.call_soon_threadsafe(loop.stop)
-        if thread is not None:
-            thread.join(timeout=5.0)
-            if not thread.is_alive():
-                loop.close()
-        self._loop = None
-        self._thread = None
-
-    def __enter__(self) -> "GradedSourceServer":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-    # ------------------------------------------------------------------
-    # the protocol
-    # ------------------------------------------------------------------
-    async def _serve_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        self._writers.add(writer)
-        send_lock = asyncio.Lock()
-        tasks: set[asyncio.Task] = set()
-        event = self._slot_free
-        try:
-            while True:
-                header = await reader.readexactly(FRAME_HEADER_BYTES)
-                size = frame_payload_size(header, self._max_frame)
-                payload = await reader.readexactly(size)
-                message = decode_message(payload)
-                if self._max_concurrent is not None and event is not None:
-                    # backpressure: at the cap, stop reading further
-                    # frames -- this connection holds exactly one decoded
-                    # request while the rest of the bytes pile up in
-                    # kernel TCP buffers and eventually block the sender,
-                    # so a slow consumer cannot balloon this process's
-                    # memory.  The gate sits *after* the read so the
-                    # check-and-admit below is atomic on the event loop
-                    # (no await between the final check and the
-                    # increment).
-                    while self._inflight >= self._max_concurrent:
-                        event.clear()
-                        await event.wait()
-                self._inflight += 1
-                if self._inflight > self.peak_inflight:
-                    self.peak_inflight = self._inflight
-                # one task per request: responses interleave by
-                # completion order, matched to requests by id
-                task = asyncio.create_task(
-                    self._handle(message, writer, send_lock)
-                )
-                tasks.add(task)
-                task.add_done_callback(tasks.discard)
-        except (
-            asyncio.IncompleteReadError,
-            ConnectionResetError,
-            BrokenPipeError,
-        ):
-            pass  # client hung up
-        except WireFormatError:
-            pass  # protocol violation: drop the connection
-        finally:
-            for task in tasks:
-                task.cancel()
-            if tasks:
-                await asyncio.gather(*tasks, return_exceptions=True)
-            self._writers.discard(writer)
-            writer.close()
-
-    async def _handle(
-        self,
-        message,
-        writer: asyncio.StreamWriter,
-        send_lock: asyncio.Lock,
-    ) -> None:
-        try:
-            await self._respond(message, writer, send_lock)
-        finally:
-            # synchronous, so it runs even when this task is cancelled:
-            # wake both backpressured readers and a pending drain()
-            self._inflight -= 1
-            if self._slot_free is not None:
-                self._slot_free.set()
-
-    async def _respond(
-        self,
-        message,
-        writer: asyncio.StreamWriter,
-        send_lock: asyncio.Lock,
-    ) -> None:
-        rid = message.get("id") if isinstance(message, dict) else None
-        try:
-            response = await self._dispatch(message)
-            response["id"] = rid
-            response["ok"] = True
-        except asyncio.CancelledError:
-            raise
-        except BaseException as exc:
-            response = _error_response(rid, exc)
-        try:
-            frame = encode_frame(response, self._max_frame)
-        except WireFormatError as exc:  # oversized/unencodable result
-            frame = encode_frame(
-                _error_response(rid, exc), self._max_frame
-            )
-        try:
-            async with send_lock:
-                writer.write(frame)
-                await writer.drain()
-        except (ConnectionResetError, BrokenPipeError, RuntimeError):
-            pass  # client hung up mid-response
-
-    async def _dispatch(self, message) -> dict:
+    async def _dispatch(self, message, conn: FrameConnection) -> dict:
         if not isinstance(message, dict):
             raise WireFormatError("request must be a message dict")
         op = message.get("op")
@@ -475,39 +223,6 @@ class GradedSourceServer:
             f"<GradedSourceServer {where[0]}:{where[1]} "
             f"m={len(self._sources)} runs={len(self._run_grid)}>"
         )
-
-
-#: wire error codes, by exception type (checked in order)
-_ERROR_CODES = (
-    (UnknownObjectError, "unknown_object"),
-    (ServiceTimeoutError, "timeout"),
-    (ServiceTransientError, "transient"),
-    (ServiceUnavailableError, "unavailable"),
-    (RemoteServiceError, "remote"),
-    (WireFormatError, "bad_request"),
-    ((KeyError, TypeError, ValueError, DatabaseError), "bad_request"),
-)
-
-
-def _error_response(rid, exc: BaseException) -> dict:
-    code = "internal"
-    for types, name in _ERROR_CODES:
-        if isinstance(exc, types):
-            code = name
-            break
-    response = {
-        "id": rid,
-        "ok": False,
-        "error": code,
-        "message": str(exc),
-        "attempts": int(getattr(exc, "attempts", 1)),
-    }
-    if isinstance(exc, UnknownObjectError):
-        obj = exc.obj
-        if not isinstance(obj, (int, str, float, bool, type(None))):
-            obj = str(obj)
-        response["obj"] = obj
-    return response
 
 
 def serve_sources(

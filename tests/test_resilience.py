@@ -74,6 +74,8 @@ from repro.services import (
 )
 from repro.transport import ServerProcess, serve_sources
 
+from tests.helpers import result_signature, run_async
+
 pytestmark = pytest.mark.async_services
 
 #: one entry per engine family exercised over service sessions
@@ -88,23 +90,6 @@ ALGORITHMS = [
 NO_RETRY = RetryPolicy(max_attempts=1)
 
 
-def result_signature(result):
-    stats = result.stats
-    return (
-        [(it.obj, it.grade, it.lower_bound, it.upper_bound)
-         for it in result.items],
-        stats.sorted_accesses,
-        stats.random_accesses,
-        stats.sorted_by_list,
-        stats.random_by_list,
-        stats.middleware_cost,
-        stats.depth,
-        stats.distinct_objects_seen,
-        result.halt_reason,
-        result.rounds,
-    )
-
-
 @pytest.fixture(scope="module")
 def db():
     rng = np.random.default_rng(47)
@@ -114,10 +99,6 @@ def db():
 @pytest.fixture(scope="module")
 def oracle(db):
     return {obj: db.grade_vector(obj) for obj in db.objects}
-
-
-def run_async(coro):
-    return asyncio.run(coro)
 
 
 # ---------------------------------------------------------------------------

@@ -52,37 +52,14 @@ from repro.services import (
     shard_run_services,
 )
 
+from tests.helpers import (
+    QueryCase,
+    result_signature,
+    run_query_matrix,
+    stats_tuple,
+)
+
 pytestmark = pytest.mark.async_services
-
-
-def stats_tuple(session):
-    s = session.stats()
-    return (
-        s.sorted_accesses,
-        s.random_accesses,
-        s.sorted_by_list,
-        s.random_by_list,
-        s.middleware_cost,
-        s.depth,
-        s.distinct_objects_seen,
-    )
-
-
-def result_signature(result):
-    stats = result.stats
-    return (
-        [(it.obj, it.grade, it.lower_bound, it.upper_bound)
-         for it in result.items],
-        stats.sorted_accesses,
-        stats.random_accesses,
-        stats.sorted_by_list,
-        stats.random_by_list,
-        stats.middleware_cost,
-        stats.depth,
-        stats.distinct_objects_seen,
-        result.halt_reason,
-        result.rounds,
-    )
 
 
 class TestSimulatedListService:
@@ -185,21 +162,32 @@ class TestAsyncSessionCharging:
             assert session.sorted_accesses == db.num_objects
 
     def test_algorithm_parity_all_engines(self, db):
-        for algo, cost_model in [
-            (ThresholdAlgorithm(), None),
-            (NoRandomAccessAlgorithm(), None),
-            (CombinedAlgorithm(), CostModel(1.0, 5.0)),
-            (StreamCombine(), None),
-        ]:
-            kwargs = {} if cost_model is None else {"cost_model": cost_model}
-            reference = algo.run_on(db, AVERAGE, 5, **kwargs)
-            with AsyncAccessSession(
-                services_for_database(db),
-                *([] if cost_model is None else [cost_model]),
-                batch_size=8,
-            ) as session:
-                result = algo.run(session, AVERAGE, 5)
-            assert result_signature(result) == result_signature(reference)
+        cases = [
+            QueryCase(ThresholdAlgorithm(), AVERAGE, 5),
+            QueryCase(NoRandomAccessAlgorithm(), AVERAGE, 5),
+            QueryCase(
+                CombinedAlgorithm(), AVERAGE, 5,
+                sorted_cost=1.0, random_cost=5.0,
+            ),
+            QueryCase(StreamCombine(), AVERAGE, 5),
+        ]
+
+        def through_async_session(cases):
+            results = []
+            for case in cases:
+                with AsyncAccessSession(
+                    services_for_database(db),
+                    case.cost_model(),
+                    batch_size=8,
+                ) as session:
+                    results.append(
+                        case.resolve_algorithm().run(
+                            session, case.resolve_aggregation(), case.k
+                        )
+                    )
+            return results
+
+        run_query_matrix(db, cases, through_async_session)
 
     def test_trace_bytes_identical(self, db):
         sync = AccessSession(db, record_trace=True)

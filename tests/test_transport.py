@@ -57,37 +57,9 @@ from repro.transport import (
     serve_sources,
 )
 
+from tests.helpers import result_signature, stats_tuple
+
 pytestmark = pytest.mark.async_services
-
-
-def stats_tuple(session):
-    s = session.stats()
-    return (
-        s.sorted_accesses,
-        s.random_accesses,
-        s.sorted_by_list,
-        s.random_by_list,
-        s.middleware_cost,
-        s.depth,
-        s.distinct_objects_seen,
-    )
-
-
-def result_signature(result):
-    stats = result.stats
-    return (
-        [(it.obj, it.grade, it.lower_bound, it.upper_bound)
-         for it in result.items],
-        stats.sorted_accesses,
-        stats.random_accesses,
-        stats.sorted_by_list,
-        stats.random_by_list,
-        stats.middleware_cost,
-        stats.depth,
-        stats.distinct_objects_seen,
-        result.halt_reason,
-        result.rounds,
-    )
 
 
 @pytest.fixture(scope="module")
