@@ -339,6 +339,39 @@ def main() -> int:
         default=1.2,
         help="absolute minimum server smoke speedup (default 1.2)",
     )
+    parser.add_argument(
+        "--views-baseline",
+        type=Path,
+        default=None,
+        help=(
+            "committed BENCH_views.json to gate (pass to enable the "
+            "live-view maintenance checks; same schema and rules as "
+            "the async gate)"
+        ),
+    )
+    parser.add_argument(
+        "--views-smoke",
+        type=Path,
+        default=None,
+        help="fresh bench_views.py --smoke report to gate",
+    )
+    parser.add_argument(
+        "--views-min-speedup",
+        type=float,
+        default=5.0,
+        help=(
+            "minimum incremental-maintenance speedup every committed "
+            "views run must show (default 5.0: certificate-screened "
+            "live views must beat recompute-per-mutation by at least "
+            "5x on the mostly-below-window stream)"
+        ),
+    )
+    parser.add_argument(
+        "--views-floor",
+        type=float,
+        default=5.0,
+        help="absolute minimum views smoke speedup (default 5.0)",
+    )
     args = parser.parse_args()
     if args.tolerance < 1.0:
         parser.error(f"tolerance must be >= 1.0, got {args.tolerance}")
@@ -352,6 +385,8 @@ def main() -> int:
         parser.error("--resilience-smoke requires --resilience-baseline")
     if args.server_smoke is not None and args.server_baseline is None:
         parser.error("--server-smoke requires --server-baseline")
+    if args.views_smoke is not None and args.views_baseline is None:
+        parser.error("--views-smoke requires --views-baseline")
     status = check(args.baseline, args.smoke, args.tolerance)
     if args.async_baseline is not None:
         async_status = check_async(
@@ -392,6 +427,16 @@ def main() -> int:
             label="server",
         )
         status = status or server_status
+    if args.views_baseline is not None:
+        views_status = check_async(
+            args.views_baseline,
+            args.views_smoke,
+            args.tolerance,
+            args.views_min_speedup,
+            args.views_floor,
+            label="views",
+        )
+        status = status or views_status
     return status
 
 

@@ -11,7 +11,11 @@ analyses:
 * TA, TA-theta, TAZ, NRA, CA, FA and the related-work baselines --
   :mod:`repro.core`;
 * synthetic and adversarial workloads -- :mod:`repro.datagen`;
-* the instance-optimality measurement harness -- :mod:`repro.analysis`.
+* the instance-optimality measurement harness -- :mod:`repro.analysis`;
+* mutable backends and continuously-maintained top-k views --
+  :mod:`repro.middleware.mutable` and :mod:`repro.views`;
+* the concurrent query service and its wire client --
+  :mod:`repro.server`.
 
 Quick start::
 
@@ -20,7 +24,24 @@ Quick start::
     db = datagen.uniform(n=10_000, m=3, seed=7)
     result = ThresholdAlgorithm().run_on(db, AVERAGE, k=10)
     print(result.summary())
+
+Standing queries::
+
+    from repro import LiveView, MutableColumnarDatabase, MIN
+
+    live = MutableColumnarDatabase.from_database(db)
+    view = LiveView(live, ThresholdAlgorithm, MIN, k=10,
+                    on_event=print)
+    live.update_grade(42, 0, 0.99)   # callbacks fire iff the top-k
+    live.delete(7)                   # result actually changed
+
+The curated public surface is ``repro.__all__``; simulated-service
+helpers moved to :mod:`repro.services` (importing them from ``repro``
+still works but emits :class:`DeprecationWarning`).
 """
+
+import importlib
+import warnings
 
 from . import (
     aggregation,
@@ -29,6 +50,7 @@ from . import (
     datagen,
     middleware,
     resilience,
+    server,
     services,
 )
 from .aggregation import (
@@ -62,19 +84,21 @@ from .middleware import (
     Database,
     GradedSource,
     ListCapabilities,
+    MutableColumnarDatabase,
+    MutableDatabase,
+    MutableShardedDatabase,
+    MutationEvent,
     ShardedDatabase,
     assemble_database,
 )
-from .services import (
-    AsyncAccessSession,
-    LatencyModel,
-    SimulatedListService,
-    assemble_remote_database,
-    services_for_database,
-    services_for_sources,
+from .server import (
+    QueryService,
+    QueryServiceClient,
+    QuerySpec,
 )
+from .views import LiveView, ViewEvent
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "aggregation",
@@ -83,6 +107,7 @@ __all__ = [
     "datagen",
     "middleware",
     "resilience",
+    "server",
     "services",
     "AVERAGE",
     "MAX",
@@ -109,14 +134,42 @@ __all__ = [
     "Database",
     "ColumnarDatabase",
     "ShardedDatabase",
+    "MutableDatabase",
+    "MutableColumnarDatabase",
+    "MutableShardedDatabase",
+    "MutationEvent",
+    "LiveView",
+    "ViewEvent",
+    "QueryService",
+    "QueryServiceClient",
+    "QuerySpec",
     "GradedSource",
     "ListCapabilities",
     "assemble_database",
-    "AsyncAccessSession",
-    "LatencyModel",
-    "SimulatedListService",
-    "assemble_remote_database",
-    "services_for_database",
-    "services_for_sources",
     "__version__",
 ]
+
+#: renamed/relocated symbols kept importable for one deprecation cycle:
+#: ``from repro import services_for_database`` still works but warns,
+#: pointing at the supported home.
+_DEPRECATED_ALIASES = {
+    "AsyncAccessSession": "repro.services",
+    "LatencyModel": "repro.services",
+    "SimulatedListService": "repro.services",
+    "assemble_remote_database": "repro.services",
+    "services_for_database": "repro.services",
+    "services_for_sources": "repro.services",
+}
+
+
+def __getattr__(name: str):
+    home = _DEPRECATED_ALIASES.get(name)
+    if home is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    warnings.warn(
+        f"importing {name!r} from 'repro' is deprecated; "
+        f"import it from '{home}' instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(home), name)

@@ -45,9 +45,16 @@ from .errors import (
     UnknownListError,
     UnknownObjectError,
     UnknownQueryError,
+    UnknownViewError,
     WildGuessError,
     WireFormatError,
     connection_error_to_service_error,
+)
+from .mutable import (
+    MutableColumnarDatabase,
+    MutableDatabase,
+    MutableShardedDatabase,
+    MutationEvent,
 )
 from .serialization import (
     decode_frame,
@@ -75,6 +82,10 @@ __all__ = [
     "Database",
     "ColumnarDatabase",
     "ShardedDatabase",
+    "MutableDatabase",
+    "MutableColumnarDatabase",
+    "MutableShardedDatabase",
+    "MutationEvent",
     "ListMergeCursor",
     "shard_bounds_for",
     "SortedBatch",
@@ -96,6 +107,7 @@ __all__ = [
     "QueryCancelledError",
     "AdmissionError",
     "UnknownQueryError",
+    "UnknownViewError",
     "connection_error_to_service_error",
     "GradedSource",
     "ScoredCollection",

@@ -230,7 +230,9 @@ class AccessSession:
         self._seen_sorted: set[Hashable] = set()
         self.trace: AccessTrace | None = AccessTrace() if record_trace else None
         self._columnar: ColumnarDatabase | None = (
-            database if isinstance(database, ColumnarDatabase) else None
+            database._speculation_store()
+            if isinstance(database, ColumnarDatabase)
+            else None
         )
 
     # ------------------------------------------------------------------

@@ -522,6 +522,15 @@ class ColumnarDatabase(Database):
     def to_columnar(self) -> "ColumnarDatabase":
         return self
 
+    def _speculation_store(self) -> "ColumnarDatabase":
+        """The columnar storage the access plane's *speculative* fast
+        path reads through.  Read-only backends are their own store;
+        mutable backends return a dense compacted snapshot so the
+        engines' row-indexed scratch arrays (sized ``num_objects``)
+        stay valid and in-flight runs are isolated from concurrent
+        mutations."""
+        return self
+
     # ------------------------------------------------------------------
     # scalar-backend compatibility (lazy; only built if legacy internals
     # are reached, e.g. by code written against the dict representation)

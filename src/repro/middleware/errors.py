@@ -29,6 +29,7 @@ __all__ = [
     "QueryCancelledError",
     "AdmissionError",
     "UnknownQueryError",
+    "UnknownViewError",
     "connection_error_to_service_error",
 ]
 
@@ -221,6 +222,20 @@ class UnknownQueryError(MiddlewareError):
     def __init__(self, query_id: str):
         super().__init__(f"unknown query id {query_id!r}")
         self.query_id = query_id
+
+
+class UnknownViewError(MiddlewareError):
+    """A view id that the service is not (or no longer) tracking.
+
+    Standing views die with their subscriber: the service drops a view
+    when its connection closes or it is explicitly unsubscribed, and
+    polls for ids it never issued are client bugs, not access-plane
+    events (same taxonomy position as :class:`UnknownQueryError`).
+    """
+
+    def __init__(self, view_id: str):
+        super().__init__(f"unknown view id {view_id!r}")
+        self.view_id = view_id
 
 
 class WireFormatError(MiddlewareError):

@@ -30,9 +30,18 @@ query of a concurrent mix -- any engine, any k, overlapping or
 disjoint lists, shared or private scans -- returns **bit-identically**
 the result and ``AccessStats`` of a solo scalar-reference run over the
 same logical database.
+
+Protocol v2 (``PROTOCOL_VERSION``) adds the write plane: services
+backed by a :class:`~repro.middleware.mutable.MutableDatabase` accept
+``mutate`` writes and ``subscribe`` standing queries (server-side
+:class:`~repro.views.LiveView` instances), streaming add/change/remove
+deltas to :class:`QueryServiceClient` subscribers via long-polled
+``view_events`` -- and the parity contract extends to them: after any
+mutation sequence a view's result set is bit-identical to a
+from-scratch run on the post-mutation database.
 """
 
-from .client import QueryOutcome, QueryServiceClient
+from .client import QueryOutcome, QueryServiceClient, ViewSnapshot
 from .scancache import ScanCache, SharedListScan
 from .scheduler import ScheduledCall, Scheduler
 from .service import (
@@ -43,7 +52,12 @@ from .service import (
     QuerySpec,
     QueryStatus,
 )
-from .wire import QueryServer, decode_result, encode_result
+from .wire import (
+    PROTOCOL_VERSION,
+    QueryServer,
+    decode_result,
+    encode_result,
+)
 
 __all__ = [
     "Scheduler",
@@ -56,9 +70,11 @@ __all__ = [
     "QueryStatus",
     "ALGORITHMS",
     "AGGREGATIONS",
+    "PROTOCOL_VERSION",
     "QueryServer",
     "QueryServiceClient",
     "QueryOutcome",
+    "ViewSnapshot",
     "encode_result",
     "decode_result",
 ]

@@ -31,13 +31,14 @@ from ..middleware.errors import (
     AdmissionError,
     QueryCancelledError,
     UnknownQueryError,
+    UnknownViewError,
 )
 from ..services.simulated import RetryPolicy
 from ..transport.client import TransportClient
 from .service import QuerySpec
 from .wire import decode_result
 
-__all__ = ["QueryServiceClient", "QueryOutcome"]
+__all__ = ["QueryServiceClient", "QueryOutcome", "ViewSnapshot"]
 
 
 @dataclass(frozen=True)
@@ -49,6 +50,19 @@ class QueryOutcome:
     query_id: str
     result: TopKResult
     bill: dict | None
+
+
+@dataclass(frozen=True)
+class ViewSnapshot:
+    """A freshly-registered standing query: its view id, the initial
+    :class:`~repro.core.result.TopKResult`, the event-sequence floor
+    to poll :meth:`QueryServiceClient.view_events` from, and the
+    database version the snapshot reflects."""
+
+    view_id: str
+    result: TopKResult
+    seq: int
+    version: int
 
 
 class QueryServiceClient(TransportClient):
@@ -68,6 +82,9 @@ class QueryServiceClient(TransportClient):
             return QueryCancelledError(query_id)
         if code == "unknown_query" and isinstance(query_id, str):
             return UnknownQueryError(query_id)
+        view_id = response.get("view")
+        if code == "unknown_view" and isinstance(view_id, str):
+            return UnknownViewError(view_id)
         if code == "admission":
             return AdmissionError(
                 response.get("message", "admission refused")
@@ -168,3 +185,97 @@ class QueryServiceClient(TransportClient):
             {"op": "stats"}, service="query-service"
         )
         return response["stats"]
+
+    async def service_meta(self) -> dict:
+        """The server's ``meta`` report.  ``protocol`` is absent from
+        v1 servers -- ``meta.get("protocol", 1)`` feature-detects the
+        standing-view ops."""
+        return await self.request({"op": "meta"}, service="query-service")
+
+    # ------------------------------------------------------------------
+    # standing views + the mutation plane (protocol v2)
+    # ------------------------------------------------------------------
+    async def subscribe_query(
+        self, spec: QuerySpec | dict
+    ) -> ViewSnapshot:
+        """Register a standing query server-side; returns the initial
+        snapshot.  Poll :meth:`view_events` (from ``snapshot.seq``) for
+        the add/change/remove delta stream, and :meth:`unsubscribe_query`
+        when done -- views also die with their connection."""
+        if isinstance(spec, QuerySpec):
+            spec = spec.as_dict()
+        spec = dict(spec)
+        spec.setdefault("mode", "view")
+        response = await self.request(
+            {"op": "subscribe", "spec": spec}, service="query-service"
+        )
+        return ViewSnapshot(
+            view_id=response["view"],
+            result=decode_result(response["result"]),
+            seq=response["seq"],
+            version=response["version"],
+        )
+
+    async def view_events(
+        self, view_id: str, *, after: int = 0, poll_timeout: float = 10.0
+    ) -> dict:
+        """One long-poll against a view's delta stream: returns
+        ``{"events": [...], "seq": latest, "version": v}`` where each
+        event is ``{"seq", "kind", "obj", "rank", "grade", "lower",
+        "upper", "version"}``; ``events`` is empty when nothing changed
+        within ``poll_timeout`` seconds.  Pass the returned ``seq`` as
+        the next call's ``after``."""
+        response = await self.request(
+            {
+                "op": "view_events",
+                "view": view_id,
+                "after": after,
+                "timeout": poll_timeout,
+            },
+            service="query-service",
+        )
+        return {
+            "events": response["events"],
+            "seq": response["seq"],
+            "version": response["version"],
+        }
+
+    async def unsubscribe_query(self, view_id: str) -> bool:
+        response = await self.request(
+            {"op": "unsubscribe", "view": view_id},
+            service="query-service",
+        )
+        return bool(response["unsubscribed"])
+
+    async def mutate(
+        self,
+        action: str,
+        obj,
+        *,
+        grades=None,
+        list_index: int | None = None,
+        grade: float | None = None,
+    ) -> dict:
+        """Apply one write to the server's mutable database; returns
+        ``{"version", "n"}``.  Convenience wrappers: :meth:`insert`,
+        :meth:`update_grade`, :meth:`delete`."""
+        message = {"op": "mutate", "action": action, "obj": obj}
+        if grades is not None:
+            message["grades"] = [float(g) for g in grades]
+        if list_index is not None:
+            message["list_index"] = int(list_index)
+        if grade is not None:
+            message["grade"] = float(grade)
+        response = await self.request(message, service="query-service")
+        return {"version": response["version"], "n": response["n"]}
+
+    async def insert(self, obj, grades) -> dict:
+        return await self.mutate("insert", obj, grades=grades)
+
+    async def update_grade(self, obj, list_index: int, grade: float) -> dict:
+        return await self.mutate(
+            "update", obj, list_index=list_index, grade=grade
+        )
+
+    async def delete(self, obj) -> dict:
+        return await self.mutate("delete", obj)

@@ -73,7 +73,10 @@ from ..middleware.errors import (
     DatabaseError,
     QueryCancelledError,
     UnknownQueryError,
+    UnknownViewError,
 )
+from ..middleware.mutable import MutableDatabase
+from ..views import LiveView, ViewEvent
 from ..services.assemble import services_for_database
 from ..services.protocol import RemoteGradedSource
 from ..services.session import SharedScanSession
@@ -135,6 +138,12 @@ class QuerySpec:
     ``cS``/``cR`` for *this* query's bill; ``deadline_s``/``max_cost``
     arm a per-query :class:`~repro.middleware.cost.QueryBudget` (the
     wall clock starts at admission, so time spent queued counts).
+
+    ``mode`` distinguishes one-shot queries (``"oneshot"``, the
+    default) from standing subscriptions (``"view"``, protocol v2).
+    Decoding is unknown-field tolerant in both directions: a v1 dict
+    without ``mode`` decodes as a one-shot, and unknown keys are
+    ignored, so mixed-version clients and servers interoperate.
     """
 
     algorithm: str
@@ -146,6 +155,7 @@ class QuerySpec:
     deadline_s: float | None = None
     max_cost: float | None = None
     forbid_wild_guesses: bool = False
+    mode: str = "oneshot"
 
     def make_algorithm(self) -> TopKAlgorithm:
         factory = ALGORITHMS.get(self.algorithm)
@@ -186,6 +196,7 @@ class QuerySpec:
             "deadline_s": self.deadline_s,
             "max_cost": self.max_cost,
             "forbid_wild_guesses": self.forbid_wild_guesses,
+            "mode": self.mode,
         }
 
     @classmethod
@@ -215,6 +226,11 @@ class QuerySpec:
             if not isinstance(value, (int, float)) or isinstance(value, bool):
                 raise ValueError(f"{key!r} must be a number")
             return float(value)
+        mode = data.get("mode", "oneshot")
+        if mode not in ("oneshot", "view"):
+            raise ValueError(
+                f"spec 'mode' must be 'oneshot' or 'view', got {mode!r}"
+            )
         return cls(
             algorithm=algorithm,
             aggregation=aggregation,
@@ -225,6 +241,7 @@ class QuerySpec:
             deadline_s=_number("deadline_s", None),
             max_cost=_number("max_cost", None),
             forbid_wild_guesses=bool(data.get("forbid_wild_guesses", False)),
+            mode=mode,
         )
 
 
@@ -271,6 +288,50 @@ class _QueryState:
         self.finished_at: float | None = None
         self.bill: QueryBill | None = None
         self.collected = False
+
+
+class _ViewState:
+    """Loop-confined bookkeeping for one standing subscription."""
+
+    #: ring-buffer bound on retained (undelivered) view events; a
+    #: subscriber lagging further than this loses the oldest deltas
+    #: (detectable: the next poll's first seq jumps)
+    MAX_EVENTS = 4096
+
+    __slots__ = (
+        "view_id",
+        "spec",
+        "view",
+        "events",
+        "next_seq",
+        "waiters",
+        "created_at",
+    )
+
+    def __init__(self, view_id: str, spec: QuerySpec, view: LiveView):
+        self.view_id = view_id
+        self.spec = spec
+        self.view = view
+        self.events: deque[dict] = deque(maxlen=self.MAX_EVENTS)
+        self.next_seq = 0
+        self.waiters: list[asyncio.Future] = []
+        self.created_at = time.monotonic()
+
+    def record(self, event: ViewEvent) -> None:
+        self.next_seq += 1
+        entry = dict(event.as_dict())
+        entry["seq"] = self.next_seq
+        self.events.append(entry)
+        self.wake()
+
+    def wake(self) -> None:
+        for waiter in self.waiters:
+            if not waiter.done():
+                waiter.set_result(None)
+        self.waiters.clear()
+
+    def since(self, after: int) -> list[dict]:
+        return [e for e in self.events if e["seq"] > after]
 
 
 @dataclass(frozen=True)
@@ -375,6 +436,11 @@ class QueryService:
                 "attach models to the services you pass"
             )
         assert services is not None
+        # retained for the mutation plane: services snapshot the
+        # database at construction, so after a mutation the service
+        # rebuilds them (and the scan cache) from the live database
+        self._database = database
+        self._source_models = (latency, failures, retry)
         self._services = list(services)
         if not self._services:
             raise DatabaseError("need at least one service")
@@ -397,6 +463,13 @@ class QueryService:
         self._queue: deque[str] = deque()
         self._active: set[str] = set()
         self._next_query = 0
+        self._views: dict[str, _ViewState] = {}
+        self._next_view = 0
+        #: mutation barrier: while > 0, no new query may start (a
+        #: mutation edits the grade matrix in place; in-flight engine
+        #: runs read an isolated snapshot, but the barrier keeps the
+        #: simpler invariant that runs and writes never overlap)
+        self._mutations_pending = 0
         self._executor = concurrent.futures.ThreadPoolExecutor(
             max_workers=self._admission.max_active,
             thread_name_prefix="repro-query",
@@ -421,6 +494,19 @@ class QueryService:
     @property
     def admission(self) -> AdmissionPolicy:
         return self._admission
+
+    @property
+    def database(self) -> Database | None:
+        """The backing database, when the service owns one (``None``
+        for externally-provided services)."""
+        return self._database
+
+    @property
+    def mutable(self) -> MutableDatabase | None:
+        """The backing database when it supports the write plane,
+        else ``None`` (mutations and subscriptions require it)."""
+        db = self._database
+        return db if isinstance(db, MutableDatabase) else None
 
     @property
     def ledger(self) -> BillingLedger:
@@ -457,6 +543,11 @@ class QueryService:
             "active": len(self._active),
             "tracked": len(self._queries),
             "share_scans": self._share_scans,
+            "views": len(self._views),
+            "mutable": self.mutable is not None,
+            "version": (
+                self.mutable.version if self.mutable is not None else None
+            ),
             "ledger": self._ledger.totals(),
             "cache": self._cache.stats() if self._cache else None,
             "scheduler": dict(self._scheduler.ran),
@@ -496,6 +587,8 @@ class QueryService:
         """Cancel everything in flight and tear down (loop-side,
         idempotent)."""
         self._draining = True
+        for view_state in list(self._views.values()):
+            self._drop_view(view_state)
         for state in list(self._queries.values()):
             if state.status not in QueryStatus.TERMINAL:
                 try:
@@ -617,6 +710,7 @@ class QueryService:
         if (
             len(self._active) >= self._admission.max_active
             or self._queue
+            or self._mutations_pending
         ):
             if len(self._queue) >= self._admission.max_queued:
                 raise AdmissionError(
@@ -640,6 +734,8 @@ class QueryService:
 
     def _admit_more(self) -> None:
         """Urgent scheduler callback: fill free slots FIFO."""
+        if self._mutations_pending:
+            return  # the mutation re-arms admission when it completes
         while self._queue and len(self._active) < self._admission.max_active:
             state = self._queries.get(self._queue.popleft())
             if state is None or state.status != QueryStatus.QUEUED:
@@ -783,6 +879,245 @@ class QueryService:
         if state is None:
             raise UnknownQueryError(query_id)
         return state
+
+    # ------------------------------------------------------------------
+    # standing views + the mutation plane (protocol v2)
+    # ------------------------------------------------------------------
+    def _require_mutable(self) -> MutableDatabase:
+        db = self.mutable
+        if db is None:
+            raise QueryError(
+                "this service is not backed by a MutableDatabase; "
+                "construct it with database=MutableColumnarDatabase(...) "
+                "to enable mutations and subscriptions"
+            )
+        return db
+
+    async def asubscribe(self, spec: QuerySpec) -> dict:
+        """Register a standing query (loop-side).
+
+        Returns ``{"view", "result", "seq", "version"}`` -- the view
+        id, the initial :class:`~repro.core.result.TopKResult`
+        snapshot, the event sequence floor to poll from (0), and the
+        database version the snapshot reflects.  Subsequent deltas
+        stream through :meth:`aview_events`.
+        """
+        if self._draining:
+            raise AdmissionError("service is draining; resubmit elsewhere")
+        db = self._require_mutable()
+        # same eager validation as one-shot admission
+        spec.make_algorithm()
+        aggregation = spec.make_aggregation()
+        if spec.lists is not None and tuple(spec.lists) != tuple(
+            range(self.num_lists)
+        ):
+            raise QueryError(
+                "standing views run over the full list set; "
+                f"got lists={list(spec.lists)} for m={self.num_lists}"
+            )
+        aggregation.check_arity(self.num_lists)
+        spec.cost_model()  # validates positivity
+        self._next_view += 1
+        view_id = f"v{self._next_view:05d}"
+        view = LiveView(
+            db,
+            spec.make_algorithm,
+            aggregation,
+            spec.k,
+            cost_model=spec.cost_model(),
+        )
+        state = _ViewState(view_id, spec, view)
+        view._on_event = state.record
+        self._views[view_id] = state
+        return {
+            "view": view_id,
+            "result": view.result,
+            "seq": 0,
+            "version": view.version,
+        }
+
+    async def aview_events(
+        self, view_id: str, after: int = 0, timeout: float = 10.0
+    ) -> dict:
+        """Long-poll one view's delta stream (loop-side): events with
+        ``seq > after``, waiting up to ``timeout`` seconds (on the
+        scheduler's timed band) when none are pending yet."""
+        state = self._views.get(view_id)
+        if state is None:
+            raise UnknownViewError(view_id)
+        events = state.since(after)
+        if not events and timeout > 0:
+            loop = self._require_loop()
+            waiter: asyncio.Future = loop.create_future()
+            state.waiters.append(waiter)
+            timer = self._scheduler.call_later(
+                timeout,
+                lambda: waiter.done() or waiter.set_result(None),
+            )
+            try:
+                await waiter
+            finally:
+                timer.cancel()
+                if waiter in state.waiters:  # pragma: no cover - racy
+                    state.waiters.remove(waiter)
+            if self._views.get(view_id) is not state:
+                # unsubscribed (or connection died) while parked
+                raise UnknownViewError(view_id)
+            events = state.since(after)
+        return {
+            "view": view_id,
+            "events": events,
+            "seq": state.next_seq,
+            "version": state.view.version,
+        }
+
+    def _drop_view(self, state: _ViewState) -> None:
+        state.view.close()
+        self._views.pop(state.view_id, None)
+        state.wake()  # parked long-polls resolve, then see the drop
+
+    async def aunsubscribe(self, view_id: str) -> bool:
+        """Tear down a standing view (loop-side); raises
+        :class:`~repro.middleware.errors.UnknownViewError` for ids
+        never issued or already dropped."""
+        state = self._views.get(view_id)
+        if state is None:
+            raise UnknownViewError(view_id)
+        self._drop_view(state)
+        return True
+
+    async def amutate(
+        self,
+        action: str,
+        obj,
+        *,
+        grades: Sequence[float] | None = None,
+        list_index: int | None = None,
+        grade: float | None = None,
+    ) -> dict:
+        """Apply one mutation to the backing database (loop-side).
+
+        ``action`` is ``"insert"`` (with ``grades``), ``"update"``
+        (with ``list_index`` + ``grade``) or ``"delete"``.  The write
+        is serialised against query execution: admission pauses, the
+        active set drains, the mutation applies (standing views update
+        synchronously here, firing their deltas), then the backing
+        sources and the scan cache are rebuilt so subsequent queries
+        read the new contents.  Returns ``{"version", "n"}``.
+        """
+        db = self._require_mutable()
+        if self._draining:
+            raise AdmissionError("service is draining; no more writes")
+        self._mutations_pending += 1
+        try:
+            deadline = time.monotonic() + self._wait_timeout
+            while self._active:
+                if time.monotonic() >= deadline:
+                    raise QueryError(
+                        "mutation timed out waiting for active queries "
+                        "to drain"
+                    )
+                await asyncio.sleep(0.001)
+            if action == "insert":
+                if grades is None:
+                    raise QueryError("insert needs grades=[...]")
+                db.insert(obj, grades)
+            elif action == "update":
+                if list_index is None or grade is None:
+                    raise QueryError(
+                        "update needs list_index= and grade="
+                    )
+                db.update_grade(obj, list_index, grade)
+            elif action == "delete":
+                if db.num_objects <= 1:
+                    raise QueryError(
+                        "refusing to delete the last object; the "
+                        "service requires a non-empty database"
+                    )
+                db.delete(obj)
+            else:
+                raise QueryError(
+                    f"unknown mutation action {action!r}; "
+                    "known: insert, update, delete"
+                )
+            await self._rebuild_sources()
+            return {"version": db.version, "n": db.num_objects}
+        finally:
+            self._mutations_pending -= 1
+            self._scheduler.call_soon(self._admit_more)
+
+    async def _rebuild_sources(self) -> None:
+        """Re-derive the service plane from the (mutated) database:
+        the simulated sources snapshot their list contents at
+        construction, and the scan cache holds shared sorted prefixes
+        of the old order, so both are rebuilt."""
+        assert self._database is not None
+        latency, failures, retry = self._source_models
+        self._services = list(
+            services_for_database(
+                self._database,
+                latency=latency,
+                failures=failures,
+                retry=retry,
+            )
+        )
+        self._num_objects = int(self._services[0].num_entries)
+        if self._cache is not None:
+            await self._cache.aclose()
+            self._cache = ScanCache(
+                self._services,
+                self._require_loop(),
+                batch_size=self._batch_size,
+                readahead_pages=self._readahead_pages,
+                shared=self._share_scans,
+            )
+
+    # -- thread-safe wrappers ------------------------------------------
+    def subscribe(self, spec: QuerySpec) -> dict:
+        """Thread-safe :meth:`asubscribe`."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.asubscribe(spec), self._require_loop()
+        )
+        return future.result(timeout=self._wait_timeout)
+
+    def view_events(
+        self, view_id: str, after: int = 0, timeout: float = 10.0
+    ) -> dict:
+        """Thread-safe :meth:`aview_events`."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.aview_events(view_id, after, timeout),
+            self._require_loop(),
+        )
+        return future.result(timeout=timeout + self._wait_timeout)
+
+    def unsubscribe(self, view_id: str) -> bool:
+        """Thread-safe :meth:`aunsubscribe`."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.aunsubscribe(view_id), self._require_loop()
+        )
+        return future.result(timeout=self._wait_timeout)
+
+    def mutate(
+        self,
+        action: str,
+        obj,
+        *,
+        grades: Sequence[float] | None = None,
+        list_index: int | None = None,
+        grade: float | None = None,
+    ) -> dict:
+        """Thread-safe :meth:`amutate`."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.amutate(
+                action,
+                obj,
+                grades=grades,
+                list_index=list_index,
+                grade=grade,
+            ),
+            self._require_loop(),
+        )
+        return future.result(timeout=2 * self._wait_timeout)
 
     # ------------------------------------------------------------------
     # housekeeping (idle band)

@@ -17,7 +17,19 @@ uses for raw source reads.  Ops:
     frame the query's exception maps to (a cancelled query yields
     ``error="cancelled"``).
 ``status`` / ``cancel`` / ``stats`` / ``meta`` / ``ping``
-    Introspection and control.
+    Introspection and control.  ``meta`` reports ``protocol`` (the
+    wire protocol version, 2 as of the mutable/view release) and
+    ``mutable`` so clients can feature-detect; v1 servers simply omit
+    both keys, and v1 clients ignore them -- the codec is
+    unknown-field tolerant in both directions.
+``subscribe`` / ``view_events`` / ``unsubscribe`` / ``mutate``
+    Protocol v2, mutable-backed services only: register a standing
+    query (``{"spec": {..., "mode": "view"}}`` -> ``{"view": id,
+    "result": ..., "seq": 0, "version": v}``), long-poll its delta
+    stream (``{"view": id, "after": seq, "timeout": s}`` ->
+    ``{"events": [...], "seq": latest, "version": v}``), drop it, and
+    apply insert/update/delete writes.  A connection's views die with
+    it, exactly like its queries.
 
 Per-connection state matters here, unlike for source reads: the ids a
 connection submitted live in ``conn.state["queries"]``, and when the
@@ -43,13 +55,26 @@ from ..middleware.errors import (
     AdmissionError,
     QueryCancelledError,
     UnknownQueryError,
+    UnknownViewError,
     WireFormatError,
 )
 from ..core.result import RankedItem, TopKResult
 from ..transport.frames import BASE_ERROR_CODES, FrameConnection, FrameServer
 from .service import ALGORITHMS, AGGREGATIONS, QueryService, QuerySpec
 
-__all__ = ["QueryServer", "encode_result", "decode_result"]
+__all__ = [
+    "PROTOCOL_VERSION",
+    "QueryServer",
+    "encode_result",
+    "decode_result",
+]
+
+#: wire protocol version reported by the ``meta`` op.  v1 (PR 7) had
+#: one-shot queries only and did not report a version; v2 adds the
+#: ``mode`` spec field and the subscribe/view_events/unsubscribe/mutate
+#: ops.  Decoders tolerate unknown fields, so version skew degrades to
+#: feature absence, never to frame errors.
+PROTOCOL_VERSION = 2
 
 
 #: extras value types that survive the trip (everything else is
@@ -164,6 +189,7 @@ class QueryServer(FrameServer):
         (QueryCancelledError, "cancelled"),
         (AdmissionError, "admission"),
         (UnknownQueryError, "unknown_query"),
+        (UnknownViewError, "unknown_view"),
     ) + BASE_ERROR_CODES
 
     def __init__(
@@ -200,6 +226,12 @@ class QueryServer(FrameServer):
                 self._service._cancel_on_loop(query_id)
             except UnknownQueryError:
                 pass  # already swept
+        # standing views die with their subscriber
+        for view_id in list(conn.state.get("views", ())):
+            try:
+                await self._service.aunsubscribe(view_id)
+            except UnknownViewError:
+                pass  # already dropped
 
     async def _dispatch(self, message, conn: FrameConnection) -> dict:
         op = message.get("op")
@@ -225,18 +257,42 @@ class QueryServer(FrameServer):
                 "n": self._service.num_objects,
                 "algorithms": sorted(ALGORITHMS),
                 "aggregations": sorted(AGGREGATIONS),
+                "protocol": PROTOCOL_VERSION,
+                "mutable": self._service.mutable is not None,
             }
         if op == "ping":
             return {"pong": True}
+        if op == "subscribe":
+            spec = QuerySpec.from_dict(message.get("spec"))
+            reply = await self._service.asubscribe(spec)
+            conn.state.setdefault("views", set()).add(reply["view"])
+            return {
+                "view": reply["view"],
+                "result": encode_result(reply["result"]),
+                "seq": reply["seq"],
+                "version": reply["version"],
+            }
+        if op == "view_events":
+            return await self._view_events(message)
+        if op == "unsubscribe":
+            view_id = self._view_id(message)
+            dropped = await self._service.aunsubscribe(view_id)
+            conn.state.get("views", set()).discard(view_id)
+            return {"unsubscribed": dropped}
+        if op == "mutate":
+            return await self._mutate(message)
         raise WireFormatError(f"unknown op {op!r}")
 
     def _error_response(self, rid, exc: BaseException) -> dict:
         response = super()._error_response(rid, exc)
-        # carry the query id so the client can rebuild the exact
+        # carry the query/view id so the client can rebuild the exact
         # exception (mirrors the chassis's UnknownObjectError handling)
         query_id = getattr(exc, "query_id", None)
         if isinstance(query_id, str):
             response["query"] = query_id
+        view_id = getattr(exc, "view_id", None)
+        if isinstance(view_id, str):
+            response["view"] = view_id
         return response
 
     @staticmethod
@@ -245,6 +301,53 @@ class QueryServer(FrameServer):
         if not isinstance(query_id, str):
             raise WireFormatError(f"bad query id {query_id!r}")
         return query_id
+
+    @staticmethod
+    def _view_id(message) -> str:
+        view_id = message.get("view")
+        if not isinstance(view_id, str):
+            raise WireFormatError(f"bad view id {view_id!r}")
+        return view_id
+
+    async def _view_events(self, message) -> dict:
+        view_id = self._view_id(message)
+        after = message.get("after", 0)
+        if not isinstance(after, int) or isinstance(after, bool) or after < 0:
+            raise WireFormatError(f"bad 'after' sequence {after!r}")
+        timeout = message.get("timeout", MAX_RESULT_WAIT_S)
+        if not isinstance(timeout, (int, float)) or isinstance(timeout, bool):
+            raise WireFormatError(f"bad timeout {timeout!r}")
+        timeout = min(float(timeout), MAX_RESULT_WAIT_S)
+        return await self._service.aview_events(
+            view_id, after=after, timeout=timeout
+        )
+
+    async def _mutate(self, message) -> dict:
+        action = message.get("action")
+        if not isinstance(action, str):
+            raise WireFormatError(f"bad mutation action {action!r}")
+        if "obj" not in message:
+            raise WireFormatError("mutation needs an 'obj'")
+        grades = message.get("grades")
+        if grades is not None and not isinstance(grades, (list, tuple)):
+            raise WireFormatError(f"bad grades {grades!r}")
+        list_index = message.get("list_index")
+        if list_index is not None and (
+            not isinstance(list_index, int) or isinstance(list_index, bool)
+        ):
+            raise WireFormatError(f"bad list_index {list_index!r}")
+        grade = message.get("grade")
+        if grade is not None and (
+            not isinstance(grade, (int, float)) or isinstance(grade, bool)
+        ):
+            raise WireFormatError(f"bad grade {grade!r}")
+        return await self._service.amutate(
+            action,
+            message["obj"],
+            grades=grades,
+            list_index=list_index,
+            grade=None if grade is None else float(grade),
+        )
 
     async def _result(self, message, conn: FrameConnection) -> dict:
         query_id = self._query_id(message)

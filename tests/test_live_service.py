@@ -1,0 +1,379 @@
+"""Protocol-v2 service tests: standing views and the mutation plane,
+embedded and over a live socket.
+
+The extended parity contract: after any sequence of remote mutations, a
+standing view's snapshot/delta stream reflects exactly the canonical
+top-k of the post-mutation database, and one-shot queries against the
+mutated service stay bit-identical (result AND AccessStats) to solo
+runs on a from-scratch database with the same contents.  Also here:
+the cross-version ``QuerySpec`` codec tests (satellite: wire
+versioning).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import QueryError
+from repro.middleware import (
+    Database,
+    MutableColumnarDatabase,
+    UnknownViewError,
+)
+from repro.server import (
+    PROTOCOL_VERSION,
+    QueryServer,
+    QueryService,
+    QueryServiceClient,
+    QuerySpec,
+)
+from repro.views import LiveView
+
+from tests.helpers import result_signature, run_async
+
+pytestmark = pytest.mark.async_services
+
+
+def mutable_db(n=120, m=3, seed=51):
+    rng = np.random.default_rng(seed)
+    return MutableColumnarDatabase.from_array(rng.random((n, m)))
+
+
+def scratch(db):
+    ids, matrix = db.to_array()
+    return Database.from_array(matrix, object_ids=ids)
+
+
+# ---------------------------------------------------------------------------
+# QuerySpec codec: cross-version tolerance (protocol satellite)
+# ---------------------------------------------------------------------------
+class TestQuerySpecCodec:
+    def test_v1_dict_without_mode_decodes_as_oneshot(self):
+        spec = QuerySpec.from_dict(
+            {"algorithm": "ta", "aggregation": "average", "k": 3}
+        )
+        assert spec.mode == "oneshot"
+
+    def test_v2_dict_round_trips(self):
+        spec = QuerySpec(
+            algorithm="nra", aggregation="min", k=5, mode="view"
+        )
+        encoded = spec.as_dict()
+        assert encoded["mode"] == "view"
+        assert QuerySpec.from_dict(encoded) == spec
+
+    def test_unknown_fields_are_ignored(self):
+        # a v3 server may add fields; a v2 peer must not choke on them
+        spec = QuerySpec.from_dict(
+            {
+                "algorithm": "ta",
+                "aggregation": "average",
+                "k": 2,
+                "mode": "oneshot",
+                "priority": "high",
+                "future_knob": {"nested": True},
+            }
+        )
+        assert spec.k == 2 and spec.mode == "oneshot"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            QuerySpec.from_dict(
+                {"algorithm": "ta", "aggregation": "average", "k": 2,
+                 "mode": "streaming"}
+            )
+
+    def test_oneshot_dict_accepted_by_v1_style_reader(self):
+        # as_dict always carries mode; a v1 reader treating the dict as
+        # plain kwargs-with-extras must still see the v1 fields intact
+        encoded = QuerySpec(
+            algorithm="ta", aggregation="average", k=4
+        ).as_dict()
+        assert encoded["mode"] == "oneshot"
+        v1_fields = {
+            k: v for k, v in encoded.items() if k != "mode"
+        }
+        assert QuerySpec.from_dict(v1_fields) == QuerySpec(
+            algorithm="ta", aggregation="average", k=4
+        )
+
+
+# ---------------------------------------------------------------------------
+# embedded service: subscribe / mutate / view_events
+# ---------------------------------------------------------------------------
+class TestEmbeddedMutableService:
+    def test_mutate_requires_mutable_database(self):
+        db = scratch(mutable_db(20))
+        with QueryService(database=db).start() as service:
+            assert service.mutable is None
+            with pytest.raises(QueryError):
+                service.mutate("insert", "x", grades=[0.1, 0.2, 0.3])
+            with pytest.raises(QueryError):
+                service.subscribe(
+                    QuerySpec(algorithm="ta", aggregation="average", k=3)
+                )
+
+    def test_subscribe_then_mutations_stream_canonical_deltas(self):
+        db = mutable_db(80)
+        with QueryService(database=db).start() as service:
+            sub = service.subscribe(
+                QuerySpec(algorithm="ta", aggregation="average", k=5,
+                          mode="view")
+            )
+            view_id = sub["view"]
+            assert service.stats()["views"] == 1
+            # a mutation entering the window must surface as an add
+            service.mutate("insert", "hot", grades=[0.99, 0.98, 0.97])
+            feed = service.view_events(view_id, after=0, timeout=5.0)
+            kinds = {e["kind"] for e in feed["events"]}
+            assert "add" in kinds
+            assert any(
+                e["obj"] == "hot" and e["kind"] == "add"
+                for e in feed["events"]
+            )
+            # the view now equals a from-scratch canonical top-k
+            from repro.aggregation import AVERAGE
+
+            want = scratch(db).top_k(AVERAGE, 5)
+            state = service._views[view_id].view
+            got = [(item.obj, item.grade) for item in state.items]
+            assert got == [(obj, g) for obj, g in want]
+            # an irrelevant mutation produces no events (long-poll
+            # returns empty at timeout)
+            seq = feed["seq"]
+            service.mutate("update", 3, list_index=0, grade=0.0001)
+            feed = service.view_events(view_id, after=seq, timeout=0.2)
+            assert feed["events"] == []
+            assert service.unsubscribe(view_id)
+            with pytest.raises(UnknownViewError):
+                service.view_events(view_id, after=0, timeout=0.1)
+
+    def test_oneshot_queries_stay_bit_identical_after_mutations(self):
+        db = mutable_db(100)
+        with QueryService(database=db).start() as service:
+            for step in range(12):
+                if step % 3 == 0:
+                    service.mutate(
+                        "insert", f"n{step}",
+                        grades=[0.5 + step / 100, 0.4, 0.6],
+                    )
+                elif step % 3 == 1:
+                    service.mutate(
+                        "update", step, list_index=step % 3,
+                        grade=step / 12,
+                    )
+                else:
+                    service.mutate("delete", step)
+                result = service.submit(
+                    QuerySpec(algorithm="ta", aggregation="average", k=6)
+                ).result(timeout=30)
+                from repro.aggregation import AVERAGE
+                from repro.core import ThresholdAlgorithm
+
+                reference = ThresholdAlgorithm().run_on(
+                    scratch(db), AVERAGE, 6
+                )
+                assert result_signature(result) == (
+                    result_signature(reference)
+                )
+
+    def test_delete_last_object_refused(self):
+        db = MutableColumnarDatabase.from_array(
+            np.array([[0.5, 0.5]])
+        )
+        with QueryService(database=db).start() as service:
+            with pytest.raises(QueryError):
+                service.mutate("delete", 0)
+
+    def test_views_closed_on_service_close(self):
+        db = mutable_db(30)
+        with QueryService(database=db).start() as service:
+            sub = service.subscribe(
+                QuerySpec(algorithm="ta", aggregation="average", k=3,
+                          mode="view")
+            )
+            assert service.stats()["views"] == 1
+        assert service.stats()["views"] == 0
+        # the underlying LiveView detached from the database listeners
+        assert not db._listeners
+
+
+# ---------------------------------------------------------------------------
+# over a live socket
+# ---------------------------------------------------------------------------
+class TestWireProtocolV2:
+    def test_meta_reports_protocol_and_mutability(self):
+        service = QueryService(database=mutable_db(20))
+        server = QueryServer(service)
+        with server:
+            server.start_in_thread()
+            host, port = server.address
+
+            async def go():
+                client = QueryServiceClient(host, port)
+                try:
+                    return await client.service_meta()
+                finally:
+                    await client.aclose()
+
+            meta = run_async(go())
+        assert meta["protocol"] == PROTOCOL_VERSION == 2
+        assert meta["mutable"] is True
+
+    def test_immutable_service_reports_not_mutable(self):
+        service = QueryService(database=scratch(mutable_db(20)))
+        server = QueryServer(service)
+        with server:
+            server.start_in_thread()
+            host, port = server.address
+
+            async def go():
+                client = QueryServiceClient(host, port)
+                try:
+                    return await client.service_meta()
+                finally:
+                    await client.aclose()
+
+            meta = run_async(go())
+        assert meta["mutable"] is False
+
+    def test_standing_query_round_trip(self):
+        db = mutable_db(200, seed=77)
+        service = QueryService(database=db)
+        server = QueryServer(service)
+        with server:
+            server.start_in_thread()
+            host, port = server.address
+
+            async def go():
+                client = QueryServiceClient(host, port)
+                try:
+                    spec = {"algorithm": "ta", "aggregation": "average",
+                            "k": 8}
+                    # one-shot and subscription snapshot agree
+                    oneshot = await client.run_query(dict(spec))
+                    snap = await client.subscribe_query(dict(spec))
+                    assert result_signature(
+                        snap.result
+                    ) == result_signature(oneshot.result)
+
+                    # a hot insert streams an add event
+                    ack = await client.insert(
+                        "hot", [0.999, 0.998, 0.997]
+                    )
+                    assert ack["n"] == 201
+                    feed = await client.view_events(
+                        snap.view_id, after=snap.seq, poll_timeout=5.0
+                    )
+                    assert any(
+                        e["kind"] == "add" and e["obj"] == "hot"
+                        for e in feed["events"]
+                    )
+                    assert feed["version"] == ack["version"]
+
+                    # a far-below-floor update streams nothing
+                    await client.update_grade(3, 0, 0.0001)
+                    quiet = await client.view_events(
+                        snap.view_id, after=feed["seq"],
+                        poll_timeout=0.2,
+                    )
+                    assert quiet["events"] == []
+
+                    # a member delete streams a remove
+                    await client.delete("hot")
+                    feed2 = await client.view_events(
+                        snap.view_id, after=quiet["seq"],
+                        poll_timeout=5.0,
+                    )
+                    assert any(
+                        e["kind"] == "remove" and e["obj"] == "hot"
+                        for e in feed2["events"]
+                    )
+
+                    # post-mutation one-shot == scratch reference
+                    after = await client.run_query(dict(spec))
+                    assert await client.unsubscribe_query(snap.view_id)
+                    try:
+                        await client.view_events(
+                            snap.view_id, after=0, poll_timeout=0.1
+                        )
+                    except UnknownViewError:
+                        pass
+                    else:  # pragma: no cover - defensive
+                        raise AssertionError("view survived unsubscribe")
+                    stats = await client.service_stats()
+                    return after, stats
+                finally:
+                    await client.aclose()
+
+            after, stats = run_async(go())
+        from repro.aggregation import AVERAGE
+        from repro.core import ThresholdAlgorithm
+
+        reference = ThresholdAlgorithm().run_on(scratch(db), AVERAGE, 8)
+        assert result_signature(after.result) == result_signature(reference)
+        assert stats["views"] == 0
+        assert stats["mutable"] is True
+        assert stats["version"] == db.version
+
+    def test_mutate_rejected_on_immutable_backend_over_wire(self):
+        service = QueryService(database=scratch(mutable_db(20)))
+        server = QueryServer(service)
+        with server:
+            server.start_in_thread()
+            host, port = server.address
+
+            async def go():
+                client = QueryServiceClient(host, port)
+                try:
+                    with pytest.raises(QueryError):
+                        await client.insert("x", [0.1, 0.2, 0.3])
+                    with pytest.raises(QueryError):
+                        await client.subscribe_query(
+                            {"algorithm": "ta", "aggregation": "average",
+                             "k": 2}
+                        )
+                finally:
+                    await client.aclose()
+
+            run_async(go())
+
+    def test_connection_death_drops_views(self):
+        db = mutable_db(40)
+        service = QueryService(database=db)
+        server = QueryServer(service)
+        with server:
+            server.start_in_thread()
+            host, port = server.address
+
+            async def go():
+                client = QueryServiceClient(host, port)
+                try:
+                    await client.subscribe_query(
+                        {"algorithm": "ta", "aggregation": "average",
+                         "k": 4}
+                    )
+                    assert (await client.service_stats())["views"] == 1
+                finally:
+                    await client.aclose()
+
+            run_async(go())
+
+            async def check():
+                client = QueryServiceClient(host, port)
+                try:
+                    import asyncio
+
+                    for _ in range(100):
+                        stats = await client.service_stats()
+                        if stats["views"] == 0:
+                            return stats
+                        await asyncio.sleep(0.05)
+                    return stats
+                finally:
+                    await client.aclose()
+
+            stats = run_async(check())
+        assert stats["views"] == 0
+        assert not db._listeners

@@ -17,6 +17,15 @@ TOP_LEVEL = [
     "StreamCombine", "ThresholdAlgorithm", "TopKResult",
     "AccessSession", "CostModel", "Database", "GradedSource",
     "ListCapabilities", "ShardedDatabase", "assemble_database",
+    "MutableDatabase", "MutableColumnarDatabase", "MutableShardedDatabase",
+    "MutationEvent", "LiveView", "ViewEvent",
+    "QueryService", "QueryServiceClient", "QuerySpec",
+]
+
+DEPRECATED_TOP_LEVEL = [
+    "AsyncAccessSession", "LatencyModel", "SimulatedListService",
+    "assemble_remote_database", "services_for_database",
+    "services_for_sources",
 ]
 
 SUBMODULE_NAMES = {
@@ -26,6 +35,8 @@ SUBMODULE_NAMES = {
         "EarlyStopView", "QueryError",
     ],
     "repro.middleware": [
+        "MutableDatabase", "MutableColumnarDatabase",
+        "MutableShardedDatabase", "MutationEvent", "UnknownViewError",
         "save_json", "load_json", "save_npz", "load_npz",
         "WildGuessError", "CapabilityError", "DatabaseError",
         "AccessTrace", "ScoredCollection", "ShardedDatabase",
@@ -53,6 +64,15 @@ SUBMODULE_NAMES = {
     "repro.transport": [
         "GradedSourceServer", "serve_sources", "TransportClient",
         "NetworkGradedSource", "NetworkRunSource", "ServerProcess",
+    ],
+    "repro.server": [
+        "Scheduler", "ScanCache", "QueryService", "QuerySpec",
+        "QueryHandle", "QueryServer", "QueryServiceClient",
+        "QueryOutcome", "ViewSnapshot", "PROTOCOL_VERSION",
+        "encode_result", "decode_result",
+    ],
+    "repro.views": [
+        "LiveView", "ViewEvent",
     ],
     "repro.datagen": [
         "uniform", "permutations", "correlated", "anticorrelated",
@@ -93,6 +113,23 @@ def test_submodule_export(module, name):
     mod = importlib.import_module(module)
     assert hasattr(mod, name), f"{module}.{name}"
     assert name in mod.__all__, f"{module}.__all__ missing {name}"
+
+
+@pytest.mark.parametrize("name", DEPRECATED_TOP_LEVEL)
+def test_deprecated_alias_warns_and_resolves(name):
+    """Names demoted from the curated top level stay importable for a
+    deprecation cycle, but warn and point at their supported home."""
+    import repro.services
+
+    with pytest.warns(DeprecationWarning, match="repro.services"):
+        value = getattr(repro, name)
+    assert value is getattr(repro.services, name)
+    assert name not in repro.__all__
+
+
+def test_unknown_top_level_attribute_still_raises():
+    with pytest.raises(AttributeError):
+        repro.definitely_not_a_symbol
 
 
 def test_version_string():
