@@ -38,6 +38,17 @@ shared scan cache must beat per-query private sessions by at least
 1.5x throughput on every committed overlapping-workload
 configuration.
 
+Observability gate (``--obs-baseline``): different semantics -- the
+``BENCH_obs.json`` runs (``bench_obs.py``) report *overhead ratios*
+(instrumented seconds / uninstrumented seconds), not speedups.  The
+committed baseline must hold ``disabled_overhead`` <=
+``--obs-max-disabled-overhead`` (default 1.02: the switched-off plane
+may cost at most 2%) and ``enabled_overhead`` <=
+``--obs-max-enabled-overhead`` (default 1.10: a live probe plus
+per-query metric emission may cost at most 10%) on every run; a smoke
+run is held to the same bounds times ``--obs-smoke-slack`` (default
+3.0), because CI boxes make sub-millisecond ratios noisy.
+
 Run::
 
     python benchmarks/check_bench_regression.py \
@@ -183,6 +194,69 @@ def check_async(
         )
         return 1
     print(f"{label} bench gate: all checks passed")
+    return 0
+
+
+def check_obs(
+    baseline_path: Path,
+    smoke_path: Path | None,
+    max_disabled: float,
+    max_enabled: float,
+    smoke_slack: float,
+) -> int:
+    """Gate observability overhead ratios (``bench_obs.py``): every
+    run -- committed baseline at full bounds, smoke run at the bounds
+    times ``smoke_slack`` -- must keep the disabled plane's overhead
+    under ``max_disabled`` and the enabled plane's under
+    ``max_enabled``.  Lower is better; there is no speedup here, only
+    a cost ceiling."""
+    failures = []
+
+    def _check_report(path: Path, arm_label: str, slack: float) -> dict:
+        report = _async_runs_by_key(json.loads(path.read_text()))
+        for (part, config), run in sorted(report.items()):
+            disabled = run["disabled_overhead"]
+            enabled = run["enabled_overhead"]
+            disabled_ok = disabled <= max_disabled * slack
+            enabled_ok = enabled <= max_enabled * slack
+            print(
+                f"obs {arm_label:8s} {part:8s} {config:22s} "
+                f"disabled={disabled:6.3f}x "
+                f"(<= {max_disabled * slack:.3f})  "
+                f"enabled={enabled:6.3f}x "
+                f"(<= {max_enabled * slack:.3f})  "
+                f"{'ok' if disabled_ok and enabled_ok else 'FAIL'}"
+            )
+            if not disabled_ok:
+                failures.append(
+                    (part, config, f"{arm_label} disabled overhead")
+                )
+            if not enabled_ok:
+                failures.append(
+                    (part, config, f"{arm_label} enabled overhead")
+                )
+        return report
+
+    baseline = _check_report(baseline_path, "baseline", 1.0)
+    if smoke_path is not None:
+        smoke = _async_runs_by_key(json.loads(smoke_path.read_text()))
+        if not set(baseline) & set(smoke):
+            print(
+                "obs bench gate: no (part, config) shared between "
+                f"{baseline_path} and {smoke_path}; the smoke grid must "
+                "overlap the committed grid",
+                file=sys.stderr,
+            )
+            return 2
+        _check_report(smoke_path, "smoke", smoke_slack)
+    if failures:
+        print(
+            f"obs bench gate: {len(failures)} failure(s): "
+            + ", ".join(f"{p}/{c} ({why})" for p, c, why in failures),
+            file=sys.stderr,
+        )
+        return 1
+    print("obs bench gate: all overhead ceilings held")
     return 0
 
 
@@ -372,6 +446,52 @@ def main() -> int:
         default=5.0,
         help="absolute minimum views smoke speedup (default 5.0)",
     )
+    parser.add_argument(
+        "--obs-baseline",
+        type=Path,
+        default=None,
+        help=(
+            "committed BENCH_obs.json to gate (pass to enable the "
+            "observability overhead checks; overhead-ceiling "
+            "semantics, not speedups)"
+        ),
+    )
+    parser.add_argument(
+        "--obs-smoke",
+        type=Path,
+        default=None,
+        help="fresh bench_obs.py --smoke report to gate",
+    )
+    parser.add_argument(
+        "--obs-max-disabled-overhead",
+        type=float,
+        default=1.02,
+        help=(
+            "maximum seconds ratio for the disabled observability "
+            "plane vs the uninstrumented baseline (default 1.02: off "
+            "must cost <= 2%%)"
+        ),
+    )
+    parser.add_argument(
+        "--obs-max-enabled-overhead",
+        type=float,
+        default=1.10,
+        help=(
+            "maximum seconds ratio for the enabled observability "
+            "plane vs the uninstrumented baseline (default 1.10: a "
+            "live probe plus metric emission must cost <= 10%%)"
+        ),
+    )
+    parser.add_argument(
+        "--obs-smoke-slack",
+        type=float,
+        default=3.0,
+        help=(
+            "multiplier applied to both obs overhead ceilings for the "
+            "smoke run (default 3.0: CI timing of sub-millisecond "
+            "runs is noisy; the committed baseline holds the real bar)"
+        ),
+    )
     args = parser.parse_args()
     if args.tolerance < 1.0:
         parser.error(f"tolerance must be >= 1.0, got {args.tolerance}")
@@ -387,6 +507,8 @@ def main() -> int:
         parser.error("--server-smoke requires --server-baseline")
     if args.views_smoke is not None and args.views_baseline is None:
         parser.error("--views-smoke requires --views-baseline")
+    if args.obs_smoke is not None and args.obs_baseline is None:
+        parser.error("--obs-smoke requires --obs-baseline")
     status = check(args.baseline, args.smoke, args.tolerance)
     if args.async_baseline is not None:
         async_status = check_async(
@@ -437,6 +559,15 @@ def main() -> int:
             label="views",
         )
         status = status or views_status
+    if args.obs_baseline is not None:
+        obs_status = check_obs(
+            args.obs_baseline,
+            args.obs_smoke,
+            args.obs_max_disabled_overhead,
+            args.obs_max_enabled_overhead,
+            args.obs_smoke_slack,
+        )
+        status = status or obs_status
     return status
 
 

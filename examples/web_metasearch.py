@@ -49,8 +49,16 @@ sacrificial process mid-query and shows the resulting
 :class:`~repro.resilience.degraded.DegradedResult` -- the lost list,
 the guarantee, and its certificate checked against full ground truth.
 
+With ``--metrics`` the same metasearch query runs through a service
+with the :mod:`repro.obs` observability plane attached: the example
+prints the query's lifecycle spans, its round-by-round bound
+trajectory (sorted/random depth, charged cost, τ/W/B per engine
+round -- the profile sums *exactly* to the invoice), and the
+Prometheus rendering of the service's metrics registry -- all
+without perturbing the answer or the accounting.
+
 Run:  python examples/web_metasearch.py
-          [--subprocess] [--server] [--live] [--chaos]
+          [--subprocess] [--server] [--live] [--chaos] [--metrics]
 """
 
 import random
@@ -301,6 +309,65 @@ def live_demo(engines) -> None:
         service.unsubscribe(view_id)
 
 
+def metrics_demo(engines, k: int) -> None:
+    """The same metasearch query, observed: lifecycle spans, the
+    per-round bound trajectory, and the Prometheus export -- with the
+    answer and the invoice untouched by the instrumentation."""
+    from repro.obs import Observability
+    from repro.server import QueryService, QuerySpec
+
+    engine_db, _ = assemble_database(engines)
+    obs = Observability()
+    spec = QuerySpec(algorithm="nra", aggregation="sum", k=k)
+    print(
+        f"\n--- observability: the top-{k} metasearch query through an "
+        "instrumented query service ---"
+    )
+    with QueryService(database=engine_db, obs=obs).start() as service:
+        plain = QueryService(database=engine_db)
+        with plain.start():
+            baseline = plain.submit(spec).result(timeout=60.0)
+        handle = service.submit(spec)
+        result = handle.result(timeout=60.0)
+        bill = handle.bill()
+
+    # zero perturbation: instrumented and plain answers bit-identical
+    assert [i.obj for i in result.items] == [i.obj for i in baseline.items]
+    assert result.stats == baseline.stats
+
+    trace = obs.tracer.find(bill.query_id)
+    print(
+        "lifecycle: "
+        + " -> ".join(span.name for span in trace.spans)
+        + f" (outcome {bill.outcome}, {bill.wall_seconds * 1e3:.0f} ms)"
+    )
+    probe = trace.probe
+    print("\nround-by-round bound trajectory (NRA, no random access):")
+    print(probe.format_table(limit=12))
+    assert probe.total_sorted == bill.sorted_accesses
+    assert probe.total_random == bill.random_accesses
+    assert probe.total_cost == bill.middleware_cost
+    print(
+        f"\nthe {len(probe.entries)} per-round cost deltas sum exactly "
+        f"to the invoice: {probe.total_cost:g} == "
+        f"{bill.middleware_cost:g} (sorted {probe.total_sorted}, "
+        f"random {probe.total_random})."
+    )
+
+    lines = [
+        line
+        for line in obs.registry.render_prometheus().splitlines()
+        if line.startswith("repro_quer") and "_bucket" not in line
+    ]
+    print("\nPrometheus rendering (query families, buckets elided):")
+    for line in lines:
+        print(f"  {line}")
+    print(
+        "the same registry serves the 'metrics' wire op and "
+        "`python -m repro.server --metrics-port N`."
+    )
+
+
 def chaos_demo(engines, k: int) -> None:
     """Kill real server processes mid-query and show what survives:
     failover keeps the answer bit-identical; whole-engine loss yields
@@ -386,6 +453,7 @@ def main(
     query_service: bool = False,
     live: bool = False,
     chaos: bool = False,
+    metrics: bool = False,
 ) -> None:
     rng = random.Random(11)
     docs = [(f"doc-{i:04d}", rng.random()) for i in range(3000)]
@@ -463,6 +531,9 @@ def main(
     if chaos:
         chaos_demo(engines, k)
 
+    if metrics:
+        metrics_demo(engines, k)
+
 
 if __name__ == "__main__":
     main(
@@ -470,4 +541,5 @@ if __name__ == "__main__":
         query_service="--server" in sys.argv[1:],
         live="--live" in sys.argv[1:],
         chaos="--chaos" in sys.argv[1:],
+        metrics="--metrics" in sys.argv[1:],
     )

@@ -120,7 +120,24 @@ class TopKAlgorithm(ABC):
             )
         aggregation.check_arity(session.num_lists)
         self._check_capabilities(session)
-        return self._run(session, aggregation, k)
+        return self._run_sealed(session, aggregation, k)
+
+    def _run_sealed(
+        self,
+        session: AccessSession,
+        aggregation: AggregationFunction,
+        k: int,
+    ) -> TopKResult:
+        """``_run``, sealing any attached bound-trajectory probe with
+        the halt reason (residual post-loop charges -- TA's final
+        resolution, certificate finalization -- become the probe's
+        ``final`` entry, so its totals match the result's AccessStats
+        exactly)."""
+        result = self._run(session, aggregation, k)
+        probe = getattr(session, "probe", None)
+        if probe is not None:
+            probe.finish(result.halt_reason)
+        return result
 
     def run_on(
         self,
@@ -168,7 +185,7 @@ class TopKAlgorithm(ABC):
         self._check_capabilities(session)
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
-            executor, self._run, session, aggregation, k
+            executor, self._run_sealed, session, aggregation, k
         )
 
     def make_session(

@@ -128,6 +128,7 @@ class CombinedAlgorithm(TopKAlgorithm):
         m = session.num_lists
         h = self._period(session)
         store = CandidateStore(aggregation, m, k, naive=self.naive_bookkeeping)
+        probe = getattr(session, "probe", None)
         rounds = 0
         random_phases = 0
         escape_clauses = 0
@@ -180,6 +181,8 @@ class CombinedAlgorithm(TopKAlgorithm):
                     for i, grade in zip(missing, fetched):
                         store.record(target, i, grade)
 
+            if probe is not None:
+                probe.on_round(rounds, tau=store.threshold)
             check_now = (
                 rounds % self.halt_check_interval == 0 or not progressed
             )
@@ -240,6 +243,7 @@ class CombinedAlgorithm(TopKAlgorithm):
         check_every_round = interval == 1
         bottoms = store.bottoms
         positions = [session.position(i) for i in range(m)]
+        probe = getattr(session, "probe", None)
         rounds = 0
         random_phases = 0
         escape_clauses = 0
@@ -269,6 +273,8 @@ class CombinedAlgorithm(TopKAlgorithm):
                 # zero-progress round: no phase fires; full check, then
                 # EXHAUSTED
                 rounds += 1
+                if probe is not None:
+                    probe.on_round(rounds, tau=store.threshold)
                 if store.seen_count_value >= k:
                     topk, m_k = store.current_topk()
                     if not (
@@ -509,6 +515,9 @@ class CombinedAlgorithm(TopKAlgorithm):
                 )
             rep.commit(session, positions, consumed)
             rounds += consumed
+            if probe is not None and consumed:
+                taus = tuple(float(t) for t in tau_list[:consumed])
+                probe.on_round(rounds, tau=taus[-1], taus=taus)
             chunk_rounds = min(chunk_rounds * 2, 2048)
 
         return self._finish(

@@ -114,6 +114,7 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
             return self._run_columnar(session, aggregation, k)
         m = session.num_lists
         store = CandidateStore(aggregation, m, k, naive=self.naive_bookkeeping)
+        probe = getattr(session, "probe", None)
         rounds = 0
         halt_reason = None
         topk: list = []
@@ -133,6 +134,8 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
                 obj, grade = entry
                 store.update_bottom(i, grade)
                 store.record(obj, i, grade)
+            if probe is not None:
+                probe.on_round(rounds, tau=store.threshold)
             check_now = (
                 rounds % self.halt_check_interval == 0 or not progressed
             )
@@ -185,6 +188,7 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
         order_grades = db._order_grades
         n = db.num_objects
         m = session.num_lists
+        probe = getattr(session, "probe", None)
         store = ArrayCandidateStore(aggregation, m, k, n)
         seen_rows = np.zeros(n, dtype=bool)
         w_map = store.w
@@ -214,6 +218,8 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
             if all(positions[i] >= n for i in range(m)):
                 # zero-progress round: full check, then EXHAUSTED
                 rounds += 1
+                if probe is not None:
+                    probe.on_round(rounds, tau=store.threshold)
                 if store.seen_count_value >= k:
                     topk, m_k = store.current_topk()
                     cutoff = m_k if theta == 1.0 else theta * m_k
@@ -329,6 +335,9 @@ class NoRandomAccessAlgorithm(TopKAlgorithm):
             consumed = r_halt + 1 if r_halt is not None else c_eff
             rep.commit(session, positions, consumed)
             rounds += consumed
+            if probe is not None and consumed:
+                taus = tuple(float(t) for t in tau_list[:consumed])
+                probe.on_round(rounds, tau=taus[-1], taus=taus)
             chunk_rounds = min(chunk_rounds * 2, 2048)
 
         return self._finish(

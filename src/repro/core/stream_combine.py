@@ -100,6 +100,7 @@ class StreamCombine(TopKAlgorithm):
         m = session.num_lists
         store = CandidateStore(aggregation, m, k)
         full = TopKBuffer(k)  # fully-seen objects by exact grade
+        probe = getattr(session, "probe", None)
         rounds = 0
         halt_reason = None
 
@@ -119,6 +120,10 @@ class StreamCombine(TopKAlgorithm):
                 if store.record(obj, i, grade) and store.fully_known(obj):
                     full.offer(obj, store.w[obj])
 
+            if probe is not None:
+                probe.on_round(
+                    rounds, tau=store.threshold, w=full.min_grade
+                )
             if full.full:
                 m_k = full.min_grade
                 topk_objs = [obj for obj, _ in full.items_desc()]
@@ -192,6 +197,7 @@ class StreamCombine(TopKAlgorithm):
         offer = full.offer
         bottoms = store.bottoms
         positions = [session.position(i) for i in range(m)]
+        probe = getattr(session, "probe", None)
         rounds = 0
         halt_reason = None
         witness = None
@@ -205,6 +211,10 @@ class StreamCombine(TopKAlgorithm):
             if all(positions[i] >= n for i in range(m)):
                 # zero-progress round: full check, then EXHAUSTED
                 rounds += 1
+                if probe is not None:
+                    probe.on_round(
+                        rounds, tau=store.threshold, w=full.min_grade
+                    )
                 if full.full:
                     m_k = full.min_grade
                     topk_objs = [obj for obj, _ in full.items_desc()]
@@ -317,6 +327,11 @@ class StreamCombine(TopKAlgorithm):
             consumed = r_halt + 1 if r_halt is not None else c_eff
             rep.commit(session, positions, consumed)
             rounds += consumed
+            if probe is not None and consumed:
+                taus = tuple(float(t) for t in tau_list[:consumed])
+                probe.on_round(
+                    rounds, tau=taus[-1], w=full.min_grade, taus=taus
+                )
             chunk_rounds = min(chunk_rounds * 2, 2048)
 
         ids = db._ids

@@ -154,6 +154,7 @@ class ThresholdAlgorithm(TopKAlgorithm):
             )
         buffer = TopKBuffer(k)
         bottoms = [1.0] * m
+        probe = getattr(session, "probe", None)
         cache: dict[Hashable, dict[int, float]] | None = (
             {} if self.remember_seen else None
         )
@@ -213,6 +214,8 @@ class ThresholdAlgorithm(TopKAlgorithm):
                 max_buffer, len(buffer) + (len(cache) if cache is not None else 0)
             )
             tau = aggregation.aggregate(tuple(bottoms))
+            if probe is not None:
+                probe.on_round(rounds, tau=tau, w=buffer.min_grade, b=tau)
             if self._halt_on_threshold(buffer, tau):
                 halt_reason = HaltReason.THRESHOLD
             elif observer is not None and buffer.full:
@@ -334,6 +337,7 @@ class ThresholdAlgorithm(TopKAlgorithm):
         buffer = TopKBuffer(k)
         offer = buffer.offer
         bottoms = [1.0] * m
+        probe = getattr(session, "probe", None)
         cache: dict[Hashable, dict[int, float]] | None = (
             {} if self.remember_seen else None
         )
@@ -365,6 +369,8 @@ class ThresholdAlgorithm(TopKAlgorithm):
                 # scalar tail exactly (threshold, observer, exhaustion)
                 rounds += 1
                 tau = aggregation.aggregate(tuple(bottoms))
+                if probe is not None:
+                    probe.on_round(rounds, tau=tau, w=buffer.min_grade, b=tau)
                 if self._halt_on_threshold(buffer, tau):
                     halt_reason = HaltReason.THRESHOLD
                 elif observer is not None and buffer.full:
@@ -492,6 +498,12 @@ class ThresholdAlgorithm(TopKAlgorithm):
                         for obj, g in zip(pending_objs[j], fetched.tolist()):
                             cache[obj][j] = g
             rounds += consumed
+            if probe is not None and consumed:
+                taus = tuple(float(t) for t in tau_list[:consumed])
+                probe.on_round(
+                    rounds, tau=taus[-1], w=buffer.min_grade, b=taus[-1],
+                    taus=taus,
+                )
             size = len(buffer) + (len(cache) if cache is not None else 0)
             if size > max_buffer:
                 max_buffer = size

@@ -39,12 +39,15 @@ Semantics are identical to issuing the equivalent scalar calls in
 order: per-list counters, depth, wild-guess certification (a batch that
 hits a wild guess charges the accesses *before* the offending object,
 then raises, just as a scalar loop would have), capability checks and
-trace events are all preserved.  When a trace is recorded, the batch
-methods internally fall back to the scalar loop so the event stream is
-byte-identical; when the database is a
-:class:`~repro.middleware.database.ColumnarDatabase` (and no trace is
-recorded), they instead serve array slices and fancy-indexed gathers in
-O(1) Python operations per batch.  A
+trace recording are all preserved.  On the scalar backend the batch
+methods fall back to the scalar loop (so the scalar plane's event
+stream is byte-identical regardless); when the database is a
+:class:`~repro.middleware.database.ColumnarDatabase` they instead serve
+array slices and fancy-indexed gathers in O(1) Python operations per
+batch, recording one *batch-granularity*
+:class:`~repro.middleware.trace.BatchAccessEvent` per call when a trace
+is requested -- tracing and the fast path compose, and the trace
+summaries weight batch events by their access counts.  A
 :class:`~repro.middleware.database.ShardedDatabase` takes the same fast
 path: its per-list order arrays are materialised lazily by k-way merge
 cursors over the shard runs (bit-identical to the columnar orderings),
@@ -76,7 +79,7 @@ from .errors import (
     UnknownObjectError,
     WildGuessError,
 )
-from .trace import RANDOM, SORTED, AccessEvent, AccessTrace
+from .trace import RANDOM, SORTED, AccessEvent, AccessTrace, BatchAccessEvent
 
 __all__ = [
     "ListCapabilities",
@@ -229,6 +232,10 @@ class AccessSession:
         self._random_by_list = [0] * m
         self._seen_sorted: set[Hashable] = set()
         self.trace: AccessTrace | None = AccessTrace() if record_trace else None
+        # the observability plane's bound-trajectory probe; engines feed
+        # it at round/chunk boundaries when one is attached (it only
+        # *reads* the session, so attaching one perturbs nothing)
+        self.probe = None
         self._columnar: ColumnarDatabase | None = (
             database._speculation_store()
             if isinstance(database, ColumnarDatabase)
@@ -373,10 +380,12 @@ class AccessSession:
     # ------------------------------------------------------------------
     @property
     def supports_batches(self) -> bool:
-        """True when batched accesses are served by array slices (columnar
-        database, no trace recording).  The batch methods work either
-        way; this flag lets algorithms pick their faster inner loop."""
-        return self._columnar is not None and self.trace is None
+        """True when batched accesses are served by array slices
+        (columnar database).  The batch methods work either way; this
+        flag lets algorithms pick their faster inner loop.  Trace
+        recording composes with the fast path: batch calls then record
+        batch-granularity events instead of per-access ones."""
+        return self._columnar is not None
 
     def columnar_view(self) -> ColumnarDatabase | None:
         """The raw columnar storage, for *speculative* engine execution
@@ -396,9 +405,7 @@ class AccessSession:
         equality with the scalar reference loops -- results, halting
         reasons, and access accounting alike.
         """
-        if self._columnar is not None and self.trace is None:
-            return self._columnar
-        return None
+        return self._columnar
 
     def sorted_access_batch(self, list_index: int, n: int) -> SortedBatch:
         """Pop up to ``n`` entries of list ``list_index``.
@@ -413,7 +420,7 @@ class AccessSession:
         if not self._capabilities[list_index].sorted_allowed:
             raise CapabilityError("sorted", list_index)
         db = self._columnar
-        if db is None or self.trace is not None:
+        if db is None:
             objects: list = []
             grades: list[float] = []
             for _ in range(n):
@@ -441,6 +448,17 @@ class AccessSession:
         self._positions[list_index] = position + count
         self._sorted_by_list[list_index] += count
         self._seen_sorted.update(objects)
+        if self.trace is not None:
+            self.trace.record(
+                BatchAccessEvent(
+                    SORTED,
+                    list_index,
+                    tuple(objects),
+                    tuple(grades.tolist()),
+                    position,
+                    self.middleware_cost,
+                )
+            )
         return SortedBatch(list_index, objects, grades, rows)
 
     def sorted_access_round(self) -> RoundBatch:
@@ -455,7 +473,7 @@ class AccessSession:
         scalar methods without taking on the speculation contract.
         """
         db = self._columnar
-        if db is None or self.trace is not None:
+        if db is None:
             lists: list[int] = []
             objects: list = []
             grades: list[float] = []
@@ -489,6 +507,20 @@ class AccessSession:
         rows = np.asarray(row_list, dtype=np.intp)
         objects = db.ids_for_rows(rows)
         self._seen_sorted.update(objects)
+        if self.trace is not None:
+            # one batch event per list touched: each list advanced by
+            # exactly one entry this round (position is post-increment)
+            for pos_in_round, i in enumerate(lists):
+                self.trace.record(
+                    BatchAccessEvent(
+                        SORTED,
+                        i,
+                        (objects[pos_in_round],),
+                        (grades[pos_in_round],),
+                        positions[i] - 1,
+                        self.middleware_cost,
+                    )
+                )
         return RoundBatch(lists, objects, grades, rows)
 
     def random_access_across(
@@ -539,7 +571,7 @@ class AccessSession:
             )
 
         db = self._columnar
-        if db is None or self.trace is not None:
+        if db is None:
             if objects is None:
                 raise ValueError(
                     "objects may be omitted only on the columnar fast path"
@@ -560,9 +592,41 @@ class AccessSession:
             for prefix, obj in enumerate(objects):
                 if obj not in seen:
                     self._random_by_list[list_index] += prefix
+                    if self.trace is not None and prefix:
+                        # the scalar loop would have recorded the
+                        # charged prefix before raising; mirror it as
+                        # one batch event
+                        prefix_rows = rows[:prefix]
+                        self.trace.record(
+                            BatchAccessEvent(
+                                RANDOM,
+                                list_index,
+                                tuple(objects[:prefix]),
+                                tuple(
+                                    db._matrix[
+                                        prefix_rows, list_index
+                                    ].tolist()
+                                ),
+                                -1,
+                                self.middleware_cost,
+                            )
+                        )
                     raise WildGuessError(obj, list_index)
         grades = db._matrix[rows, list_index]
         self._random_by_list[list_index] += len(rows)
+        if self.trace is not None:
+            if objects is None:
+                objects = db.ids_for_rows(rows)
+            self.trace.record(
+                BatchAccessEvent(
+                    RANDOM,
+                    list_index,
+                    tuple(objects),
+                    tuple(grades.tolist()),
+                    -1,
+                    self.middleware_cost,
+                )
+            )
         return grades
 
     # ------------------------------------------------------------------

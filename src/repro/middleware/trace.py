@@ -5,6 +5,21 @@ Traces are the raw material for access-pattern analysis: verifying that an
 algorithm's sorted accesses are (near-)lockstep, counting duplicate random
 accesses (the price TA pays for bounded buffers), and rendering the
 step-by-step tables that the examples print.
+
+Two event granularities coexist:
+
+* :class:`AccessEvent` -- one scalar access, recorded by the scalar
+  methods (and by the batch methods' scalar fallback on non-columnar
+  backends), and
+* :class:`BatchAccessEvent` -- one *batched* access (a contiguous slice
+  of ``count`` accesses against one list), recorded by the columnar
+  batch fast path so tracing composes with the speculative chunked
+  engines instead of forcing them scalar.
+
+Summaries treat a batch event exactly as the ``count`` scalar events it
+stands for: access counts weight by ``count``, duplicate detection
+iterates the batched objects, and lockstep skew advances the list's
+depth by the whole slice.
 """
 
 from __future__ import annotations
@@ -13,7 +28,13 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Hashable
 
-__all__ = ["AccessEvent", "AccessTrace", "SORTED", "RANDOM"]
+__all__ = [
+    "AccessEvent",
+    "BatchAccessEvent",
+    "AccessTrace",
+    "SORTED",
+    "RANDOM",
+]
 
 SORTED = "S"
 RANDOM = "R"
@@ -34,18 +55,45 @@ class AccessEvent:
     position: int
     cumulative_cost: float
 
+    @property
+    def count(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class BatchAccessEvent:
+    """One batched access: ``count`` contiguous accesses on one list.
+
+    ``first_position`` is the 0-based depth of the first entry for a
+    sorted batch (``-1`` for random batches); ``cumulative_cost`` is the
+    middleware cost *after* the whole batch.  ``objects`` and ``grades``
+    are aligned tuples in access order.
+    """
+
+    kind: str  # SORTED or RANDOM
+    list_index: int
+    objects: tuple
+    grades: tuple
+    first_position: int
+    cumulative_cost: float
+
+    @property
+    def count(self) -> int:
+        return len(self.objects)
+
 
 class AccessTrace:
-    """An append-only sequence of :class:`AccessEvent` with summaries."""
+    """An append-only sequence of :class:`AccessEvent` /
+    :class:`BatchAccessEvent` with summaries."""
 
     def __init__(self):
-        self._events: list[AccessEvent] = []
+        self._events: list[AccessEvent | BatchAccessEvent] = []
 
-    def record(self, event: AccessEvent) -> None:
+    def record(self, event: AccessEvent | BatchAccessEvent) -> None:
         self._events.append(event)
 
     @property
-    def events(self) -> list[AccessEvent]:
+    def events(self) -> list[AccessEvent | BatchAccessEvent]:
         return list(self._events)
 
     def __len__(self) -> int:
@@ -58,8 +106,12 @@ class AccessTrace:
     # summaries
     # ------------------------------------------------------------------
     def counts(self) -> Counter:
-        """``Counter({SORTED: s, RANDOM: r})``."""
-        return Counter(e.kind for e in self._events)
+        """``Counter({SORTED: s, RANDOM: r})`` -- *access* counts, so a
+        batch event contributes its whole ``count``."""
+        counter: Counter = Counter()
+        for e in self._events:
+            counter[e.kind] += e.count
+        return counter
 
     def duplicate_random_accesses(self) -> int:
         """Random accesses that re-fetched an already-fetched (obj, list)
@@ -69,11 +121,15 @@ class AccessTrace:
         for e in self._events:
             if e.kind != RANDOM:
                 continue
-            key = (e.obj, e.list_index)
-            if key in seen:
-                duplicates += 1
-            else:
-                seen.add(key)
+            objects = (
+                e.objects if isinstance(e, BatchAccessEvent) else (e.obj,)
+            )
+            for obj in objects:
+                key = (obj, e.list_index)
+                if key in seen:
+                    duplicates += 1
+                else:
+                    seen.add(key)
         return duplicates
 
     def max_lockstep_skew(self) -> int:
@@ -89,20 +145,37 @@ class AccessTrace:
         for e in self._events:
             if e.kind != SORTED:
                 continue
-            depth[e.list_index] = e.position + 1
+            if isinstance(e, BatchAccessEvent):
+                depth[e.list_index] = e.first_position + e.count
+            else:
+                depth[e.list_index] = e.position + 1
             if depth:
                 skew = max(skew, max(depth.values()) - min(depth.values()))
         return skew
 
     def format_table(self, limit: int | None = 40) -> str:
-        """Human-readable table of the first ``limit`` events."""
+        """Human-readable table of the first ``limit`` events.  A batch
+        event renders as one row spanning its ``count`` accesses."""
         rows = ["step  kind  list  object                grade     cost"]
         events = self._events if limit is None else self._events[:limit]
-        for step, e in enumerate(events):
-            rows.append(
-                f"{step:>4}  {e.kind:>4}  {e.list_index:>4}  "
-                f"{str(e.obj)[:20]:<20}  {e.grade:8.4f}  {e.cumulative_cost:8.2f}"
-            )
+        step = 0
+        for e in events:
+            if isinstance(e, BatchAccessEvent):
+                first = str(e.objects[0])[:14] if e.objects else ""
+                label = f"{first} (+{max(e.count - 1, 0)})"
+                grade = e.grades[0] if e.grades else float("nan")
+                rows.append(
+                    f"{step:>4}  {e.kind + '*':>4}  {e.list_index:>4}  "
+                    f"{label:<20}  {grade:8.4f}  {e.cumulative_cost:8.2f}"
+                )
+                step += e.count
+            else:
+                rows.append(
+                    f"{step:>4}  {e.kind:>4}  {e.list_index:>4}  "
+                    f"{str(e.obj)[:20]:<20}  {e.grade:8.4f}  "
+                    f"{e.cumulative_cost:8.2f}"
+                )
+                step += 1
         if limit is not None and len(self._events) > limit:
             rows.append(f"... ({len(self._events) - limit} more events)")
         return "\n".join(rows)

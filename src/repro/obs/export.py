@@ -1,0 +1,98 @@
+"""Export surfaces: the Prometheus-text HTTP endpoint.
+
+:class:`MetricsExporter` is a minimal asyncio HTTP/1.0 server (no
+dependencies, stdlib only) answering
+
+* ``GET /metrics`` with the registry in the Prometheus text exposition
+  format (``MetricsRegistry.render_prometheus``), and
+* ``GET /metrics.json`` with the same registry as a JSON snapshot
+  (``MetricsRegistry.snapshot``) -- handy for humans and tests.
+
+It binds a port of its own (``--metrics-port`` on
+``python -m repro.server``) so scraping never contends with the query
+wire protocol, and it reads the registry without locks: a scrape
+observes each instrument at some recent instant, which is all a
+monitoring system asks for.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+__all__ = ["MetricsExporter"]
+
+_MAX_REQUEST_BYTES = 16384
+
+
+class MetricsExporter:
+    """Serve a :class:`~repro.obs.metrics.MetricsRegistry` over HTTP."""
+
+    def __init__(self, registry, host: str = "127.0.0.1", port: int = 0):
+        self._registry = registry
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def astart(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            request = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            writer.close()
+            return
+        if len(request) > _MAX_REQUEST_BYTES:
+            writer.close()
+            return
+        try:
+            method, path, *_ = request.split(b"\r\n", 1)[0].decode(
+                "latin-1"
+            ).split(" ")
+        except ValueError:
+            method, path = "", ""
+        if method != "GET":
+            status, content_type, body = (
+                "405 Method Not Allowed", "text/plain", b"GET only\n"
+            )
+        elif path in ("/metrics", "/"):
+            body = self._registry.render_prometheus().encode("utf-8")
+            status = "200 OK"
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/metrics.json":
+            body = (
+                json.dumps(self._registry.snapshot(), indent=2) + "\n"
+            ).encode("utf-8")
+            status, content_type = "200 OK", "application/json"
+        else:
+            status, content_type, body = (
+                "404 Not Found", "text/plain", b"try /metrics\n"
+            )
+        writer.write(
+            (
+                f"HTTP/1.0 {status}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            + body
+        )
+        try:
+            await writer.drain()
+        except ConnectionError:
+            pass
+        writer.close()

@@ -1,0 +1,222 @@
+"""Query-lifecycle tracing: spans from admission to halt.
+
+A :class:`QueryTrace` is a small, append-only record of one query's
+trip through the service: ``admitted`` → (``queued``) → ``running`` →
+done, each phase a :class:`Span` stamped by the tracer's injectable
+clock (inject a deterministic clock and two identical runs produce
+byte-identical traces -- the determinism tests do exactly that).  The
+engine-level detail -- per-round depth, charged cost, and the τ/W/B
+bound trajectory -- attaches as the trace's
+:class:`~repro.obs.profile.QueryProbe`.
+
+The tracer keeps the most recent completed traces in a bounded ring
+and feeds the :class:`SlowQueryLog`: any query whose wall duration
+crosses the threshold is retained as a structured record carrying its
+full per-round bound trajectory, so "why was this query slow" is
+answerable from the paper's own vocabulary (how deep did it read, what
+did the threshold do, what was charged) rather than from a wall-clock
+number alone.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable
+
+__all__ = ["Span", "QueryTrace", "Tracer", "SlowQueryLog", "NULL_TRACE"]
+
+
+class Span:
+    """One named phase of a query with start/end stamps and attributes."""
+
+    __slots__ = ("name", "start", "end", "attrs")
+
+    def __init__(self, name: str, start: float,
+                 attrs: dict | None = None):
+        self.name = name
+        self.start = start
+        self.end: float | None = None
+        self.attrs: dict = attrs or {}
+
+    @property
+    def duration(self) -> float | None:
+        return None if self.end is None else self.end - self.start
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        dur = "open" if self.end is None else f"{self.duration:.6f}s"
+        return f"<Span {self.name} {dur}>"
+
+
+class QueryTrace:
+    """The spans (and optional probe) of one query."""
+
+    __slots__ = ("query_id", "spans", "probe", "attrs", "_clock", "_open")
+
+    def __init__(self, query_id: str, clock: Callable[[], float],
+                 **attrs):
+        self.query_id = query_id
+        self.spans: list[Span] = []
+        self.probe = None
+        self.attrs: dict = attrs
+        self._clock = clock
+        self._open: dict[str, Span] = {}
+
+    def begin(self, name: str, **attrs) -> Span:
+        span = Span(name, self._clock(), attrs)
+        self.spans.append(span)
+        self._open[name] = span
+        return span
+
+    def end(self, name: str, **attrs) -> None:
+        span = self._open.pop(name, None)
+        if span is None:
+            return
+        span.end = self._clock()
+        if attrs:
+            span.attrs.update(attrs)
+
+    def event(self, name: str, **attrs) -> Span:
+        """A zero-duration span (a point event)."""
+        span = Span(name, self._clock(), attrs)
+        span.end = span.start
+        self.spans.append(span)
+        return span
+
+    def close(self) -> None:
+        """End any span left open (crash paths)."""
+        for name in list(self._open):
+            self.end(name)
+
+    @property
+    def duration(self) -> float | None:
+        """First span start to last span end."""
+        if not self.spans:
+            return None
+        ends = [s.end for s in self.spans if s.end is not None]
+        if not ends:
+            return None
+        return max(ends) - self.spans[0].start
+
+    def as_dict(self) -> dict:
+        record: dict = {
+            "query_id": self.query_id,
+            "attrs": dict(self.attrs),
+            "spans": [span.as_dict() for span in self.spans],
+        }
+        if self.probe is not None:
+            record["profile"] = self.probe.as_dict()
+        return record
+
+
+class _NullTrace:
+    """The no-op trace a disabled tracer hands out."""
+
+    __slots__ = ()
+    query_id = ""
+    probe = None
+
+    def begin(self, name: str, **attrs) -> None:
+        pass
+
+    def end(self, name: str, **attrs) -> None:
+        pass
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    @property
+    def duration(self) -> None:
+        return None
+
+    def as_dict(self) -> dict:
+        return {}
+
+
+NULL_TRACE = _NullTrace()
+
+
+class Tracer:
+    """Creates and retains :class:`QueryTrace` objects.
+
+    ``capacity`` bounds the completed-trace ring; a disabled tracer
+    hands out :data:`NULL_TRACE` so call sites never branch.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        capacity: int = 128,
+        enabled: bool = True,
+    ):
+        self.clock = clock
+        self.enabled = enabled
+        self.completed: deque[QueryTrace] = deque(maxlen=capacity)
+
+    def trace(self, query_id: str, **attrs):
+        if not self.enabled:
+            return NULL_TRACE
+        return QueryTrace(query_id, self.clock, **attrs)
+
+    def finish(self, trace) -> None:
+        if trace is NULL_TRACE or not self.enabled:
+            return
+        trace.close()
+        self.completed.append(trace)
+
+    def find(self, query_id: str):
+        for trace in reversed(self.completed):
+            if trace.query_id == query_id:
+                return trace
+        return None
+
+
+class SlowQueryLog:
+    """Structured retention of queries slower than a threshold.
+
+    Records are plain dicts (JSON-safe): the query's identity, spans,
+    and -- through the attached probe -- the per-round bound trajectory.
+    ``sink`` (when given) receives each record as it is admitted, e.g.
+    ``lambda rec: print(json.dumps(rec))`` for a log line per slow
+    query.
+    """
+
+    def __init__(
+        self,
+        threshold_s: float | None = None,
+        sink: Callable[[dict], None] | None = None,
+        capacity: int = 64,
+    ):
+        self.threshold_s = threshold_s
+        self.sink = sink
+        self.records: deque[dict] = deque(maxlen=capacity)
+
+    def consider(self, trace, duration_s: float | None = None,
+                 **extra) -> bool:
+        """Admit ``trace`` if it crossed the threshold; returns whether
+        it was admitted."""
+        if self.threshold_s is None:
+            return False
+        if duration_s is None:
+            duration_s = trace.duration
+        if duration_s is None or duration_s < self.threshold_s:
+            return False
+        record = trace.as_dict()
+        record["duration_s"] = duration_s
+        if extra:
+            record.update(extra)
+        self.records.append(record)
+        if self.sink is not None:
+            self.sink(record)
+        return True

@@ -59,6 +59,7 @@ from ..middleware.errors import (
     ServiceTransientError,
     ServiceUnavailableError,
 )
+from ..obs.metrics import NULL_INSTRUMENT
 from ..services.protocol import SortedPage
 from .breaker import CircuitBreaker, CircuitBreakerPolicy
 
@@ -93,6 +94,10 @@ class ReplicatedGradedSource:
     hedge_after:
         Seconds before a pending request speculatively hedges to the
         next candidate replica; ``None`` (default) disables hedging.
+    obs:
+        Optional :class:`~repro.obs.Observability` plane; failovers,
+        hedges, hedge wins and breaker trips land in its registry
+        (labelled by group name) in addition to the public counters.
     """
 
     def __init__(
@@ -102,6 +107,7 @@ class ReplicatedGradedSource:
         *,
         breaker_policy: CircuitBreakerPolicy | None = None,
         hedge_after: float | None = None,
+        obs=None,
     ):
         if not replicas:
             raise DatabaseError(f"replica group {name!r} has no replicas")
@@ -145,6 +151,27 @@ class ReplicatedGradedSource:
         self.hedges_fired = 0
         #: requests won by a hedged (non-first) attempt
         self.hedge_wins = 0
+        if obs is None:
+            self._m_failovers = self._m_hedges = NULL_INSTRUMENT
+            self._m_hedge_wins = self._m_breaker_trips = NULL_INSTRUMENT
+        else:
+            labels = {"group": name}
+            self._m_failovers = obs.counter(
+                "repro_replica_failovers_total", labels,
+                help="requests re-issued on another replica",
+            )
+            self._m_hedges = obs.counter(
+                "repro_replica_hedges_total", labels,
+                help="hedge timers fired (speculative duplicates)",
+            )
+            self._m_hedge_wins = obs.counter(
+                "repro_replica_hedge_wins_total", labels,
+                help="requests won by a hedged attempt",
+            )
+            self._m_breaker_trips = obs.counter(
+                "repro_replica_breaker_trips_total", labels,
+                help="circuit breakers tripped open",
+            )
 
     # ------------------------------------------------------------------
     # protocol surface
@@ -236,6 +263,7 @@ class ReplicatedGradedSource:
                 # hedge timer: speculatively duplicate the request on
                 # the next candidate (losers are cancelled uncharged)
                 self.hedges_fired += 1
+                self._m_hedges.inc()
                 spawn(as_hedge=True)
                 continue
             for task in done:
@@ -248,13 +276,18 @@ class ReplicatedGradedSource:
                     self._preferred = j
                     if task in hedged:
                         self.hedge_wins += 1
+                        self._m_hedge_wins.inc()
                     return await settle(winner_result=task.result())
                 if isinstance(exc, _RETRYABLE):
                     attempts += getattr(exc, "attempts", 1)
+                    opens_before = self._breakers[j].opens
                     self._breakers[j].record_failure(tick)
+                    if self._breakers[j].opens > opens_before:
+                        self._m_breaker_trips.inc()
                     last_exc = exc
                     if next_candidate < len(order):
                         self.failovers += 1
+                        self._m_failovers.inc()
                         spawn()
                     continue
                 # non-retryable (unknown object, wire corruption, bug):

@@ -15,23 +15,37 @@ SIGTERM is graceful: stop accepting, drain in-flight requests
 ``--max-active`` / ``--max-queued`` set the admission policy;
 ``--no-share-scans`` turns the scan cache into the benchmark's
 private-scan control arm.
+
+The daemon carries an :class:`~repro.obs.Observability` plane by
+default (``--no-obs`` drops it): the ``metrics`` wire op serves the
+registry snapshot, and ``--metrics-port`` additionally binds a
+Prometheus-text HTTP endpoint (readiness line ``METRICS <host>
+<port>`` after ``LISTENING``).  ``--slow-query-threshold`` retains any
+query slower than the threshold with its per-round bound trajectory,
+logged as one JSON line on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import json
 import signal
 import sys
 from pathlib import Path
 
 from ..middleware.cost import AdmissionPolicy
 from ..middleware.serialization import load_npz
+from ..obs import Observability
 from ..services.simulated import LatencyModel
 from .service import QueryService
 from .wire import QueryServer
 
 __all__ = ["main"]
+
+
+def _slow_query_line(record: dict) -> None:
+    print(json.dumps(record, sort_keys=True), file=sys.stderr, flush=True)
 
 
 def build_server(args: argparse.Namespace) -> QueryServer:
@@ -41,9 +55,20 @@ def build_server(args: argparse.Namespace) -> QueryServer:
         latency = LatencyModel(
             base=args.latency, jitter=args.jitter, seed=args.latency_seed
         )
+    obs = None
+    if not args.no_obs:
+        obs = Observability(
+            slow_query_threshold=args.slow_query_threshold,
+            slow_query_sink=(
+                _slow_query_line
+                if args.slow_query_threshold is not None
+                else None
+            ),
+        )
     service = QueryService(
         database=db,
         latency=latency,
+        obs=obs,
         admission=AdmissionPolicy(
             max_active=args.max_active,
             max_queued=args.max_queued,
@@ -64,16 +89,28 @@ def build_server(args: argparse.Namespace) -> QueryServer:
 async def _serve(args: argparse.Namespace) -> None:
     server = build_server(args)
     await server.start()
+    exporter = None
+    obs = server.service.obs
+    if args.metrics_port is not None:
+        if obs is None:
+            raise SystemExit("--metrics-port requires the obs plane "
+                             "(drop --no-obs)")
+        exporter = obs.exporter(host=args.host, port=args.metrics_port)
+        await exporter.astart()
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     loop.add_signal_handler(signal.SIGTERM, stop.set)
     host, port = server.address
     print(f"LISTENING {host} {port}", flush=True)
+    if exporter is not None:
+        print(f"METRICS {exporter.host} {exporter.port}", flush=True)
     try:
         await stop.wait()
         await server.service.adrain(args.drain_timeout)
         await server.drain(args.drain_timeout)
     finally:
+        if exporter is not None:
+            await exporter.aclose()
         await server.aclose()
 
 
@@ -144,6 +181,25 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=5.0,
         help="seconds SIGTERM waits for in-flight queries to drain",
+    )
+    parser.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="run without the observability plane (no metrics/traces)",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="bind a Prometheus-text HTTP endpoint on this port "
+        "(0 picks a free one); prints 'METRICS <host> <port>'",
+    )
+    parser.add_argument(
+        "--slow-query-threshold",
+        type=float,
+        default=None,
+        help="retain queries slower than this many seconds with their "
+        "per-round bound trajectory (one JSON line on stderr each)",
     )
     args = parser.parse_args(argv)
     try:

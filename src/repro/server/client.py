@@ -186,6 +186,15 @@ class QueryServiceClient(TransportClient):
         )
         return response["stats"]
 
+    async def service_metrics(self) -> dict:
+        """The server's metrics-registry snapshot (``{"enabled":
+        False, "metrics": []}`` when the server runs without an
+        observability plane)."""
+        response = await self.request(
+            {"op": "metrics"}, service="query-service"
+        )
+        return response["metrics"]
+
     async def service_meta(self) -> dict:
         """The server's ``meta`` report.  ``protocol`` is absent from
         v1 servers -- ``meta.get("protocol", 1)`` feature-detects the

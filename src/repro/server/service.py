@@ -76,6 +76,7 @@ from ..middleware.errors import (
     UnknownViewError,
 )
 from ..middleware.mutable import MutableDatabase
+from ..obs import NULL_INSTRUMENT, Observability
 from ..views import LiveView, ViewEvent
 from ..services.assemble import services_for_database
 from ..services.protocol import RemoteGradedSource
@@ -263,6 +264,8 @@ class _QueryState:
         "finished_at",
         "bill",
         "collected",
+        "trace",
+        "probe",
     )
 
     def __init__(
@@ -288,6 +291,10 @@ class _QueryState:
         self.finished_at: float | None = None
         self.bill: QueryBill | None = None
         self.collected = False
+        #: lifecycle trace + bound-trajectory probe (None when the
+        #: service runs without an observability plane)
+        self.trace = None
+        self.probe = None
 
 
 class _ViewState:
@@ -405,6 +412,13 @@ class QueryService:
     sweep_after:
         Seconds a collected terminal query lingers before the idle
         sweeper forgets it.
+    obs:
+        An :class:`~repro.obs.Observability` plane; when given, every
+        query carries a lifecycle trace plus a bound-trajectory probe,
+        service counters land in the metrics registry, and queries over
+        the slow-query threshold are retained with their per-round
+        τ/W/B profile.  ``None`` (default) costs one attribute load per
+        hook -- results are bit-identical either way.
     """
 
     def __init__(
@@ -421,6 +435,7 @@ class QueryService:
         readahead_pages: int = 2,
         wait_timeout: float = 30.0,
         sweep_after: float = SWEEP_AFTER_S,
+        obs: Observability | None = None,
     ):
         if (services is None) == (database is None):
             raise DatabaseError(
@@ -479,6 +494,79 @@ class QueryService:
         self._thread: threading.Thread | None = None
         self._owns_loop = False
         self._closed = False
+        self._obs = obs
+        # pre-resolved instruments: NULL_INSTRUMENT when the plane is
+        # absent/disabled, so the hot paths below never branch on obs
+        _c = obs.counter if obs is not None else None
+        _g = obs.gauge if obs is not None else None
+        _h = obs.histogram if obs is not None else None
+        if _c is None or _g is None or _h is None:
+            null = NULL_INSTRUMENT
+            self._m_submitted = null
+            self._m_refused = null
+            self._m_outcomes = {
+                "ok": null, "cancelled": null, "error": null
+            }
+            self._m_queued = null
+            self._m_active = null
+            self._m_duration = null
+            self._m_cost = null
+            self._m_sorted = null
+            self._m_random = null
+            self._m_mutations = {
+                "insert": null, "update": null, "delete": null
+            }
+            self._m_views = null
+        else:
+            self._m_submitted = _c(
+                "repro_queries_submitted_total",
+                help="queries admitted (queued or started)",
+            )
+            self._m_refused = _c(
+                "repro_queries_refused_total",
+                help="submissions refused at admission",
+            )
+            self._m_outcomes = {
+                outcome: _c(
+                    "repro_queries_finished_total",
+                    {"outcome": outcome},
+                    help="terminal queries by outcome",
+                )
+                for outcome in ("ok", "cancelled", "error")
+            }
+            self._m_queued = _g(
+                "repro_queries_queued", help="admission queue depth"
+            )
+            self._m_active = _g(
+                "repro_queries_active", help="queries currently running"
+            )
+            self._m_duration = _h(
+                "repro_query_wall_seconds",
+                help="submit-to-terminal wall time",
+            )
+            self._m_cost = _h(
+                "repro_query_middleware_cost",
+                help="per-query charged middleware cost s*cS + r*cR",
+            )
+            self._m_sorted = _c(
+                "repro_sorted_accesses_total",
+                help="charged sorted accesses across finished queries",
+            )
+            self._m_random = _c(
+                "repro_random_accesses_total",
+                help="charged random accesses across finished queries",
+            )
+            self._m_mutations = {
+                action: _c(
+                    "repro_mutations_total",
+                    {"action": action},
+                    help="applied mutations by action",
+                )
+                for action in ("insert", "update", "delete")
+            }
+            self._m_views = _g(
+                "repro_views_active", help="standing views registered"
+            )
 
     # ------------------------------------------------------------------
     # introspection
@@ -521,6 +609,19 @@ class QueryService:
         """The scan cache (``None`` before start)."""
         return self._cache
 
+    @property
+    def obs(self) -> Observability | None:
+        """The attached observability plane (``None`` when absent)."""
+        return self._obs
+
+    def metrics(self) -> dict:
+        """A JSON-safe snapshot of the metrics registry (the payload of
+        the ``metrics`` wire op); an empty, disabled-shaped snapshot
+        when no observability plane is attached."""
+        if self._obs is None:
+            return {"enabled": False, "metrics": []}
+        return self._obs.registry.snapshot()
+
     def bills(self) -> list[QueryBill]:
         return self._ledger.bills()
 
@@ -550,7 +651,11 @@ class QueryService:
             ),
             "ledger": self._ledger.totals(),
             "cache": self._cache.stats() if self._cache else None,
-            "scheduler": dict(self._scheduler.ran),
+            "scheduler": {
+                "ran": dict(self._scheduler.ran),
+                "pending": self._scheduler.pending(),
+                "failures": len(self._scheduler.failures),
+            },
         }
 
     # ------------------------------------------------------------------
@@ -674,6 +779,7 @@ class QueryService:
         :class:`~repro.core.base.QueryError` /
         :class:`ValueError` when the spec is invalid."""
         if self._draining:
+            self._m_refused.inc()
             raise AdmissionError("service is draining; resubmit elsewhere")
         # resolve eagerly: an invalid query fails at the submission
         # boundary, never inside a worker
@@ -713,17 +819,38 @@ class QueryService:
             or self._mutations_pending
         ):
             if len(self._queue) >= self._admission.max_queued:
+                self._m_refused.inc()
                 raise AdmissionError(
                     f"admission queue full ({self._admission.max_queued} "
                     "queued); retry later"
                 )
             self._queries[query_id] = state
+            self._m_submitted.inc()
+            self._begin_trace(state)
             self._queue.append(query_id)
+            if state.trace is not None:
+                state.trace.begin("queued")
+            self._m_queued.set(len(self._queue))
             self._scheduler.call_soon(self._admit_more)
         else:
             self._queries[query_id] = state
+            self._m_submitted.inc()
+            self._begin_trace(state)
             self._start_query(state)
         return QueryHandle(query_id, state.future, self)
+
+    def _begin_trace(self, state: _QueryState) -> None:
+        obs = self._obs
+        if obs is None or not obs.enabled:
+            return
+        state.trace = obs.tracer.trace(
+            state.query_id,
+            algorithm=state.spec.algorithm,
+            aggregation=state.spec.aggregation,
+            k=state.spec.k,
+            lists=list(state.lists),
+        )
+        state.trace.event("admitted")
 
     def submit(self, spec: QuerySpec) -> QueryHandle:
         """Thread-safe submission from outside the loop."""
@@ -741,10 +868,15 @@ class QueryService:
             if state is None or state.status != QueryStatus.QUEUED:
                 continue  # cancelled while queued
             self._start_query(state)
+        self._m_queued.set(len(self._queue))
 
     def _start_query(self, state: _QueryState) -> None:
         state.status = QueryStatus.RUNNING
         self._active.add(state.query_id)
+        self._m_active.set(len(self._active))
+        if state.trace is not None:
+            state.trace.end("queued")
+            state.trace.begin("running")
         assert self._loop is not None
         self._loop.create_task(self._run_query(state))
 
@@ -761,6 +893,14 @@ class QueryService:
                 wait_timeout=self._wait_timeout,
             )
             state.session = session
+            if state.trace is not None:
+                assert self._obs is not None
+                # the probe rides the session into the engine; its
+                # reads are uncharged session properties, so the
+                # middleware bill is identical with or without it
+                state.probe = self._obs.probe(session)
+                session.probe = state.probe
+                state.trace.probe = state.probe
             if state.cancel_requested:
                 raise QueryCancelledError(state.query_id)
             result = await state.algorithm.run_on_loop(
@@ -779,6 +919,7 @@ class QueryService:
             if session is not None:
                 session.close()
             self._active.discard(state.query_id)
+            self._m_active.set(len(self._active))
             self._scheduler.call_soon(self._admit_more)
 
     def _finish(
@@ -808,6 +949,26 @@ class QueryService:
         )
         self._ledger.post(bill)
         state.bill = bill
+        self._m_outcomes[outcome].inc()
+        self._m_duration.observe(bill.wall_seconds)
+        self._m_cost.observe(bill.middleware_cost)
+        self._m_sorted.inc(bill.sorted_accesses)
+        self._m_random.inc(bill.random_accesses)
+        if state.trace is not None:
+            trace = state.trace
+            trace.end(
+                "running",
+                outcome=outcome,
+                cost=bill.middleware_cost,
+                sorted=bill.sorted_accesses,
+                random=bill.random_accesses,
+            )
+            obs = self._obs
+            assert obs is not None
+            obs.tracer.finish(trace)
+            obs.slow_queries.consider(
+                trace, duration_s=bill.wall_seconds, outcome=outcome
+            )
         if outcome == "ok":
             state.status = QueryStatus.DONE
             assert result is not None
@@ -925,10 +1086,12 @@ class QueryService:
             aggregation,
             spec.k,
             cost_model=spec.cost_model(),
+            obs=self._obs,
         )
         state = _ViewState(view_id, spec, view)
         view._on_event = state.record
         self._views[view_id] = state
+        self._m_views.set(len(self._views))
         return {
             "view": view_id,
             "result": view.result,
@@ -974,6 +1137,7 @@ class QueryService:
     def _drop_view(self, state: _ViewState) -> None:
         state.view.close()
         self._views.pop(state.view_id, None)
+        self._m_views.set(len(self._views))
         state.wake()  # parked long-polls resolve, then see the drop
 
     async def aunsubscribe(self, view_id: str) -> bool:
@@ -1041,6 +1205,7 @@ class QueryService:
                     "known: insert, update, delete"
                 )
             await self._rebuild_sources()
+            self._m_mutations[action].inc()
             return {"version": db.version, "n": db.num_objects}
         finally:
             self._mutations_pending -= 1

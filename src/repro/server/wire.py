@@ -203,7 +203,8 @@ class QueryServer(FrameServer):
     ):
         kwargs = {} if max_frame is None else {"max_frame": max_frame}
         super().__init__(
-            host=host, port=port, max_concurrent=max_concurrent, **kwargs
+            host=host, port=port, max_concurrent=max_concurrent,
+            obs=service.obs, **kwargs
         )
         self._service = service
 
@@ -251,6 +252,8 @@ class QueryServer(FrameServer):
             return {"cancelled": cancelled}
         if op == "stats":
             return {"stats": self._service.stats()}
+        if op == "metrics":
+            return {"metrics": self._service.metrics()}
         if op == "meta":
             return {
                 "m": self._service.num_lists,

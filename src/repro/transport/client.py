@@ -59,6 +59,7 @@ from typing import Hashable
 import numpy as np
 
 from ..middleware.access import ListCapabilities
+from ..obs.metrics import NULL_INSTRUMENT
 from ..middleware.errors import (
     RemoteServiceError,
     ServiceTimeoutError,
@@ -90,10 +91,14 @@ class _Connection:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         max_frame: int,
+        m_bytes_out=NULL_INSTRUMENT,
+        m_bytes_in=NULL_INSTRUMENT,
     ):
         self._reader = reader
         self._writer = writer
         self._max_frame = max_frame
+        self._m_bytes_out = m_bytes_out
+        self._m_bytes_in = m_bytes_in
         self._pending: dict[int, asyncio.Future] = {}
         self._next_id = 0
         self._send_lock = asyncio.Lock()
@@ -117,6 +122,7 @@ class _Connection:
             async with self._send_lock:
                 self._writer.write(frame)
                 await self._writer.drain()
+            self._m_bytes_out.inc(len(frame))
             return await future
         finally:
             self._pending.pop(rid, None)
@@ -127,6 +133,7 @@ class _Connection:
                 header = await self._reader.readexactly(FRAME_HEADER_BYTES)
                 size = frame_payload_size(header, self._max_frame)
                 payload = await self._reader.readexactly(size)
+                self._m_bytes_in.inc(FRAME_HEADER_BYTES + size)
                 message = decode_message(payload)
                 if not isinstance(message, dict):
                     raise WireFormatError("response must be a message dict")
@@ -202,6 +209,7 @@ class TransportClient:
         connect_timeout: float = 5.0,
         pool_size: int = 1,
         max_frame: int = MAX_FRAME_BYTES,
+        obs=None,
     ):
         if pool_size < 1:
             raise ValueError(f"pool_size must be >= 1, got {pool_size}")
@@ -214,6 +222,26 @@ class TransportClient:
         self._max_frame = max_frame
         self._pools: dict[int, _LoopPool] = {}
         self._retry_rng = self._retry.sampler()
+        if obs is None:
+            self._m_requests = self._m_retries = NULL_INSTRUMENT
+            self._m_bytes_out = self._m_bytes_in = NULL_INSTRUMENT
+        else:
+            self._m_requests = obs.counter(
+                "repro_client_requests_total",
+                help="wire requests issued (attempts counted once)",
+            )
+            self._m_retries = obs.counter(
+                "repro_client_retries_total",
+                help="connection-level failures retried",
+            )
+            self._m_bytes_out = obs.counter(
+                "repro_client_bytes_sent_total",
+                help="request bytes (headers + payloads)",
+            )
+            self._m_bytes_in = obs.counter(
+                "repro_client_bytes_received_total",
+                help="response bytes (headers + payloads)",
+            )
 
     # ------------------------------------------------------------------
     # connection pool (per running loop; see the module docstring)
@@ -235,7 +263,13 @@ class TransportClient:
                 self._connect_timeout,
             )
             pool.connections.append(
-                _Connection(reader, writer, self._max_frame)
+                _Connection(
+                    reader,
+                    writer,
+                    self._max_frame,
+                    self._m_bytes_out,
+                    self._m_bytes_in,
+                )
             )
         pool.cursor = (pool.cursor + 1) % len(pool.connections)
         return pool.connections[pool.cursor]
@@ -246,6 +280,7 @@ class TransportClient:
         service error taxonomy, raises server-reported errors as their
         in-process types."""
         attempts = 0
+        self._m_requests.inc()
         while True:
             attempts += 1
             try:
@@ -266,6 +301,7 @@ class TransportClient:
                     or attempts >= self._retry.max_attempts
                 ):
                     raise mapped from exc
+                self._m_retries.inc()
                 pause = self._retry.delay(attempts, self._retry_rng)
                 if pause:
                     await asyncio.sleep(pause)

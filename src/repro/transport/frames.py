@@ -48,6 +48,7 @@ from ..middleware.serialization import (
     encode_frame,
     frame_payload_size,
 )
+from ..obs.metrics import NULL_INSTRUMENT
 
 __all__ = ["FrameServer", "FrameConnection", "BASE_ERROR_CODES"]
 
@@ -113,6 +114,7 @@ class FrameServer:
         port: int = 0,
         max_frame: int = MAX_FRAME_BYTES,
         max_concurrent: int | None = None,
+        obs=None,
     ):
         if max_concurrent is not None and max_concurrent < 1:
             raise DatabaseError(
@@ -133,6 +135,35 @@ class FrameServer:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._closed = False
+        # wire-level instruments (no-ops without an obs plane)
+        if obs is None:
+            self._m_frames_in = self._m_frames_out = NULL_INSTRUMENT
+            self._m_bytes_in = self._m_bytes_out = NULL_INSTRUMENT
+            self._m_connections = self._m_error_frames = NULL_INSTRUMENT
+        else:
+            self._m_frames_in = obs.counter(
+                "repro_server_frames_received_total",
+                help="request frames decoded",
+            )
+            self._m_frames_out = obs.counter(
+                "repro_server_frames_sent_total",
+                help="response frames written",
+            )
+            self._m_bytes_in = obs.counter(
+                "repro_server_bytes_received_total",
+                help="request bytes (headers + payloads)",
+            )
+            self._m_bytes_out = obs.counter(
+                "repro_server_bytes_sent_total",
+                help="response bytes (headers + payloads)",
+            )
+            self._m_connections = obs.gauge(
+                "repro_server_connections", help="open connections"
+            )
+            self._m_error_frames = obs.counter(
+                "repro_server_error_frames_total",
+                help="responses that carried an error code",
+            )
 
     # ------------------------------------------------------------------
     # async lifecycle
@@ -262,6 +293,7 @@ class FrameServer:
     ) -> None:
         conn = FrameConnection(reader, writer)
         self._connections.add(conn)
+        self._m_connections.set(len(self._connections))
         tasks: set[asyncio.Task] = set()
         event = self._slot_free
         try:
@@ -270,6 +302,8 @@ class FrameServer:
                 size = frame_payload_size(header, self._max_frame)
                 payload = await reader.readexactly(size)
                 message = decode_message(payload)
+                self._m_frames_in.inc()
+                self._m_bytes_in.inc(FRAME_HEADER_BYTES + size)
                 if self._max_concurrent is not None and event is not None:
                     # backpressure: at the cap, stop reading further
                     # frames -- this connection holds exactly one decoded
@@ -305,6 +339,7 @@ class FrameServer:
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
             self._connections.discard(conn)
+            self._m_connections.set(len(self._connections))
             try:
                 await self._connection_closed(conn)
             finally:
@@ -338,13 +373,16 @@ class FrameServer:
         try:
             frame = encode_frame(response, self._max_frame)
         except WireFormatError as exc:  # oversized/unencodable result
-            frame = encode_frame(
-                self._error_response(rid, exc), self._max_frame
-            )
+            response = self._error_response(rid, exc)
+            frame = encode_frame(response, self._max_frame)
+        if not response.get("ok"):
+            self._m_error_frames.inc()
         try:
             async with conn.send_lock:
                 conn.writer.write(frame)
                 await conn.writer.drain()
+            self._m_frames_out.inc()
+            self._m_bytes_out.inc(len(frame))
         except (ConnectionResetError, BrokenPipeError, RuntimeError):
             pass  # client hung up mid-response
 

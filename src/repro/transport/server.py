@@ -110,6 +110,7 @@ class GradedSourceServer(FrameServer):
         port: int = 0,
         max_frame: int = MAX_FRAME_BYTES,
         max_concurrent: int | None = None,
+        obs=None,
     ):
         self._sources = [_as_list_service(s) for s in sources]
         self._run_grid = [list(row) for row in run_grid]
@@ -120,6 +121,7 @@ class GradedSourceServer(FrameServer):
             port=port,
             max_frame=max_frame,
             max_concurrent=max_concurrent,
+            obs=obs,
         )
 
     @classmethod
@@ -237,6 +239,7 @@ def serve_sources(
     port: int = 0,
     max_frame: int = MAX_FRAME_BYTES,
     max_concurrent: int | None = None,
+    obs=None,
 ) -> GradedSourceServer:
     """Serve ``what`` -- a :class:`~repro.middleware.database.Database`
     or a sequence of sources/services -- on a background thread.
@@ -262,6 +265,7 @@ def serve_sources(
             port=port,
             max_frame=max_frame,
             max_concurrent=max_concurrent,
+            obs=obs,
         )
     else:
         if num_shards is not None:
@@ -305,6 +309,7 @@ def serve_sources(
             port=port,
             max_frame=max_frame,
             max_concurrent=max_concurrent,
+            obs=obs,
         )
     return server.start_in_thread()
 

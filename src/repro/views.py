@@ -47,6 +47,7 @@ from .middleware.access import AccessStats
 from .middleware.cost import CostModel, UNIT_COSTS
 from .middleware.errors import DatabaseError
 from .middleware.mutable import MutableDatabase, MutationEvent
+from .obs.metrics import NULL_INSTRUMENT
 
 __all__ = ["LiveView", "ViewEvent"]
 
@@ -106,8 +107,10 @@ class LiveView:
 
     Counters ``mutations_seen``, ``refreshes`` and ``events_emitted``
     expose the incremental win (the bench measures
-    ``refreshes / mutations_seen``).  Call :meth:`close` to detach
-    from the database's listener list.
+    ``refreshes / mutations_seen``).  Pass ``obs=`` to mirror them --
+    plus certified screens (mutations the bound certificate proved
+    irrelevant) -- into a metrics registry.  Call :meth:`close` to
+    detach from the database's listener list.
     """
 
     def __init__(
@@ -122,6 +125,7 @@ class LiveView:
         on_change: Optional[Listener] = None,
         on_remove: Optional[Listener] = None,
         on_event: Optional[Listener] = None,
+        obs=None,
     ):
         if not isinstance(database, MutableDatabase):
             raise DatabaseError(
@@ -146,6 +150,26 @@ class LiveView:
         self.mutations_seen = 0
         self.refreshes = 0
         self.events_emitted = 0
+        if obs is None:
+            self._m_mutations = self._m_refreshes = NULL_INSTRUMENT
+            self._m_screens = self._m_events = NULL_INSTRUMENT
+        else:
+            self._m_mutations = obs.counter(
+                "repro_view_mutations_seen_total",
+                help="mutations observed by live views",
+            )
+            self._m_refreshes = obs.counter(
+                "repro_view_refreshes_total",
+                help="engine re-runs (certificate demanded a refresh)",
+            )
+            self._m_screens = obs.counter(
+                "repro_view_certified_screens_total",
+                help="mutations screened out by the bound certificate",
+            )
+            self._m_events = obs.counter(
+                "repro_view_events_total",
+                help="add/change/remove deltas emitted",
+            )
         self._result: TopKResult | None = None
         self._members: dict[Hashable, RankedItem] = {}
         self._ranks: dict[Hashable, int] = {}
@@ -309,6 +333,7 @@ class LiveView:
 
     def _fire(self, event: ViewEvent, specific: Optional[Listener]) -> None:
         self.events_emitted += 1
+        self._m_events.inc()
         if specific is not None:
             specific(event)
         if self._on_event is not None:
@@ -336,9 +361,14 @@ class LiveView:
         if self._closed:
             return
         self.mutations_seen += 1
+        self._m_mutations.inc()
         if self._needs_refresh(event):
             self._refresh(emit=True)
+            self._m_refreshes.inc()
         else:
+            # the certificate proved the mutation cannot change the
+            # result: no engine run, just the version stamp
+            self._m_screens.inc()
             self._version = event.version
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

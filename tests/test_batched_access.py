@@ -149,14 +149,58 @@ def test_sorted_access_round_skips_exhausted_lists(db):
     assert len(rb) == 2
 
 
-def test_trace_recording_falls_back_to_scalar_semantics(db):
+def test_trace_recording_composes_with_the_batch_plane(db):
+    """Tracing no longer disables the columnar fast path: the scalar
+    backend records one event per access, the columnar backend one
+    *batch* event per call -- and the summaries agree on the access
+    counts either way."""
     session = AccessSession(db, record_trace=True)
-    assert not session.supports_batches
-    assert session.columnar_view() is None
+    is_columnar = session.columnar_view() is not None
+    assert session.supports_batches == is_columnar
     batch = session.sorted_access_batch(0, 4)
     session.random_access_batch(1, batch.objects)
-    events = session.trace.events if hasattr(session.trace, "events") else list(session.trace)
-    assert len(list(events)) == 8  # one event per charged access
+    events = list(session.trace)
+    # one event per charged access on the scalar plane; one
+    # batch-granularity event per call on the columnar fast path
+    assert len(events) == (2 if is_columnar else 8)
+    counts = session.trace.counts()
+    assert counts["S"] == 4 and counts["R"] == 4
+    assert session.stats().sorted_accesses == 4
+    assert session.stats().random_accesses == 4
+
+
+def test_batch_trace_events_carry_the_scalar_stream_content():
+    """The columnar batch events carry exactly the objects/grades the
+    scalar plane's per-access events would have, in access order."""
+    grades = np.random.default_rng(4).random((12, 2))
+    scalar = AccessSession(Database.from_array(grades), record_trace=True)
+    columnar = AccessSession(
+        ColumnarDatabase.from_array(grades), record_trace=True
+    )
+    sb = scalar.sorted_access_batch(0, 5)
+    cb = columnar.sorted_access_batch(0, 5)
+    assert sb.objects == cb.objects
+    scalar.random_access_batch(1, sb.objects)
+    columnar.random_access_batch(1, cb.objects)
+    scalar_events = list(scalar.trace)
+    [s_batch, r_batch] = list(columnar.trace)
+    assert s_batch.kind == "S" and r_batch.kind == "R"
+    assert s_batch.first_position == 0 and r_batch.first_position == -1
+    assert list(s_batch.objects) == [e.obj for e in scalar_events[:5]]
+    assert list(s_batch.grades) == [e.grade for e in scalar_events[:5]]
+    assert list(r_batch.objects) == [e.obj for e in scalar_events[5:]]
+    assert list(r_batch.grades) == [e.grade for e in scalar_events[5:]]
+    # batches record the post-batch cumulative cost
+    assert s_batch.cumulative_cost == scalar_events[4].cumulative_cost
+    assert r_batch.cumulative_cost == scalar_events[-1].cumulative_cost
+    assert (
+        scalar.trace.max_lockstep_skew()
+        == columnar.trace.max_lockstep_skew()
+    )
+    assert (
+        scalar.trace.duplicate_random_accesses()
+        == columnar.trace.duplicate_random_accesses()
+    )
 
 
 def test_supports_batches_only_on_columnar():

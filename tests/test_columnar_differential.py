@@ -46,12 +46,14 @@ from repro.core.nra import NoRandomAccessAlgorithm
 from repro.core.stream_combine import StreamCombine
 from repro.core.ta import ThresholdAlgorithm
 from repro.datagen import example_6_3, example_8_3, figure_5
+from repro.middleware.access import AccessSession
 from repro.middleware.cost import CostModel
 from repro.middleware.database import (
     ColumnarDatabase,
     Database,
     ShardedDatabase,
 )
+from repro.obs import QueryProbe
 from repro.services import (
     AsyncAccessSession,
     assemble_remote_database,
@@ -118,6 +120,24 @@ def assert_backends_agree(db, algo, aggregation, k, cost_model=None):
             f"{algo.name} with {aggregation.name} diverged between the "
             f"scalar and {label} backends"
         )
+    # the instrumentation axis: a fully-observed run (bound-trajectory
+    # probe attached, per-access trace recording on) must be
+    # bit-identical to the uninstrumented scalar reference, and the
+    # probe's totals must equal the session's accounting exactly
+    for label, backend in (("scalar", db), ("columnar", columnar)):
+        session = AccessSession(backend, record_trace=True, **kwargs)
+        probe = QueryProbe(session)
+        session.probe = probe
+        result = algo.run(session, aggregation, k)
+        assert signature(result) == expected, (
+            f"{algo.name} with {aggregation.name}: instrumentation "
+            f"perturbed the {label} backend"
+        )
+        stats = result.stats
+        assert probe.total_sorted == stats.sorted_accesses
+        assert probe.total_random == stats.random_accesses
+        assert probe.total_cost == stats.middleware_cost
+        assert probe.halt_reason == str(result.halt_reason)
 
 
 def assert_async_session_agrees(db, algo, aggregation, k, cost_model=None):
