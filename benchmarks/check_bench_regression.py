@@ -49,6 +49,18 @@ per-query metric emission may cost at most 10%) on every run; a smoke
 run is held to the same bounds times ``--obs-smoke-slack`` (default
 3.0), because CI boxes make sub-millisecond ratios noisy.
 
+Store gate (``--store-baseline``): residency-ceiling semantics for
+``BENCH_store.json`` (``bench_store.py``).  Every run must have kept
+its query phase's resident-set growth within its own recorded
+``rss_budget_bytes`` (the bench also asserts this in-process), with
+results bit-identical to the in-RAM reference; the committed baseline
+must additionally prove genuine out-of-core scale: >=
+``--store-min-rows`` rows (default 10M) and ``headroom`` (store bytes
+/ resident delta) >= ``--store-min-headroom`` (default 2.0) on at
+least one run.  A smoke run (``--store-smoke``) is held only to its
+own recorded budget -- CI cannot rebuild a ~1 GiB dataset, so there
+is deliberately no overlap requirement with the committed grid.
+
 Run::
 
     python benchmarks/check_bench_regression.py \
@@ -260,6 +272,76 @@ def check_obs(
     return 0
 
 
+def check_store(
+    baseline_path: Path,
+    smoke_path: Path | None,
+    min_rows: int,
+    min_headroom: float,
+) -> int:
+    """Gate the out-of-core store reports (``bench_store.py``):
+    residency ceilings, not speedups.  Every run (baseline and smoke)
+    must have honoured its own recorded ``rss_budget_bytes`` with
+    bit-identical results; the committed baseline must additionally
+    contain at least one genuinely out-of-core run (>= ``min_rows``
+    rows with ``headroom`` >= ``min_headroom``)."""
+    failures = []
+    at_scale = False
+
+    def _check_report(path: Path, arm_label: str):
+        nonlocal at_scale
+        report = json.loads(path.read_text())
+        for run in report["runs"]:
+            config = run["config"]
+            delta = run["resident_delta_bytes"]
+            budget = run["rss_budget_bytes"]
+            ok = (
+                run["ok"]
+                and run["results_match"]
+                and delta <= budget
+            )
+            print(
+                f"store {arm_label:8s} {config:22s} "
+                f"disk={run['store_bytes'] / 2**20:8.1f}MiB "
+                f"resident-delta={delta / 2**20:7.1f}MiB "
+                f"(<= {budget / 2**20:.0f}MiB)  "
+                f"headroom={run['headroom']:8.2f}x  "
+                f"{'ok' if ok else 'FAIL'}"
+            )
+            if not ok:
+                failures.append(
+                    (arm_label, config, "residency budget or results")
+                )
+            if (
+                arm_label == "baseline"
+                and run["rows"] >= min_rows
+                and run["headroom"] >= min_headroom
+            ):
+                at_scale = True
+
+    _check_report(baseline_path, "baseline")
+    if smoke_path is not None:
+        _check_report(smoke_path, "smoke")
+    if not at_scale:
+        failures.append(
+            (
+                "baseline",
+                "-",
+                f"no committed run with >= {min_rows:,} rows and "
+                f"headroom >= {min_headroom:g}x (the out-of-core "
+                "acceptance bar)",
+            )
+        )
+    if failures:
+        print(
+            f"store bench gate: {len(failures)} failure(s): "
+            + ", ".join(f"{a}/{c} ({why})" for a, c, why in failures),
+            file=sys.stderr,
+        )
+        return 1
+    print("store bench gate: all residency ceilings held")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -447,6 +529,42 @@ def main() -> int:
         help="absolute minimum views smoke speedup (default 5.0)",
     )
     parser.add_argument(
+        "--store-baseline",
+        type=Path,
+        default=None,
+        help=(
+            "committed BENCH_store.json to gate (pass to enable the "
+            "out-of-core store checks; residency-ceiling semantics, "
+            "not speedups)"
+        ),
+    )
+    parser.add_argument(
+        "--store-smoke",
+        type=Path,
+        default=None,
+        help="fresh bench_store.py --smoke report to gate",
+    )
+    parser.add_argument(
+        "--store-min-rows",
+        type=int,
+        default=10_000_000,
+        help=(
+            "minimum row count the committed store baseline must have "
+            "queried out-of-core (default 10M, the subsystem's "
+            "acceptance bar)"
+        ),
+    )
+    parser.add_argument(
+        "--store-min-headroom",
+        type=float,
+        default=2.0,
+        help=(
+            "minimum store-bytes / resident-delta ratio the committed "
+            "at-scale run must show (default 2.0: the dataset must be "
+            "at least twice what querying it kept resident)"
+        ),
+    )
+    parser.add_argument(
         "--obs-baseline",
         type=Path,
         default=None,
@@ -507,6 +625,8 @@ def main() -> int:
         parser.error("--server-smoke requires --server-baseline")
     if args.views_smoke is not None and args.views_baseline is None:
         parser.error("--views-smoke requires --views-baseline")
+    if args.store_smoke is not None and args.store_baseline is None:
+        parser.error("--store-smoke requires --store-baseline")
     if args.obs_smoke is not None and args.obs_baseline is None:
         parser.error("--obs-smoke requires --obs-baseline")
     status = check(args.baseline, args.smoke, args.tolerance)
@@ -559,6 +679,14 @@ def main() -> int:
             label="views",
         )
         status = status or views_status
+    if args.store_baseline is not None:
+        store_status = check_store(
+            args.store_baseline,
+            args.store_smoke,
+            args.store_min_rows,
+            args.store_min_headroom,
+        )
+        status = status or store_status
     if args.obs_baseline is not None:
         obs_status = check_obs(
             args.obs_baseline,

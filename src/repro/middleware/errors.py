@@ -26,6 +26,7 @@ __all__ = [
     "ReplicaGroupExhaustedError",
     "ListLostError",
     "WireFormatError",
+    "StoreFormatError",
     "QueryCancelledError",
     "AdmissionError",
     "UnknownQueryError",
@@ -247,6 +248,19 @@ class WireFormatError(MiddlewareError):
     *not* an :class:`AccessError`: a corrupt frame is a protocol bug or
     an attack, never a legitimate access-plane event, so it must not be
     absorbed by retry policies built for service failures.
+    """
+
+
+class StoreFormatError(WireFormatError):
+    """An on-disk store file is malformed: bad magic, truncated or
+    corrupt header, segments pointing outside the file, or a format
+    version newer than this code understands.
+
+    A :class:`WireFormatError` subclass on purpose: a store file is a
+    persisted frame of the same no-trust codec discipline -- every
+    structural check runs *before* any ``np.memmap`` is created, so a
+    corrupt file is refused outright rather than mapped and read as
+    garbage.
     """
 
 

@@ -40,8 +40,18 @@ no trust
     :class:`~repro.middleware.errors.WireFormatError` instead of
     yielding garbage.
 no dependencies
-    the codec is ``struct`` + ``numpy`` only (both already required),
-    so a server process needs nothing beyond this package.
+    the codec is ``struct`` + ``numpy`` (both already required) + the
+    standard library's ``zlib``, so a server process needs nothing
+    beyond this package.
+
+Large frames may optionally travel zlib-compressed: bit 31 of the
+length prefix flags a compressed payload (see
+:data:`FRAME_FLAG_COMPRESSED`), applied only above a size threshold
+and only when it actually shrinks the bytes.  Decoding is transparent
+and bit-exact -- the inflated payload is byte-identical to the raw
+encoding, so exactness is untouched -- and bounded: a frame that
+inflates past the frame limit is a protocol violation, not an
+allocation.
 
 Supported values: ``None``, ``bool``, ``int`` (arbitrary precision),
 ``float``, ``str``, ``bytes``, lists/tuples (decoded as lists), dicts
@@ -54,6 +64,7 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -73,6 +84,10 @@ __all__ = [
     "encode_frame",
     "decode_frame",
     "frame_payload_size",
+    "frame_header_info",
+    "decompress_frame_payload",
+    "FRAME_FLAG_COMPRESSED",
+    "COMPRESS_THRESHOLD_BYTES",
 ]
 
 _FORMAT = "repro-database-v1"
@@ -201,6 +216,21 @@ FRAME_HEADER_BYTES = 4
 #: protocol's messages are at most ~3 deep, and the cap turns a
 #: hostile deeply-nested frame into WireFormatError, not RecursionError
 MAX_NESTING_DEPTH = 32
+#: bit 31 of the length prefix marks a zlib-compressed payload.  Free
+#: for the taking: payload sizes are capped far below 2**31, so the
+#: bit is always zero in uncompressed frames and old decoders reject a
+#: compressed frame cleanly as an oversized announcement rather than
+#: misreading it.  The announced size is the *wire* (compressed) byte
+#: count -- the reader still knows exactly how much to read before
+#: touching zlib -- and the decompressed size is re-checked against
+#: the same frame limit, so compression can never smuggle an oversized
+#: message past the cap.
+FRAME_FLAG_COMPRESSED = 0x8000_0000
+#: default minimum payload size before compression is attempted;
+#: protocol chatter (submits, statuses, pings) stays raw, bulk result
+#: and trace frames shrink.  Compression is also skipped whenever it
+#: does not actually help: the wire carries whichever form is smaller.
+COMPRESS_THRESHOLD_BYTES = 4096
 
 _U32 = struct.Struct("<I")
 _I64 = struct.Struct("<q")
@@ -395,47 +425,125 @@ def decode_message(data: bytes):
     return value
 
 
-def encode_frame(value, max_frame: int = MAX_FRAME_BYTES) -> bytes:
+def encode_frame(
+    value,
+    max_frame: int = MAX_FRAME_BYTES,
+    *,
+    compress_threshold: int | None = None,
+) -> bytes:
     """Encode ``value`` as one wire frame: a 4-byte little-endian
-    payload length followed by the tagged message bytes."""
+    payload length followed by the tagged message bytes.
+
+    With ``compress_threshold`` set, payloads at least that many bytes
+    long are zlib-compressed and flagged via
+    :data:`FRAME_FLAG_COMPRESSED` in the length prefix -- but only
+    when compression actually shrinks the payload; otherwise the raw
+    form goes on the wire unflagged.  The size cap applies to the
+    *message*: a payload over ``max_frame`` is rejected even if its
+    compressed form would fit, keeping "what fits in a frame"
+    independent of entropy.
+    """
     payload = encode_message(value)
     if len(payload) > max_frame:
         raise WireFormatError(
             f"frame payload of {len(payload)} bytes exceeds the "
             f"{max_frame}-byte limit"
         )
+    if (
+        compress_threshold is not None
+        and len(payload) >= compress_threshold
+    ):
+        compressed = zlib.compress(payload)
+        if len(compressed) < len(payload):
+            return (
+                _U32.pack(len(compressed) | FRAME_FLAG_COMPRESSED)
+                + compressed
+            )
     return _U32.pack(len(payload)) + payload
 
 
-def frame_payload_size(header: bytes, max_frame: int = MAX_FRAME_BYTES) -> int:
-    """Parse a frame header; rejects short headers and oversized
-    announcements before any payload is allocated."""
+def frame_header_info(
+    header: bytes, max_frame: int = MAX_FRAME_BYTES
+) -> tuple[int, bool]:
+    """Parse a frame header into ``(payload_size, compressed)``.
+
+    ``payload_size`` is the number of *wire* bytes that follow the
+    header (the compressed size for flagged frames).  Rejects short
+    headers and oversized announcements before any payload is
+    allocated.
+    """
     if len(header) != FRAME_HEADER_BYTES:
         raise WireFormatError(
             f"truncated frame header: got {len(header)} of "
             f"{FRAME_HEADER_BYTES} bytes"
         )
-    size = _U32.unpack(header)[0]
+    word = _U32.unpack(header)[0]
+    compressed = bool(word & FRAME_FLAG_COMPRESSED)
+    size = word & ~FRAME_FLAG_COMPRESSED
     if size > max_frame:
         raise WireFormatError(
             f"frame announces {size} bytes, over the {max_frame}-byte limit"
         )
-    return size
+    return size, compressed
+
+
+def frame_payload_size(header: bytes, max_frame: int = MAX_FRAME_BYTES) -> int:
+    """Parse a frame header; rejects short headers and oversized
+    announcements before any payload is allocated.  Callers that must
+    handle compressed frames use :func:`frame_header_info` instead."""
+    return frame_header_info(header, max_frame)[0]
+
+
+def decompress_frame_payload(
+    payload: bytes, max_frame: int = MAX_FRAME_BYTES
+) -> bytes:
+    """Inflate a compressed frame payload, bounded by ``max_frame``.
+
+    The no-trust rules hold through zlib: corrupt streams, truncated
+    streams, trailing bytes after the stream, and decompression bombs
+    (anything inflating past ``max_frame``) all raise
+    :class:`~repro.middleware.errors.WireFormatError` -- the bomb
+    check caps the inflater itself, so the oversized plaintext is
+    never materialised.
+    """
+    inflater = zlib.decompressobj()
+    try:
+        message = inflater.decompress(payload, max_frame + 1)
+    except zlib.error as exc:
+        raise WireFormatError(
+            f"corrupt compressed frame payload: {exc}"
+        ) from None
+    if len(message) > max_frame:
+        raise WireFormatError(
+            f"compressed frame inflates past the {max_frame}-byte limit"
+        )
+    if not inflater.eof:
+        raise WireFormatError("truncated compressed frame payload")
+    if inflater.unused_data:
+        raise WireFormatError(
+            f"{len(inflater.unused_data)} trailing byte(s) after "
+            "compressed frame payload"
+        )
+    return message
 
 
 def decode_frame(data: bytes, max_frame: int = MAX_FRAME_BYTES):
-    """Decode one complete frame (header + payload) from ``data``.
+    """Decode one complete frame (header + payload) from ``data``,
+    transparently inflating compressed frames.
 
     Returns ``(message, remainder)`` so stream parsers can consume a
     buffer frame by frame; raises
     :class:`~repro.middleware.errors.WireFormatError` when the buffer
     holds less than one whole frame.
     """
-    size = frame_payload_size(data[:FRAME_HEADER_BYTES], max_frame)
+    size, compressed = frame_header_info(data[:FRAME_HEADER_BYTES], max_frame)
     end = FRAME_HEADER_BYTES + size
     if len(data) < end:
         raise WireFormatError(
             f"truncated frame: header announces {size} payload bytes, "
             f"{len(data) - FRAME_HEADER_BYTES} present"
         )
-    return decode_message(data[FRAME_HEADER_BYTES:end]), data[end:]
+    payload = data[FRAME_HEADER_BYTES:end]
+    if compressed:
+        payload = decompress_frame_payload(payload, max_frame)
+    return decode_message(payload), data[end:]

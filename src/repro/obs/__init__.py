@@ -92,10 +92,16 @@ class Observability:
     def histogram(self, name, labels=None, help=""):
         return self.registry.histogram(name, labels, help)
 
-    def probe(self, session) -> QueryProbe | None:
+    def probe(
+        self, session, *, sample_every: int = 1
+    ) -> QueryProbe | None:
         """A bound-trajectory probe for ``session`` (``None`` when the
-        plane is disabled, so engines skip the hook entirely)."""
-        return QueryProbe(session) if self.enabled else None
+        plane is disabled, so engines skip the hook entirely).
+        ``sample_every=N`` records every Nth step -- totals stay exact
+        -- keeping probes cheap on very-large-N store runs."""
+        if not self.enabled:
+            return None
+        return QueryProbe(session, sample_every=sample_every)
 
     def exporter(self, host: str = "127.0.0.1",
                  port: int = 0) -> MetricsExporter:

@@ -94,14 +94,20 @@ class QueryProbe:
     """
 
     __slots__ = (
-        "_session", "entries", "halt_reason",
+        "_session", "entries", "halt_reason", "sample_every", "_steps",
         "_last_round", "_last_sorted", "_last_random", "_last_cost",
     )
 
-    def __init__(self, session):
+    def __init__(self, session, *, sample_every: int = 1):
+        if sample_every < 1:
+            raise ValueError(
+                f"sample_every must be >= 1, got {sample_every}"
+            )
         self._session = session
         self.entries: list[RoundProfile] = []
         self.halt_reason: str | None = None
+        self.sample_every = sample_every
+        self._steps = 0
         self._last_round = 0
         self._last_sorted = int(session.sorted_accesses)
         self._last_random = int(session.random_accesses)
@@ -154,9 +160,23 @@ class QueryProbe:
     ) -> None:
         """Record the step that ended at round ``rounds_completed``.
         A multi-round step (chunked commit) passes the per-round ``taus``
-        trajectory and is labelled a chunk."""
-        label = "chunk" if rounds_completed - self._last_round != 1 or taus \
-            else "round"
+        trajectory and is labelled a chunk.
+
+        With ``sample_every=N > 1`` only every Nth step is recorded; a
+        recorded entry's deltas then span the skipped steps (baselines
+        advance only at record time), so the cumulative counters -- and
+        hence ``total_*`` -- remain exact regardless of sampling, at
+        1/N the entry volume.  Sampled spans are labelled ``sample``.
+        """
+        self._steps += 1
+        if self._steps % self.sample_every:
+            return
+        if self.sample_every > 1:
+            label = "sample"
+        elif rounds_completed - self._last_round != 1 or taus:
+            label = "chunk"
+        else:
+            label = "round"
         self._record(label, rounds_completed, tau, w, b, taus)
 
     def finish(self, halt_reason: Hashable | None = None) -> None:

@@ -3,8 +3,13 @@
 ::
 
     PYTHONPATH=src python -m repro.server --npz db.npz --port 0
+    PYTHONPATH=src python -m repro.server --store db.store --port 0
 
-Loads the persisted database, builds one simulated service per list
+Loads the persisted database (``--npz`` fully into RAM; ``--store``
+out-of-core through the memory-mapped v3 store and its LRU page cache,
+sized by ``--store-cache-mb`` / ``--store-page-rows`` -- the cache's
+hit/miss/eviction counters ride the obs plane and the ``stats`` wire
+op's ``store`` key), builds one simulated service per list
 (optionally behind a seeded latency model), mounts a
 :class:`~repro.server.service.QueryService` on a
 :class:`~repro.server.wire.QueryServer`, binds, prints one readiness
@@ -49,7 +54,6 @@ def _slow_query_line(record: dict) -> None:
 
 
 def build_server(args: argparse.Namespace) -> QueryServer:
-    db = load_npz(Path(args.npz))
     latency = None
     if args.latency or args.jitter:
         latency = LatencyModel(
@@ -65,6 +69,17 @@ def build_server(args: argparse.Namespace) -> QueryServer:
                 else None
             ),
         )
+    if args.store is not None:
+        from ..store import open_store
+
+        db = open_store(
+            Path(args.store),
+            cache_bytes=args.store_cache_mb * 1024 * 1024,
+            page_rows=args.store_page_rows,
+            obs=obs,
+        )
+    else:
+        db = load_npz(Path(args.npz))
     service = QueryService(
         database=db,
         latency=latency,
@@ -118,8 +133,27 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.server", description=__doc__
     )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--npz", help="database written by save_npz (loaded into RAM)"
+    )
+    source.add_argument(
+        "--store",
+        help="v3 store written by save_store, served out-of-core via "
+        "np.memmap behind an LRU page cache (legacy .npz files are "
+        "detected and loaded into RAM as with --npz)",
+    )
     parser.add_argument(
-        "--npz", required=True, help="database written by save_npz"
+        "--store-cache-mb",
+        type=int,
+        default=64,
+        help="LRU page-cache capacity for --store, megabytes",
+    )
+    parser.add_argument(
+        "--store-page-rows",
+        type=int,
+        default=4096,
+        help="rows per cache page for --store",
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument(

@@ -178,6 +178,18 @@ class QueryServiceClient(TransportClient):
             if k in response
         }
 
+    async def query_trace(self, query_id: str) -> dict | None:
+        """The query's lifecycle trace (spans, attributes, and the
+        attached bound-trajectory profile) as the server recorded it
+        -- :meth:`~repro.obs.tracing.QueryTrace.as_dict` over the
+        wire.  ``None`` when the server ran the query untraced; an id
+        the server is neither tracking nor retaining raises
+        :class:`~repro.middleware.errors.UnknownQueryError`."""
+        response = await self.request(
+            {"op": "trace", "query": query_id}, service="query-service"
+        )
+        return response.get("trace")
+
     async def service_stats(self) -> dict:
         """Service-level counters: admission, ledger totals, scan-cache
         materialization."""

@@ -634,6 +634,33 @@ class QueryService:
             raise UnknownQueryError(query_id)
         return state.bill
 
+    def query_trace(self, query_id: str) -> dict | None:
+        """The lifecycle trace of ``query_id`` as a JSON-safe dict
+        (:meth:`QueryTrace.as_dict`: spans, attributes, and the
+        attached bound-trajectory profile) -- the payload of the
+        ``trace`` wire op.
+
+        A still-tracked query reports its in-flight trace; completed
+        queries are looked up in the tracer's bounded completed ring.
+        Returns ``None`` when tracing is off for the query; raises
+        :class:`~repro.middleware.errors.UnknownQueryError` for an id
+        that is neither tracked nor retained (never issued, or aged
+        out of the ring -- indistinguishable by design, the ring is
+        the only memory of finished queries).
+        """
+        state = self._queries.get(query_id)
+        if state is not None:
+            trace = state.trace
+            if trace is None:
+                return None
+            record = trace.as_dict()
+            return record or None  # NULL_TRACE serialises empty
+        if self._obs is not None:
+            trace = self._obs.tracer.find(query_id)
+            if trace is not None:
+                return trace.as_dict()
+        raise UnknownQueryError(query_id)
+
     def stats(self) -> dict:
         """Service-level counters (thread-safe snapshot, approximate
         while queries move between states)."""
@@ -651,6 +678,11 @@ class QueryService:
             ),
             "ledger": self._ledger.totals(),
             "cache": self._cache.stats() if self._cache else None,
+            "store": (
+                self._database.store_snapshot()
+                if hasattr(self._database, "store_snapshot")
+                else None
+            ),
             "scheduler": {
                 "ran": dict(self._scheduler.ran),
                 "pending": self._scheduler.pending(),

@@ -250,6 +250,10 @@ class QueryServer(FrameServer):
                 self._query_id(message)
             )
             return {"cancelled": cancelled}
+        if op == "trace":
+            return {
+                "trace": self._service.query_trace(self._query_id(message))
+            }
         if op == "stats":
             return {"stats": self._service.stats()}
         if op == "metrics":
@@ -262,6 +266,7 @@ class QueryServer(FrameServer):
                 "aggregations": sorted(AGGREGATIONS),
                 "protocol": PROTOCOL_VERSION,
                 "mutable": self._service.mutable is not None,
+                "compression": "zlib",
             }
         if op == "ping":
             return {"pong": True}

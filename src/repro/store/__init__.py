@@ -1,0 +1,54 @@
+"""Out-of-core storage: the v3 memory-mapped columnar store.
+
+The :mod:`repro.store` package persists a database -- grade matrix,
+per-list sorted orders, and (when sharded) the per-(list, shard) run
+triples -- into a single versioned binary file, and serves the
+``Database`` API straight off that file through ``np.memmap`` and an
+:class:`LRUPageCache`.  Opening a store is O(1) in data size; a top-k
+query's resident set is proportional to the prefix the paper's cost
+model bills, not to N.  See the "Out-of-core store" section of
+ARCHITECTURE.md for the format layout and the page-cache charging
+contract.
+"""
+
+from __future__ import annotations
+
+from .backend import (
+    StoreBackedDatabase,
+    StoreBackedShardedDatabase,
+    open_store,
+)
+from .cache import (
+    DEFAULT_CACHE_BYTES,
+    DEFAULT_PAGE_ROWS,
+    LRUPageCache,
+    PagedMatrix,
+    PagedVector,
+    StoreSegment,
+)
+from .format import (
+    STORE_MAGIC,
+    STORE_VERSION,
+    StoreReader,
+    StoreWriter,
+    is_npz_file,
+    save_store,
+)
+
+__all__ = [
+    "STORE_MAGIC",
+    "STORE_VERSION",
+    "DEFAULT_CACHE_BYTES",
+    "DEFAULT_PAGE_ROWS",
+    "StoreReader",
+    "StoreWriter",
+    "save_store",
+    "is_npz_file",
+    "LRUPageCache",
+    "StoreSegment",
+    "PagedVector",
+    "PagedMatrix",
+    "StoreBackedDatabase",
+    "StoreBackedShardedDatabase",
+    "open_store",
+]

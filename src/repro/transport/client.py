@@ -73,8 +73,9 @@ from ..middleware.serialization import (
     FRAME_HEADER_BYTES,
     MAX_FRAME_BYTES,
     decode_message,
+    decompress_frame_payload,
     encode_frame,
-    frame_payload_size,
+    frame_header_info,
 )
 from ..services.protocol import SortedPage
 from ..services.simulated import RetryPolicy
@@ -93,10 +94,12 @@ class _Connection:
         max_frame: int,
         m_bytes_out=NULL_INSTRUMENT,
         m_bytes_in=NULL_INSTRUMENT,
+        compress_threshold: int | None = None,
     ):
         self._reader = reader
         self._writer = writer
         self._max_frame = max_frame
+        self._compress_threshold = compress_threshold
         self._m_bytes_out = m_bytes_out
         self._m_bytes_in = m_bytes_in
         self._pending: dict[int, asyncio.Future] = {}
@@ -115,7 +118,11 @@ class _Connection:
         rid = self._next_id
         self._next_id += 1
         message["id"] = rid
-        frame = encode_frame(message, self._max_frame)
+        frame = encode_frame(
+            message,
+            self._max_frame,
+            compress_threshold=self._compress_threshold,
+        )
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[rid] = future
         try:
@@ -131,9 +138,15 @@ class _Connection:
         try:
             while True:
                 header = await self._reader.readexactly(FRAME_HEADER_BYTES)
-                size = frame_payload_size(header, self._max_frame)
+                size, compressed = frame_header_info(
+                    header, self._max_frame
+                )
                 payload = await self._reader.readexactly(size)
                 self._m_bytes_in.inc(FRAME_HEADER_BYTES + size)
+                if compressed:
+                    payload = decompress_frame_payload(
+                        payload, self._max_frame
+                    )
                 message = decode_message(payload)
                 if not isinstance(message, dict):
                     raise WireFormatError("response must be a message dict")
@@ -197,6 +210,12 @@ class TransportClient:
     pool_size:
         Sockets per event loop; 1 (multiplexed) is plenty for the
         in-tree workloads.
+    compress_threshold:
+        Opt in to zlib frame compression: requests at least this many
+        payload bytes travel compressed (when that helps), and the
+        server -- seeing a compressed frame -- compresses its large
+        responses on the same connection.  ``None`` (default) keeps
+        every frame raw; servers always accept either form.
     """
 
     def __init__(
@@ -209,10 +228,16 @@ class TransportClient:
         connect_timeout: float = 5.0,
         pool_size: int = 1,
         max_frame: int = MAX_FRAME_BYTES,
+        compress_threshold: int | None = None,
         obs=None,
     ):
         if pool_size < 1:
             raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        if compress_threshold is not None and compress_threshold < 0:
+            raise ValueError(
+                "compress_threshold must be >= 0 or None, got "
+                f"{compress_threshold}"
+            )
         self.host = host
         self.port = port
         self._retry = retry or RetryPolicy()
@@ -220,6 +245,7 @@ class TransportClient:
         self._connect_timeout = connect_timeout
         self._pool_size = pool_size
         self._max_frame = max_frame
+        self._compress_threshold = compress_threshold
         self._pools: dict[int, _LoopPool] = {}
         self._retry_rng = self._retry.sampler()
         if obs is None:
@@ -269,6 +295,7 @@ class TransportClient:
                     self._max_frame,
                     self._m_bytes_out,
                     self._m_bytes_in,
+                    self._compress_threshold,
                 )
             )
         pool.cursor = (pool.cursor + 1) % len(pool.connections)

@@ -42,11 +42,13 @@ from ..middleware.errors import (
     WireFormatError,
 )
 from ..middleware.serialization import (
+    COMPRESS_THRESHOLD_BYTES,
     FRAME_HEADER_BYTES,
     MAX_FRAME_BYTES,
     decode_message,
+    decompress_frame_payload,
     encode_frame,
-    frame_payload_size,
+    frame_header_info,
 )
 from ..obs.metrics import NULL_INSTRUMENT
 
@@ -299,8 +301,16 @@ class FrameServer:
         try:
             while True:
                 header = await reader.readexactly(FRAME_HEADER_BYTES)
-                size = frame_payload_size(header, self._max_frame)
+                size, compressed = frame_header_info(header, self._max_frame)
                 payload = await reader.readexactly(size)
+                if compressed:
+                    payload = decompress_frame_payload(
+                        payload, self._max_frame
+                    )
+                    # negotiation by use: a client that sends one
+                    # compressed frame understands them, so responses
+                    # on this connection may compress from here on
+                    conn.state["compress"] = True
                 message = decode_message(payload)
                 self._m_frames_in.inc()
                 self._m_bytes_in.inc(FRAME_HEADER_BYTES + size)
@@ -370,11 +380,18 @@ class FrameServer:
             raise
         except BaseException as exc:
             response = self._error_response(rid, exc)
+        threshold = (
+            COMPRESS_THRESHOLD_BYTES if conn.state.get("compress") else None
+        )
         try:
-            frame = encode_frame(response, self._max_frame)
+            frame = encode_frame(
+                response, self._max_frame, compress_threshold=threshold
+            )
         except WireFormatError as exc:  # oversized/unencodable result
             response = self._error_response(rid, exc)
-            frame = encode_frame(response, self._max_frame)
+            frame = encode_frame(
+                response, self._max_frame, compress_threshold=threshold
+            )
         if not response.get("ok"):
             self._m_error_frames.inc()
         try:

@@ -174,6 +174,7 @@ class GradedSourceServer(FrameServer):
                     [run.num_entries for run in row]
                     for row in self._run_grid
                 ],
+                "compression": "zlib",
             }
         if op == "page":
             source = self._source(message)

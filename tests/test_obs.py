@@ -311,6 +311,79 @@ class TestQueryProbe:
         assert "cost(+)" in table and "tau" in table
         assert json.dumps(probe.as_dict())  # JSON-safe
 
+    @pytest.mark.parametrize(
+        "algorithm", ALGORITHMS, ids=lambda a: type(a).__name__
+    )
+    @pytest.mark.parametrize("sample_every", [2, 3, 7])
+    def test_sampling_keeps_totals_exact(self, algorithm, sample_every):
+        """``sample_every=N`` drops entry volume but never accuracy:
+        the cumulative totals equal the session's accounting exactly,
+        and the recorded deltas -- which span the skipped steps --
+        still sum to the full bill."""
+        db = synthetic.uniform(300, 3, seed=11).to_columnar()
+
+        def run(n):
+            session = AccessSession(db)
+            probe = QueryProbe(session, sample_every=n)
+            session.probe = probe
+            result = algorithm.run(session, MIN, 7)
+            return probe, result, session.stats()
+
+        dense, dense_result, dense_stats = run(1)
+        probe, result, stats = run(sample_every)
+        # sampling never perturbs the run
+        assert [(i.obj, i.grade) for i in result.items] == [
+            (i.obj, i.grade) for i in dense_result.items
+        ]
+        assert stats == dense_stats
+        # totals remain exact -- cumulative counters, not sums of
+        # recorded deltas
+        assert probe.total_sorted == stats.sorted_accesses
+        assert probe.total_random == stats.random_accesses
+        assert probe.total_cost == stats.middleware_cost
+        assert (probe.total_sorted, probe.total_random, probe.total_cost) \
+            == (dense.total_sorted, dense.total_random, dense.total_cost)
+        # ... and the deltas span the gaps, so they still sum to the
+        # bill exactly (integral cost model)
+        assert math.fsum(e.cost_delta for e in probe.entries) == (
+            stats.middleware_cost
+        )
+        assert sum(e.sorted_delta for e in probe.entries) == (
+            stats.sorted_accesses
+        )
+        # entry volume actually drops (plus at most a final residual)
+        assert len(probe.entries) <= len(dense.entries) // sample_every + 1
+        # sampled spans are labelled; the residual stays "final"
+        assert {e.label for e in probe.entries} <= {"sample", "final"}
+        assert probe.halt_reason == dense.halt_reason
+
+    def test_sampling_final_residual_always_sealed(self):
+        """Steps skipped at the tail (plus post-loop resolution
+        accesses) are never lost: finish() seals them into one
+        ``final`` entry whose cumulative counters are the totals."""
+        db = synthetic.uniform(200, 3, seed=17).to_columnar()
+        session = AccessSession(db)
+        # a huge interval: *no* step is ever sampled
+        probe = QueryProbe(session, sample_every=10_000)
+        session.probe = probe
+        ThresholdAlgorithm().run(session, MIN, 5)
+        stats = session.stats()
+        assert [e.label for e in probe.entries] == ["final"]
+        (final,) = probe.entries
+        assert final.sorted_n == stats.sorted_accesses
+        assert final.random_n == stats.random_accesses
+        assert final.cost == stats.middleware_cost
+        assert probe.total_cost == stats.middleware_cost
+
+    def test_sampling_validation_and_obs_passthrough(self):
+        db = synthetic.uniform(30, 2, seed=3)
+        session = AccessSession(db)
+        with pytest.raises(ValueError, match="sample_every"):
+            QueryProbe(session, sample_every=0)
+        probe = Observability().probe(session, sample_every=4)
+        assert probe is not None and probe.sample_every == 4
+        assert Observability(enabled=False).probe(session) is None
+
 
 # ----------------------------------------------------------------------
 # the service plane
@@ -427,6 +500,53 @@ class TestExportSurfaces:
         assert "repro_queries_finished_total" in names
         # the transport chassis reports through the same registry
         assert "repro_server_frames_received_total" in names
+
+    def test_trace_wire_op_round_trips(self):
+        """The ``trace`` op serves QueryTrace.as_dict() verbatim: the
+        client-side dict equals the server-side record byte-for-byte
+        after a codec round trip, and unknown ids raise
+        UnknownQueryError client-side."""
+        from repro.middleware.errors import UnknownQueryError
+        from repro.middleware.serialization import (
+            decode_frame,
+            encode_frame,
+        )
+
+        db = synthetic.uniform(120, 3, seed=29)
+        obs = Observability()
+        service = QueryService(database=db, obs=obs)
+
+        async def scenario():
+            server = QueryServer(service, port=0)
+            await server.start()
+            host, port = server.address
+            client = QueryServiceClient(host, port)
+            try:
+                qid = await client.submit_query(
+                    {"algorithm": "nra", "aggregation": "min", "k": 4}
+                )
+                await client.stream_result(qid)
+                remote = await client.query_trace(qid)
+                with pytest.raises(UnknownQueryError):
+                    await client.query_trace("q99999")
+                return qid, remote
+            finally:
+                await client.aclose()
+                await server.aclose()
+
+        qid, remote = run_async(scenario())
+        local = obs.tracer.find(qid).as_dict()
+        assert remote == local
+        assert remote["query_id"] == qid
+        assert [s["name"] for s in remote["spans"]] == [
+            "admitted", "running"
+        ]
+        profile = remote["profile"]
+        assert profile is not None and profile["entries"]
+        # the record is codec-clean: encode -> decode is the identity
+        assert decode_frame(encode_frame({"trace": remote})) == (
+            {"trace": remote}, b""
+        )
 
     def test_http_endpoint_serves_prometheus_and_json(self):
         obs = Observability()

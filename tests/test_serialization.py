@@ -29,8 +29,11 @@ from repro.middleware import (
     save_npz,
 )
 from repro.middleware.serialization import (
+    FRAME_FLAG_COMPRESSED,
     FRAME_HEADER_BYTES,
     MAX_FRAME_BYTES,
+    decompress_frame_payload,
+    frame_header_info,
     frame_payload_size,
 )
 
@@ -379,3 +382,128 @@ class TestWireFrames:
     def test_default_limit_is_sane(self):
         assert FRAME_HEADER_BYTES == 4
         assert MAX_FRAME_BYTES >= 2**20
+
+
+class TestCompressedFrames:
+    """Optional zlib compression: bit 31 of the length prefix flags a
+    compressed payload; decoding is transparent, bit-exact, and
+    bounded (no decompression bombs)."""
+
+    @staticmethod
+    def _bulky(value):
+        """A message padded to clear the compression threshold."""
+        return {"value": value, "pad": "x" * 8192}
+
+    @given(wire_messages)
+    @settings(max_examples=100, deadline=None)
+    def test_compressed_round_trip_is_bit_exact(self, value):
+        """The inflated payload is byte-identical to the raw encoding
+        -- floats, NaN payloads, arrays and all -- so the decoded
+        message equals the plain-frame decode exactly."""
+        message = self._bulky(value)
+        plain = encode_frame(message)
+        compressed = encode_frame(message, compress_threshold=0)
+        assert decode_frame(compressed)[0] == decode_frame(plain)[0]
+        size, flag = frame_header_info(compressed[:FRAME_HEADER_BYTES])
+        if flag:  # high-entropy payloads may legitimately stay raw
+            assert len(compressed) < len(plain)
+            inflated = decompress_frame_payload(
+                compressed[FRAME_HEADER_BYTES:]
+            )
+            assert inflated == plain[FRAME_HEADER_BYTES:]
+
+    def test_float_arrays_survive_compression_bit_for_bit(self):
+        arr = np.array(
+            [0.0, -0.0, 5e-324, float("inf"), float("-inf"), 1 / 3]
+            * 600
+        )
+        frame = encode_frame({"grades": arr}, compress_threshold=1024)
+        _, flag = frame_header_info(frame[:FRAME_HEADER_BYTES])
+        assert flag  # repetitive floats compress well
+        decoded, rest = decode_frame(frame)
+        assert rest == b""
+        assert decoded["grades"].tobytes() == arr.tobytes()
+
+    def test_threshold_gates_compression(self):
+        small = encode_frame({"op": "ping"}, compress_threshold=4096)
+        _, flag = frame_header_info(small[:FRAME_HEADER_BYTES])
+        assert not flag  # under the threshold: raw
+        big = encode_frame(
+            {"pad": "y" * 9000}, compress_threshold=4096
+        )
+        _, flag = frame_header_info(big[:FRAME_HEADER_BYTES])
+        assert flag
+
+    def test_incompressible_payload_stays_raw(self):
+        import os
+
+        noise = os.urandom(8192)  # already max-entropy
+        frame = encode_frame({"blob": noise}, compress_threshold=0)
+        _, flag = frame_header_info(frame[:FRAME_HEADER_BYTES])
+        assert not flag  # compression would have grown it
+        assert decode_frame(frame)[0] == {"blob": noise}
+
+    def test_corrupted_compressed_payload_raises(self):
+        frame = bytearray(
+            encode_frame({"pad": "z" * 9000}, compress_threshold=0)
+        )
+        _, flag = frame_header_info(bytes(frame[:FRAME_HEADER_BYTES]))
+        assert flag
+        for index in (FRAME_HEADER_BYTES + 1, len(frame) // 2,
+                      len(frame) - 1):
+            corrupt = bytearray(frame)
+            corrupt[index] ^= 0xFF
+            with pytest.raises(WireFormatError):
+                decode_frame(bytes(corrupt))
+
+    def test_truncated_compressed_stream_raises(self):
+        frame = encode_frame({"pad": "w" * 9000}, compress_threshold=0)
+        size, flag = frame_header_info(frame[:FRAME_HEADER_BYTES])
+        assert flag
+        clipped = frame[FRAME_HEADER_BYTES : FRAME_HEADER_BYTES + size - 4]
+        with pytest.raises(WireFormatError, match="truncated"):
+            decompress_frame_payload(clipped)
+
+    def test_trailing_bytes_after_stream_raise(self):
+        frame = encode_frame({"pad": "v" * 9000}, compress_threshold=0)
+        payload = frame[FRAME_HEADER_BYTES:]
+        with pytest.raises(WireFormatError, match="trailing"):
+            decompress_frame_payload(payload + b"\x00\x01")
+
+    def test_decompression_bomb_is_bounded(self):
+        """A payload inflating past max_frame raises without ever
+        materialising the plaintext."""
+        import zlib
+
+        bomb = zlib.compress(b"\x00" * (4 * 1024 * 1024))
+        assert len(bomb) < 8192  # tiny on the wire
+        with pytest.raises(WireFormatError, match="inflates past"):
+            decompress_frame_payload(bomb, max_frame=65536)
+
+    def test_compression_cannot_smuggle_oversized_messages(self):
+        """The frame cap applies to the message, not the wire bytes:
+        an over-limit payload is refused at encode even though its
+        compressed form would fit."""
+        limit = 1024
+        with pytest.raises(WireFormatError):
+            encode_frame("a" * 4096, max_frame=limit, compress_threshold=0)
+
+    def test_flag_bit_is_invisible_to_size_parsing(self):
+        header = struct.pack("<I", 1000 | FRAME_FLAG_COMPRESSED)
+        size, flag = frame_header_info(header)
+        assert (size, flag) == (1000, True)
+        assert frame_payload_size(header) == 1000
+        # an uncompressed announcement over the limit still fails even
+        # with the flag set (the size check strips the flag first)
+        over = struct.pack("<I", (MAX_FRAME_BYTES + 1) | FRAME_FLAG_COMPRESSED)
+        with pytest.raises(WireFormatError):
+            frame_header_info(over)
+
+    def test_uncompressed_frames_are_byte_identical_to_before(self):
+        """No negotiation, no change: the default path emits exactly
+        the legacy wire bytes."""
+        message = {"op": "result", "grades": np.arange(4.0)}
+        assert encode_frame(message) == (
+            struct.pack("<I", len(encode_message(message)))
+            + encode_message(message)
+        )
