@@ -21,6 +21,14 @@ differential suite's store axis holds items, halting, tie order,
 ``AccessStats`` and trace bytes bit-identical to the scalar reference
 to enforce this.
 
+The cache is thread-safe: one re-entrant lock guards page lookup /
+insertion / eviction, segment map / release, and every byte counter,
+because a single cache is shared by all of a ``QueryService``'s
+concurrent engine workers (``max_active`` threads in daemon
+``--store`` mode).  Returned pages are immutable-by-convention copies,
+so readers never need the lock after :meth:`LRUPageCache.page`
+returns.
+
 :class:`PagedVector` and :class:`PagedMatrix` present cached segments
 with exactly the indexing surface the batched access plane and the
 chunked engines use on in-RAM backends: ``len`` / scalar reads /
@@ -34,6 +42,7 @@ suite-scale verification code.
 from __future__ import annotations
 
 import operator
+import threading
 from collections import OrderedDict
 from itertools import count
 
@@ -87,33 +96,37 @@ class StoreSegment:
         cache._register(self)
 
     def mapped(self) -> np.memmap:
-        mm = self._mm
-        if mm is None:
-            mm = self.reader.memmap(self.name)
-            raw = getattr(mm, "_mmap", None)
-            if raw is not None and hasattr(raw, "madvise"):
-                # page-cache reads are exact 4K-page copies; without
-                # this the kernel's fault-around pulls megabytes of
-                # readahead per touched page and the *file's* resident
-                # pages dwarf the page cache they feed
-                import mmap as _mmap_module
+        with self._cache._lock:
+            mm = self._mm
+            if mm is None:
+                mm = self.reader.memmap(self.name)
+                raw = getattr(mm, "_mmap", None)
+                if raw is not None and hasattr(raw, "madvise"):
+                    # page-cache reads are exact 4K-page copies;
+                    # without this the kernel's fault-around pulls
+                    # megabytes of readahead per touched page and the
+                    # *file's* resident pages dwarf the page cache
+                    # they feed
+                    import mmap as _mmap_module
 
-                raw.madvise(_mmap_module.MADV_RANDOM)
-            self._mm = mm
-            self._cache._note_mapped(mm.nbytes)
-        return mm
+                    raw.madvise(_mmap_module.MADV_RANDOM)
+                self._mm = mm
+                self._cache._note_mapped(mm.nbytes)
+            return mm
 
     @property
     def mapped_bytes(self) -> int:
-        return 0 if self._mm is None else int(self._mm.nbytes)
+        mm = self._mm  # racing release(): read the slot once
+        return 0 if mm is None else int(mm.nbytes)
 
     def release(self) -> None:
         """Drop the lazy map (the next touch re-maps).  File-backed
         pages leave the process's resident set; OS page-cache copies
         remain reclaimable and shared."""
-        if self._mm is not None:
-            self._cache._note_mapped(-self._mm.nbytes)
-            self._mm = None
+        with self._cache._lock:
+            if self._mm is not None:
+                self._cache._note_mapped(-self._mm.nbytes)
+                self._mm = None
 
 
 class LRUPageCache:
@@ -161,6 +174,11 @@ class LRUPageCache:
         #: charging only the copied bytes under-counts residency by up
         #: to 16x and the budget valve never fires.
         self._touched_bytes = 0
+        #: guards pages, segment maps and every counter: one cache is
+        #: shared by all of a service's concurrent engine workers.
+        #: Re-entrant because page() -> StoreSegment.mapped() ->
+        #: _note_mapped() and page() -> release_mappings() nest.
+        self._lock = threading.RLock()
         self._pages: OrderedDict[tuple[int, int], np.ndarray] = (
             OrderedDict()
         )
@@ -197,8 +215,9 @@ class LRUPageCache:
             )
 
     def _note_mapped(self, nbytes: int) -> None:
-        self.mapped_bytes += int(nbytes)
-        self._m_mapped.set(self.mapped_bytes)
+        with self._lock:
+            self.mapped_bytes += int(nbytes)
+            self._m_mapped.set(self.mapped_bytes)
 
     def page(self, segment: StoreSegment, index: int) -> np.ndarray:
         """Rows ``[index * page_rows, ...)`` of ``segment``, cached.
@@ -206,40 +225,48 @@ class LRUPageCache:
         The returned array is shared cache state -- callers must not
         mutate it (the paged proxies only copy out of it).
         """
-        key = (segment.uid, index)
-        block = self._pages.get(key)
-        if block is not None:
-            self._pages.move_to_end(key)
-            self.hits += 1
-            self._m_hits.inc()
+        with self._lock:
+            key = (segment.uid, index)
+            block = self._pages.get(key)
+            if block is not None:
+                self._pages.move_to_end(key)
+                self.hits += 1
+                self._m_hits.inc()
+                return block
+            self.misses += 1
+            self._m_misses.inc()
+            lo = index * self.page_rows
+            hi = min(lo + self.page_rows, segment.rows)
+            block = np.array(segment.mapped()[lo:hi], order="C")
+            self._pages[key] = block
+            self.cached_bytes += block.nbytes
+            while (
+                self.cached_bytes > self.capacity_bytes
+                and len(self._pages) > 1
+            ):
+                _, evicted = self._pages.popitem(last=False)
+                self.cached_bytes -= evicted.nbytes
+                self.evictions += 1
+                self._m_evictions.inc()
+            self._m_cached.set(self.cached_bytes)
+            if self.mapped_budget_bytes is not None:
+                self._touched_bytes += (
+                    block.nbytes + FAULT_GRANULARITY_BYTES
+                )
+                if self._touched_bytes >= self.mapped_budget_bytes:
+                    self.release_mappings()
             return block
-        self.misses += 1
-        self._m_misses.inc()
-        lo = index * self.page_rows
-        hi = min(lo + self.page_rows, segment.rows)
-        block = np.array(segment.mapped()[lo:hi], order="C")
-        self._pages[key] = block
-        self.cached_bytes += block.nbytes
-        while self.cached_bytes > self.capacity_bytes and len(self._pages) > 1:
-            _, evicted = self._pages.popitem(last=False)
-            self.cached_bytes -= evicted.nbytes
-            self.evictions += 1
-            self._m_evictions.inc()
-        self._m_cached.set(self.cached_bytes)
-        if self.mapped_budget_bytes is not None:
-            self._touched_bytes += block.nbytes + FAULT_GRANULARITY_BYTES
-            if self._touched_bytes >= self.mapped_budget_bytes:
-                self.release_mappings()
-        return block
 
     def _register(self, segment: StoreSegment) -> None:
-        self._segments.append(segment)
+        with self._lock:
+            self._segments.append(segment)
 
     def clear(self) -> None:
         """Drop every cached page (mapped segments stay mapped)."""
-        self._pages.clear()
-        self.cached_bytes = 0
-        self._m_cached.set(0)
+        with self._lock:
+            self._pages.clear()
+            self.cached_bytes = 0
+            self._m_cached.set(0)
 
     def release_mappings(self) -> int:
         """Unmap every lazily-mapped segment and return the bytes
@@ -247,26 +274,28 @@ class LRUPageCache:
         read through an unmapped segment transparently re-maps it --
         long-running daemons call this between queries to hand resident
         mapped file pages back to the OS without losing the cache."""
-        released = 0
-        for segment in self._segments:
-            released += segment.mapped_bytes
-            segment.release()
-        self._touched_bytes = 0
-        return released
+        with self._lock:
+            released = 0
+            for segment in self._segments:
+                released += segment.mapped_bytes
+                segment.release()
+            self._touched_bytes = 0
+            return released
 
     def snapshot(self) -> dict:
         """JSON-safe cache state (the ``store`` block of
         ``QueryService.stats()``)."""
-        return {
-            "capacity_bytes": self.capacity_bytes,
-            "page_rows": self.page_rows,
-            "pages": len(self._pages),
-            "cached_bytes": self.cached_bytes,
-            "mapped_bytes": self.mapped_bytes,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "capacity_bytes": self.capacity_bytes,
+                "page_rows": self.page_rows,
+                "pages": len(self._pages),
+                "cached_bytes": self.cached_bytes,
+                "mapped_bytes": self.mapped_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -454,6 +483,15 @@ class PagedMatrix:
             raise IndexError(
                 f"row index must be one-dimensional, got shape {rows.shape}"
             )
+        if rows.dtype == np.bool_:
+            # ndarray semantics: a boolean index is a mask over all
+            # rows, never row numbers 0/1
+            if rows.shape[0] != len(self):
+                raise IndexError(
+                    f"boolean mask of length {rows.shape[0]} does not "
+                    f"match {len(self)} rows"
+                )
+            rows = np.flatnonzero(rows)
         rows = rows.astype(np.intp, copy=False) + self._row_lo
         if rows.size and (
             rows.min() < self._row_lo or rows.max() >= self._row_hi

@@ -33,7 +33,8 @@ run of list ``i``, exactly the ``(rows, grades, ties)`` triples of
 
 No-trust discipline (same contract as the wire codec): every
 structural property -- magic, version, header bounds, JSON shape,
-segment offsets against the real file size -- is checked **before any
+segment offsets against the real file size and against each other
+(no two segments may overlap) -- is checked **before any
 ``np.memmap`` is created**; violations raise
 :class:`~repro.middleware.errors.StoreFormatError`.  A file written by
 a *newer* format version is refused outright with a clear message
@@ -343,6 +344,19 @@ class StoreReader:
                     f"{self._file_size} bytes (truncated store?)"
                 )
             segments[name] = spec
+        # zero-length segments (empty shard runs) occupy no bytes and
+        # legitimately share their aligned offset with a neighbour
+        ordered = sorted(
+            (s for s in segments.values() if s.nbytes),
+            key=lambda s: s.offset,
+        )
+        for a, b in zip(ordered, ordered[1:]):
+            if a.offset + a.nbytes > b.offset:
+                raise StoreFormatError(
+                    f"{path}: segments {a.name!r} and {b.name!r} "
+                    f"overlap (bytes {b.offset} to {a.offset + a.nbytes} "
+                    "are claimed by both)"
+                )
         for name, shape in _expected_segments(n, m, bounds).items():
             spec = segments.get(name)
             if spec is None:
@@ -421,6 +435,20 @@ class StoreReader:
         )
 
 
+def _merge_intervals(
+    intervals: list[tuple[int, int]],
+) -> list[tuple[int, int]]:
+    """Sorted, coalesced row intervals (adjacent ranges merge)."""
+    merged: list[tuple[int, int]] = []
+    for start, stop in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            if stop > merged[-1][1]:
+                merged[-1] = (merged[-1][0], stop)
+        else:
+            merged.append((start, stop))
+    return merged
+
+
 class StoreWriter:
     """Streaming v3 writer: declare the shape up front, fill segments
     block by block, in any order.
@@ -429,6 +457,16 @@ class StoreWriter:
     and pre-sizes the file; :meth:`write` appends one block of rows to
     a segment at an explicit row offset, so a ≫-RAM dataset can be
     written with O(block) memory.  Use as a context manager.
+
+    A store is only valid once every declared row of every segment has
+    been written: because the file is pre-sized with a complete header,
+    a partial file would pass every :class:`StoreReader` structural
+    check and silently serve zeros.  :meth:`close` therefore verifies
+    coverage (tracked as written row intervals, so interior holes are
+    caught too) and **deletes** the file before raising
+    :class:`~repro.middleware.errors.StoreFormatError` when anything is
+    missing; leaving the ``with`` block via an exception likewise
+    discards the partial file (:meth:`abort`).
     """
 
     def __init__(
@@ -497,7 +535,7 @@ class StoreWriter:
             )
             for name, entry in header["segments"].items()
         }
-        self._written: dict[str, int] = {}
+        self._written: dict[str, list[tuple[int, int]]] = {}
         total = max(
             spec.offset + spec.nbytes for spec in self._segments.values()
         )
@@ -536,21 +574,62 @@ class StoreWriter:
         row_nbytes = spec.nbytes // spec.shape[0] if spec.shape[0] else 0
         f.seek(spec.offset + row_offset * row_nbytes)
         f.write(arr.tobytes())
-        self._written[name] = max(
-            self._written.get(name, 0), row_offset + rows
-        )
+        if rows:
+            self._written.setdefault(name, []).append(
+                (row_offset, row_offset + rows)
+            )
+
+    def _incomplete_segments(self) -> list[str]:
+        missing = []
+        for name, spec in self._segments.items():
+            rows = spec.shape[0]
+            if not rows:
+                continue
+            merged = _merge_intervals(self._written.get(name, []))
+            if merged != [(0, rows)]:
+                covered = sum(stop - start for start, stop in merged)
+                missing.append(f"{name!r} ({covered}/{rows} rows)")
+        return missing
+
+    def abort(self) -> None:
+        """Discard the store: close the handle and delete the partial
+        file.  No-op after a successful :meth:`close`."""
+        if self._file is None:
+            return
+        self._file.close()
+        self._file = None
+        try:
+            self.path.unlink()
+        except OSError:  # pragma: no cover - already gone / unlinkable
+            pass
 
     def close(self) -> None:
-        if self._file is not None:
-            self._file.flush()
-            self._file.close()
-            self._file = None
+        if self._file is None:
+            return
+        missing = self._incomplete_segments()
+        if missing:
+            self.abort()
+            shown = ", ".join(missing[:5])
+            if len(missing) > 5:
+                shown += f", ... ({len(missing)} segments in all)"
+            raise StoreFormatError(
+                f"{self.path}: store closed with incompletely written "
+                f"segments: {shown} -- the partial file was deleted"
+            )
+        self._file.flush()
+        self._file.close()
+        self._file = None
 
     def __enter__(self) -> "StoreWriter":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            # the body failed part-way: a pre-sized file with a valid
+            # header would read back as silent zeros -- discard it
+            self.abort()
+        else:
+            self.close()
 
 
 def save_store(db: Database, path: str | Path) -> None:

@@ -269,6 +269,47 @@ def test_store_axis_through_query_service(tmp_path):
     assert stats["store"]["hits"] + stats["store"]["misses"] > 0
 
 
+def test_store_axis_concurrent_service_submissions(tmp_path):
+    """Daemon --store mode: up to max_active engine workers run
+    concurrently over ONE shared page cache.  Submitting every spec at
+    once (several times over, with a tiny cache so evictions and
+    mapped-budget releases interleave across threads) must produce
+    exactly the sequential bills and results -- the cache's lock keeps
+    concurrent hits, misses, evictions and releases unobservable."""
+    from repro.server import QueryService, QuerySpec
+
+    rng = np.random.default_rng(34)
+    db = Database.from_array(rng.random((200, 3)))
+    path = tmp_path / "conc.store"
+    save_store(db, path)
+    store_db = open_store(
+        path, cache_bytes=CACHE_BYTES, page_rows=PAGE_ROWS
+    )
+    store_db.page_cache.mapped_budget_bytes = 1  # release constantly
+
+    specs = [
+        QuerySpec(algorithm="ta", aggregation="min", k=4),
+        QuerySpec(algorithm="nra", aggregation="average", k=6),
+        QuerySpec(algorithm="ca", aggregation="sum", k=3),
+        QuerySpec(algorithm="stream-combine", aggregation="max", k=5),
+    ] * 3
+    with QueryService(database=db).start() as reference_service:
+        expected = [
+            signature(reference_service.submit(s).result(timeout=60.0))
+            for s in specs
+        ]
+    with QueryService(database=store_db).start() as service:
+        handles = [service.submit(s) for s in specs]  # all in flight
+        got = [signature(h.result(timeout=60.0)) for h in handles]
+    assert got == expected
+    snap = store_db.page_cache.snapshot()
+    assert snap["cached_bytes"] == sum(
+        block.nbytes for block in store_db.page_cache._pages.values()
+    )
+    store_db.page_cache.release_mappings()
+    assert store_db.page_cache.snapshot()["mapped_bytes"] == 0
+
+
 def test_uncharged_speculation_contract(tmp_path):
     """Cache behaviour is uncharged speculation: running the same
     query twice over one store backend (cold cache, then warm) leaves

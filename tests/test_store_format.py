@@ -46,6 +46,7 @@ from repro.store import (
     StoreBackedShardedDatabase,
     StoreReader,
     StoreSegment,
+    StoreWriter,
     open_store,
     save_store,
 )
@@ -295,6 +296,27 @@ class TestRefusal:
         with pytest.raises(StoreFormatError, match="order_rows/0"):
             StoreReader(path)
 
+    def test_overlapping_segments_refused(self, tmp_path, db):
+        """A crafted header whose segments alias the same bytes is
+        structurally invalid: without this check every read would pass
+        bounds validation yet serve another segment's data."""
+        path = _store(tmp_path, db)
+        raw = bytearray(path.read_bytes())
+        header_len = struct.unpack_from(
+            "<I", raw, len(STORE_MAGIC) + 4
+        )[0]
+        start = len(STORE_MAGIC) + 8
+        header = json.loads(raw[start : start + header_len].decode())
+        header["segments"]["order_rows/0"]["offset"] = header[
+            "segments"
+        ]["grades"]["offset"]
+        patched = json.dumps(header, sort_keys=True).encode()
+        assert len(patched) <= header_len
+        raw[start : start + header_len] = patched.ljust(header_len, b" ")
+        path.write_bytes(bytes(raw))
+        with pytest.raises(StoreFormatError, match="overlap"):
+            StoreReader(path)
+
     def test_store_error_is_wire_format_family(self):
         assert issubclass(StoreFormatError, WireFormatError)
 
@@ -314,6 +336,71 @@ class TestRefusal:
         plain = StoreReader(_store(tmp_path, db, name="p.store"))
         with pytest.raises(DatabaseError, match="no shard layout"):
             StoreBackedShardedDatabase(plain)
+
+
+# ---------------------------------------------------------------------------
+# writer discipline: a store is valid only when completely written
+# ---------------------------------------------------------------------------
+class TestWriterDiscipline:
+    """The constructor pre-sizes the file under a fully valid header,
+    so a partial store would pass every reader check and serve zeros;
+    the writer must refuse to finalise one."""
+
+    def test_incomplete_close_deletes_file_and_raises(self, tmp_path):
+        path = tmp_path / "partial.store"
+        w = StoreWriter(path, 32, 2)
+        w.write("grades", np.zeros((32, 2)))
+        w.write("order_rows/0", np.arange(32))
+        w.write("order_grades/0", np.zeros(32))
+        # list 1's order segments never written
+        with pytest.raises(StoreFormatError, match="incompletely"):
+            w.close()
+        assert not path.exists()
+
+    def test_interior_hole_is_caught(self, tmp_path):
+        path = tmp_path / "hole.store"
+        with pytest.raises(StoreFormatError, match="order_rows/0"):
+            with StoreWriter(path, 32, 1) as w:
+                w.write("grades", np.zeros((32, 1)))
+                w.write("order_grades/0", np.zeros(32))
+                w.write("order_rows/0", np.arange(8), row_offset=0)
+                # rows [8, 16) never written: max-row tracking would
+                # miss this, interval coverage does not
+                w.write("order_rows/0", np.arange(16, 32), row_offset=16)
+        assert not path.exists()
+
+    def test_body_exception_discards_partial_file(self, tmp_path):
+        path = tmp_path / "boom.store"
+        with pytest.raises(RuntimeError, match="boom"):
+            with StoreWriter(path, 16, 1) as w:
+                w.write("grades", np.zeros((16, 1)))
+                raise RuntimeError("boom")
+        assert not path.exists()
+
+    def test_complete_blockwise_write_is_readable(self, tmp_path):
+        path = tmp_path / "ok.store"
+        with StoreWriter(path, 24, 1) as w:
+            for lo in range(0, 24, 8):
+                w.write(
+                    "grades", np.full((8, 1), 0.5), row_offset=lo
+                )
+            w.write("order_rows/0", np.arange(24))
+            w.write("order_grades/0", np.full(24, 0.5))
+        reader = StoreReader(path)
+        assert reader.num_objects == 24
+        assert np.array_equal(
+            np.asarray(reader.memmap("order_rows/0")), np.arange(24)
+        )
+
+    def test_abort_is_noop_after_clean_close(self, tmp_path):
+        w = StoreWriter(tmp_path / "other.store", 4, 1)
+        w.write("grades", np.zeros((4, 1)))
+        w.write("order_rows/0", np.arange(4))
+        w.write("order_grades/0", np.zeros(4))
+        w.close()
+        w.close()  # idempotent
+        w.abort()  # no-op: the finalised file stays
+        assert (tmp_path / "other.store").exists()
 
 
 # ---------------------------------------------------------------------------
@@ -375,6 +462,73 @@ class TestPaging:
         assert np.array_equal(win[np.array([0, 5, 39]), 0],
                               ref[30:70][np.array([0, 5, 39]), 0])
         assert win[39, 1] == ref[69, 1]
+
+    def test_boolean_mask_gathers_like_ndarray(self, tmp_path):
+        """``matrix[mask]`` is mask selection on the in-RAM backends;
+        the paged matrix must match, not reinterpret True/False as
+        rows 1/0."""
+        rng = np.random.default_rng(8)
+        values = rng.random(64)
+        reader, cache, n = self._segment(tmp_path, values)
+        mat = PagedMatrix(StoreSegment(reader, "grades", cache), cache)
+        ref = np.asarray(reader.memmap("grades"))
+        mask = ref[:, 0] > 0.5
+        assert np.array_equal(mat[mask], ref[mask])
+        assert np.array_equal(mat[mask, 1], ref[mask, 1])
+        empty = np.zeros(n, dtype=bool)
+        assert mat[empty].shape == (0, 2)
+        win = mat.window(10, 30)
+        wmask = mask[10:30]
+        assert np.array_equal(win[wmask], ref[10:30][wmask])
+        with pytest.raises(IndexError, match="boolean mask"):
+            mat[mask[:-1]]
+
+    def test_concurrent_readers_share_one_cache(self, tmp_path):
+        """Threads hammering one small shared cache -- evictions and
+        mapped-budget releases firing constantly -- must read exact
+        data and leave the byte accounting consistent.  This is the
+        shape QueryService's engine workers run in (one cache, up to
+        max_active threads, daemon --store mode)."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        rng = np.random.default_rng(9)
+        values = rng.random(512)
+        page_rows = 8
+        capacity = 4 * page_rows * 2 * 8  # ~4 grade pages
+        reader, cache, n = self._segment(
+            tmp_path, values, page_rows=page_rows, capacity=capacity
+        )
+        cache.mapped_budget_bytes = 1  # release after every miss
+        mat = PagedMatrix(StoreSegment(reader, "grades", cache), cache)
+        vec = PagedVector(
+            StoreSegment(reader, "order_grades/0", cache), cache
+        )
+        ref_mat = np.asarray(reader.memmap("grades"))
+        ref_vec = np.asarray(reader.memmap("order_grades/0"))
+
+        def hammer(seed: int) -> int:
+            local = np.random.default_rng(seed)
+            for _ in range(150):
+                rows = local.integers(0, n, size=16)
+                assert np.array_equal(mat[rows], ref_mat[rows])
+                assert np.array_equal(mat[rows, 1], ref_mat[rows, 1])
+                lo = int(local.integers(0, n - 9))
+                assert np.array_equal(
+                    vec[lo : lo + 9], ref_vec[lo : lo + 9]
+                )
+                if seed % 3 == 0:
+                    cache.release_mappings()
+            return 1
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            assert sum(pool.map(hammer, range(8))) == 8
+        snap = cache.snapshot()
+        assert snap["cached_bytes"] == sum(
+            block.nbytes for block in cache._pages.values()
+        )
+        assert snap["cached_bytes"] <= capacity
+        cache.release_mappings()
+        assert cache.snapshot()["mapped_bytes"] == 0
 
     def test_lru_eviction_keeps_results_exact_and_bounded(self, tmp_path):
         rng = np.random.default_rng(5)
